@@ -1,0 +1,69 @@
+//! Benchmarks of campaign-level operations: the scheduler event loop,
+//! background-job routing, and a complete (small) campaign — the pipeline
+//! stages behind every figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfv_dragonfly::config::DragonflyConfig;
+use dfv_dragonfly::ids::NodeId;
+use dfv_dragonfly::network::NetworkSim;
+use dfv_dragonfly::placement::AllocationPolicy;
+use dfv_dragonfly::topology::Topology;
+use dfv_experiments::campaign::{run_campaign, CampaignConfig};
+use dfv_scheduler::cluster::Cluster;
+use dfv_scheduler::job::{JobRequest, UserId};
+use dfv_scheduler::users::Archetype;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("campaign/scheduler");
+    g.sample_size(10);
+    g.bench_function("1000_jobs_fcfs_backfill", |b| {
+        b.iter(|| {
+            let nodes: Vec<NodeId> = (0..2048).map(NodeId).collect();
+            let mut cluster =
+                Cluster::new(nodes, AllocationPolicy::Fragmented { scatter: 0.5 }, 1);
+            for i in 0..1000u64 {
+                cluster.advance_to(i as f64 * 5.0);
+                cluster.submit(JobRequest {
+                    user: UserId((i % 20) as u32),
+                    name: "bench".into(),
+                    num_nodes: 16 + (i % 200) as usize,
+                    duration: 300.0,
+                    submit_time: i as f64 * 5.0,
+                });
+            }
+            cluster.drain()
+        })
+    });
+    g.finish();
+}
+
+fn bench_background_routing(c: &mut Criterion) {
+    let topo = Topology::new(DragonflyConfig::cori()).unwrap();
+    let sim = NetworkSim::new(&topo);
+    let nodes: Vec<NodeId> = (0..1024).map(NodeId).collect();
+    let io: Vec<NodeId> = (12_000..12_064).map(NodeId).collect();
+    let mut g = c.benchmark_group("campaign/background_routing");
+    g.sample_size(10);
+    g.bench_function("genome_assembly_1024_nodes", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let traffic = Archetype::GenomeAssembly.traffic(&nodes, &io, 0.25, &mut rng);
+            sim.route_traffic(&traffic, None, 9)
+        })
+    });
+    g.finish();
+}
+
+fn bench_full_campaign(c: &mut Criterion) {
+    let mut config = CampaignConfig::quick();
+    config.num_days = 2;
+    let mut g = c.benchmark_group("campaign/full");
+    g.sample_size(10);
+    g.bench_function("quick_2_days", |b| b.iter(|| run_campaign(&config)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler, bench_background_routing, bench_full_campaign);
+criterion_main!(benches);

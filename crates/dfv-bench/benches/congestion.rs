@@ -1,0 +1,59 @@
+//! Benchmarks of the congestion model: simulating one application step and
+//! producing machine-wide telemetry, per application, on the Cori topology.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dfv_dragonfly::config::DragonflyConfig;
+use dfv_dragonfly::ids::NodeId;
+use dfv_dragonfly::network::{BackgroundTraffic, NetworkSim, SimScratch};
+use dfv_dragonfly::telemetry::StepTelemetry;
+use dfv_dragonfly::topology::Topology;
+use dfv_dragonfly::traffic::Traffic;
+use dfv_workloads::app::{AppKind, AppSpec};
+
+fn bench_step(c: &mut Criterion) {
+    let topo = Topology::new(DragonflyConfig::cori()).unwrap();
+    let sim = NetworkSim::new(&topo);
+    let bg = BackgroundTraffic::zero(&topo);
+
+    let mut g = c.benchmark_group("congestion/step");
+    g.sample_size(10);
+    for kind in AppKind::ALL {
+        let spec = AppSpec { kind, num_nodes: 128 };
+        let nodes: Vec<NodeId> = (0..128).map(NodeId).collect();
+        let app = spec.instantiate(&nodes, 1);
+        let mut traffic = Traffic::new();
+        app.step_traffic(spec.num_steps() / 2, &mut traffic);
+        g.bench_function(format!("{}-128", kind.name()), |b| {
+            b.iter_batched_ref(
+                || SimScratch::new(&topo),
+                |scratch| sim.simulate_step(&traffic, &bg, 1, scratch),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    let topo = Topology::new(DragonflyConfig::cori()).unwrap();
+    let sim = NetworkSim::new(&topo);
+    let bg = BackgroundTraffic::zero(&topo);
+    let spec = AppSpec { kind: AppKind::Milc, num_nodes: 128 };
+    let nodes: Vec<NodeId> = (0..128).map(NodeId).collect();
+    let app = spec.instantiate(&nodes, 1);
+    let mut traffic = Traffic::new();
+    app.step_traffic(40, &mut traffic);
+    let mut scratch = SimScratch::new(&topo);
+    let out = sim.simulate_step(&traffic, &bg, 1, &mut scratch);
+    let mut telemetry = StepTelemetry::new(topo.num_routers());
+
+    let mut g = c.benchmark_group("congestion/telemetry");
+    g.sample_size(20);
+    g.bench_function("machine_wide_fill", |b| {
+        b.iter(|| sim.fill_telemetry(&scratch, &bg, out.comm_time, &mut telemetry))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_step, bench_telemetry);
+criterion_main!(benches);

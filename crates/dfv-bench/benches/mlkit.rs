@@ -1,0 +1,98 @@
+//! Benchmarks of the ML substrate: GBR training (the deviation model's
+//! workhorse), RFE, attention training (the forecaster) and the mutual
+//! information scan of the neighborhood analysis.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dfv_mlkit::attention::{AttentionForecaster, AttentionParams};
+use dfv_mlkit::dataset::{Dataset, WindowDataset};
+use dfv_mlkit::gbr::{Gbr, GbrParams};
+use dfv_mlkit::matrix::Matrix;
+use dfv_mlkit::mi::mutual_information_binary;
+use dfv_mlkit::rfe::{rfe, RfeParams};
+use dfv_mlkit::ridge::Ridge;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic deviation-style dataset: n samples x 13 counters.
+fn synth(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(n, 13);
+    let mut y = Vec::with_capacity(n);
+    for r in 0..n {
+        let mut target = 0.0;
+        for c in 0..13 {
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            x.set(r, c, v);
+            if c == 3 || c == 10 {
+                target += 5.0 * v;
+            }
+        }
+        y.push(target + 0.1 * rng.gen_range(-1.0..1.0));
+    }
+    Dataset::new(x, y, (0..13).map(|i| format!("f{i}")).collect())
+}
+
+fn synth_windows(runs: usize, t: usize, m: usize, k: usize, h: usize, seed: u64) -> WindowDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = WindowDataset::empty(m, h, k);
+    for _ in 0..runs {
+        let steps: Vec<Vec<f64>> =
+            (0..t).map(|_| (0..h).map(|_| rng.gen_range(0.0..1.0e9)).collect()).collect();
+        let times: Vec<f64> = steps.iter().map(|s| 1.0 + s[0] / 1.0e9).collect();
+        data.push_run(&steps, &times);
+    }
+    data
+}
+
+fn bench_gbr(c: &mut Criterion) {
+    let data = synth(4000, 1);
+    let mut g = c.benchmark_group("mlkit/gbr");
+    g.sample_size(10);
+    g.bench_function("fit_60_trees_4k_samples", |b| {
+        b.iter(|| Gbr::fit(&data.x, &data.y, &GbrParams::default()))
+    });
+    let model = Gbr::fit(&data.x, &data.y, &GbrParams::default());
+    g.bench_function("predict_4k", |b| b.iter(|| model.predict(black_box(&data.x))));
+    g.finish();
+}
+
+fn bench_rfe(c: &mut Criterion) {
+    let data = synth(1000, 2);
+    let params = RfeParams {
+        folds: 3,
+        gbr: GbrParams { n_trees: 20, ..Default::default() },
+        seed: 1,
+    };
+    let mut g = c.benchmark_group("mlkit/rfe");
+    g.sample_size(10);
+    g.bench_function("3fold_13features_1k_samples", |b| b.iter(|| rfe(&data, None, &params)));
+    g.finish();
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let data = synth_windows(20, 40, 10, 5, 13, 3);
+    let params = AttentionParams { epochs: 10, ..Default::default() };
+    let mut g = c.benchmark_group("mlkit/attention");
+    g.sample_size(10);
+    g.bench_function("fit_10_epochs", |b| b.iter(|| AttentionForecaster::fit(&data, &params)));
+    let model = AttentionForecaster::fit(&data, &params);
+    g.bench_function("predict_all_windows", |b| b.iter(|| model.predict(black_box(&data))));
+    g.finish();
+}
+
+fn bench_ridge_and_mi(c: &mut Criterion) {
+    let data = synth(4000, 4);
+    let mut g = c.benchmark_group("mlkit/baselines");
+    g.bench_function("ridge_fit_4k_x_13", |b| b.iter(|| Ridge::fit(&data.x, &data.y, 1.0)));
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let xs: Vec<bool> = (0..200).map(|_| rng.gen()).collect();
+    let ys: Vec<bool> = xs.iter().map(|&x| if rng.gen_bool(0.8) { x } else { rng.gen() }).collect();
+    g.bench_function("mutual_information_200_runs", |b| {
+        b.iter(|| mutual_information_binary(black_box(&xs), black_box(&ys)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gbr, bench_rfe, bench_attention, bench_ridge_and_mi);
+criterion_main!(benches);

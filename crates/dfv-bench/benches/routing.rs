@@ -1,0 +1,71 @@
+//! Benchmarks of minimal, Valiant and UGAL-adaptive routing on the full
+//! Cori topology — the innermost hot loop of the congestion model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dfv_dragonfly::config::DragonflyConfig;
+use dfv_dragonfly::ids::{Idx, RouterId};
+use dfv_dragonfly::load::ChannelLoads;
+use dfv_dragonfly::routing::{minimal_route, route_flow, valiant_route, IntraOrder, RoutingPolicy};
+use dfv_dragonfly::topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = Topology::new(DragonflyConfig::cori()).unwrap();
+    let mut loads = ChannelLoads::new(&topo);
+    let mut rng = StdRng::seed_from_u64(1);
+    // Pre-existing load so the adaptive comparisons are non-trivial.
+    for _ in 0..5000 {
+        let ch = dfv_dragonfly::ids::ChannelId(rng.gen_range(0..topo.num_channels()) as u32);
+        loads.add(ch, rng.gen_range(0.0..5.0e9));
+    }
+    let pairs: Vec<(RouterId, RouterId)> = (0..1024)
+        .map(|_| {
+            (
+                RouterId::from_index(rng.gen_range(0..topo.num_routers())),
+                RouterId::from_index(rng.gen_range(0..topo.num_routers())),
+            )
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("routing");
+    g.bench_function("minimal", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % pairs.len();
+            let (s, d) = pairs[i];
+            black_box(minimal_route(&topo, s, d, IntraOrder::GreenFirst, 0))
+        })
+    });
+    g.bench_function("valiant", |b| {
+        let mut i = 0usize;
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            i = (i + 1) % pairs.len();
+            let (s, d) = pairs[i];
+            let mid = dfv_dragonfly::ids::GroupId(rng.gen_range(0..topo.num_groups()) as u16);
+            black_box(valiant_route(&topo, s, d, mid, 0, 1, IntraOrder::GreenFirst))
+        })
+    });
+    g.bench_function("adaptive_ugal", |b| {
+        let mut i = 0usize;
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            i = (i + 1) % pairs.len();
+            let (s, d) = pairs[i];
+            black_box(route_flow(
+                &topo,
+                s,
+                d,
+                1.0e6,
+                RoutingPolicy::default(),
+                &loads,
+                &mut rng,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Benchmarks of topology construction and coordinate algebra: the cost of
+//! standing up a full Cori and of the hot per-flow lookups.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dfv_dragonfly::config::DragonflyConfig;
+use dfv_dragonfly::ids::{Idx, NodeId, RouterId};
+use dfv_dragonfly::topology::Topology;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topology/build");
+    g.sample_size(20);
+    g.bench_function("small", |b| {
+        b.iter(|| Topology::new(black_box(DragonflyConfig::small())).unwrap())
+    });
+    g.bench_function("cori", |b| {
+        b.iter(|| Topology::new(black_box(DragonflyConfig::cori())).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let topo = Topology::new(DragonflyConfig::cori()).unwrap();
+    let mut g = c.benchmark_group("topology/lookup");
+    g.bench_function("coords", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 977) % topo.num_routers();
+            black_box(topo.coords(RouterId::from_index(i)))
+        })
+    });
+    g.bench_function("router_of_node", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 977) % topo.num_nodes();
+            black_box(topo.router_of_node(NodeId::from_index(i)))
+        })
+    });
+    g.bench_function("channel_info", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 977) % topo.num_channels();
+            black_box(topo.channel_info(dfv_dragonfly::ids::ChannelId::from_index(i)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_lookups);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! repro all                 # full Cori-scale campaign, all figures
+//! repro fig9 fig10          # selected figures
+//! repro all --quick         # small test-scale machine
+//! repro all --out results/  # also write text + JSON per figure
+//! ```
+
+use dfv_bench::runner::{self, FigOutput, ReproContext};
+use std::io::Write;
+use std::path::PathBuf;
+
+const KNOWN: &[&str] = &[
+    "fig1", "table1", "fig3", "fig4", "fig5", "table2", "table3", "fig7", "fig8", "fig9",
+    "fig10", "fig11", "fig12",
+];
+
+fn usage() -> ! {
+    eprintln!("usage: repro [all | {}]... [--quick] [--out DIR]", KNOWN.join(" | "));
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                let Some(dir) = args.next() else { usage() };
+                out_dir = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        usage();
+    }
+    for t in &targets {
+        if t != "all" && !KNOWN.contains(&t.as_str()) {
+            eprintln!("unknown target: {t}");
+            usage();
+        }
+    }
+
+    eprintln!(
+        "running campaign ({} mode) ...",
+        if quick { "quick" } else { "paper/Cori-scale" }
+    );
+    let t0 = std::time::Instant::now();
+    let ctx = ReproContext::new(quick);
+    eprintln!("campaign finished in {:.1}s; generating outputs\n", t0.elapsed().as_secs_f64());
+
+    let mut outputs: Vec<FigOutput> = Vec::new();
+    if targets.iter().any(|t| t == "all") {
+        outputs = runner::all(&ctx);
+    } else {
+        for t in &targets {
+            let t1 = std::time::Instant::now();
+            let out = match t.as_str() {
+                "fig1" => runner::fig1(&ctx),
+                "table1" => runner::table1(&ctx),
+                "fig3" => runner::fig3(&ctx),
+                "fig4" => runner::fig4(&ctx),
+                "fig5" => runner::fig5(&ctx),
+                "table2" => runner::table2(&ctx),
+                "table3" => runner::table3(&ctx),
+                "fig7" => runner::fig7(&ctx),
+                "fig8" => runner::fig8(&ctx),
+                "fig9" => runner::fig9(&ctx),
+                "fig10" => runner::fig10(&ctx),
+                "fig11" => runner::fig11(&ctx),
+                "fig12" => runner::fig12(&ctx),
+                _ => unreachable!("validated above"),
+            };
+            eprintln!("[{}] done in {:.1}s", t, t1.elapsed().as_secs_f64());
+            outputs.push(out);
+        }
+    }
+
+    for out in &outputs {
+        println!("==================== {} ====================", out.name);
+        println!("{}", out.text);
+    }
+
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(&dir).expect("create output dir");
+        for out in &outputs {
+            let mut f = std::fs::File::create(dir.join(format!("{}.txt", out.name)))
+                .expect("create text file");
+            f.write_all(out.text.as_bytes()).expect("write text");
+            let jf = std::fs::File::create(dir.join(format!("{}.json", out.name)))
+                .expect("create json file");
+            serde_json::to_writer_pretty(jf, &out.json).expect("write json");
+        }
+        eprintln!("wrote {} outputs to disk", outputs.len());
+    }
+}

@@ -1,0 +1,9 @@
+//! # dfv-bench
+//!
+//! The reproduction harness: the `repro` binary regenerates every table and
+//! figure of the paper from a simulated campaign, and the Criterion benches
+//! measure the performance of each pipeline stage. This library holds the
+//! shared figure-rendering code so the binary stays thin.
+
+pub mod render;
+pub mod runner;

@@ -1,0 +1,111 @@
+//! Plain-text rendering helpers for the `repro` harness: aligned tables,
+//! numeric series and horizontal bars, so every figure of the paper has a
+//! terminal-readable analogue.
+
+/// Render an aligned table with a header row.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&headers, &widths));
+    out.push('\n');
+    out.push_str(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a numeric series as `index: value` lines with a proportional bar.
+pub fn bar_series(labels: &[String], values: &[f64], width: usize) -> String {
+    assert_eq!(labels.len(), values.len(), "labels/values mismatch");
+    let max = values.iter().cloned().fold(f64::MIN, f64::max).max(1e-300);
+    let label_w = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, &v) in labels.iter().zip(values) {
+        let n = ((v / max) * width as f64).round().max(0.0) as usize;
+        out.push_str(&format!("{label:<label_w$}  {v:>10.4}  {}\n", "#".repeat(n)));
+    }
+    out
+}
+
+/// Compact rendering of a numeric vector: `v0 v1 v2 ...` with fixed
+/// precision, wrapped to `per_line` entries.
+pub fn series_line(values: &[f64], precision: usize, per_line: usize) -> String {
+    let mut out = String::new();
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 && i % per_line == 0 {
+            out.push('\n');
+        } else if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&format!("{v:.precision$}"));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let s = table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        // Columns aligned: "value" column starts at the same offset.
+        let off0 = lines[0].find("value").unwrap();
+        let off2 = lines[2].find('1').unwrap();
+        assert_eq!(off0, off2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let s = bar_series(&["a".into(), "b".into()], &[1.0, 2.0], 10);
+        let lines: Vec<&str> = s.lines().collect();
+        let count = |l: &str| l.matches('#').count();
+        assert_eq!(count(lines[1]), 10);
+        assert_eq!(count(lines[0]), 5);
+    }
+
+    #[test]
+    fn series_wraps() {
+        let s = series_line(&[1.0, 2.0, 3.0, 4.0, 5.0], 1, 2);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.starts_with("1.0 2.0\n"));
+    }
+}

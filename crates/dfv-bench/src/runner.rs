@@ -1,0 +1,457 @@
+//! Per-figure execution: each function takes the shared campaign context
+//! and produces the text + JSON reproduction of one table or figure.
+
+use crate::render;
+use dfv_counters::features::FeatureSet;
+use dfv_experiments::campaign::{run_campaign, simulate_long_run, CampaignConfig, CampaignResult};
+use dfv_experiments::data::AppDataset;
+use dfv_experiments::deviation::analyze_deviation;
+use dfv_experiments::figures;
+use dfv_experiments::forecast::{
+    ablation_grid, evaluate, feature_importances, forecast_long_run, ForecastOutcome,
+    ForecastSpec,
+};
+use dfv_experiments::neighborhood::{analyze, NeighborhoodParams};
+use dfv_mlkit::attention::AttentionParams;
+use dfv_mlkit::gbr::GbrParams;
+use dfv_mlkit::rfe::RfeParams;
+use dfv_workloads::app::AppKind;
+use serde_json::{json, Value};
+
+/// Output of reproducing one table or figure.
+#[derive(Debug, Clone)]
+pub struct FigOutput {
+    /// Identifier, e.g. `fig9`.
+    pub name: &'static str,
+    /// Human-readable rendering.
+    pub text: String,
+    /// Machine-readable data.
+    pub json: Value,
+}
+
+/// Shared state for a reproduction session: the campaign and the analysis
+/// hyperparameters (scaled down in quick mode).
+pub struct ReproContext {
+    /// The campaign configuration used.
+    pub config: CampaignConfig,
+    /// The campaign data.
+    pub result: CampaignResult,
+    /// Whether quick (test-scale) parameters are in use.
+    pub quick: bool,
+}
+
+impl ReproContext {
+    /// Run the campaign and build the context. `quick` selects the small
+    /// test-scale machine instead of the Cori-scale one.
+    pub fn new(quick: bool) -> Self {
+        let config = if quick { CampaignConfig::quick() } else { CampaignConfig::paper() };
+        let result = run_campaign(&config);
+        ReproContext { config, result, quick }
+    }
+
+    /// Build from an existing campaign (used by tests).
+    pub fn from_result(config: CampaignConfig, result: CampaignResult, quick: bool) -> Self {
+        ReproContext { config, result, quick }
+    }
+
+    fn rfe_params(&self) -> RfeParams {
+        if self.quick {
+            RfeParams { folds: 3, gbr: GbrParams { n_trees: 25, ..Default::default() }, seed: 11 }
+        } else {
+            RfeParams { folds: 10, gbr: GbrParams { n_trees: 50, ..Default::default() }, seed: 11 }
+        }
+    }
+
+    fn attention_params(&self) -> AttentionParams {
+        if self.quick {
+            AttentionParams { epochs: 25, d_attn: 8, hidden: 16, ..Default::default() }
+        } else {
+            AttentionParams::default()
+        }
+    }
+
+    fn forecast_folds(&self) -> usize {
+        if self.quick {
+            3
+        } else {
+            5
+        }
+    }
+
+    fn neighborhood_params(&self) -> NeighborhoodParams {
+        if self.quick {
+            NeighborhoodParams { min_job_nodes: 8, tau: 1.0, top_k: 5, min_cooccurrence: 3 }
+        } else {
+            NeighborhoodParams::default()
+        }
+    }
+
+    fn dataset(&self, kind: AppKind, smallest: bool) -> Option<&AppDataset> {
+        let mut matches: Vec<&AppDataset> =
+            self.result.datasets.iter().filter(|d| d.spec.kind == kind).collect();
+        matches.sort_by_key(|d| d.spec.num_nodes);
+        if smallest {
+            matches.first().copied()
+        } else {
+            matches.last().copied()
+        }
+    }
+}
+
+/// Table I: applications, versions and inputs.
+pub fn table1(ctx: &ReproContext) -> FigOutput {
+    let rows = figures::table1(&ctx.result);
+    let text = render::table(
+        &["Application", "Version", "Nodes", "Input Parameters"],
+        &rows
+            .iter()
+            .map(|(a, v, n, p)| vec![a.clone(), v.clone(), n.to_string(), p.clone()])
+            .collect::<Vec<_>>(),
+    );
+    FigOutput { name: "table1", text, json: json!(rows) }
+}
+
+/// Table II: the counters.
+pub fn table2(_ctx: &ReproContext) -> FigOutput {
+    let rows = figures::table2();
+    let text = render::table(
+        &["Counter name", "Abbreviation", "Description"],
+        &rows
+            .iter()
+            .map(|(f, a, d)| vec![f.clone(), a.clone(), d.clone()])
+            .collect::<Vec<_>>(),
+    );
+    FigOutput { name: "table2", text, json: json!(rows) }
+}
+
+/// Table III: high-MI users per dataset plus the recurring set.
+pub fn table3(ctx: &ReproContext) -> FigOutput {
+    let analysis = analyze(&ctx.result, &ctx.neighborhood_params());
+    let mut rows = Vec::new();
+    for d in &analysis.per_dataset {
+        rows.push(vec![
+            d.spec.kind.name().to_string(),
+            d.spec.num_nodes.to_string(),
+            d.top_users
+                .iter()
+                .map(|u| u.0.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+        ]);
+    }
+    let mut text = render::table(&["Application", "Nodes", "Highly correlated users"], &rows);
+    text.push_str("\nUsers in more than one list: ");
+    text.push_str(
+        &analysis
+            .recurring
+            .iter()
+            .map(|(u, c)| format!("User-{} ({} lists)", u.0, c))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    text.push('\n');
+    let probe = ctx.result.probe_user;
+    if analysis.per_dataset.iter().any(|d| d.top_users.contains(&probe)) {
+        text.push_str(&format!(
+            "Note: User-{} is the probe user itself (self-interference, as the paper found for User 8).\n",
+            probe.0
+        ));
+    }
+    FigOutput { name: "table3", text, json: serde_json::to_value(&analysis).unwrap() }
+}
+
+/// Figure 1: relative performance over the campaign.
+pub fn fig1(ctx: &ReproContext) -> FigOutput {
+    let mut text = String::new();
+    let mut data = Vec::new();
+    for ds in &ctx.result.datasets {
+        let f = figures::fig1(ds, ctx.config.day_seconds);
+        text.push_str(&format!(
+            "{:<14} runs={:<4} max relative slowdown = {:.2}x\n",
+            ds.spec.label(),
+            f.points.len(),
+            f.max_relative
+        ));
+        data.push(f);
+    }
+    text.push_str("\n(points: day vs total-time/best; see JSON for the full series)\n");
+    FigOutput { name: "fig1", text, json: serde_json::to_value(&data).unwrap() }
+}
+
+/// Figure 3: mean time-per-step trends.
+pub fn fig3(ctx: &ReproContext) -> FigOutput {
+    let mut text = String::new();
+    let mut data = Vec::new();
+    for ds in &ctx.result.datasets {
+        let f = figures::fig3(ds);
+        text.push_str(&format!("{} mean time per step (s):\n", ds.spec.label()));
+        text.push_str(&render::series_line(&f.mean_time_per_step, 3, 20));
+        data.push(f);
+    }
+    FigOutput { name: "fig3", text, json: serde_json::to_value(&data).unwrap() }
+}
+
+fn fig45_impl(ctx: &ReproContext, kinds: &[(AppKind, bool)], name: &'static str) -> FigOutput {
+    let mut text = String::new();
+    let mut data = Vec::new();
+    for &(kind, smallest) in kinds {
+        let Some(ds) = ctx.dataset(kind, smallest) else { continue };
+        let b = figures::fig45(ds);
+        text.push_str(&format!(
+            "{} — mean MPI fraction {:.1}%\n",
+            ds.spec.label(),
+            100.0 * b.mean_mpi_fraction
+        ));
+        let mut rows = vec![
+            vec![
+                "Compute".to_string(),
+                format!("{:.2}", b.compute.0),
+                format!("{:.2}", b.compute.1),
+                format!("{:.2}", b.compute.2),
+            ],
+            vec![
+                "MPI (total)".to_string(),
+                format!("{:.2}", b.mpi.0),
+                format!("{:.2}", b.mpi.1),
+                format!("{:.2}", b.mpi.2),
+            ],
+        ];
+        for (routine, best, avg, worst) in &b.routines {
+            rows.push(vec![
+                format!("  {routine}"),
+                format!("{best:.2}"),
+                format!("{avg:.2}"),
+                format!("{worst:.2}"),
+            ]);
+        }
+        text.push_str(&render::table(&["Time (s)", "Best", "Average", "Worst"], &rows));
+        text.push('\n');
+        data.push(b);
+    }
+    FigOutput { name, text, json: serde_json::to_value(&data).unwrap() }
+}
+
+/// Figure 4: AMG and MILC compute/MPI split and routine breakdown (largest
+/// node counts, as the paper plots 512 nodes).
+pub fn fig4(ctx: &ReproContext) -> FigOutput {
+    fig45_impl(ctx, &[(AppKind::Amg, false), (AppKind::Milc, false)], "fig4")
+}
+
+/// Figure 5: miniVite and UMT breakdowns (128 nodes).
+pub fn fig5(ctx: &ReproContext) -> FigOutput {
+    fig45_impl(ctx, &[(AppKind::MiniVite, true), (AppKind::Umt, true)], "fig5")
+}
+
+/// Figure 7: counter mean trends mirror the time trend (AMG, smallest node
+/// count — the paper uses AMG 128).
+pub fn fig7(ctx: &ReproContext) -> FigOutput {
+    let ds = ctx.dataset(AppKind::Amg, true).expect("AMG dataset present");
+    let f = figures::fig7(ds);
+    let c_flit = dfv_experiments::figures::Fig7Series::correlation(&f.mean_time, &f.mean_rt_flit);
+    let c_stl = dfv_experiments::figures::Fig7Series::correlation(&f.mean_time, &f.mean_rt_stl);
+    let mut text = format!("{}:\nmean time per step (s):\n", ds.spec.label());
+    text.push_str(&render::series_line(&f.mean_time, 3, 20));
+    text.push_str("mean RT_FLIT_TOT per step:\n");
+    text.push_str(&render::series_line(&f.mean_rt_flit, 0, 10));
+    text.push_str("mean RT_RB_STL per step:\n");
+    text.push_str(&render::series_line(&f.mean_rt_stl, 0, 10));
+    text.push_str(&format!(
+        "correlation(time, RT_FLIT_TOT) = {c_flit:.3}; correlation(time, RT_RB_STL) = {c_stl:.3}\n"
+    ));
+    FigOutput { name: "fig7", text, json: serde_json::to_value(&f).unwrap() }
+}
+
+fn forecast_table(outcomes: &[ForecastOutcome]) -> String {
+    render::table(
+        &["m", "k", "features", "MAPE (%)"],
+        &outcomes
+            .iter()
+            .map(|o| {
+                vec![
+                    o.forecast.m.to_string(),
+                    o.forecast.k.to_string(),
+                    o.forecast.features.label().to_string(),
+                    format!("{:.2}", o.mape),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn forecast_mk(_ctx: &ReproContext, kind: AppKind) -> (Vec<usize>, Vec<usize>) {
+    // Paper: m in {3, 8}, k in {5, 10} for AMG (20 steps); m in {10, 30},
+    // k in {20, 40} for MILC (80 steps). Scale k to 25% / 50% of the run.
+    match kind {
+        AppKind::Amg => (vec![3, 8], vec![5, 10]),
+        AppKind::Milc => (vec![10, 30], vec![20, 40]),
+        _ => (vec![2, 3], vec![1, 2]),
+    }
+}
+
+fn fig_forecast(
+    ctx: &ReproContext,
+    kind: AppKind,
+    feature_sets: &[FeatureSet],
+    name: &'static str,
+) -> FigOutput {
+    let (ms, ks) = forecast_mk(ctx, kind);
+    let grid = ablation_grid(&ms, &ks, feature_sets);
+    let mut text = String::new();
+    let mut data = Vec::new();
+    for ds in ctx.result.datasets.iter().filter(|d| d.spec.kind == kind) {
+        let outcomes: Vec<ForecastOutcome> = grid
+            .iter()
+            .map(|f| evaluate(ds, f, &ctx.attention_params(), ctx.forecast_folds(), 33))
+            .collect();
+        text.push_str(&format!("{}:\n", ds.spec.label()));
+        text.push_str(&forecast_table(&outcomes));
+        text.push('\n');
+        data.push((ds.spec, outcomes));
+    }
+    FigOutput { name, text, json: serde_json::to_value(&data).unwrap() }
+}
+
+/// Figure 8: AMG forecasting MAPE for m/k and app vs app+placement.
+pub fn fig8(ctx: &ReproContext) -> FigOutput {
+    fig_forecast(ctx, AppKind::Amg, &[FeatureSet::App, FeatureSet::AppPlacement], "fig8")
+}
+
+/// Figure 10: MILC forecasting MAPE for m/k and all four feature groups.
+pub fn fig10(ctx: &ReproContext) -> FigOutput {
+    fig_forecast(ctx, AppKind::Milc, &FeatureSet::ALL, "fig10")
+}
+
+/// Figure 9: RFE relevance scores of every counter, per dataset.
+pub fn fig9(ctx: &ReproContext) -> FigOutput {
+    let mut text = String::new();
+    let mut data = Vec::new();
+    for ds in &ctx.result.datasets {
+        let analysis = analyze_deviation(ds, &ctx.rfe_params());
+        text.push_str(&format!(
+            "{} (deviation-model MAPE {:.2}%):\n",
+            ds.spec.label(),
+            analysis.rfe.mean_mape()
+        ));
+        text.push_str(&render::bar_series(
+            &analysis.rfe.feature_names,
+            &analysis.rfe.relevance,
+            40,
+        ));
+        text.push('\n');
+        data.push(analysis);
+    }
+    FigOutput { name: "fig9", text, json: serde_json::to_value(&data).unwrap() }
+}
+
+/// Figure 11: forecasting-model feature importances for AMG (app+placement)
+/// and MILC (all features).
+pub fn fig11(ctx: &ReproContext) -> FigOutput {
+    let mut text = String::new();
+    let mut data = Vec::new();
+    for (kind, features) in
+        [(AppKind::Amg, FeatureSet::AppPlacement), (AppKind::Milc, FeatureSet::AppPlacementIoSys)]
+    {
+        let (ms, ks) = forecast_mk(ctx, kind);
+        let fspec = ForecastSpec {
+            m: *ms.last().unwrap(),
+            k: *ks.last().unwrap(),
+            features,
+        };
+        for ds in ctx.result.datasets.iter().filter(|d| d.spec.kind == kind) {
+            let imp = feature_importances(ds, &fspec, &ctx.attention_params(), 55);
+            text.push_str(&format!("{} (m={}, k={}):\n", ds.spec.label(), fspec.m, fspec.k));
+            let (labels, values): (Vec<String>, Vec<f64>) = imp.iter().cloned().unzip();
+            text.push_str(&render::bar_series(&labels, &values, 40));
+            text.push('\n');
+            data.push((ds.spec, imp));
+        }
+    }
+    FigOutput { name: "fig11", text, json: serde_json::to_value(&data).unwrap() }
+}
+
+/// Figure 12: forecasting 40-step segments of a long unseen MILC run.
+pub fn fig12(ctx: &ReproContext) -> FigOutput {
+    let ds = ctx.dataset(AppKind::Milc, true).expect("MILC dataset present");
+    let (steps, m, segment) = if ctx.quick { (200, 10, 20) } else { (620, 30, 40) };
+    let long = simulate_long_run(&ctx.config, &ds.spec, steps, 4242);
+    let segments = forecast_long_run(
+        ds,
+        &long,
+        m,
+        segment,
+        FeatureSet::AppPlacementIoSys,
+        &ctx.attention_params(),
+        77,
+    );
+    let mut rows = Vec::new();
+    for (i, (obs, pred)) in segments.iter().enumerate() {
+        rows.push(vec![
+            format!("{}", m + i * segment),
+            format!("{obs:.2}"),
+            format!("{pred:.2}"),
+            format!("{:+.1}%", 100.0 * (pred - obs) / obs),
+        ]);
+    }
+    let obs: Vec<f64> = segments.iter().map(|s| s.0).collect();
+    let pred: Vec<f64> = segments.iter().map(|s| s.1).collect();
+    let mape = dfv_mlkit::metrics::mape(&obs, &pred);
+    let mut text = format!(
+        "MILC long run: {steps} steps, predicting {segment}-step segments from the previous {m} steps\n"
+    );
+    text.push_str(&render::table(&["segment start", "observed (s)", "predicted (s)", "error"], &rows));
+    text.push_str(&format!("segment MAPE: {mape:.2}%\n"));
+    FigOutput { name: "fig12", text, json: json!({ "segments": segments, "mape": mape }) }
+}
+
+/// Everything, in paper order, with progress on stderr (the full-scale
+/// ML figures take minutes each).
+pub fn all(ctx: &ReproContext) -> Vec<FigOutput> {
+    let stages: Vec<(&str, fn(&ReproContext) -> FigOutput)> = vec![
+        ("fig1", fig1),
+        ("table1", table1),
+        ("fig3", fig3),
+        ("fig4", fig4),
+        ("fig5", fig5),
+        ("table2", table2),
+        ("table3", table3),
+        ("fig7", fig7),
+        ("fig9", fig9),
+        ("fig8", fig8),
+        ("fig10", fig10),
+        ("fig11", fig11),
+        ("fig12", fig12),
+    ];
+    stages
+        .into_iter()
+        .map(|(name, f)| {
+            let t0 = std::time::Instant::now();
+            let out = f(ctx);
+            eprintln!("[{name}] done in {:.1}s", t0.elapsed().as_secs_f64());
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ReproContext {
+        ReproContext::new(true)
+    }
+
+    #[test]
+    fn every_descriptive_output_renders() {
+        let ctx = ctx();
+        for out in [table1(&ctx), table2(&ctx), fig1(&ctx), fig3(&ctx), fig4(&ctx), fig5(&ctx), fig7(&ctx)] {
+            assert!(!out.text.is_empty(), "{} produced no text", out.name);
+            assert!(!out.json.is_null(), "{} produced no json", out.name);
+        }
+    }
+
+    #[test]
+    fn table3_runs_on_quick_campaign() {
+        let out = table3(&ctx());
+        assert!(out.text.contains("Highly correlated users"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Cumulative counter banks with hardware wraparound semantics.
+//!
+//! Real Aries performance counters are 48-bit cumulative registers: tools
+//! like AriesNCL read the raw register twice and subtract, handling the
+//! wraparound that long-running monitors inevitably see. [`CounterBank`]
+//! reproduces that contract: telemetry accumulates into cumulative values
+//! truncated to 48 bits, and [`CounterBank::delta`] recovers the true
+//! increment as long as a single interval never gains more than 2^48.
+
+use crate::counter::Counter;
+use dfv_dragonfly::ids::{Idx, RouterId};
+use dfv_dragonfly::telemetry::StepTelemetry;
+use serde::{Deserialize, Serialize};
+
+/// Register width of Aries performance counters.
+pub const COUNTER_BITS: u32 = 48;
+const WRAP: u64 = 1 << COUNTER_BITS;
+const MASK: u64 = WRAP - 1;
+
+/// Cumulative 48-bit counters for every router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterBank {
+    /// `values[router][counter]`, truncated to 48 bits.
+    values: Vec<[u64; Counter::COUNT]>,
+}
+
+/// A raw register snapshot of one router (what PAPI hands back).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawSnapshot {
+    /// Register values, 48-bit truncated, in [`Counter::ALL`] order.
+    pub registers: [u64; Counter::COUNT],
+}
+
+impl CounterBank {
+    /// Zeroed bank for `num_routers` routers.
+    pub fn new(num_routers: usize) -> Self {
+        CounterBank { values: vec![[0; Counter::COUNT]; num_routers] }
+    }
+
+    /// Number of routers tracked.
+    pub fn num_routers(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Accumulate one step's telemetry into the cumulative registers
+    /// (fractional flit/stall counts round toward zero, as hardware counts
+    /// whole events).
+    pub fn accumulate(&mut self, telemetry: &StepTelemetry) {
+        assert_eq!(telemetry.num_routers(), self.values.len(), "router count mismatch");
+        for (r, regs) in self.values.iter_mut().enumerate() {
+            let stats = telemetry.router(r);
+            for (i, c) in Counter::ALL.iter().enumerate() {
+                let inc = c.value(stats).max(0.0) as u64;
+                regs[i] = (regs[i].wrapping_add(inc)) & MASK;
+            }
+        }
+    }
+
+    /// Raw register snapshot of one router.
+    pub fn snapshot(&self, router: RouterId) -> RawSnapshot {
+        RawSnapshot { registers: self.values[router.index()] }
+    }
+
+    /// The wraparound-correct delta between two snapshots of the same
+    /// router: `later - earlier` modulo 2^48.
+    pub fn delta(earlier: &RawSnapshot, later: &RawSnapshot) -> [u64; Counter::COUNT] {
+        let mut out = [0u64; Counter::COUNT];
+        for i in 0..Counter::COUNT {
+            out[i] = later.registers[i].wrapping_sub(earlier.registers[i]) & MASK;
+        }
+        out
+    }
+
+    /// Force a register value (test/fault-injection hook).
+    pub fn set_register(&mut self, router: RouterId, counter: Counter, value: u64) {
+        self.values[router.index()][counter.index()] = value & MASK;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfv_dragonfly::telemetry::StepTelemetry;
+
+    fn telemetry(num_routers: usize, flits: f64) -> StepTelemetry {
+        let mut t = StepTelemetry::new(num_routers);
+        for r in 0..num_routers {
+            t.router_mut(r).rt_flit_tot = flits;
+            t.router_mut(r).pt_rb_stl_rq = flits / 2.0;
+        }
+        t
+    }
+
+    #[test]
+    fn accumulate_and_delta() {
+        let mut bank = CounterBank::new(2);
+        let before = bank.snapshot(RouterId(0));
+        bank.accumulate(&telemetry(2, 1000.0));
+        bank.accumulate(&telemetry(2, 500.0));
+        let after = bank.snapshot(RouterId(0));
+        let delta = CounterBank::delta(&before, &after);
+        assert_eq!(delta[Counter::RtFlitTot.index()], 1500);
+        assert_eq!(delta[Counter::PtRbStlRq.index()], 750);
+        assert_eq!(delta[Counter::PtFlitVc0.index()], 0);
+    }
+
+    #[test]
+    fn wraparound_delta_is_correct() {
+        let mut bank = CounterBank::new(1);
+        // Park the register just below the 48-bit limit.
+        bank.set_register(RouterId(0), Counter::RtFlitTot, (1u64 << 48) - 100);
+        let before = bank.snapshot(RouterId(0));
+        bank.accumulate(&telemetry(1, 250.0)); // wraps past 2^48
+        let after = bank.snapshot(RouterId(0));
+        assert!(
+            after.registers[Counter::RtFlitTot.index()]
+                < before.registers[Counter::RtFlitTot.index()],
+            "register must have wrapped"
+        );
+        let delta = CounterBank::delta(&before, &after);
+        assert_eq!(delta[Counter::RtFlitTot.index()], 250);
+    }
+
+    #[test]
+    fn registers_stay_within_48_bits() {
+        let mut bank = CounterBank::new(1);
+        bank.set_register(RouterId(0), Counter::PtPktTot, u64::MAX);
+        let snap = bank.snapshot(RouterId(0));
+        assert!(snap.registers[Counter::PtPktTot.index()] < (1 << 48));
+        bank.accumulate(&telemetry(1, 1e15));
+        let snap = bank.snapshot(RouterId(0));
+        assert!(snap.registers.iter().all(|&v| v < (1 << 48)));
+    }
+
+    #[test]
+    fn fractional_events_round_toward_zero() {
+        let mut bank = CounterBank::new(1);
+        let before = bank.snapshot(RouterId(0));
+        bank.accumulate(&telemetry(1, 10.9));
+        let after = bank.snapshot(RouterId(0));
+        let delta = CounterBank::delta(&before, &after);
+        assert_eq!(delta[Counter::RtFlitTot.index()], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "router count mismatch")]
+    fn mismatched_telemetry_is_rejected() {
+        let mut bank = CounterBank::new(2);
+        bank.accumulate(&telemetry(3, 1.0));
+    }
+}

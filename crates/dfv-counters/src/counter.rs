@@ -1,0 +1,276 @@
+//! The Aries network hardware performance counters of Table II.
+//!
+//! Counters prefixed `RT_` live on *router tiles* (network-facing input
+//! queues) and capture data movement between routers; counters prefixed
+//! `PT_` live on *processor tiles* and are indicative of end-point traffic,
+//! i.e. data moving to and from the NICs directly attached to a router.
+//!
+//! Two entries of Table II are marked *(Derived)* in the paper:
+//! `RT_FLIT_TOT`/`RT_PKT_TOT` aggregate per-tile raw counters, and
+//! `PT_FLIT_TOT` is the sum of the VC0 and VC4 flit counters.
+
+use dfv_dragonfly::telemetry::TileStats;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One of the thirteen Aries counters used in the study (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Counter {
+    /// Total number of flits received on router tiles (derived).
+    RtFlitTot,
+    /// Total number of packets received on router tiles (derived).
+    RtPktTot,
+    /// Cycles in which two stalls occurred on a router tile.
+    RtRb2xUsg,
+    /// Total number of cycles stalled on router tiles.
+    RtRbStl,
+    /// Cycles a processor tile column buffer stalled for request VCs.
+    PtCbStlRq,
+    /// Cycles a processor tile column buffer stalled for response VCs.
+    PtCbStlRs,
+    /// Flits received on processor tiles on VC0 (requests).
+    PtFlitVc0,
+    /// Flits received on processor tiles on VC4 (responses).
+    PtFlitVc4,
+    /// Total flits received on processor tiles (derived: VC0 + VC4).
+    PtFlitTot,
+    /// Packets received on processor tiles.
+    PtPktTot,
+    /// Cycles stalled on processor tile request VCs.
+    PtRbStlRq,
+    /// Cycles stalled on processor tile response VCs.
+    PtRbStlRs,
+    /// Cycles in which two stalls occurred on a processor tile.
+    PtRb2xUsg,
+}
+
+impl Counter {
+    /// All counters, in Table II order (router tiles first).
+    pub const ALL: [Counter; 13] = [
+        Counter::RtFlitTot,
+        Counter::RtPktTot,
+        Counter::RtRb2xUsg,
+        Counter::RtRbStl,
+        Counter::PtCbStlRq,
+        Counter::PtCbStlRs,
+        Counter::PtFlitVc0,
+        Counter::PtFlitVc4,
+        Counter::PtFlitTot,
+        Counter::PtPktTot,
+        Counter::PtRbStlRq,
+        Counter::PtRbStlRs,
+        Counter::PtRb2xUsg,
+    ];
+
+    /// Number of counters.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Dense index in [`Self::ALL`] order.
+    pub fn index(self) -> usize {
+        Self::ALL.iter().position(|&c| c == self).expect("counter in ALL")
+    }
+
+    /// The abbreviation used throughout the paper (e.g. `RT_RB_STL`).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Counter::RtFlitTot => "RT_FLIT_TOT",
+            Counter::RtPktTot => "RT_PKT_TOT",
+            Counter::RtRb2xUsg => "RT_RB_2X_USG",
+            Counter::RtRbStl => "RT_RB_STL",
+            Counter::PtCbStlRq => "PT_CB_STL_RQ",
+            Counter::PtCbStlRs => "PT_CB_STL_RS",
+            Counter::PtFlitVc0 => "PT_FLIT_VC0",
+            Counter::PtFlitVc4 => "PT_FLIT_VC4",
+            Counter::PtFlitTot => "PT_FLIT_TOT",
+            Counter::PtPktTot => "PT_PKT_TOT",
+            Counter::PtRbStlRq => "PT_RB_STL_RQ",
+            Counter::PtRbStlRs => "PT_RB_STL_RS",
+            Counter::PtRb2xUsg => "PT_RB_2X_USG",
+        }
+    }
+
+    /// The full Aries counter name (Table II, left column).
+    pub fn full_name(self) -> &'static str {
+        match self {
+            Counter::RtFlitTot => "AR_RTR_INQ_PRF_INCOMING_FLIT_TOTAL",
+            Counter::RtPktTot => "AR_RTR_INQ_PRF_INCOMING_PKT_TOTAL",
+            Counter::RtRb2xUsg => "AR_RTR_INQ_PRF_ROWBUS_2X_USAGE_CNT",
+            Counter::RtRbStl => "AR_RTR_INQ_PRF_ROWBUS_STALL_CNT",
+            Counter::PtCbStlRq => "AR_RTR_PT_COLBUF_PERF_STALL_RQ",
+            Counter::PtCbStlRs => "AR_RTR_PT_COLBUF_PERF_STALL_RS",
+            Counter::PtFlitVc0 => "AR_RTR_PT_INQ_PRF_INCOMING_FLIT_VC0",
+            Counter::PtFlitVc4 => "AR_RTR_PT_INQ_PRF_INCOMING_FLIT_VC4",
+            Counter::PtFlitTot => "AR_RTR_PT_INQ_PRF_INCOMING_FLIT_TOTAL",
+            Counter::PtPktTot => "AR_RTR_PT_INQ_PRF_INCOMING_PKT_TOTAL",
+            Counter::PtRbStlRq => "AR_RTR_PT_INQ_PRF_REQ_ROWBUS_STALL_CNT",
+            Counter::PtRbStlRs => "AR_RTR_PT_INQ_PRF_RSP_ROWBUS_STALL_CNT",
+            Counter::PtRb2xUsg => "AR_RTR_PT_INQ_PRF_ROWBUS_2X_USAGE_CNT",
+        }
+    }
+
+    /// Human-readable description (Table II, right column).
+    pub fn description(self) -> &'static str {
+        match self {
+            Counter::RtFlitTot => "(Derived) Total number of flits received on router tile",
+            Counter::RtPktTot => "(Derived) Total number of packets received on router tile",
+            Counter::RtRb2xUsg => "Number of cycles in which two stalls occur on a router tile",
+            Counter::RtRbStl => "Total number of cycles stalled on router tile",
+            Counter::PtCbStlRq => "Number of cycles a processor tile is stalled for request VCs",
+            Counter::PtCbStlRs => "Number of cycles a processor tile is stalled for response VCs",
+            Counter::PtFlitVc0 => "Number of flits received on processor tile on VC0",
+            Counter::PtFlitVc4 => "Number of flits received on processor tile on VC4",
+            Counter::PtFlitTot => "(Derived) Total number of flits received on processor tile",
+            Counter::PtPktTot => "Number of packets received on processor tile",
+            Counter::PtRbStlRq => "Number of cycles stalled on processor tile request VCs",
+            Counter::PtRbStlRs => "Number of cycles stalled on processor tile response VCs",
+            Counter::PtRb2xUsg => "Number of cycles in which two stalls occur on a processor tile",
+        }
+    }
+
+    /// Whether the paper marks this counter as derived rather than raw.
+    pub fn is_derived(self) -> bool {
+        matches!(self, Counter::RtFlitTot | Counter::RtPktTot | Counter::PtFlitTot)
+    }
+
+    /// Whether the counter lives on a router (network) tile.
+    pub fn is_router_tile(self) -> bool {
+        matches!(
+            self,
+            Counter::RtFlitTot | Counter::RtPktTot | Counter::RtRb2xUsg | Counter::RtRbStl
+        )
+    }
+
+    /// Extract this counter's value from a router's tile statistics.
+    pub fn value(self, stats: &TileStats) -> f64 {
+        match self {
+            Counter::RtFlitTot => stats.rt_flit_tot,
+            Counter::RtPktTot => stats.rt_pkt_tot,
+            Counter::RtRb2xUsg => stats.rt_rb_2x_usg,
+            Counter::RtRbStl => stats.rt_rb_stl,
+            Counter::PtCbStlRq => stats.pt_cb_stl_rq,
+            Counter::PtCbStlRs => stats.pt_cb_stl_rs,
+            Counter::PtFlitVc0 => stats.pt_flit_vc0,
+            Counter::PtFlitVc4 => stats.pt_flit_vc4,
+            Counter::PtFlitTot => stats.pt_flit_tot(),
+            Counter::PtPktTot => stats.pt_pkt_tot,
+            Counter::PtRbStlRq => stats.pt_rb_stl_rq,
+            Counter::PtRbStlRs => stats.pt_rb_stl_rs,
+            Counter::PtRb2xUsg => stats.pt_rb_2x_usg,
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// One reading of all thirteen counters (aggregated over some router set).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    values: [f64; Counter::COUNT],
+}
+
+impl CounterSnapshot {
+    /// Snapshot from aggregated tile statistics.
+    pub fn from_stats(stats: &TileStats) -> Self {
+        let mut values = [0.0; Counter::COUNT];
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            values[i] = c.value(stats);
+        }
+        CounterSnapshot { values }
+    }
+
+    /// Value of one counter.
+    pub fn get(&self, c: Counter) -> f64 {
+        self.values[c.index()]
+    }
+
+    /// All values, in [`Counter::ALL`] order.
+    pub fn as_slice(&self) -> &[f64; Counter::COUNT] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_counters_in_table_order() {
+        assert_eq!(Counter::COUNT, 13);
+        assert_eq!(Counter::ALL[0].abbrev(), "RT_FLIT_TOT");
+        assert_eq!(Counter::ALL[12].abbrev(), "PT_RB_2X_USG");
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn abbreviations_and_full_names_unique() {
+        let mut abbrevs: Vec<_> = Counter::ALL.iter().map(|c| c.abbrev()).collect();
+        abbrevs.sort_unstable();
+        abbrevs.dedup();
+        assert_eq!(abbrevs.len(), 13);
+        let mut names: Vec<_> = Counter::ALL.iter().map(|c| c.full_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 13);
+    }
+
+    #[test]
+    fn derived_counters_match_paper() {
+        let derived: Vec<_> =
+            Counter::ALL.iter().filter(|c| c.is_derived()).map(|c| c.abbrev()).collect();
+        assert_eq!(derived, vec!["RT_FLIT_TOT", "RT_PKT_TOT", "PT_FLIT_TOT"]);
+    }
+
+    #[test]
+    fn router_tile_split() {
+        let rt: Vec<_> =
+            Counter::ALL.iter().filter(|c| c.is_router_tile()).map(|c| c.abbrev()).collect();
+        assert_eq!(rt.len(), 4);
+        assert!(rt.iter().all(|a| a.starts_with("RT_")));
+        assert!(Counter::ALL
+            .iter()
+            .filter(|c| !c.is_router_tile())
+            .all(|c| c.abbrev().starts_with("PT_")));
+    }
+
+    #[test]
+    fn pt_flit_tot_is_vc0_plus_vc4() {
+        let stats = TileStats { pt_flit_vc0: 3.0, pt_flit_vc4: 4.0, ..Default::default() };
+        let snap = CounterSnapshot::from_stats(&stats);
+        assert_eq!(snap.get(Counter::PtFlitTot), 7.0);
+        assert_eq!(snap.get(Counter::PtFlitVc0), 3.0);
+        assert_eq!(snap.get(Counter::PtFlitVc4), 4.0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_every_field() {
+        let stats = TileStats {
+            rt_flit_tot: 1.0,
+            rt_pkt_tot: 2.0,
+            rt_rb_stl: 3.0,
+            rt_rb_2x_usg: 4.0,
+            pt_flit_vc0: 5.0,
+            pt_flit_vc4: 6.0,
+            pt_pkt_tot: 7.0,
+            pt_rb_stl_rq: 8.0,
+            pt_rb_stl_rs: 9.0,
+            pt_rb_2x_usg: 10.0,
+            pt_cb_stl_rq: 11.0,
+            pt_cb_stl_rs: 12.0,
+        };
+        let snap = CounterSnapshot::from_stats(&stats);
+        assert_eq!(snap.get(Counter::RtFlitTot), 1.0);
+        assert_eq!(snap.get(Counter::RtRbStl), 3.0);
+        assert_eq!(snap.get(Counter::PtCbStlRs), 12.0);
+        assert_eq!(snap.get(Counter::PtRbStlRq), 8.0);
+    }
+}

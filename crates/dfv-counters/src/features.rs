@@ -1,0 +1,119 @@
+//! Feature-vector registry for the ML analyses.
+//!
+//! The forecasting study (Section V-C) builds models from nested feature
+//! groups: the job's own counters (**app**), the placement fragmentation
+//! features (**placement**: `NUM_ROUTERS`, `NUM_GROUPS`), the I/O router
+//! aggregates (**io**) and the rest-of-system aggregates (**sys**). This
+//! module fixes the order and names of those features once, so every model,
+//! figure and table indexes them identically. The full 23-feature vector is
+//! exactly the x-axis of Figure 11 (right).
+
+use crate::counter::Counter;
+use crate::ldms::LDMS_COUNTERS;
+use serde::{Deserialize, Serialize};
+
+/// Which nested feature group a model uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FeatureSet {
+    /// Job-local counters only (13 features).
+    App,
+    /// App + `NUM_ROUTERS`/`NUM_GROUPS` (15 features).
+    AppPlacement,
+    /// App + placement + I/O router aggregates (19 features).
+    AppPlacementIo,
+    /// App + placement + io + rest-of-system aggregates (23 features).
+    AppPlacementIoSys,
+}
+
+impl FeatureSet {
+    /// All feature sets, from smallest to largest.
+    pub const ALL: [FeatureSet; 4] = [
+        FeatureSet::App,
+        FeatureSet::AppPlacement,
+        FeatureSet::AppPlacementIo,
+        FeatureSet::AppPlacementIoSys,
+    ];
+
+    /// Number of features in this set.
+    pub fn len(self) -> usize {
+        match self {
+            FeatureSet::App => Counter::COUNT,
+            FeatureSet::AppPlacement => Counter::COUNT + 2,
+            FeatureSet::AppPlacementIo => Counter::COUNT + 2 + 4,
+            FeatureSet::AppPlacementIoSys => Counter::COUNT + 2 + 4 + 4,
+        }
+    }
+
+    /// Never empty.
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// The feature names, in model/figure order.
+    pub fn names(self) -> Vec<String> {
+        let mut names: Vec<String> =
+            Counter::ALL.iter().map(|c| c.abbrev().to_string()).collect();
+        if self >= FeatureSet::AppPlacement {
+            names.push("NUM_ROUTERS".into());
+            names.push("NUM_GROUPS".into());
+        }
+        if self >= FeatureSet::AppPlacementIo {
+            names.extend(LDMS_COUNTERS.iter().map(|c| format!("IO_{}", c.abbrev())));
+        }
+        if self >= FeatureSet::AppPlacementIoSys {
+            names.extend(LDMS_COUNTERS.iter().map(|c| format!("SYS_{}", c.abbrev())));
+        }
+        names
+    }
+
+    /// Short label used in figures ("app", "app + placement", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureSet::App => "app",
+            FeatureSet::AppPlacement => "app + placement",
+            FeatureSet::AppPlacementIo => "app + placement + io",
+            FeatureSet::AppPlacementIoSys => "app + placement + io + sys",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_match_paper_feature_counts() {
+        assert_eq!(FeatureSet::App.len(), 13);
+        assert_eq!(FeatureSet::AppPlacement.len(), 15);
+        assert_eq!(FeatureSet::AppPlacementIo.len(), 19);
+        assert_eq!(FeatureSet::AppPlacementIoSys.len(), 23);
+    }
+
+    #[test]
+    fn names_are_prefixes_of_each_other() {
+        let full = FeatureSet::AppPlacementIoSys.names();
+        for set in FeatureSet::ALL {
+            let names = set.names();
+            assert_eq!(names.len(), set.len());
+            assert_eq!(&full[..names.len()], &names[..], "{:?}", set);
+        }
+    }
+
+    #[test]
+    fn full_vector_matches_figure_11_axis() {
+        let names = FeatureSet::AppPlacementIoSys.names();
+        assert_eq!(names[0], "RT_FLIT_TOT");
+        assert_eq!(names[13], "NUM_ROUTERS");
+        assert_eq!(names[14], "NUM_GROUPS");
+        assert_eq!(names[15], "IO_RT_FLIT_TOT");
+        assert_eq!(names[18], "IO_PT_PKT_TOT");
+        assert_eq!(names[19], "SYS_RT_FLIT_TOT");
+        assert_eq!(names[22], "SYS_PT_PKT_TOT");
+    }
+
+    #[test]
+    fn labels_match_figure_legends() {
+        assert_eq!(FeatureSet::App.label(), "app");
+        assert_eq!(FeatureSet::AppPlacementIoSys.label(), "app + placement + io + sys");
+    }
+}

@@ -1,0 +1,239 @@
+//! LDMS-style system-wide counter collection.
+//!
+//! LDMS samples counters on *all* routers of the machine, which the paper
+//! aggregates into two extra feature groups (Section V-C):
+//!
+//! * **io** — the four counters below read on routers whose nodes are I/O
+//!   nodes (the routers that connect to the filesystem);
+//! * **sys** — the same counters read on all routers that share no nodes
+//!   with the monitored job.
+//!
+//! The four counters are `RT_FLIT_TOT`, `RT_RB_STL`, `PT_FLIT_TOT` and
+//! `PT_PKT_TOT`, matching the `IO_*`/`SYS_*` feature names of Figure 11.
+
+use crate::counter::Counter;
+use dfv_dragonfly::ids::{Idx, NodeId, RouterId};
+use dfv_dragonfly::telemetry::StepTelemetry;
+use dfv_dragonfly::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// The role of the nodes attached to a router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeRole {
+    /// Ordinary compute node, schedulable by jobs.
+    Compute,
+    /// I/O node bridging to the filesystem.
+    Io,
+}
+
+/// The counters LDMS aggregates for the io/sys feature groups, in the order
+/// the features appear in Figure 11.
+pub const LDMS_COUNTERS: [Counter; 4] =
+    [Counter::RtFlitTot, Counter::RtRbStl, Counter::PtFlitTot, Counter::PtPktTot];
+
+/// Assignment of roles to the machine's routers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemLayout {
+    /// `roles[r]` is the role of all nodes attached to router `r`.
+    roles: Vec<NodeRole>,
+}
+
+impl SystemLayout {
+    /// Designate every `io_stride`-th router as an I/O router (roughly how
+    /// Cori places LNET routers throughout the fabric). `io_stride == 0`
+    /// yields an all-compute machine.
+    pub fn with_io_stride(topo: &Topology, io_stride: usize) -> Self {
+        let roles = (0..topo.num_routers())
+            .map(|r| {
+                if io_stride > 0 && r % io_stride == io_stride - 1 {
+                    NodeRole::Io
+                } else {
+                    NodeRole::Compute
+                }
+            })
+            .collect();
+        SystemLayout { roles }
+    }
+
+    /// Role of a router.
+    pub fn role(&self, r: RouterId) -> NodeRole {
+        self.roles[r.index()]
+    }
+
+    /// Role of a node (the role of its router).
+    pub fn node_role(&self, topo: &Topology, n: NodeId) -> NodeRole {
+        self.role(topo.router_of_node(n))
+    }
+
+    /// All I/O routers.
+    pub fn io_routers(&self) -> Vec<RouterId> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter(|(_, &role)| role == NodeRole::Io)
+            .map(|(i, _)| RouterId::from_index(i))
+            .collect()
+    }
+
+    /// All compute routers.
+    pub fn compute_routers(&self) -> Vec<RouterId> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter(|(_, &role)| role == NodeRole::Compute)
+            .map(|(i, _)| RouterId::from_index(i))
+            .collect()
+    }
+
+    /// All compute nodes, in id order.
+    pub fn compute_nodes(&self, topo: &Topology) -> Vec<NodeId> {
+        self.compute_routers(/* I/O nodes are never schedulable */)
+            .iter()
+            .flat_map(|&r| topo.nodes_of_router(r))
+            .collect()
+    }
+
+    /// Number of I/O routers.
+    pub fn num_io_routers(&self) -> usize {
+        self.roles.iter().filter(|&&r| r == NodeRole::Io).count()
+    }
+}
+
+/// One LDMS reading: the four aggregate counters for a router set.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LdmsReading {
+    /// Aggregate `RT_FLIT_TOT`.
+    pub rt_flit_tot: f64,
+    /// Aggregate `RT_RB_STL`.
+    pub rt_rb_stl: f64,
+    /// Aggregate `PT_FLIT_TOT`.
+    pub pt_flit_tot: f64,
+    /// Aggregate `PT_PKT_TOT`.
+    pub pt_pkt_tot: f64,
+}
+
+impl LdmsReading {
+    /// The reading as a feature slice in [`LDMS_COUNTERS`] order.
+    pub fn as_array(&self) -> [f64; 4] {
+        [self.rt_flit_tot, self.rt_rb_stl, self.pt_flit_tot, self.pt_pkt_tot]
+    }
+}
+
+/// System-wide sampler producing the io and sys feature groups.
+#[derive(Debug, Clone)]
+pub struct LdmsSampler {
+    layout: SystemLayout,
+}
+
+impl LdmsSampler {
+    /// Sampler over a system layout.
+    pub fn new(layout: SystemLayout) -> Self {
+        LdmsSampler { layout }
+    }
+
+    /// The layout in use.
+    pub fn layout(&self) -> &SystemLayout {
+        &self.layout
+    }
+
+    fn aggregate(telemetry: &StepTelemetry, routers: impl Iterator<Item = usize>) -> LdmsReading {
+        let stats = telemetry.aggregate(routers);
+        LdmsReading {
+            rt_flit_tot: stats.rt_flit_tot,
+            rt_rb_stl: stats.rt_rb_stl,
+            pt_flit_tot: stats.pt_flit_tot(),
+            pt_pkt_tot: stats.pt_pkt_tot,
+        }
+    }
+
+    /// The io feature group: counters aggregated over I/O routers.
+    pub fn read_io(&self, telemetry: &StepTelemetry) -> LdmsReading {
+        Self::aggregate(telemetry, self.layout.io_routers().iter().map(|r| r.index()))
+    }
+
+    /// The sys feature group: counters aggregated over all routers that
+    /// share no nodes with the monitored job (whose routers are given).
+    pub fn read_sys(&self, telemetry: &StepTelemetry, job_routers: &[RouterId]) -> LdmsReading {
+        let mut is_job = vec![false; telemetry.num_routers()];
+        for r in job_routers {
+            is_job[r.index()] = true;
+        }
+        Self::aggregate(telemetry, (0..telemetry.num_routers()).filter(|&r| !is_job[r]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfv_dragonfly::config::DragonflyConfig;
+
+    fn topo() -> Topology {
+        Topology::new(DragonflyConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn io_stride_designates_expected_routers() {
+        let t = topo();
+        let layout = SystemLayout::with_io_stride(&t, 8);
+        assert_eq!(layout.num_io_routers(), t.num_routers() / 8);
+        assert_eq!(layout.role(RouterId(7)), NodeRole::Io);
+        assert_eq!(layout.role(RouterId(0)), NodeRole::Compute);
+        assert_eq!(
+            layout.compute_routers().len() + layout.num_io_routers(),
+            t.num_routers()
+        );
+    }
+
+    #[test]
+    fn zero_stride_means_all_compute() {
+        let t = topo();
+        let layout = SystemLayout::with_io_stride(&t, 0);
+        assert_eq!(layout.num_io_routers(), 0);
+        assert_eq!(layout.compute_nodes(&t).len(), t.num_nodes());
+    }
+
+    #[test]
+    fn io_reading_only_counts_io_routers() {
+        let t = topo();
+        let layout = SystemLayout::with_io_stride(&t, 8);
+        let sampler = LdmsSampler::new(layout);
+        let mut tel = StepTelemetry::new(t.num_routers());
+        tel.router_mut(7).rt_flit_tot = 10.0; // io router
+        tel.router_mut(0).rt_flit_tot = 999.0; // compute router
+        let io = sampler.read_io(&tel);
+        assert_eq!(io.rt_flit_tot, 10.0);
+    }
+
+    #[test]
+    fn sys_reading_excludes_job_routers() {
+        let t = topo();
+        let sampler = LdmsSampler::new(SystemLayout::with_io_stride(&t, 8));
+        let mut tel = StepTelemetry::new(t.num_routers());
+        tel.router_mut(0).pt_pkt_tot = 1.0;
+        tel.router_mut(1).pt_pkt_tot = 2.0;
+        tel.router_mut(2).pt_pkt_tot = 4.0;
+        let sys = sampler.read_sys(&tel, &[RouterId(1)]);
+        assert_eq!(sys.pt_pkt_tot, 5.0);
+    }
+
+    #[test]
+    fn ldms_counters_match_figure_11_names() {
+        let names: Vec<_> = LDMS_COUNTERS.iter().map(|c| c.abbrev()).collect();
+        assert_eq!(names, vec!["RT_FLIT_TOT", "RT_RB_STL", "PT_FLIT_TOT", "PT_PKT_TOT"]);
+    }
+
+    #[test]
+    fn reading_as_array_orders_like_ldms_counters() {
+        let r = LdmsReading { rt_flit_tot: 1.0, rt_rb_stl: 2.0, pt_flit_tot: 3.0, pt_pkt_tot: 4.0 };
+        assert_eq!(r.as_array(), [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn node_role_follows_router_role() {
+        let t = topo();
+        let layout = SystemLayout::with_io_stride(&t, 4);
+        let io_router = RouterId(3);
+        let n = t.nodes_of_router(io_router).next().unwrap();
+        assert_eq!(layout.node_role(&t, n), NodeRole::Io);
+    }
+}

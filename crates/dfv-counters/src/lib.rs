@@ -1,0 +1,20 @@
+//! # dfv-counters
+//!
+//! The observability layer of the reproduction: the thirteen Aries network
+//! hardware performance counters of Table II ([`counter::Counter`]),
+//! job-scoped AriesNCL-style collection ([`session::AriesSession`]),
+//! LDMS-style system-wide sampling with the io/sys aggregates of Section V-C
+//! ([`ldms`]), and the fixed feature-vector registry the ML analyses index
+//! ([`features::FeatureSet`]).
+
+pub mod bank;
+pub mod counter;
+pub mod features;
+pub mod ldms;
+pub mod session;
+
+pub use bank::{CounterBank, RawSnapshot, COUNTER_BITS};
+pub use counter::{Counter, CounterSnapshot};
+pub use features::FeatureSet;
+pub use ldms::{LdmsReading, LdmsSampler, NodeRole, SystemLayout, LDMS_COUNTERS};
+pub use session::AriesSession;

@@ -1,0 +1,79 @@
+//! Job-scoped counter collection, mirroring AriesNCL/PAPI.
+//!
+//! Real users "may only collect counters for routers that are directly
+//! connected to the nodes allocated to a job" (Section III-C). An
+//! [`AriesSession`] enforces the same restriction: it is constructed from a
+//! job's [`Placement`] and reads only the job's routers out of the machine
+//! telemetry.
+
+use crate::counter::CounterSnapshot;
+use dfv_dragonfly::ids::{Idx, RouterId};
+use dfv_dragonfly::placement::Placement;
+use dfv_dragonfly::telemetry::StepTelemetry;
+use dfv_dragonfly::topology::Topology;
+
+/// A counter-collection session attached to one job's routers.
+#[derive(Debug, Clone)]
+pub struct AriesSession {
+    routers: Vec<RouterId>,
+}
+
+impl AriesSession {
+    /// Attach to the routers of a job placement.
+    pub fn attach(topo: &Topology, placement: &Placement) -> Self {
+        AriesSession { routers: placement.routers(topo) }
+    }
+
+    /// The routers this session may observe.
+    pub fn routers(&self) -> &[RouterId] {
+        &self.routers
+    }
+
+    /// Read the per-step counter deltas: the sum over the job's routers of
+    /// each Table II counter, exactly what AriesNCL reports per iteration.
+    pub fn read(&self, telemetry: &StepTelemetry) -> CounterSnapshot {
+        let stats = telemetry.aggregate(self.routers.iter().map(|r| r.index()));
+        CounterSnapshot::from_stats(&stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::Counter;
+    use dfv_dragonfly::config::DragonflyConfig;
+    use dfv_dragonfly::ids::NodeId;
+
+    #[test]
+    fn session_only_sees_its_own_routers() {
+        let topo = Topology::new(DragonflyConfig::small()).unwrap();
+        let k = topo.config().nodes_per_router as u32;
+        // Job on router 0's nodes only.
+        let placement = Placement::new((0..k).map(NodeId).collect());
+        let session = AriesSession::attach(&topo, &placement);
+        assert_eq!(session.routers(), &[RouterId(0)]);
+
+        let mut tel = StepTelemetry::new(topo.num_routers());
+        tel.router_mut(0).rt_flit_tot = 5.0;
+        tel.router_mut(1).rt_flit_tot = 1000.0; // someone else's router
+        let snap = session.read(&tel);
+        assert_eq!(snap.get(Counter::RtFlitTot), 5.0);
+    }
+
+    #[test]
+    fn session_aggregates_across_job_routers() {
+        let topo = Topology::new(DragonflyConfig::small()).unwrap();
+        let k = topo.config().nodes_per_router as u32;
+        // One node on each of routers 0 and 2.
+        let placement = Placement::new(vec![NodeId(0), NodeId(2 * k)]);
+        let session = AriesSession::attach(&topo, &placement);
+        assert_eq!(session.routers().len(), 2);
+
+        let mut tel = StepTelemetry::new(topo.num_routers());
+        tel.router_mut(0).pt_rb_stl_rq = 3.0;
+        tel.router_mut(2).pt_rb_stl_rq = 4.0;
+        tel.router_mut(1).pt_rb_stl_rq = 99.0;
+        let snap = session.read(&tel);
+        assert_eq!(snap.get(Counter::PtRbStlRq), 7.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Configuration of a Cray XC style dragonfly machine.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters describing a Cray XC dragonfly installation.
+///
+/// The defaults follow the Aries router and the Cori layout described in the
+/// paper: each group is a 6-row by 16-column grid of 96 routers; the sixteen
+/// routers of a row are connected all-to-all by *green* links, the six routers
+/// of a column all-to-all by *black* links (three physical lanes per black
+/// pair on real hardware, folded into the black bandwidth multiplier here),
+/// and each router contributes ten *blue* optical ports used for inter-group
+/// global links. Four nodes attach to each router.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DragonflyConfig {
+    /// Number of dragonfly groups (Cori: 34).
+    pub num_groups: usize,
+    /// Routers per row of the group grid (Cray XC: 16, connected by green links).
+    pub routers_per_row: usize,
+    /// Rows in the group grid (Cray XC: 6, columns connected by black links).
+    pub rows: usize,
+    /// Nodes attached to each router (Cray XC: 4).
+    pub nodes_per_router: usize,
+    /// Blue/global ports per router (Aries: 10).
+    pub global_ports_per_router: usize,
+    /// Bandwidth of one green (row) link, bytes per second per direction.
+    pub green_bandwidth: f64,
+    /// Bandwidth of one black (column) link pair, bytes per second per
+    /// direction. Real XC cables three lanes per column pair; that
+    /// multiplicity is included here.
+    pub black_bandwidth: f64,
+    /// Bandwidth of one blue (global) link, bytes per second per direction.
+    pub global_bandwidth: f64,
+    /// Injection/ejection bandwidth of one NIC (processor-tile side),
+    /// bytes per second per direction.
+    pub nic_bandwidth: f64,
+    /// Maximum message rate a NIC sustains, messages per second. Small-message
+    /// workloads (AMG) saturate this before they saturate `nic_bandwidth`.
+    pub nic_message_rate: f64,
+    /// Aggregate processor-tile (row/column bus) bandwidth of one router,
+    /// bytes per second per direction. The four NICs of a router share this;
+    /// when it is below `nodes_per_router * nic_bandwidth`, co-located jobs
+    /// contend at the end point even though nodes are not shared.
+    pub pt_bus_bandwidth: f64,
+    /// Aggregate message rate the processor tiles of one router sustain,
+    /// messages per second.
+    pub pt_bus_message_rate: f64,
+    /// Per-hop latency in seconds (router traversal + wire).
+    pub hop_latency: f64,
+    /// Router clock frequency in Hz; used to convert time spent contending
+    /// into stall *cycles* as hardware counters report them.
+    pub router_clock_hz: f64,
+    /// Flit size in bytes used to convert traffic volume into flit counts.
+    pub flit_bytes: f64,
+    /// Maximum packet payload in bytes, used to derive packet counts.
+    pub packet_bytes: f64,
+}
+
+impl DragonflyConfig {
+    /// Configuration of Cori, the Cray XC40 at NERSC used in the paper:
+    /// 34 groups, 3264 routers and 13 056 nodes.
+    pub fn cori() -> Self {
+        Self {
+            num_groups: 34,
+            routers_per_row: 16,
+            rows: 6,
+            nodes_per_router: 4,
+            global_ports_per_router: 10,
+            // Aries link rates (approximate published figures, bytes/s).
+            green_bandwidth: 5.25e9,
+            black_bandwidth: 3.0 * 5.25e9,
+            global_bandwidth: 4.7e9,
+            nic_bandwidth: 10.0e9,
+            nic_message_rate: 2.0e7,
+            pt_bus_bandwidth: 1.2 * 10.0e9,
+            pt_bus_message_rate: 2.4 * 2.0e7,
+            hop_latency: 1.0e-7,
+            router_clock_hz: 1.2e9,
+            flit_bytes: 16.0,
+            packet_bytes: 64.0,
+        }
+    }
+
+    /// A small machine (4 groups of 2x4 routers) for fast unit tests and
+    /// examples. Keeps the same relative bandwidths as [`Self::cori`].
+    pub fn small() -> Self {
+        Self {
+            num_groups: 4,
+            routers_per_row: 4,
+            rows: 2,
+            nodes_per_router: 4,
+            global_ports_per_router: 2,
+            ..Self::cori()
+        }
+    }
+
+    /// A medium machine (8 groups of 4x8 routers, 1024 nodes) used by the
+    /// campaign when a full Cori would be needlessly slow.
+    pub fn medium() -> Self {
+        Self {
+            num_groups: 8,
+            routers_per_row: 8,
+            rows: 4,
+            nodes_per_router: 4,
+            global_ports_per_router: 4,
+            ..Self::cori()
+        }
+    }
+
+    /// Routers in one group.
+    pub fn routers_per_group(&self) -> usize {
+        self.routers_per_row * self.rows
+    }
+
+    /// Total routers in the machine.
+    pub fn total_routers(&self) -> usize {
+        self.routers_per_group() * self.num_groups
+    }
+
+    /// Total nodes in the machine.
+    pub fn total_nodes(&self) -> usize {
+        self.total_routers() * self.nodes_per_router
+    }
+
+    /// Global link *bundles* between every ordered pair of distinct groups.
+    ///
+    /// A group exposes `routers_per_group * global_ports_per_router` blue
+    /// ports which are spread evenly over the `num_groups - 1` peer groups;
+    /// the remainder ports are left unused, matching how real installations
+    /// leave spare optical ports. Returns the number of physical links
+    /// aggregated into each group-pair bundle (at least 1).
+    pub fn global_links_per_group_pair(&self) -> usize {
+        if self.num_groups <= 1 {
+            return 0;
+        }
+        let ports = self.routers_per_group() * self.global_ports_per_router;
+        (ports / (self.num_groups - 1)).max(1)
+    }
+
+    /// Validate structural invariants; returns a description of the first
+    /// violated invariant, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_groups == 0 {
+            return Err("num_groups must be >= 1".into());
+        }
+        if self.routers_per_row < 2 || self.rows < 2 {
+            return Err("group grid must be at least 2x2".into());
+        }
+        if self.nodes_per_router == 0 {
+            return Err("nodes_per_router must be >= 1".into());
+        }
+        if self.num_groups > 1 && self.global_ports_per_router == 0 {
+            return Err("multi-group machines need global ports".into());
+        }
+        for (name, v) in [
+            ("green_bandwidth", self.green_bandwidth),
+            ("black_bandwidth", self.black_bandwidth),
+            ("global_bandwidth", self.global_bandwidth),
+            ("nic_bandwidth", self.nic_bandwidth),
+            ("nic_message_rate", self.nic_message_rate),
+            ("pt_bus_bandwidth", self.pt_bus_bandwidth),
+            ("pt_bus_message_rate", self.pt_bus_message_rate),
+            ("router_clock_hz", self.router_clock_hz),
+            ("flit_bytes", self.flit_bytes),
+            ("packet_bytes", self.packet_bytes),
+        ] {
+            if v.is_nan() || v <= 0.0 {
+                return Err(format!("{name} must be positive"));
+            }
+        }
+        if self.hop_latency < 0.0 {
+            return Err("hop_latency must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for DragonflyConfig {
+    fn default() -> Self {
+        Self::cori()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cori_dimensions_match_paper() {
+        let c = DragonflyConfig::cori();
+        assert_eq!(c.num_groups, 34);
+        assert_eq!(c.routers_per_group(), 96);
+        assert_eq!(c.total_routers(), 34 * 96);
+        assert_eq!(c.total_nodes(), 34 * 96 * 4);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn small_and_medium_validate() {
+        DragonflyConfig::small().validate().unwrap();
+        DragonflyConfig::medium().validate().unwrap();
+    }
+
+    #[test]
+    fn global_link_distribution_cori() {
+        let c = DragonflyConfig::cori();
+        // 96 routers x 10 ports = 960 ports over 33 peers -> 29 links/pair.
+        assert_eq!(c.global_links_per_group_pair(), 29);
+    }
+
+    #[test]
+    fn global_links_at_least_one_when_ports_scarce() {
+        let mut c = DragonflyConfig::small();
+        c.num_groups = 64;
+        c.global_ports_per_router = 1;
+        assert!(c.global_links_per_group_pair() >= 1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = DragonflyConfig::small();
+        c.num_groups = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = DragonflyConfig::small();
+        c.rows = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = DragonflyConfig::small();
+        c.green_bandwidth = 0.0;
+        assert!(c.validate().is_err());
+
+        let mut c = DragonflyConfig::small();
+        c.global_ports_per_router = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn single_group_machine_is_valid_without_global_ports() {
+        let mut c = DragonflyConfig::small();
+        c.num_groups = 1;
+        c.global_ports_per_router = 0;
+        c.validate().unwrap();
+        assert_eq!(c.global_links_per_group_pair(), 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Strongly-typed identifiers for topology entities.
+//!
+//! All identifiers are dense indices into the corresponding tables owned by
+//! [`crate::topology::Topology`], so they are cheap to copy and can be used
+//! directly as `Vec` indices via [`Idx::index`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Common behaviour of dense index newtypes.
+pub trait Idx: Copy + Eq {
+    /// The dense index as `usize`, suitable for indexing topology tables.
+    fn index(self) -> usize;
+    /// Construct from a dense index.
+    fn from_index(i: usize) -> Self;
+}
+
+macro_rules! idx_newtype {
+    ($(#[$meta:meta])* $name:ident, $repr:ty, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        pub struct $name(pub $repr);
+
+        impl Idx for $name {
+            #[inline]
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+            #[inline]
+            fn from_index(i: usize) -> Self {
+                $name(i as $repr)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+idx_newtype!(
+    /// A compute or service node. Nodes attach to routers through NICs
+    /// (processor tiles); Cray XC attaches four nodes per Aries router.
+    NodeId,
+    u32,
+    "n"
+);
+
+idx_newtype!(
+    /// An Aries router. Routers are numbered densely, group by group, in
+    /// row-major order within each group's 6-row by 16-column grid.
+    RouterId,
+    u32,
+    "r"
+);
+
+idx_newtype!(
+    /// A dragonfly group (an electrical group of 96 routers on Cray XC).
+    GroupId,
+    u16,
+    "g"
+);
+
+idx_newtype!(
+    /// A *directed* channel of a physical link. Every physical link
+    /// contributes two `ChannelId`s, one per direction. Multiplicity
+    /// (e.g. the three black links between a column pair) is folded into
+    /// the channel's bandwidth rather than modeled as separate channels.
+    ChannelId,
+    u32,
+    "c"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        assert_eq!(NodeId::from_index(42).index(), 42);
+        assert_eq!(RouterId::from_index(7).index(), 7);
+        assert_eq!(GroupId::from_index(3).index(), 3);
+        assert_eq!(ChannelId::from_index(123).index(), 123);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(NodeId(5).to_string(), "n5");
+        assert_eq!(RouterId(5).to_string(), "r5");
+        assert_eq!(GroupId(5).to_string(), "g5");
+        assert_eq!(ChannelId(5).to_string(), "c5");
+        assert_eq!(format!("{:?}", RouterId(9)), "r9");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(RouterId(0) < RouterId(100));
+    }
+}

@@ -1,0 +1,53 @@
+//! # dfv-dragonfly
+//!
+//! A Cray XC style dragonfly network substrate: topology (Figure 2 of the
+//! paper), minimal/Valiant/adaptive routing, a flow-level congestion model,
+//! per-router tile telemetry, and job placement with the paper's
+//! fragmentation features.
+//!
+//! This crate is the hardware the reproduction "runs on". The
+//! `dfv-counters` crate exposes the telemetry as named Aries counters and
+//! `dfv-workloads` generates the application traffic the simulator routes.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use dfv_dragonfly::{
+//!     config::DragonflyConfig,
+//!     network::{BackgroundTraffic, NetworkSim, SimScratch},
+//!     topology::Topology,
+//!     traffic::Traffic,
+//!     ids::NodeId,
+//! };
+//!
+//! let topo = Topology::new(DragonflyConfig::small()).unwrap();
+//! let sim = NetworkSim::new(&topo);
+//! let mut traffic = Traffic::new();
+//! traffic.push(NodeId(0), NodeId(40), 1.0e6, 16.0);
+//! let background = BackgroundTraffic::zero(&topo);
+//! let mut scratch = SimScratch::new(&topo);
+//! let out = sim.simulate_step(&traffic, &background, 42, &mut scratch);
+//! assert!(out.comm_time > 0.0);
+//! ```
+
+pub mod config;
+pub mod ids;
+pub mod load;
+pub mod network;
+pub mod placement;
+pub mod routing;
+pub mod stats;
+pub mod telemetry;
+pub mod topology;
+pub mod traffic;
+
+pub use config::DragonflyConfig;
+pub use ids::{ChannelId, GroupId, NodeId, RouterId};
+pub use load::ChannelLoads;
+pub use network::{BackgroundTraffic, CongestionParams, NetworkSim, SimScratch, StepOutcome};
+pub use placement::{allocate, AllocationPolicy, Placement};
+pub use routing::{Route, RoutingPolicy};
+pub use stats::{load_report, LoadReport};
+pub use telemetry::{StepTelemetry, TileStats};
+pub use topology::{LinkClass, Topology};
+pub use traffic::{Flow, Traffic};

@@ -1,0 +1,163 @@
+//! Per-channel load bookkeeping.
+//!
+//! A [`ChannelLoads`] stores, for every directed channel of a topology, the
+//! number of bytes queued on it during the current simulation step. It is the
+//! quantity adaptive routing consults ("back pressure") and the quantity the
+//! congestion model turns into drain times and stall cycles.
+
+use crate::ids::{ChannelId, Idx};
+use crate::topology::Topology;
+
+/// Bytes queued per directed channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelLoads {
+    bytes: Vec<f64>,
+}
+
+impl ChannelLoads {
+    /// All-zero loads for a topology.
+    pub fn new(t: &Topology) -> Self {
+        ChannelLoads { bytes: vec![0.0; t.num_channels()] }
+    }
+
+    /// Number of channels tracked.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if no channels are tracked (never the case for a real topology).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Bytes currently queued on a channel.
+    #[inline]
+    pub fn get(&self, c: ChannelId) -> f64 {
+        self.bytes[c.index()]
+    }
+
+    /// Queue `bytes` more bytes on a channel.
+    #[inline]
+    pub fn add(&mut self, c: ChannelId, bytes: f64) {
+        self.bytes[c.index()] += bytes;
+    }
+
+    /// Reset every channel to zero without deallocating.
+    pub fn clear(&mut self) {
+        self.bytes.iter_mut().for_each(|b| *b = 0.0);
+    }
+
+    /// Add every channel of `other` into `self` (used to overlay background
+    /// traffic onto a job's own loads).
+    pub fn merge(&mut self, other: &ChannelLoads) {
+        assert_eq!(self.bytes.len(), other.bytes.len(), "topology mismatch");
+        for (a, b) in self.bytes.iter_mut().zip(&other.bytes) {
+            *a += *b;
+        }
+    }
+
+    /// Add `factor * other` into `self` (negative factors subtract, used to
+    /// retire a finished job's contribution from a standing background sum).
+    pub fn add_scaled(&mut self, other: &ChannelLoads, factor: f64) {
+        assert_eq!(self.bytes.len(), other.bytes.len(), "topology mismatch");
+        for (a, b) in self.bytes.iter_mut().zip(&other.bytes) {
+            *a = (*a + factor * b).max(0.0);
+        }
+    }
+
+    /// Multiply every load by `factor` (used to scale a cached background
+    /// pattern to a different traffic intensity).
+    pub fn scale(&mut self, factor: f64) {
+        self.bytes.iter_mut().for_each(|b| *b *= factor);
+    }
+
+    /// Time to drain a channel at its configured bandwidth, in seconds.
+    #[inline]
+    pub fn drain_time(&self, t: &Topology, c: ChannelId) -> f64 {
+        self.get(c) / t.channel_info(c).bandwidth
+    }
+
+    /// Total bytes over all channels.
+    pub fn total_bytes(&self) -> f64 {
+        self.bytes.iter().sum()
+    }
+
+    /// The maximum drain time over all channels, i.e. the system bottleneck.
+    pub fn max_drain_time(&self, t: &Topology) -> f64 {
+        self.bytes
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| b / t.channel_info(ChannelId::from_index(i)).bandwidth)
+            .fold(0.0, f64::max)
+    }
+
+    /// Iterate over `(channel, bytes)` pairs with non-zero load.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (ChannelId, f64)> + '_ {
+        self.bytes
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b > 0.0)
+            .map(|(i, &b)| (ChannelId::from_index(i), b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DragonflyConfig;
+
+    fn topo() -> Topology {
+        Topology::new(DragonflyConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn add_get_clear() {
+        let t = topo();
+        let mut l = ChannelLoads::new(&t);
+        let c = ChannelId(3);
+        assert_eq!(l.get(c), 0.0);
+        l.add(c, 100.0);
+        l.add(c, 50.0);
+        assert_eq!(l.get(c), 150.0);
+        assert_eq!(l.total_bytes(), 150.0);
+        l.clear();
+        assert_eq!(l.get(c), 0.0);
+        assert_eq!(l.len(), t.num_channels());
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let t = topo();
+        let mut a = ChannelLoads::new(&t);
+        let mut b = ChannelLoads::new(&t);
+        a.add(ChannelId(0), 10.0);
+        b.add(ChannelId(0), 5.0);
+        b.add(ChannelId(1), 7.0);
+        a.merge(&b);
+        assert_eq!(a.get(ChannelId(0)), 15.0);
+        assert_eq!(a.get(ChannelId(1)), 7.0);
+        a.scale(2.0);
+        assert_eq!(a.get(ChannelId(0)), 30.0);
+    }
+
+    #[test]
+    fn drain_time_uses_bandwidth() {
+        let t = topo();
+        let mut l = ChannelLoads::new(&t);
+        let c = ChannelId(0);
+        let bw = t.channel_info(c).bandwidth;
+        l.add(c, bw); // exactly one second worth of traffic
+        assert!((l.drain_time(&t, c) - 1.0).abs() < 1e-12);
+        assert!((l.max_drain_time(&t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_nonzero_only_visits_loaded_channels() {
+        let t = topo();
+        let mut l = ChannelLoads::new(&t);
+        l.add(ChannelId(2), 1.0);
+        l.add(ChannelId(9), 2.0);
+        let items: Vec<_> = l.iter_nonzero().collect();
+        assert_eq!(items, vec![(ChannelId(2), 1.0), (ChannelId(9), 2.0)]);
+    }
+}

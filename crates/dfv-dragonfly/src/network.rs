@@ -1,0 +1,880 @@
+//! Flow-level congestion model.
+//!
+//! One application *step* is simulated as follows:
+//!
+//! 1. every node-to-node flow of the step is routed (adaptively, by default)
+//!    against the back pressure of already-routed flows plus the standing
+//!    background traffic of the rest of the machine;
+//! 2. assuming all flows of the step start together and links are shared
+//!    fairly, the completion time of a flow is the maximum *drain time* over
+//!    the channels of its path — job bytes divided by the bandwidth left
+//!    over by background traffic — plus NIC injection/ejection terms (both
+//!    byte bandwidth and message rate) and per-hop latency;
+//! 3. the step's communication time is the maximum flow completion time
+//!    (bulk-synchronous steps end at the slowest message, which matches the
+//!    Waitall-dominated applications of the paper);
+//! 4. hardware-counter telemetry for *every* router is derived from channel
+//!    utilization over the step window: flits/packets from traffic volume
+//!    and stall cycles as a convex function of utilization, mirroring how
+//!    real stall counters explode under contention.
+//!
+//! Background traffic is expressed in bytes (and messages) *per second* so
+//! the fixed point "step takes longer, therefore more background traffic
+//! interferes during the step" has the closed-form solution of simply
+//! subtracting the background rate from the channel capacity.
+
+use crate::ids::{Idx, NodeId, RouterId};
+use crate::load::ChannelLoads;
+use crate::routing::{route_flow, Route, RoutingPolicy};
+use crate::telemetry::StepTelemetry;
+use crate::topology::Topology;
+use crate::traffic::Traffic;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Per-node NIC load bookkeeping (ingress = toward the node, egress = from
+/// the node into the network).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointLoads {
+    ingress_bytes: Vec<f64>,
+    egress_bytes: Vec<f64>,
+    ingress_msgs: Vec<f64>,
+    egress_msgs: Vec<f64>,
+}
+
+impl EndpointLoads {
+    /// All-zero loads for `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        EndpointLoads {
+            ingress_bytes: vec![0.0; num_nodes],
+            egress_bytes: vec![0.0; num_nodes],
+            ingress_msgs: vec![0.0; num_nodes],
+            egress_msgs: vec![0.0; num_nodes],
+        }
+    }
+
+    /// Record a flow of `bytes`/`msgs` from `src` to `dst`.
+    #[inline]
+    pub fn add_flow(&mut self, src: NodeId, dst: NodeId, bytes: f64, msgs: f64) {
+        self.egress_bytes[src.index()] += bytes;
+        self.egress_msgs[src.index()] += msgs;
+        self.ingress_bytes[dst.index()] += bytes;
+        self.ingress_msgs[dst.index()] += msgs;
+    }
+
+    /// Reset to zero without deallocating.
+    pub fn clear(&mut self) {
+        for v in [
+            &mut self.ingress_bytes,
+            &mut self.egress_bytes,
+            &mut self.ingress_msgs,
+            &mut self.egress_msgs,
+        ] {
+            v.iter_mut().for_each(|x| *x = 0.0);
+        }
+    }
+
+    /// Accumulate `other` into `self`.
+    pub fn merge(&mut self, other: &EndpointLoads) {
+        assert_eq!(self.ingress_bytes.len(), other.ingress_bytes.len());
+        let pairs = [
+            (&mut self.ingress_bytes, &other.ingress_bytes),
+            (&mut self.egress_bytes, &other.egress_bytes),
+            (&mut self.ingress_msgs, &other.ingress_msgs),
+            (&mut self.egress_msgs, &other.egress_msgs),
+        ];
+        for (a, b) in pairs {
+            for (x, y) in a.iter_mut().zip(b.iter()) {
+                *x += *y;
+            }
+        }
+    }
+
+    /// Scale all loads by `factor`.
+    pub fn scale(&mut self, factor: f64) {
+        for v in [
+            &mut self.ingress_bytes,
+            &mut self.egress_bytes,
+            &mut self.ingress_msgs,
+            &mut self.egress_msgs,
+        ] {
+            v.iter_mut().for_each(|x| *x *= factor);
+        }
+    }
+
+    /// Add `factor * other` into `self`, clamping at zero (negative factors
+    /// retire a finished job's contribution).
+    pub fn add_scaled(&mut self, other: &EndpointLoads, factor: f64) {
+        assert_eq!(self.ingress_bytes.len(), other.ingress_bytes.len());
+        let pairs = [
+            (&mut self.ingress_bytes, &other.ingress_bytes),
+            (&mut self.egress_bytes, &other.egress_bytes),
+            (&mut self.ingress_msgs, &other.ingress_msgs),
+            (&mut self.egress_msgs, &other.egress_msgs),
+        ];
+        for (a, b) in pairs {
+            for (x, y) in a.iter_mut().zip(b.iter()) {
+                *x = (*x + factor * y).max(0.0);
+            }
+        }
+    }
+
+    /// Bytes arriving at a node.
+    #[inline]
+    pub fn ingress_bytes(&self, n: NodeId) -> f64 {
+        self.ingress_bytes[n.index()]
+    }
+    /// Bytes leaving a node.
+    #[inline]
+    pub fn egress_bytes(&self, n: NodeId) -> f64 {
+        self.egress_bytes[n.index()]
+    }
+    /// Messages arriving at a node.
+    #[inline]
+    pub fn ingress_msgs(&self, n: NodeId) -> f64 {
+        self.ingress_msgs[n.index()]
+    }
+    /// Messages leaving a node.
+    #[inline]
+    pub fn egress_msgs(&self, n: NodeId) -> f64 {
+        self.egress_msgs[n.index()]
+    }
+
+    /// Number of nodes tracked.
+    pub fn num_nodes(&self) -> usize {
+        self.ingress_bytes.len()
+    }
+}
+
+/// The result of routing a [`Traffic`] through the network: per-channel bytes
+/// and per-node NIC loads. When describing *background* traffic, the same
+/// structure is interpreted as rates (bytes and messages per second).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedTraffic {
+    /// Bytes per directed channel.
+    pub channel_bytes: ChannelLoads,
+    /// NIC loads per node.
+    pub endpoints: EndpointLoads,
+}
+
+impl RoutedTraffic {
+    /// All-zero routed traffic.
+    pub fn zero(t: &Topology) -> Self {
+        RoutedTraffic { channel_bytes: ChannelLoads::new(t), endpoints: EndpointLoads::new(t.num_nodes()) }
+    }
+
+    /// Accumulate another routed traffic into this one.
+    pub fn merge(&mut self, other: &RoutedTraffic) {
+        self.channel_bytes.merge(&other.channel_bytes);
+        self.endpoints.merge(&other.endpoints);
+    }
+
+    /// Scale bytes/messages by `factor` (e.g. convert a per-step pattern to a
+    /// per-second rate).
+    pub fn scale(&mut self, factor: f64) {
+        self.channel_bytes.scale(factor);
+        self.endpoints.scale(factor);
+    }
+
+    /// Reset to zero without deallocating.
+    pub fn clear(&mut self) {
+        self.channel_bytes.clear();
+        self.endpoints.clear();
+    }
+
+    /// Add `factor * other` into this routed traffic (negative factors
+    /// subtract, clamping at zero).
+    pub fn add_scaled(&mut self, other: &RoutedTraffic, factor: f64) {
+        self.channel_bytes.add_scaled(&other.channel_bytes, factor);
+        self.endpoints.add_scaled(&other.endpoints, factor);
+    }
+}
+
+/// Standing machine-wide traffic expressed as rates (bytes and messages per
+/// second): the aggregate of all *other* jobs plus filesystem traffic.
+pub type BackgroundTraffic = RoutedTraffic;
+
+/// Tunables of the congestion/telemetry model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CongestionParams {
+    /// Stall cycles generated per flit at full contention.
+    pub stall_cycles_per_flit: f64,
+    /// Exponent of the utilization -> stall convexity (>= 1).
+    pub stall_exponent: f64,
+    /// Response (VC4) flits as a fraction of request flits.
+    pub response_ratio: f64,
+    /// Floor on the effective *link* bandwidth left to the job, as a
+    /// fraction of nominal bandwidth. Adaptive routing spreads traffic, so
+    /// even saturated links keep a sizable residual share; this bounds the
+    /// worst-case slowdown bandwidth-bound codes (MILC) see from link
+    /// contention.
+    pub min_link_frac: f64,
+    /// Floor on the effective NIC / processor-tile-bus *byte* capacity left
+    /// to the job. End-point congestion has no adaptive escape route, so
+    /// this sits below the link floor.
+    pub min_endpoint_byte_frac: f64,
+    /// Floor on the effective NIC / processor-tile-bus *message* capacity
+    /// left to the job. Message matching has the least headroom of all:
+    /// latency-critical codes (UMT, AMG) can lose most of their message
+    /// throughput to a co-located message-heavy neighbor, which is how the
+    /// paper's 3.3x UMT swings arise from ~30% MPI time.
+    pub min_endpoint_msg_frac: f64,
+    /// CPU-side MPI overhead per message, seconds (matching/progress cost).
+    pub software_overhead_per_msg: f64,
+    /// Amplification of the per-message serialization cost under congestion.
+    /// Pipelined chains and latency-critical collectives (UMT's sweeps,
+    /// barriers and allreduces) serialize one message behind another, so
+    /// queueing delay multiplies across the chain: the per-message overhead
+    /// becomes `software_overhead_per_msg * (1 + sync_amplification * u^5)`
+    /// where `u` is the worst background utilization along the flow's path
+    /// and at its endpoints (a high power, so only genuinely hot paths hurt).
+    /// Bandwidth-bound flows with few messages are unaffected.
+    pub sync_amplification: f64,
+}
+
+impl Default for CongestionParams {
+    fn default() -> Self {
+        CongestionParams {
+            stall_cycles_per_flit: 4.0,
+            stall_exponent: 2.0,
+            response_ratio: 0.05,
+            min_link_frac: 0.55,
+            min_endpoint_byte_frac: 0.4,
+            min_endpoint_msg_frac: 0.6,
+            software_overhead_per_msg: 1.0e-7,
+            sync_amplification: 26.0,
+        }
+    }
+}
+
+/// Which resource limited the slowest flow of a step — the simulator's
+/// root-cause attribution for a slow step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Bottleneck {
+    /// A network link's residual bandwidth.
+    Link,
+    /// The NIC's private byte bandwidth.
+    NicBytes,
+    /// The NIC's private message rate.
+    NicMsgs,
+    /// The shared processor-tile bus, byte side.
+    BusBytes,
+    /// The shared processor-tile bus, message side.
+    BusMsgs,
+    /// Per-message serialization (software + congestion-stretched chains).
+    Serialization,
+    /// Nothing dominated (empty step).
+    None,
+}
+
+impl Bottleneck {
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Bottleneck::Link => "link",
+            Bottleneck::NicBytes => "nic-bytes",
+            Bottleneck::NicMsgs => "nic-msgs",
+            Bottleneck::BusBytes => "bus-bytes",
+            Bottleneck::BusMsgs => "bus-msgs",
+            Bottleneck::Serialization => "serialization",
+            Bottleneck::None => "none",
+        }
+    }
+}
+
+/// Summary of one simulated communication step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepOutcome {
+    /// Duration of the communication phase (slowest flow), seconds.
+    pub comm_time: f64,
+    /// Mean flow completion time, seconds.
+    pub mean_flow_time: f64,
+    /// Total bytes the job injected this step.
+    pub job_bytes: f64,
+    /// Total messages the job injected this step.
+    pub job_messages: f64,
+    /// The resource that limited the slowest flow.
+    pub bottleneck: Bottleneck,
+}
+
+/// Per-router aggregate of processor-tile load (the sum over the router's
+/// nodes), used for the shared row/column bus contention terms.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct RouterAgg {
+    in_bytes: Vec<f64>,
+    out_bytes: Vec<f64>,
+    in_msgs: Vec<f64>,
+    out_msgs: Vec<f64>,
+}
+
+impl RouterAgg {
+    fn new(num_routers: usize) -> Self {
+        RouterAgg {
+            in_bytes: vec![0.0; num_routers],
+            out_bytes: vec![0.0; num_routers],
+            in_msgs: vec![0.0; num_routers],
+            out_msgs: vec![0.0; num_routers],
+        }
+    }
+
+    /// Aggregate per-node endpoint loads up to their routers.
+    fn fill(&mut self, t: &Topology, endpoints: &EndpointLoads) {
+        for v in [&mut self.in_bytes, &mut self.out_bytes, &mut self.in_msgs, &mut self.out_msgs]
+        {
+            v.iter_mut().for_each(|x| *x = 0.0);
+        }
+        for ni in 0..endpoints.num_nodes() {
+            let n = NodeId::from_index(ni);
+            let r = t.router_of_node(n).index();
+            self.in_bytes[r] += endpoints.ingress_bytes(n);
+            self.out_bytes[r] += endpoints.egress_bytes(n);
+            self.in_msgs[r] += endpoints.ingress_msgs(n);
+            self.out_msgs[r] += endpoints.egress_msgs(n);
+        }
+    }
+}
+
+/// Reusable buffers for step simulation; create once per worker thread.
+#[derive(Debug, Clone)]
+pub struct SimScratch {
+    /// The job's own routed traffic for the current step.
+    pub routed: RoutedTraffic,
+    est_loads: ChannelLoads,
+    paths: Vec<Route>,
+    flow_meta: Vec<(NodeId, NodeId, f64, f64, f64)>,
+    router_job: RouterAgg,
+    router_bg: RouterAgg,
+}
+
+impl SimScratch {
+    /// Fresh scratch buffers for a topology.
+    pub fn new(t: &Topology) -> Self {
+        SimScratch {
+            routed: RoutedTraffic::zero(t),
+            est_loads: ChannelLoads::new(t),
+            paths: Vec::new(),
+            flow_meta: Vec::new(),
+            router_job: RouterAgg::new(t.num_routers()),
+            router_bg: RouterAgg::new(t.num_routers()),
+        }
+    }
+}
+
+/// The network simulator: topology + routing policy + congestion parameters.
+#[derive(Debug, Clone)]
+pub struct NetworkSim<'t> {
+    topo: &'t Topology,
+    policy: RoutingPolicy,
+    params: CongestionParams,
+}
+
+impl<'t> NetworkSim<'t> {
+    /// Simulator with the default adaptive policy and default congestion
+    /// parameters.
+    pub fn new(topo: &'t Topology) -> Self {
+        NetworkSim { topo, policy: RoutingPolicy::default(), params: CongestionParams::default() }
+    }
+
+    /// Override the routing policy.
+    pub fn with_policy(mut self, policy: RoutingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Override the congestion parameters.
+    pub fn with_params(mut self, params: CongestionParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        self.topo
+    }
+
+    /// The congestion parameters in effect.
+    pub fn params(&self) -> &CongestionParams {
+        self.params_ref()
+    }
+
+    fn params_ref(&self) -> &CongestionParams {
+        &self.params
+    }
+
+    /// Route `traffic` through the network adaptively against `base` loads
+    /// (pass zeros to route in an idle machine). Standalone helper used to
+    /// precompute background traffic patterns.
+    pub fn route_traffic(&self, traffic: &Traffic, base: Option<&ChannelLoads>, seed: u64) -> RoutedTraffic {
+        let mut scratch = SimScratch::new(self.topo);
+        self.route_into(traffic, base, seed, &mut scratch);
+        scratch.routed
+    }
+
+    /// Route `traffic` into `scratch` (clearing previous contents), tracking
+    /// the job's channel bytes, NIC loads and per-flow paths.
+    fn route_into(
+        &self,
+        traffic: &Traffic,
+        base: Option<&ChannelLoads>,
+        seed: u64,
+        scratch: &mut SimScratch,
+    ) {
+        let t = self.topo;
+        scratch.routed.clear();
+        scratch.paths.clear();
+        scratch.flow_meta.clear();
+        match base {
+            Some(b) => scratch.est_loads.clone_from(b),
+            None => scratch.est_loads.clear(),
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for f in &traffic.flows {
+            let src_r = t.router_of_node(f.src);
+            let dst_r = t.router_of_node(f.dst);
+            let route = route_flow(t, src_r, dst_r, f.bytes, self.policy, &scratch.est_loads, &mut rng);
+            for &c in route.hops() {
+                scratch.est_loads.add(c, f.bytes);
+                scratch.routed.channel_bytes.add(c, f.bytes);
+            }
+            scratch.routed.endpoints.add_flow(f.src, f.dst, f.bytes, f.messages);
+            scratch.paths.push(route);
+            scratch.flow_meta.push((f.src, f.dst, f.bytes, f.messages, f.sync));
+        }
+    }
+
+    #[inline]
+    fn effective(&self, nominal: f64, bg_rate: f64, floor_frac: f64) -> f64 {
+        (nominal - bg_rate).max(nominal * floor_frac)
+    }
+
+    /// Simulate one communication step of a job under standing `background`
+    /// traffic. Fills `scratch` with the routed traffic (for telemetry) and
+    /// returns the timing summary.
+    pub fn simulate_step(
+        &self,
+        job: &Traffic,
+        background: &BackgroundTraffic,
+        seed: u64,
+        scratch: &mut SimScratch,
+    ) -> StepOutcome {
+        let t = self.topo;
+        let cfg = t.config();
+        self.route_into(job, Some(&background.channel_bytes), seed, scratch);
+        // Aggregate processor-tile loads per router: the router's nodes share
+        // the row/column buses, so co-located jobs contend here even though
+        // nodes themselves are dedicated.
+        {
+            let SimScratch { router_job, router_bg, routed, .. } = &mut *scratch;
+            router_job.fill(t, &routed.endpoints);
+            router_bg.fill(t, &background.endpoints);
+        }
+        let (router_job, router_bg) = (&scratch.router_job, &scratch.router_bg);
+
+        let mut max_time: f64 = 0.0;
+        let mut sum_time = 0.0;
+        let mut job_bytes = 0.0;
+        let mut job_msgs = 0.0;
+        let mut dominant = Bottleneck::None;
+        for (route, &(src, dst, bytes, msgs, sync)) in scratch.paths.iter().zip(&scratch.flow_meta) {
+            let mut bottleneck: f64 = 0.0;
+            let mut kind = Bottleneck::None;
+            let consider = |bottleneck: &mut f64, kind: &mut Bottleneck, v: f64, k: Bottleneck| {
+                if v > *bottleneck {
+                    *bottleneck = v;
+                    *kind = k;
+                }
+            };
+            let mut bg_util: f64 = 0.0;
+            let link_floor = self.params.min_link_frac;
+            let ep_byte = self.params.min_endpoint_byte_frac;
+            let ep_msg = self.params.min_endpoint_msg_frac;
+            for &c in route.hops() {
+                let bw = t.channel_info(c).bandwidth;
+                let bg_bytes = background.channel_bytes.get(c);
+                bg_util = bg_util.max((bg_bytes / bw).min(1.0));
+                let eff = self.effective(bw, bg_bytes, link_floor);
+                consider(
+                    &mut bottleneck,
+                    &mut kind,
+                    scratch.routed.channel_bytes.get(c) / eff,
+                    Bottleneck::Link,
+                );
+            }
+            // NIC byte bandwidth at both endpoints.
+            let out_eff =
+                self.effective(cfg.nic_bandwidth, background.endpoints.egress_bytes(src), ep_byte);
+            let in_eff =
+                self.effective(cfg.nic_bandwidth, background.endpoints.ingress_bytes(dst), ep_byte);
+            consider(
+                &mut bottleneck,
+                &mut kind,
+                scratch.routed.endpoints.egress_bytes(src) / out_eff,
+                Bottleneck::NicBytes,
+            );
+            consider(
+                &mut bottleneck,
+                &mut kind,
+                scratch.routed.endpoints.ingress_bytes(dst) / in_eff,
+                Bottleneck::NicBytes,
+            );
+            // NIC message rate at both endpoints.
+            let out_rate = self
+                .effective(cfg.nic_message_rate, background.endpoints.egress_msgs(src), ep_msg);
+            let in_rate = self
+                .effective(cfg.nic_message_rate, background.endpoints.ingress_msgs(dst), ep_msg);
+            consider(
+                &mut bottleneck,
+                &mut kind,
+                scratch.routed.endpoints.egress_msgs(src) / out_rate,
+                Bottleneck::NicMsgs,
+            );
+            consider(
+                &mut bottleneck,
+                &mut kind,
+                scratch.routed.endpoints.ingress_msgs(dst) / in_rate,
+                Bottleneck::NicMsgs,
+            );
+            // Shared processor-tile buses at the source and destination
+            // routers: other jobs' nodes on the same router steal capacity.
+            let sr = t.router_of_node(src).index();
+            let dr = t.router_of_node(dst).index();
+            let out_bus = self.effective(cfg.pt_bus_bandwidth, router_bg.out_bytes[sr], ep_byte);
+            let in_bus = self.effective(cfg.pt_bus_bandwidth, router_bg.in_bytes[dr], ep_byte);
+            consider(&mut bottleneck, &mut kind, router_job.out_bytes[sr] / out_bus, Bottleneck::BusBytes);
+            consider(&mut bottleneck, &mut kind, router_job.in_bytes[dr] / in_bus, Bottleneck::BusBytes);
+            let out_bus_rate =
+                self.effective(cfg.pt_bus_message_rate, router_bg.out_msgs[sr], ep_msg);
+            let in_bus_rate =
+                self.effective(cfg.pt_bus_message_rate, router_bg.in_msgs[dr], ep_msg);
+            consider(&mut bottleneck, &mut kind, router_job.out_msgs[sr] / out_bus_rate, Bottleneck::BusMsgs);
+            consider(&mut bottleneck, &mut kind, router_job.in_msgs[dr] / in_bus_rate, Bottleneck::BusMsgs);
+            // Background pressure at the endpoints also stretches the
+            // serialization chain.
+            bg_util = bg_util
+                .max((router_bg.out_msgs[sr] / cfg.pt_bus_message_rate).min(1.0))
+                .max((router_bg.in_msgs[dr] / cfg.pt_bus_message_rate).min(1.0))
+                .max((router_bg.out_bytes[sr] / cfg.pt_bus_bandwidth).min(1.0))
+                .max((router_bg.in_bytes[dr] / cfg.pt_bus_bandwidth).min(1.0));
+
+            let serialization = self.params.software_overhead_per_msg
+                * msgs
+                * (1.0 + self.params.sync_amplification * sync * bg_util.powi(5));
+            if serialization > bottleneck {
+                kind = Bottleneck::Serialization;
+            }
+            let time = cfg.hop_latency * route.len() as f64 + serialization + bottleneck;
+            if time > max_time {
+                max_time = time;
+                dominant = kind;
+            }
+            sum_time += time;
+            job_bytes += bytes;
+            job_msgs += msgs;
+        }
+        let n = scratch.paths.len().max(1) as f64;
+        StepOutcome {
+            comm_time: max_time,
+            mean_flow_time: sum_time / n,
+            job_bytes,
+            job_messages: job_msgs,
+            bottleneck: dominant,
+        }
+    }
+
+    /// Fill machine-wide telemetry for a window of `window` seconds during
+    /// which the job traffic in `scratch` (from a preceding
+    /// [`Self::simulate_step`]) and the standing `background` rates were both
+    /// active. `telemetry` is cleared first.
+    pub fn fill_telemetry(
+        &self,
+        scratch: &SimScratch,
+        background: &BackgroundTraffic,
+        window: f64,
+        telemetry: &mut StepTelemetry,
+    ) {
+        let t = self.topo;
+        let cfg = t.config();
+        let p = &self.params;
+        telemetry.clear();
+        let window = window.max(1e-9);
+
+        // Router (network) tiles: one record per directed channel, credited
+        // to the receiving router.
+        for i in 0..t.num_channels() {
+            let c = crate::ids::ChannelId::from_index(i);
+            let job = scratch.routed.channel_bytes.get(c);
+            let bg = background.channel_bytes.get(c) * window;
+            let bytes = job + bg;
+            if bytes <= 0.0 {
+                continue;
+            }
+            let info = t.channel_info(c);
+            let flits = bytes / cfg.flit_bytes;
+            let util = (bytes / (info.bandwidth * window)).min(1.0);
+            let stall = flits * p.stall_cycles_per_flit * util.powf(p.stall_exponent);
+            let rec = telemetry.router_mut(info.dst.index());
+            rec.rt_flit_tot += flits;
+            rec.rt_pkt_tot += bytes / cfg.packet_bytes;
+            rec.rt_rb_stl += stall;
+            rec.rt_rb_2x_usg += 0.5 * stall * util;
+        }
+
+        // Processor tiles: per router, aggregating the router's nodes. The
+        // stall utilizations are computed against the *shared* processor-tile
+        // bus capacities, so a router whose nodes belong to several busy jobs
+        // shows end-point stalls even when each NIC alone is under-utilized.
+        for ri in 0..t.num_routers() {
+            let r = RouterId::from_index(ri);
+            let mut in_bytes = 0.0;
+            let mut out_bytes = 0.0;
+            let mut in_msgs = 0.0;
+            let mut out_msgs = 0.0;
+            for n in t.nodes_of_router(r) {
+                in_bytes += scratch.routed.endpoints.ingress_bytes(n)
+                    + background.endpoints.ingress_bytes(n) * window;
+                out_bytes += scratch.routed.endpoints.egress_bytes(n)
+                    + background.endpoints.egress_bytes(n) * window;
+                in_msgs += scratch.routed.endpoints.ingress_msgs(n)
+                    + background.endpoints.ingress_msgs(n) * window;
+                out_msgs += scratch.routed.endpoints.egress_msgs(n)
+                    + background.endpoints.egress_msgs(n) * window;
+            }
+            if in_bytes <= 0.0 && out_bytes <= 0.0 {
+                continue;
+            }
+            let rec = telemetry.router_mut(ri);
+
+            let vc0 = in_bytes / cfg.flit_bytes;
+            let vc4 = p.response_ratio * out_bytes / cfg.flit_bytes;
+            rec.pt_flit_vc0 += vc0;
+            rec.pt_flit_vc4 += vc4;
+            rec.pt_pkt_tot += in_bytes / cfg.packet_bytes;
+
+            let u_in_bw = in_bytes / (cfg.pt_bus_bandwidth * window);
+            let u_in_msg = in_msgs / (cfg.pt_bus_message_rate * window);
+            let u_rq = (u_in_bw.max(u_in_msg)).min(1.0);
+            let stl_rq = vc0 * p.stall_cycles_per_flit * u_rq.powf(p.stall_exponent);
+            rec.pt_rb_stl_rq += stl_rq;
+
+            let u_out_bw = out_bytes / (cfg.pt_bus_bandwidth * window);
+            let u_out_msg = out_msgs / (cfg.pt_bus_message_rate * window);
+            let u_rs = (u_out_bw.max(u_out_msg)).min(1.0);
+            let stl_rs = (vc4 + 1.0) * p.stall_cycles_per_flit * u_rs.powf(p.stall_exponent);
+            rec.pt_rb_stl_rs += stl_rs;
+
+            rec.pt_rb_2x_usg += 0.5 * (stl_rq * u_rq + stl_rs * u_rs);
+            rec.pt_cb_stl_rq += stl_rq * u_rq * 0.6;
+            rec.pt_cb_stl_rs += stl_rs * u_rs * 0.6;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DragonflyConfig;
+    use crate::ids::GroupId;
+
+    fn setup() -> (Topology, BackgroundTraffic) {
+        let t = Topology::new(DragonflyConfig::small()).unwrap();
+        let bg = BackgroundTraffic::zero(&t);
+        (t, bg)
+    }
+
+    fn pair_traffic(t: &Topology, bytes: f64, msgs: f64) -> Traffic {
+        let mut tr = Traffic::new();
+        let a = t.nodes_of_router(t.router_at(GroupId(0), 0, 0)).next().unwrap();
+        let b = t.nodes_of_router(t.router_at(GroupId(1), 0, 1)).next().unwrap();
+        tr.push(a, b, bytes, msgs);
+        tr
+    }
+
+    #[test]
+    fn empty_traffic_takes_no_time() {
+        let (t, bg) = setup();
+        let sim = NetworkSim::new(&t);
+        let mut scratch = SimScratch::new(&t);
+        let out = sim.simulate_step(&Traffic::new(), &bg, 1, &mut scratch);
+        assert_eq!(out.comm_time, 0.0);
+        assert_eq!(out.job_bytes, 0.0);
+    }
+
+    #[test]
+    fn larger_transfers_take_longer() {
+        let (t, bg) = setup();
+        let sim = NetworkSim::new(&t);
+        let mut scratch = SimScratch::new(&t);
+        let t1 = sim.simulate_step(&pair_traffic(&t, 1e6, 1.0), &bg, 1, &mut scratch).comm_time;
+        let t2 = sim.simulate_step(&pair_traffic(&t, 1e9, 1.0), &bg, 1, &mut scratch).comm_time;
+        assert!(t2 > t1 * 100.0, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn background_congestion_slows_the_job() {
+        let (t, _) = setup();
+        let sim = NetworkSim::new(&t).with_policy(RoutingPolicy::Minimal);
+        let mut scratch = SimScratch::new(&t);
+        let job = pair_traffic(&t, 1e8, 10.0);
+
+        let idle = BackgroundTraffic::zero(&t);
+        let fast = sim.simulate_step(&job, &idle, 1, &mut scratch).comm_time;
+
+        // Saturate every channel with background traffic at 95% of capacity.
+        let mut busy = BackgroundTraffic::zero(&t);
+        for i in 0..t.num_channels() {
+            let c = crate::ids::ChannelId::from_index(i);
+            busy.channel_bytes.add(c, 0.95 * t.channel_info(c).bandwidth);
+        }
+        let slow = sim.simulate_step(&job, &busy, 1, &mut scratch).comm_time;
+        // The adaptive-residual link floor (min_link_frac) bounds the
+        // worst-case link slowdown at 1/min_link_frac.
+        assert!(slow > fast * 1.5, "fast={fast} slow={slow}");
+    }
+
+    #[test]
+    fn message_rate_limits_small_message_floods() {
+        let (t, bg) = setup();
+        let sim = NetworkSim::new(&t);
+        let mut scratch = SimScratch::new(&t);
+        // Same bytes, vastly different message counts.
+        let few = sim.simulate_step(&pair_traffic(&t, 1e6, 10.0), &bg, 1, &mut scratch).comm_time;
+        let many =
+            sim.simulate_step(&pair_traffic(&t, 1e6, 1e6), &bg, 1, &mut scratch).comm_time;
+        assert!(many > few * 5.0, "few={few} many={many}");
+    }
+
+    #[test]
+    fn telemetry_counts_flits_on_job_routers() {
+        let (t, bg) = setup();
+        let sim = NetworkSim::new(&t);
+        let mut scratch = SimScratch::new(&t);
+        let job = pair_traffic(&t, 1e7, 100.0);
+        let out = sim.simulate_step(&job, &bg, 1, &mut scratch);
+        let mut tel = StepTelemetry::new(t.num_routers());
+        sim.fill_telemetry(&scratch, &bg, out.comm_time, &mut tel);
+        let total = tel.total();
+        assert!(total.is_sane());
+        // The destination node's router must have seen VC0 flits.
+        let dst_router = t.router_of_node(job.flows[0].dst);
+        assert!(tel.router(dst_router.index()).pt_flit_vc0 > 0.0);
+        // Router-tile flits must exist somewhere along the path.
+        assert!(total.rt_flit_tot > 0.0);
+        // And overall flit count matches the bytes sent: one hop minimum.
+        let min_flits = 1e7 / t.config().flit_bytes;
+        assert!(total.rt_flit_tot >= min_flits * 0.99);
+    }
+
+    #[test]
+    fn telemetry_includes_background_traffic() {
+        let (t, _) = setup();
+        let sim = NetworkSim::new(&t);
+        let scratch = SimScratch::new(&t);
+        let mut bg = BackgroundTraffic::zero(&t);
+        let c = crate::ids::ChannelId(0);
+        bg.channel_bytes.add(c, 1e9); // 1 GB/s standing traffic
+        let mut tel = StepTelemetry::new(t.num_routers());
+        sim.fill_telemetry(&scratch, &bg, 2.0, &mut tel);
+        let dst = t.channel_info(c).dst;
+        let flits = tel.router(dst.index()).rt_flit_tot;
+        let expect = 2.0 * 1e9 / t.config().flit_bytes;
+        assert!((flits - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn stalls_grow_superlinearly_with_utilization() {
+        let (t, _) = setup();
+        let sim = NetworkSim::new(&t);
+        let scratch = SimScratch::new(&t);
+        let c = crate::ids::ChannelId(0);
+        let bw = t.channel_info(c).bandwidth;
+        let dst = t.channel_info(c).dst.index();
+        let mut tel = StepTelemetry::new(t.num_routers());
+
+        let mut bg = BackgroundTraffic::zero(&t);
+        bg.channel_bytes.add(c, 0.25 * bw);
+        sim.fill_telemetry(&scratch, &bg, 1.0, &mut tel);
+        let low = tel.router(dst).rt_rb_stl / tel.router(dst).rt_flit_tot;
+
+        let mut bg = BackgroundTraffic::zero(&t);
+        bg.channel_bytes.add(c, 1.0 * bw);
+        sim.fill_telemetry(&scratch, &bg, 1.0, &mut tel);
+        let high = tel.router(dst).rt_rb_stl / tel.router(dst).rt_flit_tot;
+
+        // Utilization x4 -> stalls-per-flit x16 under the default exponent 2.
+        assert!(high > low * 10.0, "low={low} high={high}");
+    }
+
+    #[test]
+    fn routed_traffic_merge_and_scale() {
+        let (t, _) = setup();
+        let sim = NetworkSim::new(&t);
+        let job = pair_traffic(&t, 1e6, 10.0);
+        let mut a = sim.route_traffic(&job, None, 1);
+        let b = a.clone();
+        a.merge(&b);
+        assert!((a.channel_bytes.total_bytes() - 2.0 * b.channel_bytes.total_bytes()).abs() < 1.0);
+        a.scale(0.5);
+        assert!((a.channel_bytes.total_bytes() - b.channel_bytes.total_bytes()).abs() < 1.0);
+    }
+
+    #[test]
+    fn endpoint_loads_track_flow_endpoints() {
+        let mut e = EndpointLoads::new(4);
+        e.add_flow(NodeId(0), NodeId(3), 100.0, 2.0);
+        e.add_flow(NodeId(1), NodeId(3), 50.0, 1.0);
+        assert_eq!(e.egress_bytes(NodeId(0)), 100.0);
+        assert_eq!(e.ingress_bytes(NodeId(3)), 150.0);
+        assert_eq!(e.ingress_msgs(NodeId(3)), 3.0);
+        e.scale(2.0);
+        assert_eq!(e.ingress_bytes(NodeId(3)), 300.0);
+        let mut f = EndpointLoads::new(4);
+        f.merge(&e);
+        assert_eq!(f.egress_msgs(NodeId(1)), 2.0);
+        f.clear();
+        assert_eq!(f.ingress_bytes(NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn colocated_background_contends_on_the_router_bus() {
+        // A neighbor job's node on the SAME router slows us down more than
+        // the same traffic on a node of a different router.
+        let (t, _) = setup();
+        let sim = NetworkSim::new(&t).with_policy(RoutingPolicy::Minimal);
+        let mut scratch = SimScratch::new(&t);
+        let job = pair_traffic(&t, 1e8, 1000.0);
+        let src = job.flows[0].src;
+        let same_router_node = t
+            .nodes_of_router(t.router_of_node(src))
+            .find(|&n| n != src)
+            .unwrap();
+        let other_router_node = t
+            .nodes_of_router(RouterId::from_index(t.num_routers() - 1))
+            .next()
+            .unwrap();
+
+        let rate = t.config().pt_bus_bandwidth * 0.9;
+        let mut bg_same = BackgroundTraffic::zero(&t);
+        bg_same.endpoints.add_flow(same_router_node, other_router_node, rate, 10.0);
+        let mut bg_other = BackgroundTraffic::zero(&t);
+        bg_other.endpoints.add_flow(other_router_node, same_router_node, rate, 10.0);
+        // Keep channel loads identical (empty) in both cases: only endpoint
+        // placement differs.
+        let slow = sim.simulate_step(&job, &bg_same, 1, &mut scratch).comm_time;
+        let fast = sim.simulate_step(&job, &bg_other, 1, &mut scratch).comm_time;
+        assert!(slow > fast, "same-router bg ({slow}) must beat other-router bg ({fast})");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (t, bg) = setup();
+        let sim = NetworkSim::new(&t);
+        let mut s1 = SimScratch::new(&t);
+        let mut s2 = SimScratch::new(&t);
+        let job = pair_traffic(&t, 1e7, 50.0);
+        let o1 = sim.simulate_step(&job, &bg, 42, &mut s1);
+        let o2 = sim.simulate_step(&job, &bg, 42, &mut s2);
+        assert_eq!(o1, o2);
+        assert_eq!(s1.routed, s2.routed);
+    }
+}

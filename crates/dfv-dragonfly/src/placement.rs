@@ -1,0 +1,194 @@
+//! Job placement: node allocations and the fragmentation features the paper
+//! derives from them (`NUM_ROUTERS` and `NUM_GROUPS`).
+
+use crate::ids::{GroupId, NodeId, RouterId};
+use crate::topology::Topology;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A set of nodes allocated to one job.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    nodes: Vec<NodeId>,
+}
+
+impl Placement {
+    /// Build from a node list. Duplicates are removed; order is normalized.
+    pub fn new(mut nodes: Vec<NodeId>) -> Self {
+        nodes.sort_unstable();
+        nodes.dedup();
+        Placement { nodes }
+    }
+
+    /// The allocated nodes in id order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of allocated nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Unique routers the job's nodes attach to, in id order.
+    pub fn routers(&self, t: &Topology) -> Vec<RouterId> {
+        let set: BTreeSet<RouterId> = self.nodes.iter().map(|&n| t.router_of_node(n)).collect();
+        set.into_iter().collect()
+    }
+
+    /// Unique dragonfly groups the job's nodes land on, in id order.
+    pub fn groups(&self, t: &Topology) -> Vec<GroupId> {
+        let set: BTreeSet<GroupId> = self.nodes.iter().map(|&n| t.group_of_node(n)).collect();
+        set.into_iter().collect()
+    }
+
+    /// The paper's `NUM_ROUTERS` feature: unique routers touched.
+    pub fn num_routers(&self, t: &Topology) -> usize {
+        self.routers(t).len()
+    }
+
+    /// The paper's `NUM_GROUPS` feature: unique groups touched.
+    pub fn num_groups(&self, t: &Topology) -> usize {
+        self.groups(t).len()
+    }
+}
+
+/// How a scheduler picks nodes for a job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AllocationPolicy {
+    /// Fill routers in id order from the first free node: compact, few
+    /// routers and groups.
+    Contiguous,
+    /// Pick free nodes uniformly at random: maximal fragmentation. This is
+    /// closest to what a busy production machine hands out.
+    Random,
+    /// Pick a random contiguous window with a small random number of holes:
+    /// the realistic middle ground.
+    Fragmented {
+        /// Fraction (0..=1) of the allocation drawn randomly instead of
+        /// contiguously; the rest extends a contiguous run.
+        scatter: f64,
+    },
+}
+
+/// Allocate `count` nodes from `free` (which must contain at least `count`
+/// node ids) under `policy`. Returns `None` when not enough nodes are free.
+/// `free` is not modified; the caller removes the returned nodes.
+pub fn allocate<R: Rng>(
+    free: &BTreeSet<NodeId>,
+    count: usize,
+    policy: AllocationPolicy,
+    rng: &mut R,
+) -> Option<Placement> {
+    if free.len() < count || count == 0 {
+        return None;
+    }
+    let free_vec: Vec<NodeId> = free.iter().copied().collect();
+    let picked: Vec<NodeId> = match policy {
+        AllocationPolicy::Contiguous => free_vec[..count].to_vec(),
+        AllocationPolicy::Random => {
+            let mut v = free_vec;
+            v.shuffle(rng);
+            v.truncate(count);
+            v
+        }
+        AllocationPolicy::Fragmented { scatter } => {
+            let scatter = scatter.clamp(0.0, 1.0);
+            let n_random = ((count as f64) * scatter).round() as usize;
+            let n_contig = count - n_random;
+            // A contiguous run starting at a random offset...
+            let start = rng.gen_range(0..=(free_vec.len() - n_contig));
+            let mut picked: Vec<NodeId> = free_vec[start..start + n_contig].to_vec();
+            // ...plus randomly scattered remainder drawn from the rest.
+            let mut rest: Vec<NodeId> =
+                free_vec.iter().copied().filter(|n| !picked.contains(n)).collect();
+            rest.shuffle(rng);
+            picked.extend(rest.into_iter().take(n_random));
+            picked
+        }
+    };
+    (picked.len() == count).then(|| Placement::new(picked))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DragonflyConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn topo() -> Topology {
+        Topology::new(DragonflyConfig::small()).unwrap()
+    }
+
+    fn all_free(t: &Topology) -> BTreeSet<NodeId> {
+        (0..t.num_nodes()).map(|i| NodeId(i as u32)).collect()
+    }
+
+    #[test]
+    fn placement_dedups_and_sorts() {
+        let p = Placement::new(vec![NodeId(3), NodeId(1), NodeId(3)]);
+        assert_eq!(p.nodes(), &[NodeId(1), NodeId(3)]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn contiguous_allocation_minimizes_fragmentation() {
+        let t = topo();
+        let free = all_free(&t);
+        let mut rng = StdRng::seed_from_u64(1);
+        let k = t.config().nodes_per_router;
+        let p = allocate(&free, 4 * k, AllocationPolicy::Contiguous, &mut rng).unwrap();
+        // 4 routers' worth of nodes contiguously -> exactly 4 routers, 1 group.
+        assert_eq!(p.num_routers(&t), 4);
+        assert_eq!(p.num_groups(&t), 1);
+    }
+
+    #[test]
+    fn random_allocation_fragments_more_than_contiguous() {
+        let t = topo();
+        let free = all_free(&t);
+        let mut rng = StdRng::seed_from_u64(2);
+        let count = 16;
+        let c = allocate(&free, count, AllocationPolicy::Contiguous, &mut rng).unwrap();
+        let r = allocate(&free, count, AllocationPolicy::Random, &mut rng).unwrap();
+        assert!(r.num_routers(&t) >= c.num_routers(&t));
+        assert!(r.num_groups(&t) >= c.num_groups(&t));
+    }
+
+    #[test]
+    fn fragmented_policy_interpolates() {
+        let t = topo();
+        let free = all_free(&t);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = allocate(&free, 32, AllocationPolicy::Fragmented { scatter: 0.5 }, &mut rng).unwrap();
+        assert_eq!(p.len(), 32);
+    }
+
+    #[test]
+    fn allocation_fails_when_not_enough_free() {
+        let t = topo();
+        let free: BTreeSet<NodeId> = all_free(&t).into_iter().take(3).collect();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(allocate(&free, 10, AllocationPolicy::Random, &mut rng).is_none());
+        assert!(allocate(&free, 0, AllocationPolicy::Random, &mut rng).is_none());
+    }
+
+    #[test]
+    fn features_match_hand_computed_values() {
+        let t = topo();
+        // Two nodes on the same router, one on a router in another group.
+        let k = t.config().nodes_per_router as u32;
+        let rpg = t.config().routers_per_group() as u32;
+        let p = Placement::new(vec![NodeId(0), NodeId(1), NodeId(rpg * k)]);
+        assert_eq!(p.num_routers(&t), 2);
+        assert_eq!(p.num_groups(&t), 2);
+    }
+}

@@ -1,0 +1,400 @@
+//! Packet routing over the dragonfly: minimal, Valiant (randomized
+//! non-minimal) and UGAL-style adaptive routing.
+//!
+//! Cray XC systems route adaptively: for every packet the router chooses
+//! among several minimal and non-minimal paths based on the back pressure
+//! currently observed on candidate links. We reproduce that decision rule at
+//! flow granularity: [`route_flow`] scores a set of minimal and Valiant
+//! candidates against the current [`ChannelLoads`] and picks the cheapest,
+//! with non-minimal candidates paying their extra hops.
+
+use crate::ids::{ChannelId, GroupId, Idx, RouterId};
+use crate::load::ChannelLoads;
+use crate::topology::Topology;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Maximum hops of any route this module produces (Valiant worst case:
+/// 2 intra + global + 2 intra + global + 2 intra).
+pub const MAX_HOPS: usize = 8;
+
+/// A router-to-router route as a fixed-capacity sequence of directed
+/// channels. Empty when source and destination routers coincide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    hops: [ChannelId; MAX_HOPS],
+    len: u8,
+}
+
+impl Route {
+    /// The empty route.
+    pub fn empty() -> Self {
+        Route { hops: [ChannelId(0); MAX_HOPS], len: 0 }
+    }
+
+    /// Append a hop. Panics if the route is already at [`MAX_HOPS`].
+    #[inline]
+    pub fn push(&mut self, c: ChannelId) {
+        assert!((self.len as usize) < MAX_HOPS, "route overflow");
+        self.hops[self.len as usize] = c;
+        self.len += 1;
+    }
+
+    /// The hops as a slice.
+    #[inline]
+    pub fn hops(&self) -> &[ChannelId] {
+        &self.hops[..self.len as usize]
+    }
+
+    /// Number of router-to-router hops.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when source and destination routers coincide.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Concatenate another route after this one.
+    pub fn extend(&mut self, other: &Route) {
+        for &h in other.hops() {
+            self.push(h);
+        }
+    }
+}
+
+/// Which of the two 2-hop intra-group minimal paths to take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntraOrder {
+    /// Green (row) hop first, then black (column).
+    GreenFirst,
+    /// Black (column) hop first, then green (row).
+    BlackFirst,
+}
+
+/// Routing policies offered by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Always the deterministic minimal path (green-first, sub-bundle 0).
+    Minimal,
+    /// Valiant: always detour through a random intermediate group.
+    Valiant,
+    /// UGAL-style adaptive routing: score `minimal_candidates` minimal and
+    /// `valiant_candidates` random non-minimal paths against current loads
+    /// and take the cheapest.
+    Adaptive {
+        /// Minimal candidates to consider (sub-bundle/order variations).
+        minimal_candidates: usize,
+        /// Valiant candidates to consider.
+        valiant_candidates: usize,
+    },
+}
+
+impl Default for RoutingPolicy {
+    fn default() -> Self {
+        RoutingPolicy::Adaptive { minimal_candidates: 2, valiant_candidates: 2 }
+    }
+}
+
+/// Minimal intra-group route between two routers of the same group.
+pub fn intra_group_route(t: &Topology, src: RouterId, dst: RouterId, order: IntraOrder) -> Route {
+    let mut route = Route::empty();
+    if src == dst {
+        return route;
+    }
+    let a = t.coords(src);
+    let b = t.coords(dst);
+    debug_assert_eq!(a.group, b.group, "intra_group_route across groups");
+    let g = a.group;
+    if a.row == b.row {
+        route.push(t.green_channel(g, a.row, a.col, b.col));
+    } else if a.col == b.col {
+        route.push(t.black_channel(g, a.col, a.row, b.row));
+    } else {
+        match order {
+            IntraOrder::GreenFirst => {
+                route.push(t.green_channel(g, a.row, a.col, b.col));
+                route.push(t.black_channel(g, b.col, a.row, b.row));
+            }
+            IntraOrder::BlackFirst => {
+                route.push(t.black_channel(g, a.col, a.row, b.row));
+                route.push(t.green_channel(g, b.row, a.col, b.col));
+            }
+        }
+    }
+    route
+}
+
+/// Minimal route between any two routers. For inter-group pairs,
+/// `sub_bundle` selects which gateway sub-bundle of the group pair carries
+/// the global hop.
+pub fn minimal_route(
+    t: &Topology,
+    src: RouterId,
+    dst: RouterId,
+    order: IntraOrder,
+    sub_bundle: usize,
+) -> Route {
+    if src == dst {
+        return Route::empty();
+    }
+    let ga = t.group_of_router(src);
+    let gb = t.group_of_router(dst);
+    if ga == gb {
+        return intra_group_route(t, src, dst, order);
+    }
+    let s = sub_bundle % t.global_spread();
+    let gw_a = t.gateway_router(ga, gb, s);
+    let gw_b = t.gateway_router(gb, ga, s);
+    let mut route = intra_group_route(t, src, gw_a, order);
+    route.push(t.global_channel(ga, gb, s));
+    route.extend(&intra_group_route(t, gw_b, dst, order));
+    route
+}
+
+/// Valiant route through intermediate group `mid`. Falls back to the minimal
+/// route when `mid` coincides with the source or destination group.
+pub fn valiant_route(
+    t: &Topology,
+    src: RouterId,
+    dst: RouterId,
+    mid: GroupId,
+    sub1: usize,
+    sub2: usize,
+    order: IntraOrder,
+) -> Route {
+    let ga = t.group_of_router(src);
+    let gb = t.group_of_router(dst);
+    if mid == ga || mid == gb {
+        return minimal_route(t, src, dst, order, sub1);
+    }
+    let s1 = sub1 % t.global_spread();
+    let s2 = sub2 % t.global_spread();
+    let mut route = intra_group_route(t, src, t.gateway_router(ga, mid, s1), order);
+    route.push(t.global_channel(ga, mid, s1));
+    let landing = t.gateway_router(mid, ga, s1);
+    route.extend(&intra_group_route(t, landing, t.gateway_router(mid, gb, s2), order));
+    route.push(t.global_channel(mid, gb, s2));
+    route.extend(&intra_group_route(t, t.gateway_router(gb, mid, s2), dst, order));
+    route
+}
+
+/// Estimated cost of pushing `bytes` more bytes down `route` given current
+/// queue state: the sum over hops of (queued + bytes) / bandwidth, i.e. the
+/// back pressure an adaptive Aries router observes, plus per-hop latency.
+pub fn route_cost(t: &Topology, route: &Route, loads: &ChannelLoads, bytes: f64) -> f64 {
+    let lat = t.config().hop_latency;
+    route
+        .hops()
+        .iter()
+        .map(|&c| (loads.get(c) + bytes) / t.channel_info(c).bandwidth + lat)
+        .sum()
+}
+
+/// Route one flow of `bytes` bytes from `src` to `dst` under `policy`,
+/// consulting `loads` for adaptive decisions and `rng` for randomized
+/// choices. Deterministic given the rng state.
+pub fn route_flow<R: Rng>(
+    t: &Topology,
+    src: RouterId,
+    dst: RouterId,
+    bytes: f64,
+    policy: RoutingPolicy,
+    loads: &ChannelLoads,
+    rng: &mut R,
+) -> Route {
+    if src == dst {
+        return Route::empty();
+    }
+    match policy {
+        RoutingPolicy::Minimal => minimal_route(t, src, dst, IntraOrder::GreenFirst, 0),
+        RoutingPolicy::Valiant => {
+            let mid = GroupId::from_index(rng.gen_range(0..t.num_groups()));
+            let (s1, s2) = random_subs(t, rng);
+            valiant_route(t, src, dst, mid, s1, s2, IntraOrder::GreenFirst)
+        }
+        RoutingPolicy::Adaptive { minimal_candidates, valiant_candidates } => {
+            let mut best: Option<(f64, Route)> = None;
+            let mut consider = |cost: f64, route: Route| {
+                if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                    best = Some((cost, route));
+                }
+            };
+            let orders = [IntraOrder::GreenFirst, IntraOrder::BlackFirst];
+            for i in 0..minimal_candidates.max(1) {
+                let order = orders[i % 2];
+                let sub = if t.global_spread() > 0 { rng.gen_range(0..t.global_spread()) } else { 0 };
+                let r = minimal_route(t, src, dst, order, sub);
+                let cost = route_cost(t, &r, loads, bytes);
+                consider(cost, r);
+            }
+            if t.num_groups() > 2 {
+                for _ in 0..valiant_candidates {
+                    let mid = GroupId::from_index(rng.gen_range(0..t.num_groups()));
+                    let (s1, s2) = random_subs(t, rng);
+                    let r = valiant_route(t, src, dst, mid, s1, s2, IntraOrder::GreenFirst);
+                    let cost = route_cost(t, &r, loads, bytes);
+                    consider(cost, r);
+                }
+            }
+            best.expect("at least one candidate").1
+        }
+    }
+}
+
+fn random_subs<R: Rng>(t: &Topology, rng: &mut R) -> (usize, usize) {
+    if t.global_spread() == 0 {
+        (0, 0)
+    } else {
+        (rng.gen_range(0..t.global_spread()), rng.gen_range(0..t.global_spread()))
+    }
+}
+
+/// Check that a route is *connected*: each hop starts where the previous one
+/// ended, the first hop starts at `src` and the last ends at `dst`.
+pub fn route_is_valid(t: &Topology, route: &Route, src: RouterId, dst: RouterId) -> bool {
+    let mut here = src;
+    for &c in route.hops() {
+        let info = t.channel_info(c);
+        if info.src != here {
+            return false;
+        }
+        here = info.dst;
+    }
+    here == dst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DragonflyConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn topo() -> Topology {
+        Topology::new(DragonflyConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn minimal_same_router_is_empty() {
+        let t = topo();
+        let r = RouterId(3);
+        assert!(minimal_route(&t, r, r, IntraOrder::GreenFirst, 0).is_empty());
+    }
+
+    #[test]
+    fn minimal_routes_are_valid_everywhere() {
+        let t = topo();
+        for a in 0..t.num_routers() {
+            for b in 0..t.num_routers() {
+                let (src, dst) = (RouterId::from_index(a), RouterId::from_index(b));
+                for order in [IntraOrder::GreenFirst, IntraOrder::BlackFirst] {
+                    let r = minimal_route(&t, src, dst, order, 1);
+                    assert!(route_is_valid(&t, &r, src, dst), "{src}->{dst}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_hop_bounds() {
+        // Dragonfly diameter: <=2 intra-group hops per group crossed plus
+        // one global hop -> minimal routes have at most 5 hops.
+        let t = topo();
+        for a in 0..t.num_routers() {
+            for b in 0..t.num_routers() {
+                let r = minimal_route(
+                    &t,
+                    RouterId::from_index(a),
+                    RouterId::from_index(b),
+                    IntraOrder::GreenFirst,
+                    0,
+                );
+                assert!(r.len() <= 5, "minimal route with {} hops", r.len());
+            }
+        }
+    }
+
+    #[test]
+    fn same_row_pair_uses_single_green_hop() {
+        let t = topo();
+        let src = t.router_at(GroupId(0), 1, 0);
+        let dst = t.router_at(GroupId(0), 1, 3);
+        let r = minimal_route(&t, src, dst, IntraOrder::GreenFirst, 0);
+        assert_eq!(r.len(), 1);
+        assert_eq!(t.channel_info(r.hops()[0]).class, crate::topology::LinkClass::Green);
+    }
+
+    #[test]
+    fn valiant_routes_are_valid_and_bounded() {
+        let t = topo();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let src = RouterId::from_index(rng.gen_range(0..t.num_routers()));
+            let dst = RouterId::from_index(rng.gen_range(0..t.num_routers()));
+            let mid = GroupId::from_index(rng.gen_range(0..t.num_groups()));
+            let r = valiant_route(&t, src, dst, mid, 0, 1, IntraOrder::GreenFirst);
+            assert!(route_is_valid(&t, &r, src, dst));
+            assert!(r.len() <= MAX_HOPS);
+        }
+    }
+
+    #[test]
+    fn adaptive_routes_are_valid() {
+        let t = topo();
+        let loads = ChannelLoads::new(&t);
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..500 {
+            let src = RouterId::from_index(rng.gen_range(0..t.num_routers()));
+            let dst = RouterId::from_index(rng.gen_range(0..t.num_routers()));
+            let r = route_flow(&t, src, dst, 4096.0, RoutingPolicy::default(), &loads, &mut rng);
+            assert!(route_is_valid(&t, &r, src, dst));
+        }
+    }
+
+    #[test]
+    fn adaptive_avoids_a_congested_global_channel() {
+        let t = topo();
+        let src = t.router_at(GroupId(0), 0, 0);
+        let dst = t.router_at(GroupId(1), 0, 0);
+        let mut loads = ChannelLoads::new(&t);
+        // Saturate every sub-bundle of the (g0 -> g1) minimal bundle.
+        for s in 0..t.global_spread() {
+            loads.add(t.global_channel(GroupId(0), GroupId(1), s), 1e12);
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let policy = RoutingPolicy::Adaptive { minimal_candidates: 2, valiant_candidates: 8 };
+        let r = route_flow(&t, src, dst, 1e6, policy, &loads, &mut rng);
+        // With the direct bundle saturated, the chosen route must not use it.
+        for &c in r.hops() {
+            assert!(loads.get(c) < 1e12, "adaptive chose a saturated channel");
+        }
+    }
+
+    #[test]
+    fn route_cost_monotone_in_load() {
+        let t = topo();
+        let src = t.router_at(GroupId(0), 0, 0);
+        let dst = t.router_at(GroupId(2), 1, 3);
+        let r = minimal_route(&t, src, dst, IntraOrder::GreenFirst, 0);
+        let mut loads = ChannelLoads::new(&t);
+        let c0 = route_cost(&t, &r, &loads, 1000.0);
+        loads.add(r.hops()[0], 1e9);
+        let c1 = route_cost(&t, &r, &loads, 1000.0);
+        assert!(c1 > c0);
+    }
+
+    #[test]
+    fn route_push_overflow_panics() {
+        let result = std::panic::catch_unwind(|| {
+            let mut r = Route::empty();
+            for i in 0..=MAX_HOPS {
+                r.push(ChannelId(i as u32));
+            }
+        });
+        assert!(result.is_err());
+    }
+}

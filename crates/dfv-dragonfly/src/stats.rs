@@ -1,0 +1,193 @@
+//! Network-load statistics: summarize a [`ChannelLoads`] (or background
+//! rates) by link class and utilization percentile. Useful when diagnosing
+//! why a campaign's congestion looks the way it does, and the substrate of
+//! the `calibrate` example's reports.
+
+use crate::ids::{ChannelId, Idx};
+use crate::load::ChannelLoads;
+use crate::topology::{LinkClass, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Utilization summary of one link class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassUtilization {
+    /// The link class.
+    pub class: LinkClass,
+    /// Number of directed channels of this class.
+    pub channels: usize,
+    /// Mean utilization (load / bandwidth) over the class.
+    pub mean: f64,
+    /// Median utilization.
+    pub p50: f64,
+    /// 95th percentile utilization.
+    pub p95: f64,
+    /// Maximum utilization.
+    pub max: f64,
+    /// Fraction of channels above 90% utilization.
+    pub saturated_fraction: f64,
+}
+
+/// Utilization summary for the whole machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// One summary per link class, in `Green`, `Black`, `Global` order.
+    pub classes: Vec<ClassUtilization>,
+    /// The most loaded channel and its utilization.
+    pub hottest: (u32, f64),
+}
+
+impl LoadReport {
+    /// The class summary for one class.
+    pub fn class(&self, class: LinkClass) -> Option<&ClassUtilization> {
+        self.classes.iter().find(|c| c.class == class)
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Build a utilization report treating `loads` as instantaneous rates (or
+/// as bytes over a `window` of seconds).
+///
+/// ```
+/// use dfv_dragonfly::config::DragonflyConfig;
+/// use dfv_dragonfly::load::ChannelLoads;
+/// use dfv_dragonfly::stats::load_report;
+/// use dfv_dragonfly::topology::Topology;
+///
+/// let topo = Topology::new(DragonflyConfig::small()).unwrap();
+/// let loads = ChannelLoads::new(&topo);
+/// let report = load_report(&topo, &loads, 1.0);
+/// assert_eq!(report.classes.len(), 3); // green, black, global
+/// ```
+pub fn load_report(topo: &Topology, loads: &ChannelLoads, window: f64) -> LoadReport {
+    assert!(window > 0.0, "window must be positive");
+    let mut per_class: Vec<(LinkClass, Vec<f64>)> = vec![
+        (LinkClass::Green, Vec::new()),
+        (LinkClass::Black, Vec::new()),
+        (LinkClass::Global, Vec::new()),
+    ];
+    let mut hottest = (0u32, 0.0f64);
+    for i in 0..topo.num_channels() {
+        let c = ChannelId::from_index(i);
+        let info = topo.channel_info(c);
+        let util = loads.get(c) / (info.bandwidth * window);
+        if util > hottest.1 {
+            hottest = (c.0, util);
+        }
+        per_class
+            .iter_mut()
+            .find(|(class, _)| *class == info.class)
+            .expect("class bucket")
+            .1
+            .push(util);
+    }
+    let classes = per_class
+        .into_iter()
+        .map(|(class, mut utils)| {
+            utils.sort_by(f64::total_cmp);
+            let n = utils.len();
+            let mean = utils.iter().sum::<f64>() / n.max(1) as f64;
+            let saturated = utils.iter().filter(|&&u| u > 0.9).count();
+            ClassUtilization {
+                class,
+                channels: n,
+                mean,
+                p50: percentile(&utils, 0.5),
+                p95: percentile(&utils, 0.95),
+                max: utils.last().copied().unwrap_or(0.0),
+                saturated_fraction: saturated as f64 / n.max(1) as f64,
+            }
+        })
+        .collect();
+    LoadReport { classes, hottest }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DragonflyConfig;
+
+    fn topo() -> Topology {
+        Topology::new(DragonflyConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn empty_loads_report_zero_everywhere() {
+        let t = topo();
+        let loads = ChannelLoads::new(&t);
+        let report = load_report(&t, &loads, 1.0);
+        assert_eq!(report.classes.len(), 3);
+        for c in &report.classes {
+            assert_eq!(c.mean, 0.0);
+            assert_eq!(c.max, 0.0);
+            assert_eq!(c.saturated_fraction, 0.0);
+            assert!(c.channels > 0);
+        }
+        assert_eq!(report.hottest.1, 0.0);
+    }
+
+    #[test]
+    fn channel_counts_cover_the_topology() {
+        let t = topo();
+        let loads = ChannelLoads::new(&t);
+        let report = load_report(&t, &loads, 1.0);
+        let total: usize = report.classes.iter().map(|c| c.channels).sum();
+        assert_eq!(total, t.num_channels());
+    }
+
+    #[test]
+    fn saturating_one_channel_shows_in_its_class() {
+        let t = topo();
+        let mut loads = ChannelLoads::new(&t);
+        let c = ChannelId(0);
+        let info = t.channel_info(c);
+        loads.add(c, info.bandwidth * 2.0); // 2x oversubscribed for 1s
+        let report = load_report(&t, &loads, 1.0);
+        let cls = report.class(info.class).unwrap();
+        assert_eq!(report.hottest.0, 0);
+        assert!((report.hottest.1 - 2.0).abs() < 1e-12);
+        assert!(cls.max >= 2.0);
+        assert!(cls.saturated_fraction > 0.0);
+        // Other classes remain idle.
+        for other in &report.classes {
+            if other.class != info.class {
+                assert_eq!(other.max, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn window_scales_utilization() {
+        let t = topo();
+        let mut loads = ChannelLoads::new(&t);
+        let c = ChannelId(3);
+        loads.add(c, t.channel_info(c).bandwidth);
+        let r1 = load_report(&t, &loads, 1.0);
+        let r2 = load_report(&t, &loads, 2.0);
+        assert!((r1.hottest.1 - 2.0 * r2.hottest.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let t = topo();
+        let mut loads = ChannelLoads::new(&t);
+        // Spread random-ish loads over the green channels.
+        for i in 0..t.num_channels() {
+            let c = ChannelId::from_index(i);
+            if t.channel_info(c).class == LinkClass::Green {
+                loads.add(c, (i % 7) as f64 * 1e9);
+            }
+        }
+        let report = load_report(&t, &loads, 1.0);
+        let g = report.class(LinkClass::Green).unwrap();
+        assert!(g.p50 <= g.p95 + 1e-12);
+        assert!(g.p95 <= g.max + 1e-12);
+        assert!(g.mean > 0.0);
+    }
+}

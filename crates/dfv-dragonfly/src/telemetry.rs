@@ -1,0 +1,186 @@
+//! Per-router tile statistics produced by the congestion model.
+//!
+//! Each router accumulates, over one simulation step, the quantities the
+//! Aries hardware counters of Table II report: flits and packets received on
+//! router tiles (network-facing input queues) and on processor tiles
+//! (NIC-facing), and cycles stalled on the respective row/column buses.
+//! The `dfv-counters` crate maps these fields onto the named counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Raw tile statistics for one router over one step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TileStats {
+    /// Flits received on the router's network tiles.
+    pub rt_flit_tot: f64,
+    /// Packets received on the router's network tiles.
+    pub rt_pkt_tot: f64,
+    /// Cycles stalled on router-tile row buses.
+    pub rt_rb_stl: f64,
+    /// Cycles in which two stalls occurred on a router tile.
+    pub rt_rb_2x_usg: f64,
+    /// Flits received on processor tiles on VC0 (requests: payload data
+    /// delivered to this router's nodes).
+    pub pt_flit_vc0: f64,
+    /// Flits received on processor tiles on VC4 (responses: acknowledgements
+    /// returning for data this router's nodes sent).
+    pub pt_flit_vc4: f64,
+    /// Packets received on processor tiles.
+    pub pt_pkt_tot: f64,
+    /// Cycles stalled on processor-tile request row buses.
+    pub pt_rb_stl_rq: f64,
+    /// Cycles stalled on processor-tile response row buses.
+    pub pt_rb_stl_rs: f64,
+    /// Cycles in which two stalls occurred on a processor tile.
+    pub pt_rb_2x_usg: f64,
+    /// Cycles a processor tile column buffer stalled for request VCs.
+    pub pt_cb_stl_rq: f64,
+    /// Cycles a processor tile column buffer stalled for response VCs.
+    pub pt_cb_stl_rs: f64,
+}
+
+impl TileStats {
+    /// Accumulate another stats record into this one.
+    pub fn add(&mut self, o: &TileStats) {
+        self.rt_flit_tot += o.rt_flit_tot;
+        self.rt_pkt_tot += o.rt_pkt_tot;
+        self.rt_rb_stl += o.rt_rb_stl;
+        self.rt_rb_2x_usg += o.rt_rb_2x_usg;
+        self.pt_flit_vc0 += o.pt_flit_vc0;
+        self.pt_flit_vc4 += o.pt_flit_vc4;
+        self.pt_pkt_tot += o.pt_pkt_tot;
+        self.pt_rb_stl_rq += o.pt_rb_stl_rq;
+        self.pt_rb_stl_rs += o.pt_rb_stl_rs;
+        self.pt_rb_2x_usg += o.pt_rb_2x_usg;
+        self.pt_cb_stl_rq += o.pt_cb_stl_rq;
+        self.pt_cb_stl_rs += o.pt_cb_stl_rs;
+    }
+
+    /// Derived total flits on processor tiles (VC0 + VC4), matching the
+    /// derived counter `PT_FLIT_TOT` of Table II.
+    pub fn pt_flit_tot(&self) -> f64 {
+        self.pt_flit_vc0 + self.pt_flit_vc4
+    }
+
+    /// True when every field is finite and non-negative.
+    pub fn is_sane(&self) -> bool {
+        [
+            self.rt_flit_tot,
+            self.rt_pkt_tot,
+            self.rt_rb_stl,
+            self.rt_rb_2x_usg,
+            self.pt_flit_vc0,
+            self.pt_flit_vc4,
+            self.pt_pkt_tot,
+            self.pt_rb_stl_rq,
+            self.pt_rb_stl_rs,
+            self.pt_rb_2x_usg,
+            self.pt_cb_stl_rq,
+            self.pt_cb_stl_rs,
+        ]
+        .iter()
+        .all(|v| v.is_finite() && *v >= 0.0)
+    }
+}
+
+/// Tile statistics for every router of the machine over one step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepTelemetry {
+    per_router: Vec<TileStats>,
+}
+
+impl StepTelemetry {
+    /// All-zero telemetry for `num_routers` routers.
+    pub fn new(num_routers: usize) -> Self {
+        StepTelemetry { per_router: vec![TileStats::default(); num_routers] }
+    }
+
+    /// Number of routers tracked.
+    pub fn num_routers(&self) -> usize {
+        self.per_router.len()
+    }
+
+    /// Stats of one router.
+    #[inline]
+    pub fn router(&self, r: usize) -> &TileStats {
+        &self.per_router[r]
+    }
+
+    /// Mutable stats of one router.
+    #[inline]
+    pub fn router_mut(&mut self, r: usize) -> &mut TileStats {
+        &mut self.per_router[r]
+    }
+
+    /// Reset to zero without deallocating.
+    pub fn clear(&mut self) {
+        self.per_router.iter_mut().for_each(|t| *t = TileStats::default());
+    }
+
+    /// Sum the stats of a set of routers (e.g. the routers of one job, or
+    /// all I/O routers).
+    pub fn aggregate<I: IntoIterator<Item = usize>>(&self, routers: I) -> TileStats {
+        let mut acc = TileStats::default();
+        for r in routers {
+            acc.add(&self.per_router[r]);
+        }
+        acc
+    }
+
+    /// Sum over all routers.
+    pub fn total(&self) -> TileStats {
+        self.aggregate(0..self.per_router.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_every_field() {
+        let mut a = TileStats::default();
+        let b = TileStats {
+            rt_flit_tot: 1.0,
+            rt_pkt_tot: 2.0,
+            rt_rb_stl: 3.0,
+            rt_rb_2x_usg: 4.0,
+            pt_flit_vc0: 5.0,
+            pt_flit_vc4: 6.0,
+            pt_pkt_tot: 7.0,
+            pt_rb_stl_rq: 8.0,
+            pt_rb_stl_rs: 9.0,
+            pt_rb_2x_usg: 10.0,
+            pt_cb_stl_rq: 11.0,
+            pt_cb_stl_rs: 12.0,
+        };
+        a.add(&b);
+        a.add(&b);
+        assert_eq!(a.rt_flit_tot, 2.0);
+        assert_eq!(a.pt_cb_stl_rs, 24.0);
+        assert_eq!(a.pt_flit_tot(), 22.0);
+        assert!(a.is_sane());
+    }
+
+    #[test]
+    fn sanity_check_rejects_nan_and_negative() {
+        let mut s = TileStats::default();
+        assert!(s.is_sane());
+        s.rt_rb_stl = f64::NAN;
+        assert!(!s.is_sane());
+        s.rt_rb_stl = -1.0;
+        assert!(!s.is_sane());
+    }
+
+    #[test]
+    fn aggregate_sums_selected_routers() {
+        let mut t = StepTelemetry::new(4);
+        t.router_mut(0).rt_flit_tot = 1.0;
+        t.router_mut(2).rt_flit_tot = 10.0;
+        t.router_mut(3).rt_flit_tot = 100.0;
+        assert_eq!(t.aggregate([0, 2]).rt_flit_tot, 11.0);
+        assert_eq!(t.total().rt_flit_tot, 111.0);
+        t.clear();
+        assert_eq!(t.total().rt_flit_tot, 0.0);
+    }
+}

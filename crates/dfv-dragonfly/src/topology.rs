@@ -1,0 +1,485 @@
+//! The Cray XC dragonfly topology.
+//!
+//! A machine is a set of *groups*; each group is a `rows x routers_per_row`
+//! grid of Aries routers. Within a group, the routers of a row are connected
+//! all-to-all by **green** links and the routers of a column all-to-all by
+//! **black** links (Figure 2 of the paper). Groups are connected by **blue**
+//! global links attached to *gateway* routers.
+//!
+//! Because the structure is completely regular, every directed channel is
+//! given an arithmetic identifier: no hash maps are needed on the routing
+//! hot path. A physical group-pair bundle of blue links is split over a
+//! small number of gateway routers (`global_spread`) so that traffic funneling
+//! toward a peer group does not artificially concentrate on a single router.
+
+use crate::config::DragonflyConfig;
+use crate::ids::{ChannelId, GroupId, Idx, NodeId, RouterId};
+use serde::{Deserialize, Serialize};
+
+/// The class of a physical link (and of both its directed channels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// Intra-group, intra-row (all-to-all over the 16 routers of a row).
+    Green,
+    /// Intra-group, intra-column (all-to-all over the 6 routers of a column).
+    Black,
+    /// Inter-group optical link.
+    Global,
+}
+
+/// Endpoints and capacity of one directed channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChannelInfo {
+    /// Transmitting router.
+    pub src: RouterId,
+    /// Receiving router (the router whose input-queue tile counts this
+    /// channel's flits and stalls).
+    pub dst: RouterId,
+    /// Link class.
+    pub class: LinkClass,
+    /// Capacity in bytes per second for this direction.
+    pub bandwidth: f64,
+}
+
+/// Coordinates of a router inside the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterCoords {
+    /// The router's group.
+    pub group: GroupId,
+    /// Row within the group grid, `0..rows`.
+    pub row: usize,
+    /// Column within the group grid, `0..routers_per_row`.
+    pub col: usize,
+}
+
+/// An immutable dragonfly topology built from a [`DragonflyConfig`].
+#[derive(Debug, Clone)]
+pub struct Topology {
+    cfg: DragonflyConfig,
+    global_spread: usize,
+    green_base: usize,
+    black_base: usize,
+    global_base: usize,
+    num_channels: usize,
+    channel_info: Vec<ChannelInfo>,
+}
+
+impl Topology {
+    /// Number of gateway routers a group-pair bundle is spread over.
+    pub const DEFAULT_GLOBAL_SPREAD: usize = 4;
+
+    /// Build the topology. Fails if the configuration is invalid.
+    pub fn new(cfg: DragonflyConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let rpg = cfg.routers_per_group();
+        let p = cfg.routers_per_row;
+        let r = cfg.rows;
+        let g = cfg.num_groups;
+
+        let links_per_pair = cfg.global_links_per_group_pair();
+        let global_spread = if g > 1 {
+            Self::DEFAULT_GLOBAL_SPREAD.min(links_per_pair).min(rpg).max(1)
+        } else {
+            0
+        };
+
+        let green_per_group = r * p * (p - 1); // directed
+        let black_per_group = p * r * (r - 1); // directed
+        let green_base = 0;
+        let black_base = green_base + g * green_per_group;
+        let global_base = black_base + g * black_per_group;
+        let num_global = if g > 1 { g * (g - 1) * global_spread } else { 0 };
+        let num_channels = global_base + num_global;
+
+        let mut topo = Self {
+            cfg,
+            global_spread,
+            green_base,
+            black_base,
+            global_base,
+            num_channels,
+            channel_info: Vec::new(),
+        };
+        topo.channel_info = (0..num_channels)
+            .map(|i| topo.compute_channel_info(ChannelId::from_index(i)))
+            .collect();
+        Ok(topo)
+    }
+
+    /// The configuration this topology was built from.
+    pub fn config(&self) -> &DragonflyConfig {
+        &self.cfg
+    }
+
+    /// Total number of directed channels.
+    pub fn num_channels(&self) -> usize {
+        self.num_channels
+    }
+
+    /// Total routers.
+    pub fn num_routers(&self) -> usize {
+        self.cfg.total_routers()
+    }
+
+    /// Total nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.cfg.total_nodes()
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.cfg.num_groups
+    }
+
+    /// Gateway routers per group-pair bundle.
+    pub fn global_spread(&self) -> usize {
+        self.global_spread
+    }
+
+    /// Endpoints and capacity of a directed channel.
+    #[inline]
+    pub fn channel_info(&self, c: ChannelId) -> &ChannelInfo {
+        &self.channel_info[c.index()]
+    }
+
+    // ---- node/router/group coordinate algebra -------------------------------
+
+    /// Router a node is attached to.
+    #[inline]
+    pub fn router_of_node(&self, n: NodeId) -> RouterId {
+        RouterId::from_index(n.index() / self.cfg.nodes_per_router)
+    }
+
+    /// The nodes attached to a router, in id order.
+    pub fn nodes_of_router(&self, r: RouterId) -> impl Iterator<Item = NodeId> {
+        let k = self.cfg.nodes_per_router;
+        let start = r.index() * k;
+        (start..start + k).map(NodeId::from_index)
+    }
+
+    /// Group containing a router.
+    #[inline]
+    pub fn group_of_router(&self, r: RouterId) -> GroupId {
+        GroupId::from_index(r.index() / self.cfg.routers_per_group())
+    }
+
+    /// Group containing a node.
+    #[inline]
+    pub fn group_of_node(&self, n: NodeId) -> GroupId {
+        self.group_of_router(self.router_of_node(n))
+    }
+
+    /// Full coordinates of a router.
+    #[inline]
+    pub fn coords(&self, r: RouterId) -> RouterCoords {
+        let rpg = self.cfg.routers_per_group();
+        let p = self.cfg.routers_per_row;
+        let local = r.index() % rpg;
+        RouterCoords {
+            group: GroupId::from_index(r.index() / rpg),
+            row: local / p,
+            col: local % p,
+        }
+    }
+
+    /// Router at the given coordinates.
+    #[inline]
+    pub fn router_at(&self, group: GroupId, row: usize, col: usize) -> RouterId {
+        debug_assert!(row < self.cfg.rows && col < self.cfg.routers_per_row);
+        RouterId::from_index(
+            group.index() * self.cfg.routers_per_group() + row * self.cfg.routers_per_row + col,
+        )
+    }
+
+    // ---- channel id algebra --------------------------------------------------
+
+    /// Directed green channel from `(group,row,col_a)` to `(group,row,col_b)`.
+    #[inline]
+    pub fn green_channel(&self, group: GroupId, row: usize, col_a: usize, col_b: usize) -> ChannelId {
+        debug_assert_ne!(col_a, col_b);
+        let p = self.cfg.routers_per_row;
+        let adj = if col_b < col_a { col_b } else { col_b - 1 };
+        let src_rank = (group.index() * self.cfg.rows + row) * p + col_a;
+        ChannelId::from_index(self.green_base + src_rank * (p - 1) + adj)
+    }
+
+    /// Directed black channel from `(group,row_a,col)` to `(group,row_b,col)`.
+    #[inline]
+    pub fn black_channel(&self, group: GroupId, col: usize, row_a: usize, row_b: usize) -> ChannelId {
+        debug_assert_ne!(row_a, row_b);
+        let r = self.cfg.rows;
+        let adj = if row_b < row_a { row_b } else { row_b - 1 };
+        let src_rank = (group.index() * self.cfg.routers_per_row + col) * r + row_a;
+        ChannelId::from_index(self.black_base + src_rank * (r - 1) + adj)
+    }
+
+    /// Directed global channel from group `ga` to group `gb`, sub-bundle `s`
+    /// (`s < global_spread()`).
+    #[inline]
+    pub fn global_channel(&self, ga: GroupId, gb: GroupId, s: usize) -> ChannelId {
+        debug_assert_ne!(ga, gb);
+        debug_assert!(s < self.global_spread);
+        let g = self.cfg.num_groups;
+        let adj = if gb.index() < ga.index() { gb.index() } else { gb.index() - 1 };
+        ChannelId::from_index(self.global_base + (ga.index() * (g - 1) + adj) * self.global_spread + s)
+    }
+
+    /// The gateway router in `group` that carries sub-bundle `s` of the
+    /// global bundle toward `peer`. Bundles are spread evenly over the
+    /// routers of the group, in router-id order.
+    #[inline]
+    pub fn gateway_router(&self, group: GroupId, peer: GroupId, s: usize) -> RouterId {
+        debug_assert_ne!(group, peer);
+        let g = self.cfg.num_groups;
+        let rpg = self.cfg.routers_per_group();
+        let adj = if peer.index() < group.index() { peer.index() } else { peer.index() - 1 };
+        let slot = adj * self.global_spread + s;
+        let total_slots = (g - 1) * self.global_spread;
+        let local = (slot * rpg) / total_slots;
+        RouterId::from_index(group.index() * rpg + local)
+    }
+
+    /// Channel class and info computed from the id layout (used once, at
+    /// construction, to fill the `channel_info` table).
+    fn compute_channel_info(&self, c: ChannelId) -> ChannelInfo {
+        let i = c.index();
+        let p = self.cfg.routers_per_row;
+        let r = self.cfg.rows;
+        if i < self.black_base {
+            // Green.
+            let rel = i - self.green_base;
+            let adj = rel % (p - 1);
+            let src_rank = rel / (p - 1);
+            let col_a = src_rank % p;
+            let row = (src_rank / p) % r;
+            let group = GroupId::from_index(src_rank / (p * r));
+            let col_b = if adj < col_a { adj } else { adj + 1 };
+            ChannelInfo {
+                src: self.router_at(group, row, col_a),
+                dst: self.router_at(group, row, col_b),
+                class: LinkClass::Green,
+                bandwidth: self.cfg.green_bandwidth,
+            }
+        } else if i < self.global_base {
+            // Black.
+            let rel = i - self.black_base;
+            let adj = rel % (r - 1);
+            let src_rank = rel / (r - 1);
+            let row_a = src_rank % r;
+            let col = (src_rank / r) % p;
+            let group = GroupId::from_index(src_rank / (r * p));
+            let row_b = if adj < row_a { adj } else { adj + 1 };
+            ChannelInfo {
+                src: self.router_at(group, row_a, col),
+                dst: self.router_at(group, row_b, col),
+                class: LinkClass::Black,
+                bandwidth: self.cfg.black_bandwidth,
+            }
+        } else {
+            // Global.
+            let g = self.cfg.num_groups;
+            let rel = i - self.global_base;
+            let s = rel % self.global_spread;
+            let pair = rel / self.global_spread;
+            let adj = pair % (g - 1);
+            let ga = GroupId::from_index(pair / (g - 1));
+            let gb = GroupId::from_index(if adj < ga.index() { adj } else { adj + 1 });
+            // Bundle bandwidth: all physical links of the pair split evenly
+            // over the spread sub-bundles.
+            let per_pair = self.cfg.global_links_per_group_pair() as f64;
+            let bw = self.cfg.global_bandwidth * per_pair / self.global_spread as f64;
+            ChannelInfo {
+                src: self.gateway_router(ga, gb, s),
+                dst: self.gateway_router(gb, ga, s),
+                class: LinkClass::Global,
+                bandwidth: bw,
+            }
+        }
+    }
+
+    /// Iterate over every directed channel id.
+    pub fn channels(&self) -> impl Iterator<Item = ChannelId> {
+        (0..self.num_channels).map(ChannelId::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Topology {
+        Topology::new(DragonflyConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn channel_counts_match_structure() {
+        let t = small();
+        let c = t.config().clone();
+        let green = c.num_groups * c.rows * c.routers_per_row * (c.routers_per_row - 1);
+        let black = c.num_groups * c.routers_per_row * c.rows * (c.rows - 1);
+        let global = c.num_groups * (c.num_groups - 1) * t.global_spread();
+        assert_eq!(t.num_channels(), green + black + global);
+    }
+
+    #[test]
+    fn cori_has_96_routers_per_group_and_13056_nodes() {
+        let t = Topology::new(DragonflyConfig::cori()).unwrap();
+        assert_eq!(t.num_routers(), 3264);
+        assert_eq!(t.num_nodes(), 13056);
+        assert_eq!(t.num_groups(), 34);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let t = small();
+        for i in 0..t.num_routers() {
+            let r = RouterId::from_index(i);
+            let c = t.coords(r);
+            assert_eq!(t.router_at(c.group, c.row, c.col), r);
+        }
+    }
+
+    #[test]
+    fn node_router_attachment() {
+        let t = small();
+        for i in 0..t.num_nodes() {
+            let n = NodeId::from_index(i);
+            let r = t.router_of_node(n);
+            assert!(t.nodes_of_router(r).any(|m| m == n));
+        }
+    }
+
+    #[test]
+    fn green_channels_connect_same_row() {
+        let t = small();
+        let g = GroupId(1);
+        let c = t.green_channel(g, 1, 0, 3);
+        let info = t.channel_info(c);
+        assert_eq!(info.class, LinkClass::Green);
+        let (a, b) = (t.coords(info.src), t.coords(info.dst));
+        assert_eq!(a.group, g);
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.col, 0);
+        assert_eq!(b.col, 3);
+    }
+
+    #[test]
+    fn black_channels_connect_same_column() {
+        let t = small();
+        let g = GroupId(2);
+        let c = t.black_channel(g, 2, 0, 1);
+        let info = t.channel_info(c);
+        assert_eq!(info.class, LinkClass::Black);
+        let (a, b) = (t.coords(info.src), t.coords(info.dst));
+        assert_eq!(a.group, g);
+        assert_eq!(a.col, b.col);
+        assert_eq!(a.row, 0);
+        assert_eq!(b.row, 1);
+    }
+
+    #[test]
+    fn global_channels_connect_the_right_groups() {
+        let t = small();
+        for ga in 0..t.num_groups() {
+            for gb in 0..t.num_groups() {
+                if ga == gb {
+                    continue;
+                }
+                for s in 0..t.global_spread() {
+                    let c = t.global_channel(GroupId::from_index(ga), GroupId::from_index(gb), s);
+                    let info = t.channel_info(c);
+                    assert_eq!(info.class, LinkClass::Global);
+                    assert_eq!(t.group_of_router(info.src).index(), ga);
+                    assert_eq!(t.group_of_router(info.dst).index(), gb);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn channel_ids_are_unique_and_consistent_with_info_table() {
+        let t = small();
+        let c = t.config().clone();
+        // Every (class-specific) constructor maps to a distinct id and the
+        // precomputed info table agrees with the constructor arguments.
+        let mut seen = vec![false; t.num_channels()];
+        for g in 0..c.num_groups {
+            let g = GroupId::from_index(g);
+            for row in 0..c.rows {
+                for a in 0..c.routers_per_row {
+                    for b in 0..c.routers_per_row {
+                        if a != b {
+                            let id = t.green_channel(g, row, a, b);
+                            assert!(!seen[id.index()], "duplicate id {id}");
+                            seen[id.index()] = true;
+                        }
+                    }
+                }
+            }
+            for col in 0..c.routers_per_row {
+                for a in 0..c.rows {
+                    for b in 0..c.rows {
+                        if a != b {
+                            let id = t.black_channel(g, col, a, b);
+                            assert!(!seen[id.index()], "duplicate id {id}");
+                            seen[id.index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+        for ga in 0..c.num_groups {
+            for gb in 0..c.num_groups {
+                if ga != gb {
+                    for s in 0..t.global_spread() {
+                        let id =
+                            t.global_channel(GroupId::from_index(ga), GroupId::from_index(gb), s);
+                        assert!(!seen[id.index()], "duplicate id {id}");
+                        seen[id.index()] = true;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every channel id must be covered");
+    }
+
+    #[test]
+    fn gateway_routers_spread_over_group() {
+        let t = Topology::new(DragonflyConfig::cori()).unwrap();
+        let g = GroupId(0);
+        let mut gateways: Vec<usize> = Vec::new();
+        for peer in 1..t.num_groups() {
+            for s in 0..t.global_spread() {
+                gateways.push(t.gateway_router(g, GroupId::from_index(peer), s).index());
+            }
+        }
+        gateways.sort_unstable();
+        gateways.dedup();
+        // 33 peers x 4 sub-bundles = 132 slots over 96 routers: most routers
+        // of the group should serve as a gateway for some bundle.
+        assert!(gateways.len() > 60, "got {} distinct gateways", gateways.len());
+    }
+
+    #[test]
+    fn bandwidths_follow_config() {
+        let t = small();
+        let cfg = t.config().clone();
+        for id in t.channels() {
+            let info = t.channel_info(id);
+            match info.class {
+                LinkClass::Green => assert_eq!(info.bandwidth, cfg.green_bandwidth),
+                LinkClass::Black => assert_eq!(info.bandwidth, cfg.black_bandwidth),
+                LinkClass::Global => assert!(info.bandwidth > 0.0),
+            }
+        }
+    }
+
+    #[test]
+    fn channels_never_self_loop() {
+        let t = small();
+        for id in t.channels() {
+            let info = t.channel_info(id);
+            assert_ne!(info.src, info.dst, "self loop at {id}");
+        }
+    }
+}

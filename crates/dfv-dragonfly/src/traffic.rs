@@ -1,0 +1,188 @@
+//! Node-level traffic descriptions.
+//!
+//! Applications and background jobs describe one step (or one second) of
+//! communication as a set of [`Flow`]s between nodes. Ranks sharing a node
+//! are aggregated by the workload layer before reaching this crate, because
+//! the network only sees NICs.
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A directed node-to-node transfer: `bytes` bytes carried by `messages`
+/// individual MPI messages. The message count matters because NICs saturate
+/// on message *rate* long before bandwidth for small-message workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Flow {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload bytes.
+    pub bytes: f64,
+    /// Number of messages the payload is split into.
+    pub messages: f64,
+    /// Synchrony of the flow in `[0, 1]`: how strongly one message's delay
+    /// serializes behind the previous one. Pipelined sweeps and collectives
+    /// (UMT) are ~1; aggressively overlapped asynchronous messaging with
+    /// Iprobe/Test progress polling (AMG) is near 0.1.
+    pub sync: f64,
+}
+
+/// One step's worth of traffic: a bag of flows.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Traffic {
+    /// The flows of this step. Multiple flows with the same endpoints are
+    /// allowed; [`Traffic::coalesce`] merges them.
+    pub flows: Vec<Flow>,
+}
+
+impl Traffic {
+    /// Empty traffic.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one flow with full synchrony. Zero-byte flows and self-flows are
+    /// dropped (a message a node sends to itself never enters the network).
+    pub fn push(&mut self, src: NodeId, dst: NodeId, bytes: f64, messages: f64) {
+        self.push_sync(src, dst, bytes, messages, 1.0);
+    }
+
+    /// Add one flow with an explicit synchrony factor.
+    pub fn push_sync(&mut self, src: NodeId, dst: NodeId, bytes: f64, messages: f64, sync: f64) {
+        if src != dst && bytes > 0.0 {
+            self.flows.push(Flow {
+                src,
+                dst,
+                bytes,
+                messages: messages.max(1.0),
+                sync: sync.clamp(0.0, 1.0),
+            });
+        }
+    }
+
+    /// Set the synchrony factor of every flow (applications apply their
+    /// messaging style to a freshly built pattern).
+    pub fn set_sync(&mut self, sync: f64) {
+        let sync = sync.clamp(0.0, 1.0);
+        for f in &mut self.flows {
+            f.sync = sync;
+        }
+    }
+
+    /// Total payload bytes over all flows.
+    pub fn total_bytes(&self) -> f64 {
+        self.flows.iter().map(|f| f.bytes).sum()
+    }
+
+    /// Total message count over all flows.
+    pub fn total_messages(&self) -> f64 {
+        self.flows.iter().map(|f| f.messages).sum()
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when there are no flows.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Merge flows with identical endpoints, summing bytes and messages and
+    /// averaging synchrony weighted by message count. Reduces routing work
+    /// for patterns (like all-reduce trees) that emit the same pair several
+    /// times.
+    pub fn coalesce(&mut self) {
+        let mut merged: HashMap<(NodeId, NodeId), (f64, f64, f64)> = HashMap::new();
+        for f in &self.flows {
+            let e = merged.entry((f.src, f.dst)).or_insert((0.0, 0.0, 0.0));
+            e.0 += f.bytes;
+            e.1 += f.messages;
+            e.2 += f.sync * f.messages;
+        }
+        let mut flows: Vec<Flow> = merged
+            .into_iter()
+            .map(|((src, dst), (bytes, messages, wsync))| Flow {
+                src,
+                dst,
+                bytes,
+                messages,
+                sync: if messages > 0.0 { wsync / messages } else { 1.0 },
+            })
+            .collect();
+        flows.sort_by_key(|f| (f.src, f.dst));
+        self.flows = flows;
+    }
+
+    /// Scale every flow's bytes and messages by `factor`.
+    pub fn scale(&mut self, factor: f64) {
+        for f in &mut self.flows {
+            f.bytes *= factor;
+            f.messages = (f.messages * factor).max(1.0);
+        }
+    }
+
+    /// Extend with all flows of `other`.
+    pub fn extend(&mut self, other: &Traffic) {
+        self.flows.extend_from_slice(&other.flows);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_drops_self_flows_and_zero_bytes() {
+        let mut t = Traffic::new();
+        t.push(NodeId(1), NodeId(1), 100.0, 1.0);
+        t.push(NodeId(1), NodeId(2), 0.0, 1.0);
+        t.push(NodeId(1), NodeId(2), 10.0, 1.0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.total_bytes(), 10.0);
+    }
+
+    #[test]
+    fn message_count_floors_at_one() {
+        let mut t = Traffic::new();
+        t.push(NodeId(0), NodeId(1), 8.0, 0.0);
+        assert_eq!(t.flows[0].messages, 1.0);
+    }
+
+    #[test]
+    fn coalesce_merges_duplicate_pairs() {
+        let mut t = Traffic::new();
+        t.push(NodeId(0), NodeId(1), 10.0, 2.0);
+        t.push(NodeId(0), NodeId(1), 5.0, 1.0);
+        t.push(NodeId(1), NodeId(0), 1.0, 1.0);
+        t.coalesce();
+        assert_eq!(t.len(), 2);
+        let f = t.flows.iter().find(|f| f.src == NodeId(0)).unwrap();
+        assert_eq!(f.bytes, 15.0);
+        assert_eq!(f.messages, 3.0);
+        assert_eq!(t.total_bytes(), 16.0);
+    }
+
+    #[test]
+    fn coalesce_is_deterministic() {
+        let mut a = Traffic::new();
+        a.push(NodeId(3), NodeId(1), 1.0, 1.0);
+        a.push(NodeId(0), NodeId(2), 1.0, 1.0);
+        let mut b = Traffic { flows: a.flows.iter().rev().copied().collect() };
+        a.coalesce();
+        b.coalesce();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scale_multiplies_bytes() {
+        let mut t = Traffic::new();
+        t.push(NodeId(0), NodeId(1), 10.0, 4.0);
+        t.scale(2.5);
+        assert_eq!(t.flows[0].bytes, 25.0);
+        assert_eq!(t.flows[0].messages, 10.0);
+    }
+}

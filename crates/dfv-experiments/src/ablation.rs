@@ -1,0 +1,151 @@
+//! Design-choice ablations on the substrate itself.
+//!
+//! The paper takes Cray's adaptive routing as given; its related work
+//! (Faizian et al., De Sensi et al.) compares routing policies directly.
+//! This module measures how the three routing policies the simulator
+//! implements handle the same application traffic under the same background
+//! congestion — the ablation that justifies defaulting to UGAL-style
+//! adaptive routing in every other experiment.
+
+use crate::campaign::splitmix;
+use dfv_dragonfly::config::DragonflyConfig;
+use dfv_dragonfly::ids::NodeId;
+use dfv_dragonfly::network::{BackgroundTraffic, NetworkSim, SimScratch};
+use dfv_dragonfly::routing::RoutingPolicy;
+use dfv_dragonfly::topology::Topology;
+use dfv_dragonfly::traffic::Traffic;
+use dfv_workloads::app::AppSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Result of evaluating one routing policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyOutcome {
+    /// Human-readable policy name.
+    pub policy: String,
+    /// Mean communication time per step across the sampled steps, seconds.
+    pub mean_comm_time: f64,
+    /// Worst sampled step.
+    pub max_comm_time: f64,
+}
+
+/// Compare routing policies for `spec` running against a randomized
+/// standing background of `bg_flows` flows at `bg_bytes_per_sec` each.
+/// Every policy sees the identical traffic and background.
+pub fn routing_policy_ablation(
+    config: &DragonflyConfig,
+    spec: &AppSpec,
+    bg_flows: usize,
+    bg_bytes_per_sec: f64,
+    steps: usize,
+    seed: u64,
+) -> Vec<PolicyOutcome> {
+    let topo = Topology::new(config.clone()).expect("valid topology");
+    let num_nodes = topo.num_nodes() as u32;
+    assert!(spec.num_nodes <= topo.num_nodes(), "job must fit the machine");
+
+    // Fixed probe placement: the first half of the machine, strided so the
+    // job shares routers with the background.
+    let nodes: Vec<NodeId> =
+        (0..spec.num_nodes as u32).map(|i| NodeId(i * 2 % num_nodes)).collect();
+    let mut nodes = nodes;
+    nodes.sort_unstable();
+    nodes.dedup();
+    let nodes: Vec<NodeId> = nodes.into_iter().take(spec.num_nodes).collect();
+    let spec = AppSpec { kind: spec.kind, num_nodes: nodes.len() };
+    let app = spec.instantiate(&nodes, splitmix(seed, 1));
+
+    // Background: random long-haul flows, routed once with the default
+    // adaptive policy (the background is "everyone else", not part of the
+    // ablation).
+    let mut rng = StdRng::seed_from_u64(splitmix(seed, 2));
+    let mut bg_traffic = Traffic::new();
+    for _ in 0..bg_flows {
+        let a = NodeId(rng.gen_range(0..num_nodes));
+        let b = NodeId(rng.gen_range(0..num_nodes));
+        bg_traffic.push(a, b, bg_bytes_per_sec, bg_bytes_per_sec / 4096.0);
+    }
+    let background: BackgroundTraffic =
+        NetworkSim::new(&topo).route_traffic(&bg_traffic, None, splitmix(seed, 3));
+
+    let policies: Vec<(String, RoutingPolicy)> = vec![
+        ("minimal".into(), RoutingPolicy::Minimal),
+        ("valiant".into(), RoutingPolicy::Valiant),
+        ("adaptive (UGAL)".into(), RoutingPolicy::default()),
+    ];
+    policies
+        .into_iter()
+        .map(|(name, policy)| {
+            let sim = NetworkSim::new(&topo).with_policy(policy);
+            let mut scratch = SimScratch::new(&topo);
+            let mut traffic = Traffic::new();
+            let mut total = 0.0;
+            let mut worst: f64 = 0.0;
+            let sampled = steps.min(app.num_steps());
+            for step in 0..sampled {
+                app.step_traffic(step, &mut traffic);
+                let out =
+                    sim.simulate_step(&traffic, &background, splitmix(seed, 100 + step as u64), &mut scratch);
+                total += out.comm_time;
+                worst = worst.max(out.comm_time);
+            }
+            PolicyOutcome {
+                policy: name,
+                mean_comm_time: total / sampled.max(1) as f64,
+                max_comm_time: worst,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfv_workloads::app::AppKind;
+
+    #[test]
+    fn ablation_covers_all_three_policies() {
+        let spec = AppSpec { kind: AppKind::Milc, num_nodes: 16 };
+        let out = routing_policy_ablation(&DragonflyConfig::small(), &spec, 200, 2.0e9, 4, 7);
+        assert_eq!(out.len(), 3);
+        for p in &out {
+            assert!(p.mean_comm_time.is_finite() && p.mean_comm_time > 0.0);
+            assert!(p.max_comm_time >= p.mean_comm_time);
+        }
+    }
+
+    #[test]
+    fn adaptive_routing_is_competitive_under_congestion() {
+        let spec = AppSpec { kind: AppKind::Milc, num_nodes: 16 };
+        let out = routing_policy_ablation(&DragonflyConfig::small(), &spec, 400, 3.0e9, 4, 11);
+        let get = |name: &str| {
+            out.iter().find(|p| p.policy.starts_with(name)).unwrap().mean_comm_time
+        };
+        // Adaptive routing stays within a modest factor of static minimal
+        // routing even on a tiny, endpoint-bound machine where detours buy
+        // nothing (its wins show on congested inter-group links, covered by
+        // dfv-dragonfly's adaptive_avoids_a_congested_global_channel test),
+        // and it beats always-Valiant.
+        assert!(
+            get("adaptive") <= get("minimal") * 1.5,
+            "adaptive {} vs minimal {}",
+            get("adaptive"),
+            get("minimal")
+        );
+        assert!(
+            get("adaptive") <= get("valiant") * 1.1,
+            "adaptive {} vs valiant {}",
+            get("adaptive"),
+            get("valiant")
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = AppSpec { kind: AppKind::Amg, num_nodes: 8 };
+        let a = routing_policy_ablation(&DragonflyConfig::small(), &spec, 100, 1.0e9, 3, 5);
+        let b = routing_policy_ablation(&DragonflyConfig::small(), &spec, 100, 1.0e9, 3, 5);
+        assert_eq!(a, b);
+    }
+}

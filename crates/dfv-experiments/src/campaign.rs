@@ -1,0 +1,680 @@
+//! The controlled-experiment campaign of Section III.
+//!
+//! The campaign mirrors the paper's data-collection protocol: a probe user
+//! submits one or two jobs per application and node count every simulated
+//! day to the production queue, the batch scheduler decides when and where
+//! each probe actually runs, and during each probe's execution we record
+//! per-step times, the job's Aries counter deltas (AriesNCL), LDMS io/sys
+//! aggregates, and placement features — while a synthetic population of
+//! production users keeps the machine busy with interfering traffic.
+//!
+//! The simulation runs in two phases:
+//!
+//! 1. **Scheduling phase** — the entire multi-month job timeline (background
+//!    users + probes) is played through the [`Cluster`], fixing every job's
+//!    placement and execution window and producing the sacct log.
+//! 2. **Measurement phase** — each probe run is simulated step by step
+//!    against the background traffic of the jobs that were running at that
+//!    moment (probe runs are processed in start-time order, in parallel
+//!    chunks that share a routed-traffic cache for the background jobs).
+
+use crate::data::{AppDataset, RunRecord, StepRecord};
+use dfv_counters::ldms::{LdmsSampler, SystemLayout};
+use dfv_counters::session::AriesSession;
+use dfv_dragonfly::config::DragonflyConfig;
+use dfv_dragonfly::ids::NodeId;
+use dfv_dragonfly::network::{BackgroundTraffic, NetworkSim, RoutedTraffic, SimScratch};
+use dfv_dragonfly::placement::{AllocationPolicy, Placement};
+use dfv_dragonfly::telemetry::StepTelemetry;
+use dfv_dragonfly::topology::Topology;
+use dfv_dragonfly::traffic::Traffic;
+use dfv_scheduler::advisor::{Advice, CongestionAdvisor};
+use dfv_scheduler::cluster::Cluster;
+use dfv_scheduler::job::{JobId, JobRecord, JobRequest, UserId};
+use dfv_scheduler::users::{population, Archetype, User};
+use dfv_workloads::app::{AppKind, AppSpec};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Campaign parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Machine topology.
+    pub topology: DragonflyConfig,
+    /// Every `io_stride`-th router hosts I/O nodes.
+    pub io_stride: usize,
+    /// Simulated days of data collection (the paper: Dec 2018 – Apr 2019).
+    pub num_days: usize,
+    /// Seconds per simulated day. The machine is scaled down relative to
+    /// Cori, so days are compressed too; what matters is that background
+    /// jobs live long enough to overlap many probes.
+    pub day_seconds: f64,
+    /// Min/max probe submissions per app per day (the paper: one or two).
+    pub probes_per_day: (usize, usize),
+    /// Which Table I rows to collect.
+    pub apps: Vec<AppSpec>,
+    /// Heavy production users in the background population.
+    pub heavy_users: usize,
+    /// Benign production users.
+    pub benign_users: usize,
+    /// Node allocation policy of the scheduler.
+    pub allocation: AllocationPolicy,
+    /// Relative amplitude of per-step compute-time noise (OS noise is small
+    /// on Cori's dedicated-core setup: Figures 4/5 show flat compute time).
+    pub compute_noise: f64,
+    /// Scale factor on background users' traffic rates: tuned so congested
+    /// periods slow probes by the factors the paper observes without
+    /// permanently saturating the fabric.
+    pub background_intensity: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl CampaignConfig {
+    /// Full-fidelity configuration: Cori-sized machine, the six Table I
+    /// datasets, ~110 days of collection.
+    pub fn paper() -> Self {
+        CampaignConfig {
+            topology: DragonflyConfig::cori(),
+            io_stride: 16,
+            num_days: 110,
+            day_seconds: 2_000.0,
+            probes_per_day: (1, 2),
+            apps: AppSpec::table1(),
+            heavy_users: 10,
+            benign_users: 24,
+            allocation: AllocationPolicy::Fragmented { scatter: 0.5 },
+            compute_noise: 0.01,
+            background_intensity: 0.25,
+            seed: 2019,
+        }
+    }
+
+    /// A fast configuration for tests and examples: a small machine,
+    /// 16-node probes, a handful of days.
+    pub fn quick() -> Self {
+        CampaignConfig {
+            topology: DragonflyConfig::small(),
+            io_stride: 8,
+            num_days: 6,
+            day_seconds: 400.0,
+            probes_per_day: (1, 2),
+            apps: vec![
+                AppSpec { kind: AppKind::Amg, num_nodes: 16 },
+                AppSpec { kind: AppKind::Milc, num_nodes: 16 },
+                AppSpec { kind: AppKind::MiniVite, num_nodes: 16 },
+                AppSpec { kind: AppKind::Umt, num_nodes: 16 },
+            ],
+            heavy_users: 4,
+            benign_users: 6,
+            allocation: AllocationPolicy::Fragmented { scatter: 0.5 },
+            compute_noise: 0.01,
+            background_intensity: 0.15,
+            seed: 7,
+        }
+    }
+
+    /// Campaign end time, seconds.
+    pub fn end_time(&self) -> f64 {
+        self.num_days as f64 * self.day_seconds
+    }
+}
+
+/// Everything the campaign produced; input to all analyses.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// One dataset per Table I row requested.
+    pub datasets: Vec<AppDataset>,
+    /// The full sacct log (background jobs and probe jobs).
+    pub sacct: Vec<JobRecord>,
+    /// The probe user's id (the paper's "User 8": the authors).
+    pub probe_user: UserId,
+    /// The background population.
+    pub users: Vec<User>,
+    /// Which sacct job ids were probes, and for which spec.
+    pub probe_jobs: HashMap<JobId, AppSpec>,
+}
+
+impl CampaignResult {
+    /// The dataset for a spec, if collected.
+    pub fn dataset(&self, spec: &AppSpec) -> Option<&AppDataset> {
+        self.datasets.iter().find(|d| &d.spec == spec)
+    }
+}
+
+/// SplitMix64: cheap deterministic seed derivation, so rayon scheduling
+/// never changes results.
+pub fn splitmix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Rough wall-time estimate used for the scheduler reservation of a probe
+/// job (the "wall limit" a user would request).
+fn estimate_duration(spec: &AppSpec) -> f64 {
+    match spec.kind {
+        AppKind::Amg => 8.0,
+        AppKind::Milc => 10.0,
+        AppKind::MiniVite => 4.0,
+        AppKind::Umt => 8.0,
+    }
+}
+
+/// Map a background job's name back to its archetype.
+fn archetype_of(name: &str) -> Option<Archetype> {
+    match name {
+        "hipmer_assembly" => Some(Archetype::GenomeAssembly),
+        "e3sm_coupled" => Some(Archetype::Climate),
+        "fastpm_nbody" => Some(Archetype::NBody),
+        "dft_scf" => Some(Archetype::MaterialsScience),
+        "misc" => Some(Archetype::Benign),
+        _ => None,
+    }
+}
+
+/// Run the full campaign.
+pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
+    run_campaign_advised(config, None)
+}
+
+/// Run the campaign with an optional congestion-aware scheduling advisor
+/// applied to the probe jobs (the what-if experiment of the paper's
+/// conclusion): before a probe is submitted, the advisor may hold it while
+/// blocked users are running, within its delay budget.
+pub fn run_campaign_advised(
+    config: &CampaignConfig,
+    advisor: Option<&CongestionAdvisor>,
+) -> CampaignResult {
+    let topo = Topology::new(config.topology.clone()).expect("valid topology");
+    let layout = SystemLayout::with_io_stride(&topo, config.io_stride);
+    let io_nodes: Vec<NodeId> =
+        layout.io_routers().iter().flat_map(|&r| topo.nodes_of_router(r)).collect();
+    let compute_nodes = layout.compute_nodes(&topo);
+    let total_compute = compute_nodes.len();
+
+    // ---------------- Phase 1: scheduling ---------------------------------
+    let mut rng = StdRng::seed_from_u64(splitmix(config.seed, 1));
+    let users =
+        population(config.heavy_users, config.benign_users, total_compute, config.day_seconds, &mut rng);
+    let probe_user = UserId((config.heavy_users + config.benign_users + 1) as u32);
+    let end = config.end_time();
+
+    // All submissions, background and probe, sorted by submit time.
+    struct Submission {
+        request: JobRequest,
+        probe: Option<AppSpec>,
+    }
+    let mut submissions: Vec<Submission> = Vec::new();
+    for user in &users {
+        let mut t = 0.0;
+        loop {
+            let req = user.sample_submission(t, &mut rng);
+            if req.submit_time >= end {
+                break;
+            }
+            t = req.submit_time;
+            let mut req = req;
+            req.num_nodes = req.num_nodes.min(total_compute);
+            submissions.push(Submission { request: req, probe: None });
+        }
+    }
+    for day in 0..config.num_days {
+        for spec in &config.apps {
+            let (lo, hi) = config.probes_per_day;
+            let count = rng.gen_range(lo..=hi.max(lo));
+            for _ in 0..count {
+                let submit_time = day as f64 * config.day_seconds
+                    + rng.gen_range(0.0..config.day_seconds);
+                submissions.push(Submission {
+                    request: JobRequest {
+                        user: probe_user,
+                        name: spec.label(),
+                        num_nodes: spec.num_nodes,
+                        duration: estimate_duration(spec),
+                        submit_time,
+                    },
+                    probe: Some(*spec),
+                });
+            }
+        }
+    }
+    // Event-driven submission replay: probe submissions may be re-queued by
+    // the advisor, so a time-ordered heap replaces the simple sorted walk.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    struct Pending {
+        at: f64,
+        seq: usize,
+        submission: Submission,
+        delayed: f64,
+    }
+    impl PartialEq for Pending {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.seq == other.seq
+        }
+    }
+    impl Eq for Pending {}
+    impl PartialOrd for Pending {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Pending {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.at.total_cmp(&other.at).then(self.seq.cmp(&other.seq))
+        }
+    }
+    let mut heap: BinaryHeap<Reverse<Pending>> = submissions
+        .into_iter()
+        .enumerate()
+        .map(|(seq, submission)| {
+            Reverse(Pending { at: submission.request.submit_time, seq, submission, delayed: 0.0 })
+        })
+        .collect();
+
+    let mut cluster =
+        Cluster::new(compute_nodes, config.allocation, splitmix(config.seed, 2));
+    let mut probe_jobs: HashMap<JobId, AppSpec> = HashMap::new();
+    let mut next_seq = heap.len();
+    while let Some(Reverse(pending)) = heap.pop() {
+        cluster.advance_to(pending.at);
+        if let (Some(advisor), Some(_)) = (advisor, pending.submission.probe.as_ref()) {
+            let running: Vec<(UserId, usize)> =
+                cluster.running().map(|j| (j.request.user, j.request.num_nodes)).collect();
+            if let Advice::Delay { recheck_in } = advisor.advise(running, pending.delayed) {
+                heap.push(Reverse(Pending {
+                    at: pending.at + recheck_in,
+                    seq: next_seq,
+                    submission: pending.submission,
+                    delayed: pending.delayed + recheck_in,
+                }));
+                next_seq += 1;
+                continue;
+            }
+        }
+        let mut request = pending.submission.request;
+        request.submit_time = pending.at;
+        let probe = pending.submission.probe;
+        let id = cluster.submit(request);
+        if let Some(spec) = probe {
+            probe_jobs.insert(id, spec);
+        }
+    }
+    cluster.drain();
+    let sacct: Vec<JobRecord> = cluster.records().to_vec();
+
+    // ---------------- Phase 2: measurement --------------------------------
+    let sim = NetworkSim::new(&topo);
+    let sampler = LdmsSampler::new(layout.clone());
+    let mut probes: Vec<&JobRecord> =
+        sacct.iter().filter(|r| probe_jobs.contains_key(&r.id)).collect();
+    probes.sort_by(|a, b| a.start_time.total_cmp(&b.start_time).then(a.id.cmp(&b.id)));
+
+    let mut run_records: Vec<(AppSpec, RunRecord)> = Vec::new();
+    let chunk_size = 24;
+    for chunk in probes.chunks(chunk_size) {
+        let window_start = chunk.first().map(|r| r.start_time).unwrap_or(0.0);
+        // Generous slack: probes may run longer than their phase-1 estimate.
+        let window_end =
+            chunk.iter().map(|r| r.end_time).fold(0.0, f64::max) + 10.0 * config.day_seconds;
+
+        // Route every job (background or probe) overlapping the window.
+        let overlapping: Vec<&JobRecord> = sacct
+            .iter()
+            .filter(|r| r.overlaps(window_start, window_end))
+            .collect();
+        let routed: HashMap<JobId, Arc<RoutedTraffic>> = overlapping
+            .par_iter()
+            .map(|rec| {
+                let contribution = route_job_contribution(
+                    &topo,
+                    &sim,
+                    rec,
+                    probe_jobs.get(&rec.id),
+                    &io_nodes,
+                    config.background_intensity,
+                    splitmix(config.seed, 1000 + rec.id.0),
+                );
+                (rec.id, Arc::new(contribution))
+            })
+            .collect();
+
+        let chunk_runs: Vec<(AppSpec, RunRecord)> = chunk
+            .par_iter()
+            .map(|rec| {
+                let spec = probe_jobs[&rec.id];
+                let run = simulate_probe(
+                    &topo,
+                    &sim,
+                    &sampler,
+                    rec,
+                    &spec,
+                    spec.num_steps(),
+                    &sacct,
+                    &routed,
+                    splitmix(config.seed, 2000 + rec.id.0),
+                    config.compute_noise,
+                );
+                (spec, run)
+            })
+            .collect();
+        run_records.extend(chunk_runs);
+    }
+
+    let datasets = config
+        .apps
+        .iter()
+        .map(|spec| AppDataset {
+            spec: *spec,
+            runs: run_records
+                .iter()
+                .filter(|(s, _)| s == spec)
+                .map(|(_, r)| r.clone())
+                .collect(),
+        })
+        .collect();
+
+    CampaignResult { datasets, sacct, probe_user, users, probe_jobs }
+}
+
+/// The per-second traffic-rate contribution of one job, routed over the
+/// idle network. Background jobs use their archetype pattern; probe jobs
+/// contribute their application's mid-run step traffic scaled to a rate.
+fn route_job_contribution(
+    topo: &Topology,
+    sim: &NetworkSim<'_>,
+    rec: &JobRecord,
+    probe_spec: Option<&AppSpec>,
+    io_nodes: &[NodeId],
+    intensity: f64,
+    seed: u64,
+) -> RoutedTraffic {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match probe_spec {
+        None => {
+            let archetype = archetype_of(&rec.name).unwrap_or(Archetype::Benign);
+            let traffic = archetype.traffic(&rec.nodes, io_nodes, intensity, &mut rng);
+            sim.route_traffic(&traffic, None, seed)
+        }
+        Some(spec) => {
+            // A concurrently running probe of ours: approximate it by its
+            // mid-run step traffic spread over the estimated step duration.
+            let spec = AppSpec { kind: spec.kind, num_nodes: rec.nodes.len() };
+            let app = spec.instantiate(&rec.nodes, seed);
+            let mid = app.num_steps() / 2;
+            let mut traffic = Traffic::new();
+            app.step_traffic(mid, &mut traffic);
+            let est_step = estimate_duration(&spec) / app.num_steps() as f64;
+            let mut routed = sim.route_traffic(&traffic, None, seed);
+            routed.scale(1.0 / est_step.max(1e-6));
+            let _ = topo;
+            routed
+        }
+    }
+}
+
+/// Simulate one probe run step by step against the background of the jobs
+/// running concurrently (per the phase-1 timeline).
+#[allow(clippy::too_many_arguments)]
+fn simulate_probe(
+    topo: &Topology,
+    sim: &NetworkSim<'_>,
+    sampler: &LdmsSampler,
+    rec: &JobRecord,
+    spec: &AppSpec,
+    num_steps: usize,
+    sacct: &[JobRecord],
+    routed: &HashMap<JobId, Arc<RoutedTraffic>>,
+    seed: u64,
+    compute_noise: f64,
+) -> RunRecord {
+    let placement = Placement::new(rec.nodes.clone());
+    let app = spec.instantiate_with_steps(&rec.nodes, seed, num_steps);
+    let session = AriesSession::attach(topo, &placement);
+
+    // Background event timeline: every other job's start/end during (or
+    // after) the probe's window, relative to the phase-1 schedule.
+    #[derive(Clone, Copy)]
+    enum Ev {
+        Start(JobId),
+        End(JobId),
+    }
+    let mut events: Vec<(f64, Ev)> = Vec::new();
+    let mut bg = BackgroundTraffic::zero(topo);
+    for other in sacct {
+        if other.id == rec.id {
+            continue;
+        }
+        let Some(contrib) = routed.get(&other.id) else { continue };
+        if other.start_time <= rec.start_time && other.end_time > rec.start_time {
+            bg.add_scaled(contrib, 1.0);
+            events.push((other.end_time, Ev::End(other.id)));
+        } else if other.start_time > rec.start_time {
+            events.push((other.start_time, Ev::Start(other.id)));
+            events.push((other.end_time, Ev::End(other.id)));
+        }
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut next_event = 0usize;
+
+    let mut scratch = SimScratch::new(topo);
+    let mut telemetry = StepTelemetry::new(topo.num_routers());
+    let mut traffic = Traffic::new();
+    let mut rng = StdRng::seed_from_u64(splitmix(seed, 17));
+
+    let mut now = rec.start_time;
+    let mut steps = Vec::with_capacity(app.num_steps());
+    for step in 0..app.num_steps() {
+        while next_event < events.len() && events[next_event].0 <= now {
+            let (_, ev) = events[next_event];
+            match ev {
+                Ev::Start(id) => bg.add_scaled(&routed[&id], 1.0),
+                Ev::End(id) => bg.add_scaled(&routed[&id], -1.0),
+            }
+            next_event += 1;
+        }
+        app.step_traffic(step, &mut traffic);
+        let outcome = sim.simulate_step(&traffic, &bg, splitmix(seed, 100 + step as u64), &mut scratch);
+        let compute =
+            app.compute_time(step) * (1.0 + compute_noise * rng.gen_range(-1.0..1.0));
+        let step_time = outcome.comm_time + compute;
+        sim.fill_telemetry(&scratch, &bg, step_time.max(1e-9), &mut telemetry);
+        let counters = *dfv_counters::CounterSnapshot::from_stats(
+            &telemetry.aggregate(session.routers().iter().map(|r| dfv_dragonfly::ids::Idx::index(*r))),
+        )
+        .as_slice();
+        let io = sampler.read_io(&telemetry).as_array();
+        let sys = sampler.read_sys(&telemetry, session.routers()).as_array();
+        steps.push(StepRecord {
+            time: step_time,
+            compute_time: compute,
+            counters,
+            io,
+            sys,
+            bottleneck: outcome.bottleneck,
+        });
+        now += step_time;
+    }
+
+    RunRecord {
+        job_id: rec.id,
+        start_time: rec.start_time,
+        end_time: now,
+        num_routers: placement.num_routers(topo),
+        num_groups: placement.num_groups(topo),
+        steps,
+    }
+}
+
+/// Simulate one extra long-running job of `spec` for `num_steps` steps
+/// against a fresh background timeline (Figure 12's 620-step MILC run: a
+/// held-out run whose data never enters training). The job is submitted
+/// mid-campaign so plenty of background jobs overlap it.
+pub fn simulate_long_run(
+    config: &CampaignConfig,
+    spec: &AppSpec,
+    num_steps: usize,
+    seed: u64,
+) -> RunRecord {
+    let topo = Topology::new(config.topology.clone()).expect("valid topology");
+    let layout = SystemLayout::with_io_stride(&topo, config.io_stride);
+    let io_nodes: Vec<NodeId> =
+        layout.io_routers().iter().flat_map(|&r| topo.nodes_of_router(r)).collect();
+    let compute_nodes = layout.compute_nodes(&topo);
+    let total_compute = compute_nodes.len();
+
+    // Background-only phase 1 with a distinct seed so the long run sees a
+    // job mix unrelated to the training campaign.
+    let mut rng = StdRng::seed_from_u64(splitmix(seed, 31));
+    let users =
+        population(config.heavy_users, config.benign_users, total_compute, config.day_seconds, &mut rng);
+    let probe_user = UserId((config.heavy_users + config.benign_users + 1) as u32);
+    let end = config.end_time().max(4.0 * config.day_seconds);
+
+    let mut submissions: Vec<JobRequest> = Vec::new();
+    for user in &users {
+        let mut t = 0.0;
+        loop {
+            let mut req = user.sample_submission(t, &mut rng);
+            if req.submit_time >= end {
+                break;
+            }
+            t = req.submit_time;
+            req.num_nodes = req.num_nodes.min(total_compute);
+            submissions.push(req);
+        }
+    }
+    let est_step = estimate_duration(spec) / spec.num_steps() as f64;
+    let long_request = JobRequest {
+        user: probe_user,
+        name: format!("{}-long", spec.label()),
+        num_nodes: spec.num_nodes,
+        duration: est_step * num_steps as f64,
+        submit_time: end * 0.3,
+    };
+    submissions.push(long_request);
+    submissions.sort_by(|a, b| a.submit_time.total_cmp(&b.submit_time));
+
+    let mut cluster = Cluster::new(compute_nodes, config.allocation, splitmix(seed, 32));
+    let mut long_id = None;
+    for req in submissions {
+        cluster.advance_to(req.submit_time);
+        let is_long = req.user == probe_user;
+        let id = cluster.submit(req);
+        if is_long {
+            long_id = Some(id);
+        }
+    }
+    cluster.drain();
+    let sacct: Vec<JobRecord> = cluster.records().to_vec();
+    let long_id = long_id.expect("long job submitted");
+    let rec = sacct.iter().find(|r| r.id == long_id).expect("long job ran").clone();
+
+    // Route every job overlapping the (generously slack) long-run window.
+    let sim = NetworkSim::new(&topo);
+    let sampler = LdmsSampler::new(layout);
+    let window_end = rec.end_time + est_step * num_steps as f64 * 10.0;
+    let routed: HashMap<JobId, Arc<RoutedTraffic>> = sacct
+        .par_iter()
+        .filter(|r| r.overlaps(rec.start_time, window_end))
+        .map(|r| {
+            let contribution = route_job_contribution(
+                &topo,
+                &sim,
+                r,
+                None,
+                &io_nodes,
+                config.background_intensity,
+                splitmix(seed, 3000 + r.id.0),
+            );
+            (r.id, Arc::new(contribution))
+        })
+        .collect();
+
+    simulate_probe(
+        &topo,
+        &sim,
+        &sampler,
+        &rec,
+        spec,
+        num_steps,
+        &sacct,
+        &routed,
+        splitmix(seed, 4000),
+        config.compute_noise,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix(1, 2), splitmix(1, 2));
+        assert_ne!(splitmix(1, 2), splitmix(1, 3));
+        assert_ne!(splitmix(1, 2), splitmix(2, 2));
+    }
+
+    #[test]
+    fn quick_campaign_produces_all_datasets() {
+        let config = CampaignConfig::quick();
+        let result = run_campaign(&config);
+        assert_eq!(result.datasets.len(), 4);
+        for d in &result.datasets {
+            assert!(
+                d.runs.len() >= config.num_days,
+                "{} has only {} runs",
+                d.spec.label(),
+                d.runs.len()
+            );
+            for run in &d.runs {
+                assert_eq!(run.steps.len(), d.spec.num_steps());
+                assert!(run.total_time() > 0.0);
+                assert!(run.num_routers >= 1);
+                assert!(run.num_groups >= 1);
+                for s in &run.steps {
+                    assert!(s.time.is_finite() && s.time > 0.0);
+                    assert!(s.counters.iter().all(|c| c.is_finite() && *c >= 0.0));
+                }
+            }
+        }
+        // sacct contains background jobs as well as probes.
+        assert!(result.sacct.len() > result.probe_jobs.len());
+    }
+
+    #[test]
+    fn campaign_is_reproducible() {
+        let mut config = CampaignConfig::quick();
+        config.num_days = 2;
+        let a = run_campaign(&config);
+        let b = run_campaign(&config);
+        assert_eq!(a.datasets[0].runs.len(), b.datasets[0].runs.len());
+        for (ra, rb) in a.datasets[0].runs.iter().zip(&b.datasets[0].runs) {
+            assert_eq!(ra.steps, rb.steps);
+        }
+    }
+
+    #[test]
+    fn runs_vary_from_one_another() {
+        let config = CampaignConfig::quick();
+        let result = run_campaign(&config);
+        for d in &result.datasets {
+            let times = d.total_times();
+            let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = times.iter().cloned().fold(0.0, f64::max);
+            assert!(
+                max > min * 1.01,
+                "{} shows no run-to-run variability ({min}..{max})",
+                d.spec.label()
+            );
+        }
+    }
+}

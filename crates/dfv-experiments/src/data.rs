@@ -1,0 +1,225 @@
+//! Dataset structures produced by the controlled-experiment campaign.
+//!
+//! One campaign yields six [`AppDataset`]s (Table I rows), each holding
+//! 100–225 [`RunRecord`]s with per-step execution times, the job's Table II
+//! counter deltas, LDMS io/sys aggregates and placement features — exactly
+//! the data sources Section III gathers on Cori.
+
+use dfv_counters::features::FeatureSet;
+use dfv_counters::Counter;
+use dfv_dragonfly::network::Bottleneck;
+use dfv_scheduler::job::JobId;
+use dfv_workloads::app::AppSpec;
+use serde::{Deserialize, Serialize};
+
+/// One time step of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Execution time of the step, seconds.
+    pub time: f64,
+    /// Computation (non-MPI) part of `time`, seconds.
+    pub compute_time: f64,
+    /// The thirteen Table II counter deltas over the job's routers.
+    pub counters: [f64; Counter::COUNT],
+    /// LDMS aggregates on I/O routers: RT_FLIT_TOT, RT_RB_STL, PT_FLIT_TOT,
+    /// PT_PKT_TOT.
+    pub io: [f64; 4],
+    /// LDMS aggregates on routers disjoint from the job.
+    pub sys: [f64; 4],
+    /// Which resource limited the step's slowest flow.
+    pub bottleneck: Bottleneck,
+}
+
+impl StepRecord {
+    /// Communication (MPI) time of the step.
+    pub fn comm_time(&self) -> f64 {
+        (self.time - self.compute_time).max(0.0)
+    }
+
+    /// The step's feature vector for a given feature set, in
+    /// [`FeatureSet::names`] order. Placement features are per-run constants
+    /// passed in by the caller.
+    pub fn features(&self, set: FeatureSet, num_routers: f64, num_groups: f64) -> Vec<f64> {
+        let mut v: Vec<f64> = self.counters.to_vec();
+        if set >= FeatureSet::AppPlacement {
+            v.push(num_routers);
+            v.push(num_groups);
+        }
+        if set >= FeatureSet::AppPlacementIo {
+            v.extend_from_slice(&self.io);
+        }
+        if set >= FeatureSet::AppPlacementIoSys {
+            v.extend_from_slice(&self.sys);
+        }
+        v
+    }
+}
+
+/// One probe run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// The job id this run carried in the cluster.
+    pub job_id: JobId,
+    /// Absolute start time on the simulated machine, seconds.
+    pub start_time: f64,
+    /// Absolute end time.
+    pub end_time: f64,
+    /// `NUM_ROUTERS` placement feature.
+    pub num_routers: usize,
+    /// `NUM_GROUPS` placement feature.
+    pub num_groups: usize,
+    /// Per-step measurements.
+    pub steps: Vec<StepRecord>,
+}
+
+impl RunRecord {
+    /// Total execution time (sum of step times).
+    pub fn total_time(&self) -> f64 {
+        self.steps.iter().map(|s| s.time).sum()
+    }
+
+    /// Total MPI time.
+    pub fn mpi_time(&self) -> f64 {
+        self.steps.iter().map(|s| s.comm_time()).sum()
+    }
+
+    /// Fraction of total time in MPI.
+    pub fn mpi_fraction(&self) -> f64 {
+        let t = self.total_time();
+        if t > 0.0 {
+            self.mpi_time() / t
+        } else {
+            0.0
+        }
+    }
+}
+
+/// All runs of one application/node-count (one Table I row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppDataset {
+    /// Which Table I row this is.
+    pub spec: AppSpec,
+    /// The runs, in start-time order.
+    pub runs: Vec<RunRecord>,
+}
+
+impl AppDataset {
+    /// Mean execution time per step across runs (the mean trend of
+    /// Figure 3).
+    pub fn mean_step_times(&self) -> Vec<f64> {
+        let t = self.spec.num_steps();
+        let mut acc = vec![0.0; t];
+        let mut cnt = vec![0usize; t];
+        for run in &self.runs {
+            for (i, s) in run.steps.iter().enumerate() {
+                acc[i] += s.time;
+                cnt[i] += 1;
+            }
+        }
+        acc.iter().zip(&cnt).map(|(&a, &c)| if c > 0 { a / c as f64 } else { 0.0 }).collect()
+    }
+
+    /// Mean value per step of one counter across runs (Figure 7).
+    pub fn mean_step_counter(&self, c: Counter) -> Vec<f64> {
+        let t = self.spec.num_steps();
+        let mut acc = vec![0.0; t];
+        let mut cnt = vec![0usize; t];
+        for run in &self.runs {
+            for (i, s) in run.steps.iter().enumerate() {
+                acc[i] += s.counters[c.index()];
+                cnt[i] += 1;
+            }
+        }
+        acc.iter().zip(&cnt).map(|(&a, &c)| if c > 0 { a / c as f64 } else { 0.0 }).collect()
+    }
+
+    /// Total times of all runs.
+    pub fn total_times(&self) -> Vec<f64> {
+        self.runs.iter().map(|r| r.total_time()).collect()
+    }
+
+    /// The fastest run's total time.
+    pub fn best_total_time(&self) -> f64 {
+        self.total_times().into_iter().fold(f64::INFINITY, f64::min)
+    }
+
+    /// The slowest run's total time.
+    pub fn worst_total_time(&self) -> f64 {
+        self.total_times().into_iter().fold(0.0, f64::max)
+    }
+
+    /// Mean total time across runs.
+    pub fn mean_total_time(&self) -> f64 {
+        let t = self.total_times();
+        t.iter().sum::<f64>() / t.len().max(1) as f64
+    }
+
+    /// Worst/best ratio — the paper's headline variability number
+    /// (miniVite 3.76x, UMT 3.3x).
+    pub fn variability_ratio(&self) -> f64 {
+        self.worst_total_time() / self.best_total_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfv_workloads::app::AppKind;
+
+    fn step(time: f64, compute: f64) -> StepRecord {
+        StepRecord {
+            time,
+            compute_time: compute,
+            counters: [1.0; Counter::COUNT],
+            io: [2.0; 4],
+            sys: [3.0; 4],
+            bottleneck: Bottleneck::None,
+        }
+    }
+
+    fn run(times: &[f64]) -> RunRecord {
+        RunRecord {
+            job_id: JobId(1),
+            start_time: 0.0,
+            end_time: 1.0,
+            num_routers: 32,
+            num_groups: 4,
+            steps: times.iter().map(|&t| step(t, 0.25 * t)).collect(),
+        }
+    }
+
+    #[test]
+    fn run_aggregates() {
+        let r = run(&[1.0, 2.0, 3.0]);
+        assert_eq!(r.total_time(), 6.0);
+        assert!((r.mpi_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_vectors_grow_with_feature_set() {
+        let s = step(1.0, 0.5);
+        assert_eq!(s.features(FeatureSet::App, 32.0, 4.0).len(), 13);
+        let v = s.features(FeatureSet::AppPlacementIoSys, 32.0, 4.0);
+        assert_eq!(v.len(), 23);
+        assert_eq!(v[13], 32.0); // NUM_ROUTERS
+        assert_eq!(v[14], 4.0); // NUM_GROUPS
+        assert_eq!(v[15], 2.0); // first io feature
+        assert_eq!(v[19], 3.0); // first sys feature
+    }
+
+    #[test]
+    fn dataset_statistics() {
+        let spec = AppSpec { kind: AppKind::MiniVite, num_nodes: 128 };
+        // miniVite has 6 steps.
+        let d = AppDataset {
+            spec,
+            runs: vec![run(&[1.0; 6]), run(&[2.0; 6]), run(&[3.0; 6])],
+        };
+        assert_eq!(d.best_total_time(), 6.0);
+        assert_eq!(d.worst_total_time(), 18.0);
+        assert_eq!(d.mean_total_time(), 12.0);
+        assert!((d.variability_ratio() - 3.0).abs() < 1e-12);
+        assert_eq!(d.mean_step_times(), vec![2.0; 6]);
+        assert_eq!(d.mean_step_counter(Counter::RtRbStl), vec![1.0; 6]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Deviation prediction (Sections IV-B and V-B, Figure 9).
+//!
+//! Every time step of every run is treated as an independent sample. Both
+//! the counter features and the step times are *mean-centered per step
+//! index* (removing the mean trend of Figure 3/7), and a gradient boosted
+//! regressor with recursive feature elimination identifies which counters
+//! best explain the remaining deviation. MAPE is reported on reconstructed
+//! absolute times (deviation + mean trend), matching the paper's "< 5 %".
+
+use crate::data::AppDataset;
+use dfv_counters::Counter;
+use dfv_mlkit::dataset::Dataset;
+use dfv_mlkit::matrix::Matrix;
+use dfv_mlkit::rfe::{rfe, RfeParams, RfeResult};
+use dfv_workloads::app::AppSpec;
+use serde::{Deserialize, Serialize};
+
+/// Result of the deviation analysis for one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviationAnalysis {
+    /// The dataset analyzed.
+    pub spec: AppSpec,
+    /// RFE output: per-counter relevance scores (Figure 9) and fold errors.
+    pub rfe: RfeResult,
+}
+
+impl DeviationAnalysis {
+    /// The most relevant counter's name.
+    pub fn top_counter(&self) -> String {
+        self.rfe.ranked_features()[0].0.clone()
+    }
+}
+
+/// Build the mean-centered per-step dataset: `N*T x 13` counter deviations
+/// against step-time deviations, plus the per-sample mean-trend offsets
+/// needed to reconstruct absolute times.
+pub fn deviation_dataset(ds: &AppDataset) -> (Dataset, Vec<f64>) {
+    let t_steps = ds.spec.num_steps();
+    let n_runs = ds.runs.len();
+    assert!(n_runs > 0, "empty dataset");
+
+    // Mean trends per step index.
+    let mean_times = ds.mean_step_times();
+    let mut mean_counters = vec![[0.0; Counter::COUNT]; t_steps];
+    for run in &ds.runs {
+        for (i, s) in run.steps.iter().enumerate() {
+            for (mc, &v) in mean_counters[i].iter_mut().zip(&s.counters) {
+                *mc += v;
+            }
+        }
+    }
+    for mc in &mut mean_counters {
+        for c in mc.iter_mut() {
+            *c /= n_runs as f64;
+        }
+    }
+
+    let mut x = Matrix::zeros(0, Counter::COUNT);
+    let mut y = Vec::with_capacity(n_runs * t_steps);
+    let mut offsets = Vec::with_capacity(n_runs * t_steps);
+    let mut row = vec![0.0; Counter::COUNT];
+    for run in &ds.runs {
+        for (i, s) in run.steps.iter().enumerate() {
+            for c in 0..Counter::COUNT {
+                row[c] = s.counters[c] - mean_counters[i][c];
+            }
+            x.push_row(&row);
+            y.push(s.time - mean_times[i]);
+            offsets.push(mean_times[i]);
+        }
+    }
+    let names = Counter::ALL.iter().map(|c| c.abbrev().to_string()).collect();
+    (Dataset::new(x, y, names), offsets)
+}
+
+/// Run GBR + RFE deviation analysis on one dataset.
+pub fn analyze_deviation(ds: &AppDataset, params: &RfeParams) -> DeviationAnalysis {
+    let (data, offsets) = deviation_dataset(ds);
+    let rfe_result = rfe(&data, Some(&offsets), params);
+    DeviationAnalysis { spec: ds.spec, rfe: rfe_result }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignConfig};
+    use dfv_mlkit::gbr::GbrParams;
+
+    fn fast_rfe() -> RfeParams {
+        RfeParams { folds: 3, gbr: GbrParams { n_trees: 25, ..Default::default() }, seed: 1 }
+    }
+
+    #[test]
+    fn deviation_dataset_is_mean_centered() {
+        let result = run_campaign(&CampaignConfig::quick());
+        let (data, offsets) = deviation_dataset(&result.datasets[0]);
+        let t = result.datasets[0].spec.num_steps();
+        assert_eq!(data.n(), result.datasets[0].runs.len() * t);
+        assert_eq!(data.d(), 13);
+        assert_eq!(offsets.len(), data.n());
+        // Targets are centered: mean ~ 0 relative to the time scale.
+        let mean_y: f64 = data.y.iter().sum::<f64>() / data.n() as f64;
+        let scale: f64 = offsets.iter().sum::<f64>() / offsets.len() as f64;
+        assert!(mean_y.abs() < 1e-9 * scale.max(1.0), "mean_y={mean_y}");
+        // Offsets are the positive mean trend.
+        assert!(offsets.iter().all(|&o| o > 0.0));
+    }
+
+    #[test]
+    fn deviation_model_has_reasonable_mape() {
+        let result = run_campaign(&CampaignConfig::quick());
+        // MILC: the bandwidth-bound code with the clearest counter signal.
+        let ds = result
+            .datasets
+            .iter()
+            .find(|d| d.spec.kind == dfv_workloads::app::AppKind::Milc)
+            .unwrap();
+        let analysis = analyze_deviation(ds, &fast_rfe());
+        let mape = analysis.rfe.mean_mape();
+        // The paper reports < 5 %; allow slack for the tiny quick campaign.
+        assert!(mape < 25.0, "deviation MAPE {mape}% too high");
+    }
+
+    #[test]
+    fn relevance_scores_are_normalized() {
+        let result = run_campaign(&CampaignConfig::quick());
+        let analysis = analyze_deviation(&result.datasets[0], &fast_rfe());
+        let sum: f64 = analysis.rfe.relevance.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(analysis.rfe.feature_names.len(), 13);
+    }
+}

@@ -1,0 +1,127 @@
+//! Dataset and log export: CSV for the sacct log and per-step measurements,
+//! JSON for whole datasets — so campaign data can be analyzed outside this
+//! crate (pandas, R, gnuplot).
+
+use crate::campaign::CampaignResult;
+use crate::data::AppDataset;
+use dfv_counters::Counter;
+use dfv_scheduler::job::JobRecord;
+use std::fmt::Write as _;
+
+/// Escape one CSV field (quotes fields containing separators/quotes).
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// The sacct log as CSV (one row per job).
+pub fn sacct_csv(records: &[JobRecord]) -> String {
+    let mut out = String::from("job_id,user,name,num_nodes,submit_time,start_time,end_time\n");
+    for r in records {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            r.id.0,
+            r.user.0,
+            csv_field(&r.name),
+            r.num_nodes,
+            r.submit_time,
+            r.start_time,
+            r.end_time
+        );
+    }
+    out
+}
+
+/// One dataset's per-step measurements as CSV: one row per (run, step) with
+/// the execution time, compute time, all Table II counters, io/sys
+/// aggregates and placement features.
+pub fn steps_csv(ds: &AppDataset) -> String {
+    let mut out = String::from("run,job_id,step,time,compute_time");
+    for c in Counter::ALL {
+        let _ = write!(out, ",{}", c.abbrev());
+    }
+    for p in ["IO_RT_FLIT_TOT", "IO_RT_RB_STL", "IO_PT_FLIT_TOT", "IO_PT_PKT_TOT"] {
+        let _ = write!(out, ",{p}");
+    }
+    for p in ["SYS_RT_FLIT_TOT", "SYS_RT_RB_STL", "SYS_PT_FLIT_TOT", "SYS_PT_PKT_TOT"] {
+        let _ = write!(out, ",{p}");
+    }
+    out.push_str(",NUM_ROUTERS,NUM_GROUPS,bottleneck\n");
+    for (ri, run) in ds.runs.iter().enumerate() {
+        for (si, s) in run.steps.iter().enumerate() {
+            let _ = write!(out, "{},{},{},{},{}", ri, run.job_id.0, si, s.time, s.compute_time);
+            for v in s.counters.iter().chain(s.io.iter()).chain(s.sys.iter()) {
+                let _ = write!(out, ",{v}");
+            }
+            let _ = writeln!(
+                out,
+                ",{},{},{}",
+                run.num_routers,
+                run.num_groups,
+                s.bottleneck.label()
+            );
+        }
+    }
+    out
+}
+
+/// A whole campaign's datasets as pretty JSON.
+pub fn datasets_json(result: &CampaignResult) -> serde_json::Value {
+    serde_json::to_value(&result.datasets).expect("datasets serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignConfig};
+
+    fn campaign() -> CampaignResult {
+        let mut config = CampaignConfig::quick();
+        config.num_days = 2;
+        run_campaign(&config)
+    }
+
+    #[test]
+    fn sacct_csv_has_one_row_per_job() {
+        let result = campaign();
+        let csv = sacct_csv(&result.sacct);
+        assert_eq!(csv.lines().count(), result.sacct.len() + 1);
+        assert!(csv.starts_with("job_id,user,name,"));
+    }
+
+    #[test]
+    fn steps_csv_has_one_row_per_step_and_full_width() {
+        let result = campaign();
+        let ds = &result.datasets[0];
+        let csv = steps_csv(ds);
+        let total_steps: usize = ds.runs.iter().map(|r| r.steps.len()).sum();
+        assert_eq!(csv.lines().count(), total_steps + 1);
+        let header_cols = csv.lines().next().unwrap().split(',').count();
+        // run, job_id, step, time, compute + 13 counters + 8 ldms + 2
+        // placement + bottleneck.
+        assert_eq!(header_cols, 5 + 13 + 8 + 2 + 1);
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), header_cols);
+        }
+    }
+
+    #[test]
+    fn csv_escaping_handles_commas_and_quotes() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn datasets_json_roundtrips() {
+        let result = campaign();
+        let v = datasets_json(&result);
+        let back: Vec<crate::data::AppDataset> = serde_json::from_value(v).unwrap();
+        assert_eq!(back.len(), result.datasets.len());
+        assert_eq!(back[0].runs.len(), result.datasets[0].runs.len());
+    }
+}

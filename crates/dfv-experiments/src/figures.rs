@@ -1,0 +1,250 @@
+//! Data builders for the paper's descriptive figures and tables
+//! (Figures 1, 3, 4, 5, 7; Tables I and II). The ML figures live in
+//! [`crate::neighborhood`], [`crate::deviation`] and [`crate::forecast`].
+
+use crate::campaign::CampaignResult;
+use crate::data::AppDataset;
+use dfv_counters::Counter;
+use dfv_workloads::app::AppSpec;
+use dfv_workloads::mpip::{MpiProfile, MpiRoutine};
+use serde::{Deserialize, Serialize};
+
+/// Figure 1: each run's total time relative to the dataset's best run,
+/// against the run's start time (days since campaign start).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1Series {
+    /// The dataset.
+    pub spec: AppSpec,
+    /// `(day, relative_performance)` points in start order; 1.0 = best run.
+    pub points: Vec<(f64, f64)>,
+    /// The maximum relative slowdown observed.
+    pub max_relative: f64,
+}
+
+/// Build Figure 1 for one dataset.
+pub fn fig1(ds: &AppDataset, day_seconds: f64) -> Fig1Series {
+    let best = ds.best_total_time();
+    let points: Vec<(f64, f64)> = ds
+        .runs
+        .iter()
+        .map(|r| (r.start_time / day_seconds, r.total_time() / best))
+        .collect();
+    let max_relative = points.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+    Fig1Series { spec: ds.spec, points, max_relative }
+}
+
+/// Figure 3: the mean time-per-step trend of a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Series {
+    /// The dataset.
+    pub spec: AppSpec,
+    /// Mean execution time of each step across runs.
+    pub mean_time_per_step: Vec<f64>,
+}
+
+/// Build Figure 3 for one dataset.
+pub fn fig3(ds: &AppDataset) -> Fig3Series {
+    Fig3Series { spec: ds.spec, mean_time_per_step: ds.mean_step_times() }
+}
+
+/// Figures 4/5: compute/MPI split and MPI routine breakdown for the best,
+/// average and worst run of a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MpiBreakdown {
+    /// The dataset.
+    pub spec: AppSpec,
+    /// Compute time of (best, average, worst) runs.
+    pub compute: (f64, f64, f64),
+    /// MPI time of (best, average, worst) runs.
+    pub mpi: (f64, f64, f64),
+    /// Per-routine times of (best, average, worst) runs, routine name then
+    /// seconds, sorted by the average run's time descending.
+    pub routines: Vec<(String, f64, f64, f64)>,
+    /// Mean MPI fraction across all runs of the dataset.
+    pub mean_mpi_fraction: f64,
+}
+
+/// mpiP-style profile of one run, reconstructed from its step records and
+/// the application's routine split.
+pub fn run_profile(ds: &AppDataset, run_index: usize) -> MpiProfile {
+    let split = ds.spec.routine_split();
+    let mut profile = MpiProfile::new();
+    for s in &ds.runs[run_index].steps {
+        profile.record_step(s.compute_time, s.comm_time(), &split);
+    }
+    profile
+}
+
+/// Build the Figure 4/5 breakdown for one dataset.
+pub fn fig45(ds: &AppDataset) -> MpiBreakdown {
+    assert!(!ds.runs.is_empty(), "empty dataset");
+    let totals = ds.total_times();
+    let best_i = (0..totals.len()).min_by(|&a, &b| totals[a].total_cmp(&totals[b])).unwrap();
+    let worst_i = (0..totals.len()).max_by(|&a, &b| totals[a].total_cmp(&totals[b])).unwrap();
+    let mean_total = ds.mean_total_time();
+    let avg_i = (0..totals.len())
+        .min_by(|&a, &b| {
+            (totals[a] - mean_total).abs().total_cmp(&(totals[b] - mean_total).abs())
+        })
+        .unwrap();
+
+    let best = run_profile(ds, best_i);
+    let avg = run_profile(ds, avg_i);
+    let worst = run_profile(ds, worst_i);
+
+    let mut names: Vec<MpiRoutine> =
+        ds.spec.routine_split().fractions().iter().map(|&(r, _)| r).collect();
+    names.sort_by(|a, b| avg.routine_time(*b).total_cmp(&avg.routine_time(*a)));
+    let routines = names
+        .into_iter()
+        .map(|r| {
+            (
+                r.name().to_string(),
+                best.routine_time(r),
+                avg.routine_time(r),
+                worst.routine_time(r),
+            )
+        })
+        .collect();
+
+    let mean_mpi_fraction = ds.runs.iter().map(|r| r.mpi_fraction()).sum::<f64>()
+        / ds.runs.len() as f64;
+    MpiBreakdown {
+        spec: ds.spec,
+        compute: (best.compute_time, avg.compute_time, worst.compute_time),
+        mpi: (best.mpi_time(), avg.mpi_time(), worst.mpi_time()),
+        routines,
+        mean_mpi_fraction,
+    }
+}
+
+/// Figure 7: the mean per-step trend of execution time next to the mean
+/// per-step trends of two counters, to show they mirror each other.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Series {
+    /// The dataset.
+    pub spec: AppSpec,
+    /// Mean time per step.
+    pub mean_time: Vec<f64>,
+    /// Mean `RT_FLIT_TOT` per step.
+    pub mean_rt_flit: Vec<f64>,
+    /// Mean `RT_RB_STL` per step.
+    pub mean_rt_stl: Vec<f64>,
+}
+
+impl Fig7Series {
+    /// Pearson correlation between the time trend and a counter trend.
+    pub fn correlation(time: &[f64], counter: &[f64]) -> f64 {
+        let n = time.len() as f64;
+        let mt = time.iter().sum::<f64>() / n;
+        let mc = counter.iter().sum::<f64>() / n;
+        let cov: f64 =
+            time.iter().zip(counter).map(|(&t, &c)| (t - mt) * (c - mc)).sum::<f64>();
+        let vt: f64 = time.iter().map(|&t| (t - mt) * (t - mt)).sum::<f64>();
+        let vc: f64 = counter.iter().map(|&c| (c - mc) * (c - mc)).sum::<f64>();
+        if vt <= 0.0 || vc <= 0.0 {
+            return 0.0;
+        }
+        cov / (vt * vc).sqrt()
+    }
+}
+
+/// Build Figure 7 for one dataset.
+pub fn fig7(ds: &AppDataset) -> Fig7Series {
+    Fig7Series {
+        spec: ds.spec,
+        mean_time: ds.mean_step_times(),
+        mean_rt_flit: ds.mean_step_counter(Counter::RtFlitTot),
+        mean_rt_stl: ds.mean_step_counter(Counter::RtRbStl),
+    }
+}
+
+/// Table I rows: application, version, node count, input parameters.
+pub fn table1(result: &CampaignResult) -> Vec<(String, String, usize, String)> {
+    result
+        .datasets
+        .iter()
+        .map(|d| {
+            (
+                d.spec.kind.name().to_string(),
+                d.spec.kind.version().to_string(),
+                d.spec.num_nodes,
+                d.spec.input_params(),
+            )
+        })
+        .collect()
+}
+
+/// Table II rows: full counter name, abbreviation, description.
+pub fn table2() -> Vec<(String, String, String)> {
+    Counter::ALL
+        .iter()
+        .map(|c| {
+            (c.full_name().to_string(), c.abbrev().to_string(), c.description().to_string())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignConfig};
+    use dfv_workloads::app::AppKind;
+
+    fn campaign() -> CampaignResult {
+        run_campaign(&CampaignConfig::quick())
+    }
+
+    #[test]
+    fn fig1_normalizes_to_best_run() {
+        let result = campaign();
+        let f = fig1(&result.datasets[0], 400.0);
+        assert!(!f.points.is_empty());
+        let min = f.points.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min);
+        assert!((min - 1.0).abs() < 1e-12, "best run must sit at 1.0");
+        assert!(f.max_relative >= 1.0);
+    }
+
+    #[test]
+    fn fig3_milc_warmup_is_visible() {
+        let result = campaign();
+        let milc = result.datasets.iter().find(|d| d.spec.kind == AppKind::Milc).unwrap();
+        let f = fig3(milc);
+        assert_eq!(f.mean_time_per_step.len(), 80);
+        let warm: f64 = f.mean_time_per_step[..20].iter().sum::<f64>() / 20.0;
+        let full: f64 = f.mean_time_per_step[20..].iter().sum::<f64>() / 60.0;
+        assert!(warm < 0.6 * full, "warmup steps must be much faster: {warm} vs {full}");
+    }
+
+    #[test]
+    fn fig45_best_is_fastest_and_routines_ordered() {
+        let result = campaign();
+        let b = fig45(&result.datasets[0]);
+        assert!(b.mpi.0 <= b.mpi.2, "best MPI time <= worst");
+        assert!(b.mean_mpi_fraction > 0.0 && b.mean_mpi_fraction < 1.0);
+        // Routine rows sorted by average descending.
+        for w in b.routines.windows(2) {
+            assert!(w[0].2 >= w[1].2);
+        }
+    }
+
+    #[test]
+    fn fig7_counter_trends_mirror_time_trend() {
+        let result = campaign();
+        let milc = result.datasets.iter().find(|d| d.spec.kind == AppKind::Milc).unwrap();
+        let f = fig7(milc);
+        // MILC's warmup/full split makes the correlation strong.
+        let corr = Fig7Series::correlation(&f.mean_time, &f.mean_rt_flit);
+        assert!(corr > 0.55, "flit/time correlation {corr} too weak");
+    }
+
+    #[test]
+    fn tables_have_expected_shapes() {
+        let result = campaign();
+        let t1 = table1(&result);
+        assert_eq!(t1.len(), result.datasets.len());
+        let t2 = table2();
+        assert_eq!(t2.len(), 13);
+        assert!(t2.iter().any(|(full, ab, _)| full.contains("ROWBUS_STALL") && ab == "RT_RB_STL"));
+    }
+}

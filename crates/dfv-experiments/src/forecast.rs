@@ -1,0 +1,305 @@
+//! Execution-time forecasting (Sections IV-C and V-C, Figures 8, 10, 11
+//! and 12).
+//!
+//! The forecaster predicts the aggregate execution time of the next `k`
+//! steps from the features of the previous `m` steps, using the attention
+//! model from `dfv-mlkit`. Cross-validation splits at the *run* level so no
+//! window of a test run ever appears in training. Ablations vary the
+//! temporal context `m`, the horizon `k` and the feature group (app /
+//! +placement / +io / +sys).
+
+use crate::data::{AppDataset, RunRecord};
+use dfv_counters::features::FeatureSet;
+use dfv_mlkit::attention::{AttentionForecaster, AttentionParams};
+use dfv_mlkit::dataset::WindowDataset;
+use dfv_mlkit::metrics::mape;
+use dfv_workloads::app::AppSpec;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One forecasting configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForecastSpec {
+    /// Temporal context: steps of history used as input.
+    pub m: usize,
+    /// Horizon: future steps whose total time is predicted.
+    pub k: usize,
+    /// Feature group.
+    pub features: FeatureSet,
+}
+
+/// Forecast accuracy of one configuration on one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForecastOutcome {
+    /// The dataset.
+    pub app: AppSpec,
+    /// The configuration.
+    pub forecast: ForecastSpec,
+    /// Mean MAPE across CV folds (the bars of Figures 8 and 10).
+    pub mape: f64,
+    /// Per-fold MAPE.
+    pub fold_mapes: Vec<f64>,
+}
+
+/// Build the per-run window series of a dataset under a feature group.
+fn run_series(run: &RunRecord, features: FeatureSet) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let steps: Vec<Vec<f64>> = run
+        .steps
+        .iter()
+        .map(|s| s.features(features, run.num_routers as f64, run.num_groups as f64))
+        .collect();
+    let times: Vec<f64> = run.steps.iter().map(|s| s.time).collect();
+    (steps, times)
+}
+
+/// Build a [`WindowDataset`] from a set of runs.
+pub fn window_dataset(runs: &[&RunRecord], fspec: &ForecastSpec) -> WindowDataset {
+    let h = fspec.features.len();
+    let mut data = WindowDataset::empty(fspec.m, h, fspec.k);
+    for run in runs {
+        let (steps, times) = run_series(run, fspec.features);
+        data.push_run(&steps, &times);
+    }
+    data
+}
+
+/// Evaluate a forecasting configuration with run-level cross-validation.
+pub fn evaluate(
+    ds: &AppDataset,
+    fspec: &ForecastSpec,
+    params: &AttentionParams,
+    folds: usize,
+    seed: u64,
+) -> ForecastOutcome {
+    assert!(folds >= 2, "need at least two folds");
+    let n_runs = ds.runs.len();
+    assert!(n_runs >= folds, "need at least one run per fold");
+    let mut order: Vec<usize> = (0..n_runs).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+
+    let fold_mapes: Vec<f64> = (0..folds)
+        .into_par_iter()
+        .map(|f| {
+            let lo = f * n_runs / folds;
+            let hi = (f + 1) * n_runs / folds;
+            let test_runs: Vec<&RunRecord> = order[lo..hi].iter().map(|&i| &ds.runs[i]).collect();
+            let train_runs: Vec<&RunRecord> = order[..lo]
+                .iter()
+                .chain(order[hi..].iter())
+                .map(|&i| &ds.runs[i])
+                .collect();
+            let train = window_dataset(&train_runs, fspec);
+            let test = window_dataset(&test_runs, fspec);
+            if train.n() == 0 || test.n() == 0 {
+                return f64::NAN;
+            }
+            let mut p = *params;
+            p.seed = seed.wrapping_add(f as u64);
+            let model = AttentionForecaster::fit(&train, &p);
+            let pred = model.predict(&test);
+            mape(&test.y, &pred)
+        })
+        .collect();
+    let valid: Vec<f64> = fold_mapes.iter().copied().filter(|m| m.is_finite()).collect();
+    let mean = valid.iter().sum::<f64>() / valid.len().max(1) as f64;
+    ForecastOutcome { app: ds.spec, forecast: *fspec, mape: mean, fold_mapes }
+}
+
+/// Baseline for the ablation study: a ridge regressor on the flattened
+/// window (the related work applies plain linear regression to counter
+/// data). Same run-level CV protocol as [`evaluate`]; returns mean MAPE.
+pub fn evaluate_ridge_baseline(
+    ds: &AppDataset,
+    fspec: &ForecastSpec,
+    lambda: f64,
+    folds: usize,
+    seed: u64,
+) -> f64 {
+    assert!(folds >= 2, "need at least two folds");
+    let n_runs = ds.runs.len();
+    assert!(n_runs >= folds, "need at least one run per fold");
+    let mut order: Vec<usize> = (0..n_runs).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let fold_mapes: Vec<f64> = (0..folds)
+        .map(|f| {
+            let lo = f * n_runs / folds;
+            let hi = (f + 1) * n_runs / folds;
+            let test_runs: Vec<&RunRecord> = order[lo..hi].iter().map(|&i| &ds.runs[i]).collect();
+            let train_runs: Vec<&RunRecord> =
+                order[..lo].iter().chain(order[hi..].iter()).map(|&i| &ds.runs[i]).collect();
+            let mut train = window_dataset(&train_runs, fspec);
+            let mut test = window_dataset(&test_runs, fspec);
+            if train.n() == 0 || test.n() == 0 {
+                return f64::NAN;
+            }
+            // Same signed-log compression the attention model applies.
+            for x in [&mut train.x, &mut test.x] {
+                x.data_mut().iter_mut().for_each(|v| *v = v.signum() * v.abs().ln_1p());
+            }
+            let model = dfv_mlkit::ridge::Ridge::fit(&train.x, &train.y, lambda);
+            mape(&test.y, &model.predict(&test.x))
+        })
+        .filter(|m| m.is_finite())
+        .collect();
+    fold_mapes.iter().sum::<f64>() / fold_mapes.len().max(1) as f64
+}
+
+/// The paper's ablation grid for a dataset: every (m, k) in the given lists
+/// crossed with every feature set up to `max_features`.
+pub fn ablation_grid(
+    ms: &[usize],
+    ks: &[usize],
+    feature_sets: &[FeatureSet],
+) -> Vec<ForecastSpec> {
+    let mut grid = Vec::new();
+    for &k in ks {
+        for &m in ms {
+            for &features in feature_sets {
+                grid.push(ForecastSpec { m, k, features });
+            }
+        }
+    }
+    grid
+}
+
+/// Figure 11: train on the full dataset and compute permutation feature
+/// importances of the per-step features.
+pub fn feature_importances(
+    ds: &AppDataset,
+    fspec: &ForecastSpec,
+    params: &AttentionParams,
+    seed: u64,
+) -> Vec<(String, f64)> {
+    let runs: Vec<&RunRecord> = ds.runs.iter().collect();
+    let data = window_dataset(&runs, fspec);
+    let model = AttentionForecaster::fit(&data, params);
+    let scores = model.permutation_importance(&data, seed);
+    fspec.features.names().into_iter().zip(scores).collect()
+}
+
+/// Figure 12: predict consecutive `segment`-step totals of a long run from
+/// the `m` steps preceding each segment, using a model trained on the
+/// dataset's (short) regular runs. Returns `(observed, predicted)` per
+/// segment.
+pub fn forecast_long_run(
+    ds: &AppDataset,
+    long_run: &RunRecord,
+    m: usize,
+    segment: usize,
+    features: FeatureSet,
+    params: &AttentionParams,
+    seed: u64,
+) -> Vec<(f64, f64)> {
+    let fspec = ForecastSpec { m, k: segment, features };
+    let runs: Vec<&RunRecord> = ds.runs.iter().collect();
+    let train = window_dataset(&runs, &fspec);
+    let mut p = *params;
+    p.seed = seed;
+    let model = AttentionForecaster::fit(&train, &p);
+
+    let (steps, times) = run_series(long_run, features);
+    let h = features.len();
+    let mut out = Vec::new();
+    // Segment boundaries: the first segment starts after the first m steps.
+    let mut start = m;
+    while start + segment <= steps.len() {
+        let mut row = Vec::with_capacity(m * h);
+        for s in &steps[start - m..start] {
+            row.extend_from_slice(s);
+        }
+        let predicted = model.predict_row(&row);
+        let observed: f64 = times[start..start + segment].iter().sum();
+        out.push((observed, predicted));
+        start += segment;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, simulate_long_run, CampaignConfig};
+    use dfv_workloads::app::AppKind;
+
+    fn quick_attention() -> AttentionParams {
+        AttentionParams { epochs: 25, d_attn: 8, hidden: 16, ..Default::default() }
+    }
+
+    fn milc_dataset() -> crate::data::AppDataset {
+        let result = run_campaign(&CampaignConfig::quick());
+        result
+            .datasets
+            .into_iter()
+            .find(|d| d.spec.kind == AppKind::Milc)
+            .expect("quick campaign has MILC")
+    }
+
+    #[test]
+    fn forecaster_beats_naive_mean_on_milc() {
+        let ds = milc_dataset();
+        let fspec =
+            ForecastSpec { m: 10, k: 20, features: FeatureSet::AppPlacementIoSys };
+        let outcome = evaluate(&ds, &fspec, &quick_attention(), 3, 1);
+        assert!(outcome.mape.is_finite());
+        assert!(outcome.mape < 40.0, "MAPE {} too high", outcome.mape);
+    }
+
+    #[test]
+    fn ablation_grid_covers_all_combinations() {
+        let grid = ablation_grid(
+            &[3, 8],
+            &[5, 10],
+            &[FeatureSet::App, FeatureSet::AppPlacement],
+        );
+        assert_eq!(grid.len(), 8);
+        assert!(grid.iter().any(|f| f.m == 8 && f.k == 10 && f.features == FeatureSet::App));
+    }
+
+    #[test]
+    fn feature_importances_cover_the_feature_set() {
+        let ds = milc_dataset();
+        let fspec = ForecastSpec { m: 10, k: 20, features: FeatureSet::AppPlacementIoSys };
+        let imp = feature_importances(&ds, &fspec, &quick_attention(), 3);
+        assert_eq!(imp.len(), 23);
+        let total: f64 = imp.iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-6 || total == 0.0);
+    }
+
+    #[test]
+    fn long_run_forecast_tracks_observed_segments() {
+        let config = CampaignConfig::quick();
+        let result = run_campaign(&config);
+        let ds = result
+            .datasets
+            .iter()
+            .find(|d| d.spec.kind == AppKind::Milc)
+            .unwrap();
+        let long = simulate_long_run(&config, &ds.spec, 200, 99);
+        assert_eq!(long.steps.len(), 200);
+        let segments = forecast_long_run(
+            ds,
+            &long,
+            10,
+            20,
+            FeatureSet::AppPlacementIoSys,
+            &quick_attention(),
+            5,
+        );
+        // (200 - 10) / 20 full segments.
+        assert_eq!(segments.len(), 9);
+        for (obs, pred) in &segments {
+            assert!(*obs > 0.0);
+            assert!(pred.is_finite());
+        }
+        // Aggregate tracking: total predicted within 50% of observed.
+        let obs_total: f64 = segments.iter().map(|(o, _)| o).sum();
+        let pred_total: f64 = segments.iter().map(|(_, p)| p).sum();
+        assert!(
+            (pred_total - obs_total).abs() / obs_total < 0.5,
+            "pred {pred_total} vs obs {obs_total}"
+        );
+    }
+}

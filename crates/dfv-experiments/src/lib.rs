@@ -1,0 +1,27 @@
+//! # dfv-experiments
+//!
+//! The paper's methodology, end to end: the controlled-experiment campaign
+//! on the simulated machine ([`campaign`]), the resulting datasets
+//! ([`data`]), and the three analyses of Section IV — neighborhood/MI
+//! ([`neighborhood`]), deviation prediction with GBR + RFE ([`deviation`])
+//! and attention-based forecasting ([`forecast`]) — plus the data builders
+//! for every figure and table ([`figures`]).
+
+pub mod ablation;
+pub mod campaign;
+pub mod data;
+pub mod deviation;
+pub mod export;
+pub mod figures;
+pub mod forecast;
+pub mod neighborhood;
+pub mod whatif;
+
+pub use campaign::{
+    run_campaign, run_campaign_advised, simulate_long_run, CampaignConfig, CampaignResult,
+};
+pub use data::{AppDataset, RunRecord, StepRecord};
+pub use deviation::{analyze_deviation, deviation_dataset, DeviationAnalysis};
+pub use forecast::{evaluate, forecast_long_run, ForecastOutcome, ForecastSpec};
+pub use neighborhood::{analyze, NeighborhoodAnalysis, NeighborhoodParams};
+pub use whatif::{advisor_whatif, WhatIfOutcome};

@@ -1,0 +1,192 @@
+//! Neighborhood analysis and blame assignment (Sections IV-A and V-A,
+//! Table III).
+//!
+//! For every probe run we build the set of users who had at least one
+//! sufficiently large job running during the *entire* duration of the run.
+//! Each run is labeled optimal when its total time is below `tau` times the
+//! dataset mean, and every user's presence vector is scored against the
+//! optimality vector with mutual information. The users with the highest MI
+//! in each dataset — and especially those recurring across datasets — are
+//! the paper's Table III.
+
+use crate::campaign::CampaignResult;
+use crate::data::AppDataset;
+use dfv_mlkit::mi::mutual_information_binary;
+use dfv_scheduler::job::UserId;
+use dfv_workloads::app::AppSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Parameters of the neighborhood analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeighborhoodParams {
+    /// Jobs smaller than this don't qualify for the neighborhood (the paper
+    /// uses 128 nodes).
+    pub min_job_nodes: usize,
+    /// Optimality threshold: run is optimal iff `t_r < tau * t_mean`
+    /// (the paper uses tau = 1).
+    pub tau: f64,
+    /// How many top-MI users each dataset reports.
+    pub top_k: usize,
+    /// A user must co-occur with at least this many runs to be scored
+    /// (guards against spurious MI from rare users).
+    pub min_cooccurrence: usize,
+}
+
+impl Default for NeighborhoodParams {
+    fn default() -> Self {
+        NeighborhoodParams { min_job_nodes: 128, tau: 1.0, top_k: 7, min_cooccurrence: 5 }
+    }
+}
+
+/// Per-dataset output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetNeighborhood {
+    /// The dataset.
+    pub spec: AppSpec,
+    /// Every scored user with their MI, sorted by decreasing MI.
+    pub user_mi: Vec<(UserId, f64)>,
+    /// The `top_k` users by MI — one row of Table III.
+    pub top_users: Vec<UserId>,
+    /// Fraction of runs labeled optimal.
+    pub optimal_fraction: f64,
+}
+
+/// The full Table III analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeighborhoodAnalysis {
+    /// One entry per dataset.
+    pub per_dataset: Vec<DatasetNeighborhood>,
+    /// Users appearing in more than one dataset's top list, with the count
+    /// of lists they appear in, sorted by count descending.
+    pub recurring: Vec<(UserId, usize)>,
+}
+
+/// The neighborhood of one run: users with a qualifying job covering the
+/// entire run window.
+pub fn run_neighborhood(
+    result: &CampaignResult,
+    run_window: (f64, f64),
+    exclude_job: dfv_scheduler::job::JobId,
+    min_job_nodes: usize,
+) -> BTreeSet<UserId> {
+    let (a, b) = run_window;
+    result
+        .sacct
+        .iter()
+        .filter(|r| r.id != exclude_job && r.num_nodes >= min_job_nodes && r.covers(a, b))
+        .map(|r| r.user)
+        .collect()
+}
+
+fn analyze_dataset(
+    result: &CampaignResult,
+    ds: &AppDataset,
+    params: &NeighborhoodParams,
+) -> DatasetNeighborhood {
+    let totals: Vec<f64> = ds.total_times();
+    let mean = totals.iter().sum::<f64>() / totals.len().max(1) as f64;
+    let optimal: Vec<bool> = totals.iter().map(|&t| t < params.tau * mean).collect();
+
+    // User presence vectors.
+    let mut presence: BTreeMap<UserId, Vec<bool>> = BTreeMap::new();
+    let neighborhoods: Vec<BTreeSet<UserId>> = ds
+        .runs
+        .iter()
+        .map(|run| {
+            run_neighborhood(
+                result,
+                (run.start_time, run.end_time),
+                run.job_id,
+                params.min_job_nodes,
+            )
+        })
+        .collect();
+    let all_users: BTreeSet<UserId> = neighborhoods.iter().flatten().copied().collect();
+    for user in all_users {
+        let vec: Vec<bool> = neighborhoods.iter().map(|n| n.contains(&user)).collect();
+        presence.insert(user, vec);
+    }
+
+    let mut user_mi: Vec<(UserId, f64)> = presence
+        .into_iter()
+        .filter(|(_, v)| v.iter().filter(|&&b| b).count() >= params.min_cooccurrence)
+        .map(|(u, v)| (u, mutual_information_binary(&v, &optimal)))
+        .collect();
+    user_mi.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let top_users = user_mi.iter().take(params.top_k).map(|&(u, _)| u).collect();
+    let optimal_fraction =
+        optimal.iter().filter(|&&b| b).count() as f64 / optimal.len().max(1) as f64;
+    DatasetNeighborhood { spec: ds.spec, user_mi, top_users, optimal_fraction }
+}
+
+/// Run the analysis over every dataset of a campaign.
+pub fn analyze(result: &CampaignResult, params: &NeighborhoodParams) -> NeighborhoodAnalysis {
+    let per_dataset: Vec<DatasetNeighborhood> =
+        result.datasets.iter().map(|ds| analyze_dataset(result, ds, params)).collect();
+    let mut counts: BTreeMap<UserId, usize> = BTreeMap::new();
+    for d in &per_dataset {
+        for &u in &d.top_users {
+            *counts.entry(u).or_insert(0) += 1;
+        }
+    }
+    let mut recurring: Vec<(UserId, usize)> =
+        counts.into_iter().filter(|&(_, c)| c > 1).collect();
+    recurring.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    NeighborhoodAnalysis { per_dataset, recurring }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignConfig};
+
+    fn quick_params() -> NeighborhoodParams {
+        // The quick campaign uses 16-node probes and a small machine.
+        NeighborhoodParams { min_job_nodes: 8, tau: 1.0, top_k: 5, min_cooccurrence: 3 }
+    }
+
+    #[test]
+    fn analysis_produces_ranked_users() {
+        let result = run_campaign(&CampaignConfig::quick());
+        let analysis = analyze(&result, &quick_params());
+        assert_eq!(analysis.per_dataset.len(), result.datasets.len());
+        for d in &analysis.per_dataset {
+            // MI scores are sorted descending and non-negative.
+            for w in d.user_mi.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+            assert!(d.user_mi.iter().all(|&(_, mi)| mi >= 0.0));
+            assert!(d.top_users.len() <= 5);
+            assert!(d.optimal_fraction > 0.0 && d.optimal_fraction < 1.0);
+        }
+    }
+
+    #[test]
+    fn heavy_users_recur_across_datasets() {
+        let result = run_campaign(&CampaignConfig::quick());
+        let analysis = analyze(&result, &quick_params());
+        // At least one user shows up in several dataset lists (the paper's
+        // central Table III finding).
+        assert!(
+            !analysis.recurring.is_empty(),
+            "no recurring users: {:?}",
+            analysis.per_dataset.iter().map(|d| &d.top_users).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn neighborhood_requires_covering_jobs() {
+        let result = run_campaign(&CampaignConfig::quick());
+        let ds = &result.datasets[0];
+        let run = &ds.runs[0];
+        let n = run_neighborhood(&result, (run.start_time, run.end_time), run.job_id, 8);
+        // Every neighbor has a qualifying record covering the window.
+        for user in &n {
+            assert!(result.sacct.iter().any(|r| r.user == *user
+                && r.num_nodes >= 8
+                && r.covers(run.start_time, run.end_time)));
+        }
+    }
+}

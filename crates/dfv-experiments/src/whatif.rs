@@ -1,0 +1,182 @@
+//! The paper's closing proposal, made concrete: feed the neighborhood
+//! analysis back into the scheduler. "We plan to exploit this predictive
+//! power to improve scheduling and placement" (Section VII) — this module
+//! runs the campaign once to learn who causes congestion (Table III), builds
+//! a [`CongestionAdvisor`] from the recurring heavy users, replays the same
+//! campaign with the advisor holding communication-sensitive probe jobs
+//! while those users run, and compares the outcomes.
+
+use crate::campaign::{run_campaign, run_campaign_advised, CampaignConfig, CampaignResult};
+use crate::neighborhood::{analyze, NeighborhoodAnalysis, NeighborhoodParams};
+use dfv_scheduler::advisor::{AdvisorConfig, CongestionAdvisor};
+use dfv_scheduler::job::UserId;
+use dfv_workloads::app::AppSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Per-dataset before/after comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetComparison {
+    /// The dataset.
+    pub spec: AppSpec,
+    /// Mean total run time without the advisor.
+    pub baseline_mean: f64,
+    /// Mean total run time with the advisor.
+    pub advised_mean: f64,
+    /// Fraction of baseline runs whose window overlapped a blocked user's
+    /// qualifying job.
+    pub baseline_exposure: f64,
+    /// The same fraction with the advisor.
+    pub advised_exposure: f64,
+}
+
+/// Outcome of the what-if experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WhatIfOutcome {
+    /// The users the advisor blocked on.
+    pub blocked_users: Vec<UserId>,
+    /// Per-dataset comparisons.
+    pub comparisons: Vec<DatasetComparison>,
+}
+
+impl WhatIfOutcome {
+    /// Mean relative change in probe run time across datasets (negative =
+    /// the advisor helped).
+    pub fn mean_improvement(&self) -> f64 {
+        let rel: Vec<f64> = self
+            .comparisons
+            .iter()
+            .map(|c| (c.advised_mean - c.baseline_mean) / c.baseline_mean)
+            .collect();
+        rel.iter().sum::<f64>() / rel.len().max(1) as f64
+    }
+}
+
+/// Build an advisor from a neighborhood analysis: block the users that
+/// recur across dataset top-lists, except the probe user itself (we cannot
+/// delay our own jobs to avoid ourselves — the paper's User 8 insight).
+pub fn advisor_from_neighborhood(
+    analysis: &NeighborhoodAnalysis,
+    probe_user: UserId,
+    min_blocked_nodes: usize,
+    max_delay: f64,
+) -> CongestionAdvisor {
+    let blocked: BTreeSet<UserId> = analysis
+        .recurring
+        .iter()
+        .map(|&(u, _)| u)
+        .filter(|&u| u != probe_user)
+        .collect();
+    let mut config = AdvisorConfig::new(blocked);
+    config.min_blocked_nodes = min_blocked_nodes;
+    config.max_delay = max_delay;
+    config.recheck_interval = (max_delay / 20.0).max(1.0);
+    CongestionAdvisor::new(config)
+}
+
+/// Fraction of a dataset's runs whose execution window overlaps a
+/// qualifying job from a blocked user.
+fn exposure(
+    result: &CampaignResult,
+    spec: &AppSpec,
+    blocked: &BTreeSet<UserId>,
+    min_nodes: usize,
+) -> f64 {
+    let Some(ds) = result.dataset(spec) else { return 0.0 };
+    if ds.runs.is_empty() {
+        return 0.0;
+    }
+    let exposed = ds
+        .runs
+        .iter()
+        .filter(|run| {
+            result.sacct.iter().any(|r| {
+                blocked.contains(&r.user)
+                    && r.num_nodes >= min_nodes
+                    && r.overlaps(run.start_time, run.end_time)
+            })
+        })
+        .count();
+    exposed as f64 / ds.runs.len() as f64
+}
+
+/// Run the full what-if experiment.
+pub fn advisor_whatif(
+    config: &CampaignConfig,
+    neighborhood: &NeighborhoodParams,
+    max_delay: f64,
+) -> WhatIfOutcome {
+    let baseline = run_campaign(config);
+    let analysis = analyze(&baseline, neighborhood);
+    let advisor = advisor_from_neighborhood(
+        &analysis,
+        baseline.probe_user,
+        neighborhood.min_job_nodes,
+        max_delay,
+    );
+    let advised = run_campaign_advised(config, Some(&advisor));
+
+    let blocked: BTreeSet<UserId> =
+        advisor.config().blocked_users.iter().copied().collect();
+    let comparisons = config
+        .apps
+        .iter()
+        .filter_map(|spec| {
+            let b = baseline.dataset(spec)?;
+            let a = advised.dataset(spec)?;
+            if b.runs.is_empty() || a.runs.is_empty() {
+                return None;
+            }
+            Some(DatasetComparison {
+                spec: *spec,
+                baseline_mean: b.mean_total_time(),
+                advised_mean: a.mean_total_time(),
+                baseline_exposure: exposure(&baseline, spec, &blocked, neighborhood.min_job_nodes),
+                advised_exposure: exposure(&advised, spec, &blocked, neighborhood.min_job_nodes),
+            })
+        })
+        .collect();
+
+    WhatIfOutcome { blocked_users: blocked.into_iter().collect(), comparisons }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whatif_reduces_exposure_to_blocked_users() {
+        let mut config = CampaignConfig::quick();
+        config.num_days = 4;
+        let params =
+            NeighborhoodParams { min_job_nodes: 8, tau: 1.0, top_k: 5, min_cooccurrence: 3 };
+        let outcome = advisor_whatif(&config, &params, config.day_seconds);
+        assert!(!outcome.comparisons.is_empty());
+        if outcome.blocked_users.is_empty() {
+            // Nothing recurred in this tiny campaign: nothing to assert.
+            return;
+        }
+        let base: f64 = outcome.comparisons.iter().map(|c| c.baseline_exposure).sum();
+        let advised: f64 = outcome.comparisons.iter().map(|c| c.advised_exposure).sum();
+        assert!(
+            advised <= base + 1e-9,
+            "advisor must not increase exposure: {advised} vs {base}"
+        );
+        for c in &outcome.comparisons {
+            assert!(c.baseline_mean > 0.0 && c.advised_mean > 0.0);
+        }
+    }
+
+    #[test]
+    fn advisor_excludes_the_probe_user() {
+        let mut config = CampaignConfig::quick();
+        config.num_days = 3;
+        let baseline = run_campaign(&config);
+        let params =
+            NeighborhoodParams { min_job_nodes: 8, tau: 1.0, top_k: 5, min_cooccurrence: 2 };
+        let analysis = analyze(&baseline, &params);
+        let advisor =
+            advisor_from_neighborhood(&analysis, baseline.probe_user, 8, 100.0);
+        assert!(!advisor.config().blocked_users.contains(&baseline.probe_user));
+    }
+}

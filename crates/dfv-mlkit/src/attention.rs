@@ -1,0 +1,514 @@
+//! The forecasting model of Section IV-C: scalar dot-product attention over
+//! the temporal context, followed by a fully connected network.
+//!
+//! For a window of `m` step-feature vectors `x(t_c-m+1) ... x(t_c)` (each of
+//! width `h`), the model computes keys/values for every step and a query
+//! from the current step, attends over the context with scaled dot-product
+//! attention, concatenates the attention context with the current step's
+//! features, and maps through a one-hidden-layer MLP to the aggregate
+//! execution time of the next `k` steps. Training is plain MSE + Adam with
+//! manual backpropagation; inputs and targets are standardized internally.
+
+use crate::dataset::{ScalarScaler, Standardizer, WindowDataset};
+use crate::matrix::{dot, softmax, Matrix};
+
+/// Signed `log1p`: compresses the many orders of magnitude hardware
+/// counters span while staying defined for any real input.
+#[inline]
+fn signed_log1p(v: f64) -> f64 {
+    v.signum() * v.abs().ln_1p()
+}
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttentionParams {
+    /// Attention key/value width.
+    pub d_attn: usize,
+    /// Hidden layer width of the MLP head.
+    pub hidden: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Parameter-init and shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for AttentionParams {
+    fn default() -> Self {
+        AttentionParams {
+            d_attn: 16,
+            hidden: 32,
+            learning_rate: 1e-3,
+            epochs: 60,
+            batch: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// One trainable tensor with Adam moments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Param {
+    w: Matrix,
+    grad: Matrix,
+    m: Matrix,
+    v: Matrix,
+}
+
+impl Param {
+    fn new(rows: usize, cols: usize, rng: &mut StdRng) -> Self {
+        let bound = (6.0 / (rows + cols) as f64).sqrt();
+        let mut w = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                w.set(r, c, rng.gen_range(-bound..bound));
+            }
+        }
+        Param {
+            grad: Matrix::zeros(rows, cols),
+            m: Matrix::zeros(rows, cols),
+            v: Matrix::zeros(rows, cols),
+            w,
+        }
+    }
+
+    fn zeros(rows: usize, cols: usize) -> Self {
+        Param {
+            w: Matrix::zeros(rows, cols),
+            grad: Matrix::zeros(rows, cols),
+            m: Matrix::zeros(rows, cols),
+            v: Matrix::zeros(rows, cols),
+        }
+    }
+
+    /// One Adam update from the accumulated gradient (clipped to a global
+    /// norm so a single outlier batch cannot blow the parameters up), then
+    /// clear the gradient.
+    fn step(&mut self, lr: f64, t: usize, batch: f64) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        const CLIP: f64 = 1.0; // max per-element RMS of the batch gradient
+        let bc1 = 1.0 - B1.powi(t as i32);
+        let bc2 = 1.0 - B2.powi(t as i32);
+        let n = self.grad.data().len() as f64;
+        let norm = self.grad.norm() / batch;
+        let rms = norm / n.sqrt();
+        let clip_scale = if rms > CLIP { CLIP / rms } else { 1.0 };
+        let (w, g, m, v) =
+            (self.w.data_mut(), self.grad.data(), self.m.data_mut(), self.v.data_mut());
+        for i in 0..w.len() {
+            let gi = g[i] / batch * clip_scale;
+            m[i] = B1 * m[i] + (1.0 - B1) * gi;
+            v[i] = B2 * v[i] + (1.0 - B2) * gi * gi;
+            let mh = m[i] / bc1;
+            let vh = v[i] / bc2;
+            w[i] -= lr * mh / (vh.sqrt() + EPS);
+        }
+        self.grad.clear();
+    }
+}
+
+/// The fitted forecaster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttentionForecaster {
+    m: usize,
+    h: usize,
+    d: usize,
+    hidden: usize,
+    wq: Param,
+    wk: Param,
+    wv: Param,
+    w1: Param,
+    b1: Param,
+    w2: Param,
+    b2: Param,
+    x_scaler: Standardizer,
+    y_scaler: ScalarScaler,
+}
+
+/// Per-sample forward activations kept for the backward pass.
+struct Activations {
+    q: Vec<f64>,
+    keys: Vec<Vec<f64>>,
+    vals: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    z: Vec<f64>,
+    a1: Vec<f64>,
+    h1: Vec<f64>,
+    y_hat: f64,
+}
+
+impl AttentionForecaster {
+    /// Train on a window dataset.
+    pub fn fit(data: &WindowDataset, params: &AttentionParams) -> Self {
+        assert!(data.n() > 0, "cannot fit on an empty dataset");
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        // Counters span many orders of magnitude; compress with a signed
+        // log before standardizing so unseen test extremes stay in range.
+        let mut x = data.x.clone();
+        x.data_mut().iter_mut().for_each(|v| *v = signed_log1p(*v));
+        let x_scaler = Standardizer::fit(&x);
+        let y_scaler = ScalarScaler::fit(&data.y);
+        x_scaler.transform(&mut x);
+        let y: Vec<f64> = data.y.iter().map(|&v| y_scaler.transform(v)).collect();
+
+        let (m, h, d, hidden) = (data.m, data.h, params.d_attn, params.hidden);
+        let mut model = AttentionForecaster {
+            m,
+            h,
+            d,
+            hidden,
+            wq: Param::new(h, d, &mut rng),
+            wk: Param::new(h, d, &mut rng),
+            wv: Param::new(h, d, &mut rng),
+            w1: Param::new(d + h, hidden, &mut rng),
+            b1: Param::zeros(1, hidden),
+            w2: Param::new(hidden, 1, &mut rng),
+            b2: Param::zeros(1, 1),
+            x_scaler,
+            y_scaler,
+        };
+
+        let n = data.n();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut adam_t = 0usize;
+        for _epoch in 0..params.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(params.batch) {
+                for &i in chunk {
+                    let act = model.forward(x.row(i));
+                    let dy = act.y_hat - y[i];
+                    model.backward(x.row(i), &act, dy);
+                }
+                adam_t += 1;
+                let batch = chunk.len() as f64;
+                for p in [
+                    &mut model.wq,
+                    &mut model.wk,
+                    &mut model.wv,
+                    &mut model.w1,
+                    &mut model.b1,
+                    &mut model.w2,
+                    &mut model.b2,
+                ] {
+                    p.step(params.learning_rate, adam_t, batch);
+                }
+            }
+        }
+        model
+    }
+
+    /// Step feature vector `t` within a flattened window row.
+    #[inline]
+    fn step<'a>(&self, row: &'a [f64], t: usize) -> &'a [f64] {
+        &row[t * self.h..(t + 1) * self.h]
+    }
+
+    fn forward(&self, row: &[f64]) -> Activations {
+        let x_last = self.step(row, self.m - 1);
+        let q = self.wq.w.vec_mul(x_last);
+        let scale = 1.0 / (self.d as f64).sqrt();
+        let mut keys = Vec::with_capacity(self.m);
+        let mut vals = Vec::with_capacity(self.m);
+        let mut scores = Vec::with_capacity(self.m);
+        for t in 0..self.m {
+            let xt = self.step(row, t);
+            let k = self.wk.w.vec_mul(xt);
+            let v = self.wv.w.vec_mul(xt);
+            scores.push(dot(&q, &k) * scale);
+            keys.push(k);
+            vals.push(v);
+        }
+        let alpha = softmax(&scores);
+        let mut c = vec![0.0; self.d];
+        for t in 0..self.m {
+            for (ci, &vi) in c.iter_mut().zip(&vals[t]) {
+                *ci += alpha[t] * vi;
+            }
+        }
+        let mut z = c;
+        z.extend_from_slice(x_last);
+        let mut a1 = self.w1.w.vec_mul(&z);
+        for (a, b) in a1.iter_mut().zip(self.b1.w.row(0)) {
+            *a += b;
+        }
+        let h1: Vec<f64> = a1.iter().map(|&a| a.max(0.0)).collect();
+        let y_hat = dot(&h1, &self.w2.w.col(0)) + self.b2.w.get(0, 0);
+        Activations { q, keys, vals, alpha, z, a1, h1, y_hat }
+    }
+
+    /// Accumulate gradients for one sample given `dL/dy_hat = dy`.
+    fn backward(&mut self, row: &[f64], act: &Activations, dy: f64) {
+        let x_last = self.step(row, self.m - 1).to_vec();
+        // Head: y = h1 . w2 + b2
+        for (j, &hj) in act.h1.iter().enumerate() {
+            self.w2.grad.add_at(j, 0, dy * hj);
+        }
+        self.b2.grad.add_at(0, 0, dy);
+        // dh1 = dy * w2; da1 = dh1 * relu'(a1)
+        let mut da1 = vec![0.0; self.hidden];
+        for j in 0..self.hidden {
+            if act.a1[j] > 0.0 {
+                da1[j] = dy * self.w2.w.get(j, 0);
+            }
+        }
+        // W1: z (d+h) x hidden
+        for (i, &zi) in act.z.iter().enumerate() {
+            if zi != 0.0 {
+                for (j, &dj) in da1.iter().enumerate() {
+                    self.w1.grad.add_at(i, j, zi * dj);
+                }
+            }
+        }
+        for (j, &dj) in da1.iter().enumerate() {
+            self.b1.grad.add_at(0, j, dj);
+        }
+        // dz = W1 . da1
+        let mut dz = vec![0.0; self.d + self.h];
+        for (i, dzi) in dz.iter_mut().enumerate() {
+            *dzi = dot(self.w1.w.row(i), &da1);
+        }
+        let dc = &dz[..self.d];
+        // Attention: c = sum alpha_t v_t
+        let scale = 1.0 / (self.d as f64).sqrt();
+        let mut dalpha = vec![0.0; self.m];
+        for t in 0..self.m {
+            dalpha[t] = dot(dc, &act.vals[t]);
+            // dWv += x_t (outer) (alpha_t * dc)
+            let xt = self.step(row, t).to_vec();
+            for (i, &xi) in xt.iter().enumerate() {
+                if xi != 0.0 {
+                    for (j, &dcj) in dc.iter().enumerate() {
+                        self.wv.grad.add_at(i, j, xi * act.alpha[t] * dcj);
+                    }
+                }
+            }
+        }
+        // Softmax backward.
+        let sum_ad: f64 = act.alpha.iter().zip(&dalpha).map(|(&a, &g)| a * g).sum();
+        let dscore: Vec<f64> =
+            act.alpha.iter().zip(&dalpha).map(|(&a, &g)| a * (g - sum_ad)).collect();
+        // dq = sum_t dscore_t * k_t * scale ; dk_t = dscore_t * q * scale
+        let mut dq = vec![0.0; self.d];
+        for t in 0..self.m {
+            let xt = self.step(row, t).to_vec();
+            for j in 0..self.d {
+                dq[j] += dscore[t] * act.keys[t][j] * scale;
+            }
+            for (i, &xi) in xt.iter().enumerate() {
+                if xi != 0.0 {
+                    for (j, &qj) in act.q.iter().enumerate() {
+                        self.wk.grad.add_at(i, j, xi * dscore[t] * qj * scale);
+                    }
+                }
+            }
+        }
+        for (i, &xi) in x_last.iter().enumerate() {
+            if xi != 0.0 {
+                for (j, &dqj) in dq.iter().enumerate() {
+                    self.wq.grad.add_at(i, j, xi * dqj);
+                }
+            }
+        }
+    }
+
+    /// Predict the aggregate future time for one raw (unscaled) window row.
+    pub fn predict_row(&self, raw_row: &[f64]) -> f64 {
+        assert_eq!(raw_row.len(), self.m * self.h, "window width mismatch");
+        let mut row = raw_row.to_vec();
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = (signed_log1p(*v) - self.x_scaler.means[c]) / self.x_scaler.stds[c];
+        }
+        let act = self.forward(&row);
+        self.y_scaler.inverse(act.y_hat)
+    }
+
+    /// Predict every window of a dataset.
+    pub fn predict(&self, data: &WindowDataset) -> Vec<f64> {
+        (0..data.n()).map(|i| self.predict_row(data.x.row(i))).collect()
+    }
+
+    /// Permutation feature importance of the `h` per-step features: shuffle
+    /// one feature column (in every window position) and measure the
+    /// increase in RMSE on `data`. Returns non-negative scores normalized to
+    /// sum to 1 (all-zero if the model is degenerate).
+    pub fn permutation_importance(&self, data: &WindowDataset, seed: u64) -> Vec<f64> {
+        let base_pred = self.predict(data);
+        let base = crate::metrics::rmse(&data.y, &base_pred);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = data.n();
+        let mut scores = vec![0.0; self.h];
+        for f in 0..self.h {
+            let mut shuffled = data.x.clone();
+            // Shuffle feature f across samples, applying the same permutation
+            // to every window step so the temporal structure stays intact.
+            let mut perm: Vec<usize> = (0..n).collect();
+            perm.shuffle(&mut rng);
+            for t in 0..self.m {
+                let col = t * self.h + f;
+                let vals: Vec<f64> = (0..n).map(|r| data.x.get(r, col)).collect();
+                for (r, &p) in perm.iter().enumerate() {
+                    shuffled.set(r, col, vals[p]);
+                }
+            }
+            let s = WindowDataset {
+                x: shuffled,
+                y: data.y.clone(),
+                m: self.m,
+                h: self.h,
+                k: data.k,
+            };
+            let pred = self.predict(&s);
+            let err = crate::metrics::rmse(&data.y, &pred);
+            scores[f] = (err - base).max(0.0);
+        }
+        let total: f64 = scores.iter().sum();
+        if total > 0.0 {
+            scores.iter_mut().for_each(|s| *s /= total);
+        }
+        scores
+    }
+
+    /// The attention weights the model assigns to each context step for one
+    /// raw window (useful diagnostics: which history steps matter).
+    pub fn attention_weights(&self, raw_row: &[f64]) -> Vec<f64> {
+        let mut row = raw_row.to_vec();
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = (signed_log1p(*v) - self.x_scaler.means[c]) / self.x_scaler.stds[c];
+        }
+        self.forward(&row).alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::mape;
+
+    /// Synthetic forecastable series: y(t) depends on a feature of the
+    /// recent past.
+    fn synth(num_runs: usize, t_len: usize, m: usize, k: usize, seed: u64) -> WindowDataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = WindowDataset::empty(m, 2, k);
+        for _ in 0..num_runs {
+            let mut level: f64 = rng.gen_range(1.0..3.0);
+            let mut steps = Vec::new();
+            let mut times = Vec::new();
+            for _ in 0..t_len {
+                level = 0.9 * level + 0.1 * rng.gen_range(1.0..3.0);
+                let noise: f64 = rng.gen_range(-0.05..0.05);
+                // Feature 0 = congestion level, feature 1 = pure noise.
+                steps.push(vec![level, rng.gen_range(-1.0..1.0)]);
+                times.push(10.0 * level + noise);
+            }
+            data.push_run(&steps, &times);
+        }
+        data
+    }
+
+    fn quick_params() -> AttentionParams {
+        AttentionParams { epochs: 40, d_attn: 8, hidden: 16, seed: 3, ..Default::default() }
+    }
+
+    #[test]
+    fn learns_a_persistent_signal() {
+        let train = synth(20, 30, 4, 2, 1);
+        let test = synth(5, 30, 4, 2, 99);
+        let model = AttentionForecaster::fit(&train, &quick_params());
+        let pred = model.predict(&test);
+        let err = mape(&test.y, &pred);
+        assert!(err < 8.0, "MAPE {err}% too high");
+    }
+
+    #[test]
+    fn beats_predicting_the_training_mean() {
+        let train = synth(20, 30, 4, 2, 1);
+        let test = synth(5, 30, 4, 2, 77);
+        let model = AttentionForecaster::fit(&train, &quick_params());
+        let pred = model.predict(&test);
+        let mean = crate::metrics::mean(&train.y);
+        let mean_pred = vec![mean; test.n()];
+        assert!(mape(&test.y, &pred) < mape(&test.y, &mean_pred));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let train = synth(5, 20, 3, 1, 1);
+        let m1 = AttentionForecaster::fit(&train, &quick_params());
+        let m2 = AttentionForecaster::fit(&train, &quick_params());
+        assert_eq!(m1.predict_row(train.x.row(0)), m2.predict_row(train.x.row(0)));
+    }
+
+    #[test]
+    fn attention_weights_are_a_distribution() {
+        let train = synth(5, 20, 4, 1, 1);
+        let model = AttentionForecaster::fit(&train, &quick_params());
+        let w = model.attention_weights(train.x.row(0));
+        assert_eq!(w.len(), 4);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.iter().all(|&a| a >= 0.0));
+    }
+
+    #[test]
+    fn permutation_importance_finds_the_signal_feature() {
+        let train = synth(20, 30, 4, 2, 1);
+        let model = AttentionForecaster::fit(&train, &quick_params());
+        let imp = model.permutation_importance(&train, 5);
+        assert_eq!(imp.len(), 2);
+        assert!(imp[0] > imp[1], "importances {imp:?}");
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        // Spot-check the manual backprop on a tiny model.
+        let mut data = WindowDataset::empty(2, 2, 1);
+        data.push_run(
+            &[vec![0.5, -0.2], vec![0.1, 0.3], vec![-0.4, 0.8]],
+            &[1.0, 2.0, 3.0],
+        );
+        let params = AttentionParams { epochs: 1, d_attn: 3, hidden: 4, seed: 7, ..Default::default() };
+        let mut model = AttentionForecaster::fit(&data, &params);
+        // Use a fresh row; compute analytic gradient of L = 0.5 (y_hat - y)^2
+        // w.r.t. one Wq entry and compare with central differences.
+        let mut row = data.x.row(0).to_vec();
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = (signed_log1p(*v) - model.x_scaler.means[c]) / model.x_scaler.stds[c];
+        }
+        let target = 0.0;
+        let act = model.forward(&row);
+        let dy = act.y_hat - target;
+        // Clear grads, then accumulate analytic gradient.
+        for p in [
+            &mut model.wq, &mut model.wk, &mut model.wv, &mut model.w1, &mut model.b1,
+            &mut model.w2, &mut model.b2,
+        ] {
+            p.grad.clear();
+        }
+        let act = model.forward(&row);
+        model.backward(&row, &act, dy);
+        let analytic = model.wq.grad.get(0, 1);
+
+        let eps = 1e-6;
+        let orig = model.wq.w.get(0, 1);
+        model.wq.w.set(0, 1, orig + eps);
+        let lp = 0.5 * (model.forward(&row).y_hat - target).powi(2);
+        model.wq.w.set(0, 1, orig - eps);
+        let lm = 0.5 * (model.forward(&row).y_hat - target).powi(2);
+        model.wq.w.set(0, 1, orig);
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 1e-5 * (1.0 + numeric.abs()),
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+}

@@ -1,0 +1,362 @@
+//! Tabular datasets, preprocessing and cross-validation splits.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A supervised regression dataset: `n x d` features plus `n` targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Feature matrix, one row per sample.
+    pub x: Matrix,
+    /// Targets.
+    pub y: Vec<f64>,
+    /// Column names (length `d`).
+    pub feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Assemble and validate a dataset.
+    pub fn new(x: Matrix, y: Vec<f64>, feature_names: Vec<String>) -> Self {
+        assert_eq!(x.rows(), y.len(), "x/y row mismatch");
+        assert_eq!(x.cols(), feature_names.len(), "x/name column mismatch");
+        Dataset { x, y, feature_names }
+    }
+
+    /// Number of samples.
+    pub fn n(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Number of features.
+    pub fn d(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Rows selected by index, in the given order.
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        let mut x = Matrix::zeros(idx.len(), self.d());
+        let mut y = Vec::with_capacity(idx.len());
+        for (r, &i) in idx.iter().enumerate() {
+            x.row_mut(r).copy_from_slice(self.x.row(i));
+            y.push(self.y[i]);
+        }
+        Dataset { x, y, feature_names: self.feature_names.clone() }
+    }
+
+    /// Keep only the named feature columns (by index, in the given order).
+    pub fn select_features(&self, keep: &[usize]) -> Dataset {
+        let mut x = Matrix::zeros(self.n(), keep.len());
+        for r in 0..self.n() {
+            let src = self.x.row(r);
+            let dst = x.row_mut(r);
+            for (c, &j) in keep.iter().enumerate() {
+                dst[c] = src[j];
+            }
+        }
+        let names = keep.iter().map(|&j| self.feature_names[j].clone()).collect();
+        Dataset { x, y: self.y.clone(), feature_names: names }
+    }
+}
+
+/// Per-column z-score scaler fitted on training data and applied to test
+/// data, so no test-set statistics leak into training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    /// Column means.
+    pub means: Vec<f64>,
+    /// Column standard deviations (zero-variance columns get 1.0 so they
+    /// pass through unchanged after centering).
+    pub stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit on a feature matrix.
+    pub fn fit(x: &Matrix) -> Self {
+        let n = x.rows().max(1) as f64;
+        let d = x.cols();
+        let mut means = vec![0.0; d];
+        let mut stds = vec![0.0; d];
+        for r in 0..x.rows() {
+            for (c, &v) in x.row(r).iter().enumerate() {
+                means[c] += v;
+            }
+        }
+        means.iter_mut().for_each(|m| *m /= n);
+        for r in 0..x.rows() {
+            for (c, &v) in x.row(r).iter().enumerate() {
+                stds[c] += (v - means[c]) * (v - means[c]);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Standardizer { means, stds }
+    }
+
+    /// Standardize a matrix in place.
+    pub fn transform(&self, x: &mut Matrix) {
+        assert_eq!(x.cols(), self.means.len(), "column count mismatch");
+        for r in 0..x.rows() {
+            let row = x.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.means[c]) / self.stds[c];
+            }
+        }
+    }
+}
+
+/// Scalar (target) scaler: z-score for a vector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalarScaler {
+    /// Mean of the fitted values.
+    pub mean: f64,
+    /// Standard deviation (1.0 when degenerate).
+    pub std: f64,
+}
+
+impl ScalarScaler {
+    /// Fit on targets.
+    pub fn fit(y: &[f64]) -> Self {
+        let mean = crate::metrics::mean(y);
+        let std = {
+            let s = crate::metrics::std_dev(y);
+            if s.is_nan() || s <= 1e-12 {
+                1.0
+            } else {
+                s
+            }
+        };
+        ScalarScaler { mean, std }
+    }
+
+    /// Scale a value.
+    pub fn transform(&self, v: f64) -> f64 {
+        (v - self.mean) / self.std
+    }
+
+    /// Invert the scaling.
+    pub fn inverse(&self, v: f64) -> f64 {
+        v * self.std + self.mean
+    }
+}
+
+/// Remove per-column means (the paper's mean-centering of counters and
+/// times before deviation modeling). Returns the removed means.
+pub fn mean_center(x: &mut Matrix) -> Vec<f64> {
+    let s = Standardizer::fit(x);
+    for r in 0..x.rows() {
+        let row = x.row_mut(r);
+        for (c, v) in row.iter_mut().enumerate() {
+            *v -= s.means[c];
+        }
+    }
+    s.means
+}
+
+/// K-fold cross-validation indices: `k` pairs of `(train, test)` index
+/// lists over `n` samples, shuffled deterministically by `seed`.
+pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k must be at least 2");
+    assert!(n >= k, "need at least one sample per fold");
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let lo = f * n / k;
+        let hi = (f + 1) * n / k;
+        let test: Vec<usize> = idx[lo..hi].to_vec();
+        let train: Vec<usize> =
+            idx[..lo].iter().chain(idx[hi..].iter()).copied().collect();
+        folds.push((train, test));
+    }
+    folds
+}
+
+/// A sliding-window forecasting dataset (Section IV-C): each sample's
+/// features are the per-step feature vectors of the `m` steps before `t_c`,
+/// flattened row-major (`m * h` columns), and the target is the *sum* of the
+/// step times of the `k` steps after `t_c`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowDataset {
+    /// Flattened windows, one row per sample (`m * h` columns).
+    pub x: Matrix,
+    /// Aggregate future times.
+    pub y: Vec<f64>,
+    /// Temporal context length.
+    pub m: usize,
+    /// Features per step.
+    pub h: usize,
+    /// Forecast horizon (steps summed into each target).
+    pub k: usize,
+}
+
+impl WindowDataset {
+    /// Empty dataset for the given window geometry.
+    pub fn empty(m: usize, h: usize, k: usize) -> Self {
+        WindowDataset { x: Matrix::zeros(0, m * h), y: Vec::new(), m, h, k }
+    }
+
+    /// Slide over one run's series: `steps[t]` is the `h`-vector of step
+    /// `t`'s features and `times[t]` its execution time. Appends one sample
+    /// per valid cut point `t_c` in `m-1 .. T-k`.
+    pub fn push_run(&mut self, steps: &[Vec<f64>], times: &[f64]) {
+        assert_eq!(steps.len(), times.len(), "steps/times mismatch");
+        let t_total = steps.len();
+        if t_total < self.m + self.k {
+            return;
+        }
+        let mut row = Vec::with_capacity(self.m * self.h);
+        for tc in (self.m - 1)..(t_total - self.k) {
+            row.clear();
+            for t in (tc + 1 - self.m)..=tc {
+                assert_eq!(steps[t].len(), self.h, "feature width mismatch");
+                row.extend_from_slice(&steps[t]);
+            }
+            self.x.push_row(&row);
+            self.y.push(times[tc + 1..=tc + self.k].iter().sum());
+        }
+    }
+
+    /// Number of samples.
+    pub fn n(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Rows selected by index.
+    pub fn subset(&self, idx: &[usize]) -> WindowDataset {
+        let mut x = Matrix::zeros(idx.len(), self.m * self.h);
+        let mut y = Vec::with_capacity(idx.len());
+        for (r, &i) in idx.iter().enumerate() {
+            x.row_mut(r).copy_from_slice(self.x.row(i));
+            y.push(self.y[i]);
+        }
+        WindowDataset { x, y, m: self.m, h: self.h, k: self.k }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ]);
+        Dataset::new(x, vec![1.0, 2.0, 3.0, 4.0], vec!["a".into(), "b".into()])
+    }
+
+    #[test]
+    fn subset_and_select() {
+        let d = toy();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.y, vec![3.0, 1.0]);
+        assert_eq!(s.x.get(0, 1), 30.0);
+        let f = d.select_features(&[1]);
+        assert_eq!(f.d(), 1);
+        assert_eq!(f.feature_names, vec!["b"]);
+        assert_eq!(f.x.get(3, 0), 40.0);
+    }
+
+    #[test]
+    fn standardizer_zero_means_unit_std() {
+        let d = toy();
+        let s = Standardizer::fit(&d.x);
+        let mut x = d.x.clone();
+        s.transform(&mut x);
+        let refit = Standardizer::fit(&x);
+        for c in 0..2 {
+            assert!(refit.means[c].abs() < 1e-12);
+            assert!((refit.stds[c] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn standardizer_handles_constant_columns() {
+        let x = Matrix::from_rows(&[vec![5.0], vec![5.0]]);
+        let s = Standardizer::fit(&x);
+        let mut y = x.clone();
+        s.transform(&mut y);
+        assert_eq!(y.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn scalar_scaler_roundtrip() {
+        let s = ScalarScaler::fit(&[10.0, 20.0, 30.0]);
+        let v = s.transform(25.0);
+        assert!((s.inverse(v) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_center_removes_means() {
+        let mut x = Matrix::from_rows(&[vec![1.0, 4.0], vec![3.0, 8.0]]);
+        let means = mean_center(&mut x);
+        assert_eq!(means, vec![2.0, 6.0]);
+        assert_eq!(x.get(0, 0), -1.0);
+        assert_eq!(x.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn kfold_partitions_all_samples() {
+        let folds = kfold(10, 3, 7);
+        assert_eq!(folds.len(), 3);
+        let mut seen: Vec<usize> = folds.iter().flat_map(|(_, test)| test.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 10);
+            assert!(train.iter().all(|i| !test.contains(i)));
+        }
+    }
+
+    #[test]
+    fn kfold_is_deterministic() {
+        assert_eq!(kfold(20, 5, 3), kfold(20, 5, 3));
+        assert_ne!(kfold(20, 5, 3), kfold(20, 5, 4));
+    }
+
+    #[test]
+    fn sliding_windows_match_paper_formulation() {
+        // T=6, m=2, k=2: cut points tc in {1, 2, 3}.
+        let steps: Vec<Vec<f64>> = (0..6).map(|t| vec![t as f64]).collect();
+        let times: Vec<f64> = (0..6).map(|t| 10.0 + t as f64).collect();
+        let mut w = WindowDataset::empty(2, 1, 2);
+        w.push_run(&steps, &times);
+        assert_eq!(w.n(), 3);
+        // tc=1: features of steps 0..=1, target = times[2]+times[3].
+        assert_eq!(w.x.row(0), &[0.0, 1.0]);
+        assert_eq!(w.y[0], 12.0 + 13.0);
+        // tc=3: features of steps 2..=3, target = times[4]+times[5].
+        assert_eq!(w.x.row(2), &[2.0, 3.0]);
+        assert_eq!(w.y[2], 14.0 + 15.0);
+    }
+
+    #[test]
+    fn short_runs_produce_no_windows() {
+        let steps: Vec<Vec<f64>> = (0..3).map(|t| vec![t as f64]).collect();
+        let times = vec![1.0, 2.0, 3.0];
+        let mut w = WindowDataset::empty(2, 1, 2);
+        w.push_run(&steps, &times);
+        assert_eq!(w.n(), 0);
+    }
+
+    #[test]
+    fn window_subset_preserves_geometry() {
+        let steps: Vec<Vec<f64>> = (0..8).map(|t| vec![t as f64, 2.0 * t as f64]).collect();
+        let times: Vec<f64> = (0..8).map(|t| t as f64).collect();
+        let mut w = WindowDataset::empty(3, 2, 1);
+        w.push_run(&steps, &times);
+        let s = w.subset(&[0, 2]);
+        assert_eq!(s.n(), 2);
+        assert_eq!(s.m, 3);
+        assert_eq!(s.x.cols(), 6);
+    }
+}

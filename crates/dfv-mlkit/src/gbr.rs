@@ -1,0 +1,203 @@
+//! Gradient boosted regression (Friedman 2001), the predictive model of the
+//! paper's deviation analysis (Section IV-B).
+//!
+//! With squared loss, the negative gradient at each boosting iteration is
+//! simply the residual, so each iteration fits a shallow regression tree to
+//! the current residuals and adds it with a shrinkage factor. Stochastic
+//! subsampling of the training rows per iteration both speeds up and
+//! regularizes the fit.
+
+use crate::matrix::Matrix;
+use crate::tree::{RegressionTree, TreeParams};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Boosting hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbrParams {
+    /// Boosting iterations (trees).
+    pub n_trees: usize,
+    /// Shrinkage per tree.
+    pub learning_rate: f64,
+    /// Base-learner tree parameters.
+    pub tree: TreeParams,
+    /// Fraction of rows sampled (without replacement) per iteration.
+    pub subsample: f64,
+    /// Seed for the subsampling.
+    pub seed: u64,
+}
+
+impl Default for GbrParams {
+    fn default() -> Self {
+        GbrParams {
+            n_trees: 60,
+            learning_rate: 0.1,
+            tree: TreeParams::default(),
+            subsample: 0.7,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted gradient boosted regressor.
+///
+/// ```
+/// use dfv_mlkit::gbr::{Gbr, GbrParams};
+/// use dfv_mlkit::matrix::Matrix;
+///
+/// let x = Matrix::from_rows(&(0..100).map(|i| vec![i as f64]).collect::<Vec<_>>());
+/// let y: Vec<f64> = (0..100).map(|i| 3.0 * i as f64).collect();
+/// let model = Gbr::fit(&x, &y, &GbrParams::default());
+/// let pred = model.predict_row(&[50.0]);
+/// assert!((pred - 150.0).abs() < 15.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gbr {
+    init: f64,
+    learning_rate: f64,
+    trees: Vec<RegressionTree>,
+    importances: Vec<f64>,
+}
+
+impl Gbr {
+    /// Fit on a feature matrix and targets.
+    pub fn fit(x: &Matrix, y: &[f64], params: &GbrParams) -> Self {
+        assert_eq!(x.rows(), y.len(), "x/y mismatch");
+        assert!(!y.is_empty(), "cannot fit on zero samples");
+        assert!(params.subsample > 0.0 && params.subsample <= 1.0, "subsample in (0, 1]");
+        let n = y.len();
+        let init = y.iter().sum::<f64>() / n as f64;
+        let mut pred = vec![init; n];
+        let mut residual = vec![0.0; n];
+        let mut trees = Vec::with_capacity(params.n_trees);
+        let mut importances = vec![0.0; x.cols()];
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut all_idx: Vec<usize> = (0..n).collect();
+        let sample_size = ((n as f64) * params.subsample).ceil() as usize;
+
+        for _ in 0..params.n_trees {
+            for i in 0..n {
+                residual[i] = y[i] - pred[i];
+            }
+            all_idx.shuffle(&mut rng);
+            let idx = &all_idx[..sample_size.max(1)];
+            let tree = RegressionTree::fit(x, &residual, idx, &params.tree);
+            tree.accumulate_importances(&mut importances);
+            for i in 0..n {
+                pred[i] += params.learning_rate * tree.predict_row(x.row(i));
+            }
+            trees.push(tree);
+        }
+        Gbr { init, learning_rate: params.learning_rate, trees, importances }
+    }
+
+    /// Predict one sample.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.init
+            + self.learning_rate
+                * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
+    }
+
+    /// Predict every row of a matrix.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+
+    /// Normalized per-feature importances (sum to 1 unless no split was ever
+    /// made, in which case all zeros).
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let total: f64 = self.importances.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.importances.len()];
+        }
+        self.importances.iter().map(|&v| v / total).collect()
+    }
+
+    /// Number of trees actually fitted.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    fn params_fast() -> GbrParams {
+        GbrParams { n_trees: 80, learning_rate: 0.2, subsample: 1.0, seed: 1, ..Default::default() }
+    }
+
+    #[test]
+    fn fits_a_linear_function() {
+        let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 10.0]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] + 1.0).collect();
+        let g = Gbr::fit(&x, &y, &params_fast());
+        let pred = g.predict(&x);
+        assert!(r2(&y, &pred) > 0.95, "r2={}", r2(&y, &pred));
+    }
+
+    #[test]
+    fn fits_an_interaction() {
+        // y = x0 * x1 needs depth >= 2 trees.
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                rows.push(vec![i as f64, j as f64]);
+            }
+        }
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * r[1]).collect();
+        let g = Gbr::fit(&x, &y, &params_fast());
+        let pred = g.predict(&x);
+        assert!(r2(&y, &pred) > 0.9);
+    }
+
+    #[test]
+    fn importances_identify_signal_feature() {
+        // Feature 1 carries all the signal, features 0 and 2 are noise-free
+        // constants.
+        let rows: Vec<Vec<f64>> =
+            (0..100).map(|i| vec![1.0, (i % 10) as f64, 2.0]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = rows.iter().map(|r| r[1] * 5.0).collect();
+        let g = Gbr::fit(&x, &y, &params_fast());
+        let imp = g.feature_importances();
+        assert!(imp[1] > 0.99, "importances {imp:?}");
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y = vec![42.0; 30];
+        let g = Gbr::fit(&x, &y, &params_fast());
+        assert!((g.predict_row(&[100.0]) - 42.0).abs() < 1e-9);
+        assert_eq!(g.feature_importances(), vec![0.0]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 7) as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 2.0).collect();
+        let p = GbrParams { subsample: 0.5, seed: 9, ..params_fast() };
+        let g1 = Gbr::fit(&x, &y, &p);
+        let g2 = Gbr::fit(&x, &y, &p);
+        assert_eq!(g1.predict_row(&[3.0]), g2.predict_row(&[3.0]));
+    }
+
+    #[test]
+    fn subsampling_still_learns() {
+        let rows: Vec<Vec<f64>> = (0..300).map(|i| vec![i as f64 / 30.0]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = rows.iter().map(|r| r[0].powi(2)).collect();
+        let p = GbrParams { subsample: 0.5, seed: 3, ..params_fast() };
+        let g = Gbr::fit(&x, &y, &p);
+        assert!(r2(&y, &g.predict(&x)) > 0.9);
+    }
+}

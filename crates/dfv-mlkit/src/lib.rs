@@ -1,0 +1,39 @@
+//! # dfv-mlkit
+//!
+//! The from-scratch machine-learning substrate of the reproduction:
+//!
+//! * [`matrix`] — small dense linear algebra;
+//! * [`dataset`] — tabular and sliding-window datasets, standardization,
+//!   mean-centering and k-fold cross-validation;
+//! * [`metrics`] — MAPE/RMSE/MAE/R²;
+//! * [`mi`] — mutual information (neighborhood analysis, Section IV-A);
+//! * [`tree`]/[`gbr`] — CART trees and gradient boosted regression
+//!   (deviation modeling, Section IV-B);
+//! * [`rfe`] — recursive feature elimination with CV relevance scores
+//!   (Figure 9);
+//! * [`attention`] — the scalar dot-product attention forecaster
+//!   (Section IV-C, Figures 8/10/11/12);
+//! * [`ridge`] — the simple linear baseline of the related work.
+
+// Index-parallel loops read naturally in hand-written backprop and
+// tree-building code; the iterator rewrites clippy suggests obscure them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod attention;
+pub mod dataset;
+pub mod gbr;
+pub mod matrix;
+pub mod metrics;
+pub mod mi;
+pub mod rfe;
+pub mod ridge;
+pub mod tree;
+
+pub use attention::{AttentionForecaster, AttentionParams};
+pub use dataset::{kfold, mean_center, Dataset, ScalarScaler, Standardizer, WindowDataset};
+pub use gbr::{Gbr, GbrParams};
+pub use matrix::Matrix;
+pub use mi::{binary_entropy, mutual_information_binary, mutual_information_discrete};
+pub use rfe::{rfe, RfeParams, RfeResult};
+pub use ridge::Ridge;
+pub use tree::{RegressionTree, TreeParams};

@@ -1,0 +1,123 @@
+//! Regression metrics: MAPE (the paper's headline forecasting metric),
+//! RMSE, MAE and R².
+
+/// Mean absolute percentage error, in percent, over pairs whose true value
+/// is non-zero. Panics on length mismatch; returns `NaN` when no valid pair
+/// exists.
+pub fn mape(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&t, &p) in truth.iter().zip(pred) {
+        if t != 0.0 {
+            sum += ((t - p) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        100.0 * sum / n as f64
+    }
+}
+
+/// Root mean squared error.
+pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    if truth.is_empty() {
+        return f64::NAN;
+    }
+    let mse: f64 =
+        truth.iter().zip(pred).map(|(&t, &p)| (t - p) * (t - p)).sum::<f64>() / truth.len() as f64;
+    mse.sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    if truth.is_empty() {
+        return f64::NAN;
+    }
+    truth.iter().zip(pred).map(|(&t, &p)| (t - p).abs()).sum::<f64>() / truth.len() as f64
+}
+
+/// Coefficient of determination R². 1 is perfect; 0 matches predicting the
+/// mean; negative is worse than the mean.
+pub fn r2(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    if truth.is_empty() {
+        return f64::NAN;
+    }
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|&t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = truth.iter().zip(pred).map(|(&t, &p)| (t - p) * (t - p)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Mean of a slice (`NaN` when empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        f64::NAN
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation (`NaN` when empty).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_basic() {
+        // Errors of 10% and 20% -> mean 15%.
+        let m = mape(&[10.0, 10.0], &[9.0, 12.0]);
+        assert!((m - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_truth() {
+        let m = mape(&[0.0, 10.0], &[5.0, 11.0]);
+        assert!((m - 10.0).abs() < 1e-12);
+        assert!(mape(&[0.0], &[1.0]).is_nan());
+    }
+
+    #[test]
+    fn rmse_and_mae() {
+        assert!((rmse(&[1.0, 2.0], &[1.0, 4.0]) - (2.0f64).sqrt()).abs() < 1e-12);
+        assert!((mae(&[1.0, 2.0], &[1.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert!(rmse(&[], &[]).is_nan());
+    }
+
+    #[test]
+    fn r2_extremes() {
+        let t = [1.0, 2.0, 3.0];
+        assert!((r2(&t, &t) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r2(&t, &mean_pred).abs() < 1e-12);
+        assert!(r2(&t, &[10.0, 10.0, 10.0]) < 0.0);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(std_dev(&[1.0, 3.0]), 1.0);
+        assert!(mean(&[]).is_nan());
+    }
+}

@@ -1,0 +1,131 @@
+//! Mutual information between discrete variables (Section IV-A).
+//!
+//! The neighborhood analysis quantifies the dependency between each user's
+//! presence (a binary vector over runs) and run optimality (another binary
+//! vector) with the plug-in estimate of Shannon mutual information.
+
+/// Mutual information (in nats) between two equal-length discrete label
+/// vectors, using plug-in probability estimates. Zero-probability cells
+/// contribute zero.
+pub fn mutual_information_discrete(xs: &[u32], ys: &[u32]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    use std::collections::HashMap;
+    let mut joint: HashMap<(u32, u32), f64> = HashMap::new();
+    let mut px: HashMap<u32, f64> = HashMap::new();
+    let mut py: HashMap<u32, f64> = HashMap::new();
+    let w = 1.0 / n as f64;
+    for (&x, &y) in xs.iter().zip(ys) {
+        *joint.entry((x, y)).or_insert(0.0) += w;
+        *px.entry(x).or_insert(0.0) += w;
+        *py.entry(y).or_insert(0.0) += w;
+    }
+    let mut mi = 0.0;
+    for (&(x, y), &pxy) in &joint {
+        if pxy > 0.0 {
+            mi += pxy * (pxy / (px[&x] * py[&y])).ln();
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Mutual information (in nats) between two binary vectors.
+///
+/// ```
+/// use dfv_mlkit::mi::mutual_information_binary;
+/// let user_present = vec![true, true, false, false];
+/// let run_optimal = vec![false, false, true, true]; // anti-correlated
+/// assert!(mutual_information_binary(&user_present, &run_optimal) > 0.6);
+/// ```
+pub fn mutual_information_binary(xs: &[bool], ys: &[bool]) -> f64 {
+    let xi: Vec<u32> = xs.iter().map(|&b| b as u32).collect();
+    let yi: Vec<u32> = ys.iter().map(|&b| b as u32).collect();
+    mutual_information_discrete(&xi, &yi)
+}
+
+/// Entropy (in nats) of a binary vector, an upper bound on any MI with it.
+pub fn binary_entropy(xs: &[bool]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let p = xs.iter().filter(|&&b| b).count() as f64 / xs.len() as f64;
+    let mut h = 0.0;
+    for q in [p, 1.0 - p] {
+        if q > 0.0 {
+            h -= q * q.ln();
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_have_mi_equal_entropy() {
+        let xs = vec![true, true, false, false, true, false];
+        let mi = mutual_information_binary(&xs, &xs);
+        let h = binary_entropy(&xs);
+        assert!((mi - h).abs() < 1e-12, "mi={mi} h={h}");
+    }
+
+    #[test]
+    fn independent_vectors_have_zero_mi() {
+        // All four combinations equally often: exactly independent.
+        let xs = vec![false, false, true, true];
+        let ys = vec![false, true, false, true];
+        assert!(mutual_information_binary(&xs, &ys).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anti_correlated_equals_correlated() {
+        let xs = vec![true, false, true, false, true, false];
+        let ys: Vec<bool> = xs.iter().map(|&b| !b).collect();
+        let mi_anti = mutual_information_binary(&xs, &ys);
+        let mi_same = mutual_information_binary(&xs, &xs);
+        assert!((mi_anti - mi_same).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_is_symmetric() {
+        let xs = vec![true, true, false, true, false, false, true, false];
+        let ys = vec![true, false, false, true, false, true, true, false];
+        let a = mutual_information_binary(&xs, &ys);
+        let b = mutual_information_binary(&ys, &xs);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_vector_carries_no_information() {
+        let xs = vec![true; 10];
+        let ys = vec![true, false, true, false, true, false, true, false, true, false];
+        assert!(mutual_information_binary(&xs, &ys).abs() < 1e-9);
+        assert!(binary_entropy(&xs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_dependence_between_zero_and_entropy() {
+        let xs = vec![true, true, true, false, false, false, true, false];
+        let ys = vec![true, true, false, false, false, true, true, false];
+        let mi = mutual_information_binary(&xs, &ys);
+        assert!(mi > 0.0);
+        assert!(mi <= binary_entropy(&xs) + 1e-12);
+    }
+
+    #[test]
+    fn discrete_mi_handles_multiclass() {
+        let xs = vec![0, 1, 2, 0, 1, 2];
+        let ys = vec![0, 1, 2, 0, 1, 2];
+        let mi = mutual_information_discrete(&xs, &ys);
+        assert!((mi - (3.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(mutual_information_discrete(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Recursive feature elimination with cross-validation (Section IV-B).
+//!
+//! Per CV fold: repeatedly fit a GBR on the surviving features, identify the
+//! worst feature by importance, set it aside, and continue until one feature
+//! remains. Features are ranked by elimination time; the fold's
+//! best-performing subset is the elimination stage with the lowest test
+//! error. A feature's relevance score aggregates, across folds, how late it
+//! was eliminated and whether it made the fold's best subset — "the
+//! likelihood of being chosen as a well-performing feature across all the
+//! cross-validation splits". Scores are normalized to sum to 1 so they are
+//! comparable across datasets (Figure 9).
+
+use crate::dataset::{kfold, Dataset};
+use crate::gbr::{Gbr, GbrParams};
+use crate::metrics::{mape, rmse};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// RFE driver parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RfeParams {
+    /// Cross-validation folds (the paper uses 10).
+    pub folds: usize,
+    /// GBR hyperparameters for every fit.
+    pub gbr: GbrParams,
+    /// Seed for fold assignment.
+    pub seed: u64,
+}
+
+impl Default for RfeParams {
+    fn default() -> Self {
+        RfeParams { folds: 10, gbr: GbrParams::default(), seed: 0 }
+    }
+}
+
+/// Result of RFE with cross-validation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RfeResult {
+    /// Per-feature relevance scores, normalized to sum to 1.
+    pub relevance: Vec<f64>,
+    /// Feature names, aligned with `relevance`.
+    pub feature_names: Vec<String>,
+    /// Per-fold elimination order (first entry = first eliminated = worst).
+    pub elimination_orders: Vec<Vec<usize>>,
+    /// Per-fold MAPE of the full-feature model on the fold's test set,
+    /// computed on `y + offset` (absolute values) when offsets are given.
+    pub fold_mape: Vec<f64>,
+    /// Per-fold RMSE of the full-feature model on the fold's test set.
+    pub fold_rmse: Vec<f64>,
+}
+
+impl RfeResult {
+    /// Mean MAPE across folds.
+    pub fn mean_mape(&self) -> f64 {
+        crate::metrics::mean(&self.fold_mape)
+    }
+
+    /// Features sorted by decreasing relevance.
+    pub fn ranked_features(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .feature_names
+            .iter()
+            .cloned()
+            .zip(self.relevance.iter().copied())
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v
+    }
+}
+
+/// Run RFE with `params.folds`-fold CV on `data`. When `offsets` is given
+/// (one per sample), MAPE is evaluated on `prediction + offset` against
+/// `target + offset` — used to score deviation models on absolute times.
+pub fn rfe(data: &Dataset, offsets: Option<&[f64]>, params: &RfeParams) -> RfeResult {
+    let d = data.d();
+    assert!(d >= 1, "need at least one feature");
+    if let Some(o) = offsets {
+        assert_eq!(o.len(), data.n(), "offset length mismatch");
+    }
+    let folds = kfold(data.n(), params.folds, params.seed);
+
+    struct FoldOut {
+        order: Vec<usize>,
+        best_subset: Vec<usize>,
+        mape: f64,
+        rmse: f64,
+    }
+
+    let fold_outputs: Vec<FoldOut> = folds
+        .par_iter()
+        .enumerate()
+        .map(|(fold_i, (train_idx, test_idx))| {
+            let train = data.subset(train_idx);
+            let test = data.subset(test_idx);
+            let mut gbr_params = params.gbr;
+            gbr_params.seed = params.gbr.seed.wrapping_add(fold_i as u64);
+
+            // Full-feature model error for reporting.
+            let full = Gbr::fit(&train.x, &train.y, &gbr_params);
+            let pred = full.predict(&test.x);
+            let (abs_truth, abs_pred): (Vec<f64>, Vec<f64>) = match offsets {
+                Some(off) => test_idx
+                    .iter()
+                    .zip(pred.iter().zip(&test.y))
+                    .map(|(&i, (&p, &t))| (t + off[i], p + off[i]))
+                    .unzip(),
+                None => (test.y.clone(), pred.clone()),
+            };
+            let fold_mape = mape(&abs_truth, &abs_pred);
+            let fold_rmse = rmse(&test.y, &pred);
+
+            // Recursive elimination.
+            let mut surviving: Vec<usize> = (0..d).collect();
+            let mut order: Vec<usize> = Vec::with_capacity(d);
+            let mut stage_errors: Vec<(Vec<usize>, f64)> = Vec::new();
+            while surviving.len() > 1 {
+                let tr = train.select_features(&surviving);
+                let te = test.select_features(&surviving);
+                let model = Gbr::fit(&tr.x, &tr.y, &gbr_params);
+                let err = rmse(&te.y, &model.predict(&te.x));
+                stage_errors.push((surviving.clone(), err));
+                let imp = model.feature_importances();
+                let worst_pos = (0..surviving.len())
+                    .min_by(|&a, &b| imp[a].total_cmp(&imp[b]))
+                    .expect("non-empty");
+                order.push(surviving.remove(worst_pos));
+            }
+            // Final single feature stage.
+            {
+                let tr = train.select_features(&surviving);
+                let te = test.select_features(&surviving);
+                let model = Gbr::fit(&tr.x, &tr.y, &gbr_params);
+                let err = rmse(&te.y, &model.predict(&te.x));
+                stage_errors.push((surviving.clone(), err));
+            }
+            order.push(surviving[0]);
+
+            let best_subset = stage_errors
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(subset, _)| subset.clone())
+                .unwrap_or_default();
+            FoldOut { order, best_subset, mape: fold_mape, rmse: fold_rmse }
+        })
+        .collect();
+
+    // Aggregate relevance: normalized elimination rank plus a bonus for
+    // membership in the fold's best-performing subset.
+    let mut raw = vec![0.0; d];
+    for out in &fold_outputs {
+        for (rank, &feature) in out.order.iter().enumerate() {
+            // rank 0 = eliminated first (worst) -> lowest score.
+            raw[feature] += rank as f64 / (d.max(2) - 1) as f64;
+        }
+        for &feature in &out.best_subset {
+            raw[feature] += 0.5;
+        }
+    }
+    let total: f64 = raw.iter().sum();
+    let relevance =
+        if total > 0.0 { raw.iter().map(|&v| v / total).collect() } else { vec![1.0 / d as f64; d] };
+
+    RfeResult {
+        relevance,
+        feature_names: data.feature_names.clone(),
+        elimination_orders: fold_outputs.iter().map(|o| o.order.clone()).collect(),
+        fold_mape: fold_outputs.iter().map(|o| o.mape).collect(),
+        fold_rmse: fold_outputs.iter().map(|o| o.rmse).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    /// Dataset where feature 0 drives the target, 1 is weakly informative,
+    /// and 2-3 are noise.
+    fn synth(n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let f0: f64 = rng.gen_range(-1.0..1.0);
+            let f1: f64 = rng.gen_range(-1.0..1.0);
+            let f2: f64 = rng.gen_range(-1.0..1.0);
+            let f3: f64 = rng.gen_range(-1.0..1.0);
+            rows.push(vec![f0, f1, f2, f3]);
+            y.push(10.0 * f0 + 1.0 * f1 + 0.05 * rng.gen_range(-1.0..1.0));
+        }
+        Dataset::new(
+            Matrix::from_rows(&rows),
+            y,
+            vec!["signal".into(), "weak".into(), "noise_a".into(), "noise_b".into()],
+        )
+    }
+
+    fn fast_params() -> RfeParams {
+        RfeParams {
+            folds: 3,
+            gbr: GbrParams { n_trees: 30, ..Default::default() },
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn rfe_ranks_the_signal_feature_first() {
+        let data = synth(300);
+        let result = rfe(&data, None, &fast_params());
+        let ranked = result.ranked_features();
+        assert_eq!(ranked[0].0, "signal", "ranked: {ranked:?}");
+        // Relevance sums to 1.
+        assert!((result.relevance.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Noise features score below the signal.
+        assert!(result.relevance[0] > result.relevance[2]);
+        assert!(result.relevance[0] > result.relevance[3]);
+    }
+
+    #[test]
+    fn elimination_orders_are_permutations() {
+        let data = synth(150);
+        let result = rfe(&data, None, &fast_params());
+        for order in &result.elimination_orders {
+            let mut o = order.clone();
+            o.sort_unstable();
+            assert_eq!(o, vec![0, 1, 2, 3]);
+        }
+        assert_eq!(result.elimination_orders.len(), 3);
+    }
+
+    #[test]
+    fn offsets_shift_mape_to_absolute_scale() {
+        let data = synth(150);
+        // Large positive offsets make relative errors tiny.
+        let offsets = vec![1.0e4; data.n()];
+        let with = rfe(&data, Some(&offsets), &fast_params());
+        let without = rfe(&data, None, &fast_params());
+        assert!(with.mean_mape() < without.mean_mape());
+        assert!(with.mean_mape() < 1.0, "absolute-scale MAPE should be tiny");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = synth(100);
+        let a = rfe(&data, None, &fast_params());
+        let b = rfe(&data, None, &fast_params());
+        assert_eq!(a.relevance, b.relevance);
+    }
+}

@@ -1,0 +1,172 @@
+//! Ridge (L2-regularized linear) regression, used as the simple baseline
+//! the related work applies to counter data (Groves et al. use plain linear
+//! regression) and for forecasting ablations against the attention model.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A fitted ridge regressor `y = x . w + b`.
+///
+/// ```
+/// use dfv_mlkit::ridge::Ridge;
+/// use dfv_mlkit::matrix::Matrix;
+///
+/// let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+/// let model = Ridge::fit(&x, &[1.0, 3.0, 5.0], 1e-9);
+/// assert!((model.predict_row(&[3.0]) - 7.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ridge {
+    /// Per-feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub intercept: f64,
+}
+
+impl Ridge {
+    /// Fit with regularization strength `lambda >= 0` by solving the normal
+    /// equations `(X'X + lambda I) w = X'y` on mean-centered data with
+    /// Gaussian elimination (partial pivoting). Fine for the few dozen
+    /// features this crate deals with.
+    pub fn fit(x: &Matrix, y: &[f64], lambda: f64) -> Self {
+        assert_eq!(x.rows(), y.len(), "x/y mismatch");
+        assert!(!y.is_empty(), "cannot fit on zero samples");
+        assert!(lambda >= 0.0, "lambda must be non-negative");
+        let n = x.rows();
+        let d = x.cols();
+        // Center so the intercept decouples.
+        let mut xm = vec![0.0; d];
+        for r in 0..n {
+            for (c, &v) in x.row(r).iter().enumerate() {
+                xm[c] += v;
+            }
+        }
+        xm.iter_mut().for_each(|v| *v /= n as f64);
+        let ym: f64 = y.iter().sum::<f64>() / n as f64;
+
+        // A = X'X + lambda I, b = X'y on centered data.
+        let mut a = Matrix::zeros(d, d);
+        let mut b = vec![0.0; d];
+        for r in 0..n {
+            let row = x.row(r);
+            let yc = y[r] - ym;
+            for i in 0..d {
+                let xi = row[i] - xm[i];
+                b[i] += xi * yc;
+                for j in i..d {
+                    a.add_at(i, j, xi * (row[j] - xm[j]));
+                }
+            }
+        }
+        for i in 0..d {
+            for j in 0..i {
+                let v = a.get(j, i);
+                a.set(i, j, v);
+            }
+            a.add_at(i, i, lambda.max(1e-12));
+        }
+        let w = solve(&mut a, &mut b);
+        let intercept = ym - w.iter().zip(&xm).map(|(wi, mi)| wi * mi).sum::<f64>();
+        Ridge { weights: w, intercept }
+    }
+
+    /// Predict one sample.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.intercept + row.iter().zip(&self.weights).map(|(x, w)| x * w).sum::<f64>()
+    }
+
+    /// Predict every row of a matrix.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+}
+
+/// Solve `A x = b` in place with Gaussian elimination and partial pivoting.
+fn solve(a: &mut Matrix, b: &mut [f64]) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a.get(i, col).abs().total_cmp(&a.get(j, col).abs()))
+            .unwrap();
+        if pivot != col {
+            for c in 0..n {
+                let (u, v) = (a.get(col, c), a.get(pivot, c));
+                a.set(col, c, v);
+                a.set(pivot, c, u);
+            }
+            b.swap(col, pivot);
+        }
+        let diag = a.get(col, col);
+        assert!(diag.abs() > 1e-300, "singular system");
+        for r in (col + 1)..n {
+            let f = a.get(r, col) / diag;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = a.get(r, c) - f * a.get(col, c);
+                a.set(r, c, v);
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut acc = b[r];
+        for c in (r + 1)..n {
+            acc -= a.get(r, c) * x[c];
+        }
+        x[r] = acc / a.get(r, r);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    #[test]
+    fn recovers_exact_linear_coefficients() {
+        let rows: Vec<Vec<f64>> =
+            (0..50).map(|i| vec![i as f64, (i * i % 13) as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 7.0).collect();
+        let model = Ridge::fit(&x, &y, 1e-9);
+        assert!((model.weights[0] - 2.0).abs() < 1e-6);
+        assert!((model.weights[1] + 3.0).abs() < 1e-6);
+        assert!((model.intercept - 7.0).abs() < 1e-4);
+        assert!(r2(&y, &model.predict(&x)) > 0.999999);
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = rows.iter().map(|r| 5.0 * r[0]).collect();
+        let loose = Ridge::fit(&x, &y, 1e-9);
+        let tight = Ridge::fit(&x, &y, 1e6);
+        assert!(tight.weights[0].abs() < loose.weights[0].abs());
+    }
+
+    #[test]
+    fn handles_collinear_features_via_ridge() {
+        // Perfectly collinear columns would break OLS; ridge regularizes.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 3.0).collect();
+        let model = Ridge::fit(&x, &y, 1e-3);
+        let pred = model.predict(&x);
+        assert!(r2(&y, &pred) > 0.999);
+    }
+
+    #[test]
+    fn constant_target() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y = vec![4.0; 10];
+        let model = Ridge::fit(&x, &y, 1.0);
+        assert!((model.predict_row(&[3.0]) - 4.0).abs() < 1e-9);
+    }
+}

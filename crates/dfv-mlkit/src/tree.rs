@@ -1,0 +1,286 @@
+//! CART regression trees: the base learners of the gradient boosted
+//! regressor (Section IV-B).
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Tree growing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples in each child of a split.
+    pub min_samples_leaf: usize,
+    /// Minimum SSE reduction for a split to be kept.
+    pub min_gain: f64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 3, min_samples_leaf: 5, min_gain: 1e-12 }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        gain: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    num_features: usize,
+}
+
+impl RegressionTree {
+    /// Fit on the rows of `x` selected by `idx` with targets `y`.
+    pub fn fit(x: &Matrix, y: &[f64], idx: &[usize], params: &TreeParams) -> Self {
+        assert_eq!(x.rows(), y.len(), "x/y mismatch");
+        assert!(!idx.is_empty(), "cannot fit on zero samples");
+        let mut tree = RegressionTree { nodes: Vec::new(), num_features: x.cols() };
+        let mut idx = idx.to_vec();
+        tree.build(x, y, &mut idx, 0, params);
+        tree
+    }
+
+    /// Recursively build; returns the node index.
+    fn build(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        idx: &mut [usize],
+        depth: usize,
+        params: &TreeParams,
+    ) -> usize {
+        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+        if depth >= params.max_depth || idx.len() < 2 * params.min_samples_leaf {
+            return self.push(Node::Leaf { value: mean });
+        }
+        match best_split(x, y, idx, params) {
+            None => self.push(Node::Leaf { value: mean }),
+            Some(split) => {
+                // Partition idx in place by the split predicate.
+                let mid = partition(idx, |&i| x.get(i, split.feature) <= split.threshold);
+                let me = self.push(Node::Leaf { value: mean }); // placeholder
+                let (left_idx, right_idx) = idx.split_at_mut(mid);
+                let left = self.build(x, y, left_idx, depth + 1, params);
+                let right = self.build(x, y, right_idx, depth + 1, params);
+                self.nodes[me] = Node::Split {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    gain: split.gain,
+                    left,
+                    right,
+                };
+                me
+            }
+        }
+    }
+
+    fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Predict one sample.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right, .. } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Add this tree's split gains into a per-feature importance accumulator.
+    pub fn accumulate_importances(&self, acc: &mut [f64]) {
+        assert_eq!(acc.len(), self.num_features);
+        for node in &self.nodes {
+            if let Node::Split { feature, gain, .. } = node {
+                acc[*feature] += *gain;
+            }
+        }
+    }
+
+    /// Number of nodes (for introspection/tests).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn rec(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + rec(nodes, *left).max(rec(nodes, *right)),
+            }
+        }
+        rec(&self.nodes, 0)
+    }
+}
+
+struct SplitChoice {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+/// Exhaustive best split over all features: sort the node's samples by each
+/// feature and scan boundaries with prefix sums.
+fn best_split(x: &Matrix, y: &[f64], idx: &[usize], params: &TreeParams) -> Option<SplitChoice> {
+    let n = idx.len() as f64;
+    let sum: f64 = idx.iter().map(|&i| y[i]).sum();
+    let sum_sq: f64 = idx.iter().map(|&i| y[i] * y[i]).sum();
+    let parent_sse = sum_sq - sum * sum / n;
+
+    let mut best: Option<SplitChoice> = None;
+    let mut pairs: Vec<(f64, f64)> = Vec::with_capacity(idx.len());
+    for feature in 0..x.cols() {
+        pairs.clear();
+        pairs.extend(idx.iter().map(|&i| (x.get(i, feature), y[i])));
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for (pos, &(v, t)) in pairs.iter().enumerate() {
+            left_sum += t;
+            left_sq += t * t;
+            let nl = (pos + 1) as f64;
+            let nr = n - nl;
+            if (pos + 1) < params.min_samples_leaf
+                || (idx.len() - pos - 1) < params.min_samples_leaf
+            {
+                continue;
+            }
+            // Cannot split between equal feature values.
+            if pos + 1 < pairs.len() && pairs[pos + 1].0 <= v {
+                continue;
+            }
+            if nr == 0.0 {
+                break;
+            }
+            let right_sum = sum - left_sum;
+            let right_sq = sum_sq - left_sq;
+            let sse = (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
+            let gain = parent_sse - sse;
+            if gain > params.min_gain && best.as_ref().is_none_or(|b| gain > b.gain) {
+                let threshold = 0.5 * (v + pairs[pos + 1].0);
+                best = Some(SplitChoice { feature, threshold, gain });
+            }
+        }
+    }
+    best
+}
+
+/// Stable in-place partition; returns the count of elements satisfying the
+/// predicate (placed first).
+fn partition<T: Copy, F: Fn(&T) -> bool>(xs: &mut [T], pred: F) -> usize {
+    let mut buf: Vec<T> = Vec::with_capacity(xs.len());
+    let mut mid = 0;
+    for &v in xs.iter() {
+        if pred(&v) {
+            buf.push(v);
+            mid += 1;
+        }
+    }
+    for &v in xs.iter() {
+        if !pred(&v) {
+            buf.push(v);
+        }
+    }
+    xs.copy_from_slice(&buf);
+    mid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_idx(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn single_leaf_predicts_mean() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![10.0, 20.0, 30.0];
+        let params = TreeParams { max_depth: 0, ..Default::default() };
+        let t = RegressionTree::fit(&x, &y, &all_idx(3), &params);
+        assert_eq!(t.num_nodes(), 1);
+        assert!((t.predict_row(&[5.0]) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let x = Matrix::from_rows(&(0..20).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 100.0 }).collect();
+        let params = TreeParams { max_depth: 2, min_samples_leaf: 1, min_gain: 1e-9 };
+        let t = RegressionTree::fit(&x, &y, &all_idx(20), &params);
+        assert!((t.predict_row(&[3.0]) - 0.0).abs() < 1e-9);
+        assert!((t.predict_row(&[15.0]) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn picks_the_informative_feature() {
+        // Feature 0 is noise-free signal, feature 1 is constant.
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 2) as f64, 7.0]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = (0..40).map(|i| (i % 2) as f64 * 10.0).collect();
+        let t = RegressionTree::fit(&x, &y, &all_idx(40), &TreeParams::default());
+        let mut imp = vec![0.0; 2];
+        t.accumulate_importances(&mut imp);
+        assert!(imp[0] > 0.0);
+        assert_eq!(imp[1], 0.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let params = TreeParams { max_depth: 2, min_samples_leaf: 1, min_gain: 1e-12 };
+        let t = RegressionTree::fit(&x, &y, &all_idx(64), &params);
+        assert!(t.depth() <= 2);
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = (0..10).map(|i| if i == 0 { 100.0 } else { 0.0 }).collect();
+        // With min_samples_leaf 3 the outlier cannot be isolated.
+        let params = TreeParams { max_depth: 5, min_samples_leaf: 3, min_gain: 1e-12 };
+        let t = RegressionTree::fit(&x, &y, &all_idx(10), &params);
+        // The left-most leaf contains at least 3 samples -> prediction < 100.
+        assert!(t.predict_row(&[0.0]) < 50.0);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y = vec![5.0; 10];
+        let t = RegressionTree::fit(&x, &y, &all_idx(10), &TreeParams::default());
+        assert_eq!(t.num_nodes(), 1);
+    }
+
+    #[test]
+    fn partition_is_stable() {
+        let mut xs = [1, 2, 3, 4, 5, 6];
+        let mid = partition(&mut xs, |&v| v % 2 == 0);
+        assert_eq!(mid, 3);
+        assert_eq!(xs, [2, 4, 6, 1, 3, 5]);
+    }
+}

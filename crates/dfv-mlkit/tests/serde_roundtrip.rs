@@ -1,0 +1,61 @@
+//! Fitted models are serde-serializable: a trained deviation or forecasting
+//! model can be persisted (e.g. by a resource manager) and reloaded without
+//! behavioral change.
+
+use dfv_mlkit::attention::{AttentionForecaster, AttentionParams};
+use dfv_mlkit::dataset::WindowDataset;
+use dfv_mlkit::gbr::{Gbr, GbrParams};
+use dfv_mlkit::matrix::Matrix;
+use dfv_mlkit::ridge::Ridge;
+use dfv_mlkit::tree::{RegressionTree, TreeParams};
+
+fn toy_xy(n: usize) -> (Matrix, Vec<f64>) {
+    let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i % 5) as f64]).collect();
+    let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - r[1]).collect();
+    (Matrix::from_rows(&rows), y)
+}
+
+#[test]
+fn tree_roundtrips_through_json() {
+    let (x, y) = toy_xy(50);
+    let idx: Vec<usize> = (0..50).collect();
+    let tree = RegressionTree::fit(&x, &y, &idx, &TreeParams::default());
+    let json = serde_json::to_string(&tree).unwrap();
+    let back: RegressionTree = serde_json::from_str(&json).unwrap();
+    for r in 0..x.rows() {
+        assert_eq!(tree.predict_row(x.row(r)), back.predict_row(x.row(r)));
+    }
+}
+
+#[test]
+fn gbr_roundtrips_through_json() {
+    let (x, y) = toy_xy(80);
+    let model = Gbr::fit(&x, &y, &GbrParams { n_trees: 20, ..Default::default() });
+    let json = serde_json::to_string(&model).unwrap();
+    let back: Gbr = serde_json::from_str(&json).unwrap();
+    assert_eq!(model.predict(&x), back.predict(&x));
+    assert_eq!(model.feature_importances(), back.feature_importances());
+}
+
+#[test]
+fn ridge_roundtrips_through_json() {
+    let (x, y) = toy_xy(30);
+    let model = Ridge::fit(&x, &y, 0.1);
+    let back: Ridge = serde_json::from_str(&serde_json::to_string(&model).unwrap()).unwrap();
+    assert_eq!(model.predict(&x), back.predict(&x));
+}
+
+#[test]
+fn attention_forecaster_roundtrips_through_json() {
+    let mut data = WindowDataset::empty(3, 2, 1);
+    let steps: Vec<Vec<f64>> = (0..20).map(|t| vec![t as f64, (t * t % 7) as f64]).collect();
+    let times: Vec<f64> = (0..20).map(|t| 1.0 + t as f64 * 0.1).collect();
+    data.push_run(&steps, &times);
+    let params = AttentionParams { epochs: 5, d_attn: 4, hidden: 8, ..Default::default() };
+    let model = AttentionForecaster::fit(&data, &params);
+    let back: AttentionForecaster =
+        serde_json::from_str(&serde_json::to_string(&model).unwrap()).unwrap();
+    for r in 0..data.n() {
+        assert_eq!(model.predict_row(data.x.row(r)), back.predict_row(data.x.row(r)));
+    }
+}

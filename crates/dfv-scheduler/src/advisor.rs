@@ -1,0 +1,157 @@
+//! Congestion-aware scheduling advisor — the application the paper proposes
+//! in Sections V-A and VII: "A resource manager can use such historical
+//! data to delay scheduling jobs that are communication-sensitive when
+//! certain other jobs are already running on the system."
+//!
+//! The advisor is deliberately simple and model-agnostic: it holds a
+//! blocklist of users whose presence historically correlates with slowdowns
+//! (produced by the neighborhood/MI analysis) and answers, for a
+//! communication-sensitive job about to start, whether to start now or wait
+//! a bit. A delay budget bounds how long any job can be held so the advisor
+//! can never starve work.
+
+use crate::job::UserId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Advisor policy parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdvisorConfig {
+    /// Users whose running jobs indicate likely congestion.
+    pub blocked_users: BTreeSet<UserId>,
+    /// A blocked user only counts when running a job at least this large
+    /// (small jobs from a heavy user don't move the network).
+    pub min_blocked_nodes: usize,
+    /// Maximum total seconds a submission may be delayed.
+    pub max_delay: f64,
+    /// How long to wait between re-checks while delaying.
+    pub recheck_interval: f64,
+}
+
+impl AdvisorConfig {
+    /// An advisor from a blame list (e.g. the recurring users of the
+    /// Table III analysis).
+    pub fn new(blocked_users: impl IntoIterator<Item = UserId>) -> Self {
+        AdvisorConfig {
+            blocked_users: blocked_users.into_iter().collect(),
+            min_blocked_nodes: 64,
+            max_delay: 2_000.0,
+            recheck_interval: 100.0,
+        }
+    }
+}
+
+/// The advisor itself.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CongestionAdvisor {
+    config: AdvisorConfig,
+}
+
+/// What the advisor recommends for a submission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Advice {
+    /// The coast looks clear: submit now.
+    SubmitNow,
+    /// A blocked user is active: re-check after `recheck_interval` seconds.
+    Delay {
+        /// When to re-check, seconds from now.
+        recheck_in: f64,
+    },
+}
+
+impl CongestionAdvisor {
+    /// Build from a configuration.
+    pub fn new(config: AdvisorConfig) -> Self {
+        assert!(config.max_delay >= 0.0, "max_delay must be non-negative");
+        assert!(config.recheck_interval > 0.0, "recheck_interval must be positive");
+        CongestionAdvisor { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AdvisorConfig {
+        &self.config
+    }
+
+    /// Whether the running set (pairs of user and job size) contains a
+    /// qualifying blocked user.
+    pub fn congested<I: IntoIterator<Item = (UserId, usize)>>(&self, running: I) -> bool {
+        running.into_iter().any(|(user, nodes)| {
+            nodes >= self.config.min_blocked_nodes && self.config.blocked_users.contains(&user)
+        })
+    }
+
+    /// Advice for a submission that has already been delayed by
+    /// `delayed_so_far` seconds, given the currently running jobs.
+    pub fn advise<I: IntoIterator<Item = (UserId, usize)>>(
+        &self,
+        running: I,
+        delayed_so_far: f64,
+    ) -> Advice {
+        if delayed_so_far + self.config.recheck_interval > self.config.max_delay {
+            // Budget exhausted: run regardless (never starve).
+            return Advice::SubmitNow;
+        }
+        if self.congested(running) {
+            Advice::Delay { recheck_in: self.config.recheck_interval }
+        } else {
+            Advice::SubmitNow
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn advisor() -> CongestionAdvisor {
+        let mut config = AdvisorConfig::new([UserId(2), UserId(8)]);
+        config.min_blocked_nodes = 100;
+        config.max_delay = 500.0;
+        config.recheck_interval = 100.0;
+        CongestionAdvisor::new(config)
+    }
+
+    #[test]
+    fn clear_system_submits_immediately() {
+        let a = advisor();
+        assert_eq!(a.advise([(UserId(5), 2000)], 0.0), Advice::SubmitNow);
+        assert_eq!(a.advise([], 0.0), Advice::SubmitNow);
+    }
+
+    #[test]
+    fn blocked_user_triggers_delay() {
+        let a = advisor();
+        assert_eq!(
+            a.advise([(UserId(2), 512)], 0.0),
+            Advice::Delay { recheck_in: 100.0 }
+        );
+        assert!(a.congested([(UserId(8), 128)]));
+    }
+
+    #[test]
+    fn small_jobs_from_blocked_users_do_not_count() {
+        let a = advisor();
+        assert_eq!(a.advise([(UserId(2), 4)], 0.0), Advice::SubmitNow);
+        assert!(!a.congested([(UserId(2), 99)]));
+    }
+
+    #[test]
+    fn delay_budget_is_respected() {
+        let a = advisor();
+        // 450 + 100 > 500: budget would be exceeded, so run now.
+        assert_eq!(a.advise([(UserId(2), 512)], 450.0), Advice::SubmitNow);
+        // 300 + 100 <= 500: keep waiting.
+        assert_eq!(
+            a.advise([(UserId(2), 512)], 300.0),
+            Advice::Delay { recheck_in: 100.0 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "recheck_interval")]
+    fn zero_recheck_interval_rejected() {
+        let mut config = AdvisorConfig::new([UserId(1)]);
+        config.recheck_interval = 0.0;
+        CongestionAdvisor::new(config);
+    }
+}

@@ -1,0 +1,341 @@
+//! The cluster state machine: node pool, FCFS queue with backfill, and the
+//! sacct log.
+//!
+//! This is an event-driven batch scheduler in the style of Slurm's backfill
+//! plugin: jobs start in submission order when nodes are available, and
+//! later (smaller) jobs may start ahead of a blocked queue head as long as
+//! nodes are free for them.
+
+use crate::job::{JobId, JobRecord, JobRequest, RunningJob};
+use dfv_dragonfly::ids::NodeId;
+use dfv_dragonfly::placement::{allocate, AllocationPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// What changed while advancing time (jobs that started or finished); the
+/// campaign uses this to know when the background traffic must be rebuilt.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AdvanceEvents {
+    /// Jobs that began execution, in start order.
+    pub started: Vec<JobId>,
+    /// Jobs that finished, in end order.
+    pub finished: Vec<JobId>,
+}
+
+impl AdvanceEvents {
+    /// True when the running set changed.
+    pub fn any(&self) -> bool {
+        !self.started.is_empty() || !self.finished.is_empty()
+    }
+}
+
+/// The cluster: free nodes, running jobs, pending queue, and history.
+///
+/// ```
+/// use dfv_scheduler::cluster::Cluster;
+/// use dfv_scheduler::job::{JobRequest, UserId};
+/// use dfv_dragonfly::ids::NodeId;
+/// use dfv_dragonfly::placement::AllocationPolicy;
+///
+/// let nodes: Vec<NodeId> = (0..8).map(NodeId).collect();
+/// let mut cluster = Cluster::new(nodes, AllocationPolicy::Contiguous, 1);
+/// cluster.submit(JobRequest {
+///     user: UserId(1), name: "demo".into(), num_nodes: 4,
+///     duration: 10.0, submit_time: 0.0,
+/// });
+/// assert_eq!(cluster.free_nodes(), 4);
+/// cluster.advance_to(11.0);
+/// assert_eq!(cluster.records().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    free: BTreeSet<NodeId>,
+    running: BTreeMap<JobId, RunningJob>,
+    pending: VecDeque<(JobId, JobRequest)>,
+    records: Vec<JobRecord>,
+    policy: AllocationPolicy,
+    now: f64,
+    next_id: u64,
+    rng: StdRng,
+}
+
+impl Cluster {
+    /// A cluster over `nodes` (the schedulable compute nodes) using
+    /// `policy` for allocations. `seed` drives allocation randomness.
+    pub fn new(nodes: Vec<NodeId>, policy: AllocationPolicy, seed: u64) -> Self {
+        Cluster {
+            free: nodes.into_iter().collect(),
+            running: BTreeMap::new(),
+            pending: VecDeque::new(),
+            records: Vec::new(),
+            policy,
+            now: 0.0,
+            next_id: 1,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Current simulation time, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Free node count.
+    pub fn free_nodes(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Pending queue length.
+    pub fn pending_jobs(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The currently running jobs.
+    pub fn running(&self) -> impl Iterator<Item = &RunningJob> {
+        self.running.values()
+    }
+
+    /// A running job by id.
+    pub fn running_job(&self, id: JobId) -> Option<&RunningJob> {
+        self.running.get(&id)
+    }
+
+    /// The completed-jobs log (sacct).
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Submit a job at the current time. Returns the id it will carry.
+    pub fn submit(&mut self, mut request: JobRequest) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        request.submit_time = request.submit_time.max(self.now);
+        self.pending.push_back((id, request));
+        self.try_schedule();
+        id
+    }
+
+    /// The next time the running set will change on its own (the earliest
+    /// job end), if any job is running.
+    pub fn next_event(&self) -> Option<f64> {
+        self.running.values().map(|j| j.end_time).min_by(f64::total_cmp)
+    }
+
+    /// Advance the clock to `t`, completing jobs and starting pending ones
+    /// as nodes free up. Completions strictly before or at `t` are
+    /// processed in end-time order.
+    pub fn advance_to(&mut self, t: f64) -> AdvanceEvents {
+        assert!(t >= self.now, "time cannot flow backwards");
+        let mut events = AdvanceEvents::default();
+        loop {
+            let next_end = self
+                .running
+                .values()
+                .map(|j| (j.end_time, j.id))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            match next_end {
+                Some((end, id)) if end <= t => {
+                    self.now = end;
+                    let job = self.running.remove(&id).expect("job present");
+                    for &n in job.placement.nodes() {
+                        self.free.insert(n);
+                    }
+                    self.records.push(JobRecord {
+                        id: job.id,
+                        user: job.request.user,
+                        name: job.request.name.clone(),
+                        num_nodes: job.request.num_nodes,
+                        submit_time: job.request.submit_time,
+                        start_time: job.start_time,
+                        end_time: job.end_time,
+                        nodes: job.placement.nodes().to_vec(),
+                    });
+                    events.finished.push(id);
+                    events.started.extend(self.try_schedule());
+                }
+                _ => break,
+            }
+        }
+        self.now = t;
+        events.started.extend(self.try_schedule());
+        events
+    }
+
+    /// Try to start pending jobs: FCFS with backfill (any pending job that
+    /// fits may start; queue order gives priority). Returns started ids.
+    fn try_schedule(&mut self) -> Vec<JobId> {
+        let mut started = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            let fits = self.pending[i].1.num_nodes <= self.free.len();
+            if !fits {
+                i += 1;
+                continue;
+            }
+            let (id, request) = self.pending.remove(i).expect("index in range");
+            match allocate(&self.free, request.num_nodes, self.policy, &mut self.rng) {
+                Some(placement) => {
+                    for n in placement.nodes() {
+                        self.free.remove(n);
+                    }
+                    let job = RunningJob {
+                        id,
+                        start_time: self.now,
+                        end_time: self.now + request.duration,
+                        request,
+                        placement,
+                    };
+                    self.running.insert(id, job);
+                    started.push(id);
+                }
+                None => {
+                    // Allocation failed despite the count check (cannot
+                    // happen with the current policies, but stay safe).
+                    self.pending.insert(i, (id, request));
+                    i += 1;
+                }
+            }
+        }
+        started
+    }
+
+    /// Drain everything: advance until no jobs are running or pending
+    /// (pending jobs that can never fit are dropped). Used at campaign end.
+    pub fn drain(&mut self) -> f64 {
+        let total: usize =
+            self.free.len() + self.running.values().map(|j| j.placement.len()).sum::<usize>();
+        self.pending.retain(|(_, r)| r.num_nodes <= total);
+        while let Some(t) = self.next_event() {
+            self.advance_to(t);
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: usize) -> Vec<NodeId> {
+        (0..n as u32).map(NodeId).collect()
+    }
+
+    fn req(user: u32, n: usize, dur: f64) -> JobRequest {
+        JobRequest {
+            user: crate::job::UserId(user),
+            name: format!("app-{user}"),
+            num_nodes: n,
+            duration: dur,
+            submit_time: 0.0,
+        }
+    }
+
+    #[test]
+    fn jobs_start_immediately_when_nodes_free() {
+        let mut c = Cluster::new(nodes(16), AllocationPolicy::Contiguous, 1);
+        c.submit(req(1, 8, 100.0));
+        assert_eq!(c.running().count(), 1);
+        assert_eq!(c.free_nodes(), 8);
+    }
+
+    #[test]
+    fn jobs_queue_when_full_and_start_after_completion() {
+        let mut c = Cluster::new(nodes(16), AllocationPolicy::Contiguous, 1);
+        c.submit(req(1, 16, 100.0));
+        c.submit(req(2, 16, 50.0));
+        assert_eq!(c.pending_jobs(), 1);
+        let ev = c.advance_to(149.0);
+        assert_eq!(ev.finished.len(), 1);
+        assert_eq!(ev.started.len(), 1);
+        assert_eq!(c.running().count(), 1);
+        let r = c.running().next().unwrap();
+        assert_eq!(r.request.user.0, 2);
+        assert_eq!(r.start_time, 100.0);
+        assert_eq!(r.end_time, 150.0);
+    }
+
+    #[test]
+    fn backfill_lets_small_jobs_jump_a_blocked_head() {
+        let mut c = Cluster::new(nodes(16), AllocationPolicy::Contiguous, 1);
+        c.submit(req(1, 12, 100.0)); // running, 4 free
+        c.submit(req(2, 8, 50.0)); // blocked head
+        c.submit(req(3, 4, 50.0)); // fits: backfills
+        assert_eq!(c.running().count(), 2);
+        assert_eq!(c.pending_jobs(), 1);
+        assert!(c.running().any(|j| j.request.user.0 == 3));
+    }
+
+    #[test]
+    fn records_appear_when_jobs_finish() {
+        let mut c = Cluster::new(nodes(8), AllocationPolicy::Random, 2);
+        c.submit(req(5, 4, 10.0));
+        c.advance_to(20.0);
+        assert_eq!(c.records().len(), 1);
+        let r = &c.records()[0];
+        assert_eq!(r.user.0, 5);
+        assert_eq!(r.start_time, 0.0);
+        assert_eq!(r.end_time, 10.0);
+        assert_eq!(c.free_nodes(), 8);
+    }
+
+    #[test]
+    fn cascading_completions_in_order() {
+        let mut c = Cluster::new(nodes(4), AllocationPolicy::Contiguous, 3);
+        c.submit(req(1, 4, 10.0));
+        c.submit(req(2, 4, 10.0));
+        c.submit(req(3, 4, 10.0));
+        let ev = c.advance_to(100.0);
+        assert_eq!(ev.finished.len(), 3);
+        let records = c.records();
+        assert_eq!(records[0].user.0, 1);
+        assert_eq!(records[1].user.0, 2);
+        assert_eq!(records[2].user.0, 3);
+        // Jobs ran back-to-back.
+        assert_eq!(records[1].start_time, 10.0);
+        assert_eq!(records[2].start_time, 20.0);
+    }
+
+    #[test]
+    fn next_event_is_earliest_end() {
+        let mut c = Cluster::new(nodes(8), AllocationPolicy::Contiguous, 4);
+        c.submit(req(1, 4, 30.0));
+        c.submit(req(2, 4, 10.0));
+        assert_eq!(c.next_event(), Some(10.0));
+    }
+
+    #[test]
+    fn drain_completes_everything() {
+        let mut c = Cluster::new(nodes(8), AllocationPolicy::Contiguous, 5);
+        c.submit(req(1, 8, 25.0));
+        c.submit(req(2, 8, 25.0));
+        c.submit(req(3, 9999, 25.0)); // can never fit; dropped by drain
+        let end = c.drain();
+        assert_eq!(end, 50.0);
+        assert_eq!(c.records().len(), 2);
+        assert_eq!(c.pending_jobs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn time_cannot_reverse() {
+        let mut c = Cluster::new(nodes(4), AllocationPolicy::Contiguous, 6);
+        c.advance_to(10.0);
+        c.advance_to(5.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut c = Cluster::new(nodes(64), AllocationPolicy::Random, seed);
+            c.submit(req(1, 16, 100.0));
+            c.submit(req(2, 16, 80.0));
+            c.advance_to(50.0);
+            let mut all: Vec<_> = c.running().map(|j| j.placement.nodes().to_vec()).collect();
+            all.sort();
+            all
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

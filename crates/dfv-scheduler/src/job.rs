@@ -1,0 +1,134 @@
+//! Jobs and sacct-style accounting records.
+
+use dfv_dragonfly::ids::NodeId;
+use dfv_dragonfly::placement::Placement;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique job identifier (monotonically increasing, like Slurm job ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// Unique user identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "User-{}", self.0)
+    }
+}
+
+/// A job submission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// Submitting user.
+    pub user: UserId,
+    /// Job name (executable name; the paper notes these are not unique,
+    /// which is why the neighborhood analysis keys on users instead).
+    pub name: String,
+    /// Nodes requested.
+    pub num_nodes: usize,
+    /// Wall time the job will occupy its nodes, seconds.
+    pub duration: f64,
+    /// Submission time, seconds since campaign start.
+    pub submit_time: f64,
+}
+
+/// A job currently holding nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunningJob {
+    /// The job's id.
+    pub id: JobId,
+    /// The original request.
+    pub request: JobRequest,
+    /// Nodes allocated.
+    pub placement: Placement,
+    /// Start time, seconds.
+    pub start_time: f64,
+    /// Scheduled end time, seconds.
+    pub end_time: f64,
+}
+
+/// One sacct log line: everything the neighborhood analysis needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job id.
+    pub id: JobId,
+    /// Submitting user.
+    pub user: UserId,
+    /// Job name.
+    pub name: String,
+    /// Node count.
+    pub num_nodes: usize,
+    /// Submission time.
+    pub submit_time: f64,
+    /// Start time.
+    pub start_time: f64,
+    /// End time.
+    pub end_time: f64,
+    /// Nodes the job ran on (sacct reports the allocated node list).
+    pub nodes: Vec<NodeId>,
+}
+
+impl JobRecord {
+    /// Whether this job's execution overlapped the window `[a, b]`.
+    pub fn overlaps(&self, a: f64, b: f64) -> bool {
+        self.start_time < b && self.end_time > a
+    }
+
+    /// Whether this job *covered* the entire window `[a, b]` (the paper's
+    /// neighborhood definition: users "that had one or more running jobs
+    /// during the entire duration of our job").
+    pub fn covers(&self, a: f64, b: f64) -> bool {
+        self.start_time <= a && self.end_time >= b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(start: f64, end: f64) -> JobRecord {
+        JobRecord {
+            id: JobId(1),
+            user: UserId(2),
+            name: "x".into(),
+            num_nodes: 4,
+            submit_time: 0.0,
+            start_time: start,
+            end_time: end,
+            nodes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn overlap_semantics() {
+        let r = rec(10.0, 20.0);
+        assert!(r.overlaps(15.0, 25.0));
+        assert!(r.overlaps(5.0, 11.0));
+        assert!(!r.overlaps(20.0, 30.0)); // half-open: touching is no overlap
+        assert!(!r.overlaps(0.0, 10.0));
+    }
+
+    #[test]
+    fn covers_requires_full_window() {
+        let r = rec(10.0, 20.0);
+        assert!(r.covers(12.0, 18.0));
+        assert!(r.covers(10.0, 20.0));
+        assert!(!r.covers(5.0, 18.0));
+        assert!(!r.covers(12.0, 25.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(JobId(7).to_string(), "job7");
+        assert_eq!(UserId(8).to_string(), "User-8");
+    }
+}

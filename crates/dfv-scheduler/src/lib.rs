@@ -1,0 +1,18 @@
+//! # dfv-scheduler
+//!
+//! A Slurm-like batch scheduling substrate: job requests and sacct-style
+//! accounting records ([`job`]), an event-driven cluster with FCFS +
+//! backfill scheduling and pluggable allocation policies ([`cluster`]), and
+//! the synthetic production user population whose workload archetypes
+//! mirror the applications Table III identifies (HipMer, E3SM, FastPM,
+//! material science) ([`users`]).
+
+pub mod advisor;
+pub mod cluster;
+pub mod job;
+pub mod users;
+
+pub use advisor::{Advice, AdvisorConfig, CongestionAdvisor};
+pub use cluster::{AdvanceEvents, Cluster};
+pub use job::{JobId, JobRecord, JobRequest, RunningJob, UserId};
+pub use users::{population, Archetype, User};

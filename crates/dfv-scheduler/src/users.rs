@@ -1,0 +1,301 @@
+//! The synthetic production user population.
+//!
+//! Table III of the paper identifies specific heavy users whose presence
+//! correlates with slowdowns, and names the codes they ran: HipMer (genome
+//! assembly, communication + filesystem heavy), E3SM (climate), FastPM
+//! (N-body, allreduce + burst-buffer I/O) and several material-science
+//! codes. We populate the simulated machine with users drawn from these
+//! archetypes plus a majority of benign users, so the neighborhood
+//! analysis has real structure to recover.
+
+use crate::job::{JobRequest, UserId};
+use dfv_dragonfly::ids::NodeId;
+use dfv_dragonfly::traffic::Traffic;
+use dfv_workloads::patterns;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Background workload archetypes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Archetype {
+    /// HipMer-like genome assembly: irregular all-to-all communication plus
+    /// heavy filesystem I/O.
+    GenomeAssembly,
+    /// E3SM-like climate modeling: structured communication, periodic I/O.
+    Climate,
+    /// FastPM-like particle-mesh N-body: allreduce-heavy, bursty I/O.
+    NBody,
+    /// Material-science DFT codes: dense collective communication.
+    MaterialsScience,
+    /// Everything else: small jobs with light traffic.
+    Benign,
+}
+
+impl Archetype {
+    /// Communication rate per node, bytes per second.
+    pub fn comm_rate(self) -> f64 {
+        match self {
+            Archetype::GenomeAssembly => 2.5e9,
+            Archetype::Climate => 1.0e9,
+            Archetype::NBody => 1.2e9,
+            Archetype::MaterialsScience => 1.8e9,
+            Archetype::Benign => 4.0e7,
+        }
+    }
+
+    /// Message rate per node, messages per second.
+    pub fn msg_rate(self) -> f64 {
+        match self {
+            Archetype::GenomeAssembly => 1.2e7,
+            Archetype::Climate => 1.6e6,
+            Archetype::NBody => 2.0e7,
+            Archetype::MaterialsScience => 6.0e6,
+            Archetype::Benign => 4.0e4,
+        }
+    }
+
+    /// Filesystem traffic per node toward I/O routers, bytes per second.
+    pub fn io_rate(self) -> f64 {
+        match self {
+            Archetype::GenomeAssembly => 4.0e8,
+            Archetype::Climate => 1.2e8,
+            Archetype::NBody => 2.4e8,
+            Archetype::MaterialsScience => 3.0e7,
+            Archetype::Benign => 1.0e6,
+        }
+    }
+
+    /// Whether this archetype is a "heavy" user the neighborhood analysis
+    /// should flag.
+    pub fn is_heavy(self) -> bool {
+        !matches!(self, Archetype::Benign)
+    }
+
+    /// The job name the user's submissions carry (the paper identified the
+    /// applications from job names; ours mirror that).
+    pub fn job_name(self) -> &'static str {
+        match self {
+            Archetype::GenomeAssembly => "hipmer_assembly",
+            Archetype::Climate => "e3sm_coupled",
+            Archetype::NBody => "fastpm_nbody",
+            Archetype::MaterialsScience => "dft_scf",
+            Archetype::Benign => "misc",
+        }
+    }
+
+    /// Build the archetype's per-second communication pattern over its
+    /// nodes, plus filesystem flows from every node to its assigned I/O
+    /// node. Rates are per second; the caller treats the result as a
+    /// [`dfv_dragonfly::network::BackgroundTraffic`] component.
+    pub fn traffic(
+        self,
+        nodes: &[NodeId],
+        io_nodes: &[NodeId],
+        intensity: f64,
+        rng: &mut StdRng,
+    ) -> Traffic {
+        let n = nodes.len().max(1) as f64;
+        let comm = self.comm_rate() * intensity;
+        let io_rate = self.io_rate() * intensity;
+        let per_flow_msg =
+            |flows_per_node: f64| (self.msg_rate() * intensity / flows_per_node).max(1.0);
+        let mut t = match self {
+            Archetype::GenomeAssembly => {
+                patterns::irregular(nodes, 16, comm / 16.0, per_flow_msg(16.0), rng)
+            }
+            Archetype::Climate => {
+                patterns::uniform_random(nodes, 8, comm / 8.0, per_flow_msg(8.0), rng)
+            }
+            Archetype::NBody => {
+                let rounds = (n.log2().ceil()).max(1.0);
+                patterns::allreduce(nodes, comm / rounds, per_flow_msg(rounds))
+            }
+            Archetype::MaterialsScience => {
+                let peers = nodes.len().saturating_sub(1).clamp(1, 24);
+                patterns::uniform_random(nodes, peers, comm / peers as f64, per_flow_msg(peers as f64), rng)
+            }
+            Archetype::Benign => {
+                patterns::uniform_random(nodes, 2, comm / 2.0, per_flow_msg(2.0), rng)
+            }
+        };
+        // Filesystem traffic: every node streams to one I/O node (writes)
+        // and receives a fraction back (reads).
+        if !io_nodes.is_empty() && io_rate > 0.0 {
+            for &node in nodes {
+                let io = io_nodes[rng.gen_range(0..io_nodes.len())];
+                t.push(node, io, io_rate, (io_rate / 1.0e6).max(1.0));
+                t.push(io, node, 0.25 * io_rate, (io_rate / 4.0e6).max(1.0));
+            }
+        }
+        t.coalesce();
+        t
+    }
+}
+
+/// One user of the machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct User {
+    /// Anonymized id ("User-N").
+    pub id: UserId,
+    /// Workload archetype.
+    pub archetype: Archetype,
+    /// Mean seconds between submissions (exponential interarrival).
+    pub mean_interarrival: f64,
+    /// Typical job size in nodes (log-uniform around this).
+    pub typical_nodes: usize,
+    /// Mean job duration, seconds.
+    pub mean_duration: f64,
+}
+
+impl User {
+    /// Sample this user's next submission. `now` is the current time.
+    pub fn sample_submission(&self, now: f64, rng: &mut StdRng) -> JobRequest {
+        let gap = -self.mean_interarrival * (1.0 - rng.gen::<f64>()).ln();
+        let size_factor: f64 = 2.0f64.powf(rng.gen_range(-1.0..1.0));
+        let num_nodes = ((self.typical_nodes as f64 * size_factor) as usize).max(1);
+        let duration = self.mean_duration * rng.gen_range(0.5..1.8);
+        JobRequest {
+            user: self.id,
+            name: self.archetype.job_name().to_string(),
+            num_nodes,
+            duration,
+            submit_time: now + gap,
+        }
+    }
+}
+
+/// The standard population: `heavy` users drawn round-robin from the four
+/// heavy archetypes (large jobs, frequent submitters) and `benign` light
+/// users. User ids start at 1; the campaign reserves one extra id for the
+/// probe user (the paper's "User 8" — the authors themselves).
+///
+/// `day_seconds` scales submission cadence and job durations: heavy users
+/// submit roughly daily and their jobs span one to four days, so any probe
+/// window has covering background jobs regardless of how compressed the
+/// simulated calendar is.
+pub fn population(
+    heavy: usize,
+    benign: usize,
+    machine_nodes: usize,
+    day_seconds: f64,
+    rng: &mut StdRng,
+) -> Vec<User> {
+    let heavy_kinds = [
+        Archetype::GenomeAssembly,
+        Archetype::Climate,
+        Archetype::NBody,
+        Archetype::MaterialsScience,
+    ];
+    let mut users = Vec::with_capacity(heavy + benign);
+    let big = (machine_nodes / 14).max(16);
+    for i in 0..heavy {
+        users.push(User {
+            id: UserId((i + 1) as u32),
+            archetype: heavy_kinds[i % heavy_kinds.len()],
+            mean_interarrival: day_seconds * rng.gen_range(0.5..2.5),
+            typical_nodes: rng.gen_range(big / 2..big * 2).max(8),
+            mean_duration: day_seconds * rng.gen_range(1.0..4.0),
+        });
+    }
+    for i in 0..benign {
+        users.push(User {
+            id: UserId((heavy + i + 1) as u32),
+            archetype: Archetype::Benign,
+            mean_interarrival: day_seconds * rng.gen_range(0.3..1.5),
+            typical_nodes: rng.gen_range(1..(machine_nodes / 40).max(4)),
+            mean_duration: day_seconds * rng.gen_range(0.25..2.0),
+        });
+    }
+    users
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn nodes(range: std::ops::Range<u32>) -> Vec<NodeId> {
+        range.map(NodeId).collect()
+    }
+
+    #[test]
+    fn heavy_archetypes_out_communicate_benign() {
+        for a in [
+            Archetype::GenomeAssembly,
+            Archetype::Climate,
+            Archetype::NBody,
+            Archetype::MaterialsScience,
+        ] {
+            assert!(a.comm_rate() > Archetype::Benign.comm_rate());
+            assert!(a.is_heavy());
+        }
+        assert!(!Archetype::Benign.is_heavy());
+    }
+
+    #[test]
+    fn traffic_includes_io_flows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let job_nodes = nodes(0..16);
+        let io = nodes(100..102);
+        let t = Archetype::GenomeAssembly.traffic(&job_nodes, &io, 1.0, &mut rng);
+        assert!(t.flows.iter().any(|f| io.contains(&f.dst)), "writes to I/O nodes");
+        assert!(t.flows.iter().any(|f| io.contains(&f.src)), "reads from I/O nodes");
+    }
+
+    #[test]
+    fn traffic_without_io_nodes_is_comm_only() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let job_nodes = nodes(0..8);
+        let t = Archetype::NBody.traffic(&job_nodes, &[], 1.0, &mut rng);
+        assert!(!t.is_empty());
+        assert!(t.flows.iter().all(|f| job_nodes.contains(&f.src) && job_nodes.contains(&f.dst)));
+    }
+
+    #[test]
+    fn genome_assembly_moves_more_io_than_matsci() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let job_nodes = nodes(0..16);
+        let io = nodes(100..101);
+        let io_bytes = |a: Archetype, rng: &mut StdRng| {
+            a.traffic(&job_nodes, &io, 1.0, rng)
+                .flows
+                .iter()
+                .filter(|f| f.dst == io[0])
+                .map(|f| f.bytes)
+                .sum::<f64>()
+        };
+        assert!(
+            io_bytes(Archetype::GenomeAssembly, &mut rng)
+                > 5.0 * io_bytes(Archetype::MaterialsScience, &mut rng)
+        );
+    }
+
+    #[test]
+    fn population_mixes_archetypes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let users = population(8, 20, 1024, 2000.0, &mut rng);
+        assert_eq!(users.len(), 28);
+        let heavy = users.iter().filter(|u| u.archetype.is_heavy()).count();
+        assert_eq!(heavy, 8);
+        // Ids are unique and sequential from 1.
+        for (i, u) in users.iter().enumerate() {
+            assert_eq!(u.id.0 as usize, i + 1);
+        }
+        // All four heavy archetypes present.
+        let kinds: std::collections::HashSet<_> =
+            users.iter().filter(|u| u.archetype.is_heavy()).map(|u| u.archetype).collect();
+        assert_eq!(kinds.len(), 4);
+    }
+
+    #[test]
+    fn submissions_move_forward_in_time() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let users = population(2, 2, 1024, 2000.0, &mut rng);
+        let req = users[0].sample_submission(100.0, &mut rng);
+        assert!(req.submit_time > 100.0);
+        assert!(req.num_nodes >= 1);
+        assert!(req.duration > 0.0);
+        assert_eq!(req.user, users[0].id);
+    }
+}

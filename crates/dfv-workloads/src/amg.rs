@@ -1,0 +1,119 @@
+//! AMG: algebraic multigrid solver proxy (Hypre), Table I rows 1–2.
+//!
+//! Communication skeleton: each time step of the `-problem 2` time-dependent
+//! loop runs an AMG-GMRES solve, i.e. hundreds of small halo-exchange
+//! messages per rank per step over a 27-point 3D stencil (fine level plus
+//! geometrically shrinking coarse levels), and a stream of 8-byte GMRES
+//! dot-product allreduces. AMG is therefore *message-rate bound*: the paper
+//! finds processor-tile (end-point) stall counters most predictive of its
+//! slowdowns, and we reproduce that regime by sending many small messages.
+
+use crate::app::{factor3, AppRun, AppSpec, StepPlan};
+use crate::patterns;
+use dfv_dragonfly::ids::NodeId;
+
+/// Small messages per rank-pair per step: GMRES iterations x multigrid
+/// levels x relaxation sweeps.
+const MSGS_PER_TRANSFER: f64 = 800.0;
+/// Mean message payload, bytes (the paper: "a large number of small-sized
+/// messages").
+const BYTES_PER_MSG: f64 = 200.0;
+/// Edge transfers carry a tenth of a face, corners a fiftieth.
+const EDGE_FRACTION: f64 = 0.1;
+const CORNER_FRACTION: f64 = 0.02;
+/// 8-byte dot-product allreduces per step (GMRES orthogonalization).
+const ALLREDUCES_PER_STEP: f64 = 600.0;
+/// Computation per step, seconds (relaxation/coarse-grid work), tuned so the
+/// run-average MPI fraction lands near the paper's 76 % (128 nodes) and
+/// 82 % (512 nodes).
+const COMPUTE_128: f64 = 0.039;
+const COMPUTE_512: f64 = 0.029;
+
+/// Per-step intensity profile: the solve hardens slightly as the simulated
+/// time-dependent problem evolves (Figure 3, left).
+fn step_profile(step: usize) -> f64 {
+    0.92 + 0.008 * step as f64 + 0.04 * ((step as f64) * 1.7).sin()
+}
+
+/// Build an AMG run plan on `nodes` for `num_steps` steps.
+pub fn build(spec: &AppSpec, nodes: &[NodeId], num_steps: usize) -> AppRun {
+    let grid = factor3(spec.num_ranks());
+    let face = MSGS_PER_TRANSFER * BYTES_PER_MSG;
+    let mut template = patterns::stencil_3d(
+        nodes,
+        AppSpec::RANKS_PER_NODE,
+        grid,
+        face,
+        face * EDGE_FRACTION,
+        face * CORNER_FRACTION,
+        MSGS_PER_TRANSFER,
+    );
+    template.extend(&patterns::allreduce(nodes, 64.0, ALLREDUCES_PER_STEP));
+    // AMG overlaps aggressively (Iprobe/Test/Testall progress polling):
+    // congestion barely serializes its message chains.
+    template.set_sync(0.1);
+    template.coalesce();
+
+    let compute = if spec.num_nodes >= 512 { COMPUTE_512 } else { COMPUTE_128 };
+    let steps = (0..num_steps)
+        .map(|s| {
+            let p = step_profile(s % spec.num_steps().max(1));
+            StepPlan { template: 0, comm_scale: p, compute_time: compute * p }
+        })
+        .collect();
+    AppRun::new(*spec, vec![template], steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppKind;
+    use dfv_dragonfly::traffic::Traffic;
+
+    fn nodes(n: usize) -> Vec<NodeId> {
+        (0..n as u32).map(NodeId).collect()
+    }
+
+    #[test]
+    fn amg_128_builds_twenty_steps() {
+        let spec = AppSpec { kind: AppKind::Amg, num_nodes: 128 };
+        let run = spec.instantiate(&nodes(128), 1);
+        assert_eq!(run.num_steps(), 20);
+        let mut t = Traffic::new();
+        run.step_traffic(0, &mut t);
+        assert!(!t.is_empty());
+        assert!(run.compute_time(0) > 0.0);
+    }
+
+    #[test]
+    fn amg_sends_many_small_messages() {
+        let spec = AppSpec { kind: AppKind::Amg, num_nodes: 128 };
+        let run = spec.instantiate(&nodes(128), 1);
+        let mut t = Traffic::new();
+        run.step_traffic(5, &mut t);
+        let bytes_per_msg = t.total_bytes() / t.total_messages();
+        // Small messages: well under a kilobyte on average.
+        assert!(bytes_per_msg < 1024.0, "avg msg {bytes_per_msg}B");
+        assert!(t.total_messages() > 1e6, "AMG must flood messages");
+    }
+
+    #[test]
+    fn step_profile_varies_but_stays_positive() {
+        for s in 0..20 {
+            let p = step_profile(s);
+            assert!(p > 0.5 && p < 2.0);
+        }
+        assert!(step_profile(19) > step_profile(0));
+    }
+
+    #[test]
+    fn amg_is_deterministic() {
+        let spec = AppSpec { kind: AppKind::Amg, num_nodes: 128 };
+        let r1 = spec.instantiate(&nodes(128), 1);
+        let r2 = spec.instantiate(&nodes(128), 999);
+        let (mut t1, mut t2) = (Traffic::new(), Traffic::new());
+        r1.step_traffic(3, &mut t1);
+        r2.step_traffic(3, &mut t2);
+        assert_eq!(t1, t2, "AMG traffic must not depend on the run seed");
+    }
+}

@@ -1,0 +1,386 @@
+//! The application abstraction: the four codes of the study, their Table I
+//! configurations, and per-step communication/computation plans.
+//!
+//! An [`AppSpec`] identifies one row of Table I (application + node count).
+//! Instantiating it on a concrete node allocation yields an [`AppRun`]: a
+//! per-step plan of traffic templates, communication scale factors and
+//! computation times that the campaign feeds to the network simulator.
+//!
+//! Absolute times are not calibrated to Cori (we simulate a scaled-down
+//! machine); the *relative* structure — per-app MPI fractions, step-time
+//! profiles, message-size regimes — follows Section III-B.
+
+use crate::mpip::RoutineSplit;
+use dfv_dragonfly::ids::NodeId;
+use dfv_dragonfly::traffic::Traffic;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four applications of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AppKind {
+    /// Algebraic multigrid solver proxy (Hypre BoomerAMG).
+    Amg,
+    /// MIMD Lattice Computation, `su3_rmd`.
+    Milc,
+    /// Distributed Louvain community detection proxy.
+    MiniVite,
+    /// Deterministic Sn radiation transport.
+    Umt,
+}
+
+impl AppKind {
+    /// All applications.
+    pub const ALL: [AppKind; 4] = [AppKind::Amg, AppKind::Milc, AppKind::MiniVite, AppKind::Umt];
+
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Amg => "AMG",
+            AppKind::Milc => "MILC",
+            AppKind::MiniVite => "miniVite",
+            AppKind::Umt => "UMT",
+        }
+    }
+
+    /// Application version (Table I).
+    pub fn version(self) -> &'static str {
+        match self {
+            AppKind::Amg => "1.1",
+            AppKind::Milc => "7.8.0",
+            AppKind::MiniVite => "1.0",
+            AppKind::Umt => "2.0",
+        }
+    }
+}
+
+impl fmt::Display for AppKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One row of Table I: an application at a node count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Which application.
+    pub kind: AppKind,
+    /// Nodes the job requests.
+    pub num_nodes: usize,
+}
+
+impl AppSpec {
+    /// MPI ranks per node (64 of the 68 KNL cores; four are reserved for OS
+    /// daemons, as in the paper's runs).
+    pub const RANKS_PER_NODE: usize = 64;
+
+    /// The six dataset rows of Table I.
+    pub fn table1() -> Vec<AppSpec> {
+        vec![
+            AppSpec { kind: AppKind::Amg, num_nodes: 128 },
+            AppSpec { kind: AppKind::Amg, num_nodes: 512 },
+            AppSpec { kind: AppKind::Milc, num_nodes: 128 },
+            AppSpec { kind: AppKind::Milc, num_nodes: 512 },
+            AppSpec { kind: AppKind::MiniVite, num_nodes: 128 },
+            AppSpec { kind: AppKind::Umt, num_nodes: 128 },
+        ]
+    }
+
+    /// Total MPI ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.num_nodes * Self::RANKS_PER_NODE
+    }
+
+    /// The input parameter string of Table I.
+    pub fn input_params(&self) -> String {
+        match (self.kind, self.num_nodes) {
+            (AppKind::Amg, 128) => "-P 32 16 16 -n 32 32 32 -problem 2".into(),
+            (AppKind::Amg, 512) => "-P 32 32 32 -n 32 32 32 -problem 2".into(),
+            (AppKind::Amg, n) => {
+                let g = factor3(n * Self::RANKS_PER_NODE);
+                format!("-P {} {} {} -n 32 32 32 -problem 2", g[0], g[1], g[2])
+            }
+            (AppKind::Milc, 128) => "n128_large.in".into(),
+            (AppKind::Milc, 512) => "n512_large.in".into(),
+            (AppKind::Milc, n) => format!("n{n}_large.in"),
+            (AppKind::MiniVite, _) => "-f nlpkkt240.bin -t 1E-02 -i 6".into(),
+            (AppKind::Umt, _) => "custom_8k.cmg 4 2 4 4 4 0.04".into(),
+        }
+    }
+
+    /// Steps per run (Section III-B: AMG 20, MILC 80 incl. 20 warmup,
+    /// miniVite 6, UMT 7).
+    pub fn num_steps(&self) -> usize {
+        match self.kind {
+            AppKind::Amg => 20,
+            AppKind::Milc => 80,
+            AppKind::MiniVite => 6,
+            AppKind::Umt => 7,
+        }
+    }
+
+    /// How this application's MPI time splits over routines (Figures 4/5).
+    pub fn routine_split(&self) -> RoutineSplit {
+        use crate::mpip::MpiRoutine::*;
+        match self.kind {
+            // "Iprobe, Test, Testall, Waitall, and Allreduce are the
+            // dominant routines."
+            AppKind::Amg => RoutineSplit::new(vec![
+                (Waitall, 0.28),
+                (Allreduce, 0.22),
+                (Iprobe, 0.18),
+                (Test, 0.14),
+                (Testall, 0.12),
+                (Other, 0.06),
+            ]),
+            // "the dominant MPI routines are Allreduce, Wait, Isend and
+            // Irecv."
+            AppKind::Milc => RoutineSplit::new(vec![
+                (Wait, 0.34),
+                (Allreduce, 0.27),
+                (Isend, 0.18),
+                (Irecv, 0.14),
+                (Other, 0.07),
+            ]),
+            // "Almost all of the MPI time in miniVite is spent in Waitall."
+            AppKind::MiniVite => RoutineSplit::new(vec![
+                (Waitall, 0.86),
+                (Irecv, 0.05),
+                (Isend, 0.04),
+                (Other, 0.05),
+            ]),
+            // "Most of the MPI time in UMT is spent in Allreduce, Barrier
+            // and Wait."
+            AppKind::Umt => RoutineSplit::new(vec![
+                (Allreduce, 0.34),
+                (Barrier, 0.26),
+                (Wait, 0.28),
+                (Waitall, 0.07),
+                (Other, 0.05),
+            ]),
+        }
+    }
+
+    /// Build the per-run plan for a concrete allocation. `seed` drives the
+    /// run-specific randomness of irregular applications (miniVite's graph
+    /// partition).
+    pub fn instantiate(&self, nodes: &[NodeId], seed: u64) -> AppRun {
+        self.instantiate_with_steps(nodes, seed, self.num_steps())
+    }
+
+    /// Like [`Self::instantiate`], but running for `num_steps` steps instead
+    /// of the Table I default — used for the paper's 620-step MILC run
+    /// (Figure 12) and other long-running jobs.
+    pub fn instantiate_with_steps(&self, nodes: &[NodeId], seed: u64, num_steps: usize) -> AppRun {
+        assert_eq!(nodes.len(), self.num_nodes, "allocation size mismatch");
+        assert!(num_steps >= 1, "need at least one step");
+        match self.kind {
+            AppKind::Amg => crate::amg::build(self, nodes, num_steps),
+            AppKind::Milc => crate::milc::build(self, nodes, num_steps),
+            AppKind::MiniVite => crate::minivite::build(self, nodes, seed, num_steps),
+            AppKind::Umt => crate::umt::build(self, nodes, num_steps),
+        }
+    }
+
+    /// Stable label used in dataset names, e.g. `AMG-128`.
+    pub fn label(&self) -> String {
+        format!("{}-{}", self.kind.name(), self.num_nodes)
+    }
+}
+
+/// One step of an application run: which traffic template it uses, how the
+/// template is scaled, and how much computation the step performs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepPlan {
+    /// Index into [`AppRun`]'s template table.
+    pub template: usize,
+    /// Multiplier on the template's bytes and messages for this step.
+    pub comm_scale: f64,
+    /// Computation (non-MPI) time of this step, seconds.
+    pub compute_time: f64,
+}
+
+/// A fully instantiated run: traffic templates plus the per-step plan.
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    spec: AppSpec,
+    templates: Vec<Traffic>,
+    steps: Vec<StepPlan>,
+}
+
+impl AppRun {
+    /// Assemble a run. Validates that every step references a template.
+    pub fn new(spec: AppSpec, templates: Vec<Traffic>, steps: Vec<StepPlan>) -> Self {
+        assert!(!steps.is_empty(), "step count mismatch: empty plan");
+        assert!(
+            steps.iter().all(|s| s.template < templates.len()),
+            "step references missing template"
+        );
+        AppRun { spec, templates, steps }
+    }
+
+    /// The spec this run instantiates.
+    pub fn spec(&self) -> &AppSpec {
+        &self.spec
+    }
+
+    /// Number of steps.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The plan of one step.
+    pub fn step_plan(&self, step: usize) -> &StepPlan {
+        &self.steps[step]
+    }
+
+    /// Materialize the traffic of one step into `out` (cleared first).
+    pub fn step_traffic(&self, step: usize, out: &mut Traffic) {
+        let plan = &self.steps[step];
+        out.flows.clear();
+        out.extend(&self.templates[plan.template]);
+        if (plan.comm_scale - 1.0).abs() > 1e-12 {
+            out.scale(plan.comm_scale);
+        }
+    }
+
+    /// Computation time of one step, seconds.
+    pub fn compute_time(&self, step: usize) -> f64 {
+        self.steps[step].compute_time
+    }
+
+    /// Total bytes the run injects over all steps.
+    pub fn total_bytes(&self) -> f64 {
+        self.steps
+            .iter()
+            .map(|s| self.templates[s.template].total_bytes() * s.comm_scale)
+            .sum()
+    }
+}
+
+/// Split `n` into 3 near-balanced factors (largest prime factors go to the
+/// currently smallest dimension). Used for process grids of node counts not
+/// listed in Table I.
+pub fn factor3(n: usize) -> [usize; 3] {
+    factor_k::<3>(n)
+}
+
+/// Split `n` into 4 near-balanced factors.
+pub fn factor4(n: usize) -> [usize; 4] {
+    factor_k::<4>(n)
+}
+
+fn factor_k<const K: usize>(n: usize) -> [usize; K] {
+    assert!(n >= 1);
+    let mut dims = [1usize; K];
+    let mut rest = n;
+    let mut factors = Vec::new();
+    let mut d = 2;
+    while d * d <= rest {
+        while rest.is_multiple_of(d) {
+            factors.push(d);
+            rest /= d;
+        }
+        d += 1;
+    }
+    if rest > 1 {
+        factors.push(rest);
+    }
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    for f in factors {
+        let smallest = (0..K).min_by_key(|&i| dims[i]).unwrap();
+        dims[smallest] *= f;
+    }
+    dims.sort_unstable_by(|a, b| b.cmp(a));
+    dims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_six_rows() {
+        let rows = AppSpec::table1();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.iter().filter(|r| r.num_nodes == 128).count(), 4);
+        assert_eq!(rows.iter().filter(|r| r.num_nodes == 512).count(), 2);
+    }
+
+    #[test]
+    fn input_params_match_table1() {
+        let amg128 = AppSpec { kind: AppKind::Amg, num_nodes: 128 };
+        assert_eq!(amg128.input_params(), "-P 32 16 16 -n 32 32 32 -problem 2");
+        let amg512 = AppSpec { kind: AppKind::Amg, num_nodes: 512 };
+        assert_eq!(amg512.input_params(), "-P 32 32 32 -n 32 32 32 -problem 2");
+        let mv = AppSpec { kind: AppKind::MiniVite, num_nodes: 128 };
+        assert_eq!(mv.input_params(), "-f nlpkkt240.bin -t 1E-02 -i 6");
+        let umt = AppSpec { kind: AppKind::Umt, num_nodes: 128 };
+        assert_eq!(umt.input_params(), "custom_8k.cmg 4 2 4 4 4 0.04");
+    }
+
+    #[test]
+    fn ranks_use_64_of_68_cores() {
+        let spec = AppSpec { kind: AppKind::Milc, num_nodes: 128 };
+        assert_eq!(spec.num_ranks(), 8192);
+    }
+
+    #[test]
+    fn step_counts_match_paper() {
+        let by_kind = |k| AppSpec { kind: k, num_nodes: 128 }.num_steps();
+        assert_eq!(by_kind(AppKind::Amg), 20);
+        assert_eq!(by_kind(AppKind::Milc), 80);
+        assert_eq!(by_kind(AppKind::MiniVite), 6);
+        assert_eq!(by_kind(AppKind::Umt), 7);
+    }
+
+    #[test]
+    fn factor3_matches_table1_grids() {
+        assert_eq!(factor3(8192), [32, 16, 16]);
+        assert_eq!(factor3(32768), [32, 32, 32]);
+    }
+
+    #[test]
+    fn factor4_produces_balanced_grids() {
+        assert_eq!(factor4(8192), [16, 8, 8, 8]);
+        assert_eq!(factor4(32768), [16, 16, 16, 8]);
+        assert_eq!(factor4(1).iter().product::<usize>(), 1);
+        assert_eq!(factor4(60).iter().product::<usize>(), 60);
+    }
+
+    #[test]
+    fn dominant_routines_match_paper_figures() {
+        use crate::mpip::MpiRoutine;
+        let amg = AppSpec { kind: AppKind::Amg, num_nodes: 512 }.routine_split();
+        assert!(amg.dominant()[..5].contains(&MpiRoutine::Iprobe));
+        let mv = AppSpec { kind: AppKind::MiniVite, num_nodes: 128 }.routine_split();
+        assert_eq!(mv.dominant()[0], MpiRoutine::Waitall);
+        let umt = AppSpec { kind: AppKind::Umt, num_nodes: 128 }.routine_split();
+        assert_eq!(umt.dominant()[0], MpiRoutine::Allreduce);
+        let milc = AppSpec { kind: AppKind::Milc, num_nodes: 128 }.routine_split();
+        assert_eq!(milc.dominant()[0], MpiRoutine::Wait);
+    }
+
+    #[test]
+    fn app_run_validates_plan() {
+        let spec = AppSpec { kind: AppKind::MiniVite, num_nodes: 128 };
+        let templates = vec![Traffic::new()];
+        let steps = vec![StepPlan { template: 0, comm_scale: 1.0, compute_time: 0.1 }; 6];
+        let run = AppRun::new(spec, templates, steps);
+        assert_eq!(run.num_steps(), 6);
+        assert_eq!(run.compute_time(0), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "step count mismatch")]
+    fn app_run_rejects_wrong_step_count() {
+        let spec = AppSpec { kind: AppKind::MiniVite, num_nodes: 128 };
+        AppRun::new(spec, vec![Traffic::new()], vec![]);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(AppSpec { kind: AppKind::Amg, num_nodes: 512 }.label(), "AMG-512");
+        assert_eq!(AppSpec { kind: AppKind::MiniVite, num_nodes: 128 }.label(), "miniVite-128");
+    }
+}

@@ -1,0 +1,23 @@
+//! # dfv-workloads
+//!
+//! Communication/computation skeletons of the four applications the paper
+//! studies — AMG, MILC, miniVite and UMT (Table I) — plus the generic
+//! node-level pattern generators they are assembled from and mpiP-style
+//! routine profiles (Figures 4 and 5).
+//!
+//! Each application reproduces the communication *regime* the paper
+//! documents: AMG floods small messages (message-rate/end-point bound),
+//! MILC moves large point-to-point volumes (bandwidth bound), miniVite is
+//! irregular with run-dependent volume (flit-count dominated), and UMT is
+//! compute-heavy with latency-critical sweep and collective messages.
+
+pub mod amg;
+pub mod app;
+pub mod milc;
+pub mod minivite;
+pub mod mpip;
+pub mod patterns;
+pub mod umt;
+
+pub use app::{AppKind, AppRun, AppSpec, StepPlan};
+pub use mpip::{MpiProfile, MpiRoutine, RoutineSplit};

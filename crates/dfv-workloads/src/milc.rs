@@ -1,0 +1,108 @@
+//! MILC (`su3_rmd`): lattice QCD, Table I rows 3–4.
+//!
+//! Communication skeleton: a 4D nearest-neighbor stencil on a periodic
+//! process grid, exchanged once per CG iteration, with hundreds of CG
+//! iterations per trajectory (time step), plus one small allreduce per
+//! iteration. MILC moves *large* point-to-point volumes and is
+//! bandwidth-bound; the paper finds router-tile stall counters
+//! (`RT_RB_STL`) most predictive of its slowdowns, and I/O traffic on the
+//! system strongly affects its forecasts.
+//!
+//! The first twenty trajectories are warmup and run much faster
+//! (Figure 3, middle).
+
+use crate::app::{factor4, AppRun, AppSpec, StepPlan};
+use crate::patterns;
+use dfv_dragonfly::ids::NodeId;
+
+/// Bytes per face exchange per CG iteration (4^3 boundary sites of su3
+/// vectors).
+const FACE_BYTES: f64 = 6_144.0;
+/// CG iterations per trajectory.
+const CG_ITERS: f64 = 1_000.0;
+/// Warmup trajectories (paper: first 20 steps are much faster).
+pub const WARMUP_STEPS: usize = 20;
+/// Communication scale of warmup trajectories.
+const WARMUP_COMM_SCALE: f64 = 0.35;
+/// Computation per full trajectory, seconds; MILC spends ~89 % of its time
+/// in MPI on the small per-rank problem the paper runs.
+const COMPUTE_FULL: f64 = 0.055;
+const COMPUTE_WARMUP: f64 = 0.022;
+
+/// Build a MILC run plan on `nodes` for `num_steps` trajectories (warmup
+/// stays at the first [`WARMUP_STEPS`] regardless of the total).
+pub fn build(spec: &AppSpec, nodes: &[NodeId], num_steps: usize) -> AppRun {
+    let grid = factor4(spec.num_ranks());
+    let mut template =
+        patterns::stencil_4d(nodes, AppSpec::RANKS_PER_NODE, grid, FACE_BYTES, CG_ITERS);
+    template.extend(&patterns::allreduce(nodes, 64.0, CG_ITERS));
+    // Pipelined CG halo exchanges with nonblocking sends: moderate synchrony.
+    template.set_sync(0.3);
+    template.coalesce();
+
+    let steps = (0..num_steps)
+        .map(|s| {
+            if s < WARMUP_STEPS {
+                StepPlan { template: 0, comm_scale: WARMUP_COMM_SCALE, compute_time: COMPUTE_WARMUP }
+            } else {
+                StepPlan { template: 0, comm_scale: 1.0, compute_time: COMPUTE_FULL }
+            }
+        })
+        .collect();
+    AppRun::new(*spec, vec![template], steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppKind;
+    use dfv_dragonfly::traffic::Traffic;
+
+    fn nodes(n: usize) -> Vec<NodeId> {
+        (0..n as u32).map(NodeId).collect()
+    }
+
+    #[test]
+    fn milc_runs_eighty_steps_with_twenty_warmup() {
+        let spec = AppSpec { kind: AppKind::Milc, num_nodes: 128 };
+        let run = spec.instantiate(&nodes(128), 1);
+        assert_eq!(run.num_steps(), 80);
+        let (mut warm, mut full) = (Traffic::new(), Traffic::new());
+        run.step_traffic(5, &mut warm);
+        run.step_traffic(30, &mut full);
+        assert!(warm.total_bytes() < 0.5 * full.total_bytes());
+        assert!(run.compute_time(5) < run.compute_time(30));
+    }
+
+    #[test]
+    fn milc_sends_large_messages() {
+        let spec = AppSpec { kind: AppKind::Milc, num_nodes: 128 };
+        let run = spec.instantiate(&nodes(128), 1);
+        let mut t = Traffic::new();
+        run.step_traffic(40, &mut t);
+        // Node-pair flows carry megabytes: bandwidth-bound.
+        let mean_flow_bytes = t.total_bytes() / t.len() as f64;
+        assert!(mean_flow_bytes > 1e6, "mean flow {mean_flow_bytes}B");
+    }
+
+    #[test]
+    fn milc_volume_exceeds_amg_volume() {
+        let amg = AppSpec { kind: AppKind::Amg, num_nodes: 128 }.instantiate(&nodes(128), 1);
+        let milc = AppSpec { kind: AppKind::Milc, num_nodes: 128 }.instantiate(&nodes(128), 1);
+        let (mut a, mut m) = (Traffic::new(), Traffic::new());
+        amg.step_traffic(10, &mut a);
+        milc.step_traffic(40, &mut m);
+        // MILC is the bandwidth-heavy code; AMG the message-heavy one.
+        assert!(m.total_bytes() > a.total_bytes());
+        assert!(a.total_messages() > m.total_messages());
+    }
+
+    #[test]
+    fn milc_512_uses_a_valid_grid() {
+        let spec = AppSpec { kind: AppKind::Milc, num_nodes: 512 };
+        let run = spec.instantiate(&nodes(512), 1);
+        let mut t = Traffic::new();
+        run.step_traffic(40, &mut t);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! mpiP-style profiles: the split of a run's time into computation and MPI
+//! routines (Figures 4 and 5 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// MPI routines the paper reports as dominant in at least one application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MpiRoutine {
+    /// `MPI_Allreduce`
+    Allreduce,
+    /// `MPI_Barrier`
+    Barrier,
+    /// `MPI_Iprobe`
+    Iprobe,
+    /// `MPI_Irecv`
+    Irecv,
+    /// `MPI_Isend`
+    Isend,
+    /// `MPI_Test`
+    Test,
+    /// `MPI_Testall`
+    Testall,
+    /// `MPI_Wait`
+    Wait,
+    /// `MPI_Waitall`
+    Waitall,
+    /// Everything else.
+    Other,
+}
+
+impl MpiRoutine {
+    /// Display name without the `MPI_` prefix, as in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            MpiRoutine::Allreduce => "Allreduce",
+            MpiRoutine::Barrier => "Barrier",
+            MpiRoutine::Iprobe => "Iprobe",
+            MpiRoutine::Irecv => "Irecv",
+            MpiRoutine::Isend => "Isend",
+            MpiRoutine::Test => "Test",
+            MpiRoutine::Testall => "Testall",
+            MpiRoutine::Wait => "Wait",
+            MpiRoutine::Waitall => "Waitall",
+            MpiRoutine::Other => "Other",
+        }
+    }
+}
+
+/// How an application's communication time distributes over MPI routines.
+/// Weights must be positive and are normalized on use.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutineSplit {
+    weights: Vec<(MpiRoutine, f64)>,
+}
+
+impl RoutineSplit {
+    /// Build from `(routine, weight)` pairs. Panics on empty or non-positive
+    /// weights (a programming error in an application definition).
+    pub fn new(weights: Vec<(MpiRoutine, f64)>) -> Self {
+        assert!(!weights.is_empty(), "routine split must not be empty");
+        assert!(weights.iter().all(|&(_, w)| w > 0.0), "weights must be positive");
+        RoutineSplit { weights }
+    }
+
+    /// The routines and normalized fractions, in declaration order.
+    pub fn fractions(&self) -> Vec<(MpiRoutine, f64)> {
+        let total: f64 = self.weights.iter().map(|&(_, w)| w).sum();
+        self.weights.iter().map(|&(r, w)| (r, w / total)).collect()
+    }
+
+    /// The dominant routines in decreasing weight order.
+    pub fn dominant(&self) -> Vec<MpiRoutine> {
+        let mut v = self.fractions();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v.into_iter().map(|(r, _)| r).collect()
+    }
+}
+
+/// An mpiP-style profile of one run: compute time plus per-routine MPI time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MpiProfile {
+    /// Time outside MPI, in seconds.
+    pub compute_time: f64,
+    routine_times: BTreeMap<MpiRoutine, f64>,
+}
+
+impl MpiProfile {
+    /// Empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `comm_time` seconds of MPI time for one step, distributed over
+    /// routines according to `split`, plus `compute` seconds of computation.
+    pub fn record_step(&mut self, compute: f64, comm_time: f64, split: &RoutineSplit) {
+        self.compute_time += compute;
+        for (routine, frac) in split.fractions() {
+            *self.routine_times.entry(routine).or_insert(0.0) += comm_time * frac;
+        }
+    }
+
+    /// Total MPI time.
+    pub fn mpi_time(&self) -> f64 {
+        self.routine_times.values().sum()
+    }
+
+    /// Total run time (compute + MPI).
+    pub fn total_time(&self) -> f64 {
+        self.compute_time + self.mpi_time()
+    }
+
+    /// Fraction of total time spent in MPI, in `[0, 1]`.
+    pub fn mpi_fraction(&self) -> f64 {
+        let total = self.total_time();
+        if total > 0.0 {
+            self.mpi_time() / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Time spent in one routine.
+    pub fn routine_time(&self, r: MpiRoutine) -> f64 {
+        self.routine_times.get(&r).copied().unwrap_or(0.0)
+    }
+
+    /// Per-routine times sorted by decreasing time.
+    pub fn routines_by_time(&self) -> Vec<(MpiRoutine, f64)> {
+        let mut v: Vec<_> = self.routine_times.iter().map(|(&r, &t)| (r, t)).collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v
+    }
+
+    /// Merge another profile into this one.
+    pub fn merge(&mut self, other: &MpiProfile) {
+        self.compute_time += other.compute_time;
+        for (&r, &t) in &other.routine_times {
+            *self.routine_times.entry(r).or_insert(0.0) += t;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split() -> RoutineSplit {
+        RoutineSplit::new(vec![
+            (MpiRoutine::Waitall, 3.0),
+            (MpiRoutine::Allreduce, 1.0),
+        ])
+    }
+
+    #[test]
+    fn fractions_normalize() {
+        let f = split().fractions();
+        assert_eq!(f[0], (MpiRoutine::Waitall, 0.75));
+        assert_eq!(f[1], (MpiRoutine::Allreduce, 0.25));
+    }
+
+    #[test]
+    fn dominant_sorts_by_weight() {
+        assert_eq!(split().dominant()[0], MpiRoutine::Waitall);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn split_rejects_zero_weight() {
+        RoutineSplit::new(vec![(MpiRoutine::Wait, 0.0)]);
+    }
+
+    #[test]
+    fn record_step_accumulates() {
+        let mut p = MpiProfile::new();
+        p.record_step(2.0, 4.0, &split());
+        p.record_step(2.0, 4.0, &split());
+        assert_eq!(p.compute_time, 4.0);
+        assert_eq!(p.mpi_time(), 8.0);
+        assert_eq!(p.routine_time(MpiRoutine::Waitall), 6.0);
+        assert_eq!(p.routine_time(MpiRoutine::Allreduce), 2.0);
+        assert_eq!(p.routine_time(MpiRoutine::Barrier), 0.0);
+        assert!((p.mpi_fraction() - 8.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_has_zero_fraction() {
+        assert_eq!(MpiProfile::new().mpi_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_routine_times() {
+        let mut a = MpiProfile::new();
+        a.record_step(1.0, 2.0, &split());
+        let mut b = MpiProfile::new();
+        b.record_step(3.0, 6.0, &split());
+        a.merge(&b);
+        assert_eq!(a.compute_time, 4.0);
+        assert_eq!(a.mpi_time(), 8.0);
+    }
+
+    #[test]
+    fn routines_by_time_sorted_desc() {
+        let mut p = MpiProfile::new();
+        p.record_step(0.0, 8.0, &split());
+        let v = p.routines_by_time();
+        assert_eq!(v[0].0, MpiRoutine::Waitall);
+        assert!(v[0].1 > v[1].1);
+    }
+}

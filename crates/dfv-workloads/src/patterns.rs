@@ -1,0 +1,338 @@
+//! Node-level communication pattern generators.
+//!
+//! Applications place MPI ranks on nodes block-wise (`ranks_per_node`
+//! consecutive ranks share a node, 64 on Cori's KNL partition) and exchange
+//! messages between ranks; these helpers aggregate the rank-level pattern to
+//! the node-to-node [`Traffic`] the network simulator consumes. Messages
+//! between ranks of the same node never enter the network and are dropped.
+
+use dfv_dragonfly::ids::NodeId;
+use dfv_dragonfly::traffic::Traffic;
+use rand::Rng;
+
+/// Map a rank to its node under block placement.
+#[inline]
+pub fn node_of_rank(nodes: &[NodeId], ranks_per_node: usize, rank: usize) -> NodeId {
+    nodes[rank / ranks_per_node]
+}
+
+/// 27-point halo exchange on a 3D process grid (`grid[0] * grid[1] * grid[2]`
+/// ranks, non-periodic boundaries): every rank sends `face_bytes` to each of
+/// its 6 face neighbors, `edge_bytes` to each of its 12 edge neighbors and
+/// `corner_bytes` to each of its 8 corner neighbors, split into
+/// `msgs_per_transfer` messages each.
+pub fn stencil_3d(
+    nodes: &[NodeId],
+    ranks_per_node: usize,
+    grid: [usize; 3],
+    face_bytes: f64,
+    edge_bytes: f64,
+    corner_bytes: f64,
+    msgs_per_transfer: f64,
+) -> Traffic {
+    let [px, py, pz] = grid;
+    assert_eq!(px * py * pz, nodes.len() * ranks_per_node, "grid must cover all ranks");
+    let mut traffic = Traffic::new();
+    let rank_of = |x: usize, y: usize, z: usize| x + px * (y + py * z);
+    for z in 0..pz {
+        for y in 0..py {
+            for x in 0..px {
+                let src = node_of_rank(nodes, ranks_per_node, rank_of(x, y, z));
+                for dz in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            if dx == 0 && dy == 0 && dz == 0 {
+                                continue;
+                            }
+                            let (nx, ny, nz) =
+                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            if nx < 0
+                                || ny < 0
+                                || nz < 0
+                                || nx >= px as i64
+                                || ny >= py as i64
+                                || nz >= pz as i64
+                            {
+                                continue;
+                            }
+                            let dim = (dx != 0) as u8 + (dy != 0) as u8 + (dz != 0) as u8;
+                            let bytes = match dim {
+                                1 => face_bytes,
+                                2 => edge_bytes,
+                                _ => corner_bytes,
+                            };
+                            let dst = node_of_rank(
+                                nodes,
+                                ranks_per_node,
+                                rank_of(nx as usize, ny as usize, nz as usize),
+                            );
+                            traffic.push(src, dst, bytes, msgs_per_transfer);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    traffic.coalesce();
+    traffic
+}
+
+/// 4D nearest-neighbor exchange on a periodic 4D process grid (8 neighbors
+/// per rank), `face_bytes` per direction per exchange round, repeated
+/// `rounds` times per step (e.g. CG iterations).
+pub fn stencil_4d(
+    nodes: &[NodeId],
+    ranks_per_node: usize,
+    grid: [usize; 4],
+    face_bytes: f64,
+    rounds: f64,
+) -> Traffic {
+    let [pt, px, py, pz] = grid;
+    assert_eq!(pt * px * py * pz, nodes.len() * ranks_per_node, "grid must cover all ranks");
+    let mut traffic = Traffic::new();
+    let rank_of = |t: usize, x: usize, y: usize, z: usize| t + pt * (x + px * (y + py * z));
+    let wrap = |v: i64, n: usize| ((v % n as i64 + n as i64) % n as i64) as usize;
+    for z in 0..pz {
+        for y in 0..py {
+            for x in 0..px {
+                for t in 0..pt {
+                    let src = node_of_rank(nodes, ranks_per_node, rank_of(t, x, y, z));
+                    for (d, n) in [(0usize, pt), (1, px), (2, py), (3, pz)] {
+                        for sign in [-1i64, 1] {
+                            let mut c = [t as i64, x as i64, y as i64, z as i64];
+                            c[d] += sign;
+                            let dst_rank = rank_of(
+                                wrap(c[0], pt),
+                                wrap(c[1], px),
+                                wrap(c[2], py),
+                                wrap(c[3], pz),
+                            );
+                            let _ = n;
+                            let dst = node_of_rank(nodes, ranks_per_node, dst_rank);
+                            traffic.push(src, dst, face_bytes * rounds, rounds);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    traffic.coalesce();
+    traffic
+}
+
+/// Recursive-doubling allreduce at node level: `ceil(log2(n))` rounds, each
+/// pairing node `i` with node `i ^ 2^k`; every pair exchanges `bytes` in both
+/// directions. `repeats` allreduces are folded into the same flows.
+pub fn allreduce(nodes: &[NodeId], bytes: f64, repeats: f64) -> Traffic {
+    let n = nodes.len();
+    let mut traffic = Traffic::new();
+    if n < 2 {
+        return traffic;
+    }
+    let mut stride = 1usize;
+    while stride < n {
+        for i in 0..n {
+            let j = i ^ stride;
+            if j < n && j > i {
+                traffic.push(nodes[i], nodes[j], bytes * repeats, repeats);
+                traffic.push(nodes[j], nodes[i], bytes * repeats, repeats);
+            }
+        }
+        stride <<= 1;
+    }
+    traffic.coalesce();
+    traffic
+}
+
+/// Pipeline/sweep pattern: node `i` sends `bytes` to node `i+1` (and the
+/// reverse sweep sends the same backwards), as a transport sweep does across
+/// a spatially decomposed domain.
+pub fn sweep(nodes: &[NodeId], bytes: f64, msgs: f64) -> Traffic {
+    let mut traffic = Traffic::new();
+    for w in nodes.windows(2) {
+        traffic.push(w[0], w[1], bytes, msgs);
+        traffic.push(w[1], w[0], bytes, msgs);
+    }
+    traffic
+}
+
+/// Irregular graph-exchange pattern: every node talks to `peers` random
+/// other nodes with log-normal-ish heavy-tailed volumes around
+/// `mean_bytes`. Models the ghost-vertex exchange of distributed Louvain,
+/// whose volume depends on the (random) graph partition.
+pub fn irregular<R: Rng>(
+    nodes: &[NodeId],
+    peers: usize,
+    mean_bytes: f64,
+    msgs_per_peer: f64,
+    rng: &mut R,
+) -> Traffic {
+    let n = nodes.len();
+    let mut traffic = Traffic::new();
+    if n < 2 {
+        return traffic;
+    }
+    for (i, &src) in nodes.iter().enumerate() {
+        for _ in 0..peers {
+            let mut j = rng.gen_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            // Heavy-tailed volume: exp(N(0, 0.75)) has mean ~1.32; normalize.
+            let z: f64 = rng.sample(rand::distributions::Standard);
+            let g = 2.0 * z - 1.0; // rough symmetric noise in [-1, 1]
+            let factor = (0.75 * g).exp();
+            traffic.push(src, nodes[j], mean_bytes * factor, msgs_per_peer);
+        }
+    }
+    traffic.coalesce();
+    traffic
+}
+
+/// Uniform random traffic: each node sends `flows_per_node` transfers of
+/// `bytes` to uniformly random destinations. Used for background jobs whose
+/// real pattern we do not model in detail.
+pub fn uniform_random<R: Rng>(
+    nodes: &[NodeId],
+    flows_per_node: usize,
+    bytes: f64,
+    msgs: f64,
+    rng: &mut R,
+) -> Traffic {
+    let n = nodes.len();
+    let mut traffic = Traffic::new();
+    if n < 2 {
+        return traffic;
+    }
+    for (i, &src) in nodes.iter().enumerate() {
+        for _ in 0..flows_per_node {
+            let mut j = rng.gen_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            traffic.push(src, nodes[j], bytes, msgs);
+        }
+    }
+    traffic.coalesce();
+    traffic
+}
+
+/// All-to-all pattern: every node sends `bytes` to every other node.
+pub fn all_to_all(nodes: &[NodeId], bytes: f64, msgs: f64) -> Traffic {
+    let mut traffic = Traffic::new();
+    for &src in nodes {
+        for &dst in nodes {
+            if src != dst {
+                traffic.push(src, dst, bytes, msgs);
+            }
+        }
+    }
+    traffic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn nodes(n: usize) -> Vec<NodeId> {
+        (0..n as u32).map(NodeId).collect()
+    }
+
+    #[test]
+    fn stencil_3d_volume_matches_hand_count() {
+        // 1 rank per node on a 2x2x2 grid: every rank has 7 neighbors
+        // (3 faces, 3 edges, 1 corner).
+        let ns = nodes(8);
+        let t = stencil_3d(&ns, 1, [2, 2, 2], 100.0, 10.0, 1.0, 1.0);
+        let expect = 8.0 * (3.0 * 100.0 + 3.0 * 10.0 + 1.0);
+        assert!((t.total_bytes() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stencil_3d_intra_node_messages_are_dropped() {
+        // All ranks on one node: no network traffic at all.
+        let ns = nodes(1);
+        let t = stencil_3d(&ns, 8, [2, 2, 2], 100.0, 10.0, 1.0, 1.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn stencil_4d_each_rank_has_eight_neighbors() {
+        let ns = nodes(16);
+        let t = stencil_4d(&ns, 1, [2, 2, 2, 2], 50.0, 1.0);
+        // Periodic 2-wide dims fold +1/-1 onto the same neighbor; each rank
+        // sends 8 transfers (2 per dim) even if endpoints repeat.
+        assert!((t.total_bytes() - 16.0 * 8.0 * 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allreduce_rounds_cover_all_nodes() {
+        let ns = nodes(8);
+        let t = allreduce(&ns, 8.0, 1.0);
+        // log2(8)=3 rounds x 4 pairs x 2 directions = 24 flows of 8 bytes.
+        assert_eq!(t.len(), 24);
+        assert!((t.total_bytes() - 24.0 * 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allreduce_handles_non_power_of_two() {
+        let ns = nodes(6);
+        let t = allreduce(&ns, 8.0, 2.0);
+        assert!(!t.is_empty());
+        // Node 0 participates in every round.
+        assert!(t.flows.iter().any(|f| f.src == NodeId(0)));
+    }
+
+    #[test]
+    fn allreduce_trivial_cases() {
+        assert!(allreduce(&nodes(1), 8.0, 1.0).is_empty());
+        assert!(allreduce(&[], 8.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn sweep_is_a_bidirectional_chain() {
+        let ns = nodes(4);
+        let t = sweep(&ns, 100.0, 2.0);
+        assert_eq!(t.len(), 6); // 3 links x 2 directions
+        assert!((t.total_bytes() - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn irregular_has_requested_degree() {
+        let ns = nodes(32);
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = irregular(&ns, 4, 1000.0, 2.0, &mut rng);
+        // Coalesced, so at most 32*4 flows; at least one per node.
+        assert!(t.len() <= 128);
+        assert!(t.len() >= 32);
+        assert!(t.total_bytes() > 0.0);
+    }
+
+    #[test]
+    fn irregular_varies_between_seeds() {
+        let ns = nodes(32);
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(2);
+        let t1 = irregular(&ns, 4, 1000.0, 2.0, &mut r1);
+        let t2 = irregular(&ns, 4, 1000.0, 2.0, &mut r2);
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn uniform_random_avoids_self_flows() {
+        let ns = nodes(8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = uniform_random(&ns, 10, 64.0, 1.0, &mut rng);
+        assert!(t.flows.iter().all(|f| f.src != f.dst));
+    }
+
+    #[test]
+    fn all_to_all_counts() {
+        let ns = nodes(5);
+        let t = all_to_all(&ns, 10.0, 1.0);
+        assert_eq!(t.len(), 20);
+        assert!((t.total_bytes() - 200.0).abs() < 1e-9);
+    }
+}

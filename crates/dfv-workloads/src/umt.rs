@@ -1,0 +1,103 @@
+//! UMT: deterministic Sn radiation transport, Table I row 6.
+//!
+//! Communication skeleton: directional sweeps across the spatially
+//! decomposed unstructured mesh — a pipelined neighbor chain carrying many
+//! small angle-batch messages — plus frequent small allreduces and barriers
+//! for the nonlinear iteration. UMT has the smallest MPI fraction of the
+//! four codes (~30 %) yet some of the highest variability, because its many
+//! tiny latency-critical messages make it acutely sensitive to end-point
+//! congestion (the paper finds `PT_RB_STL_RQ` its most significant
+//! counter).
+
+use crate::app::{AppRun, AppSpec, StepPlan};
+use crate::patterns;
+use dfv_dragonfly::ids::NodeId;
+
+/// Total sweep bytes per chain link per step.
+const SWEEP_BYTES: f64 = 4.0e7;
+/// Sweep messages per chain link per step (angle batches x sub-iterations):
+/// many small messages.
+const SWEEP_MSGS: f64 = 6.0e5;
+/// Small allreduces per step (convergence checks).
+const ALLREDUCES_PER_STEP: f64 = 500.0;
+/// Computation per step, seconds. UMT is compute-dominated: sweeping the
+/// unstructured mesh for every angle/energy group dwarfs communication.
+const COMPUTE_BASE: f64 = 0.62;
+
+/// Per-step profile: the transport iteration count grows across the steps
+/// of a run (Figure 3, right: UMT's time per step rises steadily).
+fn step_profile(step: usize) -> f64 {
+    1.0 + 0.09 * step as f64
+}
+
+/// Build a UMT run plan on `nodes` for `num_steps` steps.
+pub fn build(spec: &AppSpec, nodes: &[NodeId], num_steps: usize) -> AppRun {
+    let mut template = patterns::sweep(nodes, SWEEP_BYTES, SWEEP_MSGS);
+    template.extend(&patterns::allreduce(nodes, 64.0, ALLREDUCES_PER_STEP));
+    template.coalesce();
+    let steps = (0..num_steps)
+        .map(|s| {
+            let p = step_profile(s % spec.num_steps().max(1));
+            StepPlan { template: 0, comm_scale: p, compute_time: COMPUTE_BASE * p }
+        })
+        .collect();
+    AppRun::new(*spec, vec![template], steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppKind;
+    use dfv_dragonfly::traffic::Traffic;
+
+    fn nodes(n: usize) -> Vec<NodeId> {
+        (0..n as u32).map(NodeId).collect()
+    }
+
+    fn spec() -> AppSpec {
+        AppSpec { kind: AppKind::Umt, num_nodes: 128 }
+    }
+
+    #[test]
+    fn umt_has_seven_rising_steps() {
+        let run = spec().instantiate(&nodes(128), 1);
+        assert_eq!(run.num_steps(), 7);
+        for s in 1..7 {
+            assert!(run.compute_time(s) > run.compute_time(s - 1));
+            assert!(run.step_plan(s).comm_scale > run.step_plan(s - 1).comm_scale);
+        }
+    }
+
+    #[test]
+    fn umt_compute_dominates_volume_terms() {
+        // UMT's compute per step is an order of magnitude above the other
+        // codes: the paper's UMT steps are the longest of all four apps.
+        let umt = spec().instantiate(&nodes(128), 1);
+        let mv = AppSpec { kind: AppKind::MiniVite, num_nodes: 128 }.instantiate(&nodes(128), 1);
+        assert!(umt.compute_time(0) > 50.0 * mv.compute_time(0));
+    }
+
+    #[test]
+    fn umt_messages_are_tiny() {
+        let run = spec().instantiate(&nodes(128), 1);
+        let mut t = Traffic::new();
+        run.step_traffic(0, &mut t);
+        let avg = t.total_bytes() / t.total_messages();
+        assert!(avg < 256.0, "UMT avg msg {avg}B must be small");
+    }
+
+    #[test]
+    fn umt_traffic_is_chain_shaped() {
+        let small = AppSpec { kind: AppKind::Umt, num_nodes: 8 };
+        let run = small.instantiate(&nodes(8), 1);
+        let mut t = Traffic::new();
+        run.step_traffic(0, &mut t);
+        // Every node talks to at most a handful of peers (chain + allreduce
+        // tree), unlike miniVite's dense irregular pattern.
+        let mut peer_count = std::collections::HashMap::new();
+        for f in &t.flows {
+            *peer_count.entry(f.src).or_insert(0usize) += 1;
+        }
+        assert!(peer_count.values().all(|&c| c <= 6));
+    }
+}

@@ -1,0 +1,97 @@
+//! Calibration diagnostics: run a campaign and print, per dataset, the
+//! statistics the paper reports qualitatively — run counts, MPI fractions,
+//! best/worst variability ratios, and step-time scales. Used to tune the
+//! workload constants against Section III-B.
+//!
+//! ```sh
+//! cargo run --release --example calibrate            # quick campaign
+//! cargo run --release --example calibrate -- paper   # full Cori campaign
+//! ```
+
+use dfv_dragonfly::network::{BackgroundTraffic, NetworkSim, SimScratch};
+use dfv_dragonfly::topology::Topology;
+use dfv_dragonfly::traffic::Traffic;
+use dfv_experiments::campaign::{run_campaign, CampaignConfig};
+
+/// Simulate one run of each app on an idle machine (contiguous placement)
+/// and report the baseline communication time per step and MPI fraction.
+fn idle_baselines(config: &CampaignConfig) {
+    let topo = Topology::new(config.topology.clone()).unwrap();
+    let sim = NetworkSim::new(&topo);
+    let bg = BackgroundTraffic::zero(&topo);
+    println!("{:<14} {:>10} {:>10} {:>7}", "idle baseline", "comm/step", "comp/step", "MPI%");
+    for spec in &config.apps {
+        let nodes: Vec<_> = (0..spec.num_nodes as u32).map(dfv_dragonfly::ids::NodeId).collect();
+        let app = spec.instantiate(&nodes, 1);
+        let mut scratch = SimScratch::new(&topo);
+        let mut traffic = Traffic::new();
+        let (mut comm, mut comp) = (0.0, 0.0);
+        for step in 0..app.num_steps() {
+            app.step_traffic(step, &mut traffic);
+            let out = sim.simulate_step(&traffic, &bg, step as u64, &mut scratch);
+            comm += out.comm_time;
+            comp += app.compute_time(step);
+        }
+        let n = app.num_steps() as f64;
+        println!(
+            "{:<14} {:>10.3} {:>10.3} {:>6.1}%",
+            spec.label(),
+            comm / n,
+            comp / n,
+            100.0 * comm / (comm + comp)
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    let config = if arg == "paper" { CampaignConfig::paper() } else { CampaignConfig::quick() };
+    idle_baselines(&config);
+    eprintln!(
+        "running campaign: {} days x {} apps on {} groups ...",
+        config.num_days,
+        config.apps.len(),
+        config.topology.num_groups
+    );
+    let t0 = std::time::Instant::now();
+    let result = run_campaign(&config);
+    eprintln!("campaign done in {:.1}s", t0.elapsed().as_secs_f64());
+
+    println!(
+        "{:<14} {:>5} {:>9} {:>9} {:>9} {:>7} {:>7} {:>9}",
+        "dataset", "runs", "best(s)", "mean(s)", "worst(s)", "w/b", "MPI%", "step(s)"
+    );
+    for ds in &result.datasets {
+        if ds.runs.is_empty() {
+            println!("{:<14} EMPTY", ds.spec.label());
+            continue;
+        }
+        let mpi = ds.runs.iter().map(|r| r.mpi_fraction()).sum::<f64>() / ds.runs.len() as f64;
+        let mean_step = ds.mean_total_time() / ds.spec.num_steps() as f64;
+        println!(
+            "{:<14} {:>5} {:>9.2} {:>9.2} {:>9.2} {:>7.2} {:>6.1}% {:>9.3}",
+            ds.spec.label(),
+            ds.runs.len(),
+            ds.best_total_time(),
+            ds.mean_total_time(),
+            ds.worst_total_time(),
+            ds.variability_ratio(),
+            100.0 * mpi,
+            mean_step,
+        );
+    }
+    println!();
+    for ds in &result.datasets {
+        let mut hist: std::collections::BTreeMap<&'static str, usize> = Default::default();
+        for run in &ds.runs {
+            for s in &run.steps {
+                *hist.entry(s.bottleneck.label()).or_insert(0) += 1;
+            }
+        }
+        let line: Vec<String> = hist.iter().map(|(k, v)| format!("{k}:{v}")).collect();
+        println!("{:<14} bottlenecks: {}", ds.spec.label(), line.join(" "));
+    }
+    let bg = result.sacct.len() - result.probe_jobs.len();
+    println!("\nsacct: {} background jobs, {} probe jobs", bg, result.probe_jobs.len());
+}

@@ -1,0 +1,74 @@
+//! Quickstart: build a dragonfly machine, run one MILC step next to a noisy
+//! neighbor, and read the Aries counters a real job would see.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dragonfly_variability::prelude::*;
+
+fn main() {
+    // A small 4-group dragonfly (use DragonflyConfig::cori() for the real
+    // 34-group, 13 056-node machine).
+    let topo = Topology::new(DragonflyConfig::small()).unwrap();
+    let sim = NetworkSim::new(&topo);
+    println!(
+        "machine: {} groups, {} routers, {} nodes, {} directed channels",
+        topo.num_groups(),
+        topo.num_routers(),
+        topo.num_nodes(),
+        topo.num_channels()
+    );
+
+    // Our job: MILC on 16 nodes, interleaved with a neighbor on the same
+    // routers (fragmented placements are the norm on a busy machine).
+    let spec = AppSpec { kind: AppKind::Milc, num_nodes: 16 };
+    let nodes: Vec<NodeId> = (0..32).step_by(2).map(|i| NodeId(i as u32)).collect();
+    let placement = Placement::new(nodes.clone());
+    let app = spec.instantiate(&nodes, 7);
+    let session = AriesSession::attach(&topo, &placement);
+    println!(
+        "job: {} on {} nodes ({} routers, {} groups), input `{}`",
+        spec.kind,
+        placement.len(),
+        placement.num_routers(&topo),
+        placement.num_groups(&topo),
+        spec.input_params()
+    );
+
+    // A neighbor job on the odd nodes of the same routers, streaming heavy
+    // traffic toward the far side of the machine.
+    let mut neighbor = Traffic::new();
+    for i in (1..32).step_by(2) {
+        let src = NodeId(i as u32);
+        let dst = NodeId((96 + i) as u32);
+        neighbor.push(src, dst, 8.0e9, 4.0e6); // bytes/s and msgs/s
+    }
+    let noisy = sim.route_traffic(&neighbor, None, 99);
+
+    // Run one full-physics step (step 20 is past MILC's warmup) twice:
+    // on an idle machine and next to the neighbor.
+    let mut traffic = Traffic::new();
+    app.step_traffic(20, &mut traffic);
+    let mut scratch = SimScratch::new(&topo);
+
+    let idle_bg = BackgroundTraffic::zero(&topo);
+    let idle = sim.simulate_step(&traffic, &idle_bg, 1, &mut scratch);
+    let busy = sim.simulate_step(&traffic, &noisy, 1, &mut scratch);
+
+    println!("\nstep time idle: {:.4}s   next to neighbor: {:.4}s   slowdown {:.2}x",
+        idle.comm_time,
+        busy.comm_time,
+        busy.comm_time / idle.comm_time
+    );
+    println!("bottleneck next to neighbor: {}", busy.bottleneck.label());
+
+    // Read the counters AriesNCL would report for the busy step.
+    let mut telemetry = StepTelemetry::new(topo.num_routers());
+    sim.fill_telemetry(&scratch, &noisy, busy.comm_time, &mut telemetry);
+    let snap = session.read(&telemetry);
+    println!("\ncounters on the job's routers:");
+    for c in Counter::ALL {
+        println!("  {:<14} {:>16.0}", c.abbrev(), snap.get(c));
+    }
+}

@@ -1,0 +1,66 @@
+//! The paper's controlled-experiment workflow end to end on a small
+//! machine: run a multi-day campaign, show the run-to-run variability of
+//! each application (Figure 1), and assign blame to the neighbor users whose
+//! presence correlates with slowdowns (Table III).
+//!
+//! ```sh
+//! cargo run --release --example variability_campaign
+//! ```
+
+use dragonfly_variability::experiments::figures;
+use dragonfly_variability::experiments::neighborhood::{analyze, NeighborhoodParams};
+use dragonfly_variability::prelude::*;
+
+fn main() {
+    let config = CampaignConfig::quick();
+    eprintln!(
+        "running {} days of probe jobs on a {}-group machine ...",
+        config.num_days, config.topology.num_groups
+    );
+    let result = run_campaign(&config);
+
+    println!("== run-to-run variability (Figure 1) ==");
+    for ds in &result.datasets {
+        let f = figures::fig1(ds, config.day_seconds);
+        let mean: f64 =
+            f.points.iter().map(|&(_, v)| v).sum::<f64>() / f.points.len().max(1) as f64;
+        println!(
+            "{:<14} {:>3} runs, relative performance 1.00..{:.2} (mean {:.2})",
+            ds.spec.label(),
+            f.points.len(),
+            f.max_relative,
+            mean
+        );
+    }
+
+    println!("\n== MPI fractions (Figures 4/5) ==");
+    for ds in &result.datasets {
+        let b = figures::fig45(ds);
+        let routines: Vec<String> =
+            b.routines.iter().take(3).map(|(r, _, _, _)| r.clone()).collect();
+        println!(
+            "{:<14} {:>5.1}% of time in MPI, dominated by {}",
+            ds.spec.label(),
+            100.0 * b.mean_mpi_fraction,
+            routines.join(", ")
+        );
+    }
+
+    println!("\n== neighborhood blame (Table III) ==");
+    let params = NeighborhoodParams { min_job_nodes: 8, tau: 1.0, top_k: 5, min_cooccurrence: 3 };
+    let analysis = analyze(&result, &params);
+    for d in &analysis.per_dataset {
+        let users: Vec<String> = d.top_users.iter().map(|u| u.to_string()).collect();
+        println!("{:<14} high-MI neighbors: {}", d.spec.label(), users.join(", "));
+    }
+    println!("\nusers recurring across datasets (the paper's heavy hitters):");
+    for (user, count) in &analysis.recurring {
+        let archetype = result
+            .users
+            .iter()
+            .find(|u| u.id == *user)
+            .map(|u| u.archetype.job_name())
+            .unwrap_or(if *user == result.probe_user { "the probe user themselves" } else { "?" });
+        println!("  {user} appears in {count} dataset lists (runs {archetype})");
+    }
+}

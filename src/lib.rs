@@ -1,0 +1,87 @@
+//! # dragonfly-variability
+//!
+//! A full reproduction of *"The Case of Performance Variability on
+//! Dragonfly-based Systems"* (Bhatele et al., IPDPS 2020) as a Rust
+//! workspace: a simulated Cray XC dragonfly machine (topology, adaptive
+//! routing, congestion, Aries hardware counters, Slurm-like scheduling and a
+//! synthetic production user population) plus the paper's complete analysis
+//! pipeline (mutual-information neighborhood analysis, GBR + RFE deviation
+//! prediction, and attention-based execution-time forecasting), implemented
+//! from scratch.
+//!
+//! This crate is a facade: it re-exports the workspace crates under stable
+//! module names. See the README for the architecture overview and the
+//! `repro` binary (`cargo run --release -p dfv-bench --bin repro -- all`)
+//! for regenerating every table and figure of the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dragonfly_variability::prelude::*;
+//!
+//! // Build a small dragonfly, run one application step on an idle machine.
+//! let topo = Topology::new(DragonflyConfig::small()).unwrap();
+//! let sim = NetworkSim::new(&topo);
+//! let spec = AppSpec { kind: AppKind::Milc, num_nodes: 16 };
+//! let nodes: Vec<NodeId> = (0..16).map(NodeId).collect();
+//! let app = spec.instantiate(&nodes, 7);
+//!
+//! let mut traffic = Traffic::new();
+//! app.step_traffic(0, &mut traffic);
+//! let background = BackgroundTraffic::zero(&topo);
+//! let mut scratch = SimScratch::new(&topo);
+//! let out = sim.simulate_step(&traffic, &background, 1, &mut scratch);
+//! assert!(out.comm_time > 0.0);
+//! ```
+
+/// The dragonfly network substrate: topology, routing, congestion model.
+pub use dfv_dragonfly as dragonfly;
+
+/// Aries hardware counters, AriesNCL-style sessions and LDMS sampling.
+pub use dfv_counters as counters;
+
+/// The four application communication skeletons (Table I).
+pub use dfv_workloads as workloads;
+
+/// The Slurm-like batch scheduler and production user population.
+pub use dfv_scheduler as scheduler;
+
+/// The from-scratch ML kit (trees, GBR, RFE, MI, attention forecaster).
+pub use dfv_mlkit as mlkit;
+
+/// The campaign driver and the paper's three analyses.
+pub use dfv_experiments as experiments;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use dfv_counters::{
+        AriesSession, Counter, CounterSnapshot, FeatureSet, LdmsSampler, SystemLayout,
+    };
+    pub use dfv_dragonfly::{
+        AllocationPolicy, BackgroundTraffic, ChannelLoads, DragonflyConfig, NetworkSim, NodeId,
+        Placement, RouterId, RoutingPolicy, SimScratch, StepTelemetry, Topology, Traffic,
+    };
+    pub use dfv_experiments::{
+        analyze_deviation, run_campaign, simulate_long_run, AppDataset, CampaignConfig,
+        CampaignResult, RunRecord,
+    };
+    pub use dfv_mlkit::{
+        AttentionForecaster, AttentionParams, Dataset, Gbr, GbrParams, Matrix, Ridge,
+        WindowDataset,
+    };
+    pub use dfv_scheduler::{Archetype, Cluster, JobRequest, UserId};
+    pub use dfv_workloads::{AppKind, AppRun, AppSpec, MpiProfile, MpiRoutine};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let topo = Topology::new(DragonflyConfig::small()).unwrap();
+        assert_eq!(topo.num_groups(), 4);
+        assert_eq!(Counter::ALL.len(), 13);
+        assert_eq!(AppSpec::table1().len(), 6);
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-crate counter semantics: what AriesNCL-style sessions and LDMS
+//! sampling must guarantee when driven by the real simulator (not mocks).
+
+use dragonfly_variability::counters::ldms::LDMS_COUNTERS;
+use dragonfly_variability::prelude::*;
+
+fn setup() -> (&'static Topology, NetworkSim<'static>, Vec<NodeId>) {
+    // Leak the topology so the sim can borrow it for 'static in this test.
+    let topo: &'static Topology =
+        Box::leak(Box::new(Topology::new(DragonflyConfig::small()).unwrap()));
+    let sim = NetworkSim::new(topo);
+    let nodes: Vec<NodeId> = (0..16).map(NodeId).collect();
+    (topo, sim, nodes)
+}
+
+#[test]
+fn job_flits_are_conserved_at_minimum() {
+    // Every byte a job sends is received by some processor tile: VC0 flits
+    // across the whole machine must cover bytes / flit_size.
+    let (topo, sim, nodes) = setup();
+    let spec = AppSpec { kind: AppKind::Milc, num_nodes: 16 };
+    let app = spec.instantiate(&nodes, 3);
+    let mut traffic = Traffic::new();
+    app.step_traffic(30, &mut traffic);
+    let bg = BackgroundTraffic::zero(topo);
+    let mut scratch = SimScratch::new(topo);
+    let out = sim.simulate_step(&traffic, &bg, 1, &mut scratch);
+    let mut telemetry = StepTelemetry::new(topo.num_routers());
+    sim.fill_telemetry(&scratch, &bg, out.comm_time, &mut telemetry);
+
+    let total = telemetry.total();
+    let expected_vc0 = traffic.total_bytes() / topo.config().flit_bytes;
+    assert!(
+        (total.pt_flit_vc0 - expected_vc0).abs() < 1e-6 * expected_vc0,
+        "vc0 {} vs expected {}",
+        total.pt_flit_vc0,
+        expected_vc0
+    );
+    // Router-tile flits cover at least one hop of every inter-router byte.
+    assert!(total.rt_flit_tot > 0.0);
+}
+
+#[test]
+fn session_counters_are_a_subset_of_machine_totals() {
+    let (topo, sim, nodes) = setup();
+    let placement = Placement::new(nodes.clone());
+    let session = AriesSession::attach(topo, &placement);
+    let spec = AppSpec { kind: AppKind::Amg, num_nodes: 16 };
+    let app = spec.instantiate(&nodes, 5);
+    let mut traffic = Traffic::new();
+    app.step_traffic(2, &mut traffic);
+    let bg = BackgroundTraffic::zero(topo);
+    let mut scratch = SimScratch::new(topo);
+    let out = sim.simulate_step(&traffic, &bg, 2, &mut scratch);
+    let mut telemetry = StepTelemetry::new(topo.num_routers());
+    sim.fill_telemetry(&scratch, &bg, out.comm_time, &mut telemetry);
+
+    let snap = session.read(&telemetry);
+    let machine = dragonfly_variability::counters::CounterSnapshot::from_stats(&telemetry.total());
+    for c in Counter::ALL {
+        assert!(
+            snap.get(c) <= machine.get(c) + 1e-9,
+            "{c}: session {} exceeds machine {}",
+            snap.get(c),
+            machine.get(c)
+        );
+        assert!(snap.get(c) >= 0.0);
+    }
+}
+
+#[test]
+fn ldms_io_reading_tracks_filesystem_traffic() {
+    let (topo, sim, _) = setup();
+    let layout = SystemLayout::with_io_stride(topo, 8);
+    let sampler = LdmsSampler::new(layout.clone());
+    let io_nodes: Vec<NodeId> =
+        layout.io_routers().iter().flat_map(|&r| topo.nodes_of_router(r)).collect();
+    assert!(!io_nodes.is_empty());
+
+    // Background streaming into the I/O nodes.
+    let mut writers = Traffic::new();
+    let compute = layout.compute_nodes(topo);
+    for (i, &n) in compute.iter().take(16).enumerate() {
+        writers.push(n, io_nodes[i % io_nodes.len()], 1.0e9, 1000.0);
+    }
+    let bg = sim.route_traffic(&writers, None, 4);
+    let scratch = SimScratch::new(topo);
+    let mut telemetry = StepTelemetry::new(topo.num_routers());
+    sim.fill_telemetry(&scratch, &bg, 1.0, &mut telemetry);
+
+    let io = sampler.read_io(&telemetry);
+    // All written bytes land on I/O processor tiles.
+    let expected = 16.0 * 1.0e9 / topo.config().flit_bytes;
+    assert!(
+        io.pt_flit_tot >= expected * 0.99,
+        "io pt flits {} vs expected {}",
+        io.pt_flit_tot,
+        expected
+    );
+    // sys reading with no job excludes nothing: covers at least the io part.
+    let sys = sampler.read_sys(&telemetry, &[]);
+    assert!(sys.rt_flit_tot >= io.rt_flit_tot - 1e-6);
+    assert_eq!(LDMS_COUNTERS.len(), 4);
+}
+
+#[test]
+fn counter_bank_matches_direct_session_deltas() {
+    use dragonfly_variability::counters::CounterBank;
+
+    let (topo, sim, nodes) = setup();
+    let placement = Placement::new(nodes.clone());
+    let session = AriesSession::attach(topo, &placement);
+    let spec = AppSpec { kind: AppKind::Umt, num_nodes: 16 };
+    let app = spec.instantiate(&nodes, 9);
+    let bg = BackgroundTraffic::zero(topo);
+    let mut scratch = SimScratch::new(topo);
+    let mut telemetry = StepTelemetry::new(topo.num_routers());
+    let mut bank = CounterBank::new(topo.num_routers());
+    let mut traffic = Traffic::new();
+
+    let r0 = session.routers()[0];
+    let before = bank.snapshot(r0);
+    let mut direct = 0.0;
+    for step in 0..3 {
+        app.step_traffic(step, &mut traffic);
+        let out = sim.simulate_step(&traffic, &bg, step as u64, &mut scratch);
+        sim.fill_telemetry(&scratch, &bg, out.comm_time, &mut telemetry);
+        bank.accumulate(&telemetry);
+        direct += Counter::RtFlitTot
+            .value(telemetry.router(dragonfly_variability::dragonfly::ids::Idx::index(r0)));
+    }
+    let after = bank.snapshot(r0);
+    let delta = CounterBank::delta(&before, &after)[Counter::RtFlitTot.index()];
+    // The bank truncates fractional flits per step; allow one per step.
+    assert!(
+        (delta as f64 - direct).abs() <= 3.0,
+        "bank delta {delta} vs direct {direct}"
+    );
+}

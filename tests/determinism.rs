@@ -1,0 +1,69 @@
+//! Determinism guarantees: for a fixed seed, every layer — topology,
+//! routing, scheduling, campaign, analyses — must reproduce bit-for-bit
+//! regardless of thread scheduling.
+
+use dragonfly_variability::experiments::deviation::analyze_deviation;
+use dragonfly_variability::experiments::forecast::{evaluate, ForecastSpec};
+use dragonfly_variability::experiments::neighborhood::{analyze, NeighborhoodParams};
+use dragonfly_variability::mlkit::gbr::GbrParams;
+use dragonfly_variability::mlkit::rfe::RfeParams;
+use dragonfly_variability::prelude::*;
+
+fn small_campaign(seed: u64) -> CampaignResult {
+    let mut config = CampaignConfig::quick();
+    config.num_days = 3;
+    config.seed = seed;
+    run_campaign(&config)
+}
+
+#[test]
+fn campaigns_reproduce_bit_for_bit() {
+    let a = small_campaign(11);
+    let b = small_campaign(11);
+    assert_eq!(a.sacct.len(), b.sacct.len());
+    for (ra, rb) in a.sacct.iter().zip(&b.sacct) {
+        assert_eq!(ra, rb);
+    }
+    for (da, db) in a.datasets.iter().zip(&b.datasets) {
+        assert_eq!(da.runs.len(), db.runs.len());
+        for (x, y) in da.runs.iter().zip(&db.runs) {
+            assert_eq!(x, y);
+        }
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = small_campaign(11);
+    let b = small_campaign(12);
+    let ta: f64 = a.datasets[0].total_times().iter().sum();
+    let tb: f64 = b.datasets[0].total_times().iter().sum();
+    assert_ne!(ta, tb, "different seeds should give different campaigns");
+}
+
+#[test]
+fn analyses_are_deterministic_given_a_campaign() {
+    let result = small_campaign(21);
+    let nb_params =
+        NeighborhoodParams { min_job_nodes: 8, tau: 1.0, top_k: 4, min_cooccurrence: 2 };
+    assert_eq!(analyze(&result, &nb_params), analyze(&result, &nb_params));
+
+    let ds = &result.datasets[1];
+    let rfe_params =
+        RfeParams { folds: 3, gbr: GbrParams { n_trees: 15, ..Default::default() }, seed: 2 };
+    let d1 = analyze_deviation(ds, &rfe_params);
+    let d2 = analyze_deviation(ds, &rfe_params);
+    assert_eq!(d1.rfe.relevance, d2.rfe.relevance);
+    assert_eq!(d1.rfe.fold_mape, d2.rfe.fold_mape);
+
+    let milc = result.datasets.iter().find(|d| d.spec.kind == AppKind::Milc).unwrap();
+    let fspec = ForecastSpec {
+        m: 5,
+        k: 10,
+        features: FeatureSet::AppPlacement,
+    };
+    let params = AttentionParams { epochs: 8, d_attn: 4, hidden: 8, ..Default::default() };
+    let f1 = evaluate(milc, &fspec, &params, 2, 3);
+    let f2 = evaluate(milc, &fspec, &params, 2, 3);
+    assert_eq!(f1.fold_mapes, f2.fold_mapes);
+}

@@ -1,0 +1,163 @@
+//! End-to-end integration test: campaign -> datasets -> all three analyses,
+//! exercised through the public facade exactly as a downstream user would.
+
+use dragonfly_variability::experiments::deviation::analyze_deviation;
+use dragonfly_variability::experiments::figures;
+use dragonfly_variability::experiments::forecast::{evaluate, ForecastSpec};
+use dragonfly_variability::experiments::neighborhood::{analyze, NeighborhoodParams};
+use dragonfly_variability::mlkit::gbr::GbrParams;
+use dragonfly_variability::mlkit::rfe::RfeParams;
+use dragonfly_variability::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared campaign for every test in this file (the campaign is the
+/// expensive part; the analyses are cheap).
+fn campaign() -> &'static CampaignResult {
+    static CAMPAIGN: OnceLock<CampaignResult> = OnceLock::new();
+    CAMPAIGN.get_or_init(|| run_campaign(&CampaignConfig::quick()))
+}
+
+#[test]
+fn campaign_covers_every_requested_dataset() {
+    let result = campaign();
+    let config = CampaignConfig::quick();
+    assert_eq!(result.datasets.len(), config.apps.len());
+    for ds in &result.datasets {
+        assert!(ds.runs.len() >= config.num_days, "{}: {} runs", ds.spec.label(), ds.runs.len());
+    }
+}
+
+#[test]
+fn every_run_has_complete_step_records() {
+    for ds in &campaign().datasets {
+        for run in &ds.runs {
+            assert_eq!(run.steps.len(), ds.spec.num_steps());
+            for s in &run.steps {
+                assert!(s.time > 0.0 && s.time.is_finite());
+                assert!(s.compute_time >= 0.0 && s.compute_time <= s.time);
+                assert!(s.counters.iter().all(|&c| c >= 0.0 && c.is_finite()));
+                assert!(s.io.iter().all(|&c| c >= 0.0 && c.is_finite()));
+                assert!(s.sys.iter().all(|&c| c >= 0.0 && c.is_finite()));
+            }
+        }
+    }
+}
+
+#[test]
+fn mpi_fractions_rank_like_the_paper() {
+    // miniVite > MILC > AMG > UMT in MPI fraction (Section III-B).
+    let result = campaign();
+    let frac = |kind: AppKind| {
+        let ds = result.datasets.iter().find(|d| d.spec.kind == kind).unwrap();
+        ds.runs.iter().map(|r| r.mpi_fraction()).sum::<f64>() / ds.runs.len() as f64
+    };
+    let (amg, milc, mv, umt) =
+        (frac(AppKind::Amg), frac(AppKind::Milc), frac(AppKind::MiniVite), frac(AppKind::Umt));
+    assert!(mv > milc, "miniVite {mv} vs MILC {milc}");
+    assert!(milc > amg, "MILC {milc} vs AMG {amg}");
+    assert!(amg > umt, "AMG {amg} vs UMT {umt}");
+    assert!(umt < 0.65, "UMT has the smallest MPI fraction: {umt}");
+    assert!(mv > 0.9, "miniVite is almost all MPI: {mv}");
+}
+
+#[test]
+fn variability_exists_and_latency_codes_suffer_most() {
+    let result = campaign();
+    let ratio = |kind: AppKind| {
+        result.datasets.iter().find(|d| d.spec.kind == kind).unwrap().variability_ratio()
+    };
+    // Everyone varies at least a little; the latency/irregular codes
+    // (miniVite, UMT) vary more than AMG (the paper's Figures 1/5).
+    for kind in AppKind::ALL {
+        assert!(ratio(kind) > 1.02, "{kind} shows no variability");
+    }
+    assert!(ratio(AppKind::MiniVite) > ratio(AppKind::Amg));
+}
+
+#[test]
+fn neighborhood_analysis_finds_recurring_heavy_users() {
+    let result = campaign();
+    let params = NeighborhoodParams { min_job_nodes: 8, tau: 1.0, top_k: 5, min_cooccurrence: 3 };
+    let analysis = analyze(result, &params);
+    assert_eq!(analysis.per_dataset.len(), result.datasets.len());
+    assert!(!analysis.recurring.is_empty(), "some users must recur across dataset lists");
+    // Recurring users are predominantly heavy archetypes (or the probe user).
+    for (user, _) in &analysis.recurring {
+        let heavy = result
+            .users
+            .iter()
+            .find(|u| u.id == *user)
+            .map(|u| u.archetype.is_heavy())
+            .unwrap_or(*user == result.probe_user);
+        assert!(heavy, "{user} recurs but is not a heavy user");
+    }
+}
+
+#[test]
+fn deviation_models_explain_more_than_the_mean() {
+    let result = campaign();
+    let params =
+        RfeParams { folds: 3, gbr: GbrParams { n_trees: 25, ..Default::default() }, seed: 5 };
+    let ds = result.datasets.iter().find(|d| d.spec.kind == AppKind::Milc).unwrap();
+    let analysis = analyze_deviation(ds, &params);
+    // Relevance is a distribution over the 13 counters.
+    assert_eq!(analysis.rfe.relevance.len(), 13);
+    assert!((analysis.rfe.relevance.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    // Absolute-scale MAPE is bounded (the paper reports < 5% at full scale;
+    // the quick campaign is far smaller, so the bound is loose).
+    assert!(analysis.rfe.mean_mape() < 40.0, "MAPE {}", analysis.rfe.mean_mape());
+}
+
+#[test]
+fn forecaster_improves_with_context_or_features() {
+    let result = campaign();
+    let ds = result.datasets.iter().find(|d| d.spec.kind == AppKind::Milc).unwrap();
+    let params = AttentionParams { epochs: 25, d_attn: 8, hidden: 16, ..Default::default() };
+    let short = evaluate(
+        ds,
+        &ForecastSpec { m: 3, k: 10, features: FeatureSet::App },
+        &params,
+        3,
+        2,
+    );
+    let long = evaluate(
+        ds,
+        &ForecastSpec { m: 10, k: 20, features: FeatureSet::AppPlacementIoSys },
+        &params,
+        3,
+        2,
+    );
+    assert!(short.mape.is_finite() && long.mape.is_finite());
+    // The paper's headline trend: more context + more features + a longer
+    // amortizing horizon lowers MAPE. (The quick campaign is small, so the
+    // comparison uses moderate m/k where both models have enough windows.)
+    assert!(
+        long.mape < short.mape,
+        "rich model {} should beat poor model {}",
+        long.mape,
+        short.mape
+    );
+}
+
+#[test]
+fn descriptive_figures_have_paper_shapes() {
+    let result = campaign();
+    // Fig 3: MILC warmup visible.
+    let milc = result.datasets.iter().find(|d| d.spec.kind == AppKind::Milc).unwrap();
+    let trend = figures::fig3(milc).mean_time_per_step;
+    let warm: f64 = trend[..20].iter().sum::<f64>() / 20.0;
+    let full: f64 = trend[20..].iter().sum::<f64>() / 60.0;
+    assert!(warm < full, "MILC warmup steps are faster");
+
+    // Fig 7: counter trends correlate with the time trend.
+    let f7 = figures::fig7(milc);
+    let corr = figures::Fig7Series::correlation(&f7.mean_time, &f7.mean_rt_flit);
+    assert!(corr > 0.55, "flit/time correlation {corr}");
+
+    // Fig 45: best <= worst, MPI fraction sane.
+    for ds in &result.datasets {
+        let b = figures::fig45(ds);
+        assert!(b.mpi.0 <= b.mpi.2 * 1.0001);
+        assert!(b.mean_mpi_fraction > 0.0 && b.mean_mpi_fraction < 1.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based tests on the core substrate invariants, across randomized
+//! topologies, traffic and datasets.
+
+use dragonfly_variability::dragonfly::ids::Idx;
+use dragonfly_variability::dragonfly::routing::{
+    self, minimal_route, route_is_valid, IntraOrder, RoutingPolicy,
+};
+use dragonfly_variability::mlkit::dataset::{kfold, Standardizer};
+use dragonfly_variability::mlkit::matrix::{softmax, Matrix};
+use dragonfly_variability::mlkit::metrics::{mae, mape, r2, rmse};
+use dragonfly_variability::mlkit::mi::{binary_entropy, mutual_information_binary};
+use dragonfly_variability::prelude::*;
+use proptest::prelude::*;
+
+/// A randomized (but always valid) dragonfly configuration.
+fn arb_config() -> impl Strategy<Value = DragonflyConfig> {
+    (2usize..=6, 2usize..=6, 2usize..=4, 1usize..=4).prop_map(|(groups, row, rows, npr)| {
+        DragonflyConfig {
+            num_groups: groups,
+            routers_per_row: row,
+            rows,
+            nodes_per_router: npr,
+            global_ports_per_router: 2,
+            ..DragonflyConfig::cori()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn minimal_routes_are_valid_on_any_topology(cfg in arb_config(), pairs in proptest::collection::vec((0usize..4096, 0usize..4096), 1..20)) {
+        let topo = Topology::new(cfg).unwrap();
+        for (a, b) in pairs {
+            let src = RouterId::from_index(a % topo.num_routers());
+            let dst = RouterId::from_index(b % topo.num_routers());
+            let route = minimal_route(&topo, src, dst, IntraOrder::GreenFirst, 0);
+            prop_assert!(route_is_valid(&topo, &route, src, dst));
+            prop_assert!(route.len() <= 5, "minimal routes stay within the dragonfly diameter");
+        }
+    }
+
+    #[test]
+    fn adaptive_routes_are_valid_under_random_load(cfg in arb_config(), seed in 0u64..1000) {
+        let topo = Topology::new(cfg).unwrap();
+        let mut loads = ChannelLoads::new(&topo);
+        // Random pre-existing load.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let c = dragonfly_variability::dragonfly::ChannelId(
+                rng.gen_range(0..topo.num_channels()) as u32,
+            );
+            loads.add(c, rng.gen_range(0.0..1e10));
+        }
+        for _ in 0..20 {
+            let src = RouterId::from_index(rng.gen_range(0..topo.num_routers()));
+            let dst = RouterId::from_index(rng.gen_range(0..topo.num_routers()));
+            let route = routing::route_flow(
+                &topo, src, dst, 1e6, RoutingPolicy::default(), &loads, &mut rng,
+            );
+            prop_assert!(route_is_valid(&topo, &route, src, dst));
+        }
+    }
+
+    #[test]
+    fn step_simulation_is_finite_and_monotone_in_volume(
+        cfg in arb_config(),
+        bytes in 1.0e3..1.0e9f64,
+        msgs in 1.0..1.0e5f64,
+        seed in 0u64..100,
+    ) {
+        let topo = Topology::new(cfg).unwrap();
+        let sim = NetworkSim::new(&topo);
+        let bg = BackgroundTraffic::zero(&topo);
+        let mut scratch = SimScratch::new(&topo);
+        let n = topo.num_nodes() as u32;
+        let mut small = Traffic::new();
+        small.push(NodeId(0), NodeId(n - 1), bytes, msgs);
+        let mut big = Traffic::new();
+        big.push(NodeId(0), NodeId(n - 1), bytes * 16.0, msgs * 16.0);
+        let t_small = sim.simulate_step(&small, &bg, seed, &mut scratch).comm_time;
+        let t_big = sim.simulate_step(&big, &bg, seed, &mut scratch).comm_time;
+        prop_assert!(t_small.is_finite() && t_small > 0.0);
+        prop_assert!(t_big >= t_small, "16x the traffic cannot be faster: {t_big} < {t_small}");
+    }
+
+    #[test]
+    fn telemetry_is_nonnegative_and_scales_with_window(
+        cfg in arb_config(),
+        rate in 1.0e6..5.0e9f64,
+    ) {
+        let topo = Topology::new(cfg).unwrap();
+        let sim = NetworkSim::new(&topo);
+        let scratch = SimScratch::new(&topo);
+        let mut bg = BackgroundTraffic::zero(&topo);
+        bg.channel_bytes.add(dragonfly_variability::dragonfly::ChannelId(0), rate);
+        let mut t1 = StepTelemetry::new(topo.num_routers());
+        let mut t2 = StepTelemetry::new(topo.num_routers());
+        sim.fill_telemetry(&scratch, &bg, 1.0, &mut t1);
+        sim.fill_telemetry(&scratch, &bg, 2.0, &mut t2);
+        let (a, b) = (t1.total(), t2.total());
+        prop_assert!(a.is_sane() && b.is_sane());
+        // Flits double with the window; stalls grow at most linearly in
+        // volume (utilization is unchanged when rates are constant).
+        prop_assert!((b.rt_flit_tot - 2.0 * a.rt_flit_tot).abs() <= 1e-6 * b.rt_flit_tot.max(1.0));
+    }
+
+    #[test]
+    fn placement_features_bounded_by_nodes(cfg in arb_config(), picks in proptest::collection::vec(0usize..10_000, 1..40)) {
+        let topo = Topology::new(cfg).unwrap();
+        let nodes: Vec<NodeId> = picks
+            .into_iter()
+            .map(|p| NodeId((p % topo.num_nodes()) as u32))
+            .collect();
+        let placement = Placement::new(nodes);
+        let r = placement.num_routers(&topo);
+        let g = placement.num_groups(&topo);
+        prop_assert!(r >= 1 && r <= placement.len());
+        prop_assert!(g >= 1 && g <= r);
+        prop_assert!(g <= topo.num_groups());
+    }
+
+    #[test]
+    fn standardizer_is_idempotent_on_its_output(rows in 2usize..30, cols in 1usize..8, seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut x = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                x.set(r, c, rng.gen_range(-100.0..100.0));
+            }
+        }
+        let s = Standardizer::fit(&x);
+        let mut y = x.clone();
+        s.transform(&mut y);
+        let s2 = Standardizer::fit(&y);
+        for c in 0..cols {
+            prop_assert!(s2.means[c].abs() < 1e-9);
+            prop_assert!((s2.stds[c] - 1.0).abs() < 1e-6 || s2.stds[c] == 1.0);
+        }
+    }
+
+    #[test]
+    fn metrics_agree_on_perfect_predictions(values in proptest::collection::vec(0.1f64..1e6, 1..50)) {
+        prop_assert!(mape(&values, &values).abs() < 1e-12);
+        prop_assert!(rmse(&values, &values).abs() < 1e-12);
+        prop_assert!(mae(&values, &values).abs() < 1e-12);
+        if values.len() > 1 && values.iter().any(|&v| (v - values[0]).abs() > 1e-9) {
+            prop_assert!((r2(&values, &values) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mutual_information_bounded_by_entropy(xs in proptest::collection::vec(any::<bool>(), 4..200), seed in 0u64..50) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ys: Vec<bool> = xs.iter().map(|&x| if rng.gen_bool(0.7) { x } else { rng.gen() }).collect();
+        let mi = mutual_information_binary(&xs, &ys);
+        prop_assert!(mi >= 0.0);
+        prop_assert!(mi <= binary_entropy(&xs) + 1e-9);
+        prop_assert!(mi <= binary_entropy(&ys) + 1e-9);
+    }
+
+    #[test]
+    fn kfold_always_partitions(n in 4usize..200, k in 2usize..8, seed in 0u64..100) {
+        prop_assume!(n >= k);
+        let folds = kfold(n, k, seed);
+        let mut seen: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(xs in proptest::collection::vec(-50.0f64..50.0, 1..30)) {
+        let s = softmax(&xs);
+        prop_assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(s.iter().all(|&v| v >= 0.0 && v.is_finite()));
+    }
+
+    #[test]
+    fn traffic_coalesce_preserves_totals(flows in proptest::collection::vec((0u32..50, 0u32..50, 1.0f64..1e6, 1.0f64..1e3), 1..60)) {
+        let mut t = Traffic::new();
+        for (a, b, bytes, msgs) in flows {
+            t.push(NodeId(a), NodeId(b), bytes, msgs);
+        }
+        let bytes_before = t.total_bytes();
+        let msgs_before = t.total_messages();
+        t.coalesce();
+        prop_assert!((t.total_bytes() - bytes_before).abs() < 1e-6 * bytes_before.max(1.0));
+        prop_assert!((t.total_messages() - msgs_before).abs() < 1e-6 * msgs_before.max(1.0));
+        // No duplicate endpoints remain.
+        let mut pairs: Vec<_> = t.flows.iter().map(|f| (f.src, f.dst)).collect();
+        let len = pairs.len();
+        pairs.sort_unstable();
+        pairs.dedup();
+        prop_assert_eq!(pairs.len(), len);
+    }
+}

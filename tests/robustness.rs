@@ -1,0 +1,102 @@
+//! Failure-injection and edge-case robustness: the pipeline must degrade
+//! gracefully, not panic, when given degenerate configurations.
+
+use dragonfly_variability::prelude::*;
+
+#[test]
+fn oversized_probes_yield_empty_datasets_without_panicking() {
+    // Probe jobs larger than the machine can never run; the campaign must
+    // still complete and return an (empty) dataset.
+    let mut config = CampaignConfig::quick();
+    config.num_days = 2;
+    config.apps = vec![AppSpec { kind: AppKind::MiniVite, num_nodes: 100_000 }];
+    let result = run_campaign(&config);
+    assert_eq!(result.datasets.len(), 1);
+    assert!(result.datasets[0].runs.is_empty());
+}
+
+#[test]
+fn campaign_without_background_users_still_runs() {
+    let mut config = CampaignConfig::quick();
+    config.num_days = 2;
+    config.heavy_users = 0;
+    config.benign_users = 0;
+    let result = run_campaign(&config);
+    for ds in &result.datasets {
+        assert!(!ds.runs.is_empty(), "{} should still run", ds.spec.label());
+        // With nothing else on the machine, variability shrinks to the
+        // compute noise + placement differences.
+        assert!(ds.variability_ratio() < 1.6, "idle machine: {}", ds.variability_ratio());
+    }
+}
+
+#[test]
+fn single_group_machine_works_end_to_end() {
+    let mut config = CampaignConfig::quick();
+    config.num_days = 2;
+    config.topology.num_groups = 1;
+    config.topology.global_ports_per_router = 0;
+    config.apps = vec![AppSpec { kind: AppKind::Milc, num_nodes: 8 }];
+    config.heavy_users = 1;
+    config.benign_users = 1;
+    let result = run_campaign(&config);
+    assert!(!result.datasets[0].runs.is_empty());
+    for run in &result.datasets[0].runs {
+        assert_eq!(run.num_groups, 1);
+        assert!(run.total_time().is_finite());
+    }
+}
+
+#[test]
+fn zero_intensity_background_is_effectively_idle() {
+    let mut config = CampaignConfig::quick();
+    config.num_days = 2;
+    config.background_intensity = 0.0;
+    let result = run_campaign(&config);
+    for ds in &result.datasets {
+        // The machine is busy with jobs whose traffic is zeroed: what's left
+        // is placement differences plus probe-probe self-interference (the
+        // paper's User-8 effect), far below the full-campaign spread.
+        assert!(!ds.runs.is_empty());
+        assert!(ds.variability_ratio() < 2.5, "{}", ds.variability_ratio());
+    }
+}
+
+#[test]
+fn saturated_machine_never_produces_nonfinite_times() {
+    // Crank the background to absurd intensity: everything slows down but
+    // the floors keep every time finite and positive.
+    let mut config = CampaignConfig::quick();
+    config.num_days = 2;
+    config.background_intensity = 100.0;
+    let result = run_campaign(&config);
+    for ds in &result.datasets {
+        for run in &ds.runs {
+            for s in &run.steps {
+                assert!(s.time.is_finite() && s.time > 0.0);
+                assert!(s.counters.iter().all(|c| c.is_finite()));
+            }
+        }
+    }
+}
+
+#[test]
+fn tiny_campaign_supports_every_analysis_without_panic() {
+    use dragonfly_variability::experiments::deviation::analyze_deviation;
+    use dragonfly_variability::experiments::neighborhood::{analyze, NeighborhoodParams};
+    use dragonfly_variability::mlkit::gbr::GbrParams;
+    use dragonfly_variability::mlkit::rfe::RfeParams;
+
+    let mut config = CampaignConfig::quick();
+    config.num_days = 2;
+    config.apps = vec![AppSpec { kind: AppKind::Umt, num_nodes: 8 }];
+    let result = run_campaign(&config);
+
+    let nb = NeighborhoodParams { min_job_nodes: 4, tau: 1.0, top_k: 3, min_cooccurrence: 1 };
+    let analysis = analyze(&result, &nb);
+    assert_eq!(analysis.per_dataset.len(), 1);
+
+    let rfe = RfeParams { folds: 2, gbr: GbrParams { n_trees: 5, ..Default::default() }, seed: 0 };
+    let dev = analyze_deviation(&result.datasets[0], &rfe);
+    assert_eq!(dev.rfe.relevance.len(), 13);
+}
