@@ -21,8 +21,7 @@ fn bench_scheduler(c: &mut Criterion) {
     g.bench_function("1000_jobs_fcfs_backfill", |b| {
         b.iter(|| {
             let nodes: Vec<NodeId> = (0..2048).map(NodeId).collect();
-            let mut cluster =
-                Cluster::new(nodes, AllocationPolicy::Fragmented { scatter: 0.5 }, 1);
+            let mut cluster = Cluster::new(nodes, AllocationPolicy::Fragmented { scatter: 0.5 }, 1);
             for i in 0..1000u64 {
                 cluster.advance_to(i as f64 * 5.0);
                 cluster.submit(JobRequest {

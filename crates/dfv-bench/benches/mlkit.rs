@@ -58,11 +58,8 @@ fn bench_gbr(c: &mut Criterion) {
 
 fn bench_rfe(c: &mut Criterion) {
     let data = synth(1000, 2);
-    let params = RfeParams {
-        folds: 3,
-        gbr: GbrParams { n_trees: 20, ..Default::default() },
-        seed: 1,
-    };
+    let params =
+        RfeParams { folds: 3, gbr: GbrParams { n_trees: 20, ..Default::default() }, seed: 1 };
     let mut g = c.benchmark_group("mlkit/rfe");
     g.sample_size(10);
     g.bench_function("3fold_13features_1k_samples", |b| b.iter(|| rfe(&data, None, &params)));

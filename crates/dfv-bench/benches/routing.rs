@@ -53,15 +53,7 @@ fn bench_routing(c: &mut Criterion) {
         b.iter(|| {
             i = (i + 1) % pairs.len();
             let (s, d) = pairs[i];
-            black_box(route_flow(
-                &topo,
-                s,
-                d,
-                1.0e6,
-                RoutingPolicy::default(),
-                &loads,
-                &mut rng,
-            ))
+            black_box(route_flow(&topo, s, d, 1.0e6, RoutingPolicy::default(), &loads, &mut rng))
         })
     });
     g.finish();

@@ -1,0 +1,142 @@
+//! Serving-path benchmarks: single-request latency through the full
+//! queue/batcher round trip, micro-batched throughput at batch caps
+//! B in {1, 8, 32} under 4 concurrent producers, and the cached path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dfv_mlkit::gbr::{Gbr, GbrParams};
+use dfv_mlkit::matrix::Matrix;
+use dfv_serve::{ModelArtifact, ModelRegistry, Request, Response, ServeConfig, Service};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const WIDTH: usize = 13;
+
+/// A deviation artifact over a synthetic counter dataset.
+fn artifact(seed: u64) -> ModelArtifact {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = 800;
+    let mut x = Matrix::zeros(n, WIDTH);
+    let mut y = Vec::with_capacity(n);
+    for r in 0..n {
+        let mut target = 0.0;
+        for c in 0..WIDTH {
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            x.set(r, c, v);
+            if c == 2 || c == 7 {
+                target += 3.0 * v;
+            }
+        }
+        y.push(target);
+    }
+    let params = GbrParams { n_trees: 30, ..GbrParams::default() };
+    let gbr = Gbr::fit(&x, &y, &params);
+    let names = (0..WIDTH).map(|i| format!("f{i}")).collect();
+    ModelArtifact::deviation("bench-16", 1, dfv_counters::FeatureSet::App, names, gbr)
+}
+
+fn start_service(max_batch: usize, cache_capacity: usize) -> Service {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(artifact(1)).unwrap();
+    Service::start(
+        registry,
+        ServeConfig { queue_capacity: 512, max_batch, cache_capacity, ..ServeConfig::default() },
+    )
+}
+
+/// Distinct rows so the prediction cache never answers (the model path).
+fn fresh_rows(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| (0..WIDTH).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect()
+}
+
+fn bench_single_request_latency(c: &mut Criterion) {
+    let service = start_service(32, 4096);
+    let handle = service.handle();
+    let rows = fresh_rows(100_000, 2);
+    let mut next = 0usize;
+    let mut g = c.benchmark_group("serve/latency");
+    g.bench_function("single_request_uncached", |b| {
+        b.iter(|| {
+            let row = rows[next % rows.len()].clone();
+            next += 1;
+            match handle
+                .request(Request::PredictDeviation { app: "bench-16".into(), step_features: row })
+            {
+                Response::Prediction { value, .. } => black_box(value),
+                other => panic!("unexpected response: {other:?}"),
+            }
+        })
+    });
+    let hot: Vec<f64> = rows[0].clone();
+    g.bench_function("single_request_cached", |b| {
+        b.iter(|| {
+            match handle.request(Request::PredictDeviation {
+                app: "bench-16".into(),
+                step_features: hot.clone(),
+            }) {
+                Response::Prediction { value, .. } => black_box(value),
+                other => panic!("unexpected response: {other:?}"),
+            }
+        })
+    });
+    g.finish();
+    drop(handle);
+    service.shutdown();
+}
+
+/// 4 producer threads push `per_thread` fresh requests each (retrying on
+/// backpressure); returns once every request is answered.
+fn pump(service: &Service, per_thread: usize, seed: u64) -> u64 {
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for t in 0..4u64 {
+            let handle = service.handle();
+            workers.push(scope.spawn(move || {
+                let rows = fresh_rows(per_thread, seed ^ (t + 1));
+                let mut answered = 0u64;
+                for row in rows {
+                    loop {
+                        let request = Request::PredictDeviation {
+                            app: "bench-16".into(),
+                            step_features: row.clone(),
+                        };
+                        match handle.request(request) {
+                            Response::Prediction { .. } => {
+                                answered += 1;
+                                break;
+                            }
+                            Response::Rejected { retry_after } => std::thread::sleep(retry_after),
+                            other => panic!("unexpected response: {other:?}"),
+                        }
+                    }
+                }
+                answered
+            }));
+        }
+        workers.into_iter().map(|w| w.join().unwrap()).sum()
+    })
+}
+
+fn bench_batched_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve/throughput_4_producers");
+    g.sample_size(10);
+    for max_batch in [1usize, 8, 32] {
+        // Cache sized below the working set: throughput here measures the
+        // batched model path, not cache hits.
+        let service = start_service(max_batch, 64);
+        let mut round = 0u64;
+        g.bench_function(format!("400_requests_B{max_batch}"), |b| {
+            b.iter(|| {
+                round += 1;
+                let answered = pump(&service, 100, round * 7919);
+                assert_eq!(answered, 400);
+            })
+        });
+        service.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_request_latency, bench_batched_throughput);
+criterion_main!(benches);

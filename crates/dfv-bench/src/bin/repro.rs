@@ -12,8 +12,8 @@ use std::io::Write;
 use std::path::PathBuf;
 
 const KNOWN: &[&str] = &[
-    "fig1", "table1", "fig3", "fig4", "fig5", "table2", "table3", "fig7", "fig8", "fig9",
-    "fig10", "fig11", "fig12",
+    "fig1", "table1", "fig3", "fig4", "fig5", "table2", "table3", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "fig12",
 ];
 
 fn usage() -> ! {
@@ -48,10 +48,7 @@ fn main() {
         }
     }
 
-    eprintln!(
-        "running campaign ({} mode) ...",
-        if quick { "quick" } else { "paper/Cori-scale" }
-    );
+    eprintln!("running campaign ({} mode) ...", if quick { "quick" } else { "paper/Cori-scale" });
     let t0 = std::time::Instant::now();
     let ctx = ReproContext::new(quick);
     eprintln!("campaign finished in {:.1}s; generating outputs\n", t0.elapsed().as_secs_f64());

@@ -72,10 +72,7 @@ mod tests {
     fn table_aligns_columns() {
         let s = table(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["longer".into(), "2".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["longer".into(), "2".into()]],
         );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);

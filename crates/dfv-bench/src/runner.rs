@@ -8,8 +8,7 @@ use dfv_experiments::data::AppDataset;
 use dfv_experiments::deviation::analyze_deviation;
 use dfv_experiments::figures;
 use dfv_experiments::forecast::{
-    ablation_grid, evaluate, feature_importances, forecast_long_run, ForecastOutcome,
-    ForecastSpec,
+    ablation_grid, evaluate, feature_importances, forecast_long_run, ForecastOutcome, ForecastSpec,
 };
 use dfv_experiments::neighborhood::{analyze, NeighborhoodParams};
 use dfv_mlkit::attention::AttentionParams;
@@ -116,10 +115,7 @@ pub fn table2(_ctx: &ReproContext) -> FigOutput {
     let rows = figures::table2();
     let text = render::table(
         &["Counter name", "Abbreviation", "Description"],
-        &rows
-            .iter()
-            .map(|(f, a, d)| vec![f.clone(), a.clone(), d.clone()])
-            .collect::<Vec<_>>(),
+        &rows.iter().map(|(f, a, d)| vec![f.clone(), a.clone(), d.clone()]).collect::<Vec<_>>(),
     );
     FigOutput { name: "table2", text, json: json!(rows) }
 }
@@ -132,11 +128,7 @@ pub fn table3(ctx: &ReproContext) -> FigOutput {
         rows.push(vec![
             d.spec.kind.name().to_string(),
             d.spec.num_nodes.to_string(),
-            d.top_users
-                .iter()
-                .map(|u| u.0.to_string())
-                .collect::<Vec<_>>()
-                .join(", "),
+            d.top_users.iter().map(|u| u.0.to_string()).collect::<Vec<_>>().join(", "),
         ]);
     }
     let mut text = render::table(&["Application", "Nodes", "Highly correlated users"], &rows);
@@ -352,11 +344,7 @@ pub fn fig11(ctx: &ReproContext) -> FigOutput {
         [(AppKind::Amg, FeatureSet::AppPlacement), (AppKind::Milc, FeatureSet::AppPlacementIoSys)]
     {
         let (ms, ks) = forecast_mk(ctx, kind);
-        let fspec = ForecastSpec {
-            m: *ms.last().unwrap(),
-            k: *ks.last().unwrap(),
-            features,
-        };
+        let fspec = ForecastSpec { m: *ms.last().unwrap(), k: *ks.last().unwrap(), features };
         for ds in ctx.result.datasets.iter().filter(|d| d.spec.kind == kind) {
             let imp = feature_importances(ds, &fspec, &ctx.attention_params(), 55);
             text.push_str(&format!("{} (m={}, k={}):\n", ds.spec.label(), fspec.m, fspec.k));
@@ -398,7 +386,10 @@ pub fn fig12(ctx: &ReproContext) -> FigOutput {
     let mut text = format!(
         "MILC long run: {steps} steps, predicting {segment}-step segments from the previous {m} steps\n"
     );
-    text.push_str(&render::table(&["segment start", "observed (s)", "predicted (s)", "error"], &rows));
+    text.push_str(&render::table(
+        &["segment start", "observed (s)", "predicted (s)", "error"],
+        &rows,
+    ));
     text.push_str(&format!("segment MAPE: {mape:.2}%\n"));
     FigOutput { name: "fig12", text, json: json!({ "segments": segments, "mape": mape }) }
 }
@@ -443,7 +434,9 @@ mod tests {
     #[test]
     fn every_descriptive_output_renders() {
         let ctx = ctx();
-        for out in [table1(&ctx), table2(&ctx), fig1(&ctx), fig3(&ctx), fig4(&ctx), fig5(&ctx), fig7(&ctx)] {
+        for out in
+            [table1(&ctx), table2(&ctx), fig1(&ctx), fig3(&ctx), fig4(&ctx), fig5(&ctx), fig7(&ctx)]
+        {
             assert!(!out.text.is_empty(), "{} produced no text", out.name);
             assert!(!out.json.is_null(), "{} produced no json", out.name);
         }

@@ -51,8 +51,7 @@ impl FeatureSet {
 
     /// The feature names, in model/figure order.
     pub fn names(self) -> Vec<String> {
-        let mut names: Vec<String> =
-            Counter::ALL.iter().map(|c| c.abbrev().to_string()).collect();
+        let mut names: Vec<String> = Counter::ALL.iter().map(|c| c.abbrev().to_string()).collect();
         if self >= FeatureSet::AppPlacement {
             names.push("NUM_ROUTERS".into());
             names.push("NUM_GROUPS".into());

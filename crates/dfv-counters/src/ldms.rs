@@ -178,10 +178,7 @@ mod tests {
         assert_eq!(layout.num_io_routers(), t.num_routers() / 8);
         assert_eq!(layout.role(RouterId(7)), NodeRole::Io);
         assert_eq!(layout.role(RouterId(0)), NodeRole::Compute);
-        assert_eq!(
-            layout.compute_routers().len() + layout.num_io_routers(),
-            t.num_routers()
-        );
+        assert_eq!(layout.compute_routers().len() + layout.num_io_routers(), t.num_routers());
     }
 
     #[test]

@@ -161,7 +161,10 @@ pub struct RoutedTraffic {
 impl RoutedTraffic {
     /// All-zero routed traffic.
     pub fn zero(t: &Topology) -> Self {
-        RoutedTraffic { channel_bytes: ChannelLoads::new(t), endpoints: EndpointLoads::new(t.num_nodes()) }
+        RoutedTraffic {
+            channel_bytes: ChannelLoads::new(t),
+            endpoints: EndpointLoads::new(t.num_nodes()),
+        }
     }
 
     /// Accumulate another routed traffic into this one.
@@ -320,8 +323,7 @@ impl RouterAgg {
 
     /// Aggregate per-node endpoint loads up to their routers.
     fn fill(&mut self, t: &Topology, endpoints: &EndpointLoads) {
-        for v in [&mut self.in_bytes, &mut self.out_bytes, &mut self.in_msgs, &mut self.out_msgs]
-        {
+        for v in [&mut self.in_bytes, &mut self.out_bytes, &mut self.in_msgs, &mut self.out_msgs] {
             v.iter_mut().for_each(|x| *x = 0.0);
         }
         for ni in 0..endpoints.num_nodes() {
@@ -405,7 +407,12 @@ impl<'t> NetworkSim<'t> {
     /// Route `traffic` through the network adaptively against `base` loads
     /// (pass zeros to route in an idle machine). Standalone helper used to
     /// precompute background traffic patterns.
-    pub fn route_traffic(&self, traffic: &Traffic, base: Option<&ChannelLoads>, seed: u64) -> RoutedTraffic {
+    pub fn route_traffic(
+        &self,
+        traffic: &Traffic,
+        base: Option<&ChannelLoads>,
+        seed: u64,
+    ) -> RoutedTraffic {
         let mut scratch = SimScratch::new(self.topo);
         self.route_into(traffic, base, seed, &mut scratch);
         scratch.routed
@@ -432,7 +439,8 @@ impl<'t> NetworkSim<'t> {
         for f in &traffic.flows {
             let src_r = t.router_of_node(f.src);
             let dst_r = t.router_of_node(f.dst);
-            let route = route_flow(t, src_r, dst_r, f.bytes, self.policy, &scratch.est_loads, &mut rng);
+            let route =
+                route_flow(t, src_r, dst_r, f.bytes, self.policy, &scratch.est_loads, &mut rng);
             for &c in route.hops() {
                 scratch.est_loads.add(c, f.bytes);
                 scratch.routed.channel_bytes.add(c, f.bytes);
@@ -476,7 +484,8 @@ impl<'t> NetworkSim<'t> {
         let mut job_bytes = 0.0;
         let mut job_msgs = 0.0;
         let mut dominant = Bottleneck::None;
-        for (route, &(src, dst, bytes, msgs, sync)) in scratch.paths.iter().zip(&scratch.flow_meta) {
+        for (route, &(src, dst, bytes, msgs, sync)) in scratch.paths.iter().zip(&scratch.flow_meta)
+        {
             let mut bottleneck: f64 = 0.0;
             let mut kind = Bottleneck::None;
             let consider = |bottleneck: &mut f64, kind: &mut Bottleneck, v: f64, k: Bottleneck| {
@@ -519,10 +528,13 @@ impl<'t> NetworkSim<'t> {
                 Bottleneck::NicBytes,
             );
             // NIC message rate at both endpoints.
-            let out_rate = self
-                .effective(cfg.nic_message_rate, background.endpoints.egress_msgs(src), ep_msg);
-            let in_rate = self
-                .effective(cfg.nic_message_rate, background.endpoints.ingress_msgs(dst), ep_msg);
+            let out_rate =
+                self.effective(cfg.nic_message_rate, background.endpoints.egress_msgs(src), ep_msg);
+            let in_rate = self.effective(
+                cfg.nic_message_rate,
+                background.endpoints.ingress_msgs(dst),
+                ep_msg,
+            );
             consider(
                 &mut bottleneck,
                 &mut kind,
@@ -541,14 +553,34 @@ impl<'t> NetworkSim<'t> {
             let dr = t.router_of_node(dst).index();
             let out_bus = self.effective(cfg.pt_bus_bandwidth, router_bg.out_bytes[sr], ep_byte);
             let in_bus = self.effective(cfg.pt_bus_bandwidth, router_bg.in_bytes[dr], ep_byte);
-            consider(&mut bottleneck, &mut kind, router_job.out_bytes[sr] / out_bus, Bottleneck::BusBytes);
-            consider(&mut bottleneck, &mut kind, router_job.in_bytes[dr] / in_bus, Bottleneck::BusBytes);
+            consider(
+                &mut bottleneck,
+                &mut kind,
+                router_job.out_bytes[sr] / out_bus,
+                Bottleneck::BusBytes,
+            );
+            consider(
+                &mut bottleneck,
+                &mut kind,
+                router_job.in_bytes[dr] / in_bus,
+                Bottleneck::BusBytes,
+            );
             let out_bus_rate =
                 self.effective(cfg.pt_bus_message_rate, router_bg.out_msgs[sr], ep_msg);
             let in_bus_rate =
                 self.effective(cfg.pt_bus_message_rate, router_bg.in_msgs[dr], ep_msg);
-            consider(&mut bottleneck, &mut kind, router_job.out_msgs[sr] / out_bus_rate, Bottleneck::BusMsgs);
-            consider(&mut bottleneck, &mut kind, router_job.in_msgs[dr] / in_bus_rate, Bottleneck::BusMsgs);
+            consider(
+                &mut bottleneck,
+                &mut kind,
+                router_job.out_msgs[sr] / out_bus_rate,
+                Bottleneck::BusMsgs,
+            );
+            consider(
+                &mut bottleneck,
+                &mut kind,
+                router_job.in_msgs[dr] / in_bus_rate,
+                Bottleneck::BusMsgs,
+            );
             // Background pressure at the endpoints also stretches the
             // serialization chain.
             bg_util = bg_util
@@ -739,8 +771,7 @@ mod tests {
         let mut scratch = SimScratch::new(&t);
         // Same bytes, vastly different message counts.
         let few = sim.simulate_step(&pair_traffic(&t, 1e6, 10.0), &bg, 1, &mut scratch).comm_time;
-        let many =
-            sim.simulate_step(&pair_traffic(&t, 1e6, 1e6), &bg, 1, &mut scratch).comm_time;
+        let many = sim.simulate_step(&pair_traffic(&t, 1e6, 1e6), &bg, 1, &mut scratch).comm_time;
         assert!(many > few * 5.0, "few={few} many={many}");
     }
 
@@ -844,14 +875,10 @@ mod tests {
         let mut scratch = SimScratch::new(&t);
         let job = pair_traffic(&t, 1e8, 1000.0);
         let src = job.flows[0].src;
-        let same_router_node = t
-            .nodes_of_router(t.router_of_node(src))
-            .find(|&n| n != src)
-            .unwrap();
-        let other_router_node = t
-            .nodes_of_router(RouterId::from_index(t.num_routers() - 1))
-            .next()
-            .unwrap();
+        let same_router_node =
+            t.nodes_of_router(t.router_of_node(src)).find(|&n| n != src).unwrap();
+        let other_router_node =
+            t.nodes_of_router(RouterId::from_index(t.num_routers() - 1)).next().unwrap();
 
         let rate = t.config().pt_bus_bandwidth * 0.9;
         let mut bg_same = BackgroundTraffic::zero(&t);

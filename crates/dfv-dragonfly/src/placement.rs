@@ -168,7 +168,8 @@ mod tests {
         let t = topo();
         let free = all_free(&t);
         let mut rng = StdRng::seed_from_u64(3);
-        let p = allocate(&free, 32, AllocationPolicy::Fragmented { scatter: 0.5 }, &mut rng).unwrap();
+        let p =
+            allocate(&free, 32, AllocationPolicy::Fragmented { scatter: 0.5 }, &mut rng).unwrap();
         assert_eq!(p.len(), 32);
     }
 

@@ -187,11 +187,7 @@ pub fn valiant_route(
 /// back pressure an adaptive Aries router observes, plus per-hop latency.
 pub fn route_cost(t: &Topology, route: &Route, loads: &ChannelLoads, bytes: f64) -> f64 {
     let lat = t.config().hop_latency;
-    route
-        .hops()
-        .iter()
-        .map(|&c| (loads.get(c) + bytes) / t.channel_info(c).bandwidth + lat)
-        .sum()
+    route.hops().iter().map(|&c| (loads.get(c) + bytes) / t.channel_info(c).bandwidth + lat).sum()
 }
 
 /// Route one flow of `bytes` bytes from `src` to `dst` under `policy`,
@@ -226,7 +222,8 @@ pub fn route_flow<R: Rng>(
             let orders = [IntraOrder::GreenFirst, IntraOrder::BlackFirst];
             for i in 0..minimal_candidates.max(1) {
                 let order = orders[i % 2];
-                let sub = if t.global_spread() > 0 { rng.gen_range(0..t.global_spread()) } else { 0 };
+                let sub =
+                    if t.global_spread() > 0 { rng.gen_range(0..t.global_spread()) } else { 0 };
                 let r = minimal_route(t, src, dst, order, sub);
                 let cost = route_cost(t, &r, loads, bytes);
                 consider(cost, r);

@@ -77,11 +77,8 @@ impl Topology {
         let g = cfg.num_groups;
 
         let links_per_pair = cfg.global_links_per_group_pair();
-        let global_spread = if g > 1 {
-            Self::DEFAULT_GLOBAL_SPREAD.min(links_per_pair).min(rpg).max(1)
-        } else {
-            0
-        };
+        let global_spread =
+            if g > 1 { Self::DEFAULT_GLOBAL_SPREAD.min(links_per_pair).min(rpg).max(1) } else { 0 };
 
         let green_per_group = r * p * (p - 1); // directed
         let black_per_group = p * r * (r - 1); // directed
@@ -175,11 +172,7 @@ impl Topology {
         let rpg = self.cfg.routers_per_group();
         let p = self.cfg.routers_per_row;
         let local = r.index() % rpg;
-        RouterCoords {
-            group: GroupId::from_index(r.index() / rpg),
-            row: local / p,
-            col: local % p,
-        }
+        RouterCoords { group: GroupId::from_index(r.index() / rpg), row: local / p, col: local % p }
     }
 
     /// Router at the given coordinates.
@@ -195,7 +188,13 @@ impl Topology {
 
     /// Directed green channel from `(group,row,col_a)` to `(group,row,col_b)`.
     #[inline]
-    pub fn green_channel(&self, group: GroupId, row: usize, col_a: usize, col_b: usize) -> ChannelId {
+    pub fn green_channel(
+        &self,
+        group: GroupId,
+        row: usize,
+        col_a: usize,
+        col_b: usize,
+    ) -> ChannelId {
         debug_assert_ne!(col_a, col_b);
         let p = self.cfg.routers_per_row;
         let adj = if col_b < col_a { col_b } else { col_b - 1 };
@@ -205,7 +204,13 @@ impl Topology {
 
     /// Directed black channel from `(group,row_a,col)` to `(group,row_b,col)`.
     #[inline]
-    pub fn black_channel(&self, group: GroupId, col: usize, row_a: usize, row_b: usize) -> ChannelId {
+    pub fn black_channel(
+        &self,
+        group: GroupId,
+        col: usize,
+        row_a: usize,
+        row_b: usize,
+    ) -> ChannelId {
         debug_assert_ne!(row_a, row_b);
         let r = self.cfg.rows;
         let adj = if row_b < row_a { row_b } else { row_b - 1 };
@@ -221,7 +226,9 @@ impl Topology {
         debug_assert!(s < self.global_spread);
         let g = self.cfg.num_groups;
         let adj = if gb.index() < ga.index() { gb.index() } else { gb.index() - 1 };
-        ChannelId::from_index(self.global_base + (ga.index() * (g - 1) + adj) * self.global_spread + s)
+        ChannelId::from_index(
+            self.global_base + (ga.index() * (g - 1) + adj) * self.global_spread + s,
+        )
     }
 
     /// The gateway router in `group` that carries sub-bundle `s` of the

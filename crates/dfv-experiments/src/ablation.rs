@@ -85,8 +85,12 @@ pub fn routing_policy_ablation(
             let sampled = steps.min(app.num_steps());
             for step in 0..sampled {
                 app.step_traffic(step, &mut traffic);
-                let out =
-                    sim.simulate_step(&traffic, &background, splitmix(seed, 100 + step as u64), &mut scratch);
+                let out = sim.simulate_step(
+                    &traffic,
+                    &background,
+                    splitmix(seed, 100 + step as u64),
+                    &mut scratch,
+                );
                 total += out.comm_time;
                 worst = worst.max(out.comm_time);
             }
@@ -119,9 +123,8 @@ mod tests {
     fn adaptive_routing_is_competitive_under_congestion() {
         let spec = AppSpec { kind: AppKind::Milc, num_nodes: 16 };
         let out = routing_policy_ablation(&DragonflyConfig::small(), &spec, 400, 3.0e9, 4, 11);
-        let get = |name: &str| {
-            out.iter().find(|p| p.policy.starts_with(name)).unwrap().mean_comm_time
-        };
+        let get =
+            |name: &str| out.iter().find(|p| p.policy.starts_with(name)).unwrap().mean_comm_time;
         // Adaptive routing stays within a modest factor of static minimal
         // routing even on a tiny, endpoint-bound machine where detours buy
         // nothing (its wins show on congested inter-group links, covered by

@@ -201,8 +201,13 @@ pub fn run_campaign_advised(
 
     // ---------------- Phase 1: scheduling ---------------------------------
     let mut rng = StdRng::seed_from_u64(splitmix(config.seed, 1));
-    let users =
-        population(config.heavy_users, config.benign_users, total_compute, config.day_seconds, &mut rng);
+    let users = population(
+        config.heavy_users,
+        config.benign_users,
+        total_compute,
+        config.day_seconds,
+        &mut rng,
+    );
     let probe_user = UserId((config.heavy_users + config.benign_users + 1) as u32);
     let end = config.end_time();
 
@@ -230,8 +235,8 @@ pub fn run_campaign_advised(
             let (lo, hi) = config.probes_per_day;
             let count = rng.gen_range(lo..=hi.max(lo));
             for _ in 0..count {
-                let submit_time = day as f64 * config.day_seconds
-                    + rng.gen_range(0.0..config.day_seconds);
+                let submit_time =
+                    day as f64 * config.day_seconds + rng.gen_range(0.0..config.day_seconds);
                 submissions.push(Submission {
                     request: JobRequest {
                         user: probe_user,
@@ -279,8 +284,7 @@ pub fn run_campaign_advised(
         })
         .collect();
 
-    let mut cluster =
-        Cluster::new(compute_nodes, config.allocation, splitmix(config.seed, 2));
+    let mut cluster = Cluster::new(compute_nodes, config.allocation, splitmix(config.seed, 2));
     let mut probe_jobs: HashMap<JobId, AppSpec> = HashMap::new();
     let mut next_seq = heap.len();
     while let Some(Reverse(pending)) = heap.pop() {
@@ -326,10 +330,8 @@ pub fn run_campaign_advised(
             chunk.iter().map(|r| r.end_time).fold(0.0, f64::max) + 10.0 * config.day_seconds;
 
         // Route every job (background or probe) overlapping the window.
-        let overlapping: Vec<&JobRecord> = sacct
-            .iter()
-            .filter(|r| r.overlaps(window_start, window_end))
-            .collect();
+        let overlapping: Vec<&JobRecord> =
+            sacct.iter().filter(|r| r.overlaps(window_start, window_end)).collect();
         let routed: HashMap<JobId, Arc<RoutedTraffic>> = overlapping
             .par_iter()
             .map(|rec| {
@@ -373,11 +375,7 @@ pub fn run_campaign_advised(
         .iter()
         .map(|spec| AppDataset {
             spec: *spec,
-            runs: run_records
-                .iter()
-                .filter(|(s, _)| s == spec)
-                .map(|(_, r)| r.clone())
-                .collect(),
+            runs: run_records.iter().filter(|(s, _)| s == spec).map(|(_, r)| r.clone()).collect(),
         })
         .collect();
 
@@ -481,13 +479,14 @@ fn simulate_probe(
             next_event += 1;
         }
         app.step_traffic(step, &mut traffic);
-        let outcome = sim.simulate_step(&traffic, &bg, splitmix(seed, 100 + step as u64), &mut scratch);
-        let compute =
-            app.compute_time(step) * (1.0 + compute_noise * rng.gen_range(-1.0..1.0));
+        let outcome =
+            sim.simulate_step(&traffic, &bg, splitmix(seed, 100 + step as u64), &mut scratch);
+        let compute = app.compute_time(step) * (1.0 + compute_noise * rng.gen_range(-1.0..1.0));
         let step_time = outcome.comm_time + compute;
         sim.fill_telemetry(&scratch, &bg, step_time.max(1e-9), &mut telemetry);
         let counters = *dfv_counters::CounterSnapshot::from_stats(
-            &telemetry.aggregate(session.routers().iter().map(|r| dfv_dragonfly::ids::Idx::index(*r))),
+            &telemetry
+                .aggregate(session.routers().iter().map(|r| dfv_dragonfly::ids::Idx::index(*r))),
         )
         .as_slice();
         let io = sampler.read_io(&telemetry).as_array();
@@ -533,8 +532,13 @@ pub fn simulate_long_run(
     // Background-only phase 1 with a distinct seed so the long run sees a
     // job mix unrelated to the training campaign.
     let mut rng = StdRng::seed_from_u64(splitmix(seed, 31));
-    let users =
-        population(config.heavy_users, config.benign_users, total_compute, config.day_seconds, &mut rng);
+    let users = population(
+        config.heavy_users,
+        config.benign_users,
+        total_compute,
+        config.day_seconds,
+        &mut rng,
+    );
     let probe_user = UserId((config.heavy_users + config.benign_users + 1) as u32);
     let end = config.end_time().max(4.0 * config.day_seconds);
 

@@ -211,10 +211,7 @@ mod tests {
     fn dataset_statistics() {
         let spec = AppSpec { kind: AppKind::MiniVite, num_nodes: 128 };
         // miniVite has 6 steps.
-        let d = AppDataset {
-            spec,
-            runs: vec![run(&[1.0; 6]), run(&[2.0; 6]), run(&[3.0; 6])],
-        };
+        let d = AppDataset { spec, runs: vec![run(&[1.0; 6]), run(&[2.0; 6]), run(&[3.0; 6])] };
         assert_eq!(d.best_total_time(), 6.0);
         assert_eq!(d.worst_total_time(), 18.0);
         assert_eq!(d.mean_total_time(), 12.0);

@@ -57,13 +57,8 @@ pub fn steps_csv(ds: &AppDataset) -> String {
             for v in s.counters.iter().chain(s.io.iter()).chain(s.sys.iter()) {
                 let _ = write!(out, ",{v}");
             }
-            let _ = writeln!(
-                out,
-                ",{},{},{}",
-                run.num_routers,
-                run.num_groups,
-                s.bottleneck.label()
-            );
+            let _ =
+                writeln!(out, ",{},{},{}", run.num_routers, run.num_groups, s.bottleneck.label());
         }
     }
     out

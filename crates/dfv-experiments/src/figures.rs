@@ -24,11 +24,8 @@ pub struct Fig1Series {
 /// Build Figure 1 for one dataset.
 pub fn fig1(ds: &AppDataset, day_seconds: f64) -> Fig1Series {
     let best = ds.best_total_time();
-    let points: Vec<(f64, f64)> = ds
-        .runs
-        .iter()
-        .map(|r| (r.start_time / day_seconds, r.total_time() / best))
-        .collect();
+    let points: Vec<(f64, f64)> =
+        ds.runs.iter().map(|r| (r.start_time / day_seconds, r.total_time() / best)).collect();
     let max_relative = points.iter().map(|&(_, v)| v).fold(0.0, f64::max);
     Fig1Series { spec: ds.spec, points, max_relative }
 }
@@ -83,9 +80,7 @@ pub fn fig45(ds: &AppDataset) -> MpiBreakdown {
     let worst_i = (0..totals.len()).max_by(|&a, &b| totals[a].total_cmp(&totals[b])).unwrap();
     let mean_total = ds.mean_total_time();
     let avg_i = (0..totals.len())
-        .min_by(|&a, &b| {
-            (totals[a] - mean_total).abs().total_cmp(&(totals[b] - mean_total).abs())
-        })
+        .min_by(|&a, &b| (totals[a] - mean_total).abs().total_cmp(&(totals[b] - mean_total).abs()))
         .unwrap();
 
     let best = run_profile(ds, best_i);
@@ -98,17 +93,12 @@ pub fn fig45(ds: &AppDataset) -> MpiBreakdown {
     let routines = names
         .into_iter()
         .map(|r| {
-            (
-                r.name().to_string(),
-                best.routine_time(r),
-                avg.routine_time(r),
-                worst.routine_time(r),
-            )
+            (r.name().to_string(), best.routine_time(r), avg.routine_time(r), worst.routine_time(r))
         })
         .collect();
 
-    let mean_mpi_fraction = ds.runs.iter().map(|r| r.mpi_fraction()).sum::<f64>()
-        / ds.runs.len() as f64;
+    let mean_mpi_fraction =
+        ds.runs.iter().map(|r| r.mpi_fraction()).sum::<f64>() / ds.runs.len() as f64;
     MpiBreakdown {
         spec: ds.spec,
         compute: (best.compute_time, avg.compute_time, worst.compute_time),
@@ -138,8 +128,7 @@ impl Fig7Series {
         let n = time.len() as f64;
         let mt = time.iter().sum::<f64>() / n;
         let mc = counter.iter().sum::<f64>() / n;
-        let cov: f64 =
-            time.iter().zip(counter).map(|(&t, &c)| (t - mt) * (c - mc)).sum::<f64>();
+        let cov: f64 = time.iter().zip(counter).map(|(&t, &c)| (t - mt) * (c - mc)).sum::<f64>();
         let vt: f64 = time.iter().map(|&t| (t - mt) * (t - mt)).sum::<f64>();
         let vc: f64 = counter.iter().map(|&c| (c - mc) * (c - mc)).sum::<f64>();
         if vt <= 0.0 || vc <= 0.0 {
@@ -179,9 +168,7 @@ pub fn table1(result: &CampaignResult) -> Vec<(String, String, usize, String)> {
 pub fn table2() -> Vec<(String, String, String)> {
     Counter::ALL
         .iter()
-        .map(|c| {
-            (c.full_name().to_string(), c.abbrev().to_string(), c.description().to_string())
-        })
+        .map(|c| (c.full_name().to_string(), c.abbrev().to_string(), c.description().to_string()))
         .collect()
 }
 

@@ -86,11 +86,8 @@ pub fn evaluate(
             let lo = f * n_runs / folds;
             let hi = (f + 1) * n_runs / folds;
             let test_runs: Vec<&RunRecord> = order[lo..hi].iter().map(|&i| &ds.runs[i]).collect();
-            let train_runs: Vec<&RunRecord> = order[..lo]
-                .iter()
-                .chain(order[hi..].iter())
-                .map(|&i| &ds.runs[i])
-                .collect();
+            let train_runs: Vec<&RunRecord> =
+                order[..lo].iter().chain(order[hi..].iter()).map(|&i| &ds.runs[i]).collect();
             let train = window_dataset(&train_runs, fspec);
             let test = window_dataset(&test_runs, fspec);
             if train.n() == 0 || test.n() == 0 {
@@ -149,11 +146,7 @@ pub fn evaluate_ridge_baseline(
 
 /// The paper's ablation grid for a dataset: every (m, k) in the given lists
 /// crossed with every feature set up to `max_features`.
-pub fn ablation_grid(
-    ms: &[usize],
-    ks: &[usize],
-    feature_sets: &[FeatureSet],
-) -> Vec<ForecastSpec> {
+pub fn ablation_grid(ms: &[usize], ks: &[usize], feature_sets: &[FeatureSet]) -> Vec<ForecastSpec> {
     let mut grid = Vec::new();
     for &k in ks {
         for &m in ms {
@@ -240,8 +233,7 @@ mod tests {
     #[test]
     fn forecaster_beats_naive_mean_on_milc() {
         let ds = milc_dataset();
-        let fspec =
-            ForecastSpec { m: 10, k: 20, features: FeatureSet::AppPlacementIoSys };
+        let fspec = ForecastSpec { m: 10, k: 20, features: FeatureSet::AppPlacementIoSys };
         let outcome = evaluate(&ds, &fspec, &quick_attention(), 3, 1);
         assert!(outcome.mape.is_finite());
         assert!(outcome.mape < 40.0, "MAPE {} too high", outcome.mape);
@@ -249,11 +241,7 @@ mod tests {
 
     #[test]
     fn ablation_grid_covers_all_combinations() {
-        let grid = ablation_grid(
-            &[3, 8],
-            &[5, 10],
-            &[FeatureSet::App, FeatureSet::AppPlacement],
-        );
+        let grid = ablation_grid(&[3, 8], &[5, 10], &[FeatureSet::App, FeatureSet::AppPlacement]);
         assert_eq!(grid.len(), 8);
         assert!(grid.iter().any(|f| f.m == 8 && f.k == 10 && f.features == FeatureSet::App));
     }
@@ -272,11 +260,7 @@ mod tests {
     fn long_run_forecast_tracks_observed_segments() {
         let config = CampaignConfig::quick();
         let result = run_campaign(&config);
-        let ds = result
-            .datasets
-            .iter()
-            .find(|d| d.spec.kind == AppKind::Milc)
-            .unwrap();
+        let ds = result.datasets.iter().find(|d| d.spec.kind == AppKind::Milc).unwrap();
         let long = simulate_long_run(&config, &ds.spec, 200, 99);
         assert_eq!(long.steps.len(), 200);
         let segments = forecast_long_run(

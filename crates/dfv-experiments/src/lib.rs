@@ -15,6 +15,7 @@ pub mod export;
 pub mod figures;
 pub mod forecast;
 pub mod neighborhood;
+pub mod serving;
 pub mod whatif;
 
 pub use campaign::{
@@ -24,4 +25,5 @@ pub use data::{AppDataset, RunRecord, StepRecord};
 pub use deviation::{analyze_deviation, deviation_dataset, DeviationAnalysis};
 pub use forecast::{evaluate, forecast_long_run, ForecastOutcome, ForecastSpec};
 pub use neighborhood::{analyze, NeighborhoodAnalysis, NeighborhoodParams};
+pub use serving::{train_and_export, train_artifacts, ServeTrainConfig};
 pub use whatif::{advisor_whatif, WhatIfOutcome};

@@ -131,8 +131,7 @@ pub fn analyze(result: &CampaignResult, params: &NeighborhoodParams) -> Neighbor
             *counts.entry(u).or_insert(0) += 1;
         }
     }
-    let mut recurring: Vec<(UserId, usize)> =
-        counts.into_iter().filter(|&(_, c)| c > 1).collect();
+    let mut recurring: Vec<(UserId, usize)> = counts.into_iter().filter(|&(_, c)| c > 1).collect();
     recurring.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     NeighborhoodAnalysis { per_dataset, recurring }
 }

@@ -1,0 +1,195 @@
+//! Train-and-export: the producer side of the serving pipeline. Turns a
+//! campaign's datasets into versioned `dfv-serve` model artifacts — one
+//! deviation predictor (Section IV-B) and one forecaster (Section IV-C)
+//! per application — and writes them as JSON files a
+//! [`ModelRegistry`](dfv_serve::ModelRegistry) can `load_dir`.
+
+use crate::campaign::CampaignResult;
+use crate::data::RunRecord;
+use crate::deviation::deviation_dataset;
+use crate::forecast::{window_dataset, ForecastSpec};
+use dfv_counters::FeatureSet;
+use dfv_mlkit::attention::{AttentionForecaster, AttentionParams};
+use dfv_mlkit::gbr::{Gbr, GbrParams};
+use dfv_serve::ModelArtifact;
+use rayon::prelude::*;
+use std::path::{Path, PathBuf};
+
+/// How to train the exported models.
+#[derive(Debug, Clone)]
+pub struct ServeTrainConfig {
+    /// Window geometry and feature group of the forecasters.
+    pub fspec: ForecastSpec,
+    /// GBR hyperparameters for the deviation predictors.
+    pub gbr: GbrParams,
+    /// Attention hyperparameters for the forecasters.
+    pub attention: AttentionParams,
+    /// Version stamped on every exported artifact; bump per retrain so the
+    /// registry's hot-swap accepts the new set.
+    pub version: u64,
+}
+
+impl Default for ServeTrainConfig {
+    fn default() -> Self {
+        ServeTrainConfig {
+            fspec: ForecastSpec { m: 10, k: 20, features: FeatureSet::AppPlacementIoSys },
+            gbr: GbrParams::default(),
+            attention: AttentionParams::default(),
+            version: 1,
+        }
+    }
+}
+
+/// Train one deviation predictor and one forecaster per campaign dataset.
+///
+/// Deviation models are trained on the mean-centered per-step dataset of
+/// [`deviation_dataset`]; clients of the served model must therefore send
+/// mean-centered counter rows (and add the mean trend back to reconstruct
+/// absolute times). Forecasters are trained on sliding windows over every
+/// run. Datasets too small to yield a single window get no forecaster.
+pub fn train_artifacts(result: &CampaignResult, config: &ServeTrainConfig) -> Vec<ModelArtifact> {
+    let per_dataset: Vec<Vec<ModelArtifact>> = result
+        .datasets
+        .par_iter()
+        .map(|ds| {
+            let app = ds.spec.label();
+            let mut out = Vec::with_capacity(2);
+
+            // The deviation dataset is the 13 raw counters, mean-centered.
+            let (data, _offsets) = deviation_dataset(ds);
+            let gbr = Gbr::fit(&data.x, &data.y, &config.gbr);
+            out.push(ModelArtifact::deviation(
+                &app,
+                config.version,
+                FeatureSet::App,
+                data.feature_names.clone(),
+                gbr,
+            ));
+
+            let runs: Vec<&RunRecord> = ds.runs.iter().collect();
+            let windows = window_dataset(&runs, &config.fspec);
+            if windows.n() > 0 {
+                let model = AttentionForecaster::fit(&windows, &config.attention);
+                out.push(ModelArtifact::forecast(
+                    &app,
+                    config.version,
+                    config.fspec.features,
+                    config.fspec.features.names(),
+                    config.fspec.k,
+                    model,
+                ));
+            }
+            out
+        })
+        .collect();
+    let mut artifacts: Vec<ModelArtifact> = per_dataset.into_iter().flatten().collect();
+    artifacts.sort_by_key(|a| a.file_name());
+    artifacts
+}
+
+/// [`train_artifacts`], then write each artifact as JSON into `dir`
+/// (created if missing). Returns the written paths, sorted.
+pub fn train_and_export(
+    result: &CampaignResult,
+    config: &ServeTrainConfig,
+    dir: &Path,
+) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::new();
+    for artifact in train_artifacts(result, config) {
+        let path = dir.join(artifact.file_name());
+        std::fs::write(&path, artifact.to_json())?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignConfig};
+    use dfv_serve::{ModelKey, ModelRegistry, TaskKind};
+
+    fn quick_config() -> ServeTrainConfig {
+        ServeTrainConfig {
+            fspec: ForecastSpec { m: 5, k: 5, features: FeatureSet::AppPlacement },
+            gbr: GbrParams { n_trees: 10, ..GbrParams::default() },
+            attention: AttentionParams { epochs: 3, d_attn: 4, hidden: 8, ..Default::default() },
+            version: 1,
+        }
+    }
+
+    #[test]
+    fn every_dataset_gets_both_artifacts() {
+        let result = run_campaign(&CampaignConfig::quick());
+        let config = quick_config();
+        let artifacts = train_artifacts(&result, &config);
+        // One deviation model per dataset; a forecaster only where runs are
+        // long enough to yield at least one (m + k)-step window (the quick
+        // campaign's miniVite and UMT runs, 6 and 7 steps, are not).
+        let window = config.fspec.m + config.fspec.k;
+        let long_enough = result.datasets.iter().filter(|ds| ds.spec.num_steps() >= window).count();
+        assert!(long_enough >= 2, "campaign should have forecastable apps");
+        assert!(long_enough < result.datasets.len(), "gate should be exercised");
+        assert_eq!(artifacts.len(), result.datasets.len() + long_enough);
+        for artifact in &artifacts {
+            artifact.validate().unwrap();
+            assert_eq!(artifact.version, 1);
+            match artifact.task() {
+                TaskKind::Deviation => assert_eq!(artifact.input_width(), 13),
+                TaskKind::Forecast => {
+                    assert_eq!(artifact.input_width(), config.fspec.m * config.fspec.features.len())
+                }
+            }
+        }
+        // Every app label appears exactly once per task.
+        let mut apps: Vec<&str> = artifacts.iter().map(|a| a.app.as_str()).collect();
+        apps.sort();
+        apps.dedup();
+        assert_eq!(apps.len(), result.datasets.len());
+    }
+
+    #[test]
+    fn exported_artifacts_load_and_predict_bit_for_bit() {
+        let result = run_campaign(&CampaignConfig::quick());
+        let config = quick_config();
+        let artifacts = train_artifacts(&result, &config);
+        let dir = std::env::temp_dir().join(format!("dfv-serve-export-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paths = train_and_export(&result, &config, &dir).unwrap();
+        assert_eq!(paths.len(), artifacts.len());
+        assert!(paths.iter().all(|p| p.exists()));
+
+        let registry = ModelRegistry::new();
+        assert_eq!(registry.load_dir(&dir).unwrap(), artifacts.len());
+        // The JSON round trip preserves predictions exactly: compare a
+        // deviation artifact on its own training rows.
+        let ds = &result.datasets[0];
+        let offline = artifacts
+            .iter()
+            .find(|a| a.app == ds.spec.label() && a.task() == TaskKind::Deviation)
+            .unwrap();
+        let loaded = registry.get(&ModelKey::deviation(ds.spec.label())).unwrap();
+        let (data, _) = deviation_dataset(ds);
+        assert_eq!(loaded.predict_batch(&data.x), offline.predict_batch(&data.x));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retrain_with_bumped_version_hot_swaps() {
+        let result = run_campaign(&CampaignConfig::quick());
+        let mut config = quick_config();
+        let registry = ModelRegistry::new();
+        for artifact in train_artifacts(&result, &config) {
+            registry.install(artifact).unwrap();
+        }
+        config.version = 2;
+        config.gbr.n_trees = 5;
+        for artifact in train_artifacts(&result, &config) {
+            registry.install(artifact).unwrap();
+        }
+        for (_, version) in registry.models() {
+            assert_eq!(version, 2);
+        }
+    }
+}

@@ -61,12 +61,8 @@ pub fn advisor_from_neighborhood(
     min_blocked_nodes: usize,
     max_delay: f64,
 ) -> CongestionAdvisor {
-    let blocked: BTreeSet<UserId> = analysis
-        .recurring
-        .iter()
-        .map(|&(u, _)| u)
-        .filter(|&u| u != probe_user)
-        .collect();
+    let blocked: BTreeSet<UserId> =
+        analysis.recurring.iter().map(|&(u, _)| u).filter(|&u| u != probe_user).collect();
     let mut config = AdvisorConfig::new(blocked);
     config.min_blocked_nodes = min_blocked_nodes;
     config.max_delay = max_delay;
@@ -116,8 +112,7 @@ pub fn advisor_whatif(
     );
     let advised = run_campaign_advised(config, Some(&advisor));
 
-    let blocked: BTreeSet<UserId> =
-        advisor.config().blocked_users.iter().copied().collect();
+    let blocked: BTreeSet<UserId> = advisor.config().blocked_users.iter().copied().collect();
     let comparisons = config
         .apps
         .iter()
@@ -158,10 +153,7 @@ mod tests {
         }
         let base: f64 = outcome.comparisons.iter().map(|c| c.baseline_exposure).sum();
         let advised: f64 = outcome.comparisons.iter().map(|c| c.advised_exposure).sum();
-        assert!(
-            advised <= base + 1e-9,
-            "advisor must not increase exposure: {advised} vs {base}"
-        );
+        assert!(advised <= base + 1e-9, "advisor must not increase exposure: {advised} vs {base}");
         for c in &outcome.comparisons {
             assert!(c.baseline_mean > 0.0 && c.advised_mean > 0.0);
         }
@@ -175,8 +167,7 @@ mod tests {
         let params =
             NeighborhoodParams { min_job_nodes: 8, tau: 1.0, top_k: 5, min_cooccurrence: 2 };
         let analysis = analyze(&baseline, &params);
-        let advisor =
-            advisor_from_neighborhood(&analysis, baseline.probe_user, 8, 100.0);
+        let advisor = advisor_from_neighborhood(&analysis, baseline.probe_user, 8, 100.0);
         assert!(!advisor.config().blocked_users.contains(&baseline.probe_user));
     }
 }

@@ -321,13 +321,33 @@ impl AttentionForecaster {
         }
     }
 
+    /// Temporal context length `m` the model was trained with.
+    pub fn context_len(&self) -> usize {
+        self.m
+    }
+
+    /// Per-step feature width `h` the model was trained with.
+    pub fn step_width(&self) -> usize {
+        self.h
+    }
+
+    /// Flattened input width (`m * h` columns).
+    pub fn window_width(&self) -> usize {
+        self.m * self.h
+    }
+
+    /// Signed-log + standardize one raw window row in place.
+    fn scale_row(&self, row: &mut [f64]) {
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = (signed_log1p(*v) - self.x_scaler.means[c]) / self.x_scaler.stds[c];
+        }
+    }
+
     /// Predict the aggregate future time for one raw (unscaled) window row.
     pub fn predict_row(&self, raw_row: &[f64]) -> f64 {
         assert_eq!(raw_row.len(), self.m * self.h, "window width mismatch");
         let mut row = raw_row.to_vec();
-        for (c, v) in row.iter_mut().enumerate() {
-            *v = (signed_log1p(*v) - self.x_scaler.means[c]) / self.x_scaler.stds[c];
-        }
+        self.scale_row(&mut row);
         let act = self.forward(&row);
         self.y_scaler.inverse(act.y_hat)
     }
@@ -335,6 +355,70 @@ impl AttentionForecaster {
     /// Predict every window of a dataset.
     pub fn predict(&self, data: &WindowDataset) -> Vec<f64> {
         (0..data.n()).map(|i| self.predict_row(data.x.row(i))).collect()
+    }
+
+    /// Predict a batch of raw window rows in one batched matrix pass.
+    ///
+    /// Functionally identical to calling [`predict_row`](Self::predict_row)
+    /// per row — the accumulation order of every reduction matches the
+    /// scalar path, so results are bit-for-bit equal — but the whole batch
+    /// moves through each layer as a single [`Matrix`] product, which is
+    /// what the serving layer's micro-batching relies on.
+    pub fn predict_batch(&self, raw: &Matrix) -> Vec<f64> {
+        assert_eq!(raw.cols(), self.m * self.h, "window width mismatch");
+        let n = raw.rows();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut x = raw.clone();
+        for r in 0..n {
+            self.scale_row(x.row_mut(r));
+        }
+        // Per-step slices as n x h matrices.
+        let step_mat = |t: usize| -> Matrix {
+            let mut s = Matrix::zeros(n, self.h);
+            for r in 0..n {
+                s.row_mut(r).copy_from_slice(&x.row(r)[t * self.h..(t + 1) * self.h]);
+            }
+            s
+        };
+        let x_last = step_mat(self.m - 1);
+        let q = x_last.matmul(&self.wq.w); // n x d
+        let scale = 1.0 / (self.d as f64).sqrt();
+        let mut scores = Matrix::zeros(n, self.m);
+        let mut vals: Vec<Matrix> = Vec::with_capacity(self.m);
+        for t in 0..self.m {
+            let xt = step_mat(t);
+            let k = xt.matmul(&self.wk.w); // n x d
+            let v = xt.matmul(&self.wv.w); // n x d
+            for r in 0..n {
+                scores.set(r, t, dot(q.row(r), k.row(r)) * scale);
+            }
+            vals.push(v);
+        }
+        // Attention context per row, then z = [c | x_last].
+        let mut z = Matrix::zeros(n, self.d + self.h);
+        for r in 0..n {
+            let alpha = softmax(scores.row(r));
+            let zr = z.row_mut(r);
+            for (t, vt) in vals.iter().enumerate() {
+                for (ci, &vi) in zr[..self.d].iter_mut().zip(vt.row(r)) {
+                    *ci += alpha[t] * vi;
+                }
+            }
+            zr[self.d..].copy_from_slice(x_last.row(r));
+        }
+        // MLP head: relu(z W1 + b1) W2 + b2, unscaled back to seconds.
+        let mut a1 = z.matmul(&self.w1.w); // n x hidden
+        for r in 0..n {
+            for (a, b) in a1.row_mut(r).iter_mut().zip(self.b1.w.row(0)) {
+                *a += b;
+            }
+        }
+        a1.data_mut().iter_mut().for_each(|a| *a = a.max(0.0));
+        let w2_col = self.w2.w.col(0);
+        let b2 = self.b2.w.get(0, 0);
+        (0..n).map(|r| self.y_scaler.inverse(dot(a1.row(r), &w2_col) + b2)).collect()
     }
 
     /// Permutation feature importance of the `h` per-step features: shuffle
@@ -360,13 +444,8 @@ impl AttentionForecaster {
                     shuffled.set(r, col, vals[p]);
                 }
             }
-            let s = WindowDataset {
-                x: shuffled,
-                y: data.y.clone(),
-                m: self.m,
-                h: self.h,
-                k: data.k,
-            };
+            let s =
+                WindowDataset { x: shuffled, y: data.y.clone(), m: self.m, h: self.h, k: data.k };
             let pred = self.predict(&s);
             let err = crate::metrics::rmse(&data.y, &pred);
             scores[f] = (err - base).max(0.0);
@@ -382,9 +461,7 @@ impl AttentionForecaster {
     /// raw window (useful diagnostics: which history steps matter).
     pub fn attention_weights(&self, raw_row: &[f64]) -> Vec<f64> {
         let mut row = raw_row.to_vec();
-        for (c, v) in row.iter_mut().enumerate() {
-            *v = (signed_log1p(*v) - self.x_scaler.means[c]) / self.x_scaler.stds[c];
-        }
+        self.scale_row(&mut row);
         self.forward(&row).alpha
     }
 }
@@ -449,6 +526,30 @@ mod tests {
     }
 
     #[test]
+    fn batched_predictions_match_scalar_path_bit_for_bit() {
+        let train = synth(10, 25, 4, 2, 1);
+        let model = AttentionForecaster::fit(&train, &quick_params());
+        let test = synth(4, 25, 4, 2, 42);
+        let batched = model.predict_batch(&test.x);
+        assert_eq!(batched.len(), test.n());
+        for (i, &b) in batched.iter().enumerate() {
+            let scalar = model.predict_row(test.x.row(i));
+            assert_eq!(b, scalar, "row {i}: batch {b} != scalar {scalar}");
+        }
+        assert_eq!(model.window_width(), 4 * 2);
+        assert_eq!(model.context_len(), 4);
+        assert_eq!(model.step_width(), 2);
+    }
+
+    #[test]
+    fn batched_prediction_of_empty_matrix_is_empty() {
+        let train = synth(5, 20, 3, 1, 1);
+        let model = AttentionForecaster::fit(&train, &quick_params());
+        let empty = crate::matrix::Matrix::zeros(0, model.window_width());
+        assert!(model.predict_batch(&empty).is_empty());
+    }
+
+    #[test]
     fn attention_weights_are_a_distribution() {
         let train = synth(5, 20, 4, 1, 1);
         let model = AttentionForecaster::fit(&train, &quick_params());
@@ -472,11 +573,9 @@ mod tests {
     fn gradients_match_finite_differences() {
         // Spot-check the manual backprop on a tiny model.
         let mut data = WindowDataset::empty(2, 2, 1);
-        data.push_run(
-            &[vec![0.5, -0.2], vec![0.1, 0.3], vec![-0.4, 0.8]],
-            &[1.0, 2.0, 3.0],
-        );
-        let params = AttentionParams { epochs: 1, d_attn: 3, hidden: 4, seed: 7, ..Default::default() };
+        data.push_run(&[vec![0.5, -0.2], vec![0.1, 0.3], vec![-0.4, 0.8]], &[1.0, 2.0, 3.0]);
+        let params =
+            AttentionParams { epochs: 1, d_attn: 3, hidden: 4, seed: 7, ..Default::default() };
         let mut model = AttentionForecaster::fit(&data, &params);
         // Use a fresh row; compute analytic gradient of L = 0.5 (y_hat - y)^2
         // w.r.t. one Wq entry and compare with central differences.
@@ -489,8 +588,13 @@ mod tests {
         let dy = act.y_hat - target;
         // Clear grads, then accumulate analytic gradient.
         for p in [
-            &mut model.wq, &mut model.wk, &mut model.wv, &mut model.w1, &mut model.b1,
-            &mut model.w2, &mut model.b2,
+            &mut model.wq,
+            &mut model.wk,
+            &mut model.wv,
+            &mut model.w1,
+            &mut model.b1,
+            &mut model.w2,
+            &mut model.b2,
         ] {
             p.grad.clear();
         }

@@ -171,8 +171,7 @@ pub fn kfold(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
         let lo = f * n / k;
         let hi = (f + 1) * n / k;
         let test: Vec<usize> = idx[lo..hi].to_vec();
-        let train: Vec<usize> =
-            idx[..lo].iter().chain(idx[hi..].iter()).copied().collect();
+        let train: Vec<usize> = idx[..lo].iter().chain(idx[hi..].iter()).copied().collect();
         folds.push((train, test));
     }
     folds

@@ -95,9 +95,7 @@ impl Gbr {
 
     /// Predict one sample.
     pub fn predict_row(&self, row: &[f64]) -> f64 {
-        self.init
-            + self.learning_rate
-                * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
+        self.init + self.learning_rate * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
     }
 
     /// Predict every row of a matrix.
@@ -118,6 +116,11 @@ impl Gbr {
     /// Number of trees actually fitted.
     pub fn num_trees(&self) -> usize {
         self.trees.len()
+    }
+
+    /// Width of the feature vectors the model was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.importances.len()
     }
 }
 
@@ -160,8 +163,7 @@ mod tests {
     fn importances_identify_signal_feature() {
         // Feature 1 carries all the signal, features 0 and 2 are noise-free
         // constants.
-        let rows: Vec<Vec<f64>> =
-            (0..100).map(|i| vec![1.0, (i % 10) as f64, 2.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![1.0, (i % 10) as f64, 2.0]).collect();
         let x = Matrix::from_rows(&rows);
         let y: Vec<f64> = rows.iter().map(|r| r[1] * 5.0).collect();
         let g = Gbr::fit(&x, &y, &params_fast());

@@ -57,12 +57,8 @@ impl RfeResult {
 
     /// Features sorted by decreasing relevance.
     pub fn ranked_features(&self) -> Vec<(String, f64)> {
-        let mut v: Vec<(String, f64)> = self
-            .feature_names
-            .iter()
-            .cloned()
-            .zip(self.relevance.iter().copied())
-            .collect();
+        let mut v: Vec<(String, f64)> =
+            self.feature_names.iter().cloned().zip(self.relevance.iter().copied()).collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1));
         v
     }
@@ -157,8 +153,11 @@ pub fn rfe(data: &Dataset, offsets: Option<&[f64]>, params: &RfeParams) -> RfeRe
         }
     }
     let total: f64 = raw.iter().sum();
-    let relevance =
-        if total > 0.0 { raw.iter().map(|&v| v / total).collect() } else { vec![1.0 / d as f64; d] };
+    let relevance = if total > 0.0 {
+        raw.iter().map(|&v| v / total).collect()
+    } else {
+        vec![1.0 / d as f64; d]
+    };
 
     RfeResult {
         relevance,
@@ -199,11 +198,7 @@ mod tests {
     }
 
     fn fast_params() -> RfeParams {
-        RfeParams {
-            folds: 3,
-            gbr: GbrParams { n_trees: 30, ..Default::default() },
-            seed: 1,
-        }
+        RfeParams { folds: 3, gbr: GbrParams { n_trees: 30, ..Default::default() }, seed: 1 }
     }
 
     #[test]

@@ -86,9 +86,8 @@ fn solve(a: &mut Matrix, b: &mut [f64]) -> Vec<f64> {
     let n = b.len();
     for col in 0..n {
         // Pivot.
-        let pivot = (col..n)
-            .max_by(|&i, &j| a.get(i, col).abs().total_cmp(&a.get(j, col).abs()))
-            .unwrap();
+        let pivot =
+            (col..n).max_by(|&i, &j| a.get(i, col).abs().total_cmp(&a.get(j, col).abs())).unwrap();
         if pivot != col {
             for c in 0..n {
                 let (u, v) = (a.get(col, c), a.get(pivot, c));
@@ -129,8 +128,7 @@ mod tests {
 
     #[test]
     fn recovers_exact_linear_coefficients() {
-        let rows: Vec<Vec<f64>> =
-            (0..50).map(|i| vec![i as f64, (i * i % 13) as f64]).collect();
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i * i % 13) as f64]).collect();
         let x = Matrix::from_rows(&rows);
         let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - 3.0 * r[1] + 7.0).collect();
         let model = Ridge::fit(&x, &y, 1e-9);

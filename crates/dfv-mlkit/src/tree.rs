@@ -23,16 +23,8 @@ impl Default for TreeParams {
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum Node {
-    Leaf {
-        value: f64,
-    },
-    Split {
-        feature: usize,
-        threshold: f64,
-        gain: f64,
-        left: usize,
-        right: usize,
-    },
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f64, gain: f64, left: usize, right: usize },
 }
 
 /// A fitted regression tree.
@@ -173,7 +165,8 @@ fn best_split(x: &Matrix, y: &[f64], idx: &[usize], params: &TreeParams) -> Opti
             }
             let right_sum = sum - left_sum;
             let right_sq = sum_sq - left_sq;
-            let sse = (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
+            let sse =
+                (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
             let gain = parent_sse - sse;
             if gain > params.min_gain && best.as_ref().is_none_or(|b| gain > b.gain) {
                 let threshold = 0.5 * (v + pairs[pos + 1].0);

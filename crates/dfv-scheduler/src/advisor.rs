@@ -99,6 +99,86 @@ impl CongestionAdvisor {
     }
 }
 
+/// A live forecast query: the recent per-step feature window of a job of
+/// `app`, plus the clear-weather baseline the forecast is judged against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastQuery {
+    /// Application label the serving side keyed its model under.
+    pub app: String,
+    /// Flattened window of the last `m` step-feature vectors.
+    pub window: Vec<f64>,
+    /// Expected aggregate time of the forecast horizon on a quiet machine
+    /// (e.g. the mean-trend total of the next `k` steps).
+    pub baseline: f64,
+}
+
+/// Something that can answer forecast queries — typically a handle to the
+/// `dfv-serve` inference service, but any predictor (or a test stub) fits.
+/// Returning `None` means "no answer available" (unknown model, queue
+/// saturated, ...): the advisor then falls back to the blocklist alone.
+pub trait ForecastSource {
+    /// Predicted aggregate execution time of the query's horizon.
+    fn forecast(&self, query: &ForecastQuery) -> Option<f64>;
+}
+
+/// A [`CongestionAdvisor`] extended with a live forecast: in addition to
+/// the historical blocklist, a submission is held when the forecasting
+/// model predicts the near future to run `slowdown_threshold`x slower than
+/// the clear-weather baseline. The inner advisor's delay budget still
+/// bounds the total hold, so forecasts can never starve work either.
+pub struct ForecastAdvisor<S: ForecastSource> {
+    inner: CongestionAdvisor,
+    source: S,
+    slowdown_threshold: f64,
+}
+
+impl<S: ForecastSource> ForecastAdvisor<S> {
+    /// Wrap a blocklist advisor with a forecast source. `slowdown_threshold`
+    /// is the predicted-over-baseline ratio above which a submission is
+    /// held (must be >= 1: a forecast no worse than baseline never delays).
+    pub fn new(inner: CongestionAdvisor, source: S, slowdown_threshold: f64) -> Self {
+        assert!(slowdown_threshold >= 1.0, "slowdown_threshold must be >= 1");
+        ForecastAdvisor { inner, source, slowdown_threshold }
+    }
+
+    /// The wrapped blocklist advisor.
+    pub fn inner(&self) -> &CongestionAdvisor {
+        &self.inner
+    }
+
+    /// The forecast source.
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    /// Advice for a submission, consulting both the blocklist and (when a
+    /// query is supplied) the live forecast.
+    pub fn advise<I: IntoIterator<Item = (UserId, usize)>>(
+        &self,
+        running: I,
+        delayed_so_far: f64,
+        query: Option<&ForecastQuery>,
+    ) -> Advice {
+        let config = self.inner.config();
+        if delayed_so_far + config.recheck_interval > config.max_delay {
+            return Advice::SubmitNow;
+        }
+        if self.inner.congested(running) {
+            return Advice::Delay { recheck_in: config.recheck_interval };
+        }
+        if let Some(q) = query {
+            if q.baseline > 0.0 {
+                if let Some(predicted) = self.source.forecast(q) {
+                    if predicted > self.slowdown_threshold * q.baseline {
+                        return Advice::Delay { recheck_in: config.recheck_interval };
+                    }
+                }
+            }
+        }
+        Advice::SubmitNow
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,10 +201,7 @@ mod tests {
     #[test]
     fn blocked_user_triggers_delay() {
         let a = advisor();
-        assert_eq!(
-            a.advise([(UserId(2), 512)], 0.0),
-            Advice::Delay { recheck_in: 100.0 }
-        );
+        assert_eq!(a.advise([(UserId(2), 512)], 0.0), Advice::Delay { recheck_in: 100.0 });
         assert!(a.congested([(UserId(8), 128)]));
     }
 
@@ -141,10 +218,7 @@ mod tests {
         // 450 + 100 > 500: budget would be exceeded, so run now.
         assert_eq!(a.advise([(UserId(2), 512)], 450.0), Advice::SubmitNow);
         // 300 + 100 <= 500: keep waiting.
-        assert_eq!(
-            a.advise([(UserId(2), 512)], 300.0),
-            Advice::Delay { recheck_in: 100.0 }
-        );
+        assert_eq!(a.advise([(UserId(2), 512)], 300.0), Advice::Delay { recheck_in: 100.0 });
     }
 
     #[test]
@@ -153,5 +227,55 @@ mod tests {
         let mut config = AdvisorConfig::new([UserId(1)]);
         config.recheck_interval = 0.0;
         CongestionAdvisor::new(config);
+    }
+
+    /// A stub source answering every query with a fixed prediction.
+    struct Fixed(Option<f64>);
+    impl ForecastSource for Fixed {
+        fn forecast(&self, _query: &ForecastQuery) -> Option<f64> {
+            self.0
+        }
+    }
+
+    fn query(baseline: f64) -> ForecastQuery {
+        ForecastQuery { app: "milc-16".into(), window: vec![1.0; 4], baseline }
+    }
+
+    #[test]
+    fn forecast_above_threshold_delays() {
+        let fa = ForecastAdvisor::new(advisor(), Fixed(Some(20.0)), 1.5);
+        // Predicted 20.0 vs baseline 10.0 = 2x > 1.5x: hold.
+        assert_eq!(fa.advise([], 0.0, Some(&query(10.0))), Advice::Delay { recheck_in: 100.0 });
+        // Predicted 20.0 vs baseline 15.0 = 1.33x <= 1.5x: run.
+        assert_eq!(fa.advise([], 0.0, Some(&query(15.0))), Advice::SubmitNow);
+    }
+
+    #[test]
+    fn forecast_advisor_keeps_blocklist_and_budget() {
+        let fa = ForecastAdvisor::new(advisor(), Fixed(Some(1.0)), 1.5);
+        // Blocked user still triggers a delay even with a benign forecast.
+        assert_eq!(
+            fa.advise([(UserId(2), 512)], 0.0, Some(&query(10.0))),
+            Advice::Delay { recheck_in: 100.0 }
+        );
+        // Budget exhaustion overrides a terrible forecast.
+        let fa = ForecastAdvisor::new(advisor(), Fixed(Some(1e9)), 1.5);
+        assert_eq!(fa.advise([], 450.0, Some(&query(10.0))), Advice::SubmitNow);
+    }
+
+    #[test]
+    fn unanswered_queries_fall_back_to_blocklist() {
+        let fa = ForecastAdvisor::new(advisor(), Fixed(None), 1.5);
+        assert_eq!(fa.advise([], 0.0, Some(&query(10.0))), Advice::SubmitNow);
+        assert_eq!(fa.advise([], 0.0, None), Advice::SubmitNow);
+        // Degenerate baseline never divides: forecast path is skipped.
+        let fa = ForecastAdvisor::new(advisor(), Fixed(Some(1e9)), 1.5);
+        assert_eq!(fa.advise([], 0.0, Some(&query(0.0))), Advice::SubmitNow);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown_threshold")]
+    fn sub_unit_threshold_rejected() {
+        ForecastAdvisor::new(advisor(), Fixed(None), 0.5);
     }
 }

@@ -12,7 +12,9 @@ pub mod cluster;
 pub mod job;
 pub mod users;
 
-pub use advisor::{Advice, AdvisorConfig, CongestionAdvisor};
+pub use advisor::{
+    Advice, AdvisorConfig, CongestionAdvisor, ForecastAdvisor, ForecastQuery, ForecastSource,
+};
 pub use cluster::{AdvanceEvents, Cluster};
 pub use job::{JobId, JobRecord, JobRequest, RunningJob, UserId};
 pub use users::{population, Archetype, User};

@@ -113,7 +113,13 @@ impl Archetype {
             }
             Archetype::MaterialsScience => {
                 let peers = nodes.len().saturating_sub(1).clamp(1, 24);
-                patterns::uniform_random(nodes, peers, comm / peers as f64, per_flow_msg(peers as f64), rng)
+                patterns::uniform_random(
+                    nodes,
+                    peers,
+                    comm / peers as f64,
+                    per_flow_msg(peers as f64),
+                    rng,
+                )
             }
             Archetype::Benign => {
                 patterns::uniform_random(nodes, 2, comm / 2.0, per_flow_msg(2.0), rng)

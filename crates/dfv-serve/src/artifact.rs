@@ -1,0 +1,315 @@
+//! Versioned, serde-serialized model artifacts — the on-disk contract
+//! between offline training campaigns (`dfv-experiments`) and the online
+//! registry. An artifact wraps one fitted model with enough metadata to
+//! validate requests against it: the app it serves, its feature set and
+//! geometry, and a monotonically increasing version used by the registry's
+//! hot-swap protocol.
+
+use dfv_counters::FeatureSet;
+use dfv_mlkit::attention::AttentionForecaster;
+use dfv_mlkit::gbr::Gbr;
+use dfv_mlkit::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Bumped whenever the artifact layout changes incompatibly; loading
+/// rejects mismatches instead of misinterpreting bytes.
+pub const ARTIFACT_SCHEMA_VERSION: u32 = 1;
+
+/// Which inference task an artifact serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Per-step deviation prediction (GBR, Section IV-B).
+    Deviation,
+    /// Aggregate future-time forecasting (attention, Section IV-C).
+    Forecast,
+}
+
+impl TaskKind {
+    /// Stable lowercase label used in file names and stats output.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskKind::Deviation => "deviation",
+            TaskKind::Forecast => "forecast",
+        }
+    }
+}
+
+/// Window geometry of a forecasting model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowGeometry {
+    /// Temporal context (steps of history per window).
+    pub m: usize,
+    /// Features per step.
+    pub h: usize,
+    /// Forecast horizon (steps summed into the target).
+    pub k: usize,
+}
+
+/// The fitted model inside an artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+// Not boxed despite the size gap between variants: artifacts are heap-bound
+// behind `Arc` in the registry anyway, and serde derives for `Box` are not
+// universally available.
+#[allow(clippy::large_enum_variant)]
+pub enum ModelKind {
+    /// A deviation predictor.
+    Deviation(Gbr),
+    /// A forecaster.
+    Forecast(AttentionForecaster),
+}
+
+/// One versioned model artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelArtifact {
+    /// Artifact layout version; must equal [`ARTIFACT_SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Application label the model serves (e.g. `milc-16`).
+    pub app: String,
+    /// Monotonically increasing model version for hot-swap ordering.
+    pub version: u64,
+    /// Feature group the model was trained on.
+    pub feature_set: FeatureSet,
+    /// Per-feature names, in model input order (per-step names for
+    /// forecasting models).
+    pub feature_names: Vec<String>,
+    /// Window geometry; present exactly for forecasting models.
+    pub window: Option<WindowGeometry>,
+    /// The fitted model.
+    pub model: ModelKind,
+}
+
+/// Why an artifact failed to load or validate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArtifactError {
+    /// The JSON did not parse as an artifact.
+    Malformed(String),
+    /// Layout version mismatch.
+    SchemaVersion {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// Metadata disagrees with the embedded model's dimensions.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Malformed(e) => write!(f, "malformed artifact: {e}"),
+            ArtifactError::SchemaVersion { found } => write!(
+                f,
+                "artifact schema version {found} (this build reads {ARTIFACT_SCHEMA_VERSION})"
+            ),
+            ArtifactError::Inconsistent(e) => write!(f, "inconsistent artifact: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl ModelArtifact {
+    /// Wrap a fitted deviation model.
+    pub fn deviation(
+        app: impl Into<String>,
+        version: u64,
+        feature_set: FeatureSet,
+        feature_names: Vec<String>,
+        model: Gbr,
+    ) -> Self {
+        ModelArtifact {
+            schema_version: ARTIFACT_SCHEMA_VERSION,
+            app: app.into(),
+            version,
+            feature_set,
+            feature_names,
+            window: None,
+            model: ModelKind::Deviation(model),
+        }
+    }
+
+    /// Wrap a fitted forecaster. The geometry is read off the model itself;
+    /// `k` is the horizon it was trained against.
+    pub fn forecast(
+        app: impl Into<String>,
+        version: u64,
+        feature_set: FeatureSet,
+        feature_names: Vec<String>,
+        k: usize,
+        model: AttentionForecaster,
+    ) -> Self {
+        let window = Some(WindowGeometry { m: model.context_len(), h: model.step_width(), k });
+        ModelArtifact {
+            schema_version: ARTIFACT_SCHEMA_VERSION,
+            app: app.into(),
+            version,
+            feature_set,
+            feature_names,
+            window,
+            model: ModelKind::Forecast(model),
+        }
+    }
+
+    /// The task this artifact serves.
+    pub fn task(&self) -> TaskKind {
+        match self.model {
+            ModelKind::Deviation(_) => TaskKind::Deviation,
+            ModelKind::Forecast(_) => TaskKind::Forecast,
+        }
+    }
+
+    /// Input width one request row must have.
+    pub fn input_width(&self) -> usize {
+        match &self.model {
+            ModelKind::Deviation(g) => g.num_features(),
+            ModelKind::Forecast(a) => a.window_width(),
+        }
+    }
+
+    /// Run one batched pass over request rows (all of [`input_width`]
+    /// columns). Bit-for-bit identical to per-row offline prediction.
+    ///
+    /// [`input_width`]: Self::input_width
+    pub fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        match &self.model {
+            ModelKind::Deviation(g) => g.predict(rows),
+            ModelKind::Forecast(a) => a.predict_batch(rows),
+        }
+    }
+
+    /// Canonical file name for this artifact.
+    pub fn file_name(&self) -> String {
+        format!("{}__{}__v{}.json", self.app, self.task().label(), self.version)
+    }
+
+    /// Serialize to the registry's JSON format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("artifact serializes")
+    }
+
+    /// Parse and validate an artifact from JSON.
+    pub fn from_json(json: &str) -> Result<Self, ArtifactError> {
+        // Peek at the schema version first so an old layout reports a
+        // version mismatch, not a confusing parse error.
+        #[derive(Deserialize)]
+        struct Probe {
+            schema_version: u32,
+        }
+        let probe: Probe =
+            serde_json::from_str(json).map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+        if probe.schema_version != ARTIFACT_SCHEMA_VERSION {
+            return Err(ArtifactError::SchemaVersion { found: probe.schema_version });
+        }
+        let artifact: ModelArtifact =
+            serde_json::from_str(json).map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+        artifact.validate()?;
+        Ok(artifact)
+    }
+
+    /// Check internal consistency of metadata vs the embedded model.
+    pub fn validate(&self) -> Result<(), ArtifactError> {
+        if self.app.is_empty() {
+            return Err(ArtifactError::Inconsistent("empty app label".into()));
+        }
+        match &self.model {
+            ModelKind::Deviation(g) => {
+                if self.window.is_some() {
+                    return Err(ArtifactError::Inconsistent(
+                        "deviation artifact carries window geometry".into(),
+                    ));
+                }
+                if self.feature_names.len() != g.num_features() {
+                    return Err(ArtifactError::Inconsistent(format!(
+                        "{} feature names for a {}-feature model",
+                        self.feature_names.len(),
+                        g.num_features()
+                    )));
+                }
+            }
+            ModelKind::Forecast(a) => {
+                let Some(w) = self.window else {
+                    return Err(ArtifactError::Inconsistent(
+                        "forecast artifact lacks window geometry".into(),
+                    ));
+                };
+                if w.m != a.context_len() || w.h != a.step_width() {
+                    return Err(ArtifactError::Inconsistent(format!(
+                        "window {}x{} vs model {}x{}",
+                        w.m,
+                        w.h,
+                        a.context_len(),
+                        a.step_width()
+                    )));
+                }
+                if w.k == 0 {
+                    return Err(ArtifactError::Inconsistent("zero-step horizon".into()));
+                }
+                if self.feature_names.len() != w.h {
+                    return Err(ArtifactError::Inconsistent(format!(
+                        "{} per-step feature names for {}-wide steps",
+                        self.feature_names.len(),
+                        w.h
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{tiny_forecaster, tiny_gbr};
+
+    #[test]
+    fn deviation_artifact_roundtrips_and_validates() {
+        let (gbr, x) = tiny_gbr();
+        let names: Vec<String> = (0..x.cols()).map(|i| format!("f{i}")).collect();
+        let art = ModelArtifact::deviation("amg-16", 3, FeatureSet::App, names, gbr);
+        assert_eq!(art.task(), TaskKind::Deviation);
+        assert_eq!(art.file_name(), "amg-16__deviation__v3.json");
+        let back = ModelArtifact::from_json(&art.to_json()).unwrap();
+        assert_eq!(back, art);
+        assert_eq!(back.predict_batch(&x), art.predict_batch(&x));
+    }
+
+    #[test]
+    fn forecast_artifact_roundtrips_and_validates() {
+        let (model, data) = tiny_forecaster();
+        let names: Vec<String> = (0..model.step_width()).map(|i| format!("s{i}")).collect();
+        let art = ModelArtifact::forecast("milc-16", 1, FeatureSet::App, names, data.k, model);
+        assert_eq!(art.task(), TaskKind::Forecast);
+        assert_eq!(art.input_width(), data.m * data.h);
+        let back = ModelArtifact::from_json(&art.to_json()).unwrap();
+        assert_eq!(back.predict_batch(&data.x), art.predict_batch(&data.x));
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let (gbr, x) = tiny_gbr();
+        let names: Vec<String> = (0..x.cols()).map(|i| format!("f{i}")).collect();
+        let art = ModelArtifact::deviation("amg-16", 1, FeatureSet::App, names, gbr);
+        let json = art.to_json().replace("\"schema_version\":1", "\"schema_version\":99");
+        assert_eq!(
+            ModelArtifact::from_json(&json),
+            Err(ArtifactError::SchemaVersion { found: 99 })
+        );
+        assert!(ModelArtifact::from_json("{}").is_err());
+        assert!(ModelArtifact::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn inconsistent_metadata_is_rejected() {
+        let (gbr, _) = tiny_gbr();
+        let art = ModelArtifact::deviation("amg-16", 1, FeatureSet::App, vec!["one".into()], gbr);
+        assert!(matches!(art.validate(), Err(ArtifactError::Inconsistent(_))));
+
+        let (model, data) = tiny_forecaster();
+        let names: Vec<String> = (0..model.step_width()).map(|i| format!("s{i}")).collect();
+        let mut art = ModelArtifact::forecast("milc-16", 1, FeatureSet::App, names, data.k, model);
+        art.window = Some(WindowGeometry { m: 99, h: 1, k: 1 });
+        assert!(matches!(art.validate(), Err(ArtifactError::Inconsistent(_))));
+        art.window = None;
+        assert!(matches!(art.validate(), Err(ArtifactError::Inconsistent(_))));
+    }
+}

@@ -1,0 +1,236 @@
+//! An O(1) LRU cache for served predictions, keyed by
+//! `(model, version, feature-window hash)`.
+//!
+//! Requests in a serving workload repeat heavily — the advisor re-checks
+//! the same window every `recheck_interval`, dashboards poll, retries
+//! resend — so identical feature vectors recur within short horizons.
+//! Keying on the model *version* makes hot-swaps self-invalidating: a new
+//! model never sees stale entries, and old entries age out by recency.
+//!
+//! The classic design: a slab of nodes forming an intrusive doubly-linked
+//! recency list plus a `HashMap` from key to slab slot. `get`, `insert`
+//! and eviction are all O(1).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used map.
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries (must be non-zero).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be non-zero");
+        LruCache {
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Unlink a slot from the recency list.
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    /// Link a slot at the most-recently-used end.
+    fn link_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Look up a key, promoting it to most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let slot = *self.map.get(key)?;
+        if slot != self.head {
+            self.unlink(slot);
+            self.link_front(slot);
+        }
+        Some(&self.slab[slot].value)
+    }
+
+    /// Insert (or refresh) an entry, evicting the least-recently-used one
+    /// when at capacity. Returns the evicted `(key, value)` if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slab[slot].value = value;
+            if slot != self.head {
+                self.unlink(slot);
+                self.link_front(slot);
+            }
+            return None;
+        }
+        let mut evicted = None;
+        if self.map.len() == self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            let node = &mut self.slab[victim];
+            self.map.remove(&node.key);
+            let old_key = std::mem::replace(&mut node.key, key.clone());
+            let old_value = std::mem::replace(&mut node.value, value);
+            evicted = Some((old_key, old_value));
+            self.map.insert(key, victim);
+            self.link_front(victim);
+            return evicted;
+        }
+        let slot = if let Some(slot) = self.free.pop() {
+            self.slab[slot].key = key.clone();
+            self.slab[slot].value = value;
+            slot
+        } else {
+            self.slab.push(Node { key: key.clone(), value, prev: NIL, next: NIL });
+            self.slab.len() - 1
+        };
+        self.map.insert(key, slot);
+        self.link_front(slot);
+        evicted
+    }
+
+    /// Drop every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.free.clear();
+        self.free.extend(0..self.slab.len());
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+/// FNV-1a over the bit patterns of a feature row — the `window_hash`
+/// component of serving cache keys. Exact-bit equality is the right notion
+/// here: served predictions must be bit-identical to offline ones, so only
+/// bit-identical inputs may share a cache entry.
+pub fn hash_row(row: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in row {
+        for byte in v.to_bits().to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        assert!(c.insert(1, "one").is_none());
+        assert!(c.insert(2, "two").is_none());
+        assert_eq!(c.get(&1), Some(&"one")); // promote 1
+        assert_eq!(c.insert(3, "three"), Some((2, "two")));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(c.get(&3), Some(&"three"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn refresh_updates_value_without_eviction() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert!(c.insert(1, 11).is_none());
+        assert_eq!(c.get(&1), Some(&11));
+        // 2 was the LRU entry after 1's refresh.
+        assert_eq!(c.insert(3, 30), Some((2, 20)));
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_reuses_slots() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        for i in 0..3 {
+            c.insert(i, i);
+        }
+        c.clear();
+        assert!(c.is_empty());
+        for i in 10..14 {
+            c.insert(i, i);
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&10), None); // evicted by 13
+        assert_eq!(c.get(&13), Some(&13));
+    }
+
+    #[test]
+    fn heavy_churn_stays_consistent() {
+        let mut c: LruCache<u64, u64> = LruCache::new(8);
+        for i in 0..1000u64 {
+            c.insert(i % 13, i);
+            let _ = c.get(&(i % 7));
+            assert!(c.len() <= 8);
+        }
+        // The 8 most recent distinct keys must all be present.
+        let mut seen = 0;
+        for k in 0..13u64 {
+            if c.get(&k).is_some() {
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 8);
+    }
+
+    #[test]
+    fn row_hash_is_bit_exact() {
+        assert_eq!(hash_row(&[1.0, 2.0]), hash_row(&[1.0, 2.0]));
+        assert_ne!(hash_row(&[1.0, 2.0]), hash_row(&[2.0, 1.0]));
+        // 0.0 and -0.0 compare equal as floats but are different bits — and
+        // different cache keys, preserving bit-exactness of served values.
+        assert_ne!(hash_row(&[0.0]), hash_row(&[-0.0]));
+        assert_ne!(hash_row(&[]), hash_row(&[0.0]));
+    }
+}

@@ -1,0 +1,102 @@
+//! # dfv-serve — online model serving for variability predictors
+//!
+//! The paper's models (Section IV: per-step deviation GBRs, attention
+//! forecasters) are trained offline by `dfv-experiments` campaigns, but
+//! their consumers — the congestion-aware scheduler of Section V-A,
+//! dashboards, what-if probes — need *online* answers. This crate is the
+//! bridge: a small, dependency-light inference service.
+//!
+//! - [`artifact`] — versioned, serde-serialized model artifacts: the
+//!   on-disk contract between training and serving.
+//! - [`registry`] — the [`ModelRegistry`]: atomic hot-swap of versioned
+//!   models under a read-write lock; readers pin `Arc` snapshots.
+//! - [`service`] — the [`Service`]: a bounded MPSC request queue drained
+//!   by a micro-batching worker (one matrix pass per model per tick),
+//!   with backpressure ([`Response::Rejected`]) when the queue is full.
+//! - [`cache`] — an O(1) [`LruCache`] of predictions keyed by
+//!   `(model, version, feature-row hash)`; hot-swaps self-invalidate.
+//! - [`stats`] — per-model latency (p50/p95/p99), throughput and cache
+//!   hit-rate metrics via [`ServeStats`].
+//! - [`source`] — [`ServeForecastSource`], plugging a live service into
+//!   `dfv_scheduler::ForecastAdvisor`.
+//!
+//! Served predictions are **bit-for-bit identical** to offline inference
+//! with the same model version: batching mirrors the scalar accumulation
+//! order and the cache keys on exact feature bits.
+
+pub mod artifact;
+pub mod cache;
+pub mod registry;
+pub mod service;
+pub mod source;
+pub mod stats;
+
+pub use artifact::{
+    ArtifactError, ModelArtifact, ModelKind, TaskKind, WindowGeometry, ARTIFACT_SCHEMA_VERSION,
+};
+pub use cache::{hash_row, LruCache};
+pub use registry::{ModelKey, ModelRegistry, RegistryError};
+pub use service::{Pending, Request, Response, ServeConfig, ServeError, ServeHandle, Service};
+pub use source::ServeForecastSource;
+pub use stats::{LatencyHistogram, ModelStats, ModelStatsSnapshot, ServeStats};
+
+/// Small fitted models shared by this crate's unit tests.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::artifact::ModelArtifact;
+    use dfv_counters::FeatureSet;
+    use dfv_mlkit::attention::{AttentionForecaster, AttentionParams};
+    use dfv_mlkit::dataset::WindowDataset;
+    use dfv_mlkit::gbr::{Gbr, GbrParams};
+    use dfv_mlkit::matrix::Matrix;
+
+    /// A tiny fitted GBR plus the matrix it was trained on.
+    pub fn tiny_gbr() -> (Gbr, Matrix) {
+        let mut x = Matrix::zeros(0, 3);
+        let mut y = Vec::new();
+        for i in 0..16 {
+            let a = (i % 4) as f64;
+            let b = (i / 4) as f64;
+            let c = ((i * 7) % 5) as f64;
+            x.push_row(&[a, b, c]);
+            y.push(2.0 * a - b + 0.5 * c);
+        }
+        let params = GbrParams { n_trees: 8, subsample: 1.0, ..GbrParams::default() };
+        (Gbr::fit(&x, &y, &params), x)
+    }
+
+    /// A tiny fitted forecaster plus its training windows.
+    pub fn tiny_forecaster() -> (AttentionForecaster, WindowDataset) {
+        let (m, h, k) = (3, 2, 2);
+        let mut x = Matrix::zeros(0, m * h);
+        let mut y = Vec::new();
+        for i in 0..12 {
+            let row: Vec<f64> = (0..m * h).map(|j| 1.0 + ((i * 3 + j) % 7) as f64 * 0.5).collect();
+            y.push(row.iter().sum::<f64>() * 0.3);
+            x.push_row(&row);
+        }
+        let data = WindowDataset { x, y, m, h, k };
+        let params = AttentionParams {
+            d_attn: 4,
+            hidden: 4,
+            epochs: 4,
+            batch: 4,
+            ..AttentionParams::default()
+        };
+        (AttentionForecaster::fit(&data, &params), data)
+    }
+
+    /// A deviation artifact around [`tiny_gbr`].
+    pub fn tiny_gbr_artifact(app: &str, version: u64) -> ModelArtifact {
+        let (gbr, x) = tiny_gbr();
+        let names: Vec<String> = (0..x.cols()).map(|i| format!("f{i}")).collect();
+        ModelArtifact::deviation(app, version, FeatureSet::App, names, gbr)
+    }
+
+    /// A forecast artifact around [`tiny_forecaster`].
+    pub fn tiny_forecast_artifact(app: &str, version: u64) -> ModelArtifact {
+        let (model, data) = tiny_forecaster();
+        let names: Vec<String> = (0..data.h).map(|i| format!("s{i}")).collect();
+        ModelArtifact::forecast(app, version, FeatureSet::App, names, data.k, model)
+    }
+}

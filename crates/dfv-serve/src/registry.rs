@@ -1,0 +1,259 @@
+//! The model registry: the single source of truth for which model version
+//! serves each `(app, task)` pair.
+//!
+//! Readers take an `Arc` snapshot of an artifact under a short read lock —
+//! an in-flight batch keeps predicting with the version it grabbed even if
+//! a newer one is installed mid-batch. Installation swaps the `Arc`
+//! atomically under the write lock and refuses version regressions, so a
+//! slow exporter can never clobber a newer model (the "stale swap" hazard
+//! of rolling retrains).
+
+use crate::artifact::{ArtifactError, ModelArtifact, TaskKind};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+/// What a registry entry is keyed by.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelKey {
+    /// Application label.
+    pub app: String,
+    /// Task served.
+    pub task: TaskKind,
+}
+
+impl ModelKey {
+    /// Key for an app's deviation model.
+    pub fn deviation(app: impl Into<String>) -> Self {
+        ModelKey { app: app.into(), task: TaskKind::Deviation }
+    }
+
+    /// Key for an app's forecaster.
+    pub fn forecast(app: impl Into<String>) -> Self {
+        ModelKey { app: app.into(), task: TaskKind::Forecast }
+    }
+}
+
+impl std::fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.app, self.task.label())
+    }
+}
+
+/// Why an installation or load was refused.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// The artifact failed validation.
+    Artifact(ArtifactError),
+    /// An equal or newer version of this model is already installed.
+    StaleVersion {
+        /// Version offered.
+        offered: u64,
+        /// Version currently installed.
+        installed: u64,
+    },
+    /// A file could not be read.
+    Io(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Artifact(e) => write!(f, "{e}"),
+            RegistryError::StaleVersion { offered, installed } => {
+                write!(f, "stale install: v{offered} offered but v{installed} is live")
+            }
+            RegistryError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<ArtifactError> for RegistryError {
+    fn from(e: ArtifactError) -> Self {
+        RegistryError::Artifact(e)
+    }
+}
+
+/// The registry. Cheap to share: clone an `Arc<ModelRegistry>`.
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<ModelKey, Arc<ModelArtifact>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install an artifact, hot-swapping any older version atomically.
+    /// Returns the installed version. Fails if the artifact is invalid or
+    /// not strictly newer than the live one.
+    pub fn install(&self, artifact: ModelArtifact) -> Result<u64, RegistryError> {
+        artifact.validate()?;
+        let key = ModelKey { app: artifact.app.clone(), task: artifact.task() };
+        let version = artifact.version;
+        let mut models = self.models.write().expect("registry lock poisoned");
+        if let Some(live) = models.get(&key) {
+            if live.version >= version {
+                return Err(RegistryError::StaleVersion {
+                    offered: version,
+                    installed: live.version,
+                });
+            }
+        }
+        models.insert(key, Arc::new(artifact));
+        Ok(version)
+    }
+
+    /// Snapshot the live artifact for a key. The returned `Arc` stays valid
+    /// (and unchanged) across concurrent installs.
+    pub fn get(&self, key: &ModelKey) -> Option<Arc<ModelArtifact>> {
+        self.models.read().expect("registry lock poisoned").get(key).cloned()
+    }
+
+    /// Parse, validate and install one JSON artifact.
+    pub fn install_json(&self, json: &str) -> Result<u64, RegistryError> {
+        self.install(ModelArtifact::from_json(json)?)
+    }
+
+    /// Load every `*.json` artifact in a directory (sorted by file name so
+    /// version order is deterministic). Returns the number installed.
+    /// Stale-version files are skipped silently — a directory legitimately
+    /// accumulates superseded versions; any other error aborts, leaving
+    /// artifacts installed before the bad file in place (each install is
+    /// individually atomic, so the registry is never inconsistent).
+    pub fn load_dir(&self, dir: &Path) -> Result<usize, RegistryError> {
+        let mut paths: Vec<_> = std::fs::read_dir(dir)
+            .map_err(|e| RegistryError::Io(format!("{}: {e}", dir.display())))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        paths.sort();
+        let mut installed = 0;
+        for path in paths {
+            let json = std::fs::read_to_string(&path)
+                .map_err(|e| RegistryError::Io(format!("{}: {e}", path.display())))?;
+            match self.install_json(&json) {
+                Ok(_) => installed += 1,
+                Err(RegistryError::StaleVersion { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(installed)
+    }
+
+    /// Every live `(key, version)` pair, sorted for stable output.
+    pub fn models(&self) -> Vec<(ModelKey, u64)> {
+        let mut out: Vec<(ModelKey, u64)> = self
+            .models
+            .read()
+            .expect("registry lock poisoned")
+            .iter()
+            .map(|(k, a)| (k.clone(), a.version))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Number of live models.
+    pub fn len(&self) -> usize {
+        self.models.read().expect("registry lock poisoned").len()
+    }
+
+    /// Whether the registry holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{tiny_forecast_artifact, tiny_gbr_artifact};
+
+    #[test]
+    fn install_get_and_listing() {
+        let reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        reg.install(tiny_gbr_artifact("amg-16", 1)).unwrap();
+        reg.install(tiny_forecast_artifact("amg-16", 1)).unwrap();
+        assert_eq!(reg.len(), 2);
+        let dev = reg.get(&ModelKey::deviation("amg-16")).unwrap();
+        assert_eq!(dev.task(), TaskKind::Deviation);
+        assert!(reg.get(&ModelKey::forecast("milc-16")).is_none());
+        assert_eq!(
+            reg.models(),
+            vec![(ModelKey::deviation("amg-16"), 1), (ModelKey::forecast("amg-16"), 1)]
+        );
+    }
+
+    #[test]
+    fn hot_swap_keeps_old_snapshots_alive_and_rejects_stale() {
+        let reg = ModelRegistry::new();
+        reg.install(tiny_gbr_artifact("amg-16", 1)).unwrap();
+        let v1 = reg.get(&ModelKey::deviation("amg-16")).unwrap();
+        reg.install(tiny_gbr_artifact("amg-16", 2)).unwrap();
+        // The old snapshot is untouched; the registry serves the new one.
+        assert_eq!(v1.version, 1);
+        assert_eq!(reg.get(&ModelKey::deviation("amg-16")).unwrap().version, 2);
+        // Same or older versions are refused.
+        assert_eq!(
+            reg.install(tiny_gbr_artifact("amg-16", 2)),
+            Err(RegistryError::StaleVersion { offered: 2, installed: 2 })
+        );
+        assert_eq!(
+            reg.install(tiny_gbr_artifact("amg-16", 1)),
+            Err(RegistryError::StaleVersion { offered: 1, installed: 2 })
+        );
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_reads_and_swaps_are_safe() {
+        let reg = std::sync::Arc::new(ModelRegistry::new());
+        reg.install(tiny_gbr_artifact("amg-16", 1)).unwrap();
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let art = reg.get(&ModelKey::deviation("amg-16")).unwrap();
+                        assert!(art.version >= 1);
+                    }
+                })
+            })
+            .collect();
+        for v in 2..20 {
+            reg.install(tiny_gbr_artifact("amg-16", v)).unwrap();
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(reg.get(&ModelKey::deviation("amg-16")).unwrap().version, 19);
+    }
+
+    #[test]
+    fn load_dir_installs_newest_and_skips_stale() {
+        let dir = std::env::temp_dir().join(format!("dfv-serve-regtest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for v in [1u64, 3, 2] {
+            let art = tiny_gbr_artifact("amg-16", v);
+            std::fs::write(dir.join(art.file_name()), art.to_json()).unwrap();
+        }
+        let art = tiny_forecast_artifact("milc-16", 5);
+        std::fs::write(dir.join(art.file_name()), art.to_json()).unwrap();
+
+        let reg = ModelRegistry::new();
+        // File names sort v1 < v2 < v3, so the deviation versions install in
+        // order (v3 ends up live); plus the forecaster: 4 installs total.
+        let n = reg.load_dir(&dir).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(reg.get(&ModelKey::deviation("amg-16")).unwrap().version, 3);
+        assert_eq!(reg.get(&ModelKey::forecast("milc-16")).unwrap().version, 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,662 @@
+//! The inference service: a bounded request queue drained by a
+//! micro-batching worker.
+//!
+//! Clients hand typed requests to a [`ServeHandle`]; each request is either
+//! accepted into a bounded MPSC queue or rejected immediately with a
+//! retry hint (backpressure — the service never drops an accepted request
+//! and never queues unboundedly). A single batcher thread drains up to
+//! `max_batch` queued requests per tick, groups them by model, answers
+//! repeats from the LRU cache, and runs ONE batched matrix pass per model
+//! for the misses. Batched results are bit-for-bit identical to per-row
+//! offline prediction, so caching and batching are invisible to clients.
+
+use crate::artifact::ModelArtifact;
+use crate::cache::{hash_row, LruCache};
+use crate::registry::{ModelKey, ModelRegistry};
+use crate::stats::{ModelStats, ServeStats};
+use dfv_mlkit::matrix::Matrix;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables for one service instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bounded queue depth; `try_send` beyond this rejects (backpressure).
+    pub queue_capacity: usize,
+    /// Most requests drained into one batching tick.
+    pub max_batch: usize,
+    /// LRU prediction-cache entries.
+    pub cache_capacity: usize,
+    /// Retry hint returned with rejections.
+    pub retry_after: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 256,
+            max_batch: 32,
+            cache_capacity: 4096,
+            retry_after: Duration::from_millis(1),
+        }
+    }
+}
+
+/// A typed inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Predict one step's deviation from per-step features (Section IV-B).
+    /// Features must be in the model's training representation (mean-
+    /// centered per-step counters, see `dfv-experiments`).
+    PredictDeviation {
+        /// Application label, e.g. `milc-16`.
+        app: String,
+        /// One feature row of the model's width.
+        step_features: Vec<f64>,
+    },
+    /// Forecast aggregate future time from a flattened window of the last
+    /// `m` steps (Section IV-C).
+    Forecast {
+        /// Application label.
+        app: String,
+        /// Flattened `m x h` window, step-major.
+        window: Vec<f64>,
+    },
+}
+
+impl Request {
+    /// Which registry entry answers this request.
+    pub fn key(&self) -> ModelKey {
+        match self {
+            Request::PredictDeviation { app, .. } => ModelKey::deviation(app.clone()),
+            Request::Forecast { app, .. } => ModelKey::forecast(app.clone()),
+        }
+    }
+
+    /// The raw feature row.
+    pub fn features(&self) -> &[f64] {
+        match self {
+            Request::PredictDeviation { step_features, .. } => step_features,
+            Request::Forecast { window, .. } => window,
+        }
+    }
+}
+
+/// Why a request could not be answered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// No model is installed for the request's key.
+    UnknownModel(String),
+    /// The feature row's width does not match the model's input width.
+    WidthMismatch {
+        /// Width the live model expects.
+        expected: usize,
+        /// Width the request supplied.
+        got: usize,
+    },
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel(key) => write!(f, "no model installed for {key}"),
+            ServeError::WidthMismatch { expected, got } => {
+                write!(f, "feature width {got}, model expects {expected}")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The service's answer to one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A prediction, bit-for-bit equal to offline inference with the same
+    /// model version.
+    Prediction {
+        /// The predicted value.
+        value: f64,
+        /// Version of the model that produced (or cached) it.
+        model_version: u64,
+        /// Whether it was answered from the prediction cache.
+        cached: bool,
+    },
+    /// The queue was full; retry after the hinted backoff.
+    Rejected {
+        /// Suggested client backoff.
+        retry_after: Duration,
+    },
+    /// The request was accepted but could not be answered.
+    Error(ServeError),
+}
+
+/// A queued request plus its reply channel and arrival time.
+struct Envelope {
+    request: Request,
+    enqueued: Instant,
+    reply: SyncSender<Response>,
+}
+
+/// What travels through the queue: work, or the shutdown sentinel.
+enum QueueItem {
+    Work(Envelope),
+    Stop,
+}
+
+/// State shared by handles, the batcher and `stats()` readers.
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    config: ServeConfig,
+    counters: Mutex<HashMap<ModelKey, ModelStats>>,
+    rejected: AtomicU64,
+    stopping: AtomicBool,
+}
+
+impl Shared {
+    fn stats(&self) -> ServeStats {
+        let counters = self.counters.lock().expect("stats lock poisoned");
+        ServeStats::from_counters(
+            &counters,
+            |key| self.registry.get(key).map(|a| a.version).unwrap_or(0),
+            self.rejected.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// An accepted request whose answer is still in flight.
+pub struct Pending {
+    rx: Receiver<Response>,
+}
+
+impl Pending {
+    /// Block until the batcher answers.
+    pub fn wait(self) -> Response {
+        self.rx.recv().unwrap_or(Response::Error(ServeError::ShuttingDown))
+    }
+}
+
+/// A cloneable client handle to a running service.
+#[derive(Clone)]
+pub struct ServeHandle {
+    tx: SyncSender<QueueItem>,
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    /// Submit without blocking for the answer. `Err` carries the immediate
+    /// [`Response::Rejected`] (queue full) or shutdown error; `Ok` means the
+    /// request is queued and WILL be answered — await it via
+    /// [`Pending::wait`].
+    pub fn submit(&self, request: Request) -> Result<Pending, Response> {
+        if self.shared.stopping.load(Ordering::Acquire) {
+            return Err(Response::Error(ServeError::ShuttingDown));
+        }
+        let (reply, rx) = sync_channel(1);
+        let envelope = Envelope { request, enqueued: Instant::now(), reply };
+        match self.tx.try_send(QueueItem::Work(envelope)) {
+            Ok(()) => Ok(Pending { rx }),
+            Err(TrySendError::Full(_)) => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(Response::Rejected { retry_after: self.shared.config.retry_after })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(Response::Error(ServeError::ShuttingDown)),
+        }
+    }
+
+    /// Submit and block for the answer (or the rejection).
+    pub fn request(&self, request: Request) -> Response {
+        match self.submit(request) {
+            Ok(pending) => pending.wait(),
+            Err(response) => response,
+        }
+    }
+
+    /// Snapshot current serving metrics.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats()
+    }
+}
+
+/// A running inference service owning its batcher thread.
+pub struct Service {
+    handle: ServeHandle,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Start a service over a registry. Models installed into the registry
+    /// after start are picked up on the next batch (hot-swap).
+    pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Service {
+        assert!(config.queue_capacity > 0, "queue capacity must be non-zero");
+        assert!(config.max_batch > 0, "max batch must be non-zero");
+        let (tx, rx) = sync_channel(config.queue_capacity);
+        let shared = Arc::new(Shared {
+            registry,
+            config: config.clone(),
+            counters: Mutex::new(HashMap::new()),
+            rejected: AtomicU64::new(0),
+            stopping: AtomicBool::new(false),
+        });
+        let worker_shared = shared.clone();
+        let worker = std::thread::Builder::new()
+            .name("dfv-serve-batcher".into())
+            .spawn(move || run_batcher(rx, worker_shared))
+            .expect("spawn batcher");
+        Service { handle: ServeHandle { tx, shared }, worker: Some(worker) }
+    }
+
+    /// A new client handle.
+    pub fn handle(&self) -> ServeHandle {
+        self.handle.clone()
+    }
+
+    /// Snapshot current serving metrics.
+    pub fn stats(&self) -> ServeStats {
+        self.handle.stats()
+    }
+
+    /// Stop accepting requests, drain everything already accepted, and
+    /// return final metrics. Outstanding [`ServeHandle`] clones keep
+    /// working as stats readers but answer every further submit with
+    /// [`ServeError::ShuttingDown`] — shutdown never blocks on them.
+    pub fn shutdown(mut self) -> ServeStats {
+        let shared = self.handle.shared.clone();
+        shared.stopping.store(true, Ordering::Release);
+        // The sentinel queues behind all accepted work; the batcher answers
+        // that work, sees the sentinel, and exits. Blocking send is safe:
+        // the batcher is still draining until it reads the sentinel.
+        let _ = self.handle.tx.send(QueueItem::Stop);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+        shared.stats()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Best effort: detach the batcher; it exits once all handles drop.
+        self.worker.take();
+    }
+}
+
+/// Drain loop: block for one request, opportunistically drain up to
+/// `max_batch - 1` more, process the tick, repeat until the shutdown
+/// sentinel arrives or all senders drop.
+fn run_batcher(rx: Receiver<QueueItem>, shared: Arc<Shared>) {
+    let mut cache: LruCache<(ModelKey, u64, u64), f64> =
+        LruCache::new(shared.config.cache_capacity);
+    let mut stopping = false;
+    while !stopping {
+        let first = match rx.recv() {
+            Ok(QueueItem::Work(envelope)) => envelope,
+            Ok(QueueItem::Stop) => break,
+            Err(_) => return, // every handle dropped
+        };
+        let mut batch = vec![first];
+        while batch.len() < shared.config.max_batch {
+            match rx.try_recv() {
+                Ok(QueueItem::Work(envelope)) => batch.push(envelope),
+                Ok(QueueItem::Stop) => {
+                    stopping = true;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        process_tick(batch, &shared, &mut cache);
+    }
+    // Sentinel seen: answer anything that was accepted alongside it, then
+    // exit. (Work racing in after this drain is answered `ShuttingDown`
+    // through its dropped reply channel when the queue is torn down.)
+    loop {
+        let mut batch = Vec::new();
+        while batch.len() < shared.config.max_batch {
+            match rx.try_recv() {
+                Ok(QueueItem::Work(envelope)) => batch.push(envelope),
+                Ok(QueueItem::Stop) => continue,
+                Err(_) => break,
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        process_tick(batch, &shared, &mut cache);
+    }
+}
+
+/// Answer one drained batch: group by model, serve repeats from the cache,
+/// and run one batched pass per model for the misses.
+fn process_tick(
+    batch: Vec<Envelope>,
+    shared: &Shared,
+    cache: &mut LruCache<(ModelKey, u64, u64), f64>,
+) {
+    // Group by model key, preserving arrival order within each group.
+    let mut groups: Vec<(ModelKey, Vec<Envelope>)> = Vec::new();
+    for envelope in batch {
+        let key = envelope.request.key();
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, group)) => group.push(envelope),
+            None => groups.push((key, vec![envelope])),
+        }
+    }
+
+    for (key, group) in groups {
+        let artifact = shared.registry.get(&key);
+        let mut counters = shared.counters.lock().expect("stats lock poisoned");
+        let stats = counters.entry(key.clone()).or_default();
+        match artifact {
+            None => {
+                let error = ServeError::UnknownModel(key.to_string());
+                for envelope in group {
+                    stats.errors += 1;
+                    stats.latency.record(envelope.enqueued.elapsed());
+                    let _ = envelope.reply.send(Response::Error(error.clone()));
+                }
+            }
+            Some(artifact) => serve_group(&artifact, group, stats, cache, &key),
+        }
+    }
+}
+
+/// One envelope's resolution state while its group is served: a resolved
+/// `(value, cached)` pair, or the index of its row in the miss matrix.
+type Outcome = (Envelope, Result<(f64, bool), usize>);
+
+/// Serve one model's sub-batch against a pinned artifact snapshot.
+fn serve_group(
+    artifact: &ModelArtifact,
+    group: Vec<Envelope>,
+    stats: &mut ModelStats,
+    cache: &mut LruCache<(ModelKey, u64, u64), f64>,
+    key: &ModelKey,
+) {
+    let width = artifact.input_width();
+    let version = artifact.version;
+
+    // Partition: width errors answered now; hits resolved from the cache;
+    // misses deduplicated (identical rows arriving in one tick share a
+    // prediction) and collected into one matrix for a single batched pass.
+    let mut outcomes: Vec<Outcome> = Vec::with_capacity(group.len());
+    let mut miss_rows = Matrix::zeros(0, width);
+    let mut pending: HashMap<(ModelKey, u64, u64), usize> = HashMap::new();
+    for envelope in group {
+        let row = envelope.request.features();
+        if row.len() != width {
+            stats.errors += 1;
+            stats.latency.record(envelope.enqueued.elapsed());
+            let _ = envelope.reply.send(Response::Error(ServeError::WidthMismatch {
+                expected: width,
+                got: row.len(),
+            }));
+            continue;
+        }
+        let cache_key = (key.clone(), version, hash_row(row));
+        if let Some(&value) = cache.get(&cache_key) {
+            outcomes.push((envelope, Ok((value, true))));
+        } else if let Some(&index) = pending.get(&cache_key) {
+            outcomes.push((envelope, Err(index)));
+        } else {
+            let index = miss_rows.rows();
+            pending.insert(cache_key, index);
+            miss_rows.push_row(row);
+            outcomes.push((envelope, Err(index)));
+        }
+    }
+
+    // One batched matrix pass covers every distinct miss for this model.
+    let values = if miss_rows.rows() > 0 {
+        let values = artifact.predict_batch(&miss_rows);
+        stats.batches += 1;
+        stats.batched_rows += values.len() as u64;
+        for (cache_key, index) in pending {
+            cache.insert(cache_key, values[index]);
+        }
+        values
+    } else {
+        Vec::new()
+    };
+
+    let mut first_use = vec![false; values.len()];
+    for (envelope, outcome) in outcomes {
+        let (value, cached) = match outcome {
+            Ok(hit) => hit,
+            // The first envelope of a deduplicated run paid for the model
+            // pass; later identical ones count as (in-tick) cache hits.
+            Err(index) => (values[index], std::mem::replace(&mut first_use[index], true)),
+        };
+        stats.requests += 1;
+        if cached {
+            stats.cache_hits += 1;
+        }
+        stats.latency.record(envelope.enqueued.elapsed());
+        let _ = envelope.reply.send(Response::Prediction { value, model_version: version, cached });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{tiny_forecast_artifact, tiny_gbr_artifact};
+
+    fn service_with(
+        artifacts: Vec<ModelArtifact>,
+        config: ServeConfig,
+    ) -> (Service, Arc<ModelRegistry>) {
+        let registry = Arc::new(ModelRegistry::new());
+        for artifact in artifacts {
+            registry.install(artifact).unwrap();
+        }
+        (Service::start(registry.clone(), config), registry)
+    }
+
+    #[test]
+    fn predictions_match_offline_inference_bit_for_bit() {
+        let artifact = tiny_gbr_artifact("amg-16", 1);
+        let width = artifact.input_width();
+        let offline = artifact.clone();
+        let (service, _) = service_with(vec![artifact], ServeConfig::default());
+        let handle = service.handle();
+        for i in 0..5 {
+            let row: Vec<f64> = (0..width).map(|j| (i * width + j) as f64 * 0.25).collect();
+            let mut m = Matrix::zeros(0, width);
+            m.push_row(&row);
+            let expected = offline.predict_batch(&m)[0];
+            match handle
+                .request(Request::PredictDeviation { app: "amg-16".into(), step_features: row })
+            {
+                Response::Prediction { value, model_version, .. } => {
+                    assert_eq!(value, expected); // exact, not approximate
+                    assert_eq!(model_version, 1);
+                }
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+        drop(handle);
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache() {
+        let artifact = tiny_forecast_artifact("milc-16", 2);
+        let width = artifact.input_width();
+        let (service, _) = service_with(vec![artifact], ServeConfig::default());
+        let handle = service.handle();
+        let window: Vec<f64> = (0..width).map(|i| 1.0 + i as f64).collect();
+        let request = Request::Forecast { app: "milc-16".into(), window };
+        let first = handle.request(request.clone());
+        let second = handle.request(request);
+        match (&first, &second) {
+            (
+                Response::Prediction { value: a, cached: false, .. },
+                Response::Prediction { value: b, cached: true, .. },
+            ) => assert_eq!(a, b),
+            other => panic!("unexpected responses: {other:?}"),
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.cache_hits(), 1);
+        assert_eq!(stats.models[0].requests, 2);
+        assert!(stats.models[0].p99 >= stats.models[0].p50);
+        drop(handle);
+        service.shutdown();
+    }
+
+    #[test]
+    fn unknown_model_and_width_mismatch_are_errors_not_drops() {
+        let artifact = tiny_gbr_artifact("amg-16", 1);
+        let width = artifact.input_width();
+        let (service, _) = service_with(vec![artifact], ServeConfig::default());
+        let handle = service.handle();
+        match handle.request(Request::Forecast { app: "nope-16".into(), window: vec![0.0] }) {
+            Response::Error(ServeError::UnknownModel(key)) => {
+                assert_eq!(key, "nope-16/forecast")
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+        match handle.request(Request::PredictDeviation {
+            app: "amg-16".into(),
+            step_features: vec![0.0; width + 1],
+        }) {
+            Response::Error(ServeError::WidthMismatch { expected, got }) => {
+                assert_eq!((expected, got), (width, width + 1));
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+        drop(handle);
+        let stats = service.shutdown();
+        assert_eq!(stats.errors, 2);
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn queue_full_rejects_with_retry_hint() {
+        // No worker: build the channel by hand so the queue cannot drain.
+        let registry = Arc::new(ModelRegistry::new());
+        let config = ServeConfig { queue_capacity: 2, ..ServeConfig::default() };
+        let (tx, rx) = sync_channel(config.queue_capacity);
+        let shared = Arc::new(Shared {
+            registry,
+            config: config.clone(),
+            counters: Mutex::new(HashMap::new()),
+            rejected: AtomicU64::new(0),
+            stopping: AtomicBool::new(false),
+        });
+        let handle = ServeHandle { tx, shared };
+        let req = Request::PredictDeviation { app: "amg-16".into(), step_features: vec![0.0] };
+        let p1 = handle.submit(req.clone()).expect("slot 1 accepted");
+        let p2 = handle.submit(req.clone()).expect("slot 2 accepted");
+        match handle.submit(req.clone()) {
+            Err(Response::Rejected { retry_after }) => {
+                assert_eq!(retry_after, config.retry_after)
+            }
+            other => panic!("expected rejection, got {:?}", other.is_ok()),
+        }
+        assert_eq!(handle.stats().rejected, 1);
+        // The two accepted requests are answered (ShuttingDown) once the
+        // receiver goes away — accepted never means silently dropped.
+        drop(rx);
+        assert_eq!(p1.wait(), Response::Error(ServeError::ShuttingDown));
+        assert_eq!(p2.wait(), Response::Error(ServeError::ShuttingDown));
+        assert_eq!(handle.request(req), Response::Error(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn shutdown_with_live_handles_does_not_hang() {
+        let artifact = tiny_gbr_artifact("amg-16", 1);
+        let width = artifact.input_width();
+        let (service, _) = service_with(vec![artifact], ServeConfig::default());
+        let handle = service.handle();
+        let req =
+            Request::PredictDeviation { app: "amg-16".into(), step_features: vec![0.5; width] };
+        assert!(matches!(handle.request(req.clone()), Response::Prediction { .. }));
+        // `handle` stays alive across shutdown: it must not block the
+        // batcher's exit, and later submits get a clean shutdown error.
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(handle.request(req), Response::Error(ServeError::ShuttingDown));
+        assert_eq!(handle.stats().completed, 1);
+    }
+
+    #[test]
+    fn hot_swap_mid_service_changes_served_version() {
+        let (service, registry) =
+            service_with(vec![tiny_gbr_artifact("amg-16", 1)], ServeConfig::default());
+        let handle = service.handle();
+        let width = registry.get(&ModelKey::deviation("amg-16")).unwrap().input_width();
+        let row: Vec<f64> = (0..width).map(|i| i as f64).collect();
+        let ask = |h: &ServeHandle| match h
+            .request(Request::PredictDeviation { app: "amg-16".into(), step_features: row.clone() })
+        {
+            Response::Prediction { model_version, cached, .. } => (model_version, cached),
+            other => panic!("unexpected response: {other:?}"),
+        };
+        assert_eq!(ask(&handle), (1, false));
+        assert_eq!(ask(&handle), (1, true));
+        registry.install(tiny_gbr_artifact("amg-16", 7)).unwrap();
+        // New version: the version-keyed cache self-invalidates.
+        assert_eq!(ask(&handle), (7, false));
+        assert_eq!(ask(&handle), (7, true));
+        drop(handle);
+        service.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_all_get_answers() {
+        let artifact = tiny_gbr_artifact("amg-16", 1);
+        let width = artifact.input_width();
+        let (service, _) = service_with(
+            vec![artifact],
+            ServeConfig { queue_capacity: 8, max_batch: 4, ..ServeConfig::default() },
+        );
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let handle = service.handle();
+                std::thread::spawn(move || {
+                    let mut answered = 0u64;
+                    for i in 0..100 {
+                        let row: Vec<f64> =
+                            (0..width).map(|j| ((t * 31 + i * 7 + j) % 11) as f64).collect();
+                        let mut req =
+                            Request::PredictDeviation { app: "amg-16".into(), step_features: row };
+                        loop {
+                            match handle.request(req) {
+                                Response::Prediction { .. } => {
+                                    answered += 1;
+                                    break;
+                                }
+                                Response::Rejected { retry_after } => {
+                                    std::thread::sleep(retry_after);
+                                    req = Request::PredictDeviation {
+                                        app: "amg-16".into(),
+                                        step_features: (0..width)
+                                            .map(|j| ((t * 31 + i * 7 + j) % 11) as f64)
+                                            .collect(),
+                                    };
+                                }
+                                other => panic!("unexpected response: {other:?}"),
+                            }
+                        }
+                    }
+                    answered
+                })
+            })
+            .collect();
+        let answered: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(answered, 400);
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 400);
+        assert_eq!(stats.errors, 0);
+        // Repeated rows (mod 11) must have produced cache hits.
+        assert!(stats.cache_hits() > 0);
+    }
+}

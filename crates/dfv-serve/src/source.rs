@@ -1,0 +1,80 @@
+//! Adapter plugging a running service into the scheduler: a
+//! [`ServeForecastSource`] lets `dfv_scheduler::ForecastAdvisor` consult
+//! live forecasts when deciding whether to delay a submission.
+
+use crate::service::{Request, Response, ServeHandle};
+use dfv_scheduler::{ForecastQuery, ForecastSource};
+
+/// A [`ForecastSource`] backed by a [`ServeHandle`]. Rejections (queue
+/// backpressure) are retried after the service's hint, up to `retries`
+/// times; unanswerable queries (no model, width mismatch, shutdown) yield
+/// `None` so the advisor falls back to its blocklist heuristic.
+pub struct ServeForecastSource {
+    handle: ServeHandle,
+    retries: usize,
+}
+
+impl ServeForecastSource {
+    /// Wrap a handle; `retries` bounds re-submissions under backpressure.
+    pub fn new(handle: ServeHandle, retries: usize) -> Self {
+        ServeForecastSource { handle, retries }
+    }
+}
+
+impl ForecastSource for ServeForecastSource {
+    fn forecast(&self, query: &ForecastQuery) -> Option<f64> {
+        let mut attempts = 0;
+        loop {
+            let request =
+                Request::Forecast { app: query.app.clone(), window: query.window.clone() };
+            match self.handle.request(request) {
+                Response::Prediction { value, .. } => return Some(value),
+                Response::Rejected { retry_after } if attempts < self.retries => {
+                    attempts += 1;
+                    std::thread::sleep(retry_after);
+                }
+                Response::Rejected { .. } | Response::Error(_) => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelRegistry;
+    use crate::service::{ServeConfig, Service};
+    use crate::testutil::tiny_forecast_artifact;
+    use dfv_scheduler::{Advice, AdvisorConfig, CongestionAdvisor, ForecastAdvisor};
+    use std::sync::Arc;
+
+    #[test]
+    fn advisor_consults_the_live_service() {
+        let registry = Arc::new(ModelRegistry::new());
+        let artifact = tiny_forecast_artifact("milc-16", 1);
+        let width = artifact.input_width();
+        registry.install(artifact).unwrap();
+        let service = Service::start(registry, ServeConfig::default());
+        let source = ServeForecastSource::new(service.handle(), 3);
+
+        let window: Vec<f64> = (0..width).map(|i| 1.0 + (i % 5) as f64).collect();
+        let query = ForecastQuery { app: "milc-16".into(), window, baseline: 1e-9 };
+        // The service answered (Some), and with a vanishing baseline any
+        // positive forecast reads as a predicted slowdown.
+        let predicted = source.forecast(&query).expect("service answered");
+        let advisor =
+            ForecastAdvisor::new(CongestionAdvisor::new(AdvisorConfig::new([])), source, 1.5);
+        let advice = advisor.advise([], 0.0, Some(&query));
+        if predicted > 1.5 * query.baseline {
+            assert!(matches!(advice, Advice::Delay { .. }));
+        } else {
+            assert_eq!(advice, Advice::SubmitNow);
+        }
+
+        // Unknown app: the source yields None and the advisor falls back.
+        let missing = ForecastQuery { app: "nope-16".into(), window: vec![0.0], baseline: 1.0 };
+        assert_eq!(advisor.advise([], 0.0, Some(&missing)), Advice::SubmitNow);
+        drop(advisor);
+        service.shutdown();
+    }
+}

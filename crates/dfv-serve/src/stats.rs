@@ -1,0 +1,295 @@
+//! Serving metrics: per-model latency histograms, throughput and cache
+//! hit rates, snapshotted into a [`ServeStats`] report.
+//!
+//! Latencies land in logarithmic (power-of-two nanosecond) buckets, so a
+//! single 64-bucket array spans 1 ns to ~18 s with bounded relative error;
+//! quantiles are read off the bucket boundaries. Recording is O(1) and
+//! allocation-free — it runs inside the batcher's hot loop.
+
+use crate::artifact::TaskKind;
+use crate::registry::ModelKey;
+use std::collections::HashMap;
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// Power-of-two-bucketed latency histogram.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum_nanos: u128,
+    max_nanos: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { counts: [0; BUCKETS], total: 0, sum_nanos: 0, max_nanos: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency.
+    pub fn record(&mut self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
+        // Bucket b holds latencies in [2^b, 2^(b+1)) ns; 0 ns lands in b=0.
+        let bucket = (64 - nanos.leading_zeros()).saturating_sub(1) as usize;
+        self.counts[bucket.min(BUCKETS - 1)] += 1;
+        self.total += 1;
+        self.sum_nanos += nanos as u128;
+        self.max_nanos = self.max_nanos.max(nanos);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency (zero when empty).
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.sum_nanos / self.total as u128) as u64)
+    }
+
+    /// Largest recorded latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_nanos)
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`), reported as the upper edge of the
+    /// bucket containing that rank — an upper bound within 2x of the true
+    /// value. Zero when empty.
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!(q > 0.0 && q <= 1.0, "quantile in (0, 1]");
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if b + 1 >= 64 { u64::MAX } else { (1u64 << (b + 1)) - 1 };
+                return Duration::from_nanos(upper.min(self.max_nanos));
+            }
+        }
+        Duration::from_nanos(self.max_nanos)
+    }
+}
+
+/// Mutable per-model counters the batcher updates in place.
+#[derive(Debug, Clone, Default)]
+pub struct ModelStats {
+    /// Requests answered (cache hits + model passes), excluding errors.
+    pub requests: u64,
+    /// Requests answered straight from the LRU cache.
+    pub cache_hits: u64,
+    /// Batched model passes executed.
+    pub batches: u64,
+    /// Rows that went through a model pass (requests - cache_hits).
+    pub batched_rows: u64,
+    /// Requests answered with an error for this model's key.
+    pub errors: u64,
+    /// End-to-end (enqueue to reply) latency distribution.
+    pub latency: LatencyHistogram,
+}
+
+/// Immutable snapshot of one model's serving counters.
+#[derive(Debug, Clone)]
+pub struct ModelStatsSnapshot {
+    /// Which model.
+    pub app: String,
+    /// Which task.
+    pub task: TaskKind,
+    /// Live model version at snapshot time (0 if the model vanished).
+    pub version: u64,
+    /// Requests answered.
+    pub requests: u64,
+    /// Cache hits among them.
+    pub cache_hits: u64,
+    /// Cache hit rate in [0, 1].
+    pub hit_rate: f64,
+    /// Batched model passes.
+    pub batches: u64,
+    /// Mean rows per model pass.
+    pub mean_batch: f64,
+    /// Errors for this key.
+    pub errors: u64,
+    /// Median end-to-end latency.
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Worst observed.
+    pub max: Duration,
+}
+
+/// A point-in-time report over the whole service.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Per-model snapshots, sorted by (app, task).
+    pub models: Vec<ModelStatsSnapshot>,
+    /// Requests answered across all models.
+    pub completed: u64,
+    /// Requests rejected at the queue (backpressure).
+    pub rejected: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+}
+
+impl ServeStats {
+    /// Build a report from the batcher's live counters.
+    pub fn from_counters(
+        counters: &HashMap<ModelKey, ModelStats>,
+        versions: impl Fn(&ModelKey) -> u64,
+        rejected: u64,
+    ) -> ServeStats {
+        let mut models: Vec<ModelStatsSnapshot> = counters
+            .iter()
+            .map(|(key, s)| ModelStatsSnapshot {
+                app: key.app.clone(),
+                task: key.task,
+                version: versions(key),
+                requests: s.requests,
+                cache_hits: s.cache_hits,
+                hit_rate: if s.requests > 0 {
+                    s.cache_hits as f64 / s.requests as f64
+                } else {
+                    0.0
+                },
+                batches: s.batches,
+                mean_batch: if s.batches > 0 {
+                    s.batched_rows as f64 / s.batches as f64
+                } else {
+                    0.0
+                },
+                errors: s.errors,
+                p50: s.latency.quantile(0.50),
+                p95: s.latency.quantile(0.95),
+                p99: s.latency.quantile(0.99),
+                max: s.latency.max(),
+            })
+            .collect();
+        models.sort_by(|a, b| (&a.app, a.task).cmp(&(&b.app, b.task)));
+        let completed = models.iter().map(|m| m.requests).sum();
+        let errors = models.iter().map(|m| m.errors).sum();
+        ServeStats { models, completed, rejected, errors }
+    }
+
+    /// Total cache hits across models.
+    pub fn cache_hits(&self) -> u64 {
+        self.models.iter().map(|m| m.cache_hits).sum()
+    }
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "serve: {} completed, {} rejected, {} errors, {} cache hits",
+            self.completed,
+            self.rejected,
+            self.errors,
+            self.cache_hits()
+        )?;
+        writeln!(
+            f,
+            "  {:<24} {:>4} {:>8} {:>7} {:>7} {:>9} {:>9} {:>9} {:>9}",
+            "model", "ver", "reqs", "hit%", "batch", "p50", "p95", "p99", "max"
+        )?;
+        for m in &self.models {
+            writeln!(
+                f,
+                "  {:<24} {:>4} {:>8} {:>6.1}% {:>7.2} {:>9} {:>9} {:>9} {:>9}",
+                format!("{}/{}", m.app, m.task.label()),
+                m.version,
+                m.requests,
+                100.0 * m.hit_rate,
+                m.mean_batch,
+                format!("{:?}", m.p50),
+                format!("{:?}", m.p95),
+                format!("{:?}", m.p99),
+                format!("{:?}", m.max),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_records_and_bounds_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for us in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile(0.5);
+        // True median 50us; bucket upper bound within 2x.
+        assert!(p50 >= Duration::from_micros(50) && p50 <= Duration::from_micros(128));
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= Duration::from_micros(1000));
+        assert_eq!(h.max(), Duration::from_millis(1));
+        assert!(h.mean() >= Duration::from_micros(100));
+        // Monotone in q.
+        assert!(h.quantile(0.1) <= h.quantile(0.9));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn zero_latency_is_representable() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(1.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_aggregates_and_sorts() {
+        let mut counters: HashMap<ModelKey, ModelStats> = HashMap::new();
+        let mut a = ModelStats::default();
+        a.requests = 10;
+        a.cache_hits = 4;
+        a.batches = 3;
+        a.batched_rows = 6;
+        a.latency.record(Duration::from_micros(5));
+        counters.insert(ModelKey::forecast("milc-16"), a);
+        let mut b = ModelStats::default();
+        b.requests = 5;
+        b.errors = 1;
+        counters.insert(ModelKey::deviation("amg-16"), b);
+
+        let stats = ServeStats::from_counters(&counters, |_| 7, 2);
+        assert_eq!(stats.completed, 15);
+        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.cache_hits(), 4);
+        assert_eq!(stats.models[0].app, "amg-16");
+        assert_eq!(stats.models[1].app, "milc-16");
+        assert!((stats.models[1].hit_rate - 0.4).abs() < 1e-12);
+        assert!((stats.models[1].mean_batch - 2.0).abs() < 1e-12);
+        assert_eq!(stats.models[0].version, 7);
+        let text = stats.to_string();
+        assert!(text.contains("milc-16/forecast"));
+        assert!(text.contains("rejected"));
+    }
+}

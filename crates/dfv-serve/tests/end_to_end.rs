@@ -1,0 +1,128 @@
+//! End-to-end: train offline, export JSON artifacts, load them into a
+//! registry, serve concurrent clients, and check served values are
+//! bit-for-bit equal to offline inference.
+
+use dfv_counters::FeatureSet;
+use dfv_mlkit::attention::{AttentionForecaster, AttentionParams};
+use dfv_mlkit::dataset::WindowDataset;
+use dfv_mlkit::gbr::{Gbr, GbrParams};
+use dfv_mlkit::matrix::Matrix;
+use dfv_serve::{ModelArtifact, ModelKey, ModelRegistry, Request, Response, ServeConfig, Service};
+use std::sync::Arc;
+
+fn deviation_artifact(app: &str, version: u64) -> ModelArtifact {
+    let mut x = Matrix::zeros(0, 4);
+    let mut y = Vec::new();
+    for i in 0..20 {
+        let row: Vec<f64> = (0..4).map(|j| ((i * 5 + j * 3) % 9) as f64).collect();
+        y.push(row[0] - 0.5 * row[2] + 0.1 * row[3]);
+        x.push_row(&row);
+    }
+    let params = GbrParams { n_trees: 6, subsample: 1.0, ..GbrParams::default() };
+    let gbr = Gbr::fit(&x, &y, &params);
+    let names = (0..4).map(|i| format!("f{i}")).collect();
+    ModelArtifact::deviation(app, version, FeatureSet::App, names, gbr)
+}
+
+fn forecast_artifact(app: &str, version: u64) -> ModelArtifact {
+    let (m, h, k) = (4, 3, 2);
+    let mut x = Matrix::zeros(0, m * h);
+    let mut y = Vec::new();
+    for i in 0..15 {
+        let row: Vec<f64> = (0..m * h).map(|j| 0.5 + ((i + j) % 6) as f64).collect();
+        y.push(row.iter().sum::<f64>() * 0.25);
+        x.push_row(&row);
+    }
+    let data = WindowDataset { x, y, m, h, k };
+    let params =
+        AttentionParams { d_attn: 4, hidden: 6, epochs: 5, batch: 5, ..AttentionParams::default() };
+    let model = AttentionForecaster::fit(&data, &params);
+    let names = (0..h).map(|i| format!("s{i}")).collect();
+    ModelArtifact::forecast(app, version, FeatureSet::App, names, k, model)
+}
+
+#[test]
+fn export_load_and_serve_concurrently_bit_for_bit() {
+    let dir = std::env::temp_dir().join(format!("dfv-serve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Export like a training campaign would.
+    let dev = deviation_artifact("amg-16", 1);
+    let fc = forecast_artifact("milc-16", 1);
+    for artifact in [&dev, &fc] {
+        std::fs::write(dir.join(artifact.file_name()), artifact.to_json()).unwrap();
+    }
+
+    // Load into a fresh registry — exercises the full JSON round trip.
+    let registry = Arc::new(ModelRegistry::new());
+    assert_eq!(registry.load_dir(&dir).unwrap(), 2);
+    let dev_width = registry.get(&ModelKey::deviation("amg-16")).unwrap().input_width();
+    let fc_width = registry.get(&ModelKey::forecast("milc-16")).unwrap().input_width();
+
+    let service = Service::start(
+        registry.clone(),
+        ServeConfig { queue_capacity: 16, max_batch: 8, ..ServeConfig::default() },
+    );
+
+    // 4 concurrent clients, mixed request types, retry on backpressure.
+    let workers: Vec<_> = (0..4)
+        .map(|t| {
+            let handle = service.handle();
+            std::thread::spawn(move || {
+                let mut results = Vec::new();
+                for i in 0..50 {
+                    let request = if (t + i) % 2 == 0 {
+                        Request::PredictDeviation {
+                            app: "amg-16".into(),
+                            step_features: (0..dev_width)
+                                .map(|j| ((i * 3 + j) % 7) as f64)
+                                .collect(),
+                        }
+                    } else {
+                        Request::Forecast {
+                            app: "milc-16".into(),
+                            window: (0..fc_width).map(|j| 0.5 + ((i + j) % 6) as f64).collect(),
+                        }
+                    };
+                    loop {
+                        match handle.request(request.clone()) {
+                            Response::Prediction { value, .. } => {
+                                results.push((request, value));
+                                break;
+                            }
+                            Response::Rejected { retry_after } => std::thread::sleep(retry_after),
+                            Response::Error(e) => panic!("serve error: {e}"),
+                        }
+                    }
+                }
+                results
+            })
+        })
+        .collect();
+
+    let mut served = Vec::new();
+    for worker in workers {
+        served.extend(worker.join().unwrap());
+    }
+    assert_eq!(served.len(), 200);
+
+    // Every served value equals offline inference with the same artifact.
+    for (request, value) in served {
+        let (artifact, row) = match &request {
+            Request::PredictDeviation { step_features, .. } => (&dev, step_features),
+            Request::Forecast { window, .. } => (&fc, window),
+        };
+        let mut m = Matrix::zeros(0, row.len());
+        m.push_row(row);
+        assert_eq!(value, artifact.predict_batch(&m)[0]);
+    }
+
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 200);
+    assert_eq!(stats.errors, 0);
+    // 50 distinct rows per task, 200 requests: repeats must have hit.
+    assert!(stats.cache_hits() >= 100, "cache hits: {}", stats.cache_hits());
+    assert!(stats.models.iter().all(|m| m.p99 > std::time::Duration::ZERO));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

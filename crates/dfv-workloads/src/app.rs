@@ -251,10 +251,7 @@ impl AppRun {
 
     /// Total bytes the run injects over all steps.
     pub fn total_bytes(&self) -> f64 {
-        self.steps
-            .iter()
-            .map(|s| self.templates[s.template].total_bytes() * s.comm_scale)
-            .sum()
+        self.steps.iter().map(|s| self.templates[s.template].total_bytes() * s.comm_scale).sum()
     }
 }
 

@@ -43,7 +43,11 @@ pub fn build(spec: &AppSpec, nodes: &[NodeId], num_steps: usize) -> AppRun {
     let steps = (0..num_steps)
         .map(|s| {
             if s < WARMUP_STEPS {
-                StepPlan { template: 0, comm_scale: WARMUP_COMM_SCALE, compute_time: COMPUTE_WARMUP }
+                StepPlan {
+                    template: 0,
+                    comm_scale: WARMUP_COMM_SCALE,
+                    compute_time: COMPUTE_WARMUP,
+                }
             } else {
                 StepPlan { template: 0, comm_scale: 1.0, compute_time: COMPUTE_FULL }
             }

@@ -146,10 +146,7 @@ mod tests {
     use super::*;
 
     fn split() -> RoutineSplit {
-        RoutineSplit::new(vec![
-            (MpiRoutine::Waitall, 3.0),
-            (MpiRoutine::Allreduce, 1.0),
-        ])
+        RoutineSplit::new(vec![(MpiRoutine::Waitall, 3.0), (MpiRoutine::Allreduce, 1.0)])
     }
 
     #[test]

@@ -44,8 +44,7 @@ pub fn stencil_3d(
                             if dx == 0 && dy == 0 && dz == 0 {
                                 continue;
                             }
-                            let (nx, ny, nz) =
-                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            let (nx, ny, nz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                             if nx < 0
                                 || ny < 0
                                 || nz < 0

@@ -13,11 +13,7 @@ fn main() {
     let config = CampaignConfig::quick();
     eprintln!("running the training campaign ...");
     let result = run_campaign(&config);
-    let ds = result
-        .datasets
-        .iter()
-        .find(|d| d.spec.kind == AppKind::Milc)
-        .expect("MILC dataset");
+    let ds = result.datasets.iter().find(|d| d.spec.kind == AppKind::Milc).expect("MILC dataset");
 
     let params = AttentionParams { epochs: 40, d_attn: 8, hidden: 16, ..Default::default() };
 
@@ -41,8 +37,7 @@ fn main() {
         long.num_groups
     );
 
-    let segments =
-        forecast_long_run(ds, &long, 10, 20, FeatureSet::AppPlacementIoSys, &params, 77);
+    let segments = forecast_long_run(ds, &long, 10, 20, FeatureSet::AppPlacementIoSys, &params, 77);
     println!("\n== predicting 20-step segments from the previous 10 steps (Figure 12) ==");
     println!("{:<10} {:>12} {:>12} {:>8}", "segment", "observed(s)", "predicted(s)", "error");
     for (i, (obs, pred)) in segments.iter().enumerate() {
@@ -56,10 +51,7 @@ fn main() {
     }
     let obs: Vec<f64> = segments.iter().map(|s| s.0).collect();
     let pred: Vec<f64> = segments.iter().map(|s| s.1).collect();
-    println!(
-        "\nsegment MAPE: {:.2}%",
-        dragonfly_variability::mlkit::metrics::mape(&obs, &pred)
-    );
+    println!("\nsegment MAPE: {:.2}%", dragonfly_variability::mlkit::metrics::mape(&obs, &pred));
     println!(
         "(quick-scale models carry visible bias when the held-out run saw a quieter\n\
          machine than training did — the paper calls this the model's irreducible\n\

@@ -56,7 +56,8 @@ fn main() {
     let idle = sim.simulate_step(&traffic, &idle_bg, 1, &mut scratch);
     let busy = sim.simulate_step(&traffic, &noisy, 1, &mut scratch);
 
-    println!("\nstep time idle: {:.4}s   next to neighbor: {:.4}s   slowdown {:.2}x",
+    println!(
+        "\nstep time idle: {:.4}s   next to neighbor: {:.4}s   slowdown {:.2}x",
         idle.comm_time,
         busy.comm_time,
         busy.comm_time / idle.comm_time

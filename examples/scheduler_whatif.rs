@@ -30,10 +30,10 @@ fn main() {
             if ds.runs.is_empty() {
                 continue;
             }
-            let mean_routers: f64 = ds.runs.iter().map(|r| r.num_routers as f64).sum::<f64>()
-                / ds.runs.len() as f64;
-            let mean_groups: f64 = ds.runs.iter().map(|r| r.num_groups as f64).sum::<f64>()
-                / ds.runs.len() as f64;
+            let mean_routers: f64 =
+                ds.runs.iter().map(|r| r.num_routers as f64).sum::<f64>() / ds.runs.len() as f64;
+            let mean_groups: f64 =
+                ds.runs.iter().map(|r| r.num_groups as f64).sum::<f64>() / ds.runs.len() as f64;
             println!(
                 "{:<16} {:<14} {:>8} {:>9.2} {:>9.2} {:>7.2} {:>9.1} {:>8.1}",
                 name,
@@ -82,10 +82,7 @@ fn main() {
             100.0 * c.advised_exposure,
         );
     }
-    println!(
-        "mean run-time change with the advisor: {:+.1}%",
-        100.0 * outcome.mean_improvement()
-    );
+    println!("mean run-time change with the advisor: {:+.1}%", 100.0 * outcome.mean_improvement());
     if outcome.mean_improvement() >= 0.0 {
         println!(
             "(no win here: when the blocked users are running most of the time, holding

@@ -1,0 +1,213 @@
+//! End-to-end serving demo: train a small campaign's models, export them
+//! as versioned artifacts, load them into a registry, and hammer the
+//! inference service with 10,000 mixed requests from 4 client threads.
+//!
+//! Every served prediction is checked bit-for-bit against offline
+//! inference with the same artifact; queue-full rejections are retried
+//! (never dropped); and the run ends with the service's latency /
+//! throughput / cache statistics plus a scheduler-integration cameo.
+//!
+//! Run with: `cargo run --release --example serve_demo`
+
+use dfv_experiments::deviation::deviation_dataset;
+use dfv_experiments::forecast::{window_dataset, ForecastSpec};
+use dfv_experiments::serving::{train_and_export, train_artifacts, ServeTrainConfig};
+use dfv_experiments::{run_campaign, CampaignConfig, RunRecord};
+use dfv_mlkit::attention::AttentionParams;
+use dfv_mlkit::gbr::GbrParams;
+use dfv_mlkit::matrix::Matrix;
+use dfv_scheduler::{Advice, AdvisorConfig, CongestionAdvisor, ForecastAdvisor, ForecastQuery};
+use dfv_serve::{
+    ModelRegistry, Request, Response, ServeConfig, ServeForecastSource, Service, TaskKind,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 2500;
+const BURST: usize = 32;
+
+fn main() {
+    // 1. Offline: run a small campaign and train the serving artifacts.
+    println!("== training campaign (quick config) ==");
+    let t0 = Instant::now();
+    let campaign = run_campaign(&CampaignConfig::quick());
+    let config = ServeTrainConfig {
+        fspec: ForecastSpec { m: 5, k: 5, features: dfv_counters::FeatureSet::AppPlacement },
+        gbr: GbrParams { n_trees: 20, ..GbrParams::default() },
+        attention: AttentionParams { epochs: 8, d_attn: 8, hidden: 16, ..Default::default() },
+        version: 1,
+    };
+    let artifacts = train_artifacts(&campaign, &config);
+    let dir = std::env::temp_dir().join(format!("dfv-serve-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let paths = train_and_export(&campaign, &config, &dir).expect("export artifacts");
+    println!(
+        "trained {} artifacts in {:.1?}, exported to {}",
+        artifacts.len(),
+        t0.elapsed(),
+        dir.display()
+    );
+    for path in &paths {
+        println!("  {}", path.file_name().unwrap().to_string_lossy());
+    }
+
+    // 2. Online: load the artifact directory into a registry and serve it.
+    let registry = Arc::new(ModelRegistry::new());
+    let installed = registry.load_dir(&dir).expect("load artifacts");
+    assert_eq!(installed, artifacts.len());
+    // A deliberately tight queue so concurrent bursts exercise backpressure.
+    let service = Service::start(
+        registry,
+        ServeConfig {
+            queue_capacity: 8,
+            max_batch: 16,
+            cache_capacity: 1024,
+            retry_after: Duration::from_micros(200),
+        },
+    );
+
+    // 3. A pool of (request, offline-expected) pairs drawn from real
+    //    campaign rows. The pool repeats across 10k requests, so the
+    //    prediction cache gets real hits.
+    let mut pool: Vec<(Request, f64)> = Vec::new();
+    for ds in &campaign.datasets {
+        let app = ds.spec.label();
+        let deviation = artifacts
+            .iter()
+            .find(|a| a.app == app && a.task() == TaskKind::Deviation)
+            .expect("deviation artifact per app");
+        let (data, _offsets) = deviation_dataset(ds);
+        for r in (0..data.x.rows()).step_by(data.x.rows() / 40 + 1) {
+            let row = data.x.row(r).to_vec();
+            let mut m = Matrix::zeros(0, row.len());
+            m.push_row(&row);
+            let expected = deviation.predict_batch(&m)[0];
+            pool.push((
+                Request::PredictDeviation { app: app.clone(), step_features: row },
+                expected,
+            ));
+        }
+        if let Some(forecast) =
+            artifacts.iter().find(|a| a.app == app && a.task() == TaskKind::Forecast)
+        {
+            let runs: Vec<&RunRecord> = ds.runs.iter().collect();
+            let windows = window_dataset(&runs, &config.fspec);
+            for r in (0..windows.x.rows()).step_by(windows.x.rows() / 40 + 1) {
+                let row = windows.x.row(r).to_vec();
+                let mut m = Matrix::zeros(0, row.len());
+                m.push_row(&row);
+                let expected = forecast.predict_batch(&m)[0];
+                pool.push((Request::Forecast { app: app.clone(), window: row }, expected));
+            }
+        }
+    }
+    println!(
+        "\n== serving {} requests from {CLIENTS} clients ({} distinct rows) ==",
+        CLIENTS * REQUESTS_PER_CLIENT,
+        pool.len()
+    );
+
+    // 4. Hammer the service: each client submits bursts of pipelined
+    //    requests, retries rejections, and checks every answer bit-for-bit.
+    let t1 = Instant::now();
+    let pool = Arc::new(pool);
+    let mut clients = Vec::new();
+    for t in 0..CLIENTS {
+        let handle = service.handle();
+        let pool = pool.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut rejections = 0u64;
+            let mut served = 0u64;
+            let items: Vec<usize> =
+                (0..REQUESTS_PER_CLIENT).map(|i| (t * 131 + i * 17) % pool.len()).collect();
+            for chunk in items.chunks(BURST) {
+                let mut pending = Vec::with_capacity(chunk.len());
+                for &idx in chunk {
+                    loop {
+                        match handle.submit(pool[idx].0.clone()) {
+                            Ok(p) => {
+                                pending.push((idx, p));
+                                break;
+                            }
+                            Err(Response::Rejected { retry_after }) => {
+                                rejections += 1;
+                                std::thread::sleep(retry_after);
+                            }
+                            Err(other) => panic!("unexpected submit failure: {other:?}"),
+                        }
+                    }
+                }
+                for (idx, p) in pending {
+                    match p.wait() {
+                        Response::Prediction { value, model_version, .. } => {
+                            // The acceptance bar: served == offline, exactly.
+                            assert_eq!(
+                                value.to_bits(),
+                                pool[idx].1.to_bits(),
+                                "served prediction diverged from offline inference"
+                            );
+                            assert_eq!(model_version, 1);
+                            served += 1;
+                        }
+                        other => panic!("unexpected response: {other:?}"),
+                    }
+                }
+            }
+            (served, rejections)
+        }));
+    }
+    let mut served = 0u64;
+    let mut rejections = 0u64;
+    for client in clients {
+        let (s, r) = client.join().expect("client thread");
+        served += s;
+        rejections += r;
+    }
+    let elapsed = t1.elapsed();
+
+    // 5. Report.
+    let stats = service.shutdown();
+    println!(
+        "served {served} requests in {elapsed:.1?} ({:.0} req/s), {rejections} rejections (all retried)",
+        served as f64 / elapsed.as_secs_f64()
+    );
+    println!("\n{stats}");
+    assert_eq!(served as usize, CLIENTS * REQUESTS_PER_CLIENT);
+    assert_eq!(stats.completed, served);
+    assert_eq!(stats.rejected, rejections);
+    assert_eq!(stats.errors, 0);
+    assert!(stats.cache_hits() > 0, "repeated rows must hit the prediction cache");
+    assert!(stats.models.iter().any(|m| m.p99 > Duration::ZERO));
+
+    // 6. Scheduler cameo: the congestion advisor consulting live forecasts.
+    let (query_app, window, predicted) = pool
+        .iter()
+        .find_map(|(request, expected)| match request {
+            Request::Forecast { app, window } => Some((app.clone(), window.clone(), *expected)),
+            _ => None,
+        })
+        .expect("pool has forecast requests");
+    let service = {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.load_dir(&dir).unwrap();
+        Service::start(registry, ServeConfig::default())
+    };
+    let source = ServeForecastSource::new(service.handle(), 5);
+    let advisor = ForecastAdvisor::new(CongestionAdvisor::new(AdvisorConfig::new([])), source, 1.5);
+    for (label, baseline) in
+        [("clear weather", predicted / 1.2), ("predicted congestion", predicted / 2.0)]
+    {
+        let query = ForecastQuery { app: query_app.clone(), window: window.clone(), baseline };
+        match advisor.advise([], 0.0, Some(&query)) {
+            Advice::SubmitNow => println!("advisor[{label}]: submit now"),
+            Advice::Delay { recheck_in } => {
+                println!("advisor[{label}]: delay, recheck in {recheck_in}s")
+            }
+        }
+    }
+    drop(advisor);
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("\nserve demo OK");
+}

@@ -55,12 +55,10 @@ fn main() {
     }
     println!("\nusers recurring across datasets (the paper's heavy hitters):");
     for (user, count) in &analysis.recurring {
-        let archetype = result
-            .users
-            .iter()
-            .find(|u| u.id == *user)
-            .map(|u| u.archetype.job_name())
-            .unwrap_or(if *user == result.probe_user { "the probe user themselves" } else { "?" });
+        let archetype =
+            result.users.iter().find(|u| u.id == *user).map(|u| u.archetype.job_name()).unwrap_or(
+                if *user == result.probe_user { "the probe user themselves" } else { "?" },
+            );
         println!("  {user} appears in {count} dataset lists (runs {archetype})");
     }
 }

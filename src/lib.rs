@@ -49,6 +49,9 @@ pub use dfv_scheduler as scheduler;
 /// The from-scratch ML kit (trees, GBR, RFE, MI, attention forecaster).
 pub use dfv_mlkit as mlkit;
 
+/// The online model-serving subsystem (registry, micro-batching, caching).
+pub use dfv_serve as serve;
+
 /// The campaign driver and the paper's three analyses.
 pub use dfv_experiments as experiments;
 
@@ -62,14 +65,16 @@ pub mod prelude {
         Placement, RouterId, RoutingPolicy, SimScratch, StepTelemetry, Topology, Traffic,
     };
     pub use dfv_experiments::{
-        analyze_deviation, run_campaign, simulate_long_run, AppDataset, CampaignConfig,
-        CampaignResult, RunRecord,
+        analyze_deviation, run_campaign, simulate_long_run, train_and_export, AppDataset,
+        CampaignConfig, CampaignResult, RunRecord, ServeTrainConfig,
     };
     pub use dfv_mlkit::{
-        AttentionForecaster, AttentionParams, Dataset, Gbr, GbrParams, Matrix, Ridge,
-        WindowDataset,
+        AttentionForecaster, AttentionParams, Dataset, Gbr, GbrParams, Matrix, Ridge, WindowDataset,
     };
     pub use dfv_scheduler::{Archetype, Cluster, JobRequest, UserId};
+    pub use dfv_serve::{
+        ModelArtifact, ModelKey, ModelRegistry, Request, Response, ServeConfig, ServeStats, Service,
+    };
     pub use dfv_workloads::{AppKind, AppRun, AppSpec, MpiProfile, MpiRoutine};
 }
 

@@ -132,8 +132,5 @@ fn counter_bank_matches_direct_session_deltas() {
     let after = bank.snapshot(r0);
     let delta = CounterBank::delta(&before, &after)[Counter::RtFlitTot.index()];
     // The bank truncates fractional flits per step; allow one per step.
-    assert!(
-        (delta as f64 - direct).abs() <= 3.0,
-        "bank delta {delta} vs direct {direct}"
-    );
+    assert!((delta as f64 - direct).abs() <= 3.0, "bank delta {delta} vs direct {direct}");
 }

@@ -57,11 +57,7 @@ fn analyses_are_deterministic_given_a_campaign() {
     assert_eq!(d1.rfe.fold_mape, d2.rfe.fold_mape);
 
     let milc = result.datasets.iter().find(|d| d.spec.kind == AppKind::Milc).unwrap();
-    let fspec = ForecastSpec {
-        m: 5,
-        k: 10,
-        features: FeatureSet::AppPlacement,
-    };
+    let fspec = ForecastSpec { m: 5, k: 10, features: FeatureSet::AppPlacement };
     let params = AttentionParams { epochs: 8, d_attn: 4, hidden: 8, ..Default::default() };
     let f1 = evaluate(milc, &fspec, &params, 2, 3);
     let f2 = evaluate(milc, &fspec, &params, 2, 3);

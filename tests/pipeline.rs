@@ -113,13 +113,8 @@ fn forecaster_improves_with_context_or_features() {
     let result = campaign();
     let ds = result.datasets.iter().find(|d| d.spec.kind == AppKind::Milc).unwrap();
     let params = AttentionParams { epochs: 25, d_attn: 8, hidden: 16, ..Default::default() };
-    let short = evaluate(
-        ds,
-        &ForecastSpec { m: 3, k: 10, features: FeatureSet::App },
-        &params,
-        3,
-        2,
-    );
+    let short =
+        evaluate(ds, &ForecastSpec { m: 3, k: 10, features: FeatureSet::App }, &params, 3, 2);
     let long = evaluate(
         ds,
         &ForecastSpec { m: 10, k: 20, features: FeatureSet::AppPlacementIoSys },
