@@ -10,6 +10,7 @@ use dfv_mlkit::matrix::Matrix;
 use dfv_mlkit::mi::mutual_information_binary;
 use dfv_mlkit::rfe::{rfe, RfeParams};
 use dfv_mlkit::ridge::Ridge;
+use dfv_mlkit::tree::{RegressionTree, TreeParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -56,6 +57,43 @@ fn bench_gbr(c: &mut Criterion) {
     g.finish();
 }
 
+/// Single-tree fits, pre-sorted vs the naive per-node sorting baseline
+/// (compiled via dfv-mlkit's `naive` feature). `RegressionTree::fit`
+/// includes the context build, so this is the honest one-shot cost; the
+/// boosting and RFE paths amortize the pre-sort across many trees.
+fn bench_tree_fit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mlkit/tree_fit");
+    g.sample_size(10);
+    for &n in &[200usize, 2000, 20000] {
+        let data = synth(n, 7);
+        let idx: Vec<usize> = (0..n).collect();
+        g.bench_function(format!("presorted/{n}"), |b| {
+            b.iter(|| RegressionTree::fit(&data.x, &data.y, &idx, &TreeParams::default()))
+        });
+        g.bench_function(format!("naive/{n}"), |b| {
+            b.iter(|| RegressionTree::fit_naive(&data.x, &data.y, &idx, &TreeParams::default()))
+        });
+    }
+    g.finish();
+}
+
+/// Full GBR fits (60 trees, 13 features), pre-sorted vs naive baseline —
+/// the numbers recorded in BENCH_mlkit.json at the repo root.
+fn bench_gbr_fit_vs_baseline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mlkit/gbr_fit");
+    g.sample_size(10);
+    for &n in &[200usize, 2000, 20000] {
+        let data = synth(n, 1);
+        g.bench_function(format!("presorted/{n}"), |b| {
+            b.iter(|| Gbr::fit(&data.x, &data.y, &GbrParams::default()))
+        });
+        g.bench_function(format!("baseline/{n}"), |b| {
+            b.iter(|| Gbr::fit_naive(&data.x, &data.y, &GbrParams::default()))
+        });
+    }
+    g.finish();
+}
+
 fn bench_rfe(c: &mut Criterion) {
     let data = synth(1000, 2);
     let params =
@@ -91,5 +129,13 @@ fn bench_ridge_and_mi(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gbr, bench_rfe, bench_attention, bench_ridge_and_mi);
+criterion_group!(
+    benches,
+    bench_gbr,
+    bench_tree_fit,
+    bench_gbr_fit_vs_baseline,
+    bench_rfe,
+    bench_attention,
+    bench_ridge_and_mi
+);
 criterion_main!(benches);

@@ -55,7 +55,7 @@ pub fn deviation_dataset(ds: &AppDataset) -> (Dataset, Vec<f64>) {
         }
     }
 
-    let mut x = Matrix::zeros(0, Counter::COUNT);
+    let mut x = Matrix::with_capacity(n_runs * t_steps, Counter::COUNT);
     let mut y = Vec::with_capacity(n_runs * t_steps);
     let mut offsets = Vec::with_capacity(n_runs * t_steps);
     let mut row = vec![0.0; Counter::COUNT];

@@ -56,8 +56,12 @@ pub fn train_artifacts(result: &CampaignResult, config: &ServeTrainConfig) -> Ve
             let mut out = Vec::with_capacity(2);
 
             // The deviation dataset is the 13 raw counters, mean-centered.
+            // One pre-sorted TrainingContext serves all boosting rounds;
+            // retrains produce bit-identical artifacts to the naive trainer.
             let (data, _offsets) = deviation_dataset(ds);
-            let gbr = Gbr::fit(&data.x, &data.y, &config.gbr);
+            let mut ctx = dfv_mlkit::tree::TrainingContext::new(&data.x);
+            let features: Vec<usize> = (0..data.d()).collect();
+            let gbr = Gbr::fit_in(&mut ctx, &data.y, &features, &config.gbr);
             out.push(ModelArtifact::deviation(
                 &app,
                 config.version,

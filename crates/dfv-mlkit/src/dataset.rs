@@ -211,6 +211,9 @@ impl WindowDataset {
             return;
         }
         let mut row = Vec::with_capacity(self.m * self.h);
+        let windows = t_total - self.k - (self.m - 1);
+        self.x.reserve_rows(windows);
+        self.y.reserve(windows);
         for tc in (self.m - 1)..(t_total - self.k) {
             row.clear();
             for t in (tc + 1 - self.m)..=tc {

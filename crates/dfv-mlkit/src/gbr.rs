@@ -6,9 +6,15 @@
 //! the current residuals and adds it with a shrinkage factor. Stochastic
 //! subsampling of the training rows per iteration both speeds up and
 //! regularizes the fit.
+//!
+//! Training runs through one shared [`TrainingContext`]: the per-feature
+//! sort orders are computed once and reused by every boosting iteration,
+//! and the prediction update after each tree is leaf-indexed — sampled rows
+//! land in their leaf during tree construction, so the update is an O(n)
+//! table lookup rather than n root-to-leaf traversals.
 
 use crate::matrix::Matrix;
-use crate::tree::{RegressionTree, TreeParams};
+use crate::tree::{RegressionTree, TrainingContext, TreeParams};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -64,7 +70,27 @@ pub struct Gbr {
 impl Gbr {
     /// Fit on a feature matrix and targets.
     pub fn fit(x: &Matrix, y: &[f64], params: &GbrParams) -> Self {
-        assert_eq!(x.rows(), y.len(), "x/y mismatch");
+        let mut ctx = TrainingContext::new(x);
+        let features: Vec<usize> = (0..x.cols()).collect();
+        Gbr::fit_in(&mut ctx, y, &features, params)
+    }
+
+    /// Fit through an existing [`TrainingContext`], restricted to the
+    /// feature columns in `features`. The context's pre-sort is reused by
+    /// every boosting iteration (and by subsequent fits on the same
+    /// matrix, e.g. the RFE elimination loop), so only the first fit on a
+    /// matrix pays the O(d·n log n) sorting cost.
+    ///
+    /// Trees reference *original* column indices, so the model predicts on
+    /// full-width rows and `importances` has one slot per column of the
+    /// context's matrix (zero for unselected features).
+    pub fn fit_in(
+        ctx: &mut TrainingContext,
+        y: &[f64],
+        features: &[usize],
+        params: &GbrParams,
+    ) -> Self {
+        assert_eq!(ctx.num_rows(), y.len(), "x/y mismatch");
         assert!(!y.is_empty(), "cannot fit on zero samples");
         assert!(params.subsample > 0.0 && params.subsample <= 1.0, "subsample in (0, 1]");
         let n = y.len();
@@ -72,7 +98,7 @@ impl Gbr {
         let mut pred = vec![init; n];
         let mut residual = vec![0.0; n];
         let mut trees = Vec::with_capacity(params.n_trees);
-        let mut importances = vec![0.0; x.cols()];
+        let mut importances = vec![0.0; ctx.num_features()];
         let mut rng = StdRng::seed_from_u64(params.seed);
         let mut all_idx: Vec<usize> = (0..n).collect();
         let sample_size = ((n as f64) * params.subsample).ceil() as usize;
@@ -83,10 +109,12 @@ impl Gbr {
             }
             all_idx.shuffle(&mut rng);
             let idx = &all_idx[..sample_size.max(1)];
-            let tree = RegressionTree::fit(x, &residual, idx, &params.tree);
+            let tree = ctx.fit_tree(&residual, idx, features, &params.tree);
             tree.accumulate_importances(&mut importances);
+            // Leaf-indexed update: sampled rows resolve by O(1) table
+            // lookup, the rest traverse the tree over the column store.
             for i in 0..n {
-                pred[i] += params.learning_rate * tree.predict_row(x.row(i));
+                pred[i] += params.learning_rate * ctx.predict_training_row(&tree, i);
             }
             trees.push(tree);
         }
@@ -121,6 +149,44 @@ impl Gbr {
     /// Width of the feature vectors the model was fitted on.
     pub fn num_features(&self) -> usize {
         self.importances.len()
+    }
+}
+
+#[cfg(any(test, feature = "naive"))]
+impl Gbr {
+    /// Reference fit: the original boosting loop over the naive per-node
+    /// sorting tree trainer, with a full tree traversal per row in the
+    /// prediction update. Bit-for-bit equivalent to [`Gbr::fit`]; kept for
+    /// equivalence tests and baseline benchmarks.
+    #[doc(hidden)]
+    pub fn fit_naive(x: &Matrix, y: &[f64], params: &GbrParams) -> Self {
+        assert_eq!(x.rows(), y.len(), "x/y mismatch");
+        assert!(!y.is_empty(), "cannot fit on zero samples");
+        assert!(params.subsample > 0.0 && params.subsample <= 1.0, "subsample in (0, 1]");
+        let n = y.len();
+        let init = y.iter().sum::<f64>() / n as f64;
+        let mut pred = vec![init; n];
+        let mut residual = vec![0.0; n];
+        let mut trees = Vec::with_capacity(params.n_trees);
+        let mut importances = vec![0.0; x.cols()];
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut all_idx: Vec<usize> = (0..n).collect();
+        let sample_size = ((n as f64) * params.subsample).ceil() as usize;
+
+        for _ in 0..params.n_trees {
+            for i in 0..n {
+                residual[i] = y[i] - pred[i];
+            }
+            all_idx.shuffle(&mut rng);
+            let idx = &all_idx[..sample_size.max(1)];
+            let tree = RegressionTree::fit_naive(x, &residual, idx, &params.tree);
+            tree.accumulate_importances(&mut importances);
+            for i in 0..n {
+                pred[i] += params.learning_rate * tree.predict_row(x.row(i));
+            }
+            trees.push(tree);
+        }
+        Gbr { init, learning_rate: params.learning_rate, trees, importances }
     }
 }
 
@@ -201,5 +267,88 @@ mod tests {
         let p = GbrParams { subsample: 0.5, seed: 3, ..params_fast() };
         let g = Gbr::fit(&x, &y, &p);
         assert!(r2(&y, &g.predict(&x)) > 0.9);
+    }
+
+    /// Every seeded dataset this module tests on, as (x, y, params) cases
+    /// for the old-vs-new equivalence test.
+    fn equivalence_cases() -> Vec<(Matrix, Vec<f64>, GbrParams)> {
+        let mut cases = Vec::new();
+
+        let rows: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 10.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] + 1.0).collect();
+        cases.push((Matrix::from_rows(&rows), y, params_fast()));
+
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                rows.push(vec![i as f64, j as f64]);
+            }
+        }
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * r[1]).collect();
+        cases.push((Matrix::from_rows(&rows), y, params_fast()));
+
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![1.0, (i % 10) as f64, 2.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[1] * 5.0).collect();
+        cases.push((Matrix::from_rows(&rows), y, params_fast()));
+
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 7) as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0] * 2.0).collect();
+        cases.push((
+            Matrix::from_rows(&rows),
+            y,
+            GbrParams { subsample: 0.5, seed: 9, ..params_fast() },
+        ));
+
+        let rows: Vec<Vec<f64>> = (0..300).map(|i| vec![i as f64 / 30.0]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0].powi(2)).collect();
+        cases.push((
+            Matrix::from_rows(&rows),
+            y,
+            GbrParams { subsample: 0.5, seed: 3, ..params_fast() },
+        ));
+
+        cases
+    }
+
+    #[test]
+    fn presorted_fit_matches_naive_bit_for_bit() {
+        for (case, (x, y, p)) in equivalence_cases().into_iter().enumerate() {
+            let fast = Gbr::fit(&x, &y, &p);
+            let naive = Gbr::fit_naive(&x, &y, &p);
+            // Whole models: identical trees (features, thresholds, gains),
+            // init, and importances — not just close predictions.
+            assert_eq!(fast, naive, "case {case}");
+            let (pf, pn) = (fast.predict(&x), naive.predict(&x));
+            for (a, b) in pf.iter().zip(&pn) {
+                assert_eq!(a.to_bits(), b.to_bits(), "case {case}");
+            }
+        }
+    }
+
+    #[test]
+    fn fit_in_feature_subset_matches_fit_on_materialized_subset() {
+        let rows: Vec<Vec<f64>> =
+            (0..120).map(|i| vec![(i % 11) as f64, ((i * 7) % 5) as f64, (i % 3) as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] - r[2] + 0.1 * r[1]).collect();
+        let x = Matrix::from_rows(&rows);
+        let sub_rows: Vec<Vec<f64>> = rows.iter().map(|r| vec![r[0], r[2]]).collect();
+        let xs = Matrix::from_rows(&sub_rows);
+        let p = GbrParams { n_trees: 25, subsample: 0.8, seed: 4, ..Default::default() };
+
+        let mut ctx = TrainingContext::new(&x);
+        let a = Gbr::fit_in(&mut ctx, &y, &[0, 2], &p);
+        let b = Gbr::fit(&xs, &y, &p);
+        for r in 0..x.rows() {
+            assert_eq!(
+                a.predict_row(x.row(r)).to_bits(),
+                b.predict_row(xs.row(r)).to_bits(),
+                "row {r}"
+            );
+        }
+        // Importances sit at original column indices, zero elsewhere.
+        let (ia, ib) = (a.feature_importances(), b.feature_importances());
+        assert_eq!(ia[0].to_bits(), ib[0].to_bits());
+        assert_eq!(ia[2].to_bits(), ib[1].to_bits());
+        assert_eq!(ia[1], 0.0);
     }
 }

@@ -36,4 +36,4 @@ pub use matrix::Matrix;
 pub use mi::{binary_entropy, mutual_information_binary, mutual_information_discrete};
 pub use rfe::{rfe, RfeParams, RfeResult};
 pub use ridge::Ridge;
-pub use tree::{RegressionTree, TreeParams};
+pub use tree::{RegressionTree, TrainingContext, TreeParams};

@@ -19,6 +19,18 @@ impl Matrix {
         Matrix { rows, cols, data: vec![0.0; rows * cols] }
     }
 
+    /// Empty matrix (zero rows) with capacity reserved for `rows` rows —
+    /// for incremental construction via [`Matrix::push_row`] without
+    /// intermediate reallocations.
+    pub fn with_capacity(rows: usize, cols: usize) -> Self {
+        Matrix { rows: 0, cols, data: Vec::with_capacity(rows * cols) }
+    }
+
+    /// Reserve capacity for at least `additional` more rows.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.data.reserve(additional * self.cols);
+    }
+
     /// Build from a row-major data vector. Panics on shape mismatch.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), rows * cols, "shape mismatch");
@@ -199,6 +211,16 @@ mod tests {
         assert_eq!(m.get(1, 2), 6.0);
         assert_eq!(m.row(1), &[0.0, 0.0, 6.0]);
         assert_eq!(m.col(2), vec![0.0, 6.0]);
+    }
+
+    #[test]
+    fn with_capacity_builds_incrementally() {
+        let mut m = Matrix::with_capacity(2, 3);
+        assert_eq!((m.rows(), m.cols()), (0, 3));
+        m.push_row(&[1.0, 2.0, 3.0]);
+        m.reserve_rows(1);
+        m.push_row(&[4.0, 5.0, 6.0]);
+        assert_eq!(m, Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]));
     }
 
     #[test]

@@ -9,10 +9,16 @@
 //! likelihood of being chosen as a well-performing feature across all the
 //! cross-validation splits". Scores are normalized to sum to 1 so they are
 //! comparable across datasets (Figure 9).
+//!
+//! Each fold builds one [`TrainingContext`] over its training rows and runs
+//! every elimination stage through it via [`Gbr::fit_in`]: the per-feature
+//! pre-sort is paid once per fold instead of once per (stage, tree), and
+//! feature subsets are column views — no subset matrix per stage.
 
 use crate::dataset::{kfold, Dataset};
 use crate::gbr::{Gbr, GbrParams};
 use crate::metrics::{mape, rmse};
+use crate::tree::TrainingContext;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -91,8 +97,16 @@ pub fn rfe(data: &Dataset, offsets: Option<&[f64]>, params: &RfeParams) -> RfeRe
             let mut gbr_params = params.gbr;
             gbr_params.seed = params.gbr.seed.wrapping_add(fold_i as u64);
 
+            // One pre-sorted training context per fold: the fold's training
+            // rows never change across elimination stages, so the per-feature
+            // sort orders are computed once and shared by every GBR fit below
+            // (the elimination stages select feature subsets as column views
+            // — no subset matrix is materialized per stage).
+            let mut ctx = TrainingContext::new(&train.x);
+            let all_features: Vec<usize> = (0..d).collect();
+
             // Full-feature model error for reporting.
-            let full = Gbr::fit(&train.x, &train.y, &gbr_params);
+            let full = Gbr::fit_in(&mut ctx, &train.y, &all_features, &gbr_params);
             let pred = full.predict(&test.x);
             let (abs_truth, abs_pred): (Vec<f64>, Vec<f64>) = match offsets {
                 Some(off) => test_idx
@@ -110,23 +124,21 @@ pub fn rfe(data: &Dataset, offsets: Option<&[f64]>, params: &RfeParams) -> RfeRe
             let mut order: Vec<usize> = Vec::with_capacity(d);
             let mut stage_errors: Vec<(Vec<usize>, f64)> = Vec::new();
             while surviving.len() > 1 {
-                let tr = train.select_features(&surviving);
-                let te = test.select_features(&surviving);
-                let model = Gbr::fit(&tr.x, &tr.y, &gbr_params);
-                let err = rmse(&te.y, &model.predict(&te.x));
+                let model = Gbr::fit_in(&mut ctx, &train.y, &surviving, &gbr_params);
+                let err = rmse(&test.y, &model.predict(&test.x));
                 stage_errors.push((surviving.clone(), err));
+                // Importances are full-width (original column indices);
+                // unselected features score exactly zero.
                 let imp = model.feature_importances();
                 let worst_pos = (0..surviving.len())
-                    .min_by(|&a, &b| imp[a].total_cmp(&imp[b]))
+                    .min_by(|&a, &b| imp[surviving[a]].total_cmp(&imp[surviving[b]]))
                     .expect("non-empty");
                 order.push(surviving.remove(worst_pos));
             }
             // Final single feature stage.
             {
-                let tr = train.select_features(&surviving);
-                let te = test.select_features(&surviving);
-                let model = Gbr::fit(&tr.x, &tr.y, &gbr_params);
-                let err = rmse(&te.y, &model.predict(&te.x));
+                let model = Gbr::fit_in(&mut ctx, &train.y, &surviving, &gbr_params);
+                let err = rmse(&test.y, &model.predict(&test.x));
                 stage_errors.push((surviving.clone(), err));
             }
             order.push(surviving[0]);

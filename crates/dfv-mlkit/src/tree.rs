@@ -1,7 +1,29 @@
 //! CART regression trees: the base learners of the gradient boosted
 //! regressor (Section IV-B).
+//!
+//! Training uses an **exact pre-sorted algorithm**. A [`TrainingContext`]
+//! computes, once per feature matrix, a column-major copy of the features
+//! and the order of all rows sorted by each feature. Every tree fitted
+//! through the context derives its sample's per-feature sort orders from
+//! that global pre-sort in O(n) per feature, then maintains them down the
+//! tree with stable partitioning — so each node's split search is a single
+//! linear sweep with prefix sums instead of a fresh O(n log n) sort per
+//! (node, feature) pair.
+//!
+//! The rewrite is *exact*: split choices, thresholds, gains and therefore
+//! predictions are bit-for-bit identical to the original per-node sorting
+//! implementation (kept below as `fit_naive`/`best_split_naive` for tests
+//! and benchmarks). Two invariants make that hold:
+//!
+//! 1. every per-node sorted order equals a stable sort of the node's
+//!    sample order by feature value, which pins the floating-point
+//!    summation order of the prefix sums, and
+//! 2. the per-feature scans (which may run in parallel) are reduced
+//!    deterministically — highest gain wins, ties go to the lowest
+//!    feature index — matching the sequential scan's first-max choice.
 
 use crate::matrix::Matrix;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Tree growing parameters.
@@ -34,43 +56,268 @@ pub struct RegressionTree {
     num_features: usize,
 }
 
-impl RegressionTree {
-    /// Fit on the rows of `x` selected by `idx` with targets `y`.
-    pub fn fit(x: &Matrix, y: &[f64], idx: &[usize], params: &TreeParams) -> Self {
-        assert_eq!(x.rows(), y.len(), "x/y mismatch");
-        assert!(!idx.is_empty(), "cannot fit on zero samples");
-        let mut tree = RegressionTree { nodes: Vec::new(), num_features: x.cols() };
-        let mut idx = idx.to_vec();
-        tree.build(x, y, &mut idx, 0, params);
-        tree
+/// Sentinel rank for rows outside the current fit's sample.
+const NO_RANK: u32 = u32::MAX;
+
+/// Per-feature scans run in parallel only when a node has at least this
+/// much work (rows x features); below it the rayon dispatch overhead
+/// dominates. The reduction is deterministic, so the threshold does not
+/// affect results.
+const MIN_PARALLEL_WORK: usize = 16384;
+
+/// Reusable pre-sorted training state for one feature matrix.
+///
+/// Owns a column-major copy of the features, the global per-feature sort
+/// orders (computed once), and the scratch buffers shared by every tree
+/// fitted through [`TrainingContext::fit_tree`] — the boosting loop and
+/// the RFE elimination loop both reuse one context across many fits, so
+/// neither re-sorts nor re-allocates per tree.
+pub struct TrainingContext {
+    n: usize,
+    d: usize,
+    /// Column-major feature values: `d` blocks of `n`.
+    cols: Vec<f64>,
+    /// Per feature: all `n` rows sorted by (value, row index).
+    global_order: Vec<u32>,
+    /// rank[row] = position of `row` in the current sample (NO_RANK if out).
+    rank: Vec<u32>,
+    /// The current sample in caller order (mirrors the recursion's `idx`),
+    /// double-buffered by tree depth: a node at depth `k` reads buffer
+    /// `k & 1` and partitions straight into the other one, so no copy-back
+    /// pass is ever needed.
+    sample: [Vec<u32>; 2],
+    /// Per selected feature: the sample sorted by value; `s`-strided
+    /// blocks, double-buffered by depth exactly like `sample`.
+    sorted: [Vec<u32>; 2],
+    /// Split predicate per row for the node being partitioned.
+    go_left: Vec<bool>,
+    /// leaf_of[row] = leaf node assigned to each in-sample row by the last fit.
+    leaf_of: Vec<u32>,
+}
+
+impl TrainingContext {
+    /// Build the column store and global per-feature sort orders for `x`.
+    pub fn new(x: &Matrix) -> Self {
+        let (n, d) = (x.rows(), x.cols());
+        let mut cols = vec![0.0; n * d];
+        for r in 0..n {
+            for (c, &v) in x.row(r).iter().enumerate() {
+                cols[c * n + r] = v;
+            }
+        }
+        let mut global_order = vec![0u32; n * d];
+        for f in 0..d {
+            let col = &cols[f * n..(f + 1) * n];
+            let order = &mut global_order[f * n..(f + 1) * n];
+            for (i, o) in order.iter_mut().enumerate() {
+                *o = i as u32;
+            }
+            order.sort_unstable_by(|&a, &b| {
+                col[a as usize].total_cmp(&col[b as usize]).then(a.cmp(&b))
+            });
+        }
+        TrainingContext {
+            n,
+            d,
+            cols,
+            global_order,
+            rank: vec![NO_RANK; n],
+            sample: [Vec::new(), Vec::new()],
+            sorted: [Vec::new(), Vec::new()],
+            go_left: vec![false; n],
+            leaf_of: vec![0; n],
+        }
     }
 
-    /// Recursively build; returns the node index.
-    fn build(
+    /// Number of rows in the underlying matrix.
+    pub fn num_rows(&self) -> usize {
+        self.n
+    }
+
+    /// Number of feature columns in the underlying matrix.
+    pub fn num_features(&self) -> usize {
+        self.d
+    }
+
+    #[inline]
+    fn value(&self, feature: usize, row: usize) -> f64 {
+        self.cols[feature * self.n + row]
+    }
+
+    /// Fit a tree on the rows in `idx` (which must be distinct) with
+    /// targets `y`, considering only the feature columns in `features`.
+    /// Split nodes store *original* column indices, so the returned tree
+    /// predicts on full-width rows regardless of the feature subset.
+    ///
+    /// As a side effect the context records which leaf every sampled row
+    /// reached — see [`TrainingContext::predict_training_row`].
+    pub fn fit_tree(
         &mut self,
-        x: &Matrix,
         y: &[f64],
-        idx: &mut [usize],
-        depth: usize,
+        idx: &[usize],
+        features: &[usize],
         params: &TreeParams,
-    ) -> usize {
-        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
-        if depth >= params.max_depth || idx.len() < 2 * params.min_samples_leaf {
-            return self.push(Node::Leaf { value: mean });
+    ) -> RegressionTree {
+        assert_eq!(self.n, y.len(), "x/y mismatch");
+        assert!(!idx.is_empty(), "cannot fit on zero samples");
+        assert!(!features.is_empty(), "need at least one feature");
+        assert!(features.iter().all(|&f| f < self.d), "feature index out of range");
+        let s = idx.len();
+
+        self.rank.fill(NO_RANK);
+        for (pos, &row) in idx.iter().enumerate() {
+            assert!(row < self.n, "row index out of range");
+            assert_eq!(self.rank[row], NO_RANK, "duplicate row in idx");
+            self.rank[row] = pos as u32;
         }
-        match best_split(x, y, idx, params) {
-            None => self.push(Node::Leaf { value: mean }),
-            Some(split) => {
-                // Partition idx in place by the split predicate.
-                let mid = partition(idx, |&i| x.get(i, split.feature) <= split.threshold);
+        self.sample[0].clear();
+        self.sample[0].extend(idx.iter().map(|&r| r as u32));
+        // resize without clear: buffer 0 is fully written below, and every
+        // `[lo, hi)` range of buffer 1 is written by a partition before any
+        // read, so no re-zeroing pass is needed.
+        self.sample[1].resize(s, 0);
+        self.sorted[0].resize(features.len() * s, 0);
+        self.sorted[1].resize(features.len() * s, 0);
+
+        // Derive each feature's sorted sample order from the global
+        // pre-sort: filter by membership (O(n)), then restore sample order
+        // inside runs of bit-identical values. The result is exactly a
+        // stable sort of the sample by value, which is the order the naive
+        // per-node sort produced — required for bit-exact prefix sums.
+        let n = self.n;
+        for (fi, &f) in features.iter().enumerate() {
+            let block = &mut self.sorted[0][fi * s..(fi + 1) * s];
+            let col = &self.cols[f * n..(f + 1) * n];
+            let rank = &self.rank;
+            let mut w = 0;
+            for &r in &self.global_order[f * n..(f + 1) * n] {
+                if rank[r as usize] != NO_RANK {
+                    block[w] = r;
+                    w += 1;
+                }
+            }
+            debug_assert_eq!(w, s);
+            let mut start = 0;
+            while start < s {
+                let bits = col[block[start] as usize].to_bits();
+                let mut end = start + 1;
+                while end < s && col[block[end] as usize].to_bits() == bits {
+                    end += 1;
+                }
+                if end - start > 1 {
+                    block[start..end].sort_unstable_by_key(|&r| rank[r as usize]);
+                }
+                start = end;
+            }
+        }
+
+        let [sample0, sample1] = &mut self.sample;
+        let [sorted0, sorted1] = &mut self.sorted;
+        let mut grower = Grower {
+            nodes: Vec::new(),
+            y,
+            features,
+            params,
+            n,
+            s,
+            cols: &self.cols,
+            sample0,
+            sample1,
+            sorted0,
+            sorted1,
+            go_left: &mut self.go_left,
+            leaf_of: &mut self.leaf_of,
+            parallel: rayon::current_num_threads() > 1,
+        };
+        grower.grow(0, s, 0);
+        RegressionTree { nodes: grower.nodes, num_features: self.d }
+    }
+
+    /// Predict a training row against the tree returned by the **most
+    /// recent** [`TrainingContext::fit_tree`] call. Rows that were in that
+    /// fit's sample resolve by an O(1) leaf-table lookup (the build already
+    /// partitioned them into their leaf); other rows traverse the tree over
+    /// the column store. Both paths return the identical leaf value.
+    pub fn predict_training_row(&self, tree: &RegressionTree, row: usize) -> f64 {
+        assert!(row < self.n, "row index out of range");
+        if self.rank[row] != NO_RANK {
+            match tree.nodes[self.leaf_of[row] as usize] {
+                Node::Leaf { value } => return value,
+                Node::Split { .. } => {
+                    unreachable!("leaf table does not match tree; was the tree refitted?")
+                }
+            }
+        }
+        let mut i = 0usize;
+        loop {
+            match &tree.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right, .. } => {
+                    i = if self.value(*feature, row) <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// Borrowed views of the context during one tree build. Node ranges
+/// `[lo, hi)` index consistently into the depth-parity `sample` buffer
+/// (caller order) and each feature's block of the matching `sorted` buffer
+/// (value order): a node at depth `k` reads buffer `k & 1` and its
+/// partition writes the children's ranges into the other buffer.
+struct Grower<'a> {
+    nodes: Vec<Node>,
+    y: &'a [f64],
+    features: &'a [usize],
+    params: &'a TreeParams,
+    n: usize,
+    s: usize,
+    cols: &'a [f64],
+    sample0: &'a mut [u32],
+    sample1: &'a mut [u32],
+    sorted0: &'a mut [u32],
+    sorted1: &'a mut [u32],
+    go_left: &'a mut [bool],
+    leaf_of: &'a mut [u32],
+    parallel: bool,
+}
+
+impl Grower<'_> {
+    /// Recursively build the subtree for `sample[lo..hi]`; returns its
+    /// node index. Mirrors the naive recursion exactly (same node layout,
+    /// same summation orders).
+    fn grow(&mut self, lo: usize, hi: usize, depth: usize) -> usize {
+        let len = hi - lo;
+        let cur = depth & 1;
+        // Node statistics in sample order — the same summation order the
+        // naive implementation used on its `idx` slice (sum and sum_sq
+        // accumulate independently, so fusing the passes keeps the bits).
+        let sample = if cur == 0 { &*self.sample0 } else { &*self.sample1 };
+        if depth >= self.params.max_depth || len < 2 * self.params.min_samples_leaf {
+            let mut sum = 0.0;
+            for &r in &sample[lo..hi] {
+                sum += self.y[r as usize];
+            }
+            return self.leaf(lo, hi, sum / len as f64, cur);
+        }
+        let (mut sum, mut sum_sq) = (0.0, 0.0);
+        for &r in &sample[lo..hi] {
+            let t = self.y[r as usize];
+            sum += t;
+            sum_sq += t * t;
+        }
+        let mean = sum / len as f64;
+        match self.best_split(lo, hi, sum, sum_sq, cur) {
+            None => self.leaf(lo, hi, mean, cur),
+            Some(choice) => {
+                let mid = self.partition_node(lo, hi, &choice, cur);
                 let me = self.push(Node::Leaf { value: mean }); // placeholder
-                let (left_idx, right_idx) = idx.split_at_mut(mid);
-                let left = self.build(x, y, left_idx, depth + 1, params);
-                let right = self.build(x, y, right_idx, depth + 1, params);
+                let left = self.grow(lo, mid, depth + 1);
+                let right = self.grow(mid, hi, depth + 1);
                 self.nodes[me] = Node::Split {
-                    feature: split.feature,
-                    threshold: split.threshold,
-                    gain: split.gain,
+                    feature: choice.feature,
+                    threshold: choice.threshold,
+                    gain: choice.gain,
                     left,
                     right,
                 };
@@ -82,6 +329,171 @@ impl RegressionTree {
     fn push(&mut self, node: Node) -> usize {
         self.nodes.push(node);
         self.nodes.len() - 1
+    }
+
+    fn leaf(&mut self, lo: usize, hi: usize, value: f64, cur: usize) -> usize {
+        let id = self.push(Node::Leaf { value });
+        let sample = if cur == 0 { &*self.sample0 } else { &*self.sample1 };
+        for &r in &sample[lo..hi] {
+            self.leaf_of[r as usize] = id as u32;
+        }
+        id
+    }
+
+    /// Linear-sweep split search over the pre-sorted feature blocks.
+    fn best_split(
+        &self,
+        lo: usize,
+        hi: usize,
+        sum: f64,
+        sum_sq: f64,
+        cur: usize,
+    ) -> Option<SplitChoice> {
+        let len = hi - lo;
+        let n_f = len as f64;
+        let parent_sse = sum_sq - sum * sum / n_f;
+        let d_sel = self.features.len();
+        let sorted = if cur == 0 { &*self.sorted0 } else { &*self.sorted1 };
+        let scan = |fi: usize| -> Option<(f64, f64)> {
+            let f = self.features[fi];
+            let ord = &sorted[fi * self.s + lo..fi * self.s + hi];
+            let col = &self.cols[f * self.n..(f + 1) * self.n];
+            scan_feature(col, ord, self.y, sum, sum_sq, parent_sse, self.params)
+        };
+        let per_feature: Vec<Option<(f64, f64)>> =
+            if self.parallel && d_sel > 1 && len * d_sel >= MIN_PARALLEL_WORK {
+                (0..d_sel).into_par_iter().map(scan).collect()
+            } else {
+                (0..d_sel).map(scan).collect()
+            };
+        // Deterministic reduction: highest gain wins, ties go to the
+        // lowest feature index — the candidate a sequential first-max scan
+        // over features would keep, independent of rayon scheduling.
+        let mut best: Option<SplitChoice> = None;
+        for (fi, cand) in per_feature.into_iter().enumerate() {
+            if let Some((gain, threshold)) = cand {
+                if best.as_ref().is_none_or(|b| gain > b.gain) {
+                    best = Some(SplitChoice { feature: self.features[fi], threshold, gain });
+                }
+            }
+        }
+        best
+    }
+
+    /// Evaluate the split predicate once per row (counting the left side),
+    /// then stably partition the sample and every feature block into the
+    /// other depth-parity buffer so both children stay sorted.
+    fn partition_node(&mut self, lo: usize, hi: usize, choice: &SplitChoice, cur: usize) -> usize {
+        let col = &self.cols[choice.feature * self.n..(choice.feature + 1) * self.n];
+        let (src_sample, dst_sample, src_sorted, dst_sorted) = if cur == 0 {
+            (&*self.sample0, &mut *self.sample1, &*self.sorted0, &mut *self.sorted1)
+        } else {
+            (&*self.sample1, &mut *self.sample0, &*self.sorted1, &mut *self.sorted0)
+        };
+        let mut mid = 0;
+        for &r in &src_sample[lo..hi] {
+            let left = col[r as usize] <= choice.threshold;
+            self.go_left[r as usize] = left;
+            mid += left as usize;
+        }
+        let go_left = &*self.go_left;
+        stable_partition(&src_sample[lo..hi], &mut dst_sample[lo..hi], go_left, mid);
+        for fi in 0..self.features.len() {
+            let src = &src_sorted[fi * self.s + lo..fi * self.s + hi];
+            let dst = &mut dst_sorted[fi * self.s + lo..fi * self.s + hi];
+            stable_partition(src, dst, go_left, mid);
+        }
+        lo + mid
+    }
+}
+
+/// Sweep one pre-sorted feature: prefix sums over targets, evaluating every
+/// legal boundary. Returns the feature's best (gain, threshold), where the
+/// earliest position wins among equal gains — matching the naive scan's
+/// strict-improvement update rule.
+fn scan_feature(
+    col: &[f64],
+    ord: &[u32],
+    y: &[f64],
+    sum: f64,
+    sum_sq: f64,
+    parent_sse: f64,
+    params: &TreeParams,
+) -> Option<(f64, f64)> {
+    let len = ord.len();
+    let n = len as f64;
+    // min_samples_leaf = 0 behaves exactly like 1: the last position is
+    // rejected either way (by the min-samples guard or because the right
+    // child would be empty), and every other position is identical. Folding
+    // both into m >= 1 lets the hot loop drop the per-position guards.
+    let m = params.min_samples_leaf.max(1);
+    if len < 2 * m {
+        return None;
+    }
+    let mut best_gain = 0.0;
+    let mut best_threshold = 0.0;
+    let mut found = false;
+    let mut left_sum = 0.0;
+    let mut left_sq = 0.0;
+    // Positions below m-1 can never split; just accumulate their targets.
+    for &r in &ord[..m - 1] {
+        let t = y[r as usize];
+        left_sum += t;
+        left_sq += t * t;
+    }
+    // Candidate window: both children keep >= m samples, so pos+1 <= len-m
+    // stays in bounds and the right child is never empty.
+    for pos in (m - 1)..=(len - m - 1) {
+        let r = ord[pos] as usize;
+        let v = col[r];
+        let t = y[r];
+        left_sum += t;
+        left_sq += t * t;
+        // Cannot split between equal feature values.
+        let next = col[ord[pos + 1] as usize];
+        if next <= v {
+            continue;
+        }
+        let nl = (pos + 1) as f64;
+        let nr = n - nl;
+        let right_sum = sum - left_sum;
+        let right_sq = sum_sq - left_sq;
+        let sse = (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
+        let gain = parent_sse - sse;
+        if gain > params.min_gain && (!found || gain > best_gain) {
+            best_gain = gain;
+            best_threshold = 0.5 * (v + next);
+            found = true;
+        }
+    }
+    found.then_some((best_gain, best_threshold))
+}
+
+/// Stable partition of the row ids in `src` by `keep[row]` into `dst`;
+/// kept rows come first. `mid` is the (precounted) number of kept rows, so
+/// both halves are written in a single branch-free pass.
+fn stable_partition(src: &[u32], dst: &mut [u32], keep: &[bool], mid: usize) {
+    let mut a = 0;
+    let mut b = mid;
+    for &r in src {
+        let k = keep[r as usize];
+        dst[if k { a } else { b }] = r;
+        a += k as usize;
+        b += !k as usize;
+    }
+}
+
+impl RegressionTree {
+    /// Fit on the rows of `x` selected by `idx` (which must be distinct)
+    /// with targets `y`. Convenience wrapper that builds a fresh
+    /// [`TrainingContext`]; fit many trees on one matrix through a shared
+    /// context instead to amortize the pre-sort.
+    pub fn fit(x: &Matrix, y: &[f64], idx: &[usize], params: &TreeParams) -> Self {
+        assert_eq!(x.rows(), y.len(), "x/y mismatch");
+        assert!(!idx.is_empty(), "cannot fit on zero samples");
+        let mut ctx = TrainingContext::new(x);
+        let features: Vec<usize> = (0..x.cols()).collect();
+        ctx.fit_tree(y, idx, &features, params)
     }
 
     /// Predict one sample.
@@ -130,9 +542,85 @@ struct SplitChoice {
     gain: f64,
 }
 
+// ---------------------------------------------------------------------------
+// Naive reference implementation — the original per-(node, feature) sorting
+// trainer, kept verbatim as ground truth. Compiled for unit tests and under
+// the `naive` feature so `dfv-bench` can benchmark presorted vs baseline.
+// ---------------------------------------------------------------------------
+
+#[cfg(any(test, feature = "naive"))]
+impl RegressionTree {
+    /// Reference trainer: sorts every (node, feature) pair from scratch.
+    /// Bit-for-bit equivalent to [`RegressionTree::fit`]; kept for
+    /// equivalence tests and baseline benchmarks.
+    #[doc(hidden)]
+    pub fn fit_naive(x: &Matrix, y: &[f64], idx: &[usize], params: &TreeParams) -> Self {
+        assert_eq!(x.rows(), y.len(), "x/y mismatch");
+        assert!(!idx.is_empty(), "cannot fit on zero samples");
+        let mut tree = RegressionTree { nodes: Vec::new(), num_features: x.cols() };
+        let mut idx = idx.to_vec();
+        tree.build_naive(x, y, &mut idx, 0, params);
+        tree
+    }
+
+    /// Recursively build; returns the node index.
+    fn build_naive(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        idx: &mut [usize],
+        depth: usize,
+        params: &TreeParams,
+    ) -> usize {
+        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+        if depth >= params.max_depth || idx.len() < 2 * params.min_samples_leaf {
+            return self.push_node(Node::Leaf { value: mean });
+        }
+        match best_split_naive(x, y, idx, params) {
+            None => self.push_node(Node::Leaf { value: mean }),
+            Some(split) => {
+                // Partition idx in place by the split predicate.
+                let mid = partition(idx, |&i| x.get(i, split.feature) <= split.threshold);
+                let me = self.push_node(Node::Leaf { value: mean }); // placeholder
+                let (left_idx, right_idx) = idx.split_at_mut(mid);
+                let left = self.build_naive(x, y, left_idx, depth + 1, params);
+                let right = self.build_naive(x, y, right_idx, depth + 1, params);
+                self.nodes[me] = Node::Split {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    gain: split.gain,
+                    left,
+                    right,
+                };
+                me
+            }
+        }
+    }
+
+    fn push_node(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// The root's (feature, threshold, gain), or None for a leaf-only tree.
+    #[cfg(test)]
+    fn root_split(&self) -> Option<(usize, f64, f64)> {
+        match self.nodes[0] {
+            Node::Leaf { .. } => None,
+            Node::Split { feature, threshold, gain, .. } => Some((feature, threshold, gain)),
+        }
+    }
+}
+
 /// Exhaustive best split over all features: sort the node's samples by each
 /// feature and scan boundaries with prefix sums.
-fn best_split(x: &Matrix, y: &[f64], idx: &[usize], params: &TreeParams) -> Option<SplitChoice> {
+#[cfg(any(test, feature = "naive"))]
+fn best_split_naive(
+    x: &Matrix,
+    y: &[f64],
+    idx: &[usize],
+    params: &TreeParams,
+) -> Option<SplitChoice> {
     let n = idx.len() as f64;
     let sum: f64 = idx.iter().map(|&i| y[i]).sum();
     let sum_sq: f64 = idx.iter().map(|&i| y[i] * y[i]).sum();
@@ -179,6 +667,7 @@ fn best_split(x: &Matrix, y: &[f64], idx: &[usize], params: &TreeParams) -> Opti
 
 /// Stable in-place partition; returns the count of elements satisfying the
 /// predicate (placed first).
+#[cfg(any(test, feature = "naive"))]
 fn partition<T: Copy, F: Fn(&T) -> bool>(xs: &mut [T], pred: F) -> usize {
     let mut buf: Vec<T> = Vec::with_capacity(xs.len());
     let mut mid = 0;
@@ -200,6 +689,10 @@ fn partition<T: Copy, F: Fn(&T) -> bool>(xs: &mut [T], pred: F) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
 
     fn all_idx(n: usize) -> Vec<usize> {
         (0..n).collect()
@@ -275,5 +768,113 @@ mod tests {
         let mid = partition(&mut xs, |&v| v % 2 == 0);
         assert_eq!(mid, 3);
         assert_eq!(xs, [2, 4, 6, 1, 3, 5]);
+    }
+
+    #[test]
+    fn context_is_reusable_across_fits_and_feature_subsets() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, (i % 3) as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = (0..30).map(|i| (i / 3) as f64).collect();
+        let params = TreeParams { min_samples_leaf: 2, ..Default::default() };
+        let mut ctx = TrainingContext::new(&x);
+        let idx = all_idx(30);
+        let t_full = ctx.fit_tree(&y, &idx, &[0, 1], &params);
+        assert_eq!(t_full, RegressionTree::fit(&x, &y, &idx, &params));
+        // A feature-subset fit matches a fit on the materialized subset
+        // matrix (feature ids are original column indices either way here
+        // because the subset is column 0).
+        let t_sub = ctx.fit_tree(&y, &idx, &[0], &params);
+        let x0 = Matrix::from_rows(&(0..30).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let naive = RegressionTree::fit_naive(&x0, &y, &idx, &params);
+        for r in 0..30 {
+            assert_eq!(t_sub.predict_row(x.row(r)), naive.predict_row(x0.row(r)));
+        }
+        // Refitting with the other subset afterwards still works.
+        let t_sub1 = ctx.fit_tree(&y, &idx, &[1], &params);
+        assert!(t_sub1.num_nodes() >= 1);
+    }
+
+    #[test]
+    fn leaf_table_matches_traversal() {
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 7) as f64, (i % 4) as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<f64> = (0..40).map(|i| (i % 7) as f64 * 2.0 - (i % 4) as f64).collect();
+        let mut ctx = TrainingContext::new(&x);
+        // Subsample: even rows in shuffled order.
+        let mut idx: Vec<usize> = (0..40).filter(|i| i % 2 == 0).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(3));
+        let tree = ctx.fit_tree(&y, &idx, &[0, 1], &TreeParams::default());
+        for r in 0..40 {
+            assert_eq!(ctx.predict_training_row(&tree, r), tree.predict_row(x.row(r)));
+        }
+    }
+
+    /// Build a random dataset with duplicate-heavy and constant columns
+    /// from flat generated material: each raw cell is either snapped to a
+    /// small discrete pool (duplicates) or kept continuous, and one extra
+    /// constant column is appended.
+    fn build_dataset(raw: &[(f64, usize)], y: &[f64], d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        const POOL: [f64; 4] = [0.0, 1.0, -1.0, 2.5];
+        let n = (raw.len() / d).min(y.len());
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|r| {
+                let mut row: Vec<f64> = raw[r * d..(r + 1) * d]
+                    .iter()
+                    .map(|&(v, code)| if code == 0 { v } else { POOL[(code - 1) % POOL.len()] })
+                    .collect();
+                row.push(4.25); // constant column
+                row
+            })
+            .collect();
+        (rows, y[..n].to_vec())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The pre-sorted finder returns an identical (feature, threshold,
+        /// gain) choice to the naive per-node sorting finder, including on
+        /// duplicate feature values and constant columns.
+        #[test]
+        fn presorted_split_matches_naive(
+            raw in proptest::collection::vec((-3.0f64..3.0, 0usize..6), 16..240),
+            y_all in proptest::collection::vec(-10.0f64..10.0, 4..60),
+            d in 2usize..5,
+            max_depth in 1usize..4,
+            min_samples_leaf in 1usize..5,
+            seed in 0u64..1000,
+        ) {
+            let (rows, y) = build_dataset(&raw, &y_all, d);
+            prop_assume!(rows.len() >= 4);
+            let params = TreeParams { max_depth, min_samples_leaf, min_gain: 1e-12 };
+            let x = Matrix::from_rows(&rows);
+            let mut idx: Vec<usize> = (0..rows.len()).collect();
+            idx.shuffle(&mut StdRng::seed_from_u64(seed));
+            idx.truncate(1 + rows.len() * 3 / 4);
+
+            // Root split only: compare the finders' raw choices.
+            let naive = best_split_naive(&x, &y, &idx, &params);
+            let root_params = TreeParams { max_depth: 1, ..params };
+            let mut ctx = TrainingContext::new(&x);
+            let features: Vec<usize> = (0..x.cols()).collect();
+            let presorted = ctx.fit_tree(&y, &idx, &features, &root_params).root_split();
+            match (naive, presorted) {
+                (None, None) => {}
+                (Some(c), Some((feature, threshold, gain))) => {
+                    prop_assert_eq!(c.feature, feature);
+                    prop_assert_eq!(c.threshold.to_bits(), threshold.to_bits());
+                    prop_assert_eq!(c.gain.to_bits(), gain.to_bits());
+                }
+                (naive, presorted) => {
+                    let naive = naive.map(|c| (c.feature, c.threshold, c.gain));
+                    prop_assert!(false, "naive {:?} vs presorted {:?}", naive, presorted);
+                }
+            }
+
+            // Whole trees are structurally identical, bit for bit.
+            let a = RegressionTree::fit(&x, &y, &idx, &params);
+            let b = RegressionTree::fit_naive(&x, &y, &idx, &params);
+            prop_assert_eq!(a, b);
+        }
     }
 }

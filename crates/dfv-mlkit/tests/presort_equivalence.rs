@@ -1,0 +1,113 @@
+//! Frozen-output equivalence tests for the pre-sorted training rewrite.
+//!
+//! The constants below were captured by running this exact program against
+//! the original per-node sorting implementation (the pre-rewrite seed of
+//! this repository). The pre-sorted trainer promises bit-for-bit identical
+//! models, so every comparison is exact (`to_bits`), not approximate —
+//! this is the invariant that keeps dfv-serve artifacts stable across the
+//! rewrite.
+
+use dfv_mlkit::dataset::Dataset;
+use dfv_mlkit::gbr::{Gbr, GbrParams};
+use dfv_mlkit::matrix::Matrix;
+use dfv_mlkit::rfe::{rfe, RfeParams};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Seeded synthetic dataset: strong linear signal in f0, weaker in f1 and
+/// the discretized f3 (duplicate-heavy), f2 pure noise, f4 constant.
+fn seeded_dataset(n: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let f0: f64 = rng.gen_range(-1.0..1.0);
+        let f1: f64 = rng.gen_range(-1.0..1.0);
+        let f2: f64 = rng.gen_range(-1.0..1.0);
+        let f3: f64 = rng.gen_range(0.0..4.0_f64).floor();
+        let f4 = 1.5;
+        rows.push(vec![f0, f1, f2, f3, f4]);
+        y.push(8.0 * f0 + 1.5 * f1 + 0.5 * f3 + 0.05 * rng.gen_range(-1.0..1.0));
+    }
+    let names = (0..5).map(|i| format!("f{i}")).collect();
+    Dataset::new(Matrix::from_rows(&rows), y, names)
+}
+
+fn assert_bits_eq(actual: &[f64], expected: &[f64], what: &str) {
+    assert_eq!(actual.len(), expected.len(), "{what}: length");
+    for (i, (a, e)) in actual.iter().zip(expected).enumerate() {
+        assert_eq!(a.to_bits(), e.to_bits(), "{what}[{i}]: {a} != {e}");
+    }
+}
+
+#[test]
+fn rfe_relevance_scores_unchanged_for_fixed_seed() {
+    let data = seeded_dataset(160, 2024);
+    let params = RfeParams {
+        folds: 4,
+        gbr: GbrParams { n_trees: 30, seed: 7, ..Default::default() },
+        seed: 3,
+    };
+    let result = rfe(&data, None, &params);
+
+    assert_bits_eq(
+        &result.relevance,
+        &[
+            0.35294117647058826,
+            0.29411764705882354,
+            0.08823529411764706,
+            0.23529411764705882,
+            0.029411764705882353,
+        ],
+        "relevance",
+    );
+    assert_bits_eq(
+        &result.fold_rmse,
+        &[0.6248507563839791, 0.5298849596379429, 0.723897362955614, 0.5883406225122586],
+        "fold_rmse",
+    );
+    assert_bits_eq(
+        &result.fold_mape,
+        &[34.31409474586308, 18.561060749501937, 18.813056900789455, 32.22908257531735],
+        "fold_mape",
+    );
+    assert_eq!(
+        result.elimination_orders,
+        vec![vec![4, 2, 3, 1, 0], vec![4, 2, 3, 1, 0], vec![4, 2, 3, 1, 0], vec![4, 2, 3, 1, 0]],
+    );
+}
+
+#[test]
+fn gbr_predictions_unchanged_for_fixed_seed() {
+    let data = seeded_dataset(160, 2024);
+    let params = GbrParams { n_trees: 40, subsample: 0.8, seed: 11, ..Default::default() };
+    let g = Gbr::fit(&data.x, &data.y, &params);
+
+    let predictions: Vec<f64> = (0..8).map(|r| g.predict_row(data.x.row(r))).collect();
+    assert_bits_eq(
+        &predictions,
+        &[
+            -6.103338278603996,
+            -3.2999210328613557,
+            4.943280465658258,
+            -4.30351917648536,
+            2.188956712459982,
+            -6.308943896114273,
+            7.361079097674001,
+            4.518643451185654,
+        ],
+        "predictions",
+    );
+    assert_bits_eq(
+        &g.feature_importances(),
+        &[
+            0.9535808945289115,
+            0.03482183010144792,
+            0.00021249496967001442,
+            0.011384780399970595,
+            0.0,
+        ],
+        "importances",
+    );
+}
