@@ -1,0 +1,89 @@
+//! Fault-injection overhead benchmarks: the per-sample verdict (a few
+//! splitmix64 rounds), bulk mask generation, and the missing-data
+//! imputation passes that faulted telemetry funnels through.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dfv_faults::{FaultPlan, FaultSite, Schedule};
+use dfv_mlkit::dataset::{impute_series, MissingPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const WIDTH: usize = 13;
+
+/// A step series with a given fraction of NaN holes.
+fn sparse_series(steps: usize, gap: f64, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..steps)
+        .map(|_| {
+            (0..WIDTH)
+                .map(|_| if rng.gen_bool(gap) { f64::NAN } else { rng.gen_range(0.0..1e6) })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_verdict(c: &mut Criterion) {
+    let plan = FaultPlan::gaps(42, 0.1);
+    let mut g = c.benchmark_group("faults/verdict");
+    g.bench_function("fires_10k", |b| {
+        b.iter(|| {
+            let mut fired = 0u64;
+            for i in 0..10_000u64 {
+                fired += plan.fires(FaultSite::CounterDropout, black_box(7), i) as u64;
+            }
+            black_box(fired)
+        })
+    });
+    g.bench_function("mask_1k", |b| {
+        b.iter(|| black_box(plan.mask(FaultSite::LdmsIoGap, black_box(3), 1024)))
+    });
+    let periodic = FaultPlan {
+        counter_dropout: Schedule::Periodic { period: 10, phase: 3 },
+        ..FaultPlan::none()
+    };
+    g.bench_function("fires_periodic_10k", |b| {
+        b.iter(|| {
+            let mut fired = 0u64;
+            for i in 0..10_000u64 {
+                fired += periodic.fires(FaultSite::CounterDropout, black_box(7), i) as u64;
+            }
+            black_box(fired)
+        })
+    });
+    g.finish();
+}
+
+fn bench_imputation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("faults/impute");
+    for (label, policy) in
+        [("locf_1k", MissingPolicy::Locf), ("mean_1k", MissingPolicy::MeanImpute)]
+    {
+        let template = sparse_series(1024, 0.1, 9);
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || template.clone(),
+                |mut series| {
+                    impute_series(&mut series, policy);
+                    black_box(series)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    // The dense fast path every fault-free campaign takes: must be ~free.
+    let dense = sparse_series(1024, 0.0, 9);
+    g.bench_function("dense_noop_1k", |b| {
+        b.iter_batched(
+            || dense.clone(),
+            |mut series| {
+                impute_series(&mut series, MissingPolicy::MeanImpute);
+                black_box(series)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_verdict, bench_imputation);
+criterion_main!(benches);

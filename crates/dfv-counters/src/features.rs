@@ -25,6 +25,22 @@ pub enum FeatureSet {
     AppPlacementIoSys,
 }
 
+/// Sentinel for a missing telemetry value: collection gaps surface as NaN
+/// in feature rows (never as silent zeros, which would alias real idle
+/// counters), and the dataset layers resolve them under an explicit
+/// `MissingPolicy` before any model sees the data.
+pub const MISSING: f64 = f64::NAN;
+
+/// Whether a feature value is the missing-data sentinel.
+pub fn is_missing(v: f64) -> bool {
+    v.is_nan()
+}
+
+/// Whether a feature row contains any missing value.
+pub fn row_has_missing(row: &[f64]) -> bool {
+    row.iter().any(|&v| is_missing(v))
+}
+
 impl FeatureSet {
     /// All feature sets, from smallest to largest.
     pub const ALL: [FeatureSet; 4] = [
@@ -63,6 +79,12 @@ impl FeatureSet {
             names.extend(LDMS_COUNTERS.iter().map(|c| format!("SYS_{}", c.abbrev())));
         }
         names
+    }
+
+    /// A fully-missing feature row of this set's width (what a dropped
+    /// sample contributes before imputation).
+    pub fn missing_row(self) -> Vec<f64> {
+        vec![MISSING; self.len()]
     }
 
     /// Short label used in figures ("app", "app + placement", ...).
@@ -114,5 +136,16 @@ mod tests {
     fn labels_match_figure_legends() {
         assert_eq!(FeatureSet::App.label(), "app");
         assert_eq!(FeatureSet::AppPlacementIoSys.label(), "app + placement + io + sys");
+    }
+
+    #[test]
+    fn missing_sentinel_never_aliases_real_values() {
+        assert!(is_missing(MISSING));
+        assert!(!is_missing(0.0));
+        assert!(!is_missing(f64::INFINITY));
+        let row = FeatureSet::AppPlacement.missing_row();
+        assert_eq!(row.len(), 15);
+        assert!(row_has_missing(&row));
+        assert!(!row_has_missing(&[0.0, 1.0, -3.5]));
     }
 }

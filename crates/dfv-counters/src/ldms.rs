@@ -15,6 +15,7 @@ use crate::counter::Counter;
 use dfv_dragonfly::ids::{Idx, NodeId, RouterId};
 use dfv_dragonfly::telemetry::StepTelemetry;
 use dfv_dragonfly::topology::Topology;
+use dfv_faults::{FaultPlan, FaultSite};
 use serde::{Deserialize, Serialize};
 
 /// The role of the nodes attached to a router.
@@ -162,10 +163,75 @@ impl LdmsSampler {
     }
 }
 
+/// An [`LdmsSampler`] read through a deterministic fault layer. LDMS is a
+/// best-effort system-wide collector: whole intervals go missing when the
+/// daemon falls behind, and slow aggregation can re-report the previous
+/// interval. The plan's `ldms_gap`/`ldms_stale` schedules reproduce both,
+/// with independent draws for the io and sys feature groups.
+#[derive(Debug, Clone)]
+pub struct FaultyLdmsSampler {
+    inner: LdmsSampler,
+    plan: FaultPlan,
+    stream: u64,
+    last_io: Option<LdmsReading>,
+    last_sys: Option<LdmsReading>,
+}
+
+impl FaultyLdmsSampler {
+    /// Wrap a sampler in a fault plan. `stream` separates concurrent
+    /// consumers' fault sequences (typically the monitored job's id).
+    pub fn new(inner: LdmsSampler, plan: FaultPlan, stream: u64) -> Self {
+        FaultyLdmsSampler { inner, plan, stream, last_io: None, last_sys: None }
+    }
+
+    /// The layout in use.
+    pub fn layout(&self) -> &SystemLayout {
+        self.inner.layout()
+    }
+
+    /// The io feature group at `step`, `None` on a collection gap; stale
+    /// intervals repeat the previous successful io reading.
+    pub fn read_io(&mut self, telemetry: &StepTelemetry, step: u64) -> Option<LdmsReading> {
+        if self.plan.fires(FaultSite::LdmsIoGap, self.stream, step) {
+            return None;
+        }
+        if self.plan.fires(FaultSite::LdmsIoStale, self.stream, step) {
+            if let Some(last) = self.last_io {
+                return Some(last);
+            }
+        }
+        let reading = self.inner.read_io(telemetry);
+        self.last_io = Some(reading);
+        Some(reading)
+    }
+
+    /// The sys feature group at `step`, with the same gap/stale semantics
+    /// as [`FaultyLdmsSampler::read_io`] but independent fault draws.
+    pub fn read_sys(
+        &mut self,
+        telemetry: &StepTelemetry,
+        job_routers: &[RouterId],
+        step: u64,
+    ) -> Option<LdmsReading> {
+        if self.plan.fires(FaultSite::LdmsSysGap, self.stream, step) {
+            return None;
+        }
+        if self.plan.fires(FaultSite::LdmsSysStale, self.stream, step) {
+            if let Some(last) = self.last_sys {
+                return Some(last);
+            }
+        }
+        let reading = self.inner.read_sys(telemetry, job_routers);
+        self.last_sys = Some(reading);
+        Some(reading)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use dfv_dragonfly::config::DragonflyConfig;
+    use dfv_faults::Schedule;
 
     fn topo() -> Topology {
         Topology::new(DragonflyConfig::small()).unwrap()
@@ -223,6 +289,47 @@ mod tests {
     fn reading_as_array_orders_like_ldms_counters() {
         let r = LdmsReading { rt_flit_tot: 1.0, rt_rb_stl: 2.0, pt_flit_tot: 3.0, pt_pkt_tot: 4.0 };
         assert_eq!(r.as_array(), [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn faulty_sampler_with_none_plan_matches_plain_reads() {
+        let t = topo();
+        let sampler = LdmsSampler::new(SystemLayout::with_io_stride(&t, 8));
+        let mut faulty = FaultyLdmsSampler::new(sampler.clone(), FaultPlan::none(), 1);
+        let mut tel = StepTelemetry::new(t.num_routers());
+        tel.router_mut(7).rt_flit_tot = 10.0;
+        tel.router_mut(1).pt_pkt_tot = 2.0;
+        for step in 0..8 {
+            assert_eq!(faulty.read_io(&tel, step), Some(sampler.read_io(&tel)));
+            let sys = faulty.read_sys(&tel, &[RouterId(1)], step);
+            assert_eq!(sys, Some(sampler.read_sys(&tel, &[RouterId(1)])));
+        }
+    }
+
+    #[test]
+    fn ldms_gaps_and_stale_intervals_follow_the_plan() {
+        let t = topo();
+        let sampler = LdmsSampler::new(SystemLayout::with_io_stride(&t, 8));
+        let plan = FaultPlan {
+            ldms_gap: Schedule::Periodic { period: 3, phase: 1 },
+            ldms_stale: Schedule::Burst { start: 2, len: 1 },
+            ..FaultPlan::none()
+        };
+        let mut faulty = FaultyLdmsSampler::new(sampler, plan, 0);
+        let mut tel = StepTelemetry::new(t.num_routers());
+        tel.router_mut(7).rt_flit_tot = 10.0;
+        let r0 = faulty.read_io(&tel, 0).expect("step 0 collected");
+        assert_eq!(r0.rt_flit_tot, 10.0);
+        assert!(faulty.read_io(&tel, 1).is_none(), "periodic gap at step 1");
+        // Step 2 is stale: the io group repeats step 0's reading.
+        tel.router_mut(7).rt_flit_tot = 30.0;
+        assert_eq!(faulty.read_io(&tel, 2), Some(r0));
+        assert_eq!(faulty.read_io(&tel, 3).unwrap().rt_flit_tot, 30.0);
+        // The sys group draws its gaps independently of io, from the same
+        // shared schedule.
+        let sys_mask: Vec<bool> =
+            (0..24).map(|s| faulty.read_sys(&tel, &[RouterId(0)], s).is_none()).collect();
+        assert_eq!(sys_mask.iter().filter(|&&g| g).count(), 8, "period-3 gaps over 24 steps");
     }
 
     #[test]

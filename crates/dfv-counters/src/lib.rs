@@ -15,6 +15,8 @@ pub mod session;
 
 pub use bank::{CounterBank, RawSnapshot, COUNTER_BITS};
 pub use counter::{Counter, CounterSnapshot};
-pub use features::FeatureSet;
-pub use ldms::{LdmsReading, LdmsSampler, NodeRole, SystemLayout, LDMS_COUNTERS};
-pub use session::AriesSession;
+pub use features::{is_missing, row_has_missing, FeatureSet, MISSING};
+pub use ldms::{
+    FaultyLdmsSampler, LdmsReading, LdmsSampler, NodeRole, SystemLayout, LDMS_COUNTERS,
+};
+pub use session::{AriesSession, FaultyAriesSession};

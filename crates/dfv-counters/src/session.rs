@@ -11,6 +11,7 @@ use dfv_dragonfly::ids::{Idx, RouterId};
 use dfv_dragonfly::placement::Placement;
 use dfv_dragonfly::telemetry::StepTelemetry;
 use dfv_dragonfly::topology::Topology;
+use dfv_faults::{FaultPlan, FaultSite};
 
 /// A counter-collection session attached to one job's routers.
 #[derive(Debug, Clone)]
@@ -37,12 +38,58 @@ impl AriesSession {
     }
 }
 
+/// An [`AriesSession`] read through a deterministic fault layer: per-step
+/// samples may be dropped (collector missed the interval) or go stale (the
+/// previous interval is reported again), exactly as the plan's
+/// [`FaultSite::CounterDropout`]/[`FaultSite::CounterStale`] schedules
+/// dictate. `stream` separates the fault sequences of concurrent sessions
+/// (one per job), so a whole campaign replays bit-for-bit from one seed.
+#[derive(Debug, Clone)]
+pub struct FaultyAriesSession {
+    inner: AriesSession,
+    plan: FaultPlan,
+    stream: u64,
+    last: Option<CounterSnapshot>,
+}
+
+impl FaultyAriesSession {
+    /// Wrap a session in a fault plan. `stream` identifies this session's
+    /// fault sequence (typically the job id).
+    pub fn new(inner: AriesSession, plan: FaultPlan, stream: u64) -> Self {
+        FaultyAriesSession { inner, plan, stream, last: None }
+    }
+
+    /// The routers the underlying session may observe.
+    pub fn routers(&self) -> &[RouterId] {
+        self.inner.routers()
+    }
+
+    /// Read step `step`'s counter deltas through the fault layer. `None`
+    /// means the sample was dropped; a stale fault repeats the previous
+    /// successful reading (when one exists — the first interval cannot be
+    /// stale). A dropped interval does not advance the stale baseline.
+    pub fn read_step(&mut self, telemetry: &StepTelemetry, step: u64) -> Option<CounterSnapshot> {
+        if self.plan.fires(FaultSite::CounterDropout, self.stream, step) {
+            return None;
+        }
+        if self.plan.fires(FaultSite::CounterStale, self.stream, step) {
+            if let Some(last) = self.last {
+                return Some(last);
+            }
+        }
+        let snapshot = self.inner.read(telemetry);
+        self.last = Some(snapshot);
+        Some(snapshot)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::counter::Counter;
     use dfv_dragonfly::config::DragonflyConfig;
     use dfv_dragonfly::ids::NodeId;
+    use dfv_faults::Schedule;
 
     #[test]
     fn session_only_sees_its_own_routers() {
@@ -75,5 +122,54 @@ mod tests {
         tel.router_mut(1).pt_rb_stl_rq = 99.0;
         let snap = session.read(&tel);
         assert_eq!(snap.get(Counter::PtRbStlRq), 7.0);
+    }
+
+    fn session_and_tel() -> (AriesSession, StepTelemetry, Topology) {
+        let topo = Topology::new(DragonflyConfig::small()).unwrap();
+        let k = topo.config().nodes_per_router as u32;
+        let placement = Placement::new((0..k).map(NodeId).collect());
+        let session = AriesSession::attach(&topo, &placement);
+        let mut tel = StepTelemetry::new(topo.num_routers());
+        tel.router_mut(0).rt_flit_tot = 5.0;
+        (session, tel, topo)
+    }
+
+    #[test]
+    fn none_plan_reads_match_the_plain_session_exactly() {
+        let (session, tel, _topo) = session_and_tel();
+        let mut faulty = FaultyAriesSession::new(session.clone(), FaultPlan::none(), 3);
+        for step in 0..16 {
+            let snap = faulty.read_step(&tel, step).expect("no faults: every read succeeds");
+            assert_eq!(snap, session.read(&tel));
+        }
+    }
+
+    #[test]
+    fn dropout_drops_and_stale_repeats_the_previous_interval() {
+        let (session, mut tel, _topo) = session_and_tel();
+        let plan = FaultPlan {
+            counter_dropout: Schedule::Burst { start: 1, len: 1 },
+            counter_stale: Schedule::Burst { start: 3, len: 1 },
+            ..FaultPlan::none()
+        };
+        let mut faulty = FaultyAriesSession::new(session, plan, 0);
+        let first = faulty.read_step(&tel, 0).unwrap();
+        assert_eq!(first.get(Counter::RtFlitTot), 5.0);
+        assert!(faulty.read_step(&tel, 1).is_none(), "step 1 is dropped");
+        tel.router_mut(0).rt_flit_tot = 9.0;
+        assert_eq!(faulty.read_step(&tel, 2).unwrap().get(Counter::RtFlitTot), 9.0);
+        // Step 3 is stale: it repeats step 2's reading despite new telemetry.
+        tel.router_mut(0).rt_flit_tot = 12.0;
+        assert_eq!(faulty.read_step(&tel, 3).unwrap().get(Counter::RtFlitTot), 9.0);
+        assert_eq!(faulty.read_step(&tel, 4).unwrap().get(Counter::RtFlitTot), 12.0);
+    }
+
+    #[test]
+    fn stale_before_any_reading_falls_back_to_a_fresh_read() {
+        let (session, tel, _topo) = session_and_tel();
+        let plan =
+            FaultPlan { counter_stale: Schedule::Burst { start: 0, len: 1 }, ..FaultPlan::none() };
+        let mut faulty = FaultyAriesSession::new(session, plan, 0);
+        assert_eq!(faulty.read_step(&tel, 0).unwrap().get(Counter::RtFlitTot), 5.0);
     }
 }

@@ -7,8 +7,12 @@
 //! congestion — the ablation that justifies defaulting to UGAL-style
 //! adaptive routing in every other experiment.
 
-use crate::campaign::splitmix;
+use crate::campaign::{run_campaign, run_campaign_faulted, splitmix, CampaignConfig};
+use crate::deviation::analyze_deviation_with_policy;
 use dfv_dragonfly::config::DragonflyConfig;
+use dfv_faults::FaultPlan;
+use dfv_mlkit::dataset::MissingPolicy;
+use dfv_mlkit::rfe::RfeParams;
 use dfv_dragonfly::ids::NodeId;
 use dfv_dragonfly::network::{BackgroundTraffic, NetworkSim, SimScratch};
 use dfv_dragonfly::routing::RoutingPolicy;
@@ -103,6 +107,75 @@ pub fn routing_policy_ablation(
         .collect()
 }
 
+/// Result of the deviation analysis on one telemetry gap fraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GapOutcome {
+    /// Requested probability that a counter/LDMS sample is lost.
+    pub fraction: f64,
+    /// Observed fraction of probe steps whose Aries sample was lost.
+    pub observed_gap_rate: f64,
+    /// Mean reconstructed-time MAPE of the deviation model.
+    pub mape: f64,
+    /// The most relevant counter at this gap level.
+    pub top_counter: String,
+    /// L1 distance of the relevance scores from the clean (fraction 0)
+    /// analysis — how far the gaps move Figure 9's conclusions.
+    pub relevance_shift: f64,
+}
+
+/// The telemetry-robustness ablation: rerun the campaign under increasing
+/// counter/LDMS gap fractions (via [`FaultPlan::gaps`]), resolve the
+/// missing samples with `policy`, and measure how the deviation model's
+/// MAPE and feature-relevance ranking degrade relative to the clean
+/// campaign. Scheduling and step times are identical across fractions
+/// (faults touch telemetry only), so every shift is attributable to the
+/// missing data. The first element is the clean baseline (fraction 0).
+pub fn gap_fraction_ablation(
+    config: &CampaignConfig,
+    spec: &AppSpec,
+    fractions: &[f64],
+    policy: MissingPolicy,
+    params: &RfeParams,
+) -> Vec<GapOutcome> {
+    let clean = run_campaign(config);
+    let ds = clean.dataset(spec).expect("campaign collected the requested spec");
+    let base = analyze_deviation_with_policy(ds, params, policy);
+    let mut out = vec![GapOutcome {
+        fraction: 0.0,
+        observed_gap_rate: 0.0,
+        mape: base.rfe.mean_mape(),
+        top_counter: base.top_counter(),
+        relevance_shift: 0.0,
+    }];
+    for &fraction in fractions {
+        if fraction <= 0.0 {
+            continue;
+        }
+        let plan = FaultPlan::gaps(splitmix(config.seed, 5000), fraction);
+        let result = run_campaign_faulted(config, Some(&plan));
+        let ds = result.dataset(spec).expect("campaign collected the requested spec");
+        let (lost, total) = ds.runs.iter().flat_map(|r| &r.steps).fold((0usize, 0usize), |a, s| {
+            (a.0 + usize::from(s.counters[0].is_nan()), a.1 + 1)
+        });
+        let analysis = analyze_deviation_with_policy(ds, params, policy);
+        let shift = analysis
+            .rfe
+            .relevance
+            .iter()
+            .zip(&base.rfe.relevance)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        out.push(GapOutcome {
+            fraction,
+            observed_gap_rate: lost as f64 / total.max(1) as f64,
+            mape: analysis.rfe.mean_mape(),
+            top_counter: analysis.top_counter(),
+            relevance_shift: shift,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,6 +215,27 @@ mod tests {
             get("adaptive"),
             get("valiant")
         );
+    }
+
+    #[test]
+    fn gap_ablation_reports_baseline_and_degradation() {
+        use dfv_mlkit::gbr::GbrParams;
+        let mut config = CampaignConfig::quick();
+        config.num_days = 2;
+        let spec = AppSpec { kind: AppKind::Milc, num_nodes: 16 };
+        let params =
+            RfeParams { folds: 3, gbr: GbrParams { n_trees: 15, ..Default::default() }, seed: 1 };
+        let out =
+            gap_fraction_ablation(&config, &spec, &[0.2], MissingPolicy::MeanImpute, &params);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].fraction, 0.0);
+        assert_eq!(out[0].relevance_shift, 0.0);
+        assert!(out[0].mape.is_finite());
+        let g = &out[1];
+        assert!((0.05..0.5).contains(&g.observed_gap_rate), "rate {}", g.observed_gap_rate);
+        assert!(g.mape.is_finite());
+        assert!(g.relevance_shift >= 0.0 && g.relevance_shift <= 2.0);
+        assert!(!g.top_counter.is_empty());
     }
 
     #[test]

@@ -19,8 +19,10 @@
 //!    chunks that share a routed-traffic cache for the background jobs).
 
 use crate::data::{AppDataset, RunRecord, StepRecord};
-use dfv_counters::ldms::{LdmsSampler, SystemLayout};
-use dfv_counters::session::AriesSession;
+use dfv_counters::ldms::{FaultyLdmsSampler, LdmsSampler, SystemLayout};
+use dfv_counters::session::{AriesSession, FaultyAriesSession};
+use dfv_counters::Counter;
+use dfv_faults::FaultPlan;
 use dfv_dragonfly::config::DragonflyConfig;
 use dfv_dragonfly::ids::NodeId;
 use dfv_dragonfly::network::{BackgroundTraffic, NetworkSim, RoutedTraffic, SimScratch};
@@ -181,7 +183,7 @@ fn archetype_of(name: &str) -> Option<Archetype> {
 
 /// Run the full campaign.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
-    run_campaign_advised(config, None)
+    run_campaign_with(config, None, None)
 }
 
 /// Run the campaign with an optional congestion-aware scheduling advisor
@@ -191,6 +193,28 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
 pub fn run_campaign_advised(
     config: &CampaignConfig,
     advisor: Option<&CongestionAdvisor>,
+) -> CampaignResult {
+    run_campaign_with(config, advisor, None)
+}
+
+/// Run the campaign with a deterministic telemetry fault plan applied to
+/// every probe's counter collection (the chaos experiments). Faults touch
+/// *only* the recorded telemetry — scheduling, placements and simulated
+/// step times are those of the fault-free campaign under the same seed, so
+/// a faulted dataset differs from its clean twin exactly in the counter,
+/// io and sys columns (missing samples surface as NaN). Passing `None` or
+/// [`FaultPlan::none`] reproduces [`run_campaign`] bit for bit.
+pub fn run_campaign_faulted(
+    config: &CampaignConfig,
+    faults: Option<&FaultPlan>,
+) -> CampaignResult {
+    run_campaign_with(config, None, faults)
+}
+
+fn run_campaign_with(
+    config: &CampaignConfig,
+    advisor: Option<&CongestionAdvisor>,
+    faults: Option<&FaultPlan>,
 ) -> CampaignResult {
     let topo = Topology::new(config.topology.clone()).expect("valid topology");
     let layout = SystemLayout::with_io_stride(&topo, config.io_stride);
@@ -363,6 +387,7 @@ pub fn run_campaign_advised(
                     &routed,
                     splitmix(config.seed, 2000 + rec.id.0),
                     config.compute_noise,
+                    faults,
                 );
                 (spec, run)
             })
@@ -432,10 +457,20 @@ fn simulate_probe(
     routed: &HashMap<JobId, Arc<RoutedTraffic>>,
     seed: u64,
     compute_noise: f64,
+    faults: Option<&FaultPlan>,
 ) -> RunRecord {
     let placement = Placement::new(rec.nodes.clone());
     let app = spec.instantiate_with_steps(&rec.nodes, seed, num_steps);
     let session = AriesSession::attach(topo, &placement);
+    // The fault layer wraps the collectors only when a plan is active, so
+    // the fault-free path below stays the exact expressions it always was.
+    // Each probe's fault stream is keyed by its job id.
+    let mut faulty = faults.filter(|p| !p.is_none()).map(|plan| {
+        (
+            FaultyAriesSession::new(session.clone(), plan.clone(), rec.id.0),
+            FaultyLdmsSampler::new(sampler.clone(), plan.clone(), rec.id.0),
+        )
+    });
 
     // Background event timeline: every other job's start/end during (or
     // after) the probe's window, relative to the phase-1 schedule.
@@ -484,13 +519,33 @@ fn simulate_probe(
         let compute = app.compute_time(step) * (1.0 + compute_noise * rng.gen_range(-1.0..1.0));
         let step_time = outcome.comm_time + compute;
         sim.fill_telemetry(&scratch, &bg, step_time.max(1e-9), &mut telemetry);
-        let counters = *dfv_counters::CounterSnapshot::from_stats(
-            &telemetry
-                .aggregate(session.routers().iter().map(|r| dfv_dragonfly::ids::Idx::index(*r))),
-        )
-        .as_slice();
-        let io = sampler.read_io(&telemetry).as_array();
-        let sys = sampler.read_sys(&telemetry, session.routers()).as_array();
+        let (counters, io, sys) = match faulty.as_mut() {
+            None => (
+                *dfv_counters::CounterSnapshot::from_stats(&telemetry.aggregate(
+                    session.routers().iter().map(|r| dfv_dragonfly::ids::Idx::index(*r)),
+                ))
+                .as_slice(),
+                sampler.read_io(&telemetry).as_array(),
+                sampler.read_sys(&telemetry, session.routers()).as_array(),
+            ),
+            Some((fsession, fsampler)) => {
+                let s = step as u64;
+                (
+                    fsession
+                        .read_step(&telemetry, s)
+                        .map(|snap| *snap.as_slice())
+                        .unwrap_or([dfv_counters::MISSING; Counter::COUNT]),
+                    fsampler
+                        .read_io(&telemetry, s)
+                        .map(|r| r.as_array())
+                        .unwrap_or([dfv_counters::MISSING; 4]),
+                    fsampler
+                        .read_sys(&telemetry, session.routers(), s)
+                        .map(|r| r.as_array())
+                        .unwrap_or([dfv_counters::MISSING; 4]),
+                )
+            }
+        };
         steps.push(StepRecord {
             time: step_time,
             compute_time: compute,
@@ -613,6 +668,7 @@ pub fn simulate_long_run(
         &routed,
         splitmix(seed, 4000),
         config.compute_noise,
+        None,
     )
 }
 
@@ -664,6 +720,76 @@ mod tests {
         for (ra, rb) in a.datasets[0].runs.iter().zip(&b.datasets[0].runs) {
             assert_eq!(ra.steps, rb.steps);
         }
+    }
+
+    #[test]
+    fn faulted_campaign_with_none_plan_is_bit_identical() {
+        let mut config = CampaignConfig::quick();
+        config.num_days = 2;
+        let clean = run_campaign(&config);
+        let faulted = run_campaign_faulted(&config, Some(&FaultPlan::none()));
+        assert_eq!(clean.sacct, faulted.sacct);
+        for (a, b) in clean.datasets.iter().zip(&faulted.datasets) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn faults_degrade_telemetry_but_never_the_simulated_times() {
+        let mut config = CampaignConfig::quick();
+        config.num_days = 2;
+        let clean = run_campaign(&config);
+        let plan = FaultPlan::gaps(41, 0.3);
+        let faulted = run_campaign_faulted(&config, Some(&plan));
+        // Same seed: the schedule and every step time are untouched.
+        assert_eq!(clean.sacct, faulted.sacct);
+        let mut gaps = 0usize;
+        let mut samples = 0usize;
+        for (a, b) in clean.datasets.iter().zip(&faulted.datasets) {
+            for (ra, rb) in a.runs.iter().zip(&b.runs) {
+                for (sa, sb) in ra.steps.iter().zip(&rb.steps) {
+                    assert_eq!(sa.time, sb.time);
+                    assert_eq!(sa.compute_time, sb.compute_time);
+                    assert_eq!(sa.bottleneck, sb.bottleneck);
+                    samples += 1;
+                    if sb.counters[0].is_nan() {
+                        gaps += 1;
+                        assert!(sb.counters.iter().all(|c| c.is_nan()), "whole sample drops");
+                    } else {
+                        assert_eq!(sa.counters, sb.counters);
+                    }
+                }
+            }
+        }
+        let rate = gaps as f64 / samples as f64;
+        assert!((0.15..0.45).contains(&rate), "gap rate {rate} far from requested 0.3");
+    }
+
+    #[test]
+    fn same_fault_plan_and_seed_reproduce_the_same_faults() {
+        let mut config = CampaignConfig::quick();
+        config.num_days = 2;
+        let plan = FaultPlan::gaps(41, 0.2);
+        let a = run_campaign_faulted(&config, Some(&plan));
+        let b = run_campaign_faulted(&config, Some(&plan));
+        // NaN != NaN, so compare telemetry bit patterns, not values.
+        let bits = |r: &CampaignResult| -> Vec<u64> {
+            r.datasets
+                .iter()
+                .flat_map(|d| &d.runs)
+                .flat_map(|run| &run.steps)
+                .flat_map(|s| {
+                    s.counters
+                        .iter()
+                        .chain(&s.io)
+                        .chain(&s.sys)
+                        .chain(std::iter::once(&s.time))
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        assert_eq!(bits(&a), bits(&b));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::data::AppDataset;
 use dfv_counters::Counter;
-use dfv_mlkit::dataset::Dataset;
+use dfv_mlkit::dataset::{Dataset, MissingPolicy};
 use dfv_mlkit::matrix::Matrix;
 use dfv_mlkit::rfe::{rfe, RfeParams, RfeResult};
 use dfv_workloads::app::AppSpec;
@@ -33,25 +33,45 @@ impl DeviationAnalysis {
 
 /// Build the mean-centered per-step dataset: `N*T x 13` counter deviations
 /// against step-time deviations, plus the per-sample mean-trend offsets
-/// needed to reconstruct absolute times.
+/// needed to reconstruct absolute times. Missing counter samples are
+/// resolved under [`MissingPolicy::MeanImpute`]; use
+/// [`deviation_dataset_with_policy`] to choose otherwise.
 pub fn deviation_dataset(ds: &AppDataset) -> (Dataset, Vec<f64>) {
+    deviation_dataset_with_policy(ds, MissingPolicy::MeanImpute)
+}
+
+/// [`deviation_dataset`] with an explicit policy for missing (NaN) counter
+/// samples. The per-step mean trend is computed over the *observed* values
+/// of each step index; on dense telemetry every policy reproduces the
+/// fault-free dataset bit for bit (same summation order, same divisors).
+///
+/// * `MeanImpute` — a missing sample sits exactly on the mean trend, so
+///   its deviation features are 0.
+/// * `Locf` — a missing sample repeats the run's previous observed
+///   counters (falling back to the mean trend before any observation).
+/// * `DropRows` — missing samples are omitted, shrinking the dataset.
+pub fn deviation_dataset_with_policy(ds: &AppDataset, policy: MissingPolicy) -> (Dataset, Vec<f64>) {
     let t_steps = ds.spec.num_steps();
     let n_runs = ds.runs.len();
     assert!(n_runs > 0, "empty dataset");
 
-    // Mean trends per step index.
+    // Mean trends per step index, over observed samples only.
     let mean_times = ds.mean_step_times();
     let mut mean_counters = vec![[0.0; Counter::COUNT]; t_steps];
+    let mut observed = vec![[0usize; Counter::COUNT]; t_steps];
     for run in &ds.runs {
         for (i, s) in run.steps.iter().enumerate() {
-            for (mc, &v) in mean_counters[i].iter_mut().zip(&s.counters) {
-                *mc += v;
+            for (c, &v) in s.counters.iter().enumerate() {
+                if !v.is_nan() {
+                    mean_counters[i][c] += v;
+                    observed[i][c] += 1;
+                }
             }
         }
     }
-    for mc in &mut mean_counters {
-        for c in mc.iter_mut() {
-            *c /= n_runs as f64;
+    for (mc, obs) in mean_counters.iter_mut().zip(&observed) {
+        for (c, &n) in mc.iter_mut().zip(obs) {
+            *c /= (n.max(1)) as f64;
         }
     }
 
@@ -60,9 +80,43 @@ pub fn deviation_dataset(ds: &AppDataset) -> (Dataset, Vec<f64>) {
     let mut offsets = Vec::with_capacity(n_runs * t_steps);
     let mut row = vec![0.0; Counter::COUNT];
     for run in &ds.runs {
+        let mut last: Option<[f64; Counter::COUNT]> = None;
         for (i, s) in run.steps.iter().enumerate() {
+            let missing = s.counters.iter().any(|v| v.is_nan());
+            if missing && policy == MissingPolicy::DropRows {
+                continue;
+            }
+            let counters: [f64; Counter::COUNT] = if missing {
+                match (policy, last) {
+                    (MissingPolicy::Locf, Some(prev)) => {
+                        let mut filled = s.counters;
+                        for (f, &p) in filled.iter_mut().zip(&prev) {
+                            if f.is_nan() {
+                                *f = p;
+                            }
+                        }
+                        filled
+                    }
+                    // MeanImpute, or LOCF before any observation: fall back
+                    // to the mean trend, i.e. zero deviation.
+                    _ => {
+                        let mut filled = s.counters;
+                        for (f, &m) in filled.iter_mut().zip(&mean_counters[i]) {
+                            if f.is_nan() {
+                                *f = m;
+                            }
+                        }
+                        filled
+                    }
+                }
+            } else {
+                s.counters
+            };
+            if !counters.iter().any(|v| v.is_nan()) {
+                last = Some(counters);
+            }
             for c in 0..Counter::COUNT {
-                row[c] = s.counters[c] - mean_counters[i][c];
+                row[c] = counters[c] - mean_counters[i][c];
             }
             x.push_row(&row);
             y.push(s.time - mean_times[i]);
@@ -73,9 +127,19 @@ pub fn deviation_dataset(ds: &AppDataset) -> (Dataset, Vec<f64>) {
     (Dataset::new(x, y, names), offsets)
 }
 
-/// Run GBR + RFE deviation analysis on one dataset.
+/// Run GBR + RFE deviation analysis on one dataset (missing samples
+/// mean-imputed).
 pub fn analyze_deviation(ds: &AppDataset, params: &RfeParams) -> DeviationAnalysis {
-    let (data, offsets) = deviation_dataset(ds);
+    analyze_deviation_with_policy(ds, params, MissingPolicy::MeanImpute)
+}
+
+/// [`analyze_deviation`] with an explicit missing-data policy.
+pub fn analyze_deviation_with_policy(
+    ds: &AppDataset,
+    params: &RfeParams,
+    policy: MissingPolicy,
+) -> DeviationAnalysis {
+    let (data, offsets) = deviation_dataset_with_policy(ds, policy);
     let rfe_result = rfe(&data, Some(&offsets), params);
     DeviationAnalysis { spec: ds.spec, rfe: rfe_result }
 }
@@ -119,6 +183,84 @@ mod tests {
         let mape = analysis.rfe.mean_mape();
         // The paper reports < 5 %; allow slack for the tiny quick campaign.
         assert!(mape < 25.0, "deviation MAPE {mape}% too high");
+    }
+
+    #[test]
+    fn all_policies_agree_bit_for_bit_on_dense_telemetry() {
+        let mut config = CampaignConfig::quick();
+        config.num_days = 2;
+        let result = run_campaign(&config);
+        let ds = &result.datasets[0];
+        let (base, base_off) = deviation_dataset(ds);
+        for policy in [MissingPolicy::Locf, MissingPolicy::MeanImpute, MissingPolicy::DropRows] {
+            let (d, off) = deviation_dataset_with_policy(ds, policy);
+            assert_eq!(d, base, "{policy:?}");
+            assert_eq!(off, base_off, "{policy:?}");
+        }
+    }
+
+    fn faulted_dataset() -> AppDataset {
+        use crate::data::{RunRecord, StepRecord};
+        use dfv_dragonfly::network::Bottleneck;
+        use dfv_scheduler::job::JobId;
+        use dfv_workloads::app::AppKind;
+        // miniVite has 6 steps; runs differ so deviations are nonzero.
+        let spec = AppSpec { kind: AppKind::MiniVite, num_nodes: 16 };
+        let mut runs = Vec::new();
+        for r in 0..4u64 {
+            let steps = (0..6)
+                .map(|i| {
+                    let mut counters = [(r + 1) as f64 * (i + 1) as f64; 13];
+                    // Run 1 loses steps 2 and 3 entirely.
+                    if r == 1 && (i == 2 || i == 3) {
+                        counters = [f64::NAN; 13];
+                    }
+                    StepRecord {
+                        time: 1.0 + 0.1 * r as f64,
+                        compute_time: 0.5,
+                        counters,
+                        io: [0.0; 4],
+                        sys: [0.0; 4],
+                        bottleneck: Bottleneck::None,
+                    }
+                })
+                .collect();
+            runs.push(RunRecord {
+                job_id: JobId(r),
+                start_time: 0.0,
+                end_time: 6.0,
+                num_routers: 4,
+                num_groups: 2,
+                steps,
+            });
+        }
+        AppDataset { spec, runs }
+    }
+
+    #[test]
+    fn missing_samples_resolve_per_policy() {
+        let ds = faulted_dataset();
+        // DropRows: 24 samples minus the 2 missing ones.
+        let (dropped, off) = deviation_dataset_with_policy(&ds, MissingPolicy::DropRows);
+        assert_eq!(dropped.n(), 22);
+        assert_eq!(off.len(), 22);
+        assert!(!dropped.has_missing());
+        // MeanImpute: full size, the missing samples sit on the mean trend
+        // (zero deviation in every counter column).
+        let (imputed, _) = deviation_dataset_with_policy(&ds, MissingPolicy::MeanImpute);
+        assert_eq!(imputed.n(), 24);
+        assert!(!imputed.has_missing());
+        let row = imputed.x.row(6 + 2); // run 1, step 2
+        assert!(row.iter().all(|&v| v == 0.0), "imputed deviation is 0: {row:?}");
+        // Locf: run 1's step 2 repeats step 1's counters, so its deviation
+        // is step-1 counters minus the step-2 observed mean (nonzero here).
+        let (locf, _) = deviation_dataset_with_policy(&ds, MissingPolicy::Locf);
+        assert_eq!(locf.n(), 24);
+        assert!(!locf.has_missing());
+        let run1_step1_raw = 2.0 * 2.0; // (r+1)*(i+1) with r=1, i=1
+        let step2_mean = (1.0 * 3.0 + 3.0 * 3.0 + 4.0 * 3.0) / 3.0; // runs 0, 2, 3
+        let expect = run1_step1_raw - step2_mean;
+        assert!((locf.x.get(6 + 2, 0) - expect).abs() < 1e-12);
     }
 
     #[test]

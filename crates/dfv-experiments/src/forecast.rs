@@ -11,7 +11,7 @@
 use crate::data::{AppDataset, RunRecord};
 use dfv_counters::features::FeatureSet;
 use dfv_mlkit::attention::{AttentionForecaster, AttentionParams};
-use dfv_mlkit::dataset::WindowDataset;
+use dfv_mlkit::dataset::{MissingPolicy, WindowDataset};
 use dfv_mlkit::metrics::mape;
 use dfv_workloads::app::AppSpec;
 use rand::rngs::StdRng;
@@ -55,24 +55,50 @@ fn run_series(run: &RunRecord, features: FeatureSet) -> (Vec<Vec<f64>>, Vec<f64>
     (steps, times)
 }
 
-/// Build a [`WindowDataset`] from a set of runs.
+/// Build a [`WindowDataset`] from a set of runs (missing telemetry
+/// mean-imputed; dense runs are unaffected).
 pub fn window_dataset(runs: &[&RunRecord], fspec: &ForecastSpec) -> WindowDataset {
+    window_dataset_with_policy(runs, fspec, MissingPolicy::MeanImpute)
+}
+
+/// [`window_dataset`] with an explicit policy for missing (NaN) telemetry.
+/// Imputation happens per run, so nothing leaks across runs; `DropRows`
+/// skips every window whose context touches a missing step. Dense runs
+/// produce the identical dataset under every policy.
+pub fn window_dataset_with_policy(
+    runs: &[&RunRecord],
+    fspec: &ForecastSpec,
+    policy: MissingPolicy,
+) -> WindowDataset {
     let h = fspec.features.len();
     let mut data = WindowDataset::empty(fspec.m, h, fspec.k);
     for run in runs {
         let (steps, times) = run_series(run, fspec.features);
-        data.push_run(&steps, &times);
+        data.push_run_with_policy(&steps, &times, policy);
     }
     data
 }
 
-/// Evaluate a forecasting configuration with run-level cross-validation.
+/// Evaluate a forecasting configuration with run-level cross-validation
+/// (missing telemetry mean-imputed).
 pub fn evaluate(
     ds: &AppDataset,
     fspec: &ForecastSpec,
     params: &AttentionParams,
     folds: usize,
     seed: u64,
+) -> ForecastOutcome {
+    evaluate_with_policy(ds, fspec, params, folds, seed, MissingPolicy::MeanImpute)
+}
+
+/// [`evaluate`] with an explicit policy for missing (NaN) telemetry.
+pub fn evaluate_with_policy(
+    ds: &AppDataset,
+    fspec: &ForecastSpec,
+    params: &AttentionParams,
+    folds: usize,
+    seed: u64,
+    policy: MissingPolicy,
 ) -> ForecastOutcome {
     assert!(folds >= 2, "need at least two folds");
     let n_runs = ds.runs.len();
@@ -88,8 +114,8 @@ pub fn evaluate(
             let test_runs: Vec<&RunRecord> = order[lo..hi].iter().map(|&i| &ds.runs[i]).collect();
             let train_runs: Vec<&RunRecord> =
                 order[..lo].iter().chain(order[hi..].iter()).map(|&i| &ds.runs[i]).collect();
-            let train = window_dataset(&train_runs, fspec);
-            let test = window_dataset(&test_runs, fspec);
+            let train = window_dataset_with_policy(&train_runs, fspec, policy);
+            let test = window_dataset_with_policy(&test_runs, fspec, policy);
             if train.n() == 0 || test.n() == 0 {
                 return f64::NAN;
             }

@@ -18,12 +18,19 @@ pub mod neighborhood;
 pub mod serving;
 pub mod whatif;
 
+pub use ablation::{gap_fraction_ablation, GapOutcome};
 pub use campaign::{
-    run_campaign, run_campaign_advised, simulate_long_run, CampaignConfig, CampaignResult,
+    run_campaign, run_campaign_advised, run_campaign_faulted, simulate_long_run, CampaignConfig,
+    CampaignResult,
 };
 pub use data::{AppDataset, RunRecord, StepRecord};
-pub use deviation::{analyze_deviation, deviation_dataset, DeviationAnalysis};
-pub use forecast::{evaluate, forecast_long_run, ForecastOutcome, ForecastSpec};
+pub use deviation::{
+    analyze_deviation, analyze_deviation_with_policy, deviation_dataset,
+    deviation_dataset_with_policy, DeviationAnalysis,
+};
+pub use forecast::{
+    evaluate, evaluate_with_policy, forecast_long_run, ForecastOutcome, ForecastSpec,
+};
 pub use neighborhood::{analyze, NeighborhoodAnalysis, NeighborhoodParams};
 pub use serving::{train_and_export, train_artifacts, ServeTrainConfig};
 pub use whatif::{advisor_whatif, WhatIfOutcome};

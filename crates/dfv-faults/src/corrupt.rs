@@ -1,0 +1,69 @@
+//! Deterministic corruption of serialized artifacts, for negative-path
+//! tests of the loading layers (truncated files, schema skew). These
+//! helpers produce *reliably bad* inputs — the point is that loaders must
+//! answer with typed errors, never panics.
+
+/// Keep only the first `fraction` of `json` (by bytes, snapped to a char
+/// boundary). With `fraction < 1.0` the result is not valid JSON for any
+/// non-trivial document.
+pub fn truncate_json(json: &str, fraction: f64) -> String {
+    let keep = ((json.len() as f64 * fraction.clamp(0.0, 1.0)) as usize).min(json.len());
+    let mut end = keep;
+    while end > 0 && !json.is_char_boundary(end) {
+        end -= 1;
+    }
+    json[..end].to_string()
+}
+
+/// Rewrite a `"schema_version": <n>` field to `version`, leaving the rest
+/// of the document intact — a well-formed file from an incompatible future
+/// (or ancient) layout.
+pub fn skew_schema_version(json: &str, version: u32) -> String {
+    let Some(key) = json.find("\"schema_version\"") else {
+        return json.to_string();
+    };
+    let after_key = key + "\"schema_version\"".len();
+    let Some(colon) = json[after_key..].find(':') else {
+        return json.to_string();
+    };
+    let start = after_key + colon + 1;
+    let end = json[start..]
+        .find(|c: char| c == ',' || c == '}')
+        .map(|i| start + i)
+        .unwrap_or(json.len());
+    format!("{}{}{}", &json[..start], version, &json[end..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(serde::Deserialize)]
+    struct Probe {
+        schema_version: u32,
+        version: u64,
+    }
+
+    #[test]
+    fn truncation_is_deterministic_and_invalid() {
+        let json = r#"{"schema_version":1,"app":"milc-16","version":3}"#;
+        let cut = truncate_json(json, 0.5);
+        assert_eq!(cut, truncate_json(json, 0.5));
+        assert!(cut.len() < json.len());
+        assert!(serde_json::from_str::<Probe>(&cut).is_err());
+        assert_eq!(truncate_json(json, 1.0), json);
+        assert_eq!(truncate_json(json, 0.0), "");
+    }
+
+    #[test]
+    fn schema_skew_rewrites_only_the_version() {
+        let json = r#"{"schema_version":1,"app":"milc-16","version":3}"#;
+        let skewed = skew_schema_version(json, 99);
+        assert_eq!(skewed, r#"{"schema_version":99,"app":"milc-16","version":3}"#);
+        let probe: Probe = serde_json::from_str(&skewed).unwrap();
+        assert_eq!(probe.schema_version, 99);
+        assert_eq!(probe.version, 3);
+        // Documents without the field pass through unchanged.
+        assert_eq!(skew_schema_version("{}", 99), "{}");
+    }
+}

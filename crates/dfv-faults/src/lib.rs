@@ -1,0 +1,38 @@
+//! # dfv-faults
+//!
+//! Seeded, deterministic fault injection for the reproduction pipeline.
+//!
+//! The paper's data lives on imperfect telemetry: LDMS collection gaps,
+//! dropped AriesNCL samples, stale intervals, corrupt model artifacts and
+//! saturated serving queues (Bhatele et al., IPDPS 2020; Costello &
+//! Bhatele's longitudinal follow-up makes missing monitoring data the
+//! central obstacle). This crate describes *which* faults strike *where*
+//! without owning any of the machinery they strike:
+//!
+//! * [`rng`] — stateless SplitMix64 hash draws, so a fault's verdict
+//!   depends only on `(seed, site, stream, index)` and never on
+//!   evaluation order or thread count;
+//! * [`schedule`] — when a site fires: never, Bernoulli, periodic, or a
+//!   contiguous burst;
+//! * [`plan`] — the [`FaultPlan`]: one schedule per injection site,
+//!   threaded by the host layers (`dfv-counters` sessions, the
+//!   `dfv-serve` batcher, `dfv-experiments` campaigns);
+//! * [`corrupt`] — deterministic artifact corruption (truncation, schema
+//!   skew) for negative-path tests.
+//!
+//! Two invariants make the layer testable:
+//!
+//! 1. **Off means off**: with [`FaultPlan::none`] every consumer is
+//!    bit-for-bit identical to a build without the fault layer.
+//! 2. **Same seed, same faults**: any plan replays the identical fault
+//!    pattern for the same seed, regardless of scheduling.
+
+pub mod corrupt;
+pub mod plan;
+pub mod rng;
+pub mod schedule;
+
+pub use corrupt::{skew_schema_version, truncate_json};
+pub use plan::{FaultPlan, FaultSite};
+pub use rng::{splitmix64, unit_f64};
+pub use schedule::Schedule;

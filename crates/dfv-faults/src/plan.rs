@@ -1,0 +1,208 @@
+//! The [`FaultPlan`]: one schedule per injection site.
+
+use crate::rng::splitmix64;
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// The injection sites the pipeline exposes. Each site salts its draws
+/// differently, so e.g. a counter dropout and an LDMS gap at the same step
+/// of the same job are independent events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultSite {
+    /// AriesNCL per-step counter read lost entirely (job-scoped sampler
+    /// missed the interval).
+    CounterDropout,
+    /// AriesNCL read returns the previous interval again (stale/duplicated
+    /// sample).
+    CounterStale,
+    /// LDMS io-aggregate collection gap.
+    LdmsIoGap,
+    /// LDMS sys-aggregate collection gap.
+    LdmsSysGap,
+    /// LDMS io aggregate repeats the previous interval.
+    LdmsIoStale,
+    /// LDMS sys aggregate repeats the previous interval.
+    LdmsSysStale,
+    /// The serving batcher stalls for one tick (slow consumer), backing
+    /// the bounded queue up into rejections.
+    BatcherStall,
+}
+
+impl FaultSite {
+    fn salt(self) -> u64 {
+        match self {
+            FaultSite::CounterDropout => 0x11,
+            FaultSite::CounterStale => 0x22,
+            FaultSite::LdmsIoGap => 0x33,
+            FaultSite::LdmsSysGap => 0x44,
+            FaultSite::LdmsIoStale => 0x55,
+            FaultSite::LdmsSysStale => 0x66,
+            FaultSite::BatcherStall => 0x77,
+        }
+    }
+}
+
+/// A complete description of which faults strike where, replayable from
+/// `seed` alone. The plan is plain data: host layers ask [`FaultPlan::fires`]
+/// at each site and otherwise run unchanged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Master fault seed; independent of the campaign seed so the same
+    /// telemetry can be degraded many different ways.
+    pub seed: u64,
+    /// Schedule for [`FaultSite::CounterDropout`].
+    pub counter_dropout: Schedule,
+    /// Schedule for [`FaultSite::CounterStale`].
+    pub counter_stale: Schedule,
+    /// Shared schedule for the LDMS gap sites (io and sys draw from it
+    /// with independent salts).
+    pub ldms_gap: Schedule,
+    /// Shared schedule for the LDMS stale sites.
+    pub ldms_stale: Schedule,
+    /// Schedule for [`FaultSite::BatcherStall`].
+    pub batcher_stall: Schedule,
+    /// How long one batcher stall lasts, milliseconds.
+    pub stall_millis: u64,
+}
+
+impl FaultPlan {
+    /// The no-fault plan: every site [`Schedule::Never`]. Hosts given this
+    /// plan must behave bit-for-bit like hosts given no plan at all.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            counter_dropout: Schedule::Never,
+            counter_stale: Schedule::Never,
+            ldms_gap: Schedule::Never,
+            ldms_stale: Schedule::Never,
+            batcher_stall: Schedule::Never,
+            stall_millis: 0,
+        }
+    }
+
+    /// Uniform telemetry gaps: counters and LDMS aggregates each drop with
+    /// probability `fraction` per step (the gap-fraction ablation's knob).
+    pub fn gaps(seed: u64, fraction: f64) -> Self {
+        FaultPlan {
+            seed,
+            counter_dropout: Schedule::Bernoulli { p: fraction },
+            ldms_gap: Schedule::Bernoulli { p: fraction },
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Whether no site can ever fire.
+    pub fn is_none(&self) -> bool {
+        self.counter_dropout.is_never()
+            && self.counter_stale.is_never()
+            && self.ldms_gap.is_never()
+            && self.ldms_stale.is_never()
+            && self.batcher_stall.is_never()
+    }
+
+    fn schedule(&self, site: FaultSite) -> &Schedule {
+        match site {
+            FaultSite::CounterDropout => &self.counter_dropout,
+            FaultSite::CounterStale => &self.counter_stale,
+            FaultSite::LdmsIoGap | FaultSite::LdmsSysGap => &self.ldms_gap,
+            FaultSite::LdmsIoStale | FaultSite::LdmsSysStale => &self.ldms_stale,
+            FaultSite::BatcherStall => &self.batcher_stall,
+        }
+    }
+
+    /// Does `site` fire at `index` of `stream`? `stream` separates
+    /// independent sequences sharing a site (one per job, per model, ...);
+    /// the verdict is a pure function of `(seed, site, stream, index)`.
+    pub fn fires(&self, site: FaultSite, stream: u64, index: u64) -> bool {
+        let schedule = self.schedule(site);
+        if schedule.is_never() {
+            return false;
+        }
+        let bits = splitmix64(splitmix64(splitmix64(self.seed, site.salt()), stream), index);
+        schedule.fires(bits, index)
+    }
+
+    /// The fault mask of one `(site, stream)` sequence over `len` indices —
+    /// the unit the determinism tests pin.
+    pub fn mask(&self, site: FaultSite, stream: u64, len: usize) -> Vec<bool> {
+        (0..len as u64).map(|i| self.fires(site, stream, i)).collect()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_never_fires_anywhere() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        for site in [
+            FaultSite::CounterDropout,
+            FaultSite::CounterStale,
+            FaultSite::LdmsIoGap,
+            FaultSite::LdmsSysGap,
+            FaultSite::BatcherStall,
+        ] {
+            for i in 0..64 {
+                assert!(!plan.fires(site, 3, i));
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_mask_different_seed_different_mask() {
+        let a = FaultPlan::gaps(11, 0.3);
+        let b = FaultPlan::gaps(11, 0.3);
+        let c = FaultPlan::gaps(12, 0.3);
+        let ma = a.mask(FaultSite::CounterDropout, 5, 256);
+        assert_eq!(ma, b.mask(FaultSite::CounterDropout, 5, 256));
+        assert_ne!(ma, c.mask(FaultSite::CounterDropout, 5, 256));
+        assert!(ma.iter().any(|&f| f), "a 30% plan fires somewhere in 256 draws");
+    }
+
+    #[test]
+    fn sites_and_streams_draw_independently() {
+        let plan = FaultPlan {
+            seed: 7,
+            counter_dropout: Schedule::Bernoulli { p: 0.5 },
+            ldms_gap: Schedule::Bernoulli { p: 0.5 },
+            ..FaultPlan::none()
+        };
+        let drop5 = plan.mask(FaultSite::CounterDropout, 5, 256);
+        assert_ne!(drop5, plan.mask(FaultSite::LdmsIoGap, 5, 256));
+        assert_ne!(drop5, plan.mask(FaultSite::LdmsSysGap, 5, 256));
+        assert_ne!(drop5, plan.mask(FaultSite::CounterDropout, 6, 256));
+    }
+
+    #[test]
+    fn gap_fraction_sets_only_the_gap_sites() {
+        let plan = FaultPlan::gaps(1, 0.1);
+        assert!(!plan.is_none());
+        assert_eq!(plan.counter_stale, Schedule::Never);
+        assert_eq!(plan.batcher_stall, Schedule::Never);
+        let fired = plan.mask(FaultSite::CounterDropout, 0, 10_000);
+        let rate = fired.iter().filter(|&&f| f).count() as f64 / 10_000.0;
+        assert!((rate - 0.1).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn plans_roundtrip_through_json() {
+        let plan = FaultPlan {
+            seed: 9,
+            counter_stale: Schedule::Periodic { period: 5, phase: 2 },
+            batcher_stall: Schedule::Burst { start: 1, len: 3 },
+            stall_millis: 4,
+            ..FaultPlan::gaps(9, 0.25)
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

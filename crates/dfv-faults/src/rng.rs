@@ -1,0 +1,50 @@
+//! Stateless SplitMix64 hash draws.
+//!
+//! Faults must replay identically no matter how the host pipeline is
+//! scheduled (rayon chunking, serve-batch grouping, test subsetting), so
+//! the layer never carries RNG state: every verdict is a pure hash of
+//! `(seed, salt, ...)` chains. The mixer matches the campaign's seed
+//! derivation in `dfv-experiments` so the two layers share one notion of
+//! stream splitting.
+
+/// SplitMix64 finalizer: mix a seed with a salt into a new 64-bit stream.
+pub fn splitmix64(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Map hash bits onto `[0, 1)` with full 53-bit mantissa resolution.
+pub fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_salt_sensitive() {
+        assert_eq!(splitmix64(7, 3), splitmix64(7, 3));
+        assert_ne!(splitmix64(7, 3), splitmix64(7, 4));
+        assert_ne!(splitmix64(7, 3), splitmix64(8, 3));
+    }
+
+    #[test]
+    fn unit_draws_live_in_the_half_open_interval() {
+        for i in 0..1000u64 {
+            let u = unit_f64(splitmix64(42, i));
+            assert!((0.0..1.0).contains(&u), "{u}");
+        }
+        assert_eq!(unit_f64(0), 0.0);
+        assert!(unit_f64(u64::MAX) < 1.0);
+    }
+
+    #[test]
+    fn unit_draws_are_roughly_uniform() {
+        let n = 10_000u64;
+        let mean: f64 = (0..n).map(|i| unit_f64(splitmix64(9, i))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

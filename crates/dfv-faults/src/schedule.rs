@@ -1,0 +1,103 @@
+//! When a fault site fires.
+
+use crate::rng::unit_f64;
+use serde::{Deserialize, Serialize};
+
+/// A fault schedule over a site's event index (step number, batch tick,
+/// ...). Stochastic variants draw from the hash bits the caller derives for
+/// `(seed, site, stream, index)`; deterministic variants ignore them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// The site never fires (the default everywhere).
+    Never,
+    /// Each index fires independently with probability `p`, mimicking the
+    /// sporadic per-interval sample loss of a busy LDMS collector.
+    Bernoulli {
+        /// Per-index fault probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Every `period`-th index fires (offset by `phase`), mimicking a
+    /// collector that misses a fixed beat.
+    Periodic {
+        /// Firing period; 0 never fires.
+        period: u64,
+        /// Offset of the firing index within the period.
+        phase: u64,
+    },
+    /// A contiguous outage: indices in `start .. start + len` fire,
+    /// mimicking a collection blackout or a consumer stall window.
+    Burst {
+        /// First faulty index.
+        start: u64,
+        /// Number of consecutive faulty indices.
+        len: u64,
+    },
+}
+
+impl Schedule {
+    /// Does the site fire at `index`, given the site's hash `bits`?
+    pub fn fires(&self, bits: u64, index: u64) -> bool {
+        match *self {
+            Schedule::Never => false,
+            Schedule::Bernoulli { p } => unit_f64(bits) < p,
+            Schedule::Periodic { period, phase } => period > 0 && index % period == phase % period,
+            Schedule::Burst { start, len } => index >= start && index - start < len,
+        }
+    }
+
+    /// Whether this schedule can ever fire.
+    pub fn is_never(&self) -> bool {
+        match *self {
+            Schedule::Never => true,
+            Schedule::Bernoulli { p } => p <= 0.0,
+            Schedule::Periodic { period, .. } => period == 0,
+            Schedule::Burst { len, .. } => len == 0,
+        }
+    }
+}
+
+impl Default for Schedule {
+    fn default() -> Self {
+        Schedule::Never
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::splitmix64;
+
+    #[test]
+    fn never_and_degenerate_schedules_do_not_fire() {
+        for index in 0..100 {
+            let bits = splitmix64(1, index);
+            assert!(!Schedule::Never.fires(bits, index));
+            assert!(!Schedule::Bernoulli { p: 0.0 }.fires(bits, index));
+            assert!(!Schedule::Periodic { period: 0, phase: 0 }.fires(bits, index));
+            assert!(!Schedule::Burst { start: 10, len: 0 }.fires(bits, index));
+        }
+        assert!(Schedule::Never.is_never());
+        assert!(Schedule::Bernoulli { p: 0.0 }.is_never());
+        assert!(!Schedule::Bernoulli { p: 0.5 }.is_never());
+    }
+
+    #[test]
+    fn bernoulli_one_always_fires_and_rate_tracks_p() {
+        let hits = (0..10_000u64)
+            .filter(|&i| Schedule::Bernoulli { p: 0.3 }.fires(splitmix64(5, i), i))
+            .count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+        assert!(Schedule::Bernoulli { p: 1.0 }.fires(splitmix64(5, 1), 1));
+    }
+
+    #[test]
+    fn periodic_and_burst_fire_exactly_where_specified() {
+        let p = Schedule::Periodic { period: 4, phase: 1 };
+        let fired: Vec<u64> = (0..12).filter(|&i| p.fires(0, i)).collect();
+        assert_eq!(fired, vec![1, 5, 9]);
+        let b = Schedule::Burst { start: 3, len: 2 };
+        let fired: Vec<u64> = (0..12).filter(|&i| b.fires(0, i)).collect();
+        assert_eq!(fired, vec![3, 4]);
+    }
+}

@@ -46,6 +46,38 @@ impl Dataset {
         Dataset { x, y, feature_names: self.feature_names.clone() }
     }
 
+    /// Whether any feature value is missing (NaN).
+    pub fn has_missing(&self) -> bool {
+        (0..self.n()).any(|r| self.x.row(r).iter().any(|v| v.is_nan()))
+    }
+
+    /// Resolve missing feature values under a policy. `Locf`/`MeanImpute`
+    /// treat rows as one time-ordered series (callers with per-run
+    /// structure should impute before flattening); `DropRows` removes every
+    /// row with a missing feature, along with its target. Dense datasets
+    /// come back bit-for-bit identical.
+    pub fn resolve_missing(&self, policy: MissingPolicy) -> Dataset {
+        if !self.has_missing() {
+            return self.clone();
+        }
+        match policy {
+            MissingPolicy::DropRows => {
+                let keep: Vec<usize> =
+                    (0..self.n()).filter(|&r| !self.x.row(r).iter().any(|v| v.is_nan())).collect();
+                self.subset(&keep)
+            }
+            _ => {
+                let mut rows: Vec<Vec<f64>> = (0..self.n()).map(|r| self.x.row(r).to_vec()).collect();
+                impute_series(&mut rows, policy);
+                let mut x = Matrix::with_capacity(self.n(), self.d());
+                for row in &rows {
+                    x.push_row(row);
+                }
+                Dataset { x, y: self.y.clone(), feature_names: self.feature_names.clone() }
+            }
+        }
+    }
+
     /// Keep only the named feature columns (by index, in the given order).
     pub fn select_features(&self, keep: &[usize]) -> Dataset {
         let mut x = Matrix::zeros(self.n(), keep.len());
@@ -58,6 +90,88 @@ impl Dataset {
         }
         let names = keep.iter().map(|&j| self.feature_names[j].clone()).collect();
         Dataset { x, y: self.y.clone(), feature_names: names }
+    }
+}
+
+/// How dataset builders resolve missing (NaN) feature values before a
+/// model sees them. Until the fault-injection layer existed every builder
+/// silently assumed dense telemetry; the policy makes the choice explicit.
+/// All three policies are exact no-ops on dense input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MissingPolicy {
+    /// Last observation carried forward: a missing value repeats the most
+    /// recent finite value of the same feature earlier in the series;
+    /// leading gaps are back-filled from the first finite value.
+    Locf,
+    /// Replace each missing value with the per-feature mean over the
+    /// finite values of the series.
+    MeanImpute,
+    /// Drop every row (or window) containing a missing value.
+    DropRows,
+}
+
+/// Whether any value in a time-ordered feature series is missing.
+pub fn series_has_missing(steps: &[Vec<f64>]) -> bool {
+    steps.iter().any(|row| row.iter().any(|v| v.is_nan()))
+}
+
+/// Resolve missing values in a time-ordered feature series in place under
+/// [`MissingPolicy::Locf`] or [`MissingPolicy::MeanImpute`]
+/// ([`MissingPolicy::DropRows`] is a row-selection policy and leaves the
+/// series untouched — callers drop at the row/window level). A feature
+/// that is missing at every step imputes to 0.0. Dense series are
+/// bit-for-bit untouched.
+pub fn impute_series(steps: &mut [Vec<f64>], policy: MissingPolicy) {
+    if steps.is_empty() || policy == MissingPolicy::DropRows {
+        return;
+    }
+    let h = steps[0].len();
+    match policy {
+        MissingPolicy::Locf => {
+            for c in 0..h {
+                let mut last: Option<f64> = None;
+                for t in 0..steps.len() {
+                    let v = steps[t][c];
+                    if v.is_nan() {
+                        if let Some(carry) = last {
+                            steps[t][c] = carry;
+                        } else if let Some(next) =
+                            steps[t + 1..].iter().map(|r| r[c]).find(|v| !v.is_nan())
+                        {
+                            steps[t][c] = next; // leading gap: back-fill
+                            last = Some(next);
+                        } else {
+                            steps[t][c] = 0.0; // feature never observed
+                            last = Some(0.0);
+                        }
+                    } else {
+                        last = Some(v);
+                    }
+                }
+            }
+        }
+        MissingPolicy::MeanImpute => {
+            for c in 0..h {
+                if !steps.iter().any(|r| r[c].is_nan()) {
+                    continue;
+                }
+                let mut sum = 0.0;
+                let mut count = 0usize;
+                for row in steps.iter() {
+                    if !row[c].is_nan() {
+                        sum += row[c];
+                        count += 1;
+                    }
+                }
+                let mean = if count > 0 { sum / count as f64 } else { 0.0 };
+                for row in steps.iter_mut() {
+                    if row[c].is_nan() {
+                        row[c] = mean;
+                    }
+                }
+            }
+        }
+        MissingPolicy::DropRows => unreachable!(),
     }
 }
 
@@ -225,6 +339,52 @@ impl WindowDataset {
         }
     }
 
+    /// Like [`WindowDataset::push_run`], but resolving missing feature
+    /// values under `policy` first: `Locf`/`MeanImpute` impute the series
+    /// (per run, so nothing leaks across runs), `DropRows` skips every
+    /// window whose context contains a missing step. Dense runs take the
+    /// exact [`WindowDataset::push_run`] path, bit for bit.
+    pub fn push_run_with_policy(
+        &mut self,
+        steps: &[Vec<f64>],
+        times: &[f64],
+        policy: MissingPolicy,
+    ) {
+        if !series_has_missing(steps) {
+            self.push_run(steps, times);
+            return;
+        }
+        match policy {
+            MissingPolicy::DropRows => {
+                assert_eq!(steps.len(), times.len(), "steps/times mismatch");
+                let t_total = steps.len();
+                if t_total < self.m + self.k {
+                    return;
+                }
+                let dirty: Vec<bool> =
+                    steps.iter().map(|row| row.iter().any(|v| v.is_nan())).collect();
+                let mut row = Vec::with_capacity(self.m * self.h);
+                for tc in (self.m - 1)..(t_total - self.k) {
+                    if dirty[tc + 1 - self.m..=tc].iter().any(|&d| d) {
+                        continue;
+                    }
+                    row.clear();
+                    for t in (tc + 1 - self.m)..=tc {
+                        assert_eq!(steps[t].len(), self.h, "feature width mismatch");
+                        row.extend_from_slice(&steps[t]);
+                    }
+                    self.x.push_row(&row);
+                    self.y.push(times[tc + 1..=tc + self.k].iter().sum());
+                }
+            }
+            _ => {
+                let mut imputed = steps.to_vec();
+                impute_series(&mut imputed, policy);
+                self.push_run(&imputed, times);
+            }
+        }
+    }
+
     /// Number of samples.
     pub fn n(&self) -> usize {
         self.x.rows()
@@ -348,6 +508,96 @@ mod tests {
         let mut w = WindowDataset::empty(2, 1, 2);
         w.push_run(&steps, &times);
         assert_eq!(w.n(), 0);
+    }
+
+    const NAN: f64 = f64::NAN;
+
+    #[test]
+    fn locf_carries_forward_and_backfills_leading_gaps() {
+        let mut s = vec![vec![NAN, 1.0], vec![2.0, NAN], vec![NAN, NAN], vec![5.0, 4.0]];
+        impute_series(&mut s, MissingPolicy::Locf);
+        // Column 0: leading gap back-filled from 2.0, then carried.
+        assert_eq!(s.iter().map(|r| r[0]).collect::<Vec<_>>(), vec![2.0, 2.0, 2.0, 5.0]);
+        // Column 1: carried from 1.0 across the two-step gap.
+        assert_eq!(s.iter().map(|r| r[1]).collect::<Vec<_>>(), vec![1.0, 1.0, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn mean_impute_uses_finite_means_and_zero_when_never_observed() {
+        let mut s = vec![vec![1.0, NAN], vec![NAN, NAN], vec![3.0, NAN]];
+        impute_series(&mut s, MissingPolicy::MeanImpute);
+        assert_eq!(s[1][0], 2.0);
+        assert!(s.iter().all(|r| r[1] == 0.0), "all-missing feature imputes to 0");
+    }
+
+    #[test]
+    fn imputation_is_identity_on_dense_series() {
+        let dense = vec![vec![1.5, -2.0], vec![0.0, 7.25]];
+        for policy in [MissingPolicy::Locf, MissingPolicy::MeanImpute, MissingPolicy::DropRows] {
+            let mut s = dense.clone();
+            impute_series(&mut s, policy);
+            assert_eq!(s, dense);
+        }
+    }
+
+    #[test]
+    fn resolve_missing_drops_rows_or_imputes() {
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![NAN, 20.0], vec![3.0, 30.0]]);
+        let d = Dataset::new(x, vec![1.0, 2.0, 3.0], vec!["a".into(), "b".into()]);
+        assert!(d.has_missing());
+        let dropped = d.resolve_missing(MissingPolicy::DropRows);
+        assert_eq!(dropped.n(), 2);
+        assert_eq!(dropped.y, vec![1.0, 3.0]);
+        let imputed = d.resolve_missing(MissingPolicy::Locf);
+        assert_eq!(imputed.n(), 3);
+        assert!(!imputed.has_missing());
+        assert_eq!(imputed.x.get(1, 0), 1.0);
+        // Dense input is returned identically.
+        let dense = toy();
+        assert_eq!(dense.resolve_missing(MissingPolicy::MeanImpute), dense);
+    }
+
+    #[test]
+    fn drop_rows_policy_skips_windows_touching_missing_steps() {
+        // T=6, m=2, k=2; step 2 is dirty, so cut points 2 and 3 vanish.
+        let mut steps: Vec<Vec<f64>> = (0..6).map(|t| vec![t as f64]).collect();
+        steps[2][0] = NAN;
+        let times: Vec<f64> = (0..6).map(|t| 10.0 + t as f64).collect();
+        let mut w = WindowDataset::empty(2, 1, 2);
+        w.push_run_with_policy(&steps, &times, MissingPolicy::DropRows);
+        assert_eq!(w.n(), 1);
+        assert_eq!(w.x.row(0), &[0.0, 1.0]); // only tc=1 survives
+        assert_eq!(w.y[0], 12.0 + 13.0);
+    }
+
+    #[test]
+    fn policy_push_matches_plain_push_on_dense_runs() {
+        let steps: Vec<Vec<f64>> = (0..8).map(|t| vec![t as f64, 0.5 * t as f64]).collect();
+        let times: Vec<f64> = (0..8).map(|t| 1.0 + t as f64).collect();
+        let mut plain = WindowDataset::empty(3, 2, 2);
+        plain.push_run(&steps, &times);
+        for policy in [MissingPolicy::Locf, MissingPolicy::MeanImpute, MissingPolicy::DropRows] {
+            let mut w = WindowDataset::empty(3, 2, 2);
+            w.push_run_with_policy(&steps, &times, policy);
+            assert_eq!(w, plain, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn imputing_policies_keep_every_window_finite() {
+        let mut steps: Vec<Vec<f64>> = (0..10).map(|t| vec![t as f64, 1.0]).collect();
+        steps[0][1] = NAN;
+        steps[4][0] = NAN;
+        steps[9][0] = NAN;
+        let times: Vec<f64> = (0..10).map(|t| 2.0 + t as f64).collect();
+        for policy in [MissingPolicy::Locf, MissingPolicy::MeanImpute] {
+            let mut w = WindowDataset::empty(3, 2, 2);
+            w.push_run_with_policy(&steps, &times, policy);
+            assert!(w.n() > 0);
+            for r in 0..w.n() {
+                assert!(w.x.row(r).iter().all(|v| v.is_finite()), "{policy:?}");
+            }
+        }
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub mod ridge;
 pub mod tree;
 
 pub use attention::{AttentionForecaster, AttentionParams};
-pub use dataset::{kfold, mean_center, Dataset, ScalarScaler, Standardizer, WindowDataset};
+pub use dataset::{
+    impute_series, kfold, mean_center, series_has_missing, Dataset, MissingPolicy, ScalarScaler,
+    Standardizer, WindowDataset,
+};
 pub use gbr::{Gbr, GbrParams};
 pub use matrix::Matrix;
 pub use mi::{binary_entropy, mutual_information_binary, mutual_information_discrete};

@@ -145,6 +145,39 @@ impl ModelRegistry {
         Ok(installed)
     }
 
+    /// Like [`ModelRegistry::load_dir`], but resilient to bad files: a
+    /// truncated, malformed or schema-skewed artifact is reported as a
+    /// `(path, error)` pair instead of aborting the scan, so one corrupt
+    /// export can never keep the healthy models from loading. Stale-version
+    /// files are still skipped silently. Only an unreadable directory is a
+    /// hard error (nothing could load at all).
+    pub fn load_dir_resilient(
+        &self,
+        dir: &Path,
+    ) -> Result<(usize, Vec<(std::path::PathBuf, RegistryError)>), RegistryError> {
+        let mut paths: Vec<_> = std::fs::read_dir(dir)
+            .map_err(|e| RegistryError::Io(format!("{}: {e}", dir.display())))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        paths.sort();
+        let mut installed = 0;
+        let mut failures = Vec::new();
+        for path in paths {
+            match std::fs::read_to_string(&path) {
+                Err(e) => {
+                    failures.push((path.clone(), RegistryError::Io(format!("{}: {e}", path.display()))))
+                }
+                Ok(json) => match self.install_json(&json) {
+                    Ok(_) => installed += 1,
+                    Err(RegistryError::StaleVersion { .. }) => {}
+                    Err(e) => failures.push((path, e)),
+                },
+            }
+        }
+        Ok((installed, failures))
+    }
+
     /// Every live `(key, version)` pair, sorted for stable output.
     pub fn models(&self) -> Vec<(ModelKey, u64)> {
         let mut out: Vec<(ModelKey, u64)> = self
@@ -233,6 +266,64 @@ mod tests {
             r.join().unwrap();
         }
         assert_eq!(reg.get(&ModelKey::deviation("amg-16")).unwrap().version, 19);
+    }
+
+    #[test]
+    fn corrupt_artifacts_are_typed_errors_and_never_block_healthy_loads() {
+        use dfv_faults::{skew_schema_version, truncate_json};
+        let dir =
+            std::env::temp_dir().join(format!("dfv-serve-corrupt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Two bad files first in sort order, then two healthy ones.
+        let truncated = truncate_json(&tiny_gbr_artifact("amg-16", 9).to_json(), 0.6);
+        std::fs::write(dir.join("a-truncated.json"), truncated).unwrap();
+        let skewed = skew_schema_version(&tiny_gbr_artifact("umt-16", 1).to_json(), 99);
+        std::fs::write(dir.join("b-skewed.json"), skewed).unwrap();
+        for art in [tiny_gbr_artifact("amg-16", 1), tiny_forecast_artifact("milc-16", 5)] {
+            std::fs::write(dir.join(art.file_name()), art.to_json()).unwrap();
+        }
+
+        // The strict loader aborts on the first bad file...
+        let strict = ModelRegistry::new();
+        assert!(matches!(strict.load_dir(&dir), Err(RegistryError::Artifact(_))));
+        // ...the resilient one installs every healthy artifact and reports
+        // each bad file with its typed error.
+        let reg = ModelRegistry::new();
+        let (installed, failures) = reg.load_dir_resilient(&dir).unwrap();
+        assert_eq!(installed, 2);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get(&ModelKey::deviation("amg-16")).unwrap().version, 1);
+        assert_eq!(failures.len(), 2);
+        assert!(matches!(
+            &failures[0].1,
+            RegistryError::Artifact(ArtifactError::Malformed(_))
+        ));
+        assert_eq!(
+            failures[1].1,
+            RegistryError::Artifact(ArtifactError::SchemaVersion { found: 99 })
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_install_leaves_the_previous_model_serving() {
+        use dfv_faults::truncate_json;
+        let reg = ModelRegistry::new();
+        reg.install(tiny_gbr_artifact("amg-16", 3)).unwrap();
+        // A truncated upload is a typed error, never a panic...
+        let bad = truncate_json(&tiny_gbr_artifact("amg-16", 4).to_json(), 0.4);
+        assert!(matches!(
+            reg.install_json(&bad),
+            Err(RegistryError::Artifact(ArtifactError::Malformed(_)))
+        ));
+        // ...a version-skew regression is refused...
+        assert!(matches!(
+            reg.install(tiny_gbr_artifact("amg-16", 2)),
+            Err(RegistryError::StaleVersion { .. })
+        ));
+        // ...and the live model is untouched either way.
+        assert_eq!(reg.get(&ModelKey::deviation("amg-16")).unwrap().version, 3);
     }
 
     #[test]

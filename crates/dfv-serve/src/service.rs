@@ -14,6 +14,7 @@ use crate::artifact::ModelArtifact;
 use crate::cache::{hash_row, LruCache};
 use crate::registry::{ModelKey, ModelRegistry};
 use crate::stats::{ModelStats, ServeStats};
+use dfv_faults::{FaultPlan, FaultSite};
 use dfv_mlkit::matrix::Matrix;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -32,6 +33,11 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Retry hint returned with rejections.
     pub retry_after: Duration,
+    /// Optional deterministic fault plan for chaos testing: its
+    /// `batcher_stall` schedule pauses the batcher before ticks it fires
+    /// on, simulating a slow consumer. Accepted requests are never dropped
+    /// by a stall — they wait it out and are answered normally.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +47,7 @@ impl Default for ServeConfig {
             max_batch: 32,
             cache_capacity: 4096,
             retry_after: Duration::from_millis(1),
+            fault_plan: None,
         }
     }
 }
@@ -294,6 +301,7 @@ fn run_batcher(rx: Receiver<QueueItem>, shared: Arc<Shared>) {
     let mut cache: LruCache<(ModelKey, u64, u64), f64> =
         LruCache::new(shared.config.cache_capacity);
     let mut stopping = false;
+    let mut tick: u64 = 0;
     while !stopping {
         let first = match rx.recv() {
             Ok(QueueItem::Work(envelope)) => envelope,
@@ -311,6 +319,15 @@ fn run_batcher(rx: Receiver<QueueItem>, shared: Arc<Shared>) {
                 Err(_) => break,
             }
         }
+        // Chaos hook: a slow-consumer stall pauses the whole tick. The
+        // queue keeps absorbing (and, when full, rejecting with a retry
+        // hint) in the meantime; nothing accepted is lost.
+        if let Some(plan) = &shared.config.fault_plan {
+            if plan.fires(FaultSite::BatcherStall, 0, tick) {
+                std::thread::sleep(Duration::from_millis(plan.stall_millis));
+            }
+        }
+        tick += 1;
         process_tick(batch, &shared, &mut cache);
     }
     // Sentinel seen: answer anything that was accepted alongside it, then
@@ -608,6 +625,90 @@ mod tests {
         assert_eq!(ask(&handle), (7, true));
         drop(handle);
         service.shutdown();
+    }
+
+    #[test]
+    fn stalled_batcher_still_answers_everything_accepted() {
+        use dfv_faults::Schedule;
+        let artifact = tiny_gbr_artifact("amg-16", 1);
+        let width = artifact.input_width();
+        let plan = FaultPlan {
+            batcher_stall: Schedule::Periodic { period: 2, phase: 0 },
+            stall_millis: 10,
+            ..FaultPlan::none()
+        };
+        let config = ServeConfig {
+            queue_capacity: 4,
+            max_batch: 2,
+            fault_plan: Some(plan),
+            ..ServeConfig::default()
+        };
+        let (service, _) = service_with(vec![artifact], config);
+        let handle = service.handle();
+        // Push well past the queue depth while the batcher keeps stalling:
+        // submissions are either accepted (and must be answered) or
+        // rejected with a retry hint — never lost, never panicking.
+        let mut answered = 0u64;
+        for i in 0..24 {
+            let row: Vec<f64> = (0..width).map(|j| ((i * 13 + j) % 7) as f64).collect();
+            loop {
+                match handle
+                    .request(Request::PredictDeviation { app: "amg-16".into(), step_features: row.clone() })
+                {
+                    Response::Prediction { .. } => {
+                        answered += 1;
+                        break;
+                    }
+                    Response::Rejected { retry_after } => std::thread::sleep(retry_after),
+                    other => panic!("unexpected response: {other:?}"),
+                }
+            }
+        }
+        assert_eq!(answered, 24);
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 24);
+        assert_eq!(stats.errors, 0);
+    }
+
+    #[test]
+    fn hot_swap_during_in_flight_batches_never_drops_requests() {
+        let (service, registry) = service_with(
+            vec![tiny_gbr_artifact("amg-16", 1)],
+            ServeConfig { queue_capacity: 64, max_batch: 4, ..ServeConfig::default() },
+        );
+        let handle = service.handle();
+        let width = registry.get(&ModelKey::deviation("amg-16")).unwrap().input_width();
+        let client = std::thread::spawn(move || {
+            let mut versions = std::collections::BTreeSet::new();
+            for i in 0..200u64 {
+                let row: Vec<f64> = (0..width).map(|j| ((i * 7 + j as u64) % 23) as f64).collect();
+                loop {
+                    match handle.request(Request::PredictDeviation {
+                        app: "amg-16".into(),
+                        step_features: row.clone(),
+                    }) {
+                        Response::Prediction { model_version, .. } => {
+                            versions.insert(model_version);
+                            break;
+                        }
+                        Response::Rejected { retry_after } => std::thread::sleep(retry_after),
+                        other => panic!("unexpected response: {other:?}"),
+                    }
+                }
+            }
+            versions
+        });
+        for v in 2..=5u64 {
+            registry.install(tiny_gbr_artifact("amg-16", v)).unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let versions = client.join().unwrap();
+        // Every answer came from some installed version — a swap mid-batch
+        // finishes on the snapshot it pinned, and no request is dropped.
+        assert!(versions.iter().all(|v| (1..=5u64).contains(v)), "versions {versions:?}");
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 200);
+        assert_eq!(stats.errors, 0);
     }
 
     #[test]

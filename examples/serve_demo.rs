@@ -64,6 +64,7 @@ fn main() {
             max_batch: 16,
             cache_capacity: 1024,
             retry_after: Duration::from_micros(200),
+            fault_plan: None,
         },
     );
 

@@ -37,6 +37,10 @@
 /// The dragonfly network substrate: topology, routing, congestion model.
 pub use dfv_dragonfly as dragonfly;
 
+/// Deterministic fault injection: seeded fault plans for counter dropout,
+/// collection gaps, stale samples and serving-path disruptions.
+pub use dfv_faults as faults;
+
 /// Aries hardware counters, AriesNCL-style sessions and LDMS sampling.
 pub use dfv_counters as counters;
 
@@ -58,18 +62,22 @@ pub use dfv_experiments as experiments;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use dfv_counters::{
-        AriesSession, Counter, CounterSnapshot, FeatureSet, LdmsSampler, SystemLayout,
+        AriesSession, Counter, CounterSnapshot, FaultyAriesSession, FaultyLdmsSampler, FeatureSet,
+        LdmsSampler, SystemLayout,
     };
+    pub use dfv_faults::{FaultPlan, FaultSite, Schedule};
     pub use dfv_dragonfly::{
         AllocationPolicy, BackgroundTraffic, ChannelLoads, DragonflyConfig, NetworkSim, NodeId,
         Placement, RouterId, RoutingPolicy, SimScratch, StepTelemetry, Topology, Traffic,
     };
     pub use dfv_experiments::{
-        analyze_deviation, run_campaign, simulate_long_run, train_and_export, AppDataset,
-        CampaignConfig, CampaignResult, RunRecord, ServeTrainConfig,
+        analyze_deviation, gap_fraction_ablation, run_campaign, run_campaign_faulted,
+        simulate_long_run, train_and_export, AppDataset, CampaignConfig, CampaignResult, RunRecord,
+        ServeTrainConfig,
     };
     pub use dfv_mlkit::{
-        AttentionForecaster, AttentionParams, Dataset, Gbr, GbrParams, Matrix, Ridge, WindowDataset,
+        AttentionForecaster, AttentionParams, Dataset, Gbr, GbrParams, Matrix, MissingPolicy,
+        Ridge, WindowDataset,
     };
     pub use dfv_scheduler::{Archetype, Cluster, JobRequest, UserId};
     pub use dfv_serve::{

@@ -1,0 +1,173 @@
+//! Chaos suite: the fault-injection layer driven through the public facade.
+//!
+//! Invariants under test: a [`FaultPlan::none`] plan is a bit-for-bit no-op
+//! on the campaign; the same plan and seed reproduce the same faults; gap
+//! faults degrade model quality boundedly under every missing-data policy
+//! and never panic; and the serving path keeps draining — nothing dropped,
+//! nothing panicking — under queue saturation with injected batcher stalls.
+
+use dragonfly_variability::experiments::analyze_deviation_with_policy;
+use dragonfly_variability::mlkit::gbr::{Gbr, GbrParams};
+use dragonfly_variability::mlkit::rfe::RfeParams;
+use dragonfly_variability::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// One small single-app campaign shared by the telemetry-side tests.
+fn small_config() -> CampaignConfig {
+    CampaignConfig {
+        num_days: 2,
+        apps: vec![AppSpec { kind: AppKind::Milc, num_nodes: 16 }],
+        ..CampaignConfig::quick()
+    }
+}
+
+fn clean() -> &'static CampaignResult {
+    static CLEAN: OnceLock<CampaignResult> = OnceLock::new();
+    CLEAN.get_or_init(|| run_campaign(&small_config()))
+}
+
+fn rfe_params() -> RfeParams {
+    RfeParams { folds: 3, gbr: GbrParams { n_trees: 15, ..Default::default() }, seed: 3 }
+}
+
+/// Every f64 the campaign measured, as raw bits (NaN-safe comparison).
+fn telemetry_bits(result: &CampaignResult) -> Vec<u64> {
+    let mut bits = Vec::new();
+    for ds in &result.datasets {
+        for run in &ds.runs {
+            for s in &run.steps {
+                bits.push(s.time.to_bits());
+                bits.extend(s.counters.iter().map(|v| v.to_bits()));
+                bits.extend(s.io.iter().map(|v| v.to_bits()));
+                bits.extend(s.sys.iter().map(|v| v.to_bits()));
+            }
+        }
+    }
+    bits
+}
+
+#[test]
+fn none_plan_is_a_bit_for_bit_no_op() {
+    let faulted = run_campaign_faulted(&small_config(), Some(&FaultPlan::none()));
+    assert_eq!(clean().datasets, faulted.datasets);
+    assert_eq!(telemetry_bits(clean()), telemetry_bits(&faulted));
+}
+
+#[test]
+fn identical_plans_reproduce_identical_faults() {
+    let plan = FaultPlan::gaps(99, 0.25);
+    let a = run_campaign_faulted(&small_config(), Some(&plan));
+    let b = run_campaign_faulted(&small_config(), Some(&plan));
+    assert_eq!(telemetry_bits(&a), telemetry_bits(&b));
+    // And the faults actually fired: some telemetry is missing.
+    let missing = telemetry_bits(&a).iter().filter(|&&v| f64::from_bits(v).is_nan()).count();
+    assert!(missing > 0, "a 25% gap plan must lose some samples");
+}
+
+#[test]
+fn moderate_gaps_degrade_the_deviation_model_boundedly() {
+    let params = rfe_params();
+    let base = analyze_deviation_with_policy(&clean().datasets[0], &params, MissingPolicy::MeanImpute);
+    let faulted = run_campaign_faulted(&small_config(), Some(&FaultPlan::gaps(17, 0.10)));
+    for policy in [MissingPolicy::Locf, MissingPolicy::MeanImpute] {
+        let analysis = analyze_deviation_with_policy(&faulted.datasets[0], &params, policy);
+        assert_eq!(analysis.rfe.relevance.len(), 13);
+        assert!((analysis.rfe.relevance.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let mape = analysis.rfe.mean_mape();
+        assert!(mape.is_finite(), "{policy:?}: MAPE must stay finite under gaps");
+        // Graceful, not catastrophic: 10% gaps may cost accuracy, but the
+        // imputed model stays in the same regime as the clean one.
+        assert!(
+            mape < base.rfe.mean_mape() * 3.0 + 15.0,
+            "{policy:?}: faulted MAPE {mape} vs clean {}",
+            base.rfe.mean_mape()
+        );
+    }
+}
+
+#[test]
+fn escalating_gaps_never_panic_under_any_policy() {
+    let params = RfeParams { folds: 3, gbr: GbrParams { n_trees: 8, ..Default::default() }, seed: 5 };
+    for (i, fraction) in [0.05, 0.3, 0.6].into_iter().enumerate() {
+        let plan = FaultPlan::gaps(1000 + i as u64, fraction);
+        let result = run_campaign_faulted(&small_config(), Some(&plan));
+        for policy in [MissingPolicy::Locf, MissingPolicy::MeanImpute, MissingPolicy::DropRows] {
+            let analysis = analyze_deviation_with_policy(&result.datasets[0], &params, policy);
+            assert_eq!(analysis.rfe.relevance.len(), 13);
+            assert!((analysis.rfe.relevance.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(
+                analysis.rfe.mean_mape().is_finite(),
+                "{policy:?} at {fraction}: non-finite MAPE"
+            );
+        }
+    }
+}
+
+#[test]
+fn service_drains_under_saturation_with_injected_stalls() {
+    // A real fitted model, like an offline campaign would export.
+    let mut x = Matrix::zeros(0, 4);
+    let mut y = Vec::new();
+    for i in 0..20 {
+        let row: Vec<f64> = (0..4).map(|j| ((i * 5 + j * 3) % 9) as f64).collect();
+        y.push(row[0] - 0.5 * row[2] + 0.1 * row[3]);
+        x.push_row(&row);
+    }
+    let gbr = Gbr::fit(&x, &y, &GbrParams { n_trees: 6, subsample: 1.0, ..GbrParams::default() });
+    let names = (0..4).map(|i| format!("f{i}")).collect();
+    let artifact = ModelArtifact::deviation(
+        "amg-16",
+        1,
+        dragonfly_variability::counters::FeatureSet::App,
+        names,
+        gbr,
+    );
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(artifact).unwrap();
+    // Tiny queue + a batcher that stalls every third tick: clients see
+    // backpressure, but every accepted request is eventually answered.
+    let service = Service::start(
+        registry,
+        ServeConfig {
+            queue_capacity: 4,
+            max_batch: 2,
+            fault_plan: Some(FaultPlan {
+                batcher_stall: Schedule::Periodic { period: 3, phase: 0 },
+                stall_millis: 5,
+                ..FaultPlan::none()
+            }),
+            ..ServeConfig::default()
+        },
+    );
+    let workers: Vec<_> = (0..4u64)
+        .map(|t| {
+            let handle = service.handle();
+            std::thread::spawn(move || {
+                for i in 0..25u64 {
+                    let row: Vec<f64> =
+                        (0..4u64).map(|j| ((t + i * 3 + j) % 11) as f64).collect();
+                    loop {
+                        match handle.request(Request::PredictDeviation {
+                            app: "amg-16".into(),
+                            step_features: row.clone(),
+                        }) {
+                            Response::Prediction { value, .. } => {
+                                assert!(value.is_finite());
+                                break;
+                            }
+                            Response::Rejected { retry_after } => std::thread::sleep(retry_after),
+                            Response::Error(e) => panic!("serve error: {e}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().unwrap();
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 100);
+    assert_eq!(stats.errors, 0);
+}

@@ -109,36 +109,28 @@ fn deviation_models_explain_more_than_the_mean() {
 }
 
 #[test]
-// Pre-existing seed failure (see the PR 1 note in CHANGES.md): on some
-// hosts the rich model's MAPE lands above the poor model's on the quick
-// campaign, with identical numbers across reruns — a brittle statistical
-// threshold, not a code regression (training is deterministic and the PR 3
-// rewrite is bit-for-bit identical to the seed trainer). Ignored so tier-1
-// runs green; run explicitly with `cargo test -- --ignored`.
-#[ignore = "brittle seed assertion; see CHANGES.md PR 1 note"]
 fn forecaster_improves_with_context_or_features() {
+    // A single (train seed, fold seed) pair makes this a coin-flip on the
+    // quick campaign (the PR 1 note in CHANGES.md): one unlucky fold split
+    // can put the rich model's MAPE above the poor model's. The paper's
+    // claim is about the trend, so compare the median over five fold seeds
+    // instead — still fully deterministic, no longer hostage to one split.
     let result = campaign();
     let ds = result.datasets.iter().find(|d| d.spec.kind == AppKind::Milc).unwrap();
     let params = AttentionParams { epochs: 25, d_attn: 8, hidden: 16, ..Default::default() };
-    let short =
-        evaluate(ds, &ForecastSpec { m: 3, k: 10, features: FeatureSet::App }, &params, 3, 2);
-    let long = evaluate(
-        ds,
-        &ForecastSpec { m: 10, k: 20, features: FeatureSet::AppPlacementIoSys },
-        &params,
-        3,
-        2,
-    );
-    assert!(short.mape.is_finite() && long.mape.is_finite());
+    let median_mape = |spec: &ForecastSpec| -> f64 {
+        let mut mapes: Vec<f64> =
+            [1u64, 2, 3, 5, 8].iter().map(|&seed| evaluate(ds, spec, &params, 3, seed).mape).collect();
+        mapes.sort_by(f64::total_cmp);
+        mapes[2]
+    };
+    let short = median_mape(&ForecastSpec { m: 3, k: 10, features: FeatureSet::App });
+    let long = median_mape(&ForecastSpec { m: 10, k: 20, features: FeatureSet::AppPlacementIoSys });
+    assert!(short.is_finite() && long.is_finite());
     // The paper's headline trend: more context + more features + a longer
     // amortizing horizon lowers MAPE. (The quick campaign is small, so the
     // comparison uses moderate m/k where both models have enough windows.)
-    assert!(
-        long.mape < short.mape,
-        "rich model {} should beat poor model {}",
-        long.mape,
-        short.mape
-    );
+    assert!(long < short, "rich model {long} should beat poor model {short}");
 }
 
 #[test]

@@ -5,7 +5,7 @@ use dragonfly_variability::dragonfly::ids::Idx;
 use dragonfly_variability::dragonfly::routing::{
     self, minimal_route, route_is_valid, IntraOrder, RoutingPolicy,
 };
-use dragonfly_variability::mlkit::dataset::{kfold, Standardizer};
+use dragonfly_variability::mlkit::dataset::{impute_series, kfold, series_has_missing, Standardizer};
 use dragonfly_variability::mlkit::matrix::{softmax, Matrix};
 use dragonfly_variability::mlkit::metrics::{mae, mape, r2, rmse};
 use dragonfly_variability::mlkit::mi::{binary_entropy, mutual_information_binary};
@@ -177,6 +177,75 @@ proptest! {
         let s = softmax(&xs);
         prop_assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         prop_assert!(s.iter().all(|&v| v >= 0.0 && v.is_finite()));
+    }
+
+    #[test]
+    fn imputation_fills_every_gap_and_is_idempotent(
+        t in 1usize..24,
+        h in 1usize..6,
+        seed in 0u64..200,
+        p in 0.0f64..0.9,
+        mean in any::<bool>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut steps: Vec<Vec<f64>> = (0..t)
+            .map(|_| {
+                (0..h)
+                    .map(|_| if rng.gen_bool(p) { f64::NAN } else { rng.gen_range(-50.0..50.0) })
+                    .collect()
+            })
+            .collect();
+        let policy = if mean { MissingPolicy::MeanImpute } else { MissingPolicy::Locf };
+        impute_series(&mut steps, policy);
+        prop_assert!(!series_has_missing(&steps));
+        prop_assert!(steps.iter().flatten().all(|v| v.is_finite()));
+        // Idempotent: a resolved series is dense, and dense series are untouched.
+        let once = steps.clone();
+        impute_series(&mut steps, policy);
+        prop_assert_eq!(&steps, &once);
+    }
+
+    #[test]
+    fn dense_series_are_bit_for_bit_untouched_by_every_policy(
+        t in 1usize..24,
+        h in 1usize..6,
+        seed in 0u64..200,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let steps: Vec<Vec<f64>> = (0..t)
+            .map(|_| (0..h).map(|_| rng.gen_range(-1.0e9..1.0e9)).collect())
+            .collect();
+        for policy in [MissingPolicy::Locf, MissingPolicy::MeanImpute, MissingPolicy::DropRows] {
+            let mut copy = steps.clone();
+            impute_series(&mut copy, policy);
+            let same = copy
+                .iter()
+                .flatten()
+                .zip(steps.iter().flatten())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            prop_assert!(same, "{policy:?} rewrote a dense series");
+        }
+    }
+
+    #[test]
+    fn fault_masks_are_seeded_functions_not_processes(
+        seed in 0u64..5000,
+        p in 0.0f64..1.0,
+        stream in 0u64..64,
+        len in 1usize..256,
+    ) {
+        let plan = FaultPlan::gaps(seed, p);
+        let a = plan.mask(FaultSite::CounterDropout, stream, len);
+        let b = plan.clone().mask(FaultSite::CounterDropout, stream, len);
+        prop_assert_eq!(&a, &b);
+        // Prefix stability: drawing more of the stream never rewrites history.
+        let longer = plan.mask(FaultSite::CounterDropout, stream, len + 17);
+        prop_assert_eq!(&longer[..len], &a[..]);
+        // The empty plan never fires anywhere.
+        let silent = FaultPlan::none().mask(FaultSite::CounterDropout, stream, len);
+        prop_assert!(silent.iter().all(|&fired| !fired));
     }
 
     #[test]
