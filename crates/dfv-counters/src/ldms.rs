@@ -15,7 +15,7 @@ use crate::counter::Counter;
 use dfv_dragonfly::ids::{Idx, NodeId, RouterId};
 use dfv_dragonfly::telemetry::StepTelemetry;
 use dfv_dragonfly::topology::Topology;
-use dfv_faults::{FaultPlan, FaultSite};
+use dfv_faults::{FaultPlan, FaultSite, VerdictCounters};
 use serde::{Deserialize, Serialize};
 
 /// The role of the nodes attached to a router.
@@ -175,13 +175,26 @@ pub struct FaultyLdmsSampler {
     stream: u64,
     last_io: Option<LdmsReading>,
     last_sys: Option<LdmsReading>,
+    verdicts: VerdictCounters,
 }
 
 impl FaultyLdmsSampler {
     /// Wrap a sampler in a fault plan. `stream` separates concurrent
     /// consumers' fault sequences (typically the monitored job's id).
     pub fn new(inner: LdmsSampler, plan: FaultPlan, stream: u64) -> Self {
-        FaultyLdmsSampler { inner, plan, stream, last_io: None, last_sys: None }
+        Self::with_observer(inner, plan, stream, VerdictCounters::disabled())
+    }
+
+    /// Like [`FaultyLdmsSampler::new`], additionally counting per-site
+    /// fault verdicts into `verdicts`. Counting never changes a verdict,
+    /// so reads are bit-for-bit identical to the unobserved sampler.
+    pub fn with_observer(
+        inner: LdmsSampler,
+        plan: FaultPlan,
+        stream: u64,
+        verdicts: VerdictCounters,
+    ) -> Self {
+        FaultyLdmsSampler { inner, plan, stream, last_io: None, last_sys: None, verdicts }
     }
 
     /// The layout in use.
@@ -192,10 +205,10 @@ impl FaultyLdmsSampler {
     /// The io feature group at `step`, `None` on a collection gap; stale
     /// intervals repeat the previous successful io reading.
     pub fn read_io(&mut self, telemetry: &StepTelemetry, step: u64) -> Option<LdmsReading> {
-        if self.plan.fires(FaultSite::LdmsIoGap, self.stream, step) {
+        if self.verdicts.check(&self.plan, FaultSite::LdmsIoGap, self.stream, step) {
             return None;
         }
-        if self.plan.fires(FaultSite::LdmsIoStale, self.stream, step) {
+        if self.verdicts.check(&self.plan, FaultSite::LdmsIoStale, self.stream, step) {
             if let Some(last) = self.last_io {
                 return Some(last);
             }
@@ -213,10 +226,10 @@ impl FaultyLdmsSampler {
         job_routers: &[RouterId],
         step: u64,
     ) -> Option<LdmsReading> {
-        if self.plan.fires(FaultSite::LdmsSysGap, self.stream, step) {
+        if self.verdicts.check(&self.plan, FaultSite::LdmsSysGap, self.stream, step) {
             return None;
         }
-        if self.plan.fires(FaultSite::LdmsSysStale, self.stream, step) {
+        if self.verdicts.check(&self.plan, FaultSite::LdmsSysStale, self.stream, step) {
             if let Some(last) = self.last_sys {
                 return Some(last);
             }

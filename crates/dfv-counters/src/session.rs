@@ -11,7 +11,7 @@ use dfv_dragonfly::ids::{Idx, RouterId};
 use dfv_dragonfly::placement::Placement;
 use dfv_dragonfly::telemetry::StepTelemetry;
 use dfv_dragonfly::topology::Topology;
-use dfv_faults::{FaultPlan, FaultSite};
+use dfv_faults::{FaultPlan, FaultSite, VerdictCounters};
 
 /// A counter-collection session attached to one job's routers.
 #[derive(Debug, Clone)]
@@ -50,13 +50,26 @@ pub struct FaultyAriesSession {
     plan: FaultPlan,
     stream: u64,
     last: Option<CounterSnapshot>,
+    verdicts: VerdictCounters,
 }
 
 impl FaultyAriesSession {
     /// Wrap a session in a fault plan. `stream` identifies this session's
     /// fault sequence (typically the job id).
     pub fn new(inner: AriesSession, plan: FaultPlan, stream: u64) -> Self {
-        FaultyAriesSession { inner, plan, stream, last: None }
+        Self::with_observer(inner, plan, stream, VerdictCounters::disabled())
+    }
+
+    /// Like [`FaultyAriesSession::new`], additionally counting per-site
+    /// fault verdicts into `verdicts`. Counting never changes a verdict,
+    /// so reads are bit-for-bit identical to the unobserved session.
+    pub fn with_observer(
+        inner: AriesSession,
+        plan: FaultPlan,
+        stream: u64,
+        verdicts: VerdictCounters,
+    ) -> Self {
+        FaultyAriesSession { inner, plan, stream, last: None, verdicts }
     }
 
     /// The routers the underlying session may observe.
@@ -69,10 +82,10 @@ impl FaultyAriesSession {
     /// successful reading (when one exists — the first interval cannot be
     /// stale). A dropped interval does not advance the stale baseline.
     pub fn read_step(&mut self, telemetry: &StepTelemetry, step: u64) -> Option<CounterSnapshot> {
-        if self.plan.fires(FaultSite::CounterDropout, self.stream, step) {
+        if self.verdicts.check(&self.plan, FaultSite::CounterDropout, self.stream, step) {
             return None;
         }
-        if self.plan.fires(FaultSite::CounterStale, self.stream, step) {
+        if self.verdicts.check(&self.plan, FaultSite::CounterStale, self.stream, step) {
             if let Some(last) = self.last {
                 return Some(last);
             }

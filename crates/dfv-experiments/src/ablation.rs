@@ -10,14 +10,14 @@
 use crate::campaign::{run_campaign, run_campaign_faulted, splitmix, CampaignConfig};
 use crate::deviation::analyze_deviation_with_policy;
 use dfv_dragonfly::config::DragonflyConfig;
-use dfv_faults::FaultPlan;
-use dfv_mlkit::dataset::MissingPolicy;
-use dfv_mlkit::rfe::RfeParams;
 use dfv_dragonfly::ids::NodeId;
 use dfv_dragonfly::network::{BackgroundTraffic, NetworkSim, SimScratch};
 use dfv_dragonfly::routing::RoutingPolicy;
 use dfv_dragonfly::topology::Topology;
 use dfv_dragonfly::traffic::Traffic;
+use dfv_faults::FaultPlan;
+use dfv_mlkit::dataset::MissingPolicy;
+use dfv_mlkit::rfe::RfeParams;
 use dfv_workloads::app::AppSpec;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -154,9 +154,10 @@ pub fn gap_fraction_ablation(
         let plan = FaultPlan::gaps(splitmix(config.seed, 5000), fraction);
         let result = run_campaign_faulted(config, Some(&plan));
         let ds = result.dataset(spec).expect("campaign collected the requested spec");
-        let (lost, total) = ds.runs.iter().flat_map(|r| &r.steps).fold((0usize, 0usize), |a, s| {
-            (a.0 + usize::from(s.counters[0].is_nan()), a.1 + 1)
-        });
+        let (lost, total) =
+            ds.runs.iter().flat_map(|r| &r.steps).fold((0usize, 0usize), |a, s| {
+                (a.0 + usize::from(s.counters[0].is_nan()), a.1 + 1)
+            });
         let analysis = analyze_deviation_with_policy(ds, params, policy);
         let shift = analysis
             .rfe
@@ -225,8 +226,7 @@ mod tests {
         let spec = AppSpec { kind: AppKind::Milc, num_nodes: 16 };
         let params =
             RfeParams { folds: 3, gbr: GbrParams { n_trees: 15, ..Default::default() }, seed: 1 };
-        let out =
-            gap_fraction_ablation(&config, &spec, &[0.2], MissingPolicy::MeanImpute, &params);
+        let out = gap_fraction_ablation(&config, &spec, &[0.2], MissingPolicy::MeanImpute, &params);
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].fraction, 0.0);
         assert_eq!(out[0].relevance_shift, 0.0);

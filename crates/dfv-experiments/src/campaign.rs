@@ -22,7 +22,6 @@ use crate::data::{AppDataset, RunRecord, StepRecord};
 use dfv_counters::ldms::{FaultyLdmsSampler, LdmsSampler, SystemLayout};
 use dfv_counters::session::{AriesSession, FaultyAriesSession};
 use dfv_counters::Counter;
-use dfv_faults::FaultPlan;
 use dfv_dragonfly::config::DragonflyConfig;
 use dfv_dragonfly::ids::NodeId;
 use dfv_dragonfly::network::{BackgroundTraffic, NetworkSim, RoutedTraffic, SimScratch};
@@ -30,6 +29,8 @@ use dfv_dragonfly::placement::{AllocationPolicy, Placement};
 use dfv_dragonfly::telemetry::StepTelemetry;
 use dfv_dragonfly::topology::Topology;
 use dfv_dragonfly::traffic::Traffic;
+use dfv_faults::{FaultPlan, VerdictCounters};
+use dfv_obs::Obs;
 use dfv_scheduler::advisor::{Advice, CongestionAdvisor};
 use dfv_scheduler::cluster::Cluster;
 use dfv_scheduler::job::{JobId, JobRecord, JobRequest, UserId};
@@ -183,7 +184,18 @@ fn archetype_of(name: &str) -> Option<Archetype> {
 
 /// Run the full campaign.
 pub fn run_campaign(config: &CampaignConfig) -> CampaignResult {
-    run_campaign_with(config, None, None)
+    run_campaign_with(config, None, None, &Obs::disabled())
+}
+
+/// [`run_campaign`] with telemetry recorded into `obs`: phase spans
+/// (`span.campaign.phase1_scheduling` / `span.campaign.phase2_measurement`),
+/// submission and probe counters, per-app wall-time histograms
+/// (`campaign.run_millis{app="..."}`), and the scheduler's queue/placement
+/// metrics. Observation never feeds back into the simulation: with any
+/// `obs` — disabled or live — the returned [`CampaignResult`] is bit-for-bit
+/// the one [`run_campaign`] produces.
+pub fn run_campaign_observed(config: &CampaignConfig, obs: &Obs) -> CampaignResult {
+    run_campaign_with(config, None, None, obs)
 }
 
 /// Run the campaign with an optional congestion-aware scheduling advisor
@@ -194,7 +206,7 @@ pub fn run_campaign_advised(
     config: &CampaignConfig,
     advisor: Option<&CongestionAdvisor>,
 ) -> CampaignResult {
-    run_campaign_with(config, advisor, None)
+    run_campaign_with(config, advisor, None, &Obs::disabled())
 }
 
 /// Run the campaign with a deterministic telemetry fault plan applied to
@@ -204,17 +216,29 @@ pub fn run_campaign_advised(
 /// a faulted dataset differs from its clean twin exactly in the counter,
 /// io and sys columns (missing samples surface as NaN). Passing `None` or
 /// [`FaultPlan::none`] reproduces [`run_campaign`] bit for bit.
-pub fn run_campaign_faulted(
+pub fn run_campaign_faulted(config: &CampaignConfig, faults: Option<&FaultPlan>) -> CampaignResult {
+    run_campaign_with(config, None, faults, &Obs::disabled())
+}
+
+/// [`run_campaign_faulted`] with telemetry: everything
+/// [`run_campaign_observed`] records, plus per-site fault verdict counters
+/// (`faults.checked{site="..."}` / `faults.fired{site="..."}`) so a live
+/// registry shows the realized injection rate next to the plan's configured
+/// rate. Verdicts remain a pure function of the plan — counting never
+/// changes them.
+pub fn run_campaign_faulted_observed(
     config: &CampaignConfig,
     faults: Option<&FaultPlan>,
+    obs: &Obs,
 ) -> CampaignResult {
-    run_campaign_with(config, None, faults)
+    run_campaign_with(config, None, faults, obs)
 }
 
 fn run_campaign_with(
     config: &CampaignConfig,
     advisor: Option<&CongestionAdvisor>,
     faults: Option<&FaultPlan>,
+    obs: &Obs,
 ) -> CampaignResult {
     let topo = Topology::new(config.topology.clone()).expect("valid topology");
     let layout = SystemLayout::with_io_stride(&topo, config.io_stride);
@@ -224,6 +248,10 @@ fn run_campaign_with(
     let total_compute = compute_nodes.len();
 
     // ---------------- Phase 1: scheduling ---------------------------------
+    let phase1 = obs.span("campaign.phase1_scheduling");
+    let obs_background = obs.counter("campaign.background_submissions");
+    let obs_probes = obs.counter("campaign.probe_submissions");
+    let obs_delays = obs.counter("campaign.advisor_delays");
     let mut rng = StdRng::seed_from_u64(splitmix(config.seed, 1));
     let users = population(
         config.heavy_users,
@@ -252,6 +280,7 @@ fn run_campaign_with(
             let mut req = req;
             req.num_nodes = req.num_nodes.min(total_compute);
             submissions.push(Submission { request: req, probe: None });
+            obs_background.inc();
         }
     }
     for day in 0..config.num_days {
@@ -271,6 +300,7 @@ fn run_campaign_with(
                     },
                     probe: Some(*spec),
                 });
+                obs_probes.inc();
             }
         }
     }
@@ -308,7 +338,8 @@ fn run_campaign_with(
         })
         .collect();
 
-    let mut cluster = Cluster::new(compute_nodes, config.allocation, splitmix(config.seed, 2));
+    let mut cluster =
+        Cluster::new_observed(compute_nodes, config.allocation, splitmix(config.seed, 2), obs);
     let mut probe_jobs: HashMap<JobId, AppSpec> = HashMap::new();
     let mut next_seq = heap.len();
     while let Some(Reverse(pending)) = heap.pop() {
@@ -324,6 +355,7 @@ fn run_campaign_with(
                     delayed: pending.delayed + recheck_in,
                 }));
                 next_seq += 1;
+                obs_delays.inc();
                 continue;
             }
         }
@@ -337,8 +369,25 @@ fn run_campaign_with(
     }
     cluster.drain();
     let sacct: Vec<JobRecord> = cluster.records().to_vec();
+    drop(phase1);
 
     // ---------------- Phase 2: measurement --------------------------------
+    let _phase2 = obs.span("campaign.phase2_measurement");
+    let obs_probe_runs = obs.counter("campaign.probe_runs");
+    let obs_routed_jobs = obs.counter("campaign.routed_jobs");
+    // One wall-time histogram per Table I row; the label folds in the node
+    // count (e.g. `milc-16`), giving the per-app/per-node-count breakdown.
+    let run_millis: Vec<(AppSpec, dfv_obs::Histogram)> = config
+        .apps
+        .iter()
+        .map(|spec| {
+            (*spec, obs.histogram(&format!("campaign.run_millis{{app=\"{}\"}}", spec.label())))
+        })
+        .collect();
+    // Fault verdicts are counted campaign-wide; handles are clones sharing
+    // the same registry cells, so the per-probe wrappers below all feed the
+    // same per-site totals. With a disabled `obs` this is fully inert.
+    let verdicts = VerdictCounters::new(obs);
     let sim = NetworkSim::new(&topo);
     let sampler = LdmsSampler::new(layout.clone());
     let mut probes: Vec<&JobRecord> =
@@ -371,6 +420,7 @@ fn run_campaign_with(
                 (rec.id, Arc::new(contribution))
             })
             .collect();
+        obs_routed_jobs.add(routed.len() as u64);
 
         let chunk_runs: Vec<(AppSpec, RunRecord)> = chunk
             .par_iter()
@@ -388,10 +438,19 @@ fn run_campaign_with(
                     splitmix(config.seed, 2000 + rec.id.0),
                     config.compute_noise,
                     faults,
+                    &verdicts,
                 );
                 (spec, run)
             })
             .collect();
+        if obs.is_enabled() {
+            for (spec, run) in &chunk_runs {
+                obs_probe_runs.inc();
+                if let Some((_, hist)) = run_millis.iter().find(|(s, _)| s == spec) {
+                    hist.record_f64((run.end_time - run.start_time) * 1000.0);
+                }
+            }
+        }
         run_records.extend(chunk_runs);
     }
 
@@ -458,17 +517,29 @@ fn simulate_probe(
     seed: u64,
     compute_noise: f64,
     faults: Option<&FaultPlan>,
+    verdicts: &VerdictCounters,
 ) -> RunRecord {
     let placement = Placement::new(rec.nodes.clone());
     let app = spec.instantiate_with_steps(&rec.nodes, seed, num_steps);
     let session = AriesSession::attach(topo, &placement);
     // The fault layer wraps the collectors only when a plan is active, so
     // the fault-free path below stays the exact expressions it always was.
-    // Each probe's fault stream is keyed by its job id.
+    // Each probe's fault stream is keyed by its job id; verdict counting
+    // shares campaign-wide per-site cells and never changes a verdict.
     let mut faulty = faults.filter(|p| !p.is_none()).map(|plan| {
         (
-            FaultyAriesSession::new(session.clone(), plan.clone(), rec.id.0),
-            FaultyLdmsSampler::new(sampler.clone(), plan.clone(), rec.id.0),
+            FaultyAriesSession::with_observer(
+                session.clone(),
+                plan.clone(),
+                rec.id.0,
+                verdicts.clone(),
+            ),
+            FaultyLdmsSampler::with_observer(
+                sampler.clone(),
+                plan.clone(),
+                rec.id.0,
+                verdicts.clone(),
+            ),
         )
     });
 
@@ -669,6 +740,7 @@ pub fn simulate_long_run(
         splitmix(seed, 4000),
         config.compute_noise,
         None,
+        &VerdictCounters::disabled(),
     )
 }
 

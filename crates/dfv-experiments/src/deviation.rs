@@ -11,7 +11,8 @@ use crate::data::AppDataset;
 use dfv_counters::Counter;
 use dfv_mlkit::dataset::{Dataset, MissingPolicy};
 use dfv_mlkit::matrix::Matrix;
-use dfv_mlkit::rfe::{rfe, RfeParams, RfeResult};
+use dfv_mlkit::rfe::{rfe_observed, RfeParams, RfeResult};
+use dfv_obs::Obs;
 use dfv_workloads::app::AppSpec;
 use serde::{Deserialize, Serialize};
 
@@ -50,7 +51,35 @@ pub fn deviation_dataset(ds: &AppDataset) -> (Dataset, Vec<f64>) {
 /// * `Locf` — a missing sample repeats the run's previous observed
 ///   counters (falling back to the mean trend before any observation).
 /// * `DropRows` — missing samples are omitted, shrinking the dataset.
-pub fn deviation_dataset_with_policy(ds: &AppDataset, policy: MissingPolicy) -> (Dataset, Vec<f64>) {
+pub fn deviation_dataset_with_policy(
+    ds: &AppDataset,
+    policy: MissingPolicy,
+) -> (Dataset, Vec<f64>) {
+    deviation_dataset_observed(ds, policy, &Obs::disabled())
+}
+
+/// [`deviation_dataset_with_policy`] with build telemetry recorded into
+/// `obs`: `deviation.rows_built`, `deviation.rows_dropped` (DropRows only)
+/// and `deviation.rows_imputed{policy="..."}` — how many samples each
+/// missing-data policy had to resolve. The returned dataset is bit-for-bit
+/// independent of `obs`.
+pub fn deviation_dataset_observed(
+    ds: &AppDataset,
+    policy: MissingPolicy,
+    obs: &Obs,
+) -> (Dataset, Vec<f64>) {
+    let obs_rows = obs.counter("deviation.rows_built");
+    let obs_dropped = obs.counter("deviation.rows_dropped");
+    let obs_imputed = if obs.is_enabled() {
+        let label = match policy {
+            MissingPolicy::MeanImpute => "mean_impute",
+            MissingPolicy::Locf => "locf",
+            MissingPolicy::DropRows => "drop_rows",
+        };
+        obs.counter(&format!("deviation.rows_imputed{{policy=\"{label}\"}}"))
+    } else {
+        dfv_obs::Counter::disabled()
+    };
     let t_steps = ds.spec.num_steps();
     let n_runs = ds.runs.len();
     assert!(n_runs > 0, "empty dataset");
@@ -84,7 +113,11 @@ pub fn deviation_dataset_with_policy(ds: &AppDataset, policy: MissingPolicy) -> 
         for (i, s) in run.steps.iter().enumerate() {
             let missing = s.counters.iter().any(|v| v.is_nan());
             if missing && policy == MissingPolicy::DropRows {
+                obs_dropped.inc();
                 continue;
+            }
+            if missing {
+                obs_imputed.inc();
             }
             let counters: [f64; Counter::COUNT] = if missing {
                 match (policy, last) {
@@ -121,6 +154,7 @@ pub fn deviation_dataset_with_policy(ds: &AppDataset, policy: MissingPolicy) -> 
             x.push_row(&row);
             y.push(s.time - mean_times[i]);
             offsets.push(mean_times[i]);
+            obs_rows.inc();
         }
     }
     let names = Counter::ALL.iter().map(|c| c.abbrev().to_string()).collect();
@@ -139,8 +173,22 @@ pub fn analyze_deviation_with_policy(
     params: &RfeParams,
     policy: MissingPolicy,
 ) -> DeviationAnalysis {
-    let (data, offsets) = deviation_dataset_with_policy(ds, policy);
-    let rfe_result = rfe(&data, Some(&offsets), params);
+    analyze_deviation_observed(ds, params, policy, &Obs::disabled())
+}
+
+/// [`analyze_deviation_with_policy`] with telemetry: dataset-build counters
+/// plus the RFE/GBR training metrics of `dfv-mlkit` (fold counts, stage
+/// fits, eliminations, per-tree depth and split-scan work). The analysis
+/// itself is bit-for-bit independent of `obs`.
+pub fn analyze_deviation_observed(
+    ds: &AppDataset,
+    params: &RfeParams,
+    policy: MissingPolicy,
+    obs: &Obs,
+) -> DeviationAnalysis {
+    let _span = obs.span("deviation.analyze");
+    let (data, offsets) = deviation_dataset_observed(ds, policy, obs);
+    let rfe_result = rfe_observed(&data, Some(&offsets), params, obs);
     DeviationAnalysis { spec: ds.spec, rfe: rfe_result }
 }
 

@@ -13,6 +13,7 @@ use dfv_counters::features::FeatureSet;
 use dfv_mlkit::attention::{AttentionForecaster, AttentionParams};
 use dfv_mlkit::dataset::{MissingPolicy, WindowDataset};
 use dfv_mlkit::metrics::mape;
+use dfv_obs::Obs;
 use dfv_workloads::app::AppSpec;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -100,7 +101,29 @@ pub fn evaluate_with_policy(
     seed: u64,
     policy: MissingPolicy,
 ) -> ForecastOutcome {
+    evaluate_observed(ds, fspec, params, folds, seed, policy, &Obs::disabled())
+}
+
+/// [`evaluate_with_policy`] with telemetry recorded into `obs`: fold and
+/// window counters, a per-fold MAPE histogram
+/// (`forecast.fold_mape_x100`, hundredths of a percent) and the attention
+/// trainer's per-epoch loss metrics. The outcome is bit-for-bit
+/// independent of `obs`.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_observed(
+    ds: &AppDataset,
+    fspec: &ForecastSpec,
+    params: &AttentionParams,
+    folds: usize,
+    seed: u64,
+    policy: MissingPolicy,
+    obs: &Obs,
+) -> ForecastOutcome {
     assert!(folds >= 2, "need at least two folds");
+    let _span = obs.span("forecast.evaluate");
+    let obs_folds = obs.counter("forecast.folds");
+    let obs_windows = obs.counter("forecast.windows_built");
+    let obs_fold_mape = obs.histogram("forecast.fold_mape_x100");
     let n_runs = ds.runs.len();
     assert!(n_runs >= folds, "need at least one run per fold");
     let mut order: Vec<usize> = (0..n_runs).collect();
@@ -116,14 +139,19 @@ pub fn evaluate_with_policy(
                 order[..lo].iter().chain(order[hi..].iter()).map(|&i| &ds.runs[i]).collect();
             let train = window_dataset_with_policy(&train_runs, fspec, policy);
             let test = window_dataset_with_policy(&test_runs, fspec, policy);
+            obs_windows.add((train.n() + test.n()) as u64);
             if train.n() == 0 || test.n() == 0 {
+                obs_folds.inc();
                 return f64::NAN;
             }
             let mut p = *params;
             p.seed = seed.wrapping_add(f as u64);
-            let model = AttentionForecaster::fit(&train, &p);
+            let model = AttentionForecaster::fit_observed(&train, &p, obs);
             let pred = model.predict(&test);
-            mape(&test.y, &pred)
+            let fold_mape = mape(&test.y, &pred);
+            obs_fold_mape.record_f64(fold_mape * 100.0);
+            obs_folds.inc();
+            fold_mape
         })
         .collect();
     let valid: Vec<f64> = fold_mapes.iter().copied().filter(|m| m.is_finite()).collect();

@@ -11,6 +11,7 @@ use crate::forecast::{window_dataset, ForecastSpec};
 use dfv_counters::FeatureSet;
 use dfv_mlkit::attention::{AttentionForecaster, AttentionParams};
 use dfv_mlkit::gbr::{Gbr, GbrParams};
+use dfv_obs::Obs;
 use dfv_serve::ModelArtifact;
 use rayon::prelude::*;
 use std::path::{Path, PathBuf};
@@ -48,6 +49,22 @@ impl Default for ServeTrainConfig {
 /// absolute times). Forecasters are trained on sliding windows over every
 /// run. Datasets too small to yield a single window get no forecaster.
 pub fn train_artifacts(result: &CampaignResult, config: &ServeTrainConfig) -> Vec<ModelArtifact> {
+    train_artifacts_observed(result, config, &Obs::disabled())
+}
+
+/// [`train_artifacts`] with telemetry recorded into `obs`: artifact counts
+/// per task (`serving.deviation_models` / `serving.forecast_models` /
+/// `serving.skipped_forecasts`) plus the GBR and attention training metrics
+/// of `dfv-mlkit`. The artifacts are bit-for-bit independent of `obs`.
+pub fn train_artifacts_observed(
+    result: &CampaignResult,
+    config: &ServeTrainConfig,
+    obs: &Obs,
+) -> Vec<ModelArtifact> {
+    let _span = obs.span("serving.train_artifacts");
+    let obs_deviation = obs.counter("serving.deviation_models");
+    let obs_forecast = obs.counter("serving.forecast_models");
+    let obs_skipped = obs.counter("serving.skipped_forecasts");
     let per_dataset: Vec<Vec<ModelArtifact>> = result
         .datasets
         .par_iter()
@@ -61,7 +78,8 @@ pub fn train_artifacts(result: &CampaignResult, config: &ServeTrainConfig) -> Ve
             let (data, _offsets) = deviation_dataset(ds);
             let mut ctx = dfv_mlkit::tree::TrainingContext::new(&data.x);
             let features: Vec<usize> = (0..data.d()).collect();
-            let gbr = Gbr::fit_in(&mut ctx, &data.y, &features, &config.gbr);
+            let gbr = Gbr::fit_observed(&mut ctx, &data.y, &features, &config.gbr, obs);
+            obs_deviation.inc();
             out.push(ModelArtifact::deviation(
                 &app,
                 config.version,
@@ -73,7 +91,8 @@ pub fn train_artifacts(result: &CampaignResult, config: &ServeTrainConfig) -> Ve
             let runs: Vec<&RunRecord> = ds.runs.iter().collect();
             let windows = window_dataset(&runs, &config.fspec);
             if windows.n() > 0 {
-                let model = AttentionForecaster::fit(&windows, &config.attention);
+                let model = AttentionForecaster::fit_observed(&windows, &config.attention, obs);
+                obs_forecast.inc();
                 out.push(ModelArtifact::forecast(
                     &app,
                     config.version,
@@ -82,6 +101,8 @@ pub fn train_artifacts(result: &CampaignResult, config: &ServeTrainConfig) -> Ve
                     config.fspec.k,
                     model,
                 ));
+            } else {
+                obs_skipped.inc();
             }
             out
         })

@@ -28,11 +28,13 @@
 //!    pattern for the same seed, regardless of scheduling.
 
 pub mod corrupt;
+pub mod obs;
 pub mod plan;
 pub mod rng;
 pub mod schedule;
 
 pub use corrupt::{skew_schema_version, truncate_json};
+pub use obs::VerdictCounters;
 pub use plan::{FaultPlan, FaultSite};
 pub use rng::{splitmix64, unit_f64};
 pub use schedule::Schedule;

@@ -1,0 +1,100 @@
+//! Fault-verdict telemetry: how often each site was consulted and fired.
+//!
+//! A [`VerdictCounters`] wraps [`FaultPlan::fires`] with two counters per
+//! site — `faults.checked{site="..."}` and `faults.fired{site="..."}` —
+//! so a live registry shows the realized injection rate next to the
+//! plan's configured rate. Built from a disabled [`Obs`] the counters are
+//! inert and [`VerdictCounters::check`] is exactly `plan.fires(..)`:
+//! verdicts are a pure function of the plan and never of the observer.
+
+use crate::plan::{FaultPlan, FaultSite};
+use dfv_obs::{Counter, Obs};
+
+/// Per-site checked/fired counter pairs over a shared registry.
+#[derive(Debug, Clone, Default)]
+pub struct VerdictCounters {
+    checked: [Counter; FaultSite::ALL.len()],
+    fired: [Counter; FaultSite::ALL.len()],
+}
+
+impl VerdictCounters {
+    /// Register the per-site counters on `obs` (inert when disabled).
+    pub fn new(obs: &Obs) -> Self {
+        let counter = |kind: &str, site: FaultSite| {
+            obs.counter(&format!("faults.{kind}{{site=\"{}\"}}", site.label()))
+        };
+        VerdictCounters {
+            checked: FaultSite::ALL.map(|s| counter("checked", s)),
+            fired: FaultSite::ALL.map(|s| counter("fired", s)),
+        }
+    }
+
+    /// Inert counters (every check still returns the plan's verdict).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Evaluate `plan.fires(site, stream, index)`, counting the check and
+    /// (when it fires) the hit. The returned verdict is the plan's,
+    /// untouched.
+    #[inline]
+    pub fn check(&self, plan: &FaultPlan, site: FaultSite, stream: u64, index: u64) -> bool {
+        self.checked[site.index()].inc();
+        let fired = plan.fires(site, stream, index);
+        if fired {
+            self.fired[site.index()].inc();
+        }
+        fired
+    }
+
+    /// How many times `site` was consulted.
+    pub fn checked(&self, site: FaultSite) -> u64 {
+        self.checked[site.index()].get()
+    }
+
+    /// How many times `site` fired.
+    pub fn fired(&self, site: FaultSite) -> u64 {
+        self.fired[site.index()].get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+
+    #[test]
+    fn check_matches_plan_verdicts_and_counts() {
+        let plan =
+            FaultPlan { counter_dropout: Schedule::Bernoulli { p: 0.3 }, ..FaultPlan::none() };
+        let obs = Obs::enabled_logical();
+        let v = VerdictCounters::new(&obs);
+        let n = 10_000u64;
+        let mut fired = 0u64;
+        for i in 0..n {
+            let verdict = v.check(&plan, FaultSite::CounterDropout, 9, i);
+            assert_eq!(verdict, plan.fires(FaultSite::CounterDropout, 9, i));
+            fired += verdict as u64;
+        }
+        assert_eq!(v.checked(FaultSite::CounterDropout), n);
+        assert_eq!(v.fired(FaultSite::CounterDropout), fired);
+        let rate = fired as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("faults.checked{site=\"counter_dropout\"}"), Some(n));
+        assert_eq!(snap.counter("faults.fired{site=\"counter_dropout\"}"), Some(fired));
+    }
+
+    #[test]
+    fn disabled_counters_still_return_plan_verdicts() {
+        let plan = FaultPlan::gaps(3, 0.5);
+        let v = VerdictCounters::disabled();
+        for i in 0..256 {
+            assert_eq!(
+                v.check(&plan, FaultSite::LdmsIoGap, 1, i),
+                plan.fires(FaultSite::LdmsIoGap, 1, i)
+            );
+        }
+        assert_eq!(v.checked(FaultSite::LdmsIoGap), 0);
+    }
+}

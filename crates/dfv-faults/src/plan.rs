@@ -29,6 +29,43 @@ pub enum FaultSite {
 }
 
 impl FaultSite {
+    /// Every injection site, in a fixed order (the `index` order).
+    pub const ALL: [FaultSite; 7] = [
+        FaultSite::CounterDropout,
+        FaultSite::CounterStale,
+        FaultSite::LdmsIoGap,
+        FaultSite::LdmsSysGap,
+        FaultSite::LdmsIoStale,
+        FaultSite::LdmsSysStale,
+        FaultSite::BatcherStall,
+    ];
+
+    /// Stable position of this site in [`FaultSite::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            FaultSite::CounterDropout => 0,
+            FaultSite::CounterStale => 1,
+            FaultSite::LdmsIoGap => 2,
+            FaultSite::LdmsSysGap => 3,
+            FaultSite::LdmsIoStale => 4,
+            FaultSite::LdmsSysStale => 5,
+            FaultSite::BatcherStall => 6,
+        }
+    }
+
+    /// Stable snake_case name for metric labels and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::CounterDropout => "counter_dropout",
+            FaultSite::CounterStale => "counter_stale",
+            FaultSite::LdmsIoGap => "ldms_io_gap",
+            FaultSite::LdmsSysGap => "ldms_sys_gap",
+            FaultSite::LdmsIoStale => "ldms_io_stale",
+            FaultSite::LdmsSysStale => "ldms_sys_stale",
+            FaultSite::BatcherStall => "batcher_stall",
+        }
+    }
+
     fn salt(self) -> u64 {
         match self {
             FaultSite::CounterDropout => 0x11,

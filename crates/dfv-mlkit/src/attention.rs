@@ -11,6 +11,7 @@
 
 use crate::dataset::{ScalarScaler, Standardizer, WindowDataset};
 use crate::matrix::{dot, softmax, Matrix};
+use dfv_obs::Obs;
 
 /// Signed `log1p`: compresses the many orders of magnitude hardware
 /// counters span while staying defined for any real input.
@@ -150,6 +151,18 @@ struct Activations {
 impl AttentionForecaster {
     /// Train on a window dataset.
     pub fn fit(data: &WindowDataset, params: &AttentionParams) -> Self {
+        AttentionForecaster::fit_observed(data, params, &Obs::disabled())
+    }
+
+    /// Like [`AttentionForecaster::fit`], additionally publishing training
+    /// internals into `obs`: `mlkit.attention.epochs` (epochs completed),
+    /// `mlkit.attention.epoch_mse` (gauge: standardized-space mean squared
+    /// error of the most recent epoch's forward passes) and
+    /// `mlkit.attention.epoch_mse_1e6` (histogram of per-epoch MSE in
+    /// millionths). The loss readout reuses residuals the training loop
+    /// already computes and never feeds back into the weights: the fitted
+    /// model is bit-for-bit identical to [`AttentionForecaster::fit`].
+    pub fn fit_observed(data: &WindowDataset, params: &AttentionParams, obs: &Obs) -> Self {
         assert!(data.n() > 0, "cannot fit on an empty dataset");
         let mut rng = StdRng::seed_from_u64(params.seed);
         // Counters span many orders of magnitude; compress with a signed
@@ -181,12 +194,20 @@ impl AttentionForecaster {
         let n = data.n();
         let mut order: Vec<usize> = (0..n).collect();
         let mut adam_t = 0usize;
+        let observing = obs.is_enabled();
+        let epochs = obs.counter("mlkit.attention.epochs");
+        let epoch_mse = obs.gauge("mlkit.attention.epoch_mse");
+        let mse_hist = obs.histogram("mlkit.attention.epoch_mse_1e6");
         for _epoch in 0..params.epochs {
             order.shuffle(&mut rng);
+            let mut sq_sum = 0.0;
             for chunk in order.chunks(params.batch) {
                 for &i in chunk {
                     let act = model.forward(x.row(i));
                     let dy = act.y_hat - y[i];
+                    if observing {
+                        sq_sum += dy * dy;
+                    }
                     model.backward(x.row(i), &act, dy);
                 }
                 adam_t += 1;
@@ -203,6 +224,12 @@ impl AttentionForecaster {
                     p.step(params.learning_rate, adam_t, batch);
                 }
             }
+            if observing {
+                let mse = sq_sum / n as f64;
+                epoch_mse.set(mse);
+                mse_hist.record_f64(mse * 1e6);
+            }
+            epochs.inc();
         }
         model
     }

@@ -67,7 +67,8 @@ impl Dataset {
                 self.subset(&keep)
             }
             _ => {
-                let mut rows: Vec<Vec<f64>> = (0..self.n()).map(|r| self.x.row(r).to_vec()).collect();
+                let mut rows: Vec<Vec<f64>> =
+                    (0..self.n()).map(|r| self.x.row(r).to_vec()).collect();
                 impute_series(&mut rows, policy);
                 let mut x = Matrix::with_capacity(self.n(), self.d());
                 for row in &rows {

@@ -15,6 +15,7 @@
 
 use crate::matrix::Matrix;
 use crate::tree::{RegressionTree, TrainingContext, TreeParams};
+use dfv_obs::Obs;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -90,6 +91,23 @@ impl Gbr {
         features: &[usize],
         params: &GbrParams,
     ) -> Self {
+        Gbr::fit_observed(ctx, y, features, params, &Obs::disabled())
+    }
+
+    /// Like [`Gbr::fit_in`], additionally publishing boosting internals
+    /// into `obs`: `mlkit.gbr.rounds` (boosting iterations),
+    /// `mlkit.gbr.round_mse` (gauge: mean squared residual after the most
+    /// recent round) and `mlkit.gbr.round_mse_1e6` (histogram of per-round
+    /// MSE in millionths). The loss readout is computed only when `obs` is
+    /// enabled and never feeds back into training: the fitted model is
+    /// bit-for-bit identical to [`Gbr::fit_in`].
+    pub fn fit_observed(
+        ctx: &mut TrainingContext,
+        y: &[f64],
+        features: &[usize],
+        params: &GbrParams,
+        obs: &Obs,
+    ) -> Self {
         assert_eq!(ctx.num_rows(), y.len(), "x/y mismatch");
         assert!(!y.is_empty(), "cannot fit on zero samples");
         assert!(params.subsample > 0.0 && params.subsample <= 1.0, "subsample in (0, 1]");
@@ -102,11 +120,23 @@ impl Gbr {
         let mut rng = StdRng::seed_from_u64(params.seed);
         let mut all_idx: Vec<usize> = (0..n).collect();
         let sample_size = ((n as f64) * params.subsample).ceil() as usize;
+        if obs.is_enabled() {
+            ctx.observe(obs);
+        }
+        let rounds = obs.counter("mlkit.gbr.rounds");
+        let round_mse = obs.gauge("mlkit.gbr.round_mse");
+        let mse_hist = obs.histogram("mlkit.gbr.round_mse_1e6");
 
         for _ in 0..params.n_trees {
             for i in 0..n {
                 residual[i] = y[i] - pred[i];
             }
+            if obs.is_enabled() {
+                let mse = residual.iter().map(|r| r * r).sum::<f64>() / n as f64;
+                round_mse.set(mse);
+                mse_hist.record_f64(mse * 1e6);
+            }
+            rounds.inc();
             all_idx.shuffle(&mut rng);
             let idx = &all_idx[..sample_size.max(1)];
             let tree = ctx.fit_tree(&residual, idx, features, &params.tree);

@@ -37,6 +37,6 @@ pub use dataset::{
 pub use gbr::{Gbr, GbrParams};
 pub use matrix::Matrix;
 pub use mi::{binary_entropy, mutual_information_binary, mutual_information_discrete};
-pub use rfe::{rfe, RfeParams, RfeResult};
+pub use rfe::{rfe, rfe_observed, RfeParams, RfeResult};
 pub use ridge::Ridge;
 pub use tree::{RegressionTree, TrainingContext, TreeParams};

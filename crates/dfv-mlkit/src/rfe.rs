@@ -19,6 +19,7 @@ use crate::dataset::{kfold, Dataset};
 use crate::gbr::{Gbr, GbrParams};
 use crate::metrics::{mape, rmse};
 use crate::tree::TrainingContext;
+use dfv_obs::Obs;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -74,12 +75,31 @@ impl RfeResult {
 /// (one per sample), MAPE is evaluated on `prediction + offset` against
 /// `target + offset` — used to score deviation models on absolute times.
 pub fn rfe(data: &Dataset, offsets: Option<&[f64]>, params: &RfeParams) -> RfeResult {
+    rfe_observed(data, offsets, params, &Obs::disabled())
+}
+
+/// Like [`rfe`], additionally publishing elimination progress into `obs`:
+/// `mlkit.rfe.folds` (CV folds completed), `mlkit.rfe.stage_fits` (GBR
+/// fits across elimination stages), `mlkit.rfe.eliminations` (features set
+/// aside) and `mlkit.rfe.best_subset_size` (histogram of each fold's
+/// best-performing subset size). Counting never feeds back into the
+/// elimination, so the result is bit-for-bit identical to [`rfe`].
+pub fn rfe_observed(
+    data: &Dataset,
+    offsets: Option<&[f64]>,
+    params: &RfeParams,
+    obs: &Obs,
+) -> RfeResult {
     let d = data.d();
     assert!(d >= 1, "need at least one feature");
     if let Some(o) = offsets {
         assert_eq!(o.len(), data.n(), "offset length mismatch");
     }
     let folds = kfold(data.n(), params.folds, params.seed);
+    let obs_folds = obs.counter("mlkit.rfe.folds");
+    let obs_stage_fits = obs.counter("mlkit.rfe.stage_fits");
+    let obs_eliminations = obs.counter("mlkit.rfe.eliminations");
+    let obs_best_size = obs.histogram("mlkit.rfe.best_subset_size");
 
     struct FoldOut {
         order: Vec<usize>,
@@ -125,6 +145,7 @@ pub fn rfe(data: &Dataset, offsets: Option<&[f64]>, params: &RfeParams) -> RfeRe
             let mut stage_errors: Vec<(Vec<usize>, f64)> = Vec::new();
             while surviving.len() > 1 {
                 let model = Gbr::fit_in(&mut ctx, &train.y, &surviving, &gbr_params);
+                obs_stage_fits.inc();
                 let err = rmse(&test.y, &model.predict(&test.x));
                 stage_errors.push((surviving.clone(), err));
                 // Importances are full-width (original column indices);
@@ -134,10 +155,12 @@ pub fn rfe(data: &Dataset, offsets: Option<&[f64]>, params: &RfeParams) -> RfeRe
                     .min_by(|&a, &b| imp[surviving[a]].total_cmp(&imp[surviving[b]]))
                     .expect("non-empty");
                 order.push(surviving.remove(worst_pos));
+                obs_eliminations.inc();
             }
             // Final single feature stage.
             {
                 let model = Gbr::fit_in(&mut ctx, &train.y, &surviving, &gbr_params);
+                obs_stage_fits.inc();
                 let err = rmse(&test.y, &model.predict(&test.x));
                 stage_errors.push((surviving.clone(), err));
             }
@@ -148,6 +171,8 @@ pub fn rfe(data: &Dataset, offsets: Option<&[f64]>, params: &RfeParams) -> RfeRe
                 .min_by(|a, b| a.1.total_cmp(&b.1))
                 .map(|(subset, _)| subset.clone())
                 .unwrap_or_default();
+            obs_best_size.record(best_subset.len() as u64);
+            obs_folds.inc();
             FoldOut { order, best_subset, mape: fold_mape, rmse: fold_rmse }
         })
         .collect();

@@ -93,6 +93,12 @@ pub struct TrainingContext {
     go_left: Vec<bool>,
     /// leaf_of[row] = leaf node assigned to each in-sample row by the last fit.
     leaf_of: Vec<u32>,
+    /// Trees fitted through this context (disabled no-op by default).
+    obs_trees: dfv_obs::Counter,
+    /// Histogram of fitted tree depths.
+    obs_depth: dfv_obs::Histogram,
+    /// (row, feature) cells swept by split search, summed over nodes.
+    obs_split_scans: dfv_obs::Counter,
 }
 
 impl TrainingContext {
@@ -126,6 +132,22 @@ impl TrainingContext {
             sorted: [Vec::new(), Vec::new()],
             go_left: vec![false; n],
             leaf_of: vec![0; n],
+            obs_trees: dfv_obs::Counter::disabled(),
+            obs_depth: dfv_obs::Histogram::disabled(),
+            obs_split_scans: dfv_obs::Counter::disabled(),
+        }
+    }
+
+    /// Publish training internals into `obs` under `mlkit.tree.*`:
+    /// `mlkit.tree.fits` (trees fitted), `mlkit.tree.depth` (histogram of
+    /// fitted depths) and `mlkit.tree.split_scan_cells` ((row, feature)
+    /// cells swept by split search). With a disabled [`dfv_obs::Obs`] this
+    /// is a no-op; recording never changes what any fit computes.
+    pub fn observe(&mut self, obs: &dfv_obs::Obs) {
+        if obs.is_enabled() {
+            self.obs_trees = obs.counter("mlkit.tree.fits");
+            self.obs_depth = obs.histogram("mlkit.tree.depth");
+            self.obs_split_scans = obs.counter("mlkit.tree.split_scan_cells");
         }
     }
 
@@ -228,9 +250,17 @@ impl TrainingContext {
             go_left: &mut self.go_left,
             leaf_of: &mut self.leaf_of,
             parallel: rayon::current_num_threads() > 1,
+            scan_cells: 0,
         };
         grower.grow(0, s, 0);
-        RegressionTree { nodes: grower.nodes, num_features: self.d }
+        let scan_cells = grower.scan_cells;
+        let tree = RegressionTree { nodes: grower.nodes, num_features: self.d };
+        self.obs_trees.inc();
+        self.obs_split_scans.add(scan_cells);
+        if self.obs_depth.is_enabled() {
+            self.obs_depth.record(tree.depth() as u64);
+        }
+        tree
     }
 
     /// Predict a training row against the tree returned by the **most
@@ -280,6 +310,9 @@ struct Grower<'a> {
     go_left: &'a mut [bool],
     leaf_of: &'a mut [u32],
     parallel: bool,
+    /// (row, feature) cells handed to split search; a plain integer so the
+    /// hot loop never touches an atomic — flushed once per fitted tree.
+    scan_cells: u64,
 }
 
 impl Grower<'_> {
@@ -307,6 +340,7 @@ impl Grower<'_> {
             sum_sq += t * t;
         }
         let mean = sum / len as f64;
+        self.scan_cells += (len * self.features.len()) as u64;
         match self.best_split(lo, hi, sum, sum_sq, cur) {
             None => self.leaf(lo, hi, mean, cur),
             Some(choice) => {

@@ -1,0 +1,391 @@
+//! Snapshot exporters: JSONL, Prometheus-style text, and a rendered
+//! run-report.
+//!
+//! The JSON emitter is hand-rolled (the crate has no dependencies); it
+//! emits one object per line with a stable key order, escapes strings
+//! per RFC 8259, and maps non-finite gauge values to `null` so every
+//! line parses under any strict JSON reader.
+
+use crate::hist::Log2Histogram;
+use std::fmt::Write as _;
+
+/// One named metric in a snapshot.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Full metric name, including any `{key="value"}` label suffix.
+    pub name: String,
+    /// The metric's value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A snapshot value: one of the three supported metric kinds.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Last-write-wins gauge.
+    Gauge(f64),
+    /// Log₂-bucketed histogram.
+    Histogram(Log2Histogram),
+}
+
+/// A point-in-time copy of every metric in a registry, sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// The metrics, sorted by name.
+    pub metrics: Vec<Metric>,
+}
+
+impl Snapshot {
+    /// Value of the counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.metrics.iter().find_map(|m| match &m.value {
+            MetricValue::Counter(v) if m.name == name => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Value of the gauge `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find_map(|m| match &m.value {
+            MetricValue::Gauge(v) if m.name == name => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// The histogram `name`, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&Log2Histogram> {
+        self.metrics.iter().find_map(|m| match &m.value {
+            MetricValue::Histogram(h) if m.name == name => Some(h),
+            _ => None,
+        })
+    }
+
+    /// Sum a counter across all label variants: `counter_total("a.b")`
+    /// adds up `a.b` and every `a.b{...}`.
+    pub fn counter_total(&self, base: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|m| {
+                m.name == base
+                    || (m.name.starts_with(base) && m.name[base.len()..].starts_with('{'))
+            })
+            .map(|m| match &m.value {
+                MetricValue::Counter(v) => *v,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Export as JSON Lines: one self-contained object per metric.
+    ///
+    /// Schema per line: `{"name": str, "type": "counter"|"gauge"|"histogram", ...}`
+    /// with `"value"` for counters/gauges and
+    /// `"count"/"sum"/"max"/"mean"/"p50"/"p95"/"p99"/"buckets"` for
+    /// histograms (`buckets` is `[[bucket_index, count], ...]`, non-empty
+    /// buckets only).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            let name = json_escape(&m.name);
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ =
+                        writeln!(out, "{{\"name\":\"{name}\",\"type\":\"counter\",\"value\":{v}}}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(
+                        out,
+                        "{{\"name\":\"{name}\",\"type\":\"gauge\",\"value\":{}}}",
+                        json_f64(*v)
+                    );
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"name\":\"{name}\",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
+                        h.count(),
+                        h.sum().min(u64::MAX as u128),
+                        h.max(),
+                        h.mean(),
+                        quantile_or_zero(h, 0.50),
+                        quantile_or_zero(h, 0.95),
+                        quantile_or_zero(h, 0.99),
+                    );
+                    for (i, (b, c)) in h.nonzero_buckets().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "[{b},{c}]");
+                    }
+                    out.push_str("]}\n");
+                }
+            }
+        }
+        out
+    }
+
+    /// Export in the Prometheus text exposition format. Histograms are
+    /// rendered as summaries (quantile series plus `_sum`/`_count`);
+    /// metric names are sanitized and label suffixes preserved.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut typed: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for m in &self.metrics {
+            let (base, labels) = prom_parts(&m.name);
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    if typed.insert(base.clone()) {
+                        let _ = writeln!(out, "# TYPE {base} counter");
+                    }
+                    let _ = writeln!(out, "{base}{} {v}", prom_labels(&labels, None));
+                }
+                MetricValue::Gauge(v) => {
+                    if typed.insert(base.clone()) {
+                        let _ = writeln!(out, "# TYPE {base} gauge");
+                    }
+                    let _ = writeln!(out, "{base}{} {v}", prom_labels(&labels, None));
+                }
+                MetricValue::Histogram(h) => {
+                    if typed.insert(base.clone()) {
+                        let _ = writeln!(out, "# TYPE {base} summary");
+                    }
+                    for (q, label) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                        let _ = writeln!(
+                            out,
+                            "{base}{} {}",
+                            prom_labels(&labels, Some(label)),
+                            quantile_or_zero(h, q)
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{base}_sum{} {}",
+                        prom_labels(&labels, None),
+                        h.sum().min(u64::MAX as u128)
+                    );
+                    let _ =
+                        writeln!(out, "{base}_count{} {}", prom_labels(&labels, None), h.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// Render a human-readable run-report: counters, gauges, then
+    /// histograms with count/mean/p50/p95/p99/max columns. Histograms
+    /// under the `span.` prefix are formatted as durations (their unit is
+    /// clock nanoseconds); all other values print raw.
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        let counters: Vec<_> = self
+            .metrics
+            .iter()
+            .filter_map(|m| match &m.value {
+                MetricValue::Counter(v) => Some((m.name.as_str(), *v)),
+                _ => None,
+            })
+            .collect();
+        let gauges: Vec<_> = self
+            .metrics
+            .iter()
+            .filter_map(|m| match &m.value {
+                MetricValue::Gauge(v) => Some((m.name.as_str(), *v)),
+                _ => None,
+            })
+            .collect();
+        let hists: Vec<_> = self
+            .metrics
+            .iter()
+            .filter_map(|m| match &m.value {
+                MetricValue::Histogram(h) => Some((m.name.as_str(), h)),
+                _ => None,
+            })
+            .collect();
+
+        let _ = writeln!(
+            out,
+            "== obs run report: {} counters, {} gauges, {} histograms ==",
+            counters.len(),
+            gauges.len(),
+            hists.len()
+        );
+        if !counters.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, v) in counters {
+                let _ = writeln!(out, "  {name:<52} {v:>12}");
+            }
+        }
+        if !gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (name, v) in gauges {
+                let _ = writeln!(out, "  {name:<52} {v:>12.4}");
+            }
+        }
+        if !hists.is_empty() {
+            let _ = writeln!(
+                out,
+                "histograms:\n  {:<52} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "name", "count", "mean", "p50", "p95", "p99", "max"
+            );
+            for (name, h) in hists {
+                let fmt = |v: u64| -> String {
+                    if name.starts_with("span.") {
+                        format!("{:?}", std::time::Duration::from_nanos(v))
+                    } else {
+                        v.to_string()
+                    }
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<52} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    name,
+                    h.count(),
+                    fmt(h.mean()),
+                    fmt(quantile_or_zero(h, 0.50)),
+                    fmt(quantile_or_zero(h, 0.95)),
+                    fmt(quantile_or_zero(h, 0.99)),
+                    fmt(h.max()),
+                );
+            }
+        }
+        out
+    }
+}
+
+fn quantile_or_zero(h: &Log2Histogram, q: f64) -> u64 {
+    if h.is_empty() {
+        0
+    } else {
+        h.quantile(q)
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON value (`null` for NaN/±inf).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{}` on a finite f64 always yields a valid JSON number
+        // (e.g. "1.25", "3", "1e300").
+        let s = format!("{v}");
+        if s.contains(['.', 'e', 'E']) {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Split `name` into a Prometheus-sanitized base and its raw label body
+/// (the text between `{` and `}`, possibly empty).
+fn prom_parts(name: &str) -> (String, String) {
+    let (base, labels) = match name.find('{') {
+        Some(i) => (&name[..i], name[i + 1..].trim_end_matches('}')),
+        None => (name, ""),
+    };
+    let base: String = base
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect();
+    (base, labels.to_string())
+}
+
+/// Compose a Prometheus label block from a raw label body plus an
+/// optional `quantile` label; empty when there are no labels at all.
+fn prom_labels(raw: &str, quantile: Option<&str>) -> String {
+    match (raw.is_empty(), quantile) {
+        (true, None) => String::new(),
+        (true, Some(q)) => format!("{{quantile=\"{q}\"}}"),
+        (false, None) => format!("{{{raw}}}"),
+        (false, Some(q)) => format!("{{{raw},quantile=\"{q}\"}}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Obs;
+
+    fn sample() -> crate::Snapshot {
+        let obs = Obs::enabled_logical();
+        obs.counter("campaign.submissions").add(42);
+        obs.counter("campaign.run_millis{app=\"milc-16\"}").add(1);
+        obs.gauge("gbr.round_loss").set(0.125);
+        obs.gauge("weird.gauge").set(f64::NAN);
+        let h = obs.histogram("serve.latency_nanos{app=\"amg-16\"}");
+        for v in [3u64, 5, 900, 70_000] {
+            h.record(v);
+        }
+        obs.span("phase").end();
+        obs.snapshot()
+    }
+
+    #[test]
+    fn jsonl_lines_parse_and_round_trip_with_serde_json() {
+        let text = sample().to_jsonl();
+        assert_eq!(text.lines().count(), 6);
+        for line in text.lines() {
+            // Every line must be a self-contained JSON document with the
+            // schema's fixed keys...
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+            assert!(line.contains("\"name\":") && line.contains("\"type\":"), "{line}");
+            // ...and survive a parse → serialize → parse round-trip.
+            let re = serde_json::to_string(&v).expect("re-serialize");
+            let v2: serde_json::Value = serde_json::from_str(&re).expect("round-trip parse");
+            assert!(v == v2, "round-trip changed the document: {line} vs {re}");
+        }
+    }
+
+    #[test]
+    fn prometheus_text_has_types_and_labels() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE campaign_submissions counter"));
+        assert!(text.contains("campaign_submissions 42"));
+        assert!(text.contains("campaign_run_millis{app=\"milc-16\"} 1"));
+        assert!(text.contains("# TYPE serve_latency_nanos summary"));
+        assert!(text.contains("serve_latency_nanos{app=\"amg-16\",quantile=\"0.99\"}"));
+        assert!(text.contains("serve_latency_nanos_count{app=\"amg-16\"} 4"));
+        assert!(text.contains("# TYPE span_phase summary"));
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let report = sample().render_report();
+        assert!(report.contains("counters:"));
+        assert!(report.contains("gauges:"));
+        assert!(report.contains("histograms:"));
+        assert!(report.contains("campaign.submissions"));
+        assert!(report.contains("span.phase"));
+        // Span rows format as durations.
+        assert!(report.contains("ns") || report.contains("µs"));
+    }
+
+    #[test]
+    fn snapshot_lookups_and_totals() {
+        let snap = sample();
+        assert_eq!(snap.counter("campaign.submissions"), Some(42));
+        assert_eq!(snap.counter_total("campaign.run_millis"), 1);
+        assert_eq!(snap.gauge("gbr.round_loss"), Some(0.125));
+        assert!(snap.histogram("serve.latency_nanos{app=\"amg-16\"}").is_some());
+        assert_eq!(snap.counter("missing"), None);
+    }
+}

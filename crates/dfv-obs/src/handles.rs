@@ -1,0 +1,288 @@
+//! Cheap, cloneable recording handles.
+//!
+//! Every handle is an `Option` around an `Arc` cell: handles minted from
+//! a disabled [`crate::Obs`] hold `None` and every recording call is a
+//! no-op the optimizer can discard. Enabled handles record with relaxed
+//! atomics only — no locks, no allocation — which is the crate's
+//! zero-perturbation guarantee on hot paths.
+
+use crate::clock::Clock;
+use crate::registry::HistCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A permanently disabled counter (all operations are no-ops).
+    pub fn disabled() -> Self {
+        Counter(None)
+    }
+
+    /// `true` when backed by a live registry cell.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (zero when disabled).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-write-wins `f64` gauge.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A permanently disabled gauge (all operations are no-ops).
+    pub fn disabled() -> Self {
+        Gauge(None)
+    }
+
+    /// `true` when backed by a live registry cell.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (zero when disabled).
+    pub fn get(&self) -> f64 {
+        self.0.as_ref().map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+}
+
+/// A log₂-bucketed histogram handle.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistCell>>);
+
+impl Histogram {
+    /// A permanently disabled histogram (all operations are no-ops).
+    pub fn disabled() -> Self {
+        Histogram(None)
+    }
+
+    /// `true` when backed by a live registry cell.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.record(value);
+        }
+    }
+
+    /// Record a duration as nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        if let Some(cell) = &self.0 {
+            cell.record(d.as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+
+    /// Record a non-negative `f64` (e.g. simulated milliseconds),
+    /// truncated to `u64`. Negative and non-finite values clamp to 0.
+    #[inline]
+    pub fn record_f64(&self, value: f64) {
+        if let Some(cell) = &self.0 {
+            let v = if value.is_finite() && value > 0.0 { value as u64 } else { 0 };
+            cell.record(v);
+        }
+    }
+}
+
+/// A pre-registered duration recorder: `start()` is lookup-free and
+/// allocation-free, so a timer can sit inside a hot loop.
+#[derive(Debug, Clone, Default)]
+pub struct Timer {
+    pub(crate) hist: Histogram,
+    pub(crate) clock: Option<Clock>,
+}
+
+impl Timer {
+    /// A permanently disabled timer (guards record nothing, and never
+    /// read the clock).
+    pub fn disabled() -> Self {
+        Timer::default()
+    }
+
+    /// `true` when backed by a live registry cell.
+    pub fn is_enabled(&self) -> bool {
+        self.clock.is_some()
+    }
+
+    /// Start timing; the returned guard records the elapsed clock delta
+    /// into the timer's histogram when dropped.
+    #[inline]
+    pub fn start(&self) -> TimerGuard<'_> {
+        let start = match &self.clock {
+            Some(clock) => clock.now(),
+            None => 0,
+        };
+        TimerGuard { timer: self, start }
+    }
+}
+
+/// Active timing interval; records on drop.
+#[derive(Debug)]
+pub struct TimerGuard<'a> {
+    timer: &'a Timer,
+    start: u64,
+}
+
+impl TimerGuard<'_> {
+    /// Stop and record now (equivalent to dropping the guard).
+    pub fn stop(self) {}
+}
+
+impl Drop for TimerGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(clock) = &self.timer.clock {
+            let elapsed = clock.now().saturating_sub(self.start);
+            self.timer.hist.record(elapsed);
+        }
+    }
+}
+
+/// A hierarchical timed phase.
+///
+/// Spans are named by dotted paths; a span records its lifetime into the
+/// histogram `span.<path>` when it ends (explicitly via [`Span::end`] or
+/// on drop). [`Span::child`] opens a sub-phase whose path nests under the
+/// parent's, so a run-report shows the phase tree by name. Opening a span
+/// registers its histogram (may allocate) — spans are for coarse phases,
+/// not per-item hot loops; use [`Timer`] there.
+#[derive(Debug)]
+pub struct Span {
+    pub(crate) obs: crate::Obs,
+    pub(crate) path: String,
+    pub(crate) hist: Histogram,
+    pub(crate) clock: Option<Clock>,
+    pub(crate) start: u64,
+    pub(crate) done: bool,
+}
+
+impl Span {
+    /// `true` when backed by a live registry cell.
+    pub fn is_enabled(&self) -> bool {
+        self.clock.is_some()
+    }
+
+    /// The span's dotted path (empty when disabled).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Open a child span named `<self>.<name>`.
+    pub fn child(&self, name: &str) -> Span {
+        if self.clock.is_none() {
+            return self.obs.span("");
+        }
+        self.obs.span(&format!("{}.{}", self.path, name))
+    }
+
+    /// End the span now, recording its duration (equivalent to dropping).
+    pub fn end(self) {}
+
+    fn finish(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        if let Some(clock) = &self.clock {
+            let elapsed = clock.now().saturating_sub(self.start);
+            self.hist.record(elapsed);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Obs;
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let obs = Obs::disabled();
+        let c = obs.counter("c");
+        let g = obs.gauge("g");
+        let h = obs.histogram("h");
+        let t = obs.timer("t");
+        c.inc();
+        g.set(1.5);
+        h.record(7);
+        t.start().stop();
+        let span = obs.span("phase");
+        span.child("sub").end();
+        span.end();
+        assert!(!c.is_enabled());
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        assert!(obs.snapshot().metrics.is_empty());
+    }
+
+    #[test]
+    fn logical_spans_measure_clock_reads() {
+        let obs = Obs::enabled_logical();
+        {
+            let outer = obs.span("outer");
+            {
+                let inner = outer.child("inner");
+                assert_eq!(inner.path(), "outer.inner");
+                inner.end();
+            }
+            outer.end();
+        }
+        let snap = obs.snapshot();
+        let outer = snap.histogram("span.outer").expect("outer span recorded");
+        let inner = snap.histogram("span.outer.inner").expect("inner span recorded");
+        assert_eq!(outer.count(), 1);
+        assert_eq!(inner.count(), 1);
+        // Ticks: outer start=0, inner start=1, inner end=2, outer end=3.
+        assert_eq!(inner.max(), 1);
+        assert_eq!(outer.max(), 3);
+    }
+
+    #[test]
+    fn timers_record_into_their_histogram() {
+        let obs = Obs::enabled_logical();
+        let t = obs.timer("work");
+        for _ in 0..5 {
+            t.start().stop();
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.histogram("work").unwrap().count(), 5);
+    }
+}

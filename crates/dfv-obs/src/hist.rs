@@ -1,0 +1,200 @@
+//! The shared log₂-bucketed histogram.
+//!
+//! Values land in logarithmic (power-of-two) buckets, so a single
+//! 64-bucket array spans 1 to `u64::MAX` with bounded relative error;
+//! quantiles are read off the bucket boundaries as upper bounds within
+//! 2x of the true value. When recording nanoseconds the useful range is
+//! 1 ns to ~18 s per bucket walk, which covers every latency this
+//! workspace produces.
+//!
+//! [`Log2Histogram`] is the plain, single-owner variant (`&mut self`
+//! recording, exact `u128` sum). The thread-safe atomic variant lives in
+//! [`crate::registry::HistCell`] and snapshots into this type.
+
+/// Number of power-of-two buckets.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a value: bucket `b` holds values in `[2^b, 2^(b+1))`;
+/// the value `0` lands in bucket 0.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    ((64 - value.leading_zeros()).saturating_sub(1) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper edge of bucket `b` (`2^(b+1) - 1`, saturating at
+/// `u64::MAX` for the last bucket).
+#[inline]
+pub fn bucket_upper(b: usize) -> u64 {
+    if b + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        (1u64 << (b + 1)) - 1
+    }
+}
+
+/// Power-of-two-bucketed histogram over `u64` values.
+///
+/// Recording is O(1) and allocation-free. The unit is whatever the caller
+/// records — by convention nanoseconds for latency metrics and plain
+/// counts elsewhere; the metric name documents the unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram { counts: [0; BUCKETS], total: 0, sum: 0, max: 0 }
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuild a histogram from raw parts (the atomic cell's snapshot path).
+    pub(crate) fn from_parts(counts: [u64; BUCKETS], sum: u128, max: u64) -> Self {
+        let total = counts.iter().sum();
+        Log2Histogram { counts, total, sum, max }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean value, truncated to an integer (zero when empty).
+    pub fn mean(&self) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        (self.sum / self.total as u128) as u64
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`), reported as the upper edge of the
+    /// bucket containing that rank — an upper bound within 2x of the true
+    /// value, additionally capped at the observed maximum. Zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!(q > 0.0 && q <= 1.0, "quantile in (0, 1]");
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(b).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Raw bucket counts.
+    pub fn counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Iterate the non-empty buckets as `(bucket_index, count)` pairs.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(b, &c)| (b, c))
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (b, &c) in other.counts.iter().enumerate() {
+            self.counts[b] += c;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(0), 1);
+        assert_eq!(bucket_upper(1), 3);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_bound_true_values() {
+        let mut h = Log2Histogram::new();
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 1000] {
+            h.record(v * 1000);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile(0.5);
+        assert!((50_000..=128_000).contains(&p50), "p50 = {p50}");
+        assert!(h.quantile(0.99) >= 1_000_000);
+        assert_eq!(h.max(), 1_000_000);
+        assert!(h.mean() >= 100_000);
+        assert!(h.quantile(0.1) <= h.quantile(0.9));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        let mut all = Log2Histogram::new();
+        for v in 0..100u64 {
+            if v % 2 == 0 {
+                a.record(v * v);
+            } else {
+                b.record(v * v);
+            }
+            all.record(v * v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+}

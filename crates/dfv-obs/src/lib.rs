@@ -1,0 +1,198 @@
+//! # dfv-obs
+//!
+//! A lightweight, deterministic observability layer for the workspace:
+//! a thread-safe [`MetricsRegistry`] of named counters, gauges and
+//! log₂-bucketed histograms; a [`Span`]/[`Timer`] API for hierarchical
+//! phase timing with an injectable [`Clock`] (wall-clock by default,
+//! logical ticks for deterministic tests); and exporters that snapshot
+//! to JSON Lines, Prometheus-style text, and a rendered run-report.
+//!
+//! ## Zero perturbation
+//!
+//! The whole API hangs off one cheap handle, [`Obs`]. Instrumented code
+//! takes an `&Obs` (or stores a clone — it is an `Option<Arc<..>>`):
+//!
+//! * With [`Obs::disabled`] every operation is a no-op: no allocation,
+//!   no atomics, no clock reads. Instrumented code paths are bit-for-bit
+//!   identical to their uninstrumented versions.
+//! * With [`Obs::enabled`] recording uses only relaxed atomic operations
+//!   and never allocates on hot paths (registering a metric name may
+//!   allocate once; do it outside the loop and record through the
+//!   returned handle).
+//! * Observability never feeds back into computation: nothing in this
+//!   crate is read by the code it instruments.
+//!
+//! ## Naming scheme
+//!
+//! Metric names are dotted `<subsystem>.<metric>[_<unit>]` paths with an
+//! optional Prometheus-style label suffix, e.g.
+//! `campaign.run_millis{app="milc-16"}`. Spans record into `span.<path>`
+//! histograms whose unit is clock nanoseconds (ticks under a logical
+//! clock).
+//!
+//! ## Example
+//!
+//! ```
+//! use dfv_obs::Obs;
+//!
+//! let obs = Obs::enabled();
+//! let rows = obs.counter("demo.rows");
+//! {
+//!     let _phase = obs.span("demo.build");
+//!     for _ in 0..100 {
+//!         rows.inc();
+//!     }
+//! }
+//! let snap = obs.snapshot();
+//! assert_eq!(snap.counter("demo.rows"), Some(100));
+//! assert_eq!(snap.histogram("span.demo.build").unwrap().count(), 1);
+//! println!("{}", snap.render_report());
+//! ```
+
+#![deny(missing_docs)]
+
+mod clock;
+mod export;
+mod handles;
+mod hist;
+mod registry;
+
+pub use clock::Clock;
+pub use export::{Metric, MetricValue, Snapshot};
+pub use handles::{Counter, Gauge, Histogram, Span, Timer, TimerGuard};
+pub use hist::{bucket_of, bucket_upper, Log2Histogram, BUCKETS};
+pub use registry::{HistCell, MetricsRegistry};
+
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct ObsInner {
+    registry: MetricsRegistry,
+    clock: Clock,
+}
+
+/// The observability handle: either disabled (all operations are no-ops)
+/// or an `Arc` around a shared registry plus clock. Cloning is cheap and
+/// clones share the same registry.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl Obs {
+    /// The inert handle: every metric minted from it is a guaranteed
+    /// no-op and [`Obs::snapshot`] is empty. This is the default.
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// A live handle with a fresh registry and the monotonic wall clock.
+    pub fn enabled() -> Self {
+        Self::enabled_with(Clock::wall())
+    }
+
+    /// A live handle with a fresh registry and a deterministic logical
+    /// clock (spans measure clock reads, not time) — for tests that must
+    /// stay bit-exact.
+    pub fn enabled_logical() -> Self {
+        Self::enabled_with(Clock::logical())
+    }
+
+    /// A live handle with a fresh registry and the given clock.
+    pub fn enabled_with(clock: Clock) -> Self {
+        Obs { inner: Some(Arc::new(ObsInner { registry: MetricsRegistry::new(), clock })) }
+    }
+
+    /// `true` when backed by a live registry.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The underlying registry, when enabled.
+    pub fn registry(&self) -> Option<&MetricsRegistry> {
+        self.inner.as_deref().map(|i| &i.registry)
+    }
+
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter(self.inner.as_deref().map(|i| i.registry.counter(name)))
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge(self.inner.as_deref().map(|i| i.registry.gauge(name)))
+    }
+
+    /// Get or register the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram(self.inner.as_deref().map(|i| i.registry.histogram(name)))
+    }
+
+    /// Get or register a [`Timer`] recording durations into the
+    /// histogram `name`.
+    pub fn timer(&self, name: &str) -> Timer {
+        match &self.inner {
+            Some(i) => Timer { hist: self.histogram(name), clock: Some(i.clock.clone()) },
+            None => Timer::default(),
+        }
+    }
+
+    /// Open a [`Span`] for the phase `name`; its duration lands in the
+    /// histogram `span.<name>` when it ends.
+    pub fn span(&self, name: &str) -> Span {
+        match &self.inner {
+            Some(i) => {
+                let hist = self.histogram(&format!("span.{name}"));
+                let clock = i.clock.clone();
+                let start = clock.now();
+                Span {
+                    obs: self.clone(),
+                    path: name.to_string(),
+                    hist,
+                    clock: Some(clock),
+                    start,
+                    done: false,
+                }
+            }
+            None => Span {
+                obs: self.clone(),
+                path: String::new(),
+                hist: Histogram::default(),
+                clock: None,
+                start: 0,
+                done: true,
+            },
+        }
+    }
+
+    /// Snapshot every registered metric (empty when disabled).
+    pub fn snapshot(&self) -> Snapshot {
+        match &self.inner {
+            Some(i) => i.registry.snapshot(),
+            None => Snapshot::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_registry() {
+        let obs = Obs::enabled_logical();
+        let clone = obs.clone();
+        obs.counter("n").add(2);
+        clone.counter("n").add(3);
+        assert_eq!(obs.snapshot().counter("n"), Some(5));
+    }
+
+    #[test]
+    fn disabled_is_default_and_empty() {
+        let obs = Obs::default();
+        assert!(!obs.is_enabled());
+        assert!(obs.registry().is_none());
+        obs.counter("n").inc();
+        assert!(obs.snapshot().metrics.is_empty());
+    }
+}

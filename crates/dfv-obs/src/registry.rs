@@ -1,0 +1,218 @@
+//! The thread-safe metrics registry.
+//!
+//! A registry is a name → cell map. Registration (`counter` / `gauge` /
+//! `histogram`) takes a lock and may allocate the first time a name is
+//! seen; it returns an `Arc` handle that records with nothing but relaxed
+//! atomic operations — no locks, no allocation — so handles are safe to
+//! use from hot loops and from any thread.
+
+use crate::export::{Metric, MetricValue, Snapshot};
+use crate::hist::{bucket_of, Log2Histogram, BUCKETS};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Thread-safe atomic histogram cell; snapshots into [`Log2Histogram`].
+#[derive(Debug)]
+pub struct HistCell {
+    counts: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCell {
+    fn new() -> Self {
+        HistCell {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value. Lock-free and allocation-free.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Snapshot the cell into a plain histogram. Under concurrent writers
+    /// the counts, sum and max are each individually atomic but not read
+    /// as one transaction; quiesce writers first for exact totals.
+    pub fn snapshot(&self) -> Log2Histogram {
+        let counts = std::array::from_fn(|b| self.counts[b].load(Ordering::Relaxed));
+        let sum = self.sum.load(Ordering::Relaxed) as u128;
+        let max = self.max.load(Ordering::Relaxed);
+        Log2Histogram::from_parts(counts, sum, max)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Cell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Hist(Arc<HistCell>),
+}
+
+impl Cell {
+    fn kind(&self) -> &'static str {
+        match self {
+            Cell::Counter(_) => "counter",
+            Cell::Gauge(_) => "gauge",
+            Cell::Hist(_) => "histogram",
+        }
+    }
+}
+
+/// A thread-safe map of named metric cells.
+///
+/// Names are dotted paths, optionally suffixed with a `{key="value"}`
+/// label set — e.g. `campaign.run_millis{app="milc-16"}`. The registry
+/// treats the whole string as the identity; exporters parse the label
+/// suffix back out.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    cells: Mutex<HashMap<String, Cell>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn cell(&self, name: &str, make: impl FnOnce() -> Cell) -> Cell {
+        let mut cells = self.cells.lock().unwrap();
+        if let Some(existing) = cells.get(name) {
+            return existing.clone();
+        }
+        let fresh = make();
+        cells.insert(name.to_string(), fresh.clone());
+        fresh
+    }
+
+    /// Get or register the counter cell `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        match self.cell(name, || Cell::Counter(Arc::new(AtomicU64::new(0)))) {
+            Cell::Counter(c) => c,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the gauge cell `name` (an `f64` stored as bits).
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<AtomicU64> {
+        match self.cell(name, || Cell::Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))) {
+            Cell::Gauge(g) => g,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the histogram cell `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<HistCell> {
+        match self.cell(name, || Cell::Hist(Arc::new(HistCell::new()))) {
+            Cell::Hist(h) => h,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.cells.lock().unwrap().len()
+    }
+
+    /// `true` when no metric has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let cells = self.cells.lock().unwrap();
+        let mut metrics: Vec<Metric> = cells
+            .iter()
+            .map(|(name, cell)| Metric {
+                name: name.clone(),
+                value: match cell {
+                    Cell::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                    Cell::Gauge(g) => MetricValue::Gauge(f64::from_bits(g.load(Ordering::Relaxed))),
+                    Cell::Hist(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        metrics.sort_by(|a, b| a.name.cmp(&b.name));
+        Snapshot { metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.fetch_add(3, Ordering::Relaxed);
+        b.fetch_add(4, Ordering::Relaxed);
+        assert_eq!(reg.snapshot().counter("x"), Some(7));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn hist_cell_snapshot_matches_plain_histogram() {
+        let reg = MetricsRegistry::new();
+        let cell = reg.histogram("h");
+        let mut plain = Log2Histogram::new();
+        for v in [0u64, 1, 5, 1000, u64::MAX] {
+            cell.record(v);
+            plain.record(v);
+        }
+        // The atomic sum wraps at u64; stay below that in this test.
+        let snap = cell.snapshot();
+        assert_eq!(snap.counts(), plain.counts());
+        assert_eq!(snap.max(), plain.max());
+        assert_eq!(snap.count(), plain.count());
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                let c = reg.counter("n");
+                let h = reg.histogram("h");
+                for i in 0..10_000u64 {
+                    c.fetch_add(1, Ordering::Relaxed);
+                    h.record(i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("n"), Some(80_000));
+        assert_eq!(snap.histogram("h").unwrap().count(), 80_000);
+    }
+}

@@ -8,10 +8,53 @@
 
 use crate::job::{JobId, JobRecord, JobRequest, RunningJob};
 use dfv_dragonfly::ids::NodeId;
-use dfv_dragonfly::placement::{allocate, AllocationPolicy};
+use dfv_dragonfly::placement::{allocate, AllocationPolicy, Placement};
+use dfv_obs::Obs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Scheduler telemetry: queue pressure and allocation quality. Built from
+/// a disabled [`Obs`] (the default) every recording is a no-op and the
+/// cluster behaves bit-for-bit as if the field did not exist — metrics are
+/// never read back into scheduling decisions.
+#[derive(Debug, Clone, Default)]
+struct ClusterMetrics {
+    jobs_submitted: dfv_obs::Counter,
+    jobs_started: dfv_obs::Counter,
+    jobs_finished: dfv_obs::Counter,
+    /// Pending-queue length sampled after every submission settles.
+    queue_depth: dfv_obs::Histogram,
+    /// Contiguous node-id runs per started placement (1 = fully
+    /// contiguous; larger = more fragmented).
+    placement_fragments: dfv_obs::Histogram,
+    free_nodes: dfv_obs::Gauge,
+}
+
+impl ClusterMetrics {
+    fn new(obs: &Obs) -> Self {
+        ClusterMetrics {
+            jobs_submitted: obs.counter("scheduler.jobs_submitted"),
+            jobs_started: obs.counter("scheduler.jobs_started"),
+            jobs_finished: obs.counter("scheduler.jobs_finished"),
+            queue_depth: obs.histogram("scheduler.queue_depth"),
+            placement_fragments: obs.histogram("scheduler.placement_fragments"),
+            free_nodes: obs.gauge("scheduler.free_nodes"),
+        }
+    }
+
+    /// Count of contiguous node-id runs in a placement — the scheduler's
+    /// fragmentation measure (computed only when the histogram is live).
+    fn record_fragments(&self, placement: &Placement) {
+        if !self.placement_fragments.is_enabled() {
+            return;
+        }
+        let mut ids: Vec<u32> = placement.nodes().iter().map(|n| n.0).collect();
+        ids.sort_unstable();
+        let fragments = 1 + ids.windows(2).filter(|w| w[1] != w[0] + 1).count() as u64;
+        self.placement_fragments.record(fragments);
+    }
+}
 
 /// What changed while advancing time (jobs that started or finished); the
 /// campaign uses this to know when the background traffic must be rebuilt.
@@ -58,12 +101,26 @@ pub struct Cluster {
     now: f64,
     next_id: u64,
     rng: StdRng,
+    metrics: ClusterMetrics,
 }
 
 impl Cluster {
     /// A cluster over `nodes` (the schedulable compute nodes) using
     /// `policy` for allocations. `seed` drives allocation randomness.
     pub fn new(nodes: Vec<NodeId>, policy: AllocationPolicy, seed: u64) -> Self {
+        Self::new_observed(nodes, policy, seed, &Obs::disabled())
+    }
+
+    /// Like [`Cluster::new`], publishing `scheduler.*` metrics (queue
+    /// depth, placement fragmentation, start/finish counts, free nodes)
+    /// to `obs`. Scheduling decisions never read the metrics, so an
+    /// observed cluster replays identically to an unobserved one.
+    pub fn new_observed(
+        nodes: Vec<NodeId>,
+        policy: AllocationPolicy,
+        seed: u64,
+        obs: &Obs,
+    ) -> Self {
         Cluster {
             free: nodes.into_iter().collect(),
             running: BTreeMap::new(),
@@ -73,6 +130,7 @@ impl Cluster {
             now: 0.0,
             next_id: 1,
             rng: StdRng::seed_from_u64(seed),
+            metrics: ClusterMetrics::new(obs),
         }
     }
 
@@ -113,6 +171,9 @@ impl Cluster {
         request.submit_time = request.submit_time.max(self.now);
         self.pending.push_back((id, request));
         self.try_schedule();
+        self.metrics.jobs_submitted.inc();
+        self.metrics.queue_depth.record(self.pending.len() as u64);
+        self.metrics.free_nodes.set(self.free.len() as f64);
         id
     }
 
@@ -159,6 +220,8 @@ impl Cluster {
         }
         self.now = t;
         events.started.extend(self.try_schedule());
+        self.metrics.jobs_finished.add(events.finished.len() as u64);
+        self.metrics.free_nodes.set(self.free.len() as f64);
         events
     }
 
@@ -179,6 +242,8 @@ impl Cluster {
                     for n in placement.nodes() {
                         self.free.remove(n);
                     }
+                    self.metrics.jobs_started.inc();
+                    self.metrics.record_fragments(&placement);
                     let job = RunningJob {
                         id,
                         start_time: self.now,
@@ -322,6 +387,33 @@ mod tests {
         let mut c = Cluster::new(nodes(4), AllocationPolicy::Contiguous, 6);
         c.advance_to(10.0);
         c.advance_to(5.0);
+    }
+
+    #[test]
+    fn observed_cluster_replays_identically_and_publishes_metrics() {
+        let obs = Obs::enabled_logical();
+        let run = |observed: Option<&Obs>| {
+            let mut c = match observed {
+                Some(o) => Cluster::new_observed(nodes(64), AllocationPolicy::Random, 7, o),
+                None => Cluster::new(nodes(64), AllocationPolicy::Random, 7),
+            };
+            c.submit(req(1, 16, 100.0));
+            c.submit(req(2, 16, 80.0));
+            c.submit(req(3, 64, 10.0));
+            c.advance_to(500.0);
+            c.records()
+                .iter()
+                .map(|r| (r.id, r.nodes.clone(), r.start_time.to_bits(), r.end_time.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(None), run(Some(&obs)), "metrics must not perturb scheduling");
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("scheduler.jobs_submitted"), Some(3));
+        assert_eq!(snap.counter("scheduler.jobs_started"), Some(3));
+        assert_eq!(snap.counter("scheduler.jobs_finished"), Some(3));
+        assert_eq!(snap.histogram("scheduler.queue_depth").unwrap().count(), 3);
+        assert_eq!(snap.histogram("scheduler.placement_fragments").unwrap().count(), 3);
+        assert_eq!(snap.gauge("scheduler.free_nodes"), Some(64.0));
     }
 
     #[test]

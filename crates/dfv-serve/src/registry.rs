@@ -165,9 +165,8 @@ impl ModelRegistry {
         let mut failures = Vec::new();
         for path in paths {
             match std::fs::read_to_string(&path) {
-                Err(e) => {
-                    failures.push((path.clone(), RegistryError::Io(format!("{}: {e}", path.display()))))
-                }
+                Err(e) => failures
+                    .push((path.clone(), RegistryError::Io(format!("{}: {e}", path.display())))),
                 Ok(json) => match self.install_json(&json) {
                     Ok(_) => installed += 1,
                     Err(RegistryError::StaleVersion { .. }) => {}
@@ -295,10 +294,7 @@ mod tests {
         assert_eq!(reg.len(), 2);
         assert_eq!(reg.get(&ModelKey::deviation("amg-16")).unwrap().version, 1);
         assert_eq!(failures.len(), 2);
-        assert!(matches!(
-            &failures[0].1,
-            RegistryError::Artifact(ArtifactError::Malformed(_))
-        ));
+        assert!(matches!(&failures[0].1, RegistryError::Artifact(ArtifactError::Malformed(_))));
         assert_eq!(
             failures[1].1,
             RegistryError::Artifact(ArtifactError::SchemaVersion { found: 99 })

@@ -289,7 +289,14 @@ impl Service {
 
 impl Drop for Service {
     fn drop(&mut self) {
-        // Best effort: detach the batcher; it exits once all handles drop.
+        // Dropping without `shutdown()`: stop accepting new submissions and
+        // hand the batcher its stop sentinel so the thread exits promptly
+        // even while client handles stay alive (a live handle used to keep
+        // the detached batcher blocked in `recv` forever). `try_send` keeps
+        // Drop non-blocking: if the queue is full the batcher is awake and
+        // draining, and it still exits once every sender drops.
+        self.handle.shared.stopping.store(true, Ordering::Release);
+        let _ = self.handle.tx.try_send(QueueItem::Stop);
         self.worker.take();
     }
 }
@@ -652,9 +659,10 @@ mod tests {
         for i in 0..24 {
             let row: Vec<f64> = (0..width).map(|j| ((i * 13 + j) % 7) as f64).collect();
             loop {
-                match handle
-                    .request(Request::PredictDeviation { app: "amg-16".into(), step_features: row.clone() })
-                {
+                match handle.request(Request::PredictDeviation {
+                    app: "amg-16".into(),
+                    step_features: row.clone(),
+                }) {
                     Response::Prediction { .. } => {
                         answered += 1;
                         break;

@@ -1,32 +1,23 @@
 //! Serving metrics: per-model latency histograms, throughput and cache
 //! hit rates, snapshotted into a [`ServeStats`] report.
 //!
-//! Latencies land in logarithmic (power-of-two nanosecond) buckets, so a
-//! single 64-bucket array spans 1 ns to ~18 s with bounded relative error;
-//! quantiles are read off the bucket boundaries. Recording is O(1) and
-//! allocation-free — it runs inside the batcher's hot loop.
+//! Latencies land in logarithmic (power-of-two nanosecond) buckets —
+//! [`LatencyHistogram`] is a [`Duration`]-typed view over the workspace's
+//! shared [`Log2Histogram`], so a single 64-bucket array spans 1 ns to
+//! ~18 s with bounded relative error; quantiles are read off the bucket
+//! boundaries. Recording is O(1) and allocation-free — it runs inside the
+//! batcher's hot loop.
 
 use crate::artifact::TaskKind;
 use crate::registry::ModelKey;
+pub use dfv_obs::Log2Histogram;
 use std::collections::HashMap;
 use std::time::Duration;
 
-const BUCKETS: usize = 64;
-
-/// Power-of-two-bucketed latency histogram.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    counts: [u64; BUCKETS],
-    total: u64,
-    sum_nanos: u128,
-    max_nanos: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram { counts: [0; BUCKETS], total: 0, sum_nanos: 0, max_nanos: 0 }
-    }
-}
+/// Power-of-two-bucketed latency histogram: [`Duration`] recording and
+/// readout over the shared nanosecond-valued [`Log2Histogram`].
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram(Log2Histogram);
 
 impl LatencyHistogram {
     /// An empty histogram.
@@ -36,51 +27,34 @@ impl LatencyHistogram {
 
     /// Record one latency.
     pub fn record(&mut self, latency: Duration) {
-        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
-        // Bucket b holds latencies in [2^b, 2^(b+1)) ns; 0 ns lands in b=0.
-        let bucket = (64 - nanos.leading_zeros()).saturating_sub(1) as usize;
-        self.counts[bucket.min(BUCKETS - 1)] += 1;
-        self.total += 1;
-        self.sum_nanos += nanos as u128;
-        self.max_nanos = self.max_nanos.max(nanos);
+        self.0.record(latency.as_nanos().min(u64::MAX as u128) as u64);
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.total
+        self.0.count()
     }
 
     /// Mean latency (zero when empty).
     pub fn mean(&self) -> Duration {
-        if self.total == 0 {
-            return Duration::ZERO;
-        }
-        Duration::from_nanos((self.sum_nanos / self.total as u128) as u64)
+        Duration::from_nanos(self.0.mean())
     }
 
     /// Largest recorded latency.
     pub fn max(&self) -> Duration {
-        Duration::from_nanos(self.max_nanos)
+        Duration::from_nanos(self.0.max())
     }
 
     /// The `q`-quantile (`0 < q <= 1`), reported as the upper edge of the
     /// bucket containing that rank — an upper bound within 2x of the true
     /// value. Zero when empty.
     pub fn quantile(&self, q: f64) -> Duration {
-        assert!(q > 0.0 && q <= 1.0, "quantile in (0, 1]");
-        if self.total == 0 {
-            return Duration::ZERO;
-        }
-        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
-        let mut seen = 0;
-        for (b, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                let upper = if b + 1 >= 64 { u64::MAX } else { (1u64 << (b + 1)) - 1 };
-                return Duration::from_nanos(upper.min(self.max_nanos));
-            }
-        }
-        Duration::from_nanos(self.max_nanos)
+        Duration::from_nanos(self.0.quantile(q))
+    }
+
+    /// The underlying unit-free histogram (nanosecond-valued).
+    pub fn as_log2(&self) -> &Log2Histogram {
+        &self.0
     }
 }
 

@@ -126,3 +126,28 @@ fn export_load_and_serve_concurrently_bit_for_bit() {
     assert!(stats.models.iter().all(|m| m.p99 > std::time::Duration::ZERO));
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+#[test]
+fn dropping_the_service_stops_the_batcher_without_stranding_clients() {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(deviation_artifact("amg-16", 1)).unwrap();
+    let width = registry.get(&ModelKey::deviation("amg-16")).unwrap().input_width();
+    let service = Service::start(registry, ServeConfig::default());
+    let handle = service.handle();
+
+    // Work accepted before the drop is still answered: Drop sends the stop
+    // sentinel, and the batcher drains everything queued ahead of it.
+    let pending = handle
+        .submit(Request::PredictDeviation { app: "amg-16".into(), step_features: vec![1.0; width] })
+        .expect("accepted before drop");
+    drop(service);
+    assert!(matches!(pending.wait(), Response::Prediction { .. }));
+
+    // After the drop the surviving handle is refused immediately instead of
+    // queueing against a batcher that will never answer.
+    let refused = handle.submit(Request::PredictDeviation {
+        app: "amg-16".into(),
+        step_features: vec![2.0; width],
+    });
+    assert!(matches!(refused, Err(Response::Error(_))), "submit after drop must be refused");
+}

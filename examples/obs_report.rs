@@ -1,0 +1,134 @@
+//! Observability demo: run a small campaign, a deviation analysis, a
+//! serving-artifact training pass and a faulted campaign with a live
+//! metrics registry attached, then render the run-report and validate the
+//! JSONL and Prometheus exports.
+//!
+//! The registry is strictly an observer: every number the pipeline
+//! produces here is bit-for-bit the number it produces with no registry
+//! at all (`tests/observability.rs` proves it).
+//!
+//! Run with: `cargo run --release --example obs_report`
+
+use dfv_experiments::deviation::deviation_dataset;
+use dfv_experiments::serving::{train_artifacts_observed, ServeTrainConfig};
+use dfv_experiments::{
+    analyze_deviation_observed, run_campaign_faulted_observed, run_campaign_observed,
+    CampaignConfig,
+};
+use dfv_faults::{FaultPlan, FaultSite};
+use dfv_mlkit::attention::AttentionParams;
+use dfv_mlkit::gbr::GbrParams;
+use dfv_mlkit::matrix::Matrix;
+use dfv_mlkit::{MissingPolicy, RfeParams};
+use dfv_obs::Obs;
+use dfv_serve::{ModelRegistry, Request, Response, ServeConfig, Service, TaskKind};
+use std::sync::Arc;
+
+fn main() {
+    let obs = Obs::enabled();
+
+    // 1. Campaign with phase spans, submission counters and per-app
+    //    wall-time histograms.
+    println!("== campaign (quick config, observed) ==");
+    let mut config = CampaignConfig::quick();
+    config.num_days = 3;
+    let campaign = run_campaign_observed(&config, &obs);
+    println!(
+        "{} datasets, {} sacct jobs, {} probe runs",
+        campaign.datasets.len(),
+        campaign.sacct.len(),
+        campaign.probe_jobs.len()
+    );
+
+    // 2. Deviation analysis: dataset-build counters plus GBR/RFE training
+    //    internals (round loss, tree depth, split-scan work, eliminations).
+    let params =
+        RfeParams { folds: 3, gbr: GbrParams { n_trees: 15, ..Default::default() }, seed: 1 };
+    let analysis =
+        analyze_deviation_observed(&campaign.datasets[0], &params, MissingPolicy::MeanImpute, &obs);
+    println!(
+        "deviation[{}]: top counter {}, MAPE {:.2}%",
+        campaign.datasets[0].spec.label(),
+        analysis.top_counter(),
+        analysis.rfe.mean_mape()
+    );
+
+    // 3. Serving artifacts (GBR + attention trainers observed), then a
+    //    short serve session on the shared latency histogram type.
+    let train = ServeTrainConfig {
+        gbr: GbrParams { n_trees: 10, ..GbrParams::default() },
+        attention: AttentionParams { epochs: 4, d_attn: 4, hidden: 8, ..Default::default() },
+        ..ServeTrainConfig::default()
+    };
+    let artifacts = train_artifacts_observed(&campaign, &train, &obs);
+    let registry = Arc::new(ModelRegistry::new());
+    for artifact in &artifacts {
+        registry.install(artifact.clone()).expect("install artifact");
+    }
+    let service = Service::start(registry, ServeConfig::default());
+    let handle = service.handle();
+    let deviation =
+        artifacts.iter().find(|a| a.task() == TaskKind::Deviation).expect("deviation artifact");
+    let (data, _) = deviation_dataset(
+        campaign.datasets.iter().find(|d| d.spec.label() == deviation.app).unwrap(),
+    );
+    let mut served = 0usize;
+    for r in 0..data.x.rows().min(64) {
+        let row = data.x.row(r).to_vec();
+        let mut m = Matrix::zeros(0, row.len());
+        m.push_row(&row);
+        let expected = deviation.predict_batch(&m)[0];
+        match handle
+            .request(Request::PredictDeviation { app: deviation.app.clone(), step_features: row })
+        {
+            Response::Prediction { value, .. } => {
+                assert_eq!(value.to_bits(), expected.to_bits(), "served == offline");
+                served += 1;
+            }
+            Response::Rejected { retry_after } => std::thread::sleep(retry_after),
+            Response::Error(e) => panic!("serve error: {e}"),
+        }
+    }
+    let stats = service.shutdown();
+    println!("served {served} predictions, p99 {:?}", stats.models[0].p99);
+
+    // 4. A faulted campaign so the per-site verdict counters have data.
+    let mut faulted_config = config.clone();
+    faulted_config.num_days = 2;
+    let plan = FaultPlan::gaps(41, 0.25);
+    let _ = run_campaign_faulted_observed(&faulted_config, Some(&plan), &obs);
+
+    // 5. Render and validate the exports.
+    let snapshot = obs.snapshot();
+    println!("\n{}", snapshot.render_report());
+
+    let jsonl = snapshot.to_jsonl();
+    let mut lines = 0usize;
+    for line in jsonl.lines() {
+        let parsed: serde_json::Value = serde_json::from_str(line).expect("JSONL line parses");
+        let reserialized = serde_json::to_string(&parsed).expect("re-serialize");
+        let reparsed: serde_json::Value =
+            serde_json::from_str(&reserialized).expect("round-trip parses");
+        assert!(parsed == reparsed, "JSONL round trip must be lossless");
+        lines += 1;
+    }
+    assert!(lines >= 20, "expected a rich snapshot, got {lines} metrics");
+
+    let prom = snapshot.to_prometheus();
+    assert!(prom.contains("# TYPE campaign_probe_runs counter"));
+    assert!(prom.contains("# TYPE span_campaign_phase2_measurement summary"));
+    assert!(prom.contains("mlkit_tree_fits"));
+
+    // The realized gap-injection rate sits near the plan's configured 25%.
+    let checked = snapshot
+        .counter(&format!("faults.checked{{site=\"{}\"}}", FaultSite::CounterDropout.label()))
+        .expect("dropout checks counted");
+    let fired = snapshot
+        .counter(&format!("faults.fired{{site=\"{}\"}}", FaultSite::CounterDropout.label()))
+        .expect("dropout hits counted");
+    let rate = fired as f64 / checked as f64;
+    println!("fault verdicts: {fired}/{checked} counter dropouts ({:.1}%)", 100.0 * rate);
+    assert!((0.15..0.35).contains(&rate), "realized rate {rate} far from 0.25");
+
+    println!("\nobs report OK: {lines} JSONL metrics, {} bytes prometheus", prom.len());
+}

@@ -34,6 +34,10 @@
 //! assert!(out.comm_time > 0.0);
 //! ```
 
+/// Workspace-wide observability: metrics registry, spans and exporters
+/// with a zero-perturbation guarantee when disabled.
+pub use dfv_obs as obs;
+
 /// The dragonfly network substrate: topology, routing, congestion model.
 pub use dfv_dragonfly as dragonfly;
 
@@ -65,20 +69,21 @@ pub mod prelude {
         AriesSession, Counter, CounterSnapshot, FaultyAriesSession, FaultyLdmsSampler, FeatureSet,
         LdmsSampler, SystemLayout,
     };
-    pub use dfv_faults::{FaultPlan, FaultSite, Schedule};
     pub use dfv_dragonfly::{
         AllocationPolicy, BackgroundTraffic, ChannelLoads, DragonflyConfig, NetworkSim, NodeId,
         Placement, RouterId, RoutingPolicy, SimScratch, StepTelemetry, Topology, Traffic,
     };
     pub use dfv_experiments::{
         analyze_deviation, gap_fraction_ablation, run_campaign, run_campaign_faulted,
-        simulate_long_run, train_and_export, AppDataset, CampaignConfig, CampaignResult, RunRecord,
-        ServeTrainConfig,
+        run_campaign_faulted_observed, run_campaign_observed, simulate_long_run, train_and_export,
+        AppDataset, CampaignConfig, CampaignResult, RunRecord, ServeTrainConfig,
     };
+    pub use dfv_faults::{FaultPlan, FaultSite, Schedule, VerdictCounters};
     pub use dfv_mlkit::{
         AttentionForecaster, AttentionParams, Dataset, Gbr, GbrParams, Matrix, MissingPolicy,
         Ridge, WindowDataset,
     };
+    pub use dfv_obs::{Obs, Snapshot};
     pub use dfv_scheduler::{Archetype, Cluster, JobRequest, UserId};
     pub use dfv_serve::{
         ModelArtifact, ModelKey, ModelRegistry, Request, Response, ServeConfig, ServeStats, Service,

@@ -67,7 +67,8 @@ fn identical_plans_reproduce_identical_faults() {
 #[test]
 fn moderate_gaps_degrade_the_deviation_model_boundedly() {
     let params = rfe_params();
-    let base = analyze_deviation_with_policy(&clean().datasets[0], &params, MissingPolicy::MeanImpute);
+    let base =
+        analyze_deviation_with_policy(&clean().datasets[0], &params, MissingPolicy::MeanImpute);
     let faulted = run_campaign_faulted(&small_config(), Some(&FaultPlan::gaps(17, 0.10)));
     for policy in [MissingPolicy::Locf, MissingPolicy::MeanImpute] {
         let analysis = analyze_deviation_with_policy(&faulted.datasets[0], &params, policy);
@@ -87,7 +88,8 @@ fn moderate_gaps_degrade_the_deviation_model_boundedly() {
 
 #[test]
 fn escalating_gaps_never_panic_under_any_policy() {
-    let params = RfeParams { folds: 3, gbr: GbrParams { n_trees: 8, ..Default::default() }, seed: 5 };
+    let params =
+        RfeParams { folds: 3, gbr: GbrParams { n_trees: 8, ..Default::default() }, seed: 5 };
     for (i, fraction) in [0.05, 0.3, 0.6].into_iter().enumerate() {
         let plan = FaultPlan::gaps(1000 + i as u64, fraction);
         let result = run_campaign_faulted(&small_config(), Some(&plan));
@@ -145,8 +147,7 @@ fn service_drains_under_saturation_with_injected_stalls() {
             let handle = service.handle();
             std::thread::spawn(move || {
                 for i in 0..25u64 {
-                    let row: Vec<f64> =
-                        (0..4u64).map(|j| ((t + i * 3 + j) % 11) as f64).collect();
+                    let row: Vec<f64> = (0..4u64).map(|j| ((t + i * 3 + j) % 11) as f64).collect();
                     loop {
                         match handle.request(Request::PredictDeviation {
                             app: "amg-16".into(),

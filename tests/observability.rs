@@ -1,0 +1,187 @@
+//! The zero-perturbation contract of `dfv-obs`, end to end: attaching a
+//! live metrics registry to the campaign, the training pipelines or the
+//! fault layer never changes a single output bit; the exports are valid
+//! JSONL and Prometheus text; and histogram quantiles honor their
+//! log₂-bucket error bounds on arbitrary inputs.
+
+use dragonfly_variability::experiments::deviation::{
+    analyze_deviation_observed, analyze_deviation_with_policy,
+};
+use dragonfly_variability::experiments::forecast::{
+    evaluate_observed, evaluate_with_policy, ForecastSpec,
+};
+use dragonfly_variability::experiments::serving::{train_artifacts, train_artifacts_observed};
+use dragonfly_variability::mlkit::rfe::RfeParams;
+use dragonfly_variability::obs::Log2Histogram;
+use dragonfly_variability::prelude::*;
+use proptest::prelude::*;
+
+fn small_config() -> CampaignConfig {
+    let mut config = CampaignConfig::quick();
+    config.num_days = 2;
+    config
+}
+
+/// Telemetry bit patterns of a campaign result (NaN != NaN, so faulted
+/// datasets must be compared by bits, not values).
+fn result_bits(r: &CampaignResult) -> Vec<u64> {
+    r.datasets
+        .iter()
+        .flat_map(|d| &d.runs)
+        .flat_map(|run| &run.steps)
+        .flat_map(|s| {
+            s.counters
+                .iter()
+                .chain(&s.io)
+                .chain(&s.sys)
+                .chain([&s.time, &s.compute_time])
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[test]
+fn campaign_and_training_are_bit_identical_under_observation() {
+    let config = small_config();
+    let obs = Obs::enabled_logical();
+
+    let baseline = run_campaign(&config);
+    let observed = run_campaign_observed(&config, &obs);
+    assert_eq!(baseline.sacct, observed.sacct, "observation must not move the schedule");
+    assert_eq!(result_bits(&baseline), result_bits(&observed));
+
+    // Deviation analysis (GBR + RFE) with live training metrics.
+    let params =
+        RfeParams { folds: 2, gbr: GbrParams { n_trees: 8, ..Default::default() }, seed: 1 };
+    let plain =
+        analyze_deviation_with_policy(&baseline.datasets[0], &params, MissingPolicy::MeanImpute);
+    let watched =
+        analyze_deviation_observed(&observed.datasets[0], &params, MissingPolicy::MeanImpute, &obs);
+    assert_eq!(plain, watched, "RFE result must not depend on the registry");
+
+    // Forecast CV with per-epoch loss recording.
+    let fspec = ForecastSpec { m: 5, k: 5, features: FeatureSet::AppPlacement };
+    let attention = AttentionParams { epochs: 3, d_attn: 4, hidden: 8, ..Default::default() };
+    let ds = baseline.datasets.iter().find(|d| d.runs.len() >= 2).expect("enough runs");
+    let plain = evaluate_with_policy(ds, &fspec, &attention, 2, 3, MissingPolicy::MeanImpute);
+    let watched = evaluate_observed(ds, &fspec, &attention, 2, 3, MissingPolicy::MeanImpute, &obs);
+    assert_eq!(plain, watched, "forecast outcome must not depend on the registry");
+
+    // Serving artifact export (JSON is the canonical byte-level form).
+    let train = dragonfly_variability::experiments::serving::ServeTrainConfig {
+        gbr: GbrParams { n_trees: 6, ..GbrParams::default() },
+        attention: AttentionParams { epochs: 2, d_attn: 4, hidden: 8, ..Default::default() },
+        ..Default::default()
+    };
+    let plain: Vec<String> =
+        train_artifacts(&baseline, &train).iter().map(|a| a.to_json()).collect();
+    let watched: Vec<String> =
+        train_artifacts_observed(&observed, &train, &obs).iter().map(|a| a.to_json()).collect();
+    assert_eq!(plain, watched, "artifacts must serialize identically");
+
+    // The registry actually observed all of it.
+    let snap = obs.snapshot();
+    assert!(snap.counter("campaign.probe_runs").unwrap() > 0);
+    assert!(snap.counter("deviation.rows_built").unwrap() > 0);
+    assert!(snap.counter("mlkit.gbr.rounds").unwrap() > 0);
+    assert!(snap.counter("mlkit.attention.epochs").unwrap() > 0);
+    let run_hist = format!("campaign.run_millis{{app=\"{}\"}}", baseline.datasets[0].spec.label());
+    assert!(snap.histogram(&run_hist).is_some_and(|h| h.count() > 0), "missing {run_hist}");
+    assert!(snap.histogram("span.campaign.phase2_measurement").is_some());
+}
+
+#[test]
+fn faulted_campaign_is_bit_identical_and_verdict_rates_match_the_plan() {
+    let config = small_config();
+    let plan = FaultPlan::gaps(41, 0.3);
+    let obs = Obs::enabled_logical();
+
+    let baseline = run_campaign_faulted(&config, Some(&plan));
+    let observed = run_campaign_faulted_observed(&config, Some(&plan), &obs);
+    assert_eq!(baseline.sacct, observed.sacct);
+    assert_eq!(result_bits(&baseline), result_bits(&observed), "verdict counting changed data");
+
+    let snap = obs.snapshot();
+    for site in [FaultSite::CounterDropout, FaultSite::LdmsIoGap] {
+        let checked =
+            snap.counter(&format!("faults.checked{{site=\"{}\"}}", site.label())).unwrap();
+        let fired = snap.counter(&format!("faults.fired{{site=\"{}\"}}", site.label())).unwrap();
+        assert!(checked > 100, "{site:?} checked only {checked} times");
+        let rate = fired as f64 / checked as f64;
+        assert!(
+            (0.15..0.45).contains(&rate),
+            "{site:?} realized rate {rate} far from the plan's 0.3"
+        );
+    }
+    // Sites the gaps plan never schedules are consulted but never fire.
+    let stale = format!("faults.fired{{site=\"{}\"}}", FaultSite::CounterStale.label());
+    assert_eq!(snap.counter(&stale), Some(0));
+}
+
+#[test]
+fn jsonl_export_round_trips_through_serde_json() {
+    let obs = Obs::enabled_logical();
+    obs.counter("a.count").add(7);
+    obs.counter("a.count{app=\"milc-16\"}").inc();
+    obs.gauge("a.loss").set(-0.5);
+    obs.gauge("a.nan_gauge").set(f64::NAN);
+    let h = obs.histogram("a.hist");
+    for v in [0u64, 1, 2, 1023, u64::MAX] {
+        h.record(v);
+    }
+    obs.span("a.phase").end();
+
+    let jsonl = obs.snapshot().to_jsonl();
+    assert_eq!(jsonl.lines().count(), 6);
+    for line in jsonl.lines() {
+        let parsed: serde_json::Value = serde_json::from_str(line).expect("line parses");
+        let reserialized = serde_json::to_string(&parsed).expect("re-serialize");
+        let reparsed: serde_json::Value = serde_json::from_str(&reserialized).expect("reparse");
+        assert!(parsed == reparsed, "lossy round trip: {line}");
+    }
+    // NaN gauges are mapped to null, never emitted as bare NaN.
+    assert!(jsonl.contains("\"a.nan_gauge\",\"type\":\"gauge\",\"value\":null"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantiles of the log₂ histogram are upper bounds within one bucket:
+    /// for the true rank value `v`, `v <= quantile(q) <= max(2v+1, v)`,
+    /// capped by the observed maximum; count/sum/max are exact.
+    #[test]
+    fn histogram_quantiles_honor_log2_bounds(
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+        qs in proptest::collection::vec(0.001f64..=1.0, 1..6),
+    ) {
+        let mut h = Log2Histogram::default();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+
+        prop_assert_eq!(h.count(), n as u64);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        prop_assert_eq!(h.sum(), values.iter().map(|&v| v as u128).sum::<u128>());
+
+        for &q in &qs {
+            let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+            let v = sorted[rank - 1];
+            let got = h.quantile(q);
+            prop_assert!(got >= v, "quantile({q}) = {got} below true rank value {v}");
+            prop_assert!(
+                got as u128 <= (2 * v as u128 + 1).min(h.max() as u128).max(v as u128),
+                "quantile({q}) = {got} beyond one bucket above {v}"
+            );
+        }
+        // Monotone in q.
+        let mut qs_sorted = qs.clone();
+        qs_sorted.sort_by(f64::total_cmp);
+        for pair in qs_sorted.windows(2) {
+            prop_assert!(h.quantile(pair[0]) <= h.quantile(pair[1]));
+        }
+    }
+}

@@ -119,8 +119,10 @@ fn forecaster_improves_with_context_or_features() {
     let ds = result.datasets.iter().find(|d| d.spec.kind == AppKind::Milc).unwrap();
     let params = AttentionParams { epochs: 25, d_attn: 8, hidden: 16, ..Default::default() };
     let median_mape = |spec: &ForecastSpec| -> f64 {
-        let mut mapes: Vec<f64> =
-            [1u64, 2, 3, 5, 8].iter().map(|&seed| evaluate(ds, spec, &params, 3, seed).mape).collect();
+        let mut mapes: Vec<f64> = [1u64, 2, 3, 5, 8]
+            .iter()
+            .map(|&seed| evaluate(ds, spec, &params, 3, seed).mape)
+            .collect();
         mapes.sort_by(f64::total_cmp);
         mapes[2]
     };

@@ -5,7 +5,9 @@ use dragonfly_variability::dragonfly::ids::Idx;
 use dragonfly_variability::dragonfly::routing::{
     self, minimal_route, route_is_valid, IntraOrder, RoutingPolicy,
 };
-use dragonfly_variability::mlkit::dataset::{impute_series, kfold, series_has_missing, Standardizer};
+use dragonfly_variability::mlkit::dataset::{
+    impute_series, kfold, series_has_missing, Standardizer,
+};
 use dragonfly_variability::mlkit::matrix::{softmax, Matrix};
 use dragonfly_variability::mlkit::metrics::{mae, mape, r2, rmse};
 use dragonfly_variability::mlkit::mi::{binary_entropy, mutual_information_binary};
