@@ -1,0 +1,100 @@
+//! Benchmarks of the online loop's dataset plumbing: what one retrain
+//! cycle pays to assemble its rolling window. The [`AppCache`] splices
+//! per-run blocks that were built once at ingest; the alternative is to
+//! re-walk every run of the window from scratch each cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfv_counters::FeatureSet;
+use dfv_experiments::campaign::{run_campaign, CampaignConfig};
+use dfv_experiments::{
+    day_batches, window_dataset_with_policy, DeviationBuildObs, ForecastSpec, RunRecord,
+};
+use dfv_mlkit::dataset::MissingPolicy;
+use dfv_obs::Obs;
+use dfv_online::AppCache;
+
+const WINDOW_DAYS: usize = 4;
+
+fn fspec() -> ForecastSpec {
+    ForecastSpec { m: 5, k: 5, features: FeatureSet::AppPlacement }
+}
+
+/// One fully ingested cache (first app of an 8-day quick campaign) plus the
+/// raw day batches, shared by every benchmark.
+fn ingested() -> (AppCache, Vec<Vec<RunRecord>>) {
+    let mut config = CampaignConfig::quick();
+    config.num_days = 8;
+    let result = run_campaign(&config);
+    let batches = day_batches(&result, &config);
+    let mut cache = AppCache::new(result.datasets[0].spec, fspec(), MissingPolicy::MeanImpute);
+    let mut days = Vec::new();
+    for batch in &batches {
+        cache.ingest_day(batch.day, &batch.runs[0].1);
+        days.push(batch.runs[0].1.clone());
+    }
+    (cache, days)
+}
+
+fn bench_window_assembly(c: &mut Criterion) {
+    let (cache, days) = ingested();
+    let num_days = days.len();
+    let mut g = c.benchmark_group("online/window_assembly");
+
+    // The streaming path: splice cached per-run blocks for every retrain
+    // day of the campaign.
+    g.bench_function("incremental_splice", |b| {
+        b.iter(|| {
+            let mut rows = 0;
+            for day in WINDOW_DAYS - 1..num_days {
+                rows += cache.forecast_window(day, WINDOW_DAYS).x.rows();
+            }
+            rows
+        })
+    });
+
+    // The naive alternative: rebuild each window from the raw runs, walking
+    // every step of every run again on every cycle.
+    g.bench_function("full_rebuild", |b| {
+        b.iter(|| {
+            let mut rows = 0;
+            for day in WINDOW_DAYS - 1..num_days {
+                let runs: Vec<&RunRecord> = cache.window_runs(day, WINDOW_DAYS).iter().collect();
+                rows +=
+                    window_dataset_with_policy(&runs, &fspec(), MissingPolicy::MeanImpute).x.rows();
+            }
+            rows
+        })
+    });
+    g.finish();
+}
+
+fn bench_ingest_and_deviation(c: &mut Criterion) {
+    let (cache, days) = ingested();
+    let num_days = days.len();
+    let mut g = c.benchmark_group("online/cycle");
+
+    // Day-by-day ingest of the whole campaign (block building included).
+    g.bench_function("stream_ingest_8_days", |b| {
+        b.iter(|| {
+            let mut fresh = AppCache::new(cache.spec, fspec(), MissingPolicy::MeanImpute);
+            for (day, runs) in days.iter().enumerate() {
+                fresh.ingest_day(day, runs);
+            }
+            fresh.len()
+        })
+    });
+
+    // The deviation side of one retrain cycle: window trend + centered rows.
+    let telemetry = DeviationBuildObs::new(&Obs::disabled(), MissingPolicy::MeanImpute);
+    g.bench_function("deviation_window", |b| {
+        b.iter(|| {
+            let (data, _, _) =
+                cache.deviation_window(num_days - 1, WINDOW_DAYS, &telemetry).unwrap();
+            data.x.rows()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_window_assembly, bench_ingest_and_deviation);
+criterion_main!(benches);

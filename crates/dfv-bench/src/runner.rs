@@ -397,7 +397,8 @@ pub fn fig12(ctx: &ReproContext) -> FigOutput {
 /// Everything, in paper order, with progress on stderr (the full-scale
 /// ML figures take minutes each).
 pub fn all(ctx: &ReproContext) -> Vec<FigOutput> {
-    let stages: Vec<(&str, fn(&ReproContext) -> FigOutput)> = vec![
+    type Stage = fn(&ReproContext) -> FigOutput;
+    let stages: Vec<(&str, Stage)> = vec![
         ("fig1", fig1),
         ("table1", table1),
         ("fig3", fig3),

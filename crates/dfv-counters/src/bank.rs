@@ -65,8 +65,8 @@ impl CounterBank {
     /// router: `later - earlier` modulo 2^48.
     pub fn delta(earlier: &RawSnapshot, later: &RawSnapshot) -> [u64; Counter::COUNT] {
         let mut out = [0u64; Counter::COUNT];
-        for i in 0..Counter::COUNT {
-            out[i] = later.registers[i].wrapping_sub(earlier.registers[i]) & MASK;
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = later.registers[i].wrapping_sub(earlier.registers[i]) & MASK;
         }
         out
     }

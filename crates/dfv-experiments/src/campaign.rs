@@ -74,8 +74,33 @@ pub struct CampaignConfig {
     /// periods slow probes by the factors the paper observes without
     /// permanently saturating the fabric.
     pub background_intensity: f64,
+    /// Optional mid-campaign workload shift (the drift-recovery scenario).
+    /// `None` — the default — leaves every code path bit-identical to the
+    /// pre-shift campaign.
+    #[serde(default)]
+    pub workload_shift: Option<WorkloadShift>,
     /// Master seed.
     pub seed: u64,
+}
+
+/// A mid-campaign change in the background workload mix, the stale-model
+/// scenario of Costello & Bhatele's longitudinal study: from `at_day` on,
+/// background jobs route heavier traffic, so probes see systematically more
+/// congestion than the pre-shift training epoch taught a model to expect.
+///
+/// The shift touches *only* phase-2 background routing — the phase-1
+/// schedule, placements and the probe apps themselves are untouched, so a
+/// shifted campaign's sacct log is bit-identical to its clean twin and any
+/// probe that finished before `at_day` records identical telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadShift {
+    /// First day (0-based) the shifted mix applies, by job start time.
+    pub at_day: usize,
+    /// Multiplier on background traffic intensity from that day on.
+    pub intensity_factor: f64,
+    /// Route benign background jobs as the allreduce-heavy n-body archetype
+    /// from that day on (a qualitative mix change, not just a volume knob).
+    pub heavier_benign: bool,
 }
 
 impl CampaignConfig {
@@ -94,6 +119,7 @@ impl CampaignConfig {
             allocation: AllocationPolicy::Fragmented { scatter: 0.5 },
             compute_noise: 0.01,
             background_intensity: 0.25,
+            workload_shift: None,
             seed: 2019,
         }
     }
@@ -118,6 +144,7 @@ impl CampaignConfig {
             allocation: AllocationPolicy::Fragmented { scatter: 0.5 },
             compute_noise: 0.01,
             background_intensity: 0.15,
+            workload_shift: None,
             seed: 7,
         }
     }
@@ -415,6 +442,8 @@ fn run_campaign_with(
                     probe_jobs.get(&rec.id),
                     &io_nodes,
                     config.background_intensity,
+                    config.workload_shift.as_ref(),
+                    config.day_seconds,
                     splitmix(config.seed, 1000 + rec.id.0),
                 );
                 (rec.id, Arc::new(contribution))
@@ -467,8 +496,10 @@ fn run_campaign_with(
 }
 
 /// The per-second traffic-rate contribution of one job, routed over the
-/// idle network. Background jobs use their archetype pattern; probe jobs
+/// idle network. Background jobs use their archetype pattern (reshaped by
+/// the workload shift once their start day reaches it); probe jobs
 /// contribute their application's mid-run step traffic scaled to a rate.
+#[allow(clippy::too_many_arguments)]
 fn route_job_contribution(
     topo: &Topology,
     sim: &NetworkSim<'_>,
@@ -476,12 +507,23 @@ fn route_job_contribution(
     probe_spec: Option<&AppSpec>,
     io_nodes: &[NodeId],
     intensity: f64,
+    shift: Option<&WorkloadShift>,
+    day_seconds: f64,
     seed: u64,
 ) -> RoutedTraffic {
     let mut rng = StdRng::seed_from_u64(seed);
     match probe_spec {
         None => {
-            let archetype = archetype_of(&rec.name).unwrap_or(Archetype::Benign);
+            let mut archetype = archetype_of(&rec.name).unwrap_or(Archetype::Benign);
+            let mut intensity = intensity;
+            if let Some(s) = shift {
+                if rec.start_time >= s.at_day as f64 * day_seconds {
+                    intensity *= s.intensity_factor;
+                    if s.heavier_benign && matches!(archetype, Archetype::Benign) {
+                        archetype = Archetype::NBody;
+                    }
+                }
+            }
             let traffic = archetype.traffic(&rec.nodes, io_nodes, intensity, &mut rng);
             sim.route_traffic(&traffic, None, seed)
         }
@@ -722,6 +764,8 @@ pub fn simulate_long_run(
                 None,
                 &io_nodes,
                 config.background_intensity,
+                config.workload_shift.as_ref(),
+                config.day_seconds,
                 splitmix(seed, 3000 + r.id.0),
             );
             (r.id, Arc::new(contribution))
@@ -862,6 +906,37 @@ mod tests {
                 .collect()
         };
         assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn workload_shift_touches_only_post_shift_probes() {
+        let mut config = CampaignConfig::quick();
+        config.num_days = 4;
+        let clean = run_campaign(&config);
+        let mut shifted_config = config.clone();
+        shifted_config.workload_shift =
+            Some(WorkloadShift { at_day: 2, intensity_factor: 2.5, heavier_benign: true });
+        let shifted = run_campaign(&shifted_config);
+        // Phase 1 is untouched: the schedule is bit-identical.
+        assert_eq!(clean.sacct, shifted.sacct);
+        // Probes that finished before the shift day never met a shifted
+        // background job, so their telemetry is bit-identical; at least one
+        // post-shift probe must differ.
+        let shift_time = 2.0 * config.day_seconds;
+        let mut early = 0usize;
+        let mut late_differs = false;
+        for (a, b) in clean.datasets.iter().zip(&shifted.datasets) {
+            for (ra, rb) in a.runs.iter().zip(&b.runs) {
+                if ra.end_time < shift_time {
+                    assert_eq!(ra.steps, rb.steps);
+                    early += 1;
+                } else if ra.steps != rb.steps {
+                    late_differs = true;
+                }
+            }
+        }
+        assert!(early > 0, "no pre-shift probes to compare");
+        assert!(late_differs, "the shift changed no post-shift probe");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! best explain the remaining deviation. MAPE is reported on reconstructed
 //! absolute times (deviation + mean trend), matching the paper's "< 5 %".
 
-use crate::data::AppDataset;
+use crate::data::{AppDataset, RunRecord};
 use dfv_counters::Counter;
 use dfv_mlkit::dataset::{Dataset, MissingPolicy};
 use dfv_mlkit::matrix::Matrix;
@@ -68,27 +68,54 @@ pub fn deviation_dataset_observed(
     policy: MissingPolicy,
     obs: &Obs,
 ) -> (Dataset, Vec<f64>) {
-    let obs_rows = obs.counter("deviation.rows_built");
-    let obs_dropped = obs.counter("deviation.rows_dropped");
-    let obs_imputed = if obs.is_enabled() {
-        let label = match policy {
-            MissingPolicy::MeanImpute => "mean_impute",
-            MissingPolicy::Locf => "locf",
-            MissingPolicy::DropRows => "drop_rows",
-        };
-        obs.counter(&format!("deviation.rows_imputed{{policy=\"{label}\"}}"))
-    } else {
-        dfv_obs::Counter::disabled()
-    };
+    let telemetry = DeviationBuildObs::new(obs, policy);
     let t_steps = ds.spec.num_steps();
     let n_runs = ds.runs.len();
     assert!(n_runs > 0, "empty dataset");
+    let trend = deviation_trend(&ds.runs, t_steps);
+    let mut x = Matrix::with_capacity(n_runs * t_steps, Counter::COUNT);
+    let mut y = Vec::with_capacity(n_runs * t_steps);
+    let mut offsets = Vec::with_capacity(n_runs * t_steps);
+    for run in &ds.runs {
+        emit_deviation_rows(run, &trend, policy, &mut x, &mut y, &mut offsets, &telemetry);
+    }
+    (Dataset::new(x, y, deviation_feature_names()), offsets)
+}
 
-    // Mean trends per step index, over observed samples only.
-    let mean_times = ds.mean_step_times();
+/// Column names of the deviation dataset: the 13 counter abbreviations.
+pub fn deviation_feature_names() -> Vec<String> {
+    Counter::ALL.iter().map(|c| c.abbrev().to_string()).collect()
+}
+
+/// The per-step mean trend (Figures 3 and 7): mean execution time and mean
+/// observed counter values per step index, over whatever run window the
+/// caller passes — the offline builder hands it a whole dataset, the online
+/// loop a rolling window. Summation runs in the given run order, so the
+/// result is bit-for-bit a function of the runs alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviationTrend {
+    /// Mean execution time per step index.
+    pub mean_times: Vec<f64>,
+    /// Mean observed counter values per step index.
+    pub mean_counters: Vec<[f64; Counter::COUNT]>,
+}
+
+/// Compute the [`DeviationTrend`] of a run window (`t_steps` = the app's
+/// step count; runs may be shorter under faults).
+pub fn deviation_trend(runs: &[RunRecord], t_steps: usize) -> DeviationTrend {
+    let mut acc = vec![0.0; t_steps];
+    let mut cnt = vec![0usize; t_steps];
+    for run in runs {
+        for (i, s) in run.steps.iter().enumerate() {
+            acc[i] += s.time;
+            cnt[i] += 1;
+        }
+    }
+    let mean_times =
+        acc.iter().zip(&cnt).map(|(&a, &c)| if c > 0 { a / c as f64 } else { 0.0 }).collect();
     let mut mean_counters = vec![[0.0; Counter::COUNT]; t_steps];
     let mut observed = vec![[0usize; Counter::COUNT]; t_steps];
-    for run in &ds.runs {
+    for run in runs {
         for (i, s) in run.steps.iter().enumerate() {
             for (c, &v) in s.counters.iter().enumerate() {
                 if !v.is_nan() {
@@ -98,67 +125,104 @@ pub fn deviation_dataset_observed(
             }
         }
     }
-    for (mc, obs) in mean_counters.iter_mut().zip(&observed) {
-        for (c, &n) in mc.iter_mut().zip(obs) {
+    for (mc, seen) in mean_counters.iter_mut().zip(&observed) {
+        for (c, &n) in mc.iter_mut().zip(seen) {
             *c /= (n.max(1)) as f64;
         }
     }
+    DeviationTrend { mean_times, mean_counters }
+}
 
-    let mut x = Matrix::with_capacity(n_runs * t_steps, Counter::COUNT);
-    let mut y = Vec::with_capacity(n_runs * t_steps);
-    let mut offsets = Vec::with_capacity(n_runs * t_steps);
-    let mut row = vec![0.0; Counter::COUNT];
-    for run in &ds.runs {
-        let mut last: Option<[f64; Counter::COUNT]> = None;
-        for (i, s) in run.steps.iter().enumerate() {
-            let missing = s.counters.iter().any(|v| v.is_nan());
-            if missing && policy == MissingPolicy::DropRows {
-                obs_dropped.inc();
-                continue;
-            }
-            if missing {
-                obs_imputed.inc();
-            }
-            let counters: [f64; Counter::COUNT] = if missing {
-                match (policy, last) {
-                    (MissingPolicy::Locf, Some(prev)) => {
-                        let mut filled = s.counters;
-                        for (f, &p) in filled.iter_mut().zip(&prev) {
-                            if f.is_nan() {
-                                *f = p;
-                            }
-                        }
-                        filled
-                    }
-                    // MeanImpute, or LOCF before any observation: fall back
-                    // to the mean trend, i.e. zero deviation.
-                    _ => {
-                        let mut filled = s.counters;
-                        for (f, &m) in filled.iter_mut().zip(&mean_counters[i]) {
-                            if f.is_nan() {
-                                *f = m;
-                            }
-                        }
-                        filled
-                    }
-                }
-            } else {
-                s.counters
+/// The `deviation.rows_*` build-telemetry handles shared by every deviation
+/// row emitter (all no-ops when minted from a disabled [`Obs`]).
+pub struct DeviationBuildObs {
+    rows: dfv_obs::Counter,
+    dropped: dfv_obs::Counter,
+    imputed: dfv_obs::Counter,
+}
+
+impl DeviationBuildObs {
+    /// Mint the build counters from `obs` for the given policy.
+    pub fn new(obs: &Obs, policy: MissingPolicy) -> Self {
+        let imputed = if obs.is_enabled() {
+            let label = match policy {
+                MissingPolicy::MeanImpute => "mean_impute",
+                MissingPolicy::Locf => "locf",
+                MissingPolicy::DropRows => "drop_rows",
             };
-            if !counters.iter().any(|v| v.is_nan()) {
-                last = Some(counters);
-            }
-            for c in 0..Counter::COUNT {
-                row[c] = counters[c] - mean_counters[i][c];
-            }
-            x.push_row(&row);
-            y.push(s.time - mean_times[i]);
-            offsets.push(mean_times[i]);
-            obs_rows.inc();
+            obs.counter(&format!("deviation.rows_imputed{{policy=\"{label}\"}}"))
+        } else {
+            dfv_obs::Counter::disabled()
+        };
+        DeviationBuildObs {
+            rows: obs.counter("deviation.rows_built"),
+            dropped: obs.counter("deviation.rows_dropped"),
+            imputed,
         }
     }
-    let names = Counter::ALL.iter().map(|c| c.abbrev().to_string()).collect();
-    (Dataset::new(x, y, names), offsets)
+}
+
+/// Emit one run's mean-centered samples against `trend`, resolving missing
+/// counters under `policy` — the emission core shared by
+/// [`deviation_dataset_observed`] and the online loop's incremental builder
+/// (which also evaluates fresh days against a *model's* training trend).
+pub fn emit_deviation_rows(
+    run: &RunRecord,
+    trend: &DeviationTrend,
+    policy: MissingPolicy,
+    x: &mut Matrix,
+    y: &mut Vec<f64>,
+    offsets: &mut Vec<f64>,
+    telemetry: &DeviationBuildObs,
+) {
+    let mut row = vec![0.0; Counter::COUNT];
+    let mut last: Option<[f64; Counter::COUNT]> = None;
+    for (i, s) in run.steps.iter().enumerate() {
+        let missing = s.counters.iter().any(|v| v.is_nan());
+        if missing && policy == MissingPolicy::DropRows {
+            telemetry.dropped.inc();
+            continue;
+        }
+        if missing {
+            telemetry.imputed.inc();
+        }
+        let counters: [f64; Counter::COUNT] = if missing {
+            match (policy, last) {
+                (MissingPolicy::Locf, Some(prev)) => {
+                    let mut filled = s.counters;
+                    for (f, &p) in filled.iter_mut().zip(&prev) {
+                        if f.is_nan() {
+                            *f = p;
+                        }
+                    }
+                    filled
+                }
+                // MeanImpute, or LOCF before any observation: fall back
+                // to the mean trend, i.e. zero deviation.
+                _ => {
+                    let mut filled = s.counters;
+                    for (f, &m) in filled.iter_mut().zip(&trend.mean_counters[i]) {
+                        if f.is_nan() {
+                            *f = m;
+                        }
+                    }
+                    filled
+                }
+            }
+        } else {
+            s.counters
+        };
+        if !counters.iter().any(|v| v.is_nan()) {
+            last = Some(counters);
+        }
+        for c in 0..Counter::COUNT {
+            row[c] = counters[c] - trend.mean_counters[i][c];
+        }
+        x.push_row(&row);
+        y.push(s.time - trend.mean_times[i]);
+        offsets.push(trend.mean_times[i]);
+        telemetry.rows.inc();
+    }
 }
 
 /// Run GBR + RFE deviation analysis on one dataset (missing samples

@@ -16,23 +16,26 @@ pub mod figures;
 pub mod forecast;
 pub mod neighborhood;
 pub mod serving;
+pub mod stream;
 pub mod whatif;
 
 pub use ablation::{gap_fraction_ablation, GapOutcome};
 pub use campaign::{
     run_campaign, run_campaign_advised, run_campaign_faulted, run_campaign_faulted_observed,
-    run_campaign_observed, simulate_long_run, CampaignConfig, CampaignResult,
+    run_campaign_observed, simulate_long_run, CampaignConfig, CampaignResult, WorkloadShift,
 };
 pub use data::{AppDataset, RunRecord, StepRecord};
 pub use deviation::{
     analyze_deviation, analyze_deviation_observed, analyze_deviation_with_policy,
     deviation_dataset, deviation_dataset_observed, deviation_dataset_with_policy,
-    DeviationAnalysis,
+    deviation_feature_names, deviation_trend, emit_deviation_rows, DeviationAnalysis,
+    DeviationBuildObs, DeviationTrend,
 };
 pub use forecast::{
-    evaluate, evaluate_observed, evaluate_with_policy, forecast_long_run, ForecastOutcome,
-    ForecastSpec,
+    evaluate, evaluate_observed, evaluate_with_policy, forecast_long_run, window_dataset,
+    window_dataset_with_policy, ForecastOutcome, ForecastSpec,
 };
 pub use neighborhood::{analyze, NeighborhoodAnalysis, NeighborhoodParams};
 pub use serving::{train_and_export, train_artifacts, train_artifacts_observed, ServeTrainConfig};
+pub use stream::{day_batches, DayBatch};
 pub use whatif::{advisor_whatif, WhatIfOutcome};

@@ -1,0 +1,106 @@
+//! Streaming ingest: replay a finished campaign day by day, in the order an
+//! online training loop would see the telemetry land.
+//!
+//! The campaign simulates its whole timeline in one pass (phase 1 fixes the
+//! schedule, phase 2 measures every probe); the stream view re-cuts the
+//! result into [`DayBatch`]es keyed by each probe run's start day. Replaying
+//! the batches in order and concatenating per-app runs reproduces each
+//! [`AppDataset`](crate::data::AppDataset)'s run list exactly — the property
+//! that lets the online loop's incremental dataset builders stay bit-exact
+//! with the offline train-once path.
+
+use crate::campaign::{CampaignConfig, CampaignResult};
+use crate::data::RunRecord;
+use dfv_workloads::app::AppSpec;
+
+/// One simulated day's worth of probe runs, grouped per app.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayBatch {
+    /// Day index (0-based).
+    pub day: usize,
+    /// The runs that *started* this day, one entry per campaign app (in
+    /// the campaign's app order), each in start-time order.
+    pub runs: Vec<(AppSpec, Vec<RunRecord>)>,
+}
+
+impl DayBatch {
+    /// This day's runs of one app (empty if the app collected none).
+    pub fn runs_for(&self, spec: &AppSpec) -> &[RunRecord] {
+        self.runs.iter().find(|(s, _)| s == spec).map(|(_, r)| r.as_slice()).unwrap_or(&[])
+    }
+
+    /// Total runs across all apps this day.
+    pub fn len(&self) -> usize {
+        self.runs.iter().map(|(_, r)| r.len()).sum()
+    }
+
+    /// Whether no app collected a run this day.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Cut a campaign result into one [`DayBatch`] per simulated day. A run
+/// lands in `floor(start_time / day_seconds)`; queue waits can push a probe
+/// submitted on the last day past the campaign end, so late starts clamp
+/// into the final batch. Every run appears in exactly one batch, and within
+/// an app the concatenation of all batches is the dataset's run list,
+/// element for element.
+pub fn day_batches(result: &CampaignResult, config: &CampaignConfig) -> Vec<DayBatch> {
+    assert!(config.num_days > 0, "campaign has no days");
+    let last = config.num_days - 1;
+    let mut batches: Vec<DayBatch> = (0..config.num_days)
+        .map(|day| DayBatch {
+            day,
+            runs: result.datasets.iter().map(|d| (d.spec, Vec::new())).collect(),
+        })
+        .collect();
+    for (di, ds) in result.datasets.iter().enumerate() {
+        for run in &ds.runs {
+            let day = ((run.start_time / config.day_seconds) as usize).min(last);
+            batches[day].runs[di].1.push(run.clone());
+        }
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+
+    #[test]
+    fn batches_partition_every_dataset_in_order() {
+        let mut config = CampaignConfig::quick();
+        config.num_days = 3;
+        let result = run_campaign(&config);
+        let batches = day_batches(&result, &config);
+        assert_eq!(batches.len(), 3);
+        for (di, ds) in result.datasets.iter().enumerate() {
+            let replayed: Vec<RunRecord> = batches
+                .iter()
+                .flat_map(|b| {
+                    assert_eq!(b.runs[di].0, ds.spec);
+                    b.runs[di].1.iter().cloned()
+                })
+                .collect();
+            assert_eq!(replayed, ds.runs, "{}", ds.spec.label());
+        }
+    }
+
+    #[test]
+    fn runs_land_on_their_start_day() {
+        let mut config = CampaignConfig::quick();
+        config.num_days = 3;
+        let result = run_campaign(&config);
+        for batch in day_batches(&result, &config) {
+            let last = config.num_days - 1;
+            for (_, runs) in &batch.runs {
+                for run in runs {
+                    let day = ((run.start_time / config.day_seconds) as usize).min(last);
+                    assert_eq!(day, batch.day);
+                }
+            }
+        }
+    }
+}

@@ -27,8 +27,7 @@ pub fn skew_schema_version(json: &str, version: u32) -> String {
         return json.to_string();
     };
     let start = after_key + colon + 1;
-    let end =
-        json[start..].find(|c: char| c == ',' || c == '}').map(|i| start + i).unwrap_or(json.len());
+    let end = json[start..].find([',', '}']).map(|i| start + i).unwrap_or(json.len());
     format!("{}{}{}", &json[..start], version, &json[end..])
 }
 

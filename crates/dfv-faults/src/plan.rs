@@ -26,11 +26,18 @@ pub enum FaultSite {
     /// The serving batcher stalls for one tick (slow consumer), backing
     /// the bounded queue up into rejections.
     BatcherStall,
+    /// A retrained model artifact is corrupted on its way to the registry
+    /// (truncated export, bad bytes): installation must fail validation and
+    /// leave the previous version serving.
+    ArtifactCorrupt,
+    /// The exporter re-offers an already-installed version (slow or
+    /// duplicated export): the registry's rollback guard must refuse it.
+    ArtifactStale,
 }
 
 impl FaultSite {
     /// Every injection site, in a fixed order (the `index` order).
-    pub const ALL: [FaultSite; 7] = [
+    pub const ALL: [FaultSite; 9] = [
         FaultSite::CounterDropout,
         FaultSite::CounterStale,
         FaultSite::LdmsIoGap,
@@ -38,6 +45,8 @@ impl FaultSite {
         FaultSite::LdmsIoStale,
         FaultSite::LdmsSysStale,
         FaultSite::BatcherStall,
+        FaultSite::ArtifactCorrupt,
+        FaultSite::ArtifactStale,
     ];
 
     /// Stable position of this site in [`FaultSite::ALL`].
@@ -50,6 +59,8 @@ impl FaultSite {
             FaultSite::LdmsIoStale => 4,
             FaultSite::LdmsSysStale => 5,
             FaultSite::BatcherStall => 6,
+            FaultSite::ArtifactCorrupt => 7,
+            FaultSite::ArtifactStale => 8,
         }
     }
 
@@ -63,6 +74,8 @@ impl FaultSite {
             FaultSite::LdmsIoStale => "ldms_io_stale",
             FaultSite::LdmsSysStale => "ldms_sys_stale",
             FaultSite::BatcherStall => "batcher_stall",
+            FaultSite::ArtifactCorrupt => "artifact_corrupt",
+            FaultSite::ArtifactStale => "artifact_stale",
         }
     }
 
@@ -75,6 +88,8 @@ impl FaultSite {
             FaultSite::LdmsIoStale => 0x55,
             FaultSite::LdmsSysStale => 0x66,
             FaultSite::BatcherStall => 0x77,
+            FaultSite::ArtifactCorrupt => 0x88,
+            FaultSite::ArtifactStale => 0x99,
         }
     }
 }
@@ -100,6 +115,10 @@ pub struct FaultPlan {
     pub batcher_stall: Schedule,
     /// How long one batcher stall lasts, milliseconds.
     pub stall_millis: u64,
+    /// Schedule for [`FaultSite::ArtifactCorrupt`] (retrain/promotion path).
+    pub artifact_corrupt: Schedule,
+    /// Schedule for [`FaultSite::ArtifactStale`] (retrain/promotion path).
+    pub artifact_stale: Schedule,
 }
 
 impl FaultPlan {
@@ -114,6 +133,8 @@ impl FaultPlan {
             ldms_stale: Schedule::Never,
             batcher_stall: Schedule::Never,
             stall_millis: 0,
+            artifact_corrupt: Schedule::Never,
+            artifact_stale: Schedule::Never,
         }
     }
 
@@ -135,6 +156,8 @@ impl FaultPlan {
             && self.ldms_gap.is_never()
             && self.ldms_stale.is_never()
             && self.batcher_stall.is_never()
+            && self.artifact_corrupt.is_never()
+            && self.artifact_stale.is_never()
     }
 
     fn schedule(&self, site: FaultSite) -> &Schedule {
@@ -144,6 +167,8 @@ impl FaultPlan {
             FaultSite::LdmsIoGap | FaultSite::LdmsSysGap => &self.ldms_gap,
             FaultSite::LdmsIoStale | FaultSite::LdmsSysStale => &self.ldms_stale,
             FaultSite::BatcherStall => &self.batcher_stall,
+            FaultSite::ArtifactCorrupt => &self.artifact_corrupt,
+            FaultSite::ArtifactStale => &self.artifact_stale,
         }
     }
 

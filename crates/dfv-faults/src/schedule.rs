@@ -6,9 +6,10 @@ use serde::{Deserialize, Serialize};
 /// A fault schedule over a site's event index (step number, batch tick,
 /// ...). Stochastic variants draw from the hash bits the caller derives for
 /// `(seed, site, stream, index)`; deterministic variants ignore them.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Schedule {
     /// The site never fires (the default everywhere).
+    #[default]
     Never,
     /// Each index fires independently with probability `p`, mimicking the
     /// sporadic per-interval sample loss of a busy LDMS collector.
@@ -53,12 +54,6 @@ impl Schedule {
             Schedule::Periodic { period, .. } => period == 0,
             Schedule::Burst { len, .. } => len == 0,
         }
-    }
-}
-
-impl Default for Schedule {
-    fn default() -> Self {
-        Schedule::Never
     }
 }
 

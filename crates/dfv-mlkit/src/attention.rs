@@ -191,7 +191,70 @@ impl AttentionForecaster {
             y_scaler,
         };
 
-        let n = data.n();
+        model.train_loop(&x, &y, params, &mut rng, obs);
+        model
+    }
+
+    /// Warm-start retraining on a new window: keep the fitted weights but
+    /// zero the Adam moments, refit the input/target scalers on `data`, and
+    /// run `params.epochs` more epochs (shuffled by `params.seed`). The
+    /// rolling-retrain entry point — a fraction of a cold fit's epochs
+    /// tracks a drifted workload because the weights start near a solution.
+    pub fn refit(&self, data: &WindowDataset, params: &AttentionParams) -> Self {
+        self.refit_observed(data, params, &Obs::disabled())
+    }
+
+    /// Like [`AttentionForecaster::refit`], publishing the same training
+    /// metrics as [`AttentionForecaster::fit_observed`]. The refitted model
+    /// is bit-for-bit independent of `obs`.
+    pub fn refit_observed(
+        &self,
+        data: &WindowDataset,
+        params: &AttentionParams,
+        obs: &Obs,
+    ) -> Self {
+        assert!(data.n() > 0, "cannot refit on an empty dataset");
+        assert_eq!((data.m, data.h), (self.m, self.h), "window geometry mismatch");
+        let mut x = data.x.clone();
+        x.data_mut().iter_mut().for_each(|v| *v = signed_log1p(*v));
+        let x_scaler = Standardizer::fit(&x);
+        let y_scaler = ScalarScaler::fit(&data.y);
+        x_scaler.transform(&mut x);
+        let y: Vec<f64> = data.y.iter().map(|&v| y_scaler.transform(v)).collect();
+
+        let mut model = self.clone();
+        model.x_scaler = x_scaler;
+        model.y_scaler = y_scaler;
+        for p in [
+            &mut model.wq,
+            &mut model.wk,
+            &mut model.wv,
+            &mut model.w1,
+            &mut model.b1,
+            &mut model.w2,
+            &mut model.b2,
+        ] {
+            p.grad.clear();
+            p.m.clear();
+            p.v.clear();
+        }
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        model.train_loop(&x, &y, params, &mut rng, obs);
+        model
+    }
+
+    /// The shared epoch loop of [`AttentionForecaster::fit_observed`] and
+    /// [`AttentionForecaster::refit_observed`]: minibatch Adam over
+    /// pre-scaled inputs, with the per-epoch MSE readout.
+    fn train_loop(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        params: &AttentionParams,
+        rng: &mut StdRng,
+        obs: &Obs,
+    ) {
+        let n = x.rows();
         let mut order: Vec<usize> = (0..n).collect();
         let mut adam_t = 0usize;
         let observing = obs.is_enabled();
@@ -199,27 +262,27 @@ impl AttentionForecaster {
         let epoch_mse = obs.gauge("mlkit.attention.epoch_mse");
         let mse_hist = obs.histogram("mlkit.attention.epoch_mse_1e6");
         for _epoch in 0..params.epochs {
-            order.shuffle(&mut rng);
+            order.shuffle(rng);
             let mut sq_sum = 0.0;
             for chunk in order.chunks(params.batch) {
                 for &i in chunk {
-                    let act = model.forward(x.row(i));
+                    let act = self.forward(x.row(i));
                     let dy = act.y_hat - y[i];
                     if observing {
                         sq_sum += dy * dy;
                     }
-                    model.backward(x.row(i), &act, dy);
+                    self.backward(x.row(i), &act, dy);
                 }
                 adam_t += 1;
                 let batch = chunk.len() as f64;
                 for p in [
-                    &mut model.wq,
-                    &mut model.wk,
-                    &mut model.wv,
-                    &mut model.w1,
-                    &mut model.b1,
-                    &mut model.w2,
-                    &mut model.b2,
+                    &mut self.wq,
+                    &mut self.wk,
+                    &mut self.wv,
+                    &mut self.w1,
+                    &mut self.b1,
+                    &mut self.w2,
+                    &mut self.b2,
                 ] {
                     p.step(params.learning_rate, adam_t, batch);
                 }
@@ -231,7 +294,6 @@ impl AttentionForecaster {
             }
             epochs.inc();
         }
-        model
     }
 
     /// Step feature vector `t` within a flattened window row.
@@ -594,6 +656,39 @@ mod tests {
         assert_eq!(imp.len(), 2);
         assert!(imp[0] > imp[1], "importances {imp:?}");
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refit_is_deterministic_and_preserves_geometry() {
+        let train = synth(10, 25, 4, 2, 1);
+        let model = AttentionForecaster::fit(&train, &quick_params());
+        let window = synth(10, 25, 4, 2, 8);
+        let p = AttentionParams { epochs: 5, ..quick_params() };
+        let r1 = model.refit(&window, &p);
+        let r2 = model.refit(&window, &p);
+        assert_eq!(r1.predict_row(window.x.row(0)), r2.predict_row(window.x.row(0)));
+        assert_eq!(r1.context_len(), model.context_len());
+        assert_eq!(r1.step_width(), model.step_width());
+    }
+
+    #[test]
+    fn warm_refit_tracks_a_shifted_target() {
+        let train = synth(20, 30, 4, 2, 1);
+        let model = AttentionForecaster::fit(&train, &quick_params());
+        // The workload shifts: the same features now map to 1.8x the time.
+        let mut window = synth(10, 30, 4, 2, 8);
+        window.y.iter_mut().for_each(|y| *y *= 1.8);
+        let mut test = synth(5, 30, 4, 2, 99);
+        test.y.iter_mut().for_each(|y| *y *= 1.8);
+        let p = AttentionParams { epochs: 10, ..quick_params() };
+        let refit = model.refit(&window, &p);
+        let stale_err = mape(&test.y, &model.predict(&test));
+        let refit_err = mape(&test.y, &refit.predict(&test));
+        assert!(
+            refit_err < stale_err,
+            "warm refit ({refit_err}%) should beat the stale model ({stale_err}%)"
+        );
+        assert!(refit_err < 10.0, "refit MAPE {refit_err}% too high");
     }
 
     #[test]

@@ -386,6 +386,16 @@ impl WindowDataset {
         }
     }
 
+    /// Splice a pre-built block of windows onto the end (the geometry must
+    /// match). One memcpy of the block's rows, bit-identical to having
+    /// pushed the block's source runs directly — the unit the online
+    /// loop's incremental builder leans on to avoid full rebuilds.
+    pub fn append(&mut self, block: &WindowDataset) {
+        assert_eq!((block.m, block.h, block.k), (self.m, self.h, self.k), "geometry mismatch");
+        self.x.extend_rows(&block.x);
+        self.y.extend_from_slice(&block.y);
+    }
+
     /// Number of samples.
     pub fn n(&self) -> usize {
         self.x.rows()
@@ -599,6 +609,32 @@ mod tests {
                 assert!(w.x.row(r).iter().all(|v| v.is_finite()), "{policy:?}");
             }
         }
+    }
+
+    #[test]
+    fn appending_blocks_matches_pushing_runs_directly() {
+        let run_a: Vec<Vec<f64>> = (0..8).map(|t| vec![t as f64, 0.5 * t as f64]).collect();
+        let run_b: Vec<Vec<f64>> = (0..7).map(|t| vec![1.0 + t as f64, 2.0]).collect();
+        let times_a: Vec<f64> = (0..8).map(|t| 1.0 + t as f64).collect();
+        let times_b: Vec<f64> = (0..7).map(|t| 3.0 + t as f64).collect();
+        let mut direct = WindowDataset::empty(3, 2, 2);
+        direct.push_run(&run_a, &times_a);
+        direct.push_run(&run_b, &times_b);
+        // Build each run as its own block, then splice.
+        let mut spliced = WindowDataset::empty(3, 2, 2);
+        for (steps, times) in [(&run_a, &times_a), (&run_b, &times_b)] {
+            let mut block = WindowDataset::empty(3, 2, 2);
+            block.push_run(steps, times);
+            spliced.append(&block);
+        }
+        assert_eq!(spliced, direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn append_rejects_mismatched_geometry() {
+        let mut w = WindowDataset::empty(3, 2, 2);
+        w.append(&WindowDataset::empty(2, 2, 2));
     }
 
     #[test]

@@ -113,6 +113,15 @@ impl Matrix {
         self.rows += 1;
     }
 
+    /// Append every row of `other` (the column counts must match). One
+    /// memcpy of `other`'s row-major data, so splicing pre-built blocks is
+    /// bit-identical to having pushed their rows one at a time.
+    pub fn extend_rows(&mut self, other: &Matrix) {
+        assert_eq!(other.cols, self.cols, "column count mismatch");
+        self.data.extend_from_slice(&other.data);
+        self.rows += other.rows;
+    }
+
     /// Matrix product `self * other`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "inner dimension mismatch");

@@ -19,6 +19,9 @@ pub struct Metric {
 }
 
 /// A snapshot value: one of the three supported metric kinds.
+// Snapshots are built once per export, not stored in bulk; the histogram
+// variant's inline bucket array is not worth a Box indirection here.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum MetricValue {
     /// Monotonic counter.

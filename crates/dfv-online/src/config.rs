@@ -1,0 +1,98 @@
+//! Configuration of the online loop.
+
+use crate::drift::DriftParams;
+use dfv_counters::FeatureSet;
+use dfv_experiments::{ForecastSpec, ServeTrainConfig};
+use dfv_mlkit::attention::AttentionParams;
+use dfv_mlkit::dataset::MissingPolicy;
+use dfv_mlkit::gbr::GbrParams;
+
+/// How the online loop ingests, retrains and promotes.
+///
+/// The model hyperparameters (`fspec` / `gbr` / `attention`) are shared
+/// with the offline [`ServeTrainConfig`] via [`OnlineConfig::train_config`]
+/// so the disabled loop trains exactly what the train-once pipeline would.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Master switch. When `false`, [`run_online`](crate::runner::run_online)
+    /// degrades to the offline train-once path, bit for bit: one
+    /// [`train_artifacts`](dfv_experiments::train_artifacts) pass at
+    /// version 1, no streaming, no drift detection, no faults.
+    pub enabled: bool,
+    /// Days of the initial training epoch. The loop only ingests during
+    /// these days, then trains and installs version 1 of every model.
+    pub train_days: usize,
+    /// Rolling retrain window, in days: a retrain on day `d` fits on the
+    /// runs of days `d + 1 - window_days ..= d`.
+    pub window_days: usize,
+    /// Minimum days between two retrains of the same app (rate limit on a
+    /// detector that stays triggered while promotions are being refused).
+    pub cadence_days: usize,
+    /// Imputation policy for missing (NaN) telemetry in every dataset the
+    /// loop builds.
+    pub policy: MissingPolicy,
+    /// Window geometry and feature group of the forecasters.
+    pub fspec: ForecastSpec,
+    /// GBR hyperparameters for the deviation predictors (cold refit each
+    /// cycle through the shared pre-sorted trainer).
+    pub gbr: GbrParams,
+    /// Attention hyperparameters for the initial forecaster fit.
+    pub attention: AttentionParams,
+    /// Epochs of each *warm* attention refit (starting from the live
+    /// forecaster's weights, so far fewer than `attention.epochs`).
+    pub refit_epochs: usize,
+    /// Drift detector thresholds.
+    pub drift: DriftParams,
+    /// A candidate is only offered to the registry if its training-window
+    /// MAPE is at most this multiple of the live model's MAPE on the same
+    /// window — the validation gate of the promotion pipeline.
+    pub max_validation_ratio: f64,
+}
+
+impl OnlineConfig {
+    /// The no-op configuration: identical artifacts to the offline
+    /// train-once pipeline, bit for bit.
+    pub fn disabled() -> Self {
+        OnlineConfig { enabled: false, ..OnlineConfig::quick() }
+    }
+
+    /// A small configuration matched to [`CampaignConfig::quick`]-sized
+    /// campaigns: three warm-up days, a five-day rolling window, and model
+    /// sizes small enough for tests.
+    ///
+    /// [`CampaignConfig::quick`]: dfv_experiments::CampaignConfig::quick
+    pub fn quick() -> Self {
+        OnlineConfig {
+            enabled: true,
+            train_days: 3,
+            window_days: 4,
+            cadence_days: 1,
+            policy: MissingPolicy::MeanImpute,
+            fspec: ForecastSpec { m: 5, k: 5, features: FeatureSet::AppPlacement },
+            gbr: GbrParams { n_trees: 20, ..GbrParams::default() },
+            attention: AttentionParams { epochs: 6, d_attn: 4, hidden: 8, ..Default::default() },
+            refit_epochs: 8,
+            drift: DriftParams::default(),
+            max_validation_ratio: 1.25,
+        }
+    }
+
+    /// The offline training config these hyperparameters correspond to.
+    pub fn train_config(&self, version: u64) -> ServeTrainConfig {
+        ServeTrainConfig { fspec: self.fspec, gbr: self.gbr, attention: self.attention, version }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_keeps_hyperparameters_but_flips_the_switch() {
+        let off = OnlineConfig::disabled();
+        assert!(!off.enabled);
+        let tc = off.train_config(7);
+        assert_eq!(tc.version, 7);
+        assert_eq!(tc.fspec, OnlineConfig::quick().fspec);
+    }
+}

@@ -1,0 +1,224 @@
+//! MAPE drift detection with hysteresis.
+//!
+//! The detector compares each day's *holdout-tail* MAPE — the live model
+//! scored on runs it has never seen, before they are ingested — against the
+//! *trained-epoch* MAPE the model recorded on its own training window when
+//! it was promoted. A stale model shows up as a rising ratio between the
+//! two; the detector triggers a retrain only after the ratio stays above
+//! the trigger threshold for `patience` consecutive informative days, and a
+//! separate (lower) clear threshold resets the streak, so a single noisy
+//! day can neither start nor stop a retrain on its own.
+
+/// Detector thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftParams {
+    /// Ratio of holdout MAPE to baseline MAPE at or above which a day
+    /// counts toward the trigger streak.
+    pub ratio_trigger: f64,
+    /// Ratio at or below which the streak resets. Days in the hysteresis
+    /// band `(ratio_clear, ratio_trigger)` hold the streak where it is.
+    pub ratio_clear: f64,
+    /// Consecutive at-or-above-trigger days required to fire.
+    pub patience: usize,
+    /// Minimum holdout rows for a day to be informative at all; thinner
+    /// days are ignored (they neither grow nor reset the streak).
+    pub min_rows: usize,
+    /// Absolute floor (percent) applied to every baseline. The
+    /// trained-epoch MAPE is an in-sample figure; a model that happens to
+    /// fit its window nearly perfectly would otherwise turn ordinary
+    /// day-to-day noise into huge ratios.
+    pub min_baseline: f64,
+}
+
+impl Default for DriftParams {
+    fn default() -> Self {
+        DriftParams {
+            ratio_trigger: 2.5,
+            ratio_clear: 1.5,
+            patience: 2,
+            min_rows: 4,
+            min_baseline: 10.0,
+        }
+    }
+}
+
+/// What the detector concluded from one day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftVerdict {
+    /// No baseline yet, too few rows, or a non-finite MAPE (e.g. a day
+    /// whose telemetry was entirely missing). The streak is untouched.
+    NoData,
+    /// Error ratio at or below the clear threshold; streak reset.
+    Stable,
+    /// Ratio at or above the trigger threshold, but the streak is still
+    /// shorter than `patience` — or the day sat in the hysteresis band and
+    /// merely held an existing streak.
+    Elevated {
+        /// Current streak length.
+        streak: usize,
+    },
+    /// Streak reached `patience`: retrain now.
+    Triggered,
+}
+
+/// Floor on the baseline so a perfectly-fit model (trained-epoch MAPE of
+/// exactly zero) yields a huge but finite ratio instead of NaN/inf.
+const BASELINE_FLOOR: f64 = 1e-9;
+
+/// One per-app drift detector.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    params: DriftParams,
+    baseline: Option<f64>,
+    streak: usize,
+}
+
+impl DriftDetector {
+    /// A detector with no baseline; every day is [`DriftVerdict::NoData`]
+    /// until [`rebaseline`](Self::rebaseline) is called after the first
+    /// training pass.
+    pub fn new(params: DriftParams) -> Self {
+        DriftDetector { params, baseline: None, streak: 0 }
+    }
+
+    /// Install a freshly trained model's trained-epoch MAPE as the new
+    /// baseline and reset the streak. A non-finite MAPE (degenerate
+    /// training window) clears the baseline instead, muting the detector
+    /// until the next successful train.
+    pub fn rebaseline(&mut self, trained_epoch_mape: f64) {
+        self.baseline = trained_epoch_mape
+            .is_finite()
+            .then(|| trained_epoch_mape.max(self.params.min_baseline).max(BASELINE_FLOOR));
+        self.streak = 0;
+    }
+
+    /// The current baseline, if any.
+    pub fn baseline(&self) -> Option<f64> {
+        self.baseline
+    }
+
+    /// Current trigger streak length.
+    pub fn streak(&self) -> usize {
+        self.streak
+    }
+
+    /// Feed one day's holdout MAPE (over `rows` prediction rows) and read
+    /// the verdict. Never panics: empty days, NaN MAPEs and a missing
+    /// baseline all come back as [`DriftVerdict::NoData`].
+    pub fn observe(&mut self, holdout_mape: f64, rows: usize) -> DriftVerdict {
+        if rows < self.params.min_rows || !holdout_mape.is_finite() {
+            return DriftVerdict::NoData;
+        }
+        let Some(baseline) = self.baseline else {
+            return DriftVerdict::NoData;
+        };
+        let ratio = holdout_mape / baseline;
+        if ratio >= self.params.ratio_trigger {
+            self.streak += 1;
+        } else if ratio <= self.params.ratio_clear {
+            self.streak = 0;
+        }
+        if self.streak >= self.params.patience {
+            DriftVerdict::Triggered
+        } else if self.streak > 0 {
+            DriftVerdict::Elevated { streak: self.streak }
+        } else {
+            DriftVerdict::Stable
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> DriftDetector {
+        let mut d = DriftDetector::new(DriftParams {
+            ratio_trigger: 2.0,
+            ratio_clear: 1.2,
+            patience: 2,
+            min_rows: 4,
+            min_baseline: 0.0,
+        });
+        d.rebaseline(5.0);
+        d
+    }
+
+    #[test]
+    fn empty_window_is_no_data_and_never_triggers() {
+        let mut d = detector();
+        for _ in 0..10 {
+            assert_eq!(d.observe(f64::NAN, 0), DriftVerdict::NoData);
+            assert_eq!(d.observe(3.0, 0), DriftVerdict::NoData);
+        }
+        assert_eq!(d.streak(), 0);
+        // Without a baseline nothing is informative either.
+        let mut fresh = DriftDetector::new(DriftParams::default());
+        assert_eq!(fresh.observe(100.0, 1000), DriftVerdict::NoData);
+    }
+
+    #[test]
+    fn constant_error_series_is_stable_forever() {
+        let mut d = detector();
+        for _ in 0..50 {
+            assert_eq!(d.observe(5.0, 100), DriftVerdict::Stable);
+        }
+    }
+
+    #[test]
+    fn single_day_window_triggers_with_patience_one() {
+        let mut d = DriftDetector::new(DriftParams {
+            ratio_trigger: 2.0,
+            ratio_clear: 1.2,
+            patience: 1,
+            min_rows: 1,
+            min_baseline: 0.0,
+        });
+        d.rebaseline(2.0);
+        assert_eq!(d.observe(10.0, 1), DriftVerdict::Triggered);
+    }
+
+    #[test]
+    fn nan_only_days_are_ignored_and_hold_the_streak() {
+        let mut d = detector();
+        assert_eq!(d.observe(11.0, 100), DriftVerdict::Elevated { streak: 1 });
+        // A day whose rows were all-NaN telemetry yields a NaN MAPE: the
+        // detector must neither panic nor count it either way.
+        for _ in 0..5 {
+            assert_eq!(d.observe(f64::NAN, 100), DriftVerdict::NoData);
+        }
+        assert_eq!(d.streak(), 1);
+        assert_eq!(d.observe(11.0, 100), DriftVerdict::Triggered);
+    }
+
+    #[test]
+    fn hysteresis_band_holds_but_does_not_grow_the_streak() {
+        let mut d = detector();
+        assert_eq!(d.observe(11.0, 100), DriftVerdict::Elevated { streak: 1 });
+        // 1.2 < 8.0/5.0 < 2.0: inside the band, streak holds at 1.
+        for _ in 0..5 {
+            assert_eq!(d.observe(8.0, 100), DriftVerdict::Elevated { streak: 1 });
+        }
+        // Dropping below the clear threshold resets it.
+        assert_eq!(d.observe(5.5, 100), DriftVerdict::Stable);
+        assert_eq!(d.observe(11.0, 100), DriftVerdict::Elevated { streak: 1 });
+    }
+
+    #[test]
+    fn one_noisy_day_does_not_flap_a_retrain() {
+        let mut d = detector();
+        assert_eq!(d.observe(20.0, 100), DriftVerdict::Elevated { streak: 1 });
+        assert_eq!(d.observe(20.0, 100), DriftVerdict::Triggered);
+        // After a successful promotion the runner rebaselines.
+        d.rebaseline(18.0);
+        assert_eq!(d.observe(19.0, 100), DriftVerdict::Stable);
+    }
+
+    #[test]
+    fn zero_baseline_is_floored_not_divided_by() {
+        let mut d = detector();
+        d.rebaseline(0.0);
+        // Ratio is huge but finite; verdict logic still works.
+        assert_eq!(d.observe(1.0, 100), DriftVerdict::Elevated { streak: 1 });
+    }
+}

@@ -1,0 +1,233 @@
+//! Incremental per-app dataset caches fed by the campaign's day stream.
+//!
+//! Each [`AppCache`] receives one app's probe runs day by day (from
+//! [`day_batches`](dfv_experiments::day_batches)) and keeps, per run, the
+//! raw record plus its pre-built forecast window block. Rolling-window
+//! datasets are then assembled by *splicing* cached blocks
+//! ([`WindowDataset::append`]) and by re-emitting deviation rows through
+//! the exact builders the offline pipeline uses
+//! ([`deviation_trend`] / [`emit_deviation_rows`]), so a cache window that
+//! spans the whole campaign reproduces the offline datasets bit for bit —
+//! the property the no-op and equivalence tests pin.
+
+use dfv_experiments::{
+    deviation_feature_names, deviation_trend, emit_deviation_rows, window_dataset_with_policy,
+    DeviationBuildObs, DeviationTrend, ForecastSpec, RunRecord,
+};
+use dfv_mlkit::dataset::{Dataset, MissingPolicy, WindowDataset};
+use dfv_mlkit::matrix::Matrix;
+use dfv_workloads::app::AppSpec;
+
+/// One app's streaming dataset cache.
+#[derive(Debug, Clone)]
+pub struct AppCache {
+    /// The app this cache collects.
+    pub spec: AppSpec,
+    fspec: ForecastSpec,
+    policy: MissingPolicy,
+    t_steps: usize,
+    runs: Vec<RunRecord>,
+    run_days: Vec<usize>,
+    blocks: Vec<WindowDataset>,
+}
+
+impl AppCache {
+    /// An empty cache for one app.
+    pub fn new(spec: AppSpec, fspec: ForecastSpec, policy: MissingPolicy) -> Self {
+        let t_steps = spec.num_steps();
+        AppCache {
+            spec,
+            fspec,
+            policy,
+            t_steps,
+            runs: Vec::new(),
+            run_days: Vec::new(),
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Ingest one day's runs (must arrive in day order). Each run's forecast
+    /// window block is built once, here, and spliced into every later
+    /// rolling window for free.
+    pub fn ingest_day(&mut self, day: usize, runs: &[RunRecord]) {
+        if let Some(&last) = self.run_days.last() {
+            assert!(day >= last, "days must be ingested in order");
+        }
+        for run in runs {
+            self.blocks.push(window_dataset_with_policy(&[run], &self.fspec, self.policy));
+            self.runs.push(run.clone());
+            self.run_days.push(day);
+        }
+    }
+
+    /// Total runs ingested so far.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether no run has been ingested yet.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Index range of the runs whose start day falls in the rolling window
+    /// `upto_day + 1 - window_days ..= upto_day`. Days arrive in order, so
+    /// the range is contiguous.
+    fn window_range(&self, upto_day: usize, window_days: usize) -> std::ops::Range<usize> {
+        assert!(window_days >= 1, "zero-day window");
+        let lo_day = (upto_day + 1).saturating_sub(window_days);
+        let lo = self.run_days.partition_point(|&d| d < lo_day);
+        let hi = self.run_days.partition_point(|&d| d <= upto_day);
+        lo..hi
+    }
+
+    /// The runs inside the rolling window ending at `upto_day`.
+    pub fn window_runs(&self, upto_day: usize, window_days: usize) -> &[RunRecord] {
+        &self.runs[self.window_range(upto_day, window_days)]
+    }
+
+    /// Build the mean-centered deviation dataset over the rolling window:
+    /// the window's own trend, one row per clean step, plus the per-row
+    /// trend offsets. `None` if the window holds no runs. Bit-exact with
+    /// [`deviation_dataset_with_policy`](dfv_experiments::deviation_dataset_with_policy)
+    /// when the window covers the whole campaign.
+    pub fn deviation_window(
+        &self,
+        upto_day: usize,
+        window_days: usize,
+        telemetry: &DeviationBuildObs,
+    ) -> Option<(Dataset, Vec<f64>, DeviationTrend)> {
+        let runs = self.window_runs(upto_day, window_days);
+        if runs.is_empty() {
+            return None;
+        }
+        let trend = deviation_trend(runs, self.t_steps);
+        let names = deviation_feature_names();
+        let mut x = Matrix::with_capacity(runs.len() * self.t_steps, names.len());
+        let mut y = Vec::with_capacity(runs.len() * self.t_steps);
+        let mut offsets = Vec::with_capacity(runs.len() * self.t_steps);
+        for run in runs {
+            emit_deviation_rows(run, &trend, self.policy, &mut x, &mut y, &mut offsets, telemetry);
+        }
+        Some((Dataset::new(x, y, names), offsets, trend))
+    }
+
+    /// Splice the cached per-run blocks of the rolling window into one
+    /// forecast dataset. Bit-exact with
+    /// [`window_dataset_with_policy`] over the same runs, without
+    /// re-walking a single step.
+    pub fn forecast_window(&self, upto_day: usize, window_days: usize) -> WindowDataset {
+        let mut out = WindowDataset::empty(self.fspec.m, self.fspec.features.len(), self.fspec.k);
+        for block in &self.blocks[self.window_range(upto_day, window_days)] {
+            out.append(block);
+        }
+        out
+    }
+}
+
+/// Emit the deviation rows of held-out runs against a *given* (training)
+/// trend — the evaluation side of the loop, where today's runs are scored
+/// with the centering the live model was trained under, before they are
+/// ingested. Returns `(x, y, offsets)`; predictions plus offsets give
+/// absolute step times.
+pub fn deviation_eval_rows(
+    runs: &[RunRecord],
+    trend: &DeviationTrend,
+    policy: MissingPolicy,
+) -> (Matrix, Vec<f64>, Vec<f64>) {
+    let telemetry = DeviationBuildObs::new(&dfv_obs::Obs::disabled(), policy);
+    let names = deviation_feature_names();
+    let mut x = Matrix::with_capacity(runs.len() * trend.mean_times.len(), names.len());
+    let mut y = Vec::new();
+    let mut offsets = Vec::new();
+    for run in runs {
+        emit_deviation_rows(run, trend, policy, &mut x, &mut y, &mut offsets, &telemetry);
+    }
+    (x, y, offsets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfv_counters::FeatureSet;
+    use dfv_experiments::{
+        day_batches, deviation_dataset_with_policy, run_campaign, CampaignConfig,
+    };
+    use dfv_obs::Obs;
+
+    fn fspec() -> ForecastSpec {
+        ForecastSpec { m: 5, k: 5, features: FeatureSet::AppPlacement }
+    }
+
+    #[test]
+    fn streamed_caches_reproduce_offline_datasets_bit_for_bit() {
+        let mut config = CampaignConfig::quick();
+        config.num_days = 3;
+        let result = run_campaign(&config);
+        let batches = day_batches(&result, &config);
+        let policy = MissingPolicy::MeanImpute;
+
+        for (di, ds) in result.datasets.iter().enumerate() {
+            let mut cache = AppCache::new(ds.spec, fspec(), policy);
+            for batch in &batches {
+                cache.ingest_day(batch.day, &batch.runs[di].1);
+            }
+            assert_eq!(cache.len(), ds.runs.len());
+
+            // A window covering the whole campaign is the offline dataset.
+            let telemetry = DeviationBuildObs::new(&Obs::disabled(), policy);
+            let (data, offsets, trend) =
+                cache.deviation_window(config.num_days - 1, config.num_days, &telemetry).unwrap();
+            let (offline, offline_offsets) = deviation_dataset_with_policy(ds, policy);
+            assert_eq!(data.x, offline.x, "{}", ds.spec.label());
+            assert_eq!(data.y, offline.y);
+            assert_eq!(offsets, offline_offsets);
+            assert_eq!(trend, deviation_trend(&ds.runs, ds.spec.num_steps()));
+
+            let windows = cache.forecast_window(config.num_days - 1, config.num_days);
+            let all: Vec<&RunRecord> = ds.runs.iter().collect();
+            let offline_w = window_dataset_with_policy(&all, &fspec(), policy);
+            assert_eq!(windows.x, offline_w.x);
+            assert_eq!(windows.y, offline_w.y);
+        }
+    }
+
+    #[test]
+    fn rolling_window_selects_only_recent_days() {
+        let mut config = CampaignConfig::quick();
+        config.num_days = 4;
+        let result = run_campaign(&config);
+        let batches = day_batches(&result, &config);
+        let ds = &result.datasets[0];
+        let mut cache = AppCache::new(ds.spec, fspec(), MissingPolicy::MeanImpute);
+        for batch in &batches {
+            cache.ingest_day(batch.day, &batch.runs[0].1);
+        }
+        let recent = cache.window_runs(3, 2);
+        let expected: usize = batches[2].runs[0].1.len() + batches[3].runs[0].1.len();
+        assert_eq!(recent.len(), expected);
+        assert!(recent.len() < cache.len(), "window should drop the early days");
+        // And a 1-day window at day 0 is exactly day 0's batch.
+        assert_eq!(cache.window_runs(0, 1), &batches[0].runs[0].1[..]);
+    }
+
+    #[test]
+    fn eval_rows_against_a_foreign_trend_reconstruct_absolute_times() {
+        let config = CampaignConfig::quick();
+        let result = run_campaign(&config);
+        let ds = &result.datasets[0];
+        let trend = deviation_trend(&ds.runs[..2], ds.spec.num_steps());
+        let (x, y, offsets) = deviation_eval_rows(&ds.runs[2..], &trend, MissingPolicy::MeanImpute);
+        assert_eq!(x.rows(), y.len());
+        assert_eq!(y.len(), offsets.len());
+        assert!(!y.is_empty());
+        // y + offset is the raw step time, whatever trend was used.
+        let mut i = 0;
+        for run in &ds.runs[2..] {
+            for s in &run.steps {
+                assert!((y[i] + offsets[i] - s.time).abs() < 1e-12);
+                i += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # dfv-online
+//!
+//! The online learning loop that keeps served models honest as the machine's
+//! workload drifts — the longitudinal follow-up to the paper's train-once
+//! pipeline. A production dragonfly is not stationary: Bhatele et al.'s
+//! measurement campaign spans five months precisely because the background
+//! workload mix changes under the probes. A deviation or forecasting model
+//! trained on December traffic quietly goes stale by March.
+//!
+//! This crate closes the loop:
+//!
+//! * [`ingest`] replays a campaign day by day (via
+//!   [`day_batches`](dfv_experiments::day_batches)) into incremental
+//!   per-app dataset caches that are bit-exact with the offline builders.
+//! * [`drift`] watches each day's holdout-tail MAPE against the live
+//!   model's trained-epoch MAPE, with hysteresis so one noisy day cannot
+//!   flap retrains.
+//! * [`runner`] retrains over a rolling window on drift — a cold GBR refit
+//!   through the shared pre-sorted trainer plus a warm attention refit —
+//!   and hands candidates to [`promote`].
+//! * [`promote`] validates candidates and installs them into the
+//!   [`ModelRegistry`](dfv_serve::ModelRegistry) via its atomic hot-swap;
+//!   a corrupt or stale artifact (deterministically injectable through
+//!   `dfv-faults`) is refused and the previous model keeps serving.
+//!
+//! The whole loop is deterministic: the same campaign, config and fault
+//! plan reproduce the same promoted versions, metrics and report, and
+//! [`OnlineConfig::disabled()`] is a bit-for-bit no-op relative to the
+//! offline train-once path of `dfv-experiments::serving`.
+
+pub mod config;
+pub mod drift;
+pub mod ingest;
+pub mod promote;
+pub mod runner;
+
+pub use config::OnlineConfig;
+pub use drift::{DriftDetector, DriftParams, DriftVerdict};
+pub use ingest::AppCache;
+pub use promote::{key_stream, Promoter, PromotionOutcome};
+pub use runner::{
+    run_online, run_online_faulted_observed, run_online_observed, DayRow, OnlineOutcome,
+    OnlineReport, PromotionEvent,
+};

@@ -1,0 +1,210 @@
+//! Candidate promotion into the serving registry, with deterministic fault
+//! injection on the export path.
+//!
+//! Promotion is the last, riskiest step of a retrain cycle: a half-written
+//! or stale artifact must never displace a healthy serving model. The
+//! registry already enforces both halves of that invariant (validation
+//! before the swap, a version-rollback guard); the [`Promoter`] exercises
+//! them under `dfv-faults`: [`FaultSite::ArtifactCorrupt`] mangles the
+//! candidate in flight so validation refuses it, and
+//! [`FaultSite::ArtifactStale`] re-offers the already-live version so the
+//! rollback guard refuses it. Either way the previous model keeps serving
+//! and the loop carries on — the chaos suite pins exactly that.
+
+use dfv_faults::{splitmix64, FaultPlan, FaultSite};
+use dfv_obs::{Counter, Obs};
+use dfv_serve::{ModelArtifact, ModelKey, ModelRegistry, RegistryError};
+
+/// How one promotion attempt ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PromotionOutcome {
+    /// The candidate is now live at this version.
+    Installed {
+        /// Version installed.
+        version: u64,
+    },
+    /// The candidate failed artifact validation (e.g. corrupted in flight);
+    /// the previous model keeps serving.
+    RejectedCorrupt,
+    /// The candidate was not newer than the live model; the registry's
+    /// rollback guard refused the swap.
+    RejectedStale {
+        /// The version that stayed live.
+        installed: u64,
+    },
+    /// The candidate lost the validation gate: its training-window MAPE
+    /// exceeded the allowed multiple of the live model's.
+    RejectedValidation {
+        /// Candidate MAPE on the retrain window, percent.
+        candidate_mape: f64,
+        /// Live model MAPE on the same window, percent.
+        live_mape: f64,
+    },
+}
+
+/// The deterministic fault stream of one model key: a splitmix64 fold of
+/// its `app/task` label, so every `(app, task)` pair sees an independent
+/// fault sequence that is stable across runs and reorderings.
+pub fn key_stream(key: &ModelKey) -> u64 {
+    let mut acc = 0xA076_1D64_78BD_642F_u64;
+    for b in key.to_string().bytes() {
+        acc = splitmix64(acc, b as u64);
+    }
+    acc
+}
+
+/// Installs candidates into a registry, injecting export faults and
+/// counting outcomes (`online.promote.installed` /
+/// `online.promote.rejected{reason=}`).
+pub struct Promoter {
+    faults: FaultPlan,
+    installed: Counter,
+    corrupt: Counter,
+    stale: Counter,
+    validation: Counter,
+}
+
+impl Promoter {
+    /// A promoter under `faults`, reporting outcome counters to `obs`.
+    pub fn new(faults: &FaultPlan, obs: &Obs) -> Self {
+        Promoter {
+            faults: faults.clone(),
+            installed: obs.counter("online.promote.installed"),
+            corrupt: obs.counter("online.promote.rejected{reason=\"corrupt\"}"),
+            stale: obs.counter("online.promote.rejected{reason=\"stale\"}"),
+            validation: obs.counter("online.promote.rejected{reason=\"validation\"}"),
+        }
+    }
+
+    /// Offer a candidate to the registry. `cycle` indexes this key's
+    /// promotion attempts (the fault-schedule index, so `Periodic{period:
+    /// 2}` corrupts every other export of the same model).
+    pub fn promote(
+        &self,
+        registry: &ModelRegistry,
+        mut artifact: ModelArtifact,
+        cycle: u64,
+    ) -> PromotionOutcome {
+        let key = ModelKey { app: artifact.app.clone(), task: artifact.task() };
+        let stream = key_stream(&key);
+        if self.faults.fires(FaultSite::ArtifactCorrupt, stream, cycle) {
+            // The export got mangled in flight: metadata no longer matches
+            // the embedded model, which is exactly what validation catches.
+            artifact.feature_names.clear();
+        }
+        if self.faults.fires(FaultSite::ArtifactStale, stream, cycle) {
+            // A slow exporter re-offers what is already live.
+            if let Some(live) = registry.get(&key) {
+                artifact = (*live).clone();
+            }
+        }
+        match registry.install(artifact) {
+            Ok(version) => {
+                self.installed.inc();
+                PromotionOutcome::Installed { version }
+            }
+            Err(RegistryError::Artifact(_)) => {
+                self.corrupt.inc();
+                PromotionOutcome::RejectedCorrupt
+            }
+            Err(RegistryError::StaleVersion { installed, .. }) => {
+                self.stale.inc();
+                PromotionOutcome::RejectedStale { installed }
+            }
+            Err(RegistryError::Io(e)) => unreachable!("in-memory install did io: {e}"),
+        }
+    }
+
+    /// Record a candidate that lost the validation gate (it is never
+    /// offered to the registry at all).
+    pub fn reject_validation(&self, candidate_mape: f64, live_mape: f64) -> PromotionOutcome {
+        self.validation.inc();
+        PromotionOutcome::RejectedValidation { candidate_mape, live_mape }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfv_counters::FeatureSet;
+    use dfv_faults::Schedule;
+    use dfv_mlkit::gbr::{Gbr, GbrParams};
+    use dfv_mlkit::matrix::Matrix;
+
+    fn tiny_artifact(app: &str, version: u64) -> ModelArtifact {
+        let mut x = Matrix::zeros(0, 2);
+        let mut y = Vec::new();
+        for i in 0..16 {
+            x.push_row(&[i as f64, (i % 3) as f64]);
+            y.push((2 * i % 5) as f64);
+        }
+        let gbr = Gbr::fit(&x, &y, &GbrParams { n_trees: 3, ..GbrParams::default() });
+        ModelArtifact::deviation(app, version, FeatureSet::App, vec!["a".into(), "b".into()], gbr)
+    }
+
+    #[test]
+    fn clean_promotions_install_and_count() {
+        let obs = Obs::enabled();
+        let registry = ModelRegistry::new();
+        let promoter = Promoter::new(&FaultPlan::none(), &obs);
+        assert_eq!(
+            promoter.promote(&registry, tiny_artifact("amg-16", 1), 0),
+            PromotionOutcome::Installed { version: 1 }
+        );
+        assert_eq!(
+            promoter.promote(&registry, tiny_artifact("amg-16", 2), 1),
+            PromotionOutcome::Installed { version: 2 }
+        );
+        assert_eq!(obs.snapshot().counter("online.promote.installed"), Some(2));
+    }
+
+    #[test]
+    fn corrupt_export_is_refused_and_previous_model_keeps_serving() {
+        let obs = Obs::enabled();
+        let registry = ModelRegistry::new();
+        let clean = Promoter::new(&FaultPlan::none(), &obs);
+        clean.promote(&registry, tiny_artifact("amg-16", 1), 0);
+
+        let plan = FaultPlan {
+            artifact_corrupt: Schedule::Burst { start: 1, len: 1 },
+            ..FaultPlan::none()
+        };
+        let faulty = Promoter::new(&plan, &obs);
+        assert_eq!(
+            faulty.promote(&registry, tiny_artifact("amg-16", 2), 1),
+            PromotionOutcome::RejectedCorrupt
+        );
+        let live = registry.get(&ModelKey::deviation("amg-16")).unwrap();
+        assert_eq!(live.version, 1, "previous model must keep serving");
+        assert!(live.validate().is_ok());
+        // The next, un-faulted cycle goes through.
+        assert_eq!(
+            faulty.promote(&registry, tiny_artifact("amg-16", 2), 2),
+            PromotionOutcome::Installed { version: 2 }
+        );
+        assert_eq!(obs.snapshot().counter("online.promote.rejected{reason=\"corrupt\"}"), Some(1));
+    }
+
+    #[test]
+    fn stale_reoffer_is_refused_by_the_rollback_guard() {
+        let obs = Obs::enabled();
+        let registry = ModelRegistry::new();
+        let plan =
+            FaultPlan { artifact_stale: Schedule::Burst { start: 1, len: 1 }, ..FaultPlan::none() };
+        let promoter = Promoter::new(&plan, &obs);
+        promoter.promote(&registry, tiny_artifact("milc-16", 3), 0);
+        assert_eq!(
+            promoter.promote(&registry, tiny_artifact("milc-16", 4), 1),
+            PromotionOutcome::RejectedStale { installed: 3 }
+        );
+        assert_eq!(registry.get(&ModelKey::deviation("milc-16")).unwrap().version, 3);
+    }
+
+    #[test]
+    fn key_streams_are_stable_and_distinct() {
+        let a = key_stream(&ModelKey::deviation("amg-16"));
+        assert_eq!(a, key_stream(&ModelKey::deviation("amg-16")));
+        assert_ne!(a, key_stream(&ModelKey::forecast("amg-16")));
+        assert_ne!(a, key_stream(&ModelKey::deviation("milc-16")));
+    }
+}

@@ -1,0 +1,542 @@
+//! The online loop: stream, evaluate, detect, retrain, promote.
+//!
+//! One pass of [`run_online`] replays a finished campaign day by day. The
+//! first `train_days` days are the initial training epoch; at its end,
+//! version 1 of every model is trained and installed, exactly as the
+//! offline pipeline would have. Every later day is scored *before* it is
+//! ingested — a true holdout tail — against both the live model and the
+//! frozen version-1 model (the counterfactual "never retrain" baseline the
+//! drift-recovery study reports). When the drift detector fires, the loop
+//! retrains over the rolling window (cold GBR refit through the shared
+//! pre-sorted trainer; warm attention refit from the live weights),
+//! validates the candidates, and promotes them through the registry's
+//! atomic hot-swap — under whatever fault plan the caller injected.
+//!
+//! Everything is deterministic: same campaign + config + fault plan gives
+//! the same report, promoted versions and metrics, bit for bit.
+
+use crate::config::OnlineConfig;
+use crate::drift::{DriftDetector, DriftVerdict};
+use crate::ingest::{deviation_eval_rows, AppCache};
+use crate::promote::{Promoter, PromotionOutcome};
+use dfv_counters::FeatureSet;
+use dfv_experiments::{
+    day_batches, train_artifacts_observed, CampaignConfig, CampaignResult, DeviationBuildObs,
+    DeviationTrend, RunRecord,
+};
+use dfv_faults::{splitmix64, FaultPlan};
+use dfv_mlkit::attention::AttentionForecaster;
+use dfv_mlkit::gbr::Gbr;
+use dfv_mlkit::metrics::mape;
+use dfv_mlkit::tree::TrainingContext;
+use dfv_obs::Obs;
+use dfv_serve::{ModelArtifact, ModelKey, ModelKind, ModelRegistry};
+
+/// One `(day, app)` cell of the report: holdout MAPEs of the live and the
+/// frozen model, the drift verdict, and what (if anything) was promoted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayRow {
+    /// Day index (0-based; only post-warm-up days appear).
+    pub day: usize,
+    /// App label.
+    pub app: String,
+    /// Holdout prediction rows this day contributed.
+    pub rows: usize,
+    /// Live-model holdout MAPE (absolute step times), percent. `None` on
+    /// an empty or all-missing day.
+    pub online_mape: Option<f64>,
+    /// Frozen version-1 model's MAPE on the same rows.
+    pub frozen_mape: Option<f64>,
+    /// What the drift detector concluded.
+    pub verdict: DriftVerdict,
+    /// Outcome of this day's deviation-model promotion, if one ran.
+    pub outcome: Option<PromotionOutcome>,
+    /// Deviation model version live at the end of the day.
+    pub live_version: u64,
+}
+
+/// One promotion attempt (deviation or forecast).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromotionEvent {
+    /// Day the retrain cycle ran.
+    pub day: usize,
+    /// Model key label (`app/task`).
+    pub model: String,
+    /// Per-key promotion cycle index (the fault-schedule index).
+    pub cycle: u64,
+    /// How it ended.
+    pub outcome: PromotionOutcome,
+}
+
+/// Full trace of one online run. `PartialEq` so determinism tests can
+/// compare two runs wholesale.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OnlineReport {
+    /// One row per `(post-warm-up day, app)`, in day-major order.
+    pub days: Vec<DayRow>,
+    /// Every promotion attempt, in execution order.
+    pub promotions: Vec<PromotionEvent>,
+    /// Final `(model key, version)` pairs, sorted.
+    pub final_versions: Vec<(String, u64)>,
+}
+
+impl OnlineReport {
+    /// The rows of one day, in app order.
+    pub fn day(&self, day: usize) -> Vec<&DayRow> {
+        self.days.iter().filter(|r| r.day == day).collect()
+    }
+
+    /// Mean live-model MAPE across apps over a day range (rows with data).
+    pub fn mean_online_mape(&self, days: std::ops::RangeInclusive<usize>) -> f64 {
+        mean(self.days.iter().filter(|r| days.contains(&r.day)).filter_map(|r| r.online_mape))
+    }
+
+    /// Mean frozen-model MAPE across apps over a day range.
+    pub fn mean_frozen_mape(&self, days: std::ops::RangeInclusive<usize>) -> f64 {
+        mean(self.days.iter().filter(|r| days.contains(&r.day)).filter_map(|r| r.frozen_mape))
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let (mut sum, mut n) = (0.0, 0usize);
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
+}
+
+/// What one online run leaves behind: the report and the live registry.
+pub struct OnlineOutcome {
+    /// The day-by-day trace.
+    pub report: OnlineReport,
+    /// The registry as the loop left it — still serving.
+    pub registry: ModelRegistry,
+}
+
+/// Per-app mutable state of the loop.
+struct AppState {
+    label: String,
+    cache: AppCache,
+    detector: DriftDetector,
+    /// Trend the *live* deviation model was trained under; predictions are
+    /// only meaningful with the matching centering, so this is swapped in
+    /// the same cycle as a successful promotion and never on a rejection.
+    live_trend: Option<DeviationTrend>,
+    /// The version-1 deviation model and its trend, kept aside as the
+    /// never-retrained counterfactual.
+    frozen: Option<(ModelArtifact, DeviationTrend)>,
+    has_forecaster: bool,
+    last_retrain_day: Option<usize>,
+    /// Per-task promotion cycle counters (fault-schedule indices).
+    cycles: [u64; 2],
+}
+
+/// Run the loop with no faults and no telemetry.
+pub fn run_online(
+    result: &CampaignResult,
+    config: &CampaignConfig,
+    online: &OnlineConfig,
+) -> OnlineOutcome {
+    run_online_faulted_observed(result, config, online, &FaultPlan::none(), &Obs::disabled())
+}
+
+/// [`run_online`] with telemetry recorded into `obs`.
+pub fn run_online_observed(
+    result: &CampaignResult,
+    config: &CampaignConfig,
+    online: &OnlineConfig,
+    obs: &Obs,
+) -> OnlineOutcome {
+    run_online_faulted_observed(result, config, online, &FaultPlan::none(), obs)
+}
+
+/// The full loop: streaming ingest, drift detection, rolling retrains and
+/// faulted promotion. With `online.enabled == false` this is the offline
+/// train-once path, bit for bit (the fault plan is irrelevant there: the
+/// artifact sites only exist on the retrain/promotion path).
+pub fn run_online_faulted_observed(
+    result: &CampaignResult,
+    config: &CampaignConfig,
+    online: &OnlineConfig,
+    faults: &FaultPlan,
+    obs: &Obs,
+) -> OnlineOutcome {
+    let registry = ModelRegistry::new_observed(obs);
+    if !online.enabled {
+        for artifact in train_artifacts_observed(result, &online.train_config(1), obs) {
+            registry.install(artifact).expect("fresh registry accepts version 1");
+        }
+        let final_versions =
+            registry.models().into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        let report = OnlineReport { final_versions, ..OnlineReport::default() };
+        return OnlineOutcome { report, registry };
+    }
+
+    let _span = obs.span("online.run");
+    let batches = day_batches(result, config);
+    assert!(online.train_days >= 1, "need at least one warm-up day");
+    assert!(online.train_days < batches.len(), "warm-up swallows the whole campaign");
+    let promoter = Promoter::new(faults, obs);
+    let obs_triggered = obs.counter("online.retrain.triggered");
+    let telemetry = DeviationBuildObs::new(obs, online.policy);
+
+    let mut states: Vec<AppState> = result
+        .datasets
+        .iter()
+        .map(|ds| AppState {
+            label: ds.spec.label(),
+            cache: AppCache::new(ds.spec, online.fspec, online.policy),
+            detector: DriftDetector::new(online.drift),
+            live_trend: None,
+            frozen: None,
+            has_forecaster: false,
+            last_retrain_day: None,
+            cycles: [0, 0],
+        })
+        .collect();
+    let mut report = OnlineReport::default();
+
+    for batch in &batches {
+        let day = batch.day;
+        if day < online.train_days {
+            for (si, state) in states.iter_mut().enumerate() {
+                state.cache.ingest_day(day, &batch.runs[si].1);
+            }
+            if day + 1 == online.train_days {
+                for state in &mut states {
+                    bootstrap(state, &registry, online, obs, day, &telemetry);
+                }
+            }
+            continue;
+        }
+
+        for (si, state) in states.iter_mut().enumerate() {
+            let today = &batch.runs[si].1;
+
+            // 1. Score today as a holdout tail, before ingesting it.
+            let (rows, online_mape) = eval_deviation(&registry, state, today, online);
+            let frozen_mape = state
+                .frozen
+                .as_ref()
+                .and_then(|(art, trend)| eval_artifact(art, today, trend, online).1);
+            if let Some(m) = online_mape {
+                obs.gauge(&format!("online.drift.mape{{app=\"{}\"}}", state.label)).set(m);
+            }
+
+            // 2. Only now does the day become training data.
+            state.cache.ingest_day(day, today);
+
+            // 3. Drift verdict and (rate-limited) retrain.
+            let verdict = state.detector.observe(online_mape.unwrap_or(f64::NAN), rows);
+            let mut outcome = None;
+            if verdict == DriftVerdict::Triggered && cadence_ok(state, day, online.cadence_days) {
+                obs_triggered.inc();
+                state.last_retrain_day = Some(day);
+                outcome = retrain(
+                    state,
+                    &registry,
+                    &promoter,
+                    online,
+                    obs,
+                    day,
+                    &telemetry,
+                    &mut report.promotions,
+                );
+            }
+
+            let live_version =
+                registry.get(&ModelKey::deviation(&state.label)).map(|a| a.version).unwrap_or(0);
+            report.days.push(DayRow {
+                day,
+                app: state.label.clone(),
+                rows,
+                online_mape,
+                frozen_mape,
+                verdict,
+                outcome,
+                live_version,
+            });
+        }
+    }
+
+    report.final_versions =
+        registry.models().into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+    OnlineOutcome { report, registry }
+}
+
+fn cadence_ok(state: &AppState, day: usize, cadence_days: usize) -> bool {
+    state.last_retrain_day.is_none_or(|d0| day - d0 >= cadence_days)
+}
+
+/// Absolute-time MAPE from deviation predictions plus trend offsets.
+fn abs_mape(pred_dev: &[f64], y_dev: &[f64], offsets: &[f64]) -> f64 {
+    let truth: Vec<f64> = y_dev.iter().zip(offsets).map(|(y, o)| y + o).collect();
+    let pred: Vec<f64> = pred_dev.iter().zip(offsets).map(|(p, o)| p + o).collect();
+    mape(&truth, &pred)
+}
+
+/// Score one artifact on held-out runs under its own training trend.
+fn eval_artifact(
+    artifact: &ModelArtifact,
+    runs: &[RunRecord],
+    trend: &DeviationTrend,
+    online: &OnlineConfig,
+) -> (usize, Option<f64>) {
+    let (x, y, offsets) = deviation_eval_rows(runs, trend, online.policy);
+    if x.rows() == 0 {
+        return (0, None);
+    }
+    let m = abs_mape(&artifact.predict_batch(&x), &y, &offsets);
+    (x.rows(), m.is_finite().then_some(m))
+}
+
+fn eval_deviation(
+    registry: &ModelRegistry,
+    state: &AppState,
+    runs: &[RunRecord],
+    online: &OnlineConfig,
+) -> (usize, Option<f64>) {
+    let (Some(trend), Some(live)) =
+        (state.live_trend.as_ref(), registry.get(&ModelKey::deviation(&state.label)))
+    else {
+        return (0, None);
+    };
+    eval_artifact(&live, runs, trend, online)
+}
+
+/// Fit a deviation candidate over the rolling window ending at `upto_day`.
+/// Returns the artifact, its trained-epoch MAPE and its trend.
+#[allow(clippy::too_many_arguments)]
+fn fit_deviation(
+    state: &AppState,
+    online: &OnlineConfig,
+    obs: &Obs,
+    upto_day: usize,
+    window_days: usize,
+    version: u64,
+    cycle: u64,
+    telemetry: &DeviationBuildObs,
+) -> Option<(ModelArtifact, f64, DeviationTrend)> {
+    let (data, offsets, trend) = state.cache.deviation_window(upto_day, window_days, telemetry)?;
+    let mut ctx = TrainingContext::new(&data.x);
+    let features: Vec<usize> = (0..data.d()).collect();
+    let mut params = online.gbr;
+    // Decorrelate subsampling across cycles while staying reproducible.
+    params.seed = splitmix64(online.gbr.seed, cycle);
+    let gbr = Gbr::fit_observed(&mut ctx, &data.y, &features, &params, obs);
+    let artifact = ModelArtifact::deviation(
+        &state.label,
+        version,
+        FeatureSet::App,
+        data.feature_names.clone(),
+        gbr,
+    );
+    let trained_epoch = abs_mape(&artifact.predict_batch(&data.x), &data.y, &offsets);
+    Some((artifact, trained_epoch, trend))
+}
+
+/// Initial training epoch: fit and install version 1 of every model for
+/// this app and freeze a copy as the no-retrain counterfactual. Bootstrap
+/// installs are not on the faulted promotion path — there is no previous
+/// model that could keep serving.
+fn bootstrap(
+    state: &mut AppState,
+    registry: &ModelRegistry,
+    online: &OnlineConfig,
+    obs: &Obs,
+    upto_day: usize,
+    telemetry: &DeviationBuildObs,
+) {
+    let Some((artifact, trained_epoch, trend)) =
+        fit_deviation(state, online, obs, upto_day, online.train_days, 1, 0, telemetry)
+    else {
+        return;
+    };
+    registry.install(artifact.clone()).expect("fresh registry accepts version 1");
+    state.detector.rebaseline(trained_epoch);
+    obs.gauge(&format!("online.drift.baseline{{app=\"{}\"}}", state.label)).set(trained_epoch);
+    state.live_trend = Some(trend.clone());
+    state.frozen = Some((artifact, trend));
+
+    let windows = state.cache.forecast_window(upto_day, online.train_days);
+    if windows.n() > 0 {
+        let model = AttentionForecaster::fit_observed(&windows, &online.attention, obs);
+        let artifact = ModelArtifact::forecast(
+            &state.label,
+            1,
+            online.fspec.features,
+            online.fspec.features.names(),
+            online.fspec.k,
+            model,
+        );
+        registry.install(artifact).expect("fresh registry accepts version 1");
+        state.has_forecaster = true;
+    }
+}
+
+/// One retrain cycle: candidate fits over the rolling window, validation
+/// gates against the live models on the same window, then promotion.
+/// Returns the deviation promotion outcome (the report's headline column).
+#[allow(clippy::too_many_arguments)]
+fn retrain(
+    state: &mut AppState,
+    registry: &ModelRegistry,
+    promoter: &Promoter,
+    online: &OnlineConfig,
+    obs: &Obs,
+    day: usize,
+    telemetry: &DeviationBuildObs,
+    events: &mut Vec<PromotionEvent>,
+) -> Option<PromotionOutcome> {
+    // --- Deviation: cold refit through the shared pre-sorted trainer. ---
+    let dev_key = ModelKey::deviation(&state.label);
+    let live = registry.get(&dev_key)?;
+    let cycle = state.cycles[0];
+    state.cycles[0] += 1;
+    let (candidate, trained_epoch, trend) = fit_deviation(
+        state,
+        online,
+        obs,
+        day,
+        online.window_days,
+        live.version + 1,
+        cycle,
+        telemetry,
+    )?;
+    // Validation gate: live model scored on the same window runs, each
+    // model under its own trend (a model is inseparable from its centering).
+    let window_runs = state.cache.window_runs(day, online.window_days);
+    let live_mape = state
+        .live_trend
+        .as_ref()
+        .and_then(|t| eval_artifact(&live, window_runs, t, online).1)
+        .unwrap_or(f64::INFINITY);
+    let outcome =
+        if !trained_epoch.is_finite() || trained_epoch > online.max_validation_ratio * live_mape {
+            promoter.reject_validation(trained_epoch, live_mape)
+        } else {
+            let outcome = promoter.promote(registry, candidate, cycle);
+            if let PromotionOutcome::Installed { .. } = outcome {
+                state.live_trend = Some(trend);
+                state.detector.rebaseline(trained_epoch);
+                obs.gauge(&format!("online.drift.baseline{{app=\"{}\"}}", state.label))
+                    .set(trained_epoch);
+            }
+            outcome
+        };
+    events.push(PromotionEvent {
+        day,
+        model: dev_key.to_string(),
+        cycle,
+        outcome: outcome.clone(),
+    });
+
+    // --- Forecast: warm refit from the live weights. ---
+    if state.has_forecaster {
+        let fc_key = ModelKey::forecast(&state.label);
+        if let Some(live_fc) = registry.get(&fc_key) {
+            let windows = state.cache.forecast_window(day, online.window_days);
+            if windows.n() > 0 {
+                let ModelKind::Forecast(live_model) = &live_fc.model else {
+                    unreachable!("forecast key holds a forecaster");
+                };
+                let fc_cycle = state.cycles[1];
+                state.cycles[1] += 1;
+                let mut params = online.attention;
+                params.epochs = online.refit_epochs;
+                params.seed = splitmix64(online.attention.seed, fc_cycle);
+                let model = live_model.refit_observed(&windows, &params, obs);
+                let cand_mape = mape(&windows.y, &model.predict_batch(&windows.x));
+                let live_mape = mape(&windows.y, &live_model.predict_batch(&windows.x));
+                let artifact = ModelArtifact::forecast(
+                    &state.label,
+                    live_fc.version + 1,
+                    online.fspec.features,
+                    online.fspec.features.names(),
+                    online.fspec.k,
+                    model,
+                );
+                let fc_outcome = if !cand_mape.is_finite()
+                    || cand_mape > online.max_validation_ratio * live_mape
+                {
+                    promoter.reject_validation(cand_mape, live_mape)
+                } else {
+                    promoter.promote(registry, artifact, fc_cycle)
+                };
+                events.push(PromotionEvent {
+                    day,
+                    model: fc_key.to_string(),
+                    cycle: fc_cycle,
+                    outcome: fc_outcome,
+                });
+            }
+        }
+    }
+    Some(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfv_experiments::{run_campaign, train_artifacts, WorkloadShift};
+
+    #[test]
+    fn disabled_loop_is_bit_identical_to_offline_train_once() {
+        let config = CampaignConfig::quick();
+        let result = run_campaign(&config);
+        let online = OnlineConfig::disabled();
+        let outcome = run_online(&result, &config, &online);
+        assert!(outcome.report.days.is_empty());
+        assert!(outcome.report.promotions.is_empty());
+
+        let offline = train_artifacts(&result, &online.train_config(1));
+        assert_eq!(outcome.registry.len(), offline.len());
+        for artifact in offline {
+            let key = ModelKey { app: artifact.app.clone(), task: artifact.task() };
+            let served = outcome.registry.get(&key).expect("every offline artifact is live");
+            assert_eq!(*served, artifact, "{key}");
+        }
+    }
+
+    #[test]
+    fn enabled_loop_is_deterministic_and_versions_are_monotone() {
+        let mut config = CampaignConfig::quick();
+        config.num_days = 8;
+        config.workload_shift =
+            Some(WorkloadShift { at_day: 4, intensity_factor: 2.5, heavier_benign: true });
+        let result = run_campaign(&config);
+        let online = OnlineConfig::quick();
+
+        let a = run_online(&result, &config, &online);
+        let b = run_online_observed(&result, &config, &online, &Obs::enabled());
+        // Telemetry must not perturb the loop, and reruns must be identical.
+        assert_eq!(a.report, b.report);
+        assert!(!a.report.days.is_empty());
+        for (model, version) in &a.report.final_versions {
+            assert!(*version >= 1, "{model} never installed");
+        }
+        // Day rows only exist after the warm-up epoch, in day-major order.
+        assert!(a.report.days.iter().all(|r| r.day >= online.train_days));
+        assert!(a.report.days.windows(2).all(|w| w[0].day <= w[1].day));
+    }
+
+    #[test]
+    fn every_day_keeps_a_model_serving() {
+        let mut config = CampaignConfig::quick();
+        config.num_days = 8;
+        config.workload_shift =
+            Some(WorkloadShift { at_day: 4, intensity_factor: 3.0, heavier_benign: true });
+        let result = run_campaign(&config);
+        let outcome = run_online(&result, &config, &OnlineConfig::quick());
+        // Whatever the promotion outcomes were, the registry is never left
+        // without a deviation model once one was bootstrapped.
+        for row in &outcome.report.days {
+            assert!(row.live_version >= 1, "day {} {} lost its model", row.day, row.app);
+        }
+    }
+}

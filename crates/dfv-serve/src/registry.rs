@@ -9,6 +9,7 @@
 //! of rolling retrains).
 
 use crate::artifact::{ArtifactError, ModelArtifact, TaskKind};
+use dfv_obs::Obs;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::{Arc, RwLock};
@@ -80,12 +81,19 @@ impl From<ArtifactError> for RegistryError {
 #[derive(Default)]
 pub struct ModelRegistry {
     models: RwLock<HashMap<ModelKey, Arc<ModelArtifact>>>,
+    obs: Obs,
 }
 
 impl ModelRegistry {
     /// An empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty registry that reports successful hot-swaps to `obs` as
+    /// `serve.registry.swaps{model=}` counters.
+    pub fn new_observed(obs: &Obs) -> Self {
+        ModelRegistry { models: RwLock::new(HashMap::new()), obs: obs.clone() }
     }
 
     /// Install an artifact, hot-swapping any older version atomically.
@@ -104,6 +112,7 @@ impl ModelRegistry {
                 });
             }
         }
+        self.obs.counter(&format!("serve.registry.swaps{{model=\"{key}\"}}")).inc();
         models.insert(key, Arc::new(artifact));
         Ok(version)
     }
@@ -320,6 +329,28 @@ mod tests {
         ));
         // ...and the live model is untouched either way.
         assert_eq!(reg.get(&ModelKey::deviation("amg-16")).unwrap().version, 3);
+    }
+
+    #[test]
+    fn rollback_is_refused_and_swaps_are_counted() {
+        let obs = Obs::enabled();
+        let reg = ModelRegistry::new_observed(&obs);
+        reg.install(tiny_gbr_artifact("amg-16", 2)).unwrap();
+        reg.install(tiny_gbr_artifact("amg-16", 5)).unwrap();
+        // Installing an artifact older than the live version must not
+        // replace it — and must not count as a swap.
+        assert_eq!(
+            reg.install(tiny_gbr_artifact("amg-16", 3)),
+            Err(RegistryError::StaleVersion { offered: 3, installed: 5 })
+        );
+        assert_eq!(reg.get(&ModelKey::deviation("amg-16")).unwrap().version, 5);
+        // An invalid artifact must not count either.
+        let mut bad = tiny_gbr_artifact("amg-16", 6);
+        bad.feature_names.clear();
+        assert!(matches!(reg.install(bad), Err(RegistryError::Artifact(_))));
+        let swaps =
+            obs.snapshot().counter("serve.registry.swaps{model=\"amg-16/deviation\"}").unwrap_or(0);
+        assert_eq!(swaps, 2, "only the two successful installs are hot-swaps");
     }
 
     #[test]

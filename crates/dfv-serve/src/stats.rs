@@ -240,16 +240,16 @@ mod tests {
     #[test]
     fn snapshot_aggregates_and_sorts() {
         let mut counters: HashMap<ModelKey, ModelStats> = HashMap::new();
-        let mut a = ModelStats::default();
-        a.requests = 10;
-        a.cache_hits = 4;
-        a.batches = 3;
-        a.batched_rows = 6;
+        let mut a = ModelStats {
+            requests: 10,
+            cache_hits: 4,
+            batches: 3,
+            batched_rows: 6,
+            ..Default::default()
+        };
         a.latency.record(Duration::from_micros(5));
         counters.insert(ModelKey::forecast("milc-16"), a);
-        let mut b = ModelStats::default();
-        b.requests = 5;
-        b.errors = 1;
+        let b = ModelStats { requests: 5, errors: 1, ..Default::default() };
         counters.insert(ModelKey::deviation("amg-16"), b);
 
         let stats = ServeStats::from_counters(&counters, |_| 7, 2);

@@ -63,6 +63,10 @@ pub use dfv_serve as serve;
 /// The campaign driver and the paper's three analyses.
 pub use dfv_experiments as experiments;
 
+/// The online learning loop: streaming ingest, drift detection, rolling
+/// retrains and automatic model promotion.
+pub use dfv_online as online;
+
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use dfv_counters::{
@@ -84,6 +88,10 @@ pub mod prelude {
         Ridge, WindowDataset,
     };
     pub use dfv_obs::{Obs, Snapshot};
+    pub use dfv_online::{
+        run_online, run_online_faulted_observed, DriftDetector, DriftParams, DriftVerdict,
+        OnlineConfig, OnlineReport, PromotionOutcome,
+    };
     pub use dfv_scheduler::{Archetype, Cluster, JobRequest, UserId};
     pub use dfv_serve::{
         ModelArtifact, ModelKey, ModelRegistry, Request, Response, ServeConfig, ServeStats, Service,

@@ -6,10 +6,11 @@
 //! and never panic; and the serving path keeps draining — nothing dropped,
 //! nothing panicking — under queue saturation with injected batcher stalls.
 
-use dragonfly_variability::experiments::analyze_deviation_with_policy;
+use dragonfly_variability::experiments::{analyze_deviation_with_policy, WorkloadShift};
 use dragonfly_variability::mlkit::gbr::{Gbr, GbrParams};
 use dragonfly_variability::mlkit::rfe::RfeParams;
 use dragonfly_variability::prelude::*;
+use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
 /// One small single-app campaign shared by the telemetry-side tests.
@@ -171,4 +172,83 @@ fn service_drains_under_saturation_with_injected_stalls() {
     let stats = service.shutdown();
     assert_eq!(stats.completed, 100);
     assert_eq!(stats.errors, 0);
+}
+
+#[test]
+fn online_loop_survives_periodic_artifact_corruption() {
+    // A campaign whose workload shifts mid-way, so the drift detector
+    // actually fires and the loop attempts promotions — and a fault plan
+    // that corrupts every other exported artifact per model key.
+    let mut config = CampaignConfig::quick();
+    config.num_days = 8;
+    config.workload_shift =
+        Some(WorkloadShift { at_day: 4, intensity_factor: 3.0, heavier_benign: true });
+    let result = run_campaign(&config);
+    let online = OnlineConfig::quick();
+    let plan = FaultPlan {
+        artifact_corrupt: Schedule::Periodic { period: 2, phase: 0 },
+        ..FaultPlan::none()
+    };
+
+    let obs = Obs::enabled();
+    let outcome = run_online_faulted_observed(&result, &config, &online, &plan, &obs);
+    let report = &outcome.report;
+
+    // The faulted loop is exactly as deterministic as the clean one.
+    let again = run_online_faulted_observed(&result, &config, &online, &plan, &Obs::disabled());
+    assert_eq!(report, &again.report, "faulted online loop must be deterministic");
+
+    // Phase 0 corrupts each key's first retrain export, so the shift must
+    // have produced at least one refused promotion...
+    let rejected =
+        report.promotions.iter().filter(|p| p.outcome == PromotionOutcome::RejectedCorrupt).count();
+    assert!(rejected > 0, "the corruption plan never fired: {:?}", report.promotions);
+    // ...and the off-cycles let retrains through eventually.
+    let installed = report
+        .promotions
+        .iter()
+        .filter(|p| matches!(p.outcome, PromotionOutcome::Installed { .. }))
+        .count();
+    assert!(installed > 0, "every promotion was refused: {:?}", report.promotions);
+
+    // A refused export must leave the previous model serving: versions are
+    // per-app monotone, never drop to zero, and a RejectedCorrupt day keeps
+    // the version of the day before.
+    let mut last_version: HashMap<&str, u64> = HashMap::new();
+    for row in &report.days {
+        assert!(row.live_version >= 1, "day {} {} lost its model", row.day, row.app);
+        if let Some(prev) = last_version.get(row.app.as_str()) {
+            assert!(row.live_version >= *prev, "version rolled back for {}", row.app);
+            if row.outcome == Some(PromotionOutcome::RejectedCorrupt) {
+                assert_eq!(
+                    row.live_version, *prev,
+                    "a refused promotion must not change {}'s live model",
+                    row.app
+                );
+            }
+        }
+        // Predictions stayed available all along: every day with holdout
+        // rows scored against a live model.
+        if row.rows > 0 {
+            assert!(row.online_mape.is_some(), "day {} {} had no serving model", row.day, row.app);
+        }
+        last_version.insert(row.app.as_str(), row.live_version);
+    }
+
+    // Whatever the fault plan did, nothing invalid ever went live.
+    for (key, version) in outcome.registry.models() {
+        assert!(version >= 1);
+        let artifact = outcome.registry.get(&key).expect("listed model is servable");
+        assert!(artifact.validate().is_ok(), "{key} serves an invalid artifact");
+        assert_eq!(artifact.version, version);
+    }
+
+    // The refusals are visible in telemetry, and every registry swap was a
+    // real install.
+    let snapshot = obs.snapshot();
+    assert_eq!(
+        snapshot.counter("online.promote.rejected{reason=\"corrupt\"}"),
+        Some(rejected as u64)
+    );
+    assert_eq!(snapshot.counter("online.promote.installed"), Some(installed as u64));
 }

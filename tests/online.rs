@@ -1,0 +1,97 @@
+//! Online-loop integration, driven through the public facade.
+//!
+//! Invariants under test: the disabled loop is a bit-for-bit no-op against
+//! the offline train-once pipeline; on a campaign whose workload shifts
+//! mid-way the loop detects drift, retrains, and ends below the frozen
+//! train-once baseline; and the whole trace is deterministic and
+//! unperturbed by telemetry.
+
+use dragonfly_variability::experiments::{train_artifacts, WorkloadShift};
+use dragonfly_variability::prelude::*;
+use std::sync::OnceLock;
+
+/// The drift-recovery campaign: stable for six days, then the background
+/// users route 2.5x heavier traffic for eight more.
+fn shifted_config() -> CampaignConfig {
+    let mut config = CampaignConfig::quick();
+    config.num_days = 14;
+    config.workload_shift =
+        Some(WorkloadShift { at_day: 6, intensity_factor: 2.5, heavier_benign: true });
+    config
+}
+
+fn shifted() -> &'static CampaignResult {
+    static SHIFTED: OnceLock<CampaignResult> = OnceLock::new();
+    SHIFTED.get_or_init(|| run_campaign(&shifted_config()))
+}
+
+#[test]
+fn disabled_online_loop_is_the_offline_pipeline_bit_for_bit() {
+    let config = CampaignConfig::quick();
+    let result = run_campaign(&config);
+    let online = OnlineConfig::disabled();
+    let outcome = run_online(&result, &config, &online);
+
+    // No streaming happened at all...
+    assert!(outcome.report.days.is_empty());
+    assert!(outcome.report.promotions.is_empty());
+    // ...and the registry holds exactly the train-once artifacts.
+    let offline = train_artifacts(&result, &online.train_config(1));
+    assert_eq!(outcome.registry.len(), offline.len());
+    for artifact in offline {
+        let key = ModelKey { app: artifact.app.clone(), task: artifact.task() };
+        let served = outcome.registry.get(&key).expect("every offline artifact is live");
+        assert_eq!(*served, artifact, "{key} diverged from the offline pipeline");
+    }
+}
+
+#[test]
+fn workload_shift_is_detected_and_the_loop_recovers_below_frozen() {
+    let config = shifted_config();
+    let report = run_online(shifted(), &config, &OnlineConfig::quick()).report;
+
+    // The stable epoch never retrains.
+    let pre_shift: Vec<_> = report.promotions.iter().filter(|p| p.day < 6).collect();
+    assert!(pre_shift.is_empty(), "stable epoch must not retrain: {pre_shift:?}");
+
+    // The shift is detected and at least one model is promoted.
+    assert!(report.days.iter().any(|r| r.verdict == DriftVerdict::Triggered));
+    let installed = report
+        .promotions
+        .iter()
+        .filter(|p| matches!(p.outcome, PromotionOutcome::Installed { .. }))
+        .count();
+    assert!(installed > 0, "the workload shift must cause promotions");
+    for (model, version) in &report.final_versions {
+        assert!(*version >= 1, "{model} never installed");
+    }
+
+    // Recovery: over the last two days the retrained models beat the
+    // frozen train-once counterfactual.
+    let last = config.num_days - 1;
+    let online_tail = report.mean_online_mape(last - 1..=last);
+    let frozen_tail = report.mean_frozen_mape(last - 1..=last);
+    assert!(
+        online_tail < frozen_tail,
+        "online tail MAPE {online_tail:.2}% must end below frozen {frozen_tail:.2}%"
+    );
+}
+
+#[test]
+fn online_loop_is_deterministic_and_unperturbed_by_telemetry() {
+    let config = shifted_config();
+    let online = OnlineConfig::quick();
+    let obs = Obs::enabled();
+    let observed =
+        run_online_faulted_observed(shifted(), &config, &online, &FaultPlan::none(), &obs);
+    let silent = run_online(shifted(), &config, &online);
+    assert_eq!(observed.report, silent.report, "telemetry must not perturb the loop");
+
+    // The drift story is visible in telemetry: per-app holdout gauges and
+    // the retrain trigger counter.
+    let snapshot = obs.snapshot();
+    assert!(snapshot.counter("online.retrain.triggered").unwrap_or(0) > 0);
+    let gauges =
+        snapshot.metrics.iter().filter(|m| m.name.starts_with("online.drift.mape{")).count();
+    assert_eq!(gauges, config.apps.len(), "one holdout-MAPE gauge per app");
+}
