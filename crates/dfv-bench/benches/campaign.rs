@@ -1,14 +1,17 @@
 //! Benchmarks of campaign-level operations: the scheduler event loop,
-//! background-job routing, and a complete (small) campaign — the pipeline
-//! stages behind every figure.
+//! background-job routing, the incremental simulation core, and a complete
+//! (small) campaign on both the fast path and the sequential oracle.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dfv_dragonfly::config::DragonflyConfig;
 use dfv_dragonfly::ids::NodeId;
-use dfv_dragonfly::network::NetworkSim;
+use dfv_dragonfly::network::{
+    BackgroundTraffic, NetworkSim, RoutedContribution, SimScratch, SimSession,
+};
 use dfv_dragonfly::placement::AllocationPolicy;
 use dfv_dragonfly::topology::Topology;
-use dfv_experiments::campaign::{run_campaign, CampaignConfig};
+use dfv_dragonfly::traffic::Traffic;
+use dfv_experiments::campaign::{run_campaign, run_campaign_naive, CampaignConfig};
 use dfv_scheduler::cluster::Cluster;
 use dfv_scheduler::job::{JobRequest, UserId};
 use dfv_scheduler::users::Archetype;
@@ -55,14 +58,86 @@ fn bench_background_routing(c: &mut Criterion) {
     g.finish();
 }
 
+/// The phase-2 hot loop in isolation on the full Cori machine: one probe
+/// step against eight background jobs, naive (dense re-solve) versus the
+/// incremental [`SimSession`], plus a splice-churn variant that forces a
+/// background re-resolve every step.
+fn bench_incremental_core(c: &mut Criterion) {
+    let topo = Topology::new(DragonflyConfig::cori()).unwrap();
+    let sim = NetworkSim::new(&topo);
+    let io: Vec<NodeId> = (12_000..12_064).map(NodeId).collect();
+    let contribs: Vec<(BackgroundTraffic, RoutedContribution)> = (0..8)
+        .map(|j| {
+            let nodes: Vec<NodeId> = (j * 256..(j + 1) * 256).map(|n| NodeId(n as u32)).collect();
+            let mut rng = StdRng::seed_from_u64(50 + j as u64);
+            let traffic = Archetype::GenomeAssembly.traffic(&nodes, &io, 0.25, &mut rng);
+            let dense = sim.route_traffic(&traffic, None, 50 + j as u64);
+            let sparse = RoutedContribution::from_dense(&dense);
+            (dense, sparse)
+        })
+        .collect();
+    let job: Traffic = {
+        let nodes: Vec<NodeId> = (4096..4160).map(NodeId).collect();
+        let mut rng = StdRng::seed_from_u64(77);
+        Archetype::NBody.traffic(&nodes, &io, 1.0, &mut rng)
+    };
+
+    let mut g = c.benchmark_group("campaign/incremental_core");
+    g.sample_size(10);
+
+    let mut bg = BackgroundTraffic::zero(&topo);
+    for (dense, _) in &contribs {
+        bg.add_scaled(dense, 1.0);
+    }
+    let mut scratch = SimScratch::new(&topo);
+    g.bench_function("step_naive", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            sim.simulate_step(&job, &bg, seed, &mut scratch)
+        })
+    });
+
+    let mut session = SimSession::new(&sim);
+    for (_, sparse) in &contribs {
+        session.splice_background(sparse, 1.0);
+    }
+    g.bench_function("step_incremental", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            session.step(&job, seed)
+        })
+    });
+
+    g.bench_function("splice_and_step_incremental", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            let churn = &contribs[(seed as usize) % contribs.len()].1;
+            session.splice_background(churn, 1.0);
+            session.splice_background(churn, -1.0);
+            session.step(&job, seed)
+        })
+    });
+    g.finish();
+}
+
 fn bench_full_campaign(c: &mut Criterion) {
     let mut config = CampaignConfig::quick();
     config.num_days = 2;
     let mut g = c.benchmark_group("campaign/full");
     g.sample_size(10);
-    g.bench_function("quick_2_days", |b| b.iter(|| run_campaign(&config)));
+    g.bench_function("quick_2_days_fast", |b| b.iter(|| run_campaign(&config)));
+    g.bench_function("quick_2_days_naive", |b| b.iter(|| run_campaign_naive(&config, None)));
     g.finish();
 }
 
-criterion_group!(benches, bench_scheduler, bench_background_routing, bench_full_campaign);
+criterion_group!(
+    benches,
+    bench_scheduler,
+    bench_background_routing,
+    bench_incremental_core,
+    bench_full_campaign
+);
 criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! End-to-end campaign throughput measurement: the numbers behind
+//! `BENCH_campaign.json`.
+//!
+//! Runs the incremental fast path (`run_campaign`) and the sequential
+//! pre-optimization oracle (`run_campaign_naive`) on the quick
+//! (small-machine) and paper-scale (34-group Cori) configurations,
+//! reporting min-of-N wall-clock seconds and the campaign digest of each
+//! result — a speedup claim is always paired with a bit-exactness witness.
+//!
+//! Usage: `campaign_bench [quick-reps] [paper-reps] [week-reps] [naive 0|1]`
+//! (defaults 3, 1, 0, 1). The week config is [`CampaignConfig::cori_week`],
+//! the >1200-probe cluster-scale stress load where the pre-optimization
+//! engine's per-chunk re-routing dominates.
+
+use dfv_experiments::campaign::{
+    campaign_digest, run_campaign, run_campaign_naive, CampaignConfig, CampaignResult,
+};
+use std::time::Instant;
+
+fn paper_scale_config() -> CampaignConfig {
+    // The paper's 34-group Cori machine and Table I apps, cut to two days so
+    // a measurement finishes in minutes rather than simulated months. All
+    // hot-path costs (routing, per-step congestion solve, telemetry fill)
+    // scale with the topology, which is what this config exercises.
+    let mut config = CampaignConfig::paper();
+    config.num_days = 2;
+    config
+}
+
+fn measure(
+    label: &str,
+    config: &CampaignConfig,
+    reps: usize,
+    f: fn(&CampaignConfig) -> CampaignResult,
+) {
+    let mut best = f64::INFINITY;
+    let mut digest = 0u64;
+    let mut runs = 0usize;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let result = f(config);
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt);
+        digest = campaign_digest(&result);
+        runs = result.probe_jobs.len();
+        eprintln!("  {label}: {dt:.3}s");
+    }
+    println!("{label}: best {best:.3}s  probe_jobs {runs}  digest {digest:#018x}");
+}
+
+fn naive(config: &CampaignConfig) -> CampaignResult {
+    run_campaign_naive(config, None)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let quick_reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let paper_reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+    let week_reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
+    let with_naive: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1);
+
+    measure("quick_6_days_fast", &CampaignConfig::quick(), quick_reps, run_campaign);
+    if with_naive > 0 {
+        measure("quick_6_days_naive", &CampaignConfig::quick(), quick_reps, naive);
+    }
+    if paper_reps > 0 {
+        let paper = paper_scale_config();
+        measure("paper_scale_2_days_fast", &paper, paper_reps, run_campaign);
+        if with_naive > 0 {
+            measure("paper_scale_2_days_naive", &paper, paper_reps, naive);
+        }
+    }
+    if week_reps > 0 {
+        let week = CampaignConfig::cori_week();
+        measure("cori_week_fast", &week, week_reps, run_campaign);
+        if with_naive > 0 {
+            measure("cori_week_naive", &week, week_reps, naive);
+        }
+    }
+}

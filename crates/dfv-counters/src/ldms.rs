@@ -124,12 +124,16 @@ impl LdmsReading {
 #[derive(Debug, Clone)]
 pub struct LdmsSampler {
     layout: SystemLayout,
+    /// I/O router indices, ascending, cached at construction so every
+    /// `read_io` call does not re-scan (and re-allocate) the role table.
+    io_router_ids: Vec<u32>,
 }
 
 impl LdmsSampler {
     /// Sampler over a system layout.
     pub fn new(layout: SystemLayout) -> Self {
-        LdmsSampler { layout }
+        let io_router_ids = layout.io_routers().iter().map(|r| r.index() as u32).collect();
+        LdmsSampler { layout, io_router_ids }
     }
 
     /// The layout in use.
@@ -149,7 +153,7 @@ impl LdmsSampler {
 
     /// The io feature group: counters aggregated over I/O routers.
     pub fn read_io(&self, telemetry: &StepTelemetry) -> LdmsReading {
-        Self::aggregate(telemetry, self.layout.io_routers().iter().map(|r| r.index()))
+        Self::aggregate(telemetry, self.io_router_ids.iter().map(|&r| r as usize))
     }
 
     /// The sys feature group: counters aggregated over all routers that
@@ -160,6 +164,24 @@ impl LdmsSampler {
             is_job[r.index()] = true;
         }
         Self::aggregate(telemetry, (0..telemetry.num_routers()).filter(|&r| !is_job[r]))
+    }
+
+    /// Like [`LdmsSampler::read_sys`], but visiting only the ascending
+    /// `active` router set instead of the whole machine. Bit-identical as
+    /// long as `active` is a superset of the routers with any nonzero
+    /// telemetry record: aggregating an all-zero record is the exact
+    /// identity, so skipping the rest changes nothing.
+    pub fn read_sys_active(
+        &self,
+        telemetry: &StepTelemetry,
+        job_routers: &[RouterId],
+        active: &[u32],
+    ) -> LdmsReading {
+        let mut is_job = vec![false; telemetry.num_routers()];
+        for r in job_routers {
+            is_job[r.index()] = true;
+        }
+        Self::aggregate(telemetry, active.iter().map(|&r| r as usize).filter(|&r| !is_job[r]))
     }
 }
 
@@ -238,6 +260,30 @@ impl FaultyLdmsSampler {
         self.last_sys = Some(reading);
         Some(reading)
     }
+
+    /// [`FaultyLdmsSampler::read_sys`] over a sparse `active` router set
+    /// (see [`LdmsSampler::read_sys_active`]). Gap/stale draws and the
+    /// stale cache are shared with `read_sys`, so mixing the two on one
+    /// sampler keeps the fault sequence identical.
+    pub fn read_sys_active(
+        &mut self,
+        telemetry: &StepTelemetry,
+        job_routers: &[RouterId],
+        active: &[u32],
+        step: u64,
+    ) -> Option<LdmsReading> {
+        if self.verdicts.check(&self.plan, FaultSite::LdmsSysGap, self.stream, step) {
+            return None;
+        }
+        if self.verdicts.check(&self.plan, FaultSite::LdmsSysStale, self.stream, step) {
+            if let Some(last) = self.last_sys {
+                return Some(last);
+            }
+        }
+        let reading = self.inner.read_sys_active(telemetry, job_routers, active);
+        self.last_sys = Some(reading);
+        Some(reading)
+    }
 }
 
 #[cfg(test)]
@@ -290,6 +336,30 @@ mod tests {
         tel.router_mut(2).pt_pkt_tot = 4.0;
         let sys = sampler.read_sys(&tel, &[RouterId(1)]);
         assert_eq!(sys.pt_pkt_tot, 5.0);
+    }
+
+    #[test]
+    fn sys_active_superset_matches_full_read() {
+        let t = topo();
+        let sampler = LdmsSampler::new(SystemLayout::with_io_stride(&t, 8));
+        let mut tel = StepTelemetry::new(t.num_routers());
+        tel.router_mut(0).pt_pkt_tot = 1.0;
+        tel.router_mut(1).rt_flit_tot = 0.3;
+        tel.router_mut(5).rt_rb_stl = 0.1 + 0.2; // not exactly representable
+        let job = [RouterId(1)];
+        // Any ascending superset of the nonzero routers must agree bit for
+        // bit with the dense scan, zero-telemetry extras included.
+        let active = [0u32, 1, 2, 5, 9];
+        assert_eq!(sampler.read_sys_active(&tel, &job, &active), sampler.read_sys(&tel, &job));
+
+        let mut faulty = FaultyLdmsSampler::new(sampler.clone(), FaultPlan::none(), 1);
+        let mut faulty_active = FaultyLdmsSampler::new(sampler, FaultPlan::none(), 1);
+        for step in 0..6 {
+            assert_eq!(
+                faulty_active.read_sys_active(&tel, &job, &active, step),
+                faulty.read_sys(&tel, &job, step)
+            );
+        }
     }
 
     #[test]

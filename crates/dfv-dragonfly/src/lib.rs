@@ -43,8 +43,11 @@ pub mod traffic;
 
 pub use config::DragonflyConfig;
 pub use ids::{ChannelId, GroupId, NodeId, RouterId};
-pub use load::ChannelLoads;
-pub use network::{BackgroundTraffic, CongestionParams, NetworkSim, SimScratch, StepOutcome};
+pub use load::{ChannelLoads, LinkLoadView};
+pub use network::{
+    BackgroundTraffic, CongestionParams, NetworkSim, RoutedContribution, RoutedTraffic, SimScratch,
+    SimSession, StepOutcome,
+};
 pub use placement::{allocate, AllocationPolicy, Placement};
 pub use routing::{Route, RoutingPolicy};
 pub use stats::{load_report, LoadReport};

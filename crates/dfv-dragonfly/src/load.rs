@@ -8,6 +8,32 @@
 use crate::ids::{ChannelId, Idx};
 use crate::topology::Topology;
 
+/// Read-only view of per-channel load state, so routing can score candidate
+/// paths against either a materialized [`ChannelLoads`] or a sparse overlay
+/// (the incremental session's stamped estimate) without copying an array per
+/// step.
+pub trait LinkLoadView {
+    /// Bytes currently queued on `c`.
+    fn load(&self, c: ChannelId) -> f64;
+}
+
+impl LinkLoadView for ChannelLoads {
+    #[inline]
+    fn load(&self, c: ChannelId) -> f64 {
+        self.get(c)
+    }
+}
+
+/// A bare dense per-channel byte array (indexed by channel id) is a load
+/// view too — the incremental session scores candidates straight off its
+/// background-mirror slice without any wrapper indirection.
+impl LinkLoadView for [f64] {
+    #[inline]
+    fn load(&self, c: ChannelId) -> f64 {
+        self[c.index()]
+    }
+}
+
 /// Bytes queued per directed channel.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChannelLoads {
@@ -40,6 +66,27 @@ impl ChannelLoads {
     #[inline]
     pub fn add(&mut self, c: ChannelId, bytes: f64) {
         self.bytes[c.index()] += bytes;
+    }
+
+    /// The single-channel update of [`ChannelLoads::add_scaled`] (same
+    /// expression, same clamp), for sparse splices that touch only the
+    /// channels a contribution actually loads.
+    #[inline]
+    pub fn apply_scaled(&mut self, c: ChannelId, bytes: f64, factor: f64) {
+        let x = &mut self.bytes[c.index()];
+        *x = (*x + factor * bytes).max(0.0);
+    }
+
+    /// Zero a single channel (sparse clear).
+    #[inline]
+    pub fn reset(&mut self, c: ChannelId) {
+        self.bytes[c.index()] = 0.0;
+    }
+
+    /// The dense per-channel values, indexed by channel id.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.bytes
     }
 
     /// Reset every channel to zero without deallocating.

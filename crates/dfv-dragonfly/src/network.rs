@@ -23,14 +23,15 @@
 //! interferes during the step" has the closed-form solution of simply
 //! subtracting the background rate from the channel capacity.
 
-use crate::ids::{Idx, NodeId, RouterId};
+use crate::ids::{ChannelId, Idx, NodeId, RouterId};
 use crate::load::ChannelLoads;
-use crate::routing::{route_flow, Route, RoutingPolicy};
-use crate::telemetry::StepTelemetry;
+use crate::routing::{predraw_flow, route_flow, route_flow_predrawn, Route, RoutingPolicy};
+use crate::telemetry::{StepTelemetry, TileStats};
 use crate::topology::Topology;
 use crate::traffic::Traffic;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Per-node NIC load bookkeeping (ingress = toward the node, egress = from
@@ -418,6 +419,20 @@ impl<'t> NetworkSim<'t> {
         scratch.routed
     }
 
+    /// Like [`Self::route_traffic`], but routes into caller-provided scratch
+    /// buffers (cleared first), leaving the result in `scratch.routed`.
+    /// Avoids the per-call allocation of fresh scratch state when routing
+    /// many traffic patterns in a loop.
+    pub fn route_traffic_into(
+        &self,
+        traffic: &Traffic,
+        base: Option<&ChannelLoads>,
+        seed: u64,
+        scratch: &mut SimScratch,
+    ) {
+        self.route_into(traffic, base, seed, scratch);
+    }
+
     /// Route `traffic` into `scratch` (clearing previous contents), tracking
     /// the job's channel bytes, NIC loads and per-flow paths.
     fn route_into(
@@ -451,11 +466,6 @@ impl<'t> NetworkSim<'t> {
         }
     }
 
-    #[inline]
-    fn effective(&self, nominal: f64, bg_rate: f64, floor_frac: f64) -> f64 {
-        (nominal - bg_rate).max(nominal * floor_frac)
-    }
-
     /// Simulate one communication step of a job under standing `background`
     /// traffic. Fills `scratch` with the routed traffic (for telemetry) and
     /// returns the timing summary.
@@ -467,7 +477,6 @@ impl<'t> NetworkSim<'t> {
         scratch: &mut SimScratch,
     ) -> StepOutcome {
         let t = self.topo;
-        let cfg = t.config();
         self.route_into(job, Some(&background.channel_bytes), seed, scratch);
         // Aggregate processor-tile loads per router: the router's nodes share
         // the row/column buses, so co-located jobs contend here even though
@@ -477,132 +486,29 @@ impl<'t> NetworkSim<'t> {
             router_job.fill(t, &routed.endpoints);
             router_bg.fill(t, &background.endpoints);
         }
-        let (router_job, router_bg) = (&scratch.router_job, &scratch.router_bg);
+        let ctx = FlowEvalCtx {
+            t,
+            params: &self.params,
+            bg: background,
+            routed: &scratch.routed,
+            router_job: &scratch.router_job,
+            router_bg: &scratch.router_bg,
+        };
 
         let mut max_time: f64 = 0.0;
         let mut sum_time = 0.0;
         let mut job_bytes = 0.0;
         let mut job_msgs = 0.0;
         let mut dominant = Bottleneck::None;
-        for (route, &(src, dst, bytes, msgs, sync)) in scratch.paths.iter().zip(&scratch.flow_meta)
-        {
-            let mut bottleneck: f64 = 0.0;
-            let mut kind = Bottleneck::None;
-            let consider = |bottleneck: &mut f64, kind: &mut Bottleneck, v: f64, k: Bottleneck| {
-                if v > *bottleneck {
-                    *bottleneck = v;
-                    *kind = k;
-                }
-            };
-            let mut bg_util: f64 = 0.0;
-            let link_floor = self.params.min_link_frac;
-            let ep_byte = self.params.min_endpoint_byte_frac;
-            let ep_msg = self.params.min_endpoint_msg_frac;
-            for &c in route.hops() {
-                let bw = t.channel_info(c).bandwidth;
-                let bg_bytes = background.channel_bytes.get(c);
-                bg_util = bg_util.max((bg_bytes / bw).min(1.0));
-                let eff = self.effective(bw, bg_bytes, link_floor);
-                consider(
-                    &mut bottleneck,
-                    &mut kind,
-                    scratch.routed.channel_bytes.get(c) / eff,
-                    Bottleneck::Link,
-                );
-            }
-            // NIC byte bandwidth at both endpoints.
-            let out_eff =
-                self.effective(cfg.nic_bandwidth, background.endpoints.egress_bytes(src), ep_byte);
-            let in_eff =
-                self.effective(cfg.nic_bandwidth, background.endpoints.ingress_bytes(dst), ep_byte);
-            consider(
-                &mut bottleneck,
-                &mut kind,
-                scratch.routed.endpoints.egress_bytes(src) / out_eff,
-                Bottleneck::NicBytes,
-            );
-            consider(
-                &mut bottleneck,
-                &mut kind,
-                scratch.routed.endpoints.ingress_bytes(dst) / in_eff,
-                Bottleneck::NicBytes,
-            );
-            // NIC message rate at both endpoints.
-            let out_rate =
-                self.effective(cfg.nic_message_rate, background.endpoints.egress_msgs(src), ep_msg);
-            let in_rate = self.effective(
-                cfg.nic_message_rate,
-                background.endpoints.ingress_msgs(dst),
-                ep_msg,
-            );
-            consider(
-                &mut bottleneck,
-                &mut kind,
-                scratch.routed.endpoints.egress_msgs(src) / out_rate,
-                Bottleneck::NicMsgs,
-            );
-            consider(
-                &mut bottleneck,
-                &mut kind,
-                scratch.routed.endpoints.ingress_msgs(dst) / in_rate,
-                Bottleneck::NicMsgs,
-            );
-            // Shared processor-tile buses at the source and destination
-            // routers: other jobs' nodes on the same router steal capacity.
-            let sr = t.router_of_node(src).index();
-            let dr = t.router_of_node(dst).index();
-            let out_bus = self.effective(cfg.pt_bus_bandwidth, router_bg.out_bytes[sr], ep_byte);
-            let in_bus = self.effective(cfg.pt_bus_bandwidth, router_bg.in_bytes[dr], ep_byte);
-            consider(
-                &mut bottleneck,
-                &mut kind,
-                router_job.out_bytes[sr] / out_bus,
-                Bottleneck::BusBytes,
-            );
-            consider(
-                &mut bottleneck,
-                &mut kind,
-                router_job.in_bytes[dr] / in_bus,
-                Bottleneck::BusBytes,
-            );
-            let out_bus_rate =
-                self.effective(cfg.pt_bus_message_rate, router_bg.out_msgs[sr], ep_msg);
-            let in_bus_rate =
-                self.effective(cfg.pt_bus_message_rate, router_bg.in_msgs[dr], ep_msg);
-            consider(
-                &mut bottleneck,
-                &mut kind,
-                router_job.out_msgs[sr] / out_bus_rate,
-                Bottleneck::BusMsgs,
-            );
-            consider(
-                &mut bottleneck,
-                &mut kind,
-                router_job.in_msgs[dr] / in_bus_rate,
-                Bottleneck::BusMsgs,
-            );
-            // Background pressure at the endpoints also stretches the
-            // serialization chain.
-            bg_util = bg_util
-                .max((router_bg.out_msgs[sr] / cfg.pt_bus_message_rate).min(1.0))
-                .max((router_bg.in_msgs[dr] / cfg.pt_bus_message_rate).min(1.0))
-                .max((router_bg.out_bytes[sr] / cfg.pt_bus_bandwidth).min(1.0))
-                .max((router_bg.in_bytes[dr] / cfg.pt_bus_bandwidth).min(1.0));
-
-            let serialization = self.params.software_overhead_per_msg
-                * msgs
-                * (1.0 + self.params.sync_amplification * sync * bg_util.powi(5));
-            if serialization > bottleneck {
-                kind = Bottleneck::Serialization;
-            }
-            let time = cfg.hop_latency * route.len() as f64 + serialization + bottleneck;
+        for (route, meta) in scratch.paths.iter().zip(&scratch.flow_meta) {
+            let (time, kind) = flow_time(&ctx, route, meta);
             if time > max_time {
                 max_time = time;
                 dominant = kind;
             }
             sum_time += time;
-            job_bytes += bytes;
-            job_msgs += msgs;
+            job_bytes += meta.2;
+            job_msgs += meta.3;
         }
         let n = scratch.paths.len().max(1) as f64;
         StepOutcome {
@@ -644,7 +550,7 @@ impl<'t> NetworkSim<'t> {
             let info = t.channel_info(c);
             let flits = bytes / cfg.flit_bytes;
             let util = (bytes / (info.bandwidth * window)).min(1.0);
-            let stall = flits * p.stall_cycles_per_flit * util.powf(p.stall_exponent);
+            let stall = flits * p.stall_cycles_per_flit * stall_util_pow(util, p.stall_exponent);
             let rec = telemetry.router_mut(info.dst.index());
             rec.rt_flit_tot += flits;
             rec.rt_pkt_tot += bytes / cfg.packet_bytes;
@@ -686,19 +592,728 @@ impl<'t> NetworkSim<'t> {
             let u_in_bw = in_bytes / (cfg.pt_bus_bandwidth * window);
             let u_in_msg = in_msgs / (cfg.pt_bus_message_rate * window);
             let u_rq = (u_in_bw.max(u_in_msg)).min(1.0);
-            let stl_rq = vc0 * p.stall_cycles_per_flit * u_rq.powf(p.stall_exponent);
+            let stl_rq = vc0 * p.stall_cycles_per_flit * stall_util_pow(u_rq, p.stall_exponent);
             rec.pt_rb_stl_rq += stl_rq;
 
             let u_out_bw = out_bytes / (cfg.pt_bus_bandwidth * window);
             let u_out_msg = out_msgs / (cfg.pt_bus_message_rate * window);
             let u_rs = (u_out_bw.max(u_out_msg)).min(1.0);
-            let stl_rs = (vc4 + 1.0) * p.stall_cycles_per_flit * u_rs.powf(p.stall_exponent);
+            let stl_rs =
+                (vc4 + 1.0) * p.stall_cycles_per_flit * stall_util_pow(u_rs, p.stall_exponent);
             rec.pt_rb_stl_rs += stl_rs;
 
             rec.pt_rb_2x_usg += 0.5 * (stl_rq * u_rq + stl_rs * u_rs);
             rec.pt_cb_stl_rq += stl_rq * u_rq * 0.6;
             rec.pt_cb_stl_rs += stl_rs * u_rs * 0.6;
         }
+    }
+}
+
+/// Residual capacity a job sees on a resource of `nominal` capacity under a
+/// standing background rate, floored at `floor_frac` of nominal.
+#[inline]
+fn effective(nominal: f64, bg_rate: f64, floor_frac: f64) -> f64 {
+    (nominal - bg_rate).max(nominal * floor_frac)
+}
+
+/// `util^exponent` for the stall model. Saturated resources clamp `util`
+/// to exactly 1.0 (the `.min(1.0)` upstream), and `pow(1, y) == 1` is an
+/// exact IEEE special case, so the (frequent, under congestion) saturated
+/// branch skips the libm call without changing a single bit. Unsaturated
+/// utilizations take the same `powf` the model always used.
+#[inline]
+fn stall_util_pow(util: f64, exponent: f64) -> f64 {
+    if util == 1.0 {
+        1.0
+    } else {
+        util.powf(exponent)
+    }
+}
+
+/// Everything the per-flow completion-time evaluation reads. All borrows are
+/// shared, so flows can be evaluated in parallel once routing has fixed the
+/// paths and the per-router aggregates are in place.
+struct FlowEvalCtx<'a> {
+    t: &'a Topology,
+    params: &'a CongestionParams,
+    bg: &'a BackgroundTraffic,
+    routed: &'a RoutedTraffic,
+    router_job: &'a RouterAgg,
+    router_bg: &'a RouterAgg,
+}
+
+/// Completion time and limiting resource of one routed flow. This is the
+/// per-flow body of the sequential [`NetworkSim::simulate_step`] loop; the
+/// naive path and the incremental [`SimSession`] both call it, so their
+/// outputs agree bit-for-bit by construction.
+fn flow_time(
+    ctx: &FlowEvalCtx<'_>,
+    route: &Route,
+    meta: &(NodeId, NodeId, f64, f64, f64),
+) -> (f64, Bottleneck) {
+    let &(src, dst, _bytes, msgs, sync) = meta;
+    let t = ctx.t;
+    let cfg = t.config();
+    let mut bottleneck: f64 = 0.0;
+    let mut kind = Bottleneck::None;
+    let consider = |bottleneck: &mut f64, kind: &mut Bottleneck, v: f64, k: Bottleneck| {
+        if v > *bottleneck {
+            *bottleneck = v;
+            *kind = k;
+        }
+    };
+    let mut bg_util: f64 = 0.0;
+    let link_floor = ctx.params.min_link_frac;
+    let ep_byte = ctx.params.min_endpoint_byte_frac;
+    let ep_msg = ctx.params.min_endpoint_msg_frac;
+    for &c in route.hops() {
+        let bw = t.channel_info(c).bandwidth;
+        let bg_bytes = ctx.bg.channel_bytes.get(c);
+        bg_util = bg_util.max((bg_bytes / bw).min(1.0));
+        let eff = effective(bw, bg_bytes, link_floor);
+        consider(
+            &mut bottleneck,
+            &mut kind,
+            ctx.routed.channel_bytes.get(c) / eff,
+            Bottleneck::Link,
+        );
+    }
+    // NIC byte bandwidth at both endpoints.
+    let out_eff = effective(cfg.nic_bandwidth, ctx.bg.endpoints.egress_bytes(src), ep_byte);
+    let in_eff = effective(cfg.nic_bandwidth, ctx.bg.endpoints.ingress_bytes(dst), ep_byte);
+    consider(
+        &mut bottleneck,
+        &mut kind,
+        ctx.routed.endpoints.egress_bytes(src) / out_eff,
+        Bottleneck::NicBytes,
+    );
+    consider(
+        &mut bottleneck,
+        &mut kind,
+        ctx.routed.endpoints.ingress_bytes(dst) / in_eff,
+        Bottleneck::NicBytes,
+    );
+    // NIC message rate at both endpoints.
+    let out_rate = effective(cfg.nic_message_rate, ctx.bg.endpoints.egress_msgs(src), ep_msg);
+    let in_rate = effective(cfg.nic_message_rate, ctx.bg.endpoints.ingress_msgs(dst), ep_msg);
+    consider(
+        &mut bottleneck,
+        &mut kind,
+        ctx.routed.endpoints.egress_msgs(src) / out_rate,
+        Bottleneck::NicMsgs,
+    );
+    consider(
+        &mut bottleneck,
+        &mut kind,
+        ctx.routed.endpoints.ingress_msgs(dst) / in_rate,
+        Bottleneck::NicMsgs,
+    );
+    // Shared processor-tile buses at the source and destination routers:
+    // other jobs' nodes on the same router steal capacity.
+    let sr = t.router_of_node(src).index();
+    let dr = t.router_of_node(dst).index();
+    let out_bus = effective(cfg.pt_bus_bandwidth, ctx.router_bg.out_bytes[sr], ep_byte);
+    let in_bus = effective(cfg.pt_bus_bandwidth, ctx.router_bg.in_bytes[dr], ep_byte);
+    consider(
+        &mut bottleneck,
+        &mut kind,
+        ctx.router_job.out_bytes[sr] / out_bus,
+        Bottleneck::BusBytes,
+    );
+    consider(
+        &mut bottleneck,
+        &mut kind,
+        ctx.router_job.in_bytes[dr] / in_bus,
+        Bottleneck::BusBytes,
+    );
+    let out_bus_rate = effective(cfg.pt_bus_message_rate, ctx.router_bg.out_msgs[sr], ep_msg);
+    let in_bus_rate = effective(cfg.pt_bus_message_rate, ctx.router_bg.in_msgs[dr], ep_msg);
+    consider(
+        &mut bottleneck,
+        &mut kind,
+        ctx.router_job.out_msgs[sr] / out_bus_rate,
+        Bottleneck::BusMsgs,
+    );
+    consider(
+        &mut bottleneck,
+        &mut kind,
+        ctx.router_job.in_msgs[dr] / in_bus_rate,
+        Bottleneck::BusMsgs,
+    );
+    // Background pressure at the endpoints also stretches the serialization
+    // chain.
+    bg_util = bg_util
+        .max((ctx.router_bg.out_msgs[sr] / cfg.pt_bus_message_rate).min(1.0))
+        .max((ctx.router_bg.in_msgs[dr] / cfg.pt_bus_message_rate).min(1.0))
+        .max((ctx.router_bg.out_bytes[sr] / cfg.pt_bus_bandwidth).min(1.0))
+        .max((ctx.router_bg.in_bytes[dr] / cfg.pt_bus_bandwidth).min(1.0));
+
+    let serialization = ctx.params.software_overhead_per_msg
+        * msgs
+        * (1.0 + ctx.params.sync_amplification * sync * bg_util.powi(5));
+    if serialization > bottleneck {
+        kind = Bottleneck::Serialization;
+    }
+    let time = cfg.hop_latency * route.len() as f64 + serialization + bottleneck;
+    (time, kind)
+}
+
+/// A routed job contribution stored sparsely: only the channels and nodes the
+/// job actually loads. A full-machine [`RoutedTraffic`] on a paper-scale
+/// topology is ~1 MB of mostly-zero arrays; a single job touches a few
+/// hundred entries, so campaigns cache contributions in this form.
+///
+/// Node entries hold `[ingress_bytes, egress_bytes, ingress_msgs,
+/// egress_msgs]`, the same field order [`EndpointLoads`] updates in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedContribution {
+    channels: Vec<(u32, f64)>,
+    nodes: Vec<(u32, [f64; 4])>,
+}
+
+impl RoutedContribution {
+    /// Compress a dense routed traffic, keeping only nonzero entries. Both
+    /// lists come out in ascending index order.
+    pub fn from_dense(dense: &RoutedTraffic) -> Self {
+        let channels =
+            dense.channel_bytes.iter_nonzero().map(|(c, b)| (c.index() as u32, b)).collect();
+        let e = &dense.endpoints;
+        let mut nodes = Vec::new();
+        for i in 0..e.num_nodes() {
+            let vals = [e.ingress_bytes[i], e.egress_bytes[i], e.ingress_msgs[i], e.egress_msgs[i]];
+            if vals.iter().any(|&v| v != 0.0) {
+                nodes.push((i as u32, vals));
+            }
+        }
+        RoutedContribution { channels, nodes }
+    }
+
+    /// Number of loaded channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Number of loaded nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Apply `factor * self` into `dense`, entry by entry, with the exact
+    /// update of [`RoutedTraffic::add_scaled`]. Entries absent here are exact
+    /// zeros, for which the dense update `(x + factor * 0).max(0)` is the
+    /// identity (dense values are never negative), so this is bit-identical
+    /// to densifying first.
+    pub fn add_to(&self, dense: &mut RoutedTraffic, factor: f64) {
+        for &(c, v) in &self.channels {
+            dense.channel_bytes.apply_scaled(ChannelId::from_index(c as usize), v, factor);
+        }
+        let e = &mut dense.endpoints;
+        for &(n, vals) in &self.nodes {
+            let i = n as usize;
+            e.ingress_bytes[i] = (e.ingress_bytes[i] + factor * vals[0]).max(0.0);
+            e.egress_bytes[i] = (e.egress_bytes[i] + factor * vals[1]).max(0.0);
+            e.ingress_msgs[i] = (e.ingress_msgs[i] + factor * vals[2]).max(0.0);
+            e.egress_msgs[i] = (e.egress_msgs[i] + factor * vals[3]).max(0.0);
+        }
+    }
+}
+
+/// Visit the ascending union of two ascending index lists.
+fn for_union(a: &[u32], b: &[u32], mut f: impl FnMut(usize)) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        if x < y {
+            f(x as usize);
+            i += 1;
+        } else if y < x {
+            f(y as usize);
+            j += 1;
+        } else {
+            f(x as usize);
+            i += 1;
+            j += 1;
+        }
+    }
+    while i < a.len() {
+        f(a[i] as usize);
+        i += 1;
+    }
+    while j < b.len() {
+        f(b[j] as usize);
+        j += 1;
+    }
+}
+
+/// Incremental, cache-aware step simulator.
+///
+/// `SimSession` produces bit-identical results to the naive
+/// [`NetworkSim::simulate_step`] / [`NetworkSim::fill_telemetry`] pair while
+/// doing work proportional to what actually changed:
+///
+/// - **Sparse state.** The dense per-channel / per-node / per-router arrays
+///   are kept alive across steps and cleared sparsely through occupancy
+///   lists, so an idle paper-scale machine costs nothing per step.
+/// - **Incremental background.** Job contributions are spliced in and out
+///   with [`SimSession::splice_background`]; the per-router background
+///   aggregate is recomputed lazily, only when the background epoch moved.
+/// - **Deterministic parallelism.** Random routing decisions are pre-drawn
+///   sequentially (bit-identical RNG stream), routing stays sequential
+///   (est-load feedback is order-dependent), and per-flow completion times
+///   are evaluated in parallel into a flow-indexed vector that is reduced
+///   sequentially in flow order.
+///
+/// The determinism contract is pinned by `tests/session_equivalence.rs`.
+#[derive(Debug, Clone)]
+pub struct SimSession<'t> {
+    sim: NetworkSim<'t>,
+    // Standing background rates, dense, with sparse occupancy lists.
+    bg: BackgroundTraffic,
+    bg_channels: Vec<u32>,
+    bg_chan_in: Vec<bool>,
+    bg_nodes: Vec<u32>,
+    bg_node_in: Vec<bool>,
+    bg_sorted: bool,
+    epoch: u64,
+    router_bg: RouterAgg,
+    bg_routers: Vec<u32>,
+    agg_epoch: u64,
+    resolves: u64,
+    // The current step's job state.
+    routed: RoutedTraffic,
+    job_channels: Vec<u32>,
+    job_chan_in: Vec<bool>,
+    job_nodes: Vec<u32>,
+    job_node_in: Vec<bool>,
+    job_routers: Vec<u32>,
+    router_job: RouterAgg,
+    paths: Vec<Route>,
+    flow_meta: Vec<(NodeId, NodeId, f64, f64, f64)>,
+    // Routing-estimate mirror: always equal to `bg.channel_bytes` except on
+    // channels the current step's earlier flows touched, where it carries
+    // their accumulating estimate. Kept in sync sparsely (splices copy their
+    // touched channels, each step restores its predecessor's), so candidate
+    // scoring is a single dense-array read per hop — no per-call clone of
+    // the background and no stamp indirection.
+    est_vals: Vec<f64>,
+    // Pre-drawn routing decisions, one span per flow.
+    draws: Vec<u32>,
+    draw_spans: Vec<(u32, u32)>,
+    // Telemetry with sparse clearing.
+    telemetry: StepTelemetry,
+    tel_routers: Vec<u32>,
+    tel_in: Vec<bool>,
+}
+
+impl<'t> SimSession<'t> {
+    /// A fresh session (idle background) for a simulator.
+    pub fn new(sim: &NetworkSim<'t>) -> Self {
+        let t = sim.topo;
+        let nc = t.num_channels();
+        let nn = t.num_nodes();
+        let nr = t.num_routers();
+        SimSession {
+            sim: sim.clone(),
+            bg: BackgroundTraffic::zero(t),
+            bg_channels: Vec::new(),
+            bg_chan_in: vec![false; nc],
+            bg_nodes: Vec::new(),
+            bg_node_in: vec![false; nn],
+            bg_sorted: true,
+            epoch: 0,
+            router_bg: RouterAgg::new(nr),
+            bg_routers: Vec::new(),
+            agg_epoch: u64::MAX,
+            resolves: 0,
+            routed: RoutedTraffic::zero(t),
+            job_channels: Vec::new(),
+            job_chan_in: vec![false; nc],
+            job_nodes: Vec::new(),
+            job_node_in: vec![false; nn],
+            job_routers: Vec::new(),
+            router_job: RouterAgg::new(nr),
+            paths: Vec::new(),
+            flow_meta: Vec::new(),
+            est_vals: vec![0.0; nc],
+            draws: Vec::new(),
+            draw_spans: Vec::new(),
+            telemetry: StepTelemetry::new(nr),
+            tel_routers: Vec::new(),
+            tel_in: vec![false; nr],
+        }
+    }
+
+    /// The simulator this session wraps.
+    pub fn sim(&self) -> &NetworkSim<'t> {
+        &self.sim
+    }
+
+    /// The standing background rates accumulated by splices.
+    pub fn background(&self) -> &BackgroundTraffic {
+        &self.bg
+    }
+
+    /// The job traffic routed by the last [`Self::step`].
+    pub fn routed(&self) -> &RoutedTraffic {
+        &self.routed
+    }
+
+    /// Telemetry filled by the last [`Self::fill_telemetry`].
+    pub fn telemetry(&self) -> &StepTelemetry {
+        &self.telemetry
+    }
+
+    /// Ascending router indices holding any nonzero record of the last
+    /// [`Self::fill_telemetry`] — a superset suitable for sparse
+    /// machine-wide aggregation.
+    pub fn telemetry_routers(&self) -> &[u32] {
+        &self.tel_routers
+    }
+
+    /// Number of background router-aggregate resolves since the last call,
+    /// resetting the count. This is the incremental path's work counter: one
+    /// resolve per background epoch actually observed by a step.
+    pub fn take_resolves(&mut self) -> u64 {
+        std::mem::take(&mut self.resolves)
+    }
+
+    /// Remove all background traffic, sparsely.
+    pub fn reset_background(&mut self) {
+        for &c in &self.bg_channels {
+            self.bg.channel_bytes.reset(ChannelId::from_index(c as usize));
+            self.est_vals[c as usize] = 0.0;
+            self.bg_chan_in[c as usize] = false;
+        }
+        self.bg_channels.clear();
+        {
+            let e = &mut self.bg.endpoints;
+            for &n in &self.bg_nodes {
+                let i = n as usize;
+                e.ingress_bytes[i] = 0.0;
+                e.egress_bytes[i] = 0.0;
+                e.ingress_msgs[i] = 0.0;
+                e.egress_msgs[i] = 0.0;
+                self.bg_node_in[i] = false;
+            }
+        }
+        self.bg_nodes.clear();
+        self.bg_sorted = true;
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    /// Apply `factor * contrib` to the standing background (negative factors
+    /// retire a job), bit-identical to the dense
+    /// [`RoutedTraffic::add_scaled`], and advance the background epoch.
+    pub fn splice_background(&mut self, contrib: &RoutedContribution, factor: f64) {
+        contrib.add_to(&mut self.bg, factor);
+        for &(c, _) in &contrib.channels {
+            self.est_vals[c as usize] = self.bg.channel_bytes.as_slice()[c as usize];
+            if !self.bg_chan_in[c as usize] {
+                self.bg_chan_in[c as usize] = true;
+                self.bg_channels.push(c);
+                self.bg_sorted = false;
+            }
+        }
+        for &(n, _) in &contrib.nodes {
+            if !self.bg_node_in[n as usize] {
+                self.bg_node_in[n as usize] = true;
+                self.bg_nodes.push(n);
+                self.bg_sorted = false;
+            }
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+    }
+
+    /// Recompute the per-router background aggregate from the touched node
+    /// set, ascending (the naive `RouterAgg::fill` order: untouched nodes
+    /// contribute exact zeros there, so skipping them is the identity).
+    fn resolve_background_agg(&mut self) {
+        if !self.bg_sorted {
+            self.bg_channels.sort_unstable();
+            self.bg_nodes.sort_unstable();
+            self.bg_sorted = true;
+        }
+        for &r in &self.bg_routers {
+            let i = r as usize;
+            self.router_bg.in_bytes[i] = 0.0;
+            self.router_bg.out_bytes[i] = 0.0;
+            self.router_bg.in_msgs[i] = 0.0;
+            self.router_bg.out_msgs[i] = 0.0;
+        }
+        self.bg_routers.clear();
+        let t = self.sim.topo;
+        for &n in &self.bg_nodes {
+            let node = NodeId::from_index(n as usize);
+            let r = t.router_of_node(node).index();
+            if self.bg_routers.last() != Some(&(r as u32)) {
+                self.bg_routers.push(r as u32);
+            }
+            self.router_bg.in_bytes[r] += self.bg.endpoints.ingress_bytes(node);
+            self.router_bg.out_bytes[r] += self.bg.endpoints.egress_bytes(node);
+            self.router_bg.in_msgs[r] += self.bg.endpoints.ingress_msgs(node);
+            self.router_bg.out_msgs[r] += self.bg.endpoints.egress_msgs(node);
+        }
+    }
+
+    /// Simulate one communication step of `job` under the session's standing
+    /// background. Bit-identical to [`NetworkSim::simulate_step`] with the
+    /// same seed and an equal dense background.
+    pub fn step(&mut self, job: &Traffic, seed: u64) -> StepOutcome {
+        let t = self.sim.topo;
+        // Clear the previous step's job state, touching only what it touched,
+        // and restore the routing-estimate mirror to the background values on
+        // those channels (splices since the last step synced their own).
+        for &c in &self.job_channels {
+            let ci = c as usize;
+            self.routed.channel_bytes.reset(ChannelId::from_index(ci));
+            self.est_vals[ci] = self.bg.channel_bytes.as_slice()[ci];
+            self.job_chan_in[ci] = false;
+        }
+        self.job_channels.clear();
+        {
+            let e = &mut self.routed.endpoints;
+            for &n in &self.job_nodes {
+                let i = n as usize;
+                e.ingress_bytes[i] = 0.0;
+                e.egress_bytes[i] = 0.0;
+                e.ingress_msgs[i] = 0.0;
+                e.egress_msgs[i] = 0.0;
+                self.job_node_in[i] = false;
+            }
+        }
+        self.job_nodes.clear();
+        for &r in &self.job_routers {
+            let i = r as usize;
+            self.router_job.in_bytes[i] = 0.0;
+            self.router_job.out_bytes[i] = 0.0;
+            self.router_job.in_msgs[i] = 0.0;
+            self.router_job.out_msgs[i] = 0.0;
+        }
+        self.job_routers.clear();
+        self.paths.clear();
+        self.flow_meta.clear();
+        self.draws.clear();
+        self.draw_spans.clear();
+
+        // Phase 1: pre-draw every random routing decision sequentially, so
+        // the RNG stream is bit-identical to the inline sequential path.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for f in &job.flows {
+            let start = self.draws.len() as u32;
+            if t.router_of_node(f.src) != t.router_of_node(f.dst) {
+                predraw_flow(t, self.sim.policy, &mut rng, &mut self.draws);
+            }
+            self.draw_spans.push((start, self.draws.len() as u32));
+        }
+
+        // Phase 2: sequential routing. Order matters: each adaptive decision
+        // observes the est-load feedback of all earlier flows (the mirror
+        // carries background + earlier-flow estimates, in the naive path's
+        // exact accumulation order).
+        for (fi, f) in job.flows.iter().enumerate() {
+            let src_r = t.router_of_node(f.src);
+            let dst_r = t.router_of_node(f.dst);
+            let (a, b) = self.draw_spans[fi];
+            let route = route_flow_predrawn(
+                t,
+                src_r,
+                dst_r,
+                f.bytes,
+                self.sim.policy,
+                self.est_vals.as_slice(),
+                &self.draws[a as usize..b as usize],
+            );
+            for &c in route.hops() {
+                let ci = c.index();
+                self.est_vals[ci] += f.bytes;
+                self.routed.channel_bytes.add(c, f.bytes);
+                if !self.job_chan_in[ci] {
+                    self.job_chan_in[ci] = true;
+                    self.job_channels.push(ci as u32);
+                }
+            }
+            self.routed.endpoints.add_flow(f.src, f.dst, f.bytes, f.messages);
+            for n in [f.src, f.dst] {
+                let ni = n.index();
+                if !self.job_node_in[ni] {
+                    self.job_node_in[ni] = true;
+                    self.job_nodes.push(ni as u32);
+                }
+            }
+            self.paths.push(route);
+            self.flow_meta.push((f.src, f.dst, f.bytes, f.messages, f.sync));
+        }
+
+        // Phase 3: background router aggregate, recomputed only when the
+        // background actually changed since the last resolve.
+        if self.agg_epoch != self.epoch {
+            self.resolve_background_agg();
+            self.agg_epoch = self.epoch;
+            self.resolves += 1;
+        }
+
+        // Phase 4: job router aggregate from the touched node set, ascending
+        // (the naive fill order).
+        self.job_nodes.sort_unstable();
+        self.job_channels.sort_unstable();
+        for &n in &self.job_nodes {
+            let node = NodeId::from_index(n as usize);
+            let r = t.router_of_node(node).index();
+            if self.job_routers.last() != Some(&(r as u32)) {
+                self.job_routers.push(r as u32);
+            }
+            self.router_job.in_bytes[r] += self.routed.endpoints.ingress_bytes(node);
+            self.router_job.out_bytes[r] += self.routed.endpoints.egress_bytes(node);
+            self.router_job.in_msgs[r] += self.routed.endpoints.ingress_msgs(node);
+            self.router_job.out_msgs[r] += self.routed.endpoints.egress_msgs(node);
+        }
+
+        // Phase 5: evaluate flow completion times in parallel. Results land
+        // in a flow-indexed vector, so parallelism cannot reorder anything.
+        let ctx = FlowEvalCtx {
+            t,
+            params: &self.sim.params,
+            bg: &self.bg,
+            routed: &self.routed,
+            router_job: &self.router_job,
+            router_bg: &self.router_bg,
+        };
+        let flow_meta = &self.flow_meta;
+        let times: Vec<(f64, Bottleneck)> = self
+            .paths
+            .par_iter()
+            .enumerate()
+            .map(|(i, route)| flow_time(&ctx, route, &flow_meta[i]))
+            .collect();
+
+        // Phase 6: sequential reduction in flow order — the naive loop
+        // bit-for-bit.
+        let mut max_time: f64 = 0.0;
+        let mut sum_time = 0.0;
+        let mut job_bytes = 0.0;
+        let mut job_msgs = 0.0;
+        let mut dominant = Bottleneck::None;
+        for (&(time, kind), meta) in times.iter().zip(&self.flow_meta) {
+            if time > max_time {
+                max_time = time;
+                dominant = kind;
+            }
+            sum_time += time;
+            job_bytes += meta.2;
+            job_msgs += meta.3;
+        }
+        let n = self.paths.len().max(1) as f64;
+        StepOutcome {
+            comm_time: max_time,
+            mean_flow_time: sum_time / n,
+            job_bytes,
+            job_messages: job_msgs,
+            bottleneck: dominant,
+        }
+    }
+
+    /// Fill machine-wide telemetry for a `window`-second step, bit-identical
+    /// to [`NetworkSim::fill_telemetry`] over the last [`Self::step`]'s
+    /// routed traffic and the session background, but visiting only the union
+    /// of loaded channels and routers: everything else carries exactly zero
+    /// bytes, which the naive loops skip too.
+    pub fn fill_telemetry(&mut self, window: f64) {
+        if !self.bg_sorted {
+            self.bg_channels.sort_unstable();
+            self.bg_nodes.sort_unstable();
+            self.bg_sorted = true;
+        }
+        let t = self.sim.topo;
+        let cfg = t.config();
+        let p = self.sim.params;
+        for &r in &self.tel_routers {
+            *self.telemetry.router_mut(r as usize) = TileStats::default();
+            self.tel_in[r as usize] = false;
+        }
+        self.tel_routers.clear();
+        let window = window.max(1e-9);
+
+        let routed = &self.routed;
+        let bg = &self.bg;
+        let telemetry = &mut self.telemetry;
+        let tel_routers = &mut self.tel_routers;
+        let tel_in = &mut self.tel_in;
+
+        // Router (network) tiles: one record per loaded directed channel,
+        // credited to the receiving router.
+        for_union(&self.job_channels, &self.bg_channels, |ci| {
+            let c = ChannelId::from_index(ci);
+            let job = routed.channel_bytes.get(c);
+            let bgv = bg.channel_bytes.get(c) * window;
+            let bytes = job + bgv;
+            if bytes <= 0.0 {
+                return;
+            }
+            let info = t.channel_info(c);
+            let flits = bytes / cfg.flit_bytes;
+            let util = (bytes / (info.bandwidth * window)).min(1.0);
+            let stall = flits * p.stall_cycles_per_flit * stall_util_pow(util, p.stall_exponent);
+            let ri = info.dst.index();
+            let rec = telemetry.router_mut(ri);
+            rec.rt_flit_tot += flits;
+            rec.rt_pkt_tot += bytes / cfg.packet_bytes;
+            rec.rt_rb_stl += stall;
+            rec.rt_rb_2x_usg += 0.5 * stall * util;
+            if !tel_in[ri] {
+                tel_in[ri] = true;
+                tel_routers.push(ri as u32);
+            }
+        });
+
+        // Processor tiles: per loaded router, aggregating the router's nodes
+        // in ascending order exactly as the naive loop does.
+        for_union(&self.job_routers, &self.bg_routers, |ri| {
+            let r = RouterId::from_index(ri);
+            let mut in_bytes = 0.0;
+            let mut out_bytes = 0.0;
+            let mut in_msgs = 0.0;
+            let mut out_msgs = 0.0;
+            for n in t.nodes_of_router(r) {
+                in_bytes +=
+                    routed.endpoints.ingress_bytes(n) + bg.endpoints.ingress_bytes(n) * window;
+                out_bytes +=
+                    routed.endpoints.egress_bytes(n) + bg.endpoints.egress_bytes(n) * window;
+                in_msgs += routed.endpoints.ingress_msgs(n) + bg.endpoints.ingress_msgs(n) * window;
+                out_msgs += routed.endpoints.egress_msgs(n) + bg.endpoints.egress_msgs(n) * window;
+            }
+            if in_bytes <= 0.0 && out_bytes <= 0.0 {
+                return;
+            }
+            let rec = telemetry.router_mut(ri);
+
+            let vc0 = in_bytes / cfg.flit_bytes;
+            let vc4 = p.response_ratio * out_bytes / cfg.flit_bytes;
+            rec.pt_flit_vc0 += vc0;
+            rec.pt_flit_vc4 += vc4;
+            rec.pt_pkt_tot += in_bytes / cfg.packet_bytes;
+
+            let u_in_bw = in_bytes / (cfg.pt_bus_bandwidth * window);
+            let u_in_msg = in_msgs / (cfg.pt_bus_message_rate * window);
+            let u_rq = (u_in_bw.max(u_in_msg)).min(1.0);
+            let stl_rq = vc0 * p.stall_cycles_per_flit * stall_util_pow(u_rq, p.stall_exponent);
+            rec.pt_rb_stl_rq += stl_rq;
+
+            let u_out_bw = out_bytes / (cfg.pt_bus_bandwidth * window);
+            let u_out_msg = out_msgs / (cfg.pt_bus_message_rate * window);
+            let u_rs = (u_out_bw.max(u_out_msg)).min(1.0);
+            let stl_rs =
+                (vc4 + 1.0) * p.stall_cycles_per_flit * stall_util_pow(u_rs, p.stall_exponent);
+            rec.pt_rb_stl_rs += stl_rs;
+
+            rec.pt_rb_2x_usg += 0.5 * (stl_rq * u_rq + stl_rs * u_rs);
+            rec.pt_cb_stl_rq += stl_rq * u_rq * 0.6;
+            rec.pt_cb_stl_rs += stl_rs * u_rs * 0.6;
+            if !tel_in[ri] {
+                tel_in[ri] = true;
+                tel_routers.push(ri as u32);
+            }
+        });
+        self.tel_routers.sort_unstable();
     }
 }
 
@@ -890,6 +1505,58 @@ mod tests {
         let slow = sim.simulate_step(&job, &bg_same, 1, &mut scratch).comm_time;
         let fast = sim.simulate_step(&job, &bg_other, 1, &mut scratch).comm_time;
         assert!(slow > fast, "same-router bg ({slow}) must beat other-router bg ({fast})");
+    }
+
+    #[test]
+    fn session_matches_naive_step_and_telemetry() {
+        let (t, _) = setup();
+        let sim = NetworkSim::new(&t);
+        // Background assembled both densely (for the naive path) and via
+        // sparse contribution splices (for the session).
+        let bg_traffic = pair_traffic(&t, 5e6, 20.0);
+        let routed_bg = sim.route_traffic(&bg_traffic, None, 7);
+        let contrib = RoutedContribution::from_dense(&routed_bg);
+        let mut bg = BackgroundTraffic::zero(&t);
+        bg.add_scaled(&routed_bg, 1.5);
+        bg.add_scaled(&routed_bg, -1.0);
+
+        let mut session = SimSession::new(&sim);
+        session.splice_background(&contrib, 1.5);
+        session.splice_background(&contrib, -1.0);
+
+        let job = pair_traffic(&t, 1e7, 50.0);
+        let mut scratch = SimScratch::new(&t);
+        let mut tel_naive = StepTelemetry::new(t.num_routers());
+        for seed in [1u64, 2, 3] {
+            let naive = sim.simulate_step(&job, &bg, seed, &mut scratch);
+            let fast = session.step(&job, seed);
+            assert_eq!(naive, fast);
+            assert_eq!(scratch.routed, session.routed);
+            let window = naive.comm_time.max(1e-9);
+            sim.fill_telemetry(&scratch, &bg, window, &mut tel_naive);
+            session.fill_telemetry(window);
+            assert_eq!(&tel_naive, session.telemetry());
+        }
+        // Background never changed between steps: exactly one resolve.
+        assert_eq!(session.take_resolves(), 1);
+    }
+
+    #[test]
+    fn contribution_splice_matches_dense_add_scaled() {
+        let (t, _) = setup();
+        let sim = NetworkSim::new(&t);
+        let routed = sim.route_traffic(&pair_traffic(&t, 3e6, 12.0), None, 9);
+        let contrib = RoutedContribution::from_dense(&routed);
+        assert!(contrib.num_channels() > 0 && contrib.num_nodes() > 0);
+
+        let mut dense = BackgroundTraffic::zero(&t);
+        dense.add_scaled(&routed, 2.0);
+        dense.add_scaled(&routed, -0.5);
+
+        let mut sparse = BackgroundTraffic::zero(&t);
+        contrib.add_to(&mut sparse, 2.0);
+        contrib.add_to(&mut sparse, -0.5);
+        assert_eq!(dense, sparse);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! with non-minimal candidates paying their extra hops.
 
 use crate::ids::{ChannelId, GroupId, Idx, RouterId};
-use crate::load::ChannelLoads;
+use crate::load::LinkLoadView;
 use crate::topology::Topology;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -60,9 +60,11 @@ impl Route {
 
     /// Concatenate another route after this one.
     pub fn extend(&mut self, other: &Route) {
-        for &h in other.hops() {
-            self.push(h);
-        }
+        let n = other.len as usize;
+        let at = self.len as usize;
+        assert!(at + n <= MAX_HOPS, "route overflow");
+        self.hops[at..at + n].copy_from_slice(&other.hops[..n]);
+        self.len += other.len;
     }
 }
 
@@ -99,33 +101,10 @@ impl Default for RoutingPolicy {
     }
 }
 
-/// Minimal intra-group route between two routers of the same group.
+/// Minimal intra-group route between two routers of the same group. Served
+/// from the topology's precomputed route table.
 pub fn intra_group_route(t: &Topology, src: RouterId, dst: RouterId, order: IntraOrder) -> Route {
-    let mut route = Route::empty();
-    if src == dst {
-        return route;
-    }
-    let a = t.coords(src);
-    let b = t.coords(dst);
-    debug_assert_eq!(a.group, b.group, "intra_group_route across groups");
-    let g = a.group;
-    if a.row == b.row {
-        route.push(t.green_channel(g, a.row, a.col, b.col));
-    } else if a.col == b.col {
-        route.push(t.black_channel(g, a.col, a.row, b.row));
-    } else {
-        match order {
-            IntraOrder::GreenFirst => {
-                route.push(t.green_channel(g, a.row, a.col, b.col));
-                route.push(t.black_channel(g, b.col, a.row, b.row));
-            }
-            IntraOrder::BlackFirst => {
-                route.push(t.black_channel(g, a.col, a.row, b.row));
-                route.push(t.green_channel(g, b.row, a.col, b.col));
-            }
-        }
-    }
-    route
+    t.intra_route(src, dst, order)
 }
 
 /// Minimal route between any two routers. For inter-group pairs,
@@ -185,21 +164,51 @@ pub fn valiant_route(
 /// Estimated cost of pushing `bytes` more bytes down `route` given current
 /// queue state: the sum over hops of (queued + bytes) / bandwidth, i.e. the
 /// back pressure an adaptive Aries router observes, plus per-hop latency.
-pub fn route_cost(t: &Topology, route: &Route, loads: &ChannelLoads, bytes: f64) -> f64 {
+pub fn route_cost<L: LinkLoadView + ?Sized>(
+    t: &Topology,
+    route: &Route,
+    loads: &L,
+    bytes: f64,
+) -> f64 {
+    route_cost_bounded(t, route, loads, bytes, f64::INFINITY)
+}
+
+/// [`route_cost`] with an early exit: stops summing once the partial cost
+/// reaches `bound`. Every per-hop term is strictly positive and float
+/// addition of non-negative terms is monotone, so a partial sum at or above
+/// `bound` proves the full sum would be too — and candidates are only ever
+/// accepted on a strict `< bound` comparison, so the exact value returned
+/// for a rejected candidate is irrelevant. A winning candidate never exits
+/// early, so its cost is the full left-to-right sum, bit-identical to the
+/// unbounded evaluation.
+pub fn route_cost_bounded<L: LinkLoadView + ?Sized>(
+    t: &Topology,
+    route: &Route,
+    loads: &L,
+    bytes: f64,
+    bound: f64,
+) -> f64 {
     let lat = t.config().hop_latency;
-    route.hops().iter().map(|&c| (loads.get(c) + bytes) / t.channel_info(c).bandwidth + lat).sum()
+    let mut sum = 0.0;
+    for &c in route.hops() {
+        sum += (loads.load(c) + bytes) / t.channel_info(c).bandwidth + lat;
+        if sum >= bound {
+            return sum;
+        }
+    }
+    sum
 }
 
 /// Route one flow of `bytes` bytes from `src` to `dst` under `policy`,
 /// consulting `loads` for adaptive decisions and `rng` for randomized
 /// choices. Deterministic given the rng state.
-pub fn route_flow<R: Rng>(
+pub fn route_flow<R: Rng, L: LinkLoadView + ?Sized>(
     t: &Topology,
     src: RouterId,
     dst: RouterId,
     bytes: f64,
     policy: RoutingPolicy,
-    loads: &ChannelLoads,
+    loads: &L,
     rng: &mut R,
 ) -> Route {
     if src == dst {
@@ -214,9 +223,9 @@ pub fn route_flow<R: Rng>(
         }
         RoutingPolicy::Adaptive { minimal_candidates, valiant_candidates } => {
             let mut best: Option<(f64, Route)> = None;
-            let mut consider = |cost: f64, route: Route| {
+            let consider = |cost: f64, route: Route, best: &mut Option<(f64, Route)>| {
                 if best.as_ref().is_none_or(|(c, _)| cost < *c) {
-                    best = Some((cost, route));
+                    *best = Some((cost, route));
                 }
             };
             let orders = [IntraOrder::GreenFirst, IntraOrder::BlackFirst];
@@ -225,16 +234,18 @@ pub fn route_flow<R: Rng>(
                 let sub =
                     if t.global_spread() > 0 { rng.gen_range(0..t.global_spread()) } else { 0 };
                 let r = minimal_route(t, src, dst, order, sub);
-                let cost = route_cost(t, &r, loads, bytes);
-                consider(cost, r);
+                let bound = best.as_ref().map_or(f64::INFINITY, |(c, _)| *c);
+                let cost = route_cost_bounded(t, &r, loads, bytes, bound);
+                consider(cost, r, &mut best);
             }
             if t.num_groups() > 2 {
                 for _ in 0..valiant_candidates {
                     let mid = GroupId::from_index(rng.gen_range(0..t.num_groups()));
                     let (s1, s2) = random_subs(t, rng);
                     let r = valiant_route(t, src, dst, mid, s1, s2, IntraOrder::GreenFirst);
-                    let cost = route_cost(t, &r, loads, bytes);
-                    consider(cost, r);
+                    let bound = best.as_ref().map_or(f64::INFINITY, |(c, _)| *c);
+                    let cost = route_cost_bounded(t, &r, loads, bytes, bound);
+                    consider(cost, r, &mut best);
                 }
             }
             best.expect("at least one candidate").1
@@ -248,6 +259,103 @@ fn random_subs<R: Rng>(t: &Topology, rng: &mut R) -> (usize, usize) {
     } else {
         (rng.gen_range(0..t.global_spread()), rng.gen_range(0..t.global_spread()))
     }
+}
+
+/// Draw every random routing decision [`route_flow`] would make for one flow,
+/// in the exact order it would make them, appending the raw draws to `out`.
+///
+/// The number and order of draws depend only on the topology and policy —
+/// never on link loads — so decisions can be pre-drawn sequentially (keeping
+/// the RNG stream bit-identical to the inline path) and the load-dependent
+/// candidate scoring replayed later via [`route_flow_predrawn`], possibly in
+/// parallel. Callers must skip flows whose source and destination routers
+/// coincide: `route_flow` returns early for those without consuming any
+/// randomness.
+pub fn predraw_flow<R: Rng>(t: &Topology, policy: RoutingPolicy, rng: &mut R, out: &mut Vec<u32>) {
+    match policy {
+        RoutingPolicy::Minimal => {}
+        RoutingPolicy::Valiant => {
+            out.push(rng.gen_range(0..t.num_groups()) as u32);
+            predraw_subs(t, rng, out);
+        }
+        RoutingPolicy::Adaptive { minimal_candidates, valiant_candidates } => {
+            for _ in 0..minimal_candidates.max(1) {
+                if t.global_spread() > 0 {
+                    out.push(rng.gen_range(0..t.global_spread()) as u32);
+                }
+            }
+            if t.num_groups() > 2 {
+                for _ in 0..valiant_candidates {
+                    out.push(rng.gen_range(0..t.num_groups()) as u32);
+                    predraw_subs(t, rng, out);
+                }
+            }
+        }
+    }
+}
+
+fn predraw_subs<R: Rng>(t: &Topology, rng: &mut R, out: &mut Vec<u32>) {
+    if t.global_spread() > 0 {
+        out.push(rng.gen_range(0..t.global_spread()) as u32);
+        out.push(rng.gen_range(0..t.global_spread()) as u32);
+    }
+}
+
+/// Replay [`route_flow`] against decisions pre-drawn by [`predraw_flow`],
+/// consuming them positionally. Produces the identical route `route_flow`
+/// would have picked with the same RNG stream and the same observed loads.
+pub fn route_flow_predrawn<L: LinkLoadView + ?Sized>(
+    t: &Topology,
+    src: RouterId,
+    dst: RouterId,
+    bytes: f64,
+    policy: RoutingPolicy,
+    loads: &L,
+    draws: &[u32],
+) -> Route {
+    if src == dst {
+        return Route::empty();
+    }
+    let mut cursor = draws.iter();
+    let mut take = || *cursor.next().expect("predrawn decision underflow") as usize;
+    let route = match policy {
+        RoutingPolicy::Minimal => minimal_route(t, src, dst, IntraOrder::GreenFirst, 0),
+        RoutingPolicy::Valiant => {
+            let mid = GroupId::from_index(take());
+            let (s1, s2) = if t.global_spread() > 0 { (take(), take()) } else { (0, 0) };
+            valiant_route(t, src, dst, mid, s1, s2, IntraOrder::GreenFirst)
+        }
+        RoutingPolicy::Adaptive { minimal_candidates, valiant_candidates } => {
+            let mut best: Option<(f64, Route)> = None;
+            let consider = |cost: f64, route: Route, best: &mut Option<(f64, Route)>| {
+                if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                    *best = Some((cost, route));
+                }
+            };
+            let orders = [IntraOrder::GreenFirst, IntraOrder::BlackFirst];
+            for i in 0..minimal_candidates.max(1) {
+                let order = orders[i % 2];
+                let sub = if t.global_spread() > 0 { take() } else { 0 };
+                let r = minimal_route(t, src, dst, order, sub);
+                let bound = best.as_ref().map_or(f64::INFINITY, |(c, _)| *c);
+                let cost = route_cost_bounded(t, &r, loads, bytes, bound);
+                consider(cost, r, &mut best);
+            }
+            if t.num_groups() > 2 {
+                for _ in 0..valiant_candidates {
+                    let mid = GroupId::from_index(take());
+                    let (s1, s2) = if t.global_spread() > 0 { (take(), take()) } else { (0, 0) };
+                    let r = valiant_route(t, src, dst, mid, s1, s2, IntraOrder::GreenFirst);
+                    let bound = best.as_ref().map_or(f64::INFINITY, |(c, _)| *c);
+                    let cost = route_cost_bounded(t, &r, loads, bytes, bound);
+                    consider(cost, r, &mut best);
+                }
+            }
+            best.expect("at least one candidate").1
+        }
+    };
+    debug_assert!(cursor.next().is_none(), "predrawn decisions left over");
+    route
 }
 
 /// Check that a route is *connected*: each hop starts where the previous one
@@ -268,6 +376,7 @@ pub fn route_is_valid(t: &Topology, route: &Route, src: RouterId, dst: RouterId)
 mod tests {
     use super::*;
     use crate::config::DragonflyConfig;
+    use crate::load::ChannelLoads;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -382,6 +491,47 @@ mod tests {
         loads.add(r.hops()[0], 1e9);
         let c1 = route_cost(&t, &r, &loads, 1000.0);
         assert!(c1 > c0);
+    }
+
+    #[test]
+    fn predrawn_routing_matches_inline_rng() {
+        let t = topo();
+        let mut loads = ChannelLoads::new(&t);
+        // Uneven loads so adaptive scoring actually discriminates candidates.
+        let mut load_rng = StdRng::seed_from_u64(2020);
+        for c in t.channels() {
+            loads.add(c, load_rng.gen_range(0.0..1e7));
+        }
+        let policies = [
+            RoutingPolicy::Minimal,
+            RoutingPolicy::Valiant,
+            RoutingPolicy::Adaptive { minimal_candidates: 2, valiant_candidates: 2 },
+            RoutingPolicy::Adaptive { minimal_candidates: 3, valiant_candidates: 1 },
+            RoutingPolicy::Adaptive { minimal_candidates: 0, valiant_candidates: 0 },
+        ];
+        for policy in policies {
+            let mut pick = StdRng::seed_from_u64(11);
+            let mut rng_inline = StdRng::seed_from_u64(42);
+            let mut rng_predraw = StdRng::seed_from_u64(42);
+            let mut draws = Vec::new();
+            for _ in 0..300 {
+                let src = RouterId::from_index(pick.gen_range(0..t.num_routers()));
+                let dst = RouterId::from_index(pick.gen_range(0..t.num_routers()));
+                let inline = route_flow(&t, src, dst, 4096.0, policy, &loads, &mut rng_inline);
+                draws.clear();
+                if src != dst {
+                    predraw_flow(&t, policy, &mut rng_predraw, &mut draws);
+                }
+                let replayed = route_flow_predrawn(&t, src, dst, 4096.0, policy, &loads, &draws);
+                assert_eq!(inline, replayed, "{policy:?} {src}->{dst}");
+            }
+            // Both RNG streams must have consumed the same number of values.
+            assert_eq!(
+                rng_inline.gen::<u64>(),
+                rng_predraw.gen::<u64>(),
+                "rng stream diverged under {policy:?}"
+            );
+        }
     }
 
     #[test]

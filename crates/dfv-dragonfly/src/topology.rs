@@ -14,6 +14,7 @@
 
 use crate::config::DragonflyConfig;
 use crate::ids::{ChannelId, GroupId, Idx, NodeId, RouterId};
+use crate::routing::{IntraOrder, Route};
 use serde::{Deserialize, Serialize};
 
 /// The class of a physical link (and of both its directed channels).
@@ -60,8 +61,19 @@ pub struct Topology {
     green_base: usize,
     black_base: usize,
     global_base: usize,
+    green_per_group: usize,
+    black_per_group: usize,
     num_channels: usize,
     channel_info: Vec<ChannelInfo>,
+    /// Local index of the gateway router serving global slot
+    /// `adj * global_spread + s`; identical for every group, so one table
+    /// serves the whole machine.
+    gateway_local: Vec<u32>,
+    /// Precomputed intra-group routes for group 0, indexed
+    /// `(order * rpg + src_local) * rpg + dst_local`. Routes for other groups
+    /// are the group-0 route with each hop id shifted by the group's green or
+    /// black channel-block offset.
+    intra_table: Vec<Route>,
 }
 
 impl Topology {
@@ -88,18 +100,45 @@ impl Topology {
         let num_global = if g > 1 { g * (g - 1) * global_spread } else { 0 };
         let num_channels = global_base + num_global;
 
+        // Gateway locals depend only on the slot, not the group: build the
+        // table up front so `gateway_router` (used below by
+        // `compute_channel_info`) is a lookup, not a mul/div chain.
+        let total_slots = if g > 1 { (g - 1) * global_spread } else { 0 };
+        let gateway_local =
+            (0..total_slots).map(|slot| ((slot * rpg) / total_slots) as u32).collect();
+
         let mut topo = Self {
             cfg,
             global_spread,
             green_base,
             black_base,
             global_base,
+            green_per_group,
+            black_per_group,
             num_channels,
             channel_info: Vec::new(),
+            gateway_local,
+            intra_table: Vec::new(),
         };
         topo.channel_info = (0..num_channels)
             .map(|i| topo.compute_channel_info(ChannelId::from_index(i)))
             .collect();
+        topo.intra_table = {
+            let orders = [IntraOrder::GreenFirst, IntraOrder::BlackFirst];
+            let mut table = Vec::with_capacity(2 * rpg * rpg);
+            for order in orders {
+                for src in 0..rpg {
+                    for dst in 0..rpg {
+                        table.push(topo.intra_route_direct(
+                            RouterId::from_index(src),
+                            RouterId::from_index(dst),
+                            order,
+                        ));
+                    }
+                }
+            }
+            table
+        };
         Ok(topo)
     }
 
@@ -237,13 +276,72 @@ impl Topology {
     #[inline]
     pub fn gateway_router(&self, group: GroupId, peer: GroupId, s: usize) -> RouterId {
         debug_assert_ne!(group, peer);
-        let g = self.cfg.num_groups;
         let rpg = self.cfg.routers_per_group();
         let adj = if peer.index() < group.index() { peer.index() } else { peer.index() - 1 };
-        let slot = adj * self.global_spread + s;
-        let total_slots = (g - 1) * self.global_spread;
-        let local = (slot * rpg) / total_slots;
+        let local = self.gateway_local[adj * self.global_spread + s] as usize;
         RouterId::from_index(group.index() * rpg + local)
+    }
+
+    /// Minimal intra-group route between two routers of the same group,
+    /// served from the precomputed group-0 table. Channel ids for groups
+    /// other than 0 are obtained by shifting each hop by the group's green or
+    /// black block offset — the id layout is per-group contiguous within each
+    /// class, so the shift is exact.
+    #[inline]
+    pub fn intra_route(&self, src: RouterId, dst: RouterId, order: IntraOrder) -> Route {
+        let rpg = self.cfg.routers_per_group();
+        let group = src.index() / rpg;
+        debug_assert_eq!(group, dst.index() / rpg, "intra_route across groups");
+        let order_idx = match order {
+            IntraOrder::GreenFirst => 0,
+            IntraOrder::BlackFirst => 1,
+        };
+        let route =
+            self.intra_table[(order_idx * rpg + src.index() % rpg) * rpg + dst.index() % rpg];
+        if group == 0 {
+            return route;
+        }
+        let mut out = Route::empty();
+        for &h in route.hops() {
+            let i = h.index();
+            let shifted = if i < self.black_base {
+                i + group * self.green_per_group
+            } else {
+                i + group * self.black_per_group
+            };
+            out.push(ChannelId::from_index(shifted));
+        }
+        out
+    }
+
+    /// The arithmetic (non-table) intra-group route; used to build the table
+    /// and as the ground truth its equivalence test compares against.
+    fn intra_route_direct(&self, src: RouterId, dst: RouterId, order: IntraOrder) -> Route {
+        let mut route = Route::empty();
+        if src == dst {
+            return route;
+        }
+        let a = self.coords(src);
+        let b = self.coords(dst);
+        debug_assert_eq!(a.group, b.group, "intra_route_direct across groups");
+        let g = a.group;
+        if a.row == b.row {
+            route.push(self.green_channel(g, a.row, a.col, b.col));
+        } else if a.col == b.col {
+            route.push(self.black_channel(g, a.col, a.row, b.row));
+        } else {
+            match order {
+                IntraOrder::GreenFirst => {
+                    route.push(self.green_channel(g, a.row, a.col, b.col));
+                    route.push(self.black_channel(g, b.col, a.row, b.row));
+                }
+                IntraOrder::BlackFirst => {
+                    route.push(self.black_channel(g, a.col, a.row, b.row));
+                    route.push(self.green_channel(g, b.row, a.col, b.col));
+                }
+            }
+        }
+        route
     }
 
     /// Channel class and info computed from the id layout (used once, at
@@ -477,6 +575,51 @@ mod tests {
                 LinkClass::Green => assert_eq!(info.bandwidth, cfg.green_bandwidth),
                 LinkClass::Black => assert_eq!(info.bandwidth, cfg.black_bandwidth),
                 LinkClass::Global => assert!(info.bandwidth > 0.0),
+            }
+        }
+    }
+
+    #[test]
+    fn intra_route_table_matches_direct_arithmetic() {
+        let t = small();
+        let rpg = t.config().routers_per_group();
+        for g in 0..t.num_groups() {
+            for a in 0..rpg {
+                for b in 0..rpg {
+                    let src = RouterId::from_index(g * rpg + a);
+                    let dst = RouterId::from_index(g * rpg + b);
+                    for order in [IntraOrder::GreenFirst, IntraOrder::BlackFirst] {
+                        assert_eq!(
+                            t.intra_route(src, dst, order),
+                            t.intra_route_direct(src, dst, order),
+                            "{src}->{dst} {order:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gateway_table_matches_slot_arithmetic() {
+        let t = Topology::new(DragonflyConfig::cori()).unwrap();
+        let g = t.num_groups();
+        let rpg = t.config().routers_per_group();
+        let spread = t.global_spread();
+        for group in 0..g {
+            for peer in 0..g {
+                if group == peer {
+                    continue;
+                }
+                for s in 0..spread {
+                    let adj = if peer < group { peer } else { peer - 1 };
+                    let slot = adj * spread + s;
+                    let local = (slot * rpg) / ((g - 1) * spread);
+                    assert_eq!(
+                        t.gateway_router(GroupId::from_index(group), GroupId::from_index(peer), s),
+                        RouterId::from_index(group * rpg + local)
+                    );
+                }
             }
         }
     }

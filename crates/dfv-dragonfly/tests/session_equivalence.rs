@@ -1,0 +1,127 @@
+//! Property-based exact-bits equivalence between the incremental
+//! [`SimSession`] and the naive `simulate_step`/`fill_telemetry` pair.
+//!
+//! This is the determinism contract of the campaign fast path: across random
+//! topologies, policies, background splice sequences (including removals,
+//! which exercise the clamp-at-zero path) and job traffic, every
+//! [`StepOutcome`], the routed traffic and the full machine telemetry must
+//! agree bit for bit with the sequential dense implementation.
+
+use dfv_dragonfly::config::DragonflyConfig;
+use dfv_dragonfly::ids::{Idx, NodeId};
+use dfv_dragonfly::network::{
+    BackgroundTraffic, NetworkSim, RoutedContribution, RoutedTraffic, SimScratch, SimSession,
+};
+use dfv_dragonfly::routing::RoutingPolicy;
+use dfv_dragonfly::telemetry::StepTelemetry;
+use dfv_dragonfly::topology::Topology;
+use dfv_dragonfly::traffic::Traffic;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A randomized (but always valid) dragonfly configuration.
+fn arb_config() -> impl Strategy<Value = DragonflyConfig> {
+    (2usize..=5, 2usize..=5, 2usize..=3, 1usize..=3).prop_map(|(groups, row, rows, npr)| {
+        DragonflyConfig {
+            num_groups: groups,
+            routers_per_row: row,
+            rows,
+            nodes_per_router: npr,
+            global_ports_per_router: 2,
+            ..DragonflyConfig::cori()
+        }
+    })
+}
+
+fn random_traffic(rng: &mut StdRng, topo: &Topology) -> Traffic {
+    let mut tr = Traffic::new();
+    let n = topo.num_nodes();
+    for _ in 0..rng.gen_range(1..30) {
+        let src = NodeId::from_index(rng.gen_range(0..n));
+        let dst = NodeId::from_index(rng.gen_range(0..n));
+        tr.push_sync(
+            src,
+            dst,
+            rng.gen_range(1.0..1e8),
+            rng.gen_range(1.0..1e4),
+            rng.gen_range(0.0..1.0),
+        );
+    }
+    tr
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn session_is_bit_identical_to_naive(cfg in arb_config(), seed in 0u64..500) {
+        let topo = Topology::new(cfg).unwrap();
+        let policy = match seed % 3 {
+            0 => RoutingPolicy::default(),
+            1 => RoutingPolicy::Valiant,
+            _ => RoutingPolicy::Minimal,
+        };
+        let sim = NetworkSim::new(&topo).with_policy(policy);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Background jobs routed once, kept dense (for the naive mirror) and
+        // sparse (for the session).
+        let num_jobs = rng.gen_range(1..4);
+        let jobs: Vec<(RoutedTraffic, RoutedContribution)> = (0..num_jobs)
+            .map(|j| {
+                let tr = random_traffic(&mut rng, &topo);
+                let dense = sim.route_traffic(&tr, None, 1000 + j as u64);
+                let sparse = RoutedContribution::from_dense(&dense);
+                (dense, sparse)
+            })
+            .collect();
+
+        let mut bg = BackgroundTraffic::zero(&topo);
+        let mut session = SimSession::new(&sim);
+        let mut scratch = SimScratch::new(&topo);
+        let mut tel_naive = StepTelemetry::new(topo.num_routers());
+
+        for _ in 0..4 {
+            // Random splice sequence applied identically on both sides.
+            // Removing a contribution that may not have been added exercises
+            // the clamp-at-zero path on both sides identically.
+            for (dense, sparse) in &jobs {
+                if rng.gen_bool(0.6) {
+                    bg.add_scaled(dense, 1.0);
+                    session.splice_background(sparse, 1.0);
+                }
+            }
+            if rng.gen_bool(0.3) {
+                let (dense, sparse) = &jobs[0];
+                bg.add_scaled(dense, -1.0);
+                session.splice_background(sparse, -1.0);
+            }
+
+            let job = random_traffic(&mut rng, &topo);
+            let step_seed = rng.gen::<u64>();
+            let naive_out = sim.simulate_step(&job, &bg, step_seed, &mut scratch);
+            let fast_out = session.step(&job, step_seed);
+            prop_assert_eq!(naive_out, fast_out);
+            prop_assert_eq!(&scratch.routed, session.routed());
+
+            let window = naive_out.comm_time.max(1e-9);
+            sim.fill_telemetry(&scratch, &bg, window, &mut tel_naive);
+            session.fill_telemetry(window);
+            prop_assert_eq!(&tel_naive, session.telemetry());
+        }
+
+        // Full reset must be equivalent to a cleared dense background.
+        bg.clear();
+        session.reset_background();
+        let job = random_traffic(&mut rng, &topo);
+        let step_seed = rng.gen::<u64>();
+        let naive_out = sim.simulate_step(&job, &bg, step_seed, &mut scratch);
+        let fast_out = session.step(&job, step_seed);
+        prop_assert_eq!(naive_out, fast_out);
+        let window = naive_out.comm_time.max(1e-9);
+        sim.fill_telemetry(&scratch, &bg, window, &mut tel_naive);
+        session.fill_telemetry(window);
+        prop_assert_eq!(&tel_naive, session.telemetry());
+    }
+}

@@ -17,6 +17,15 @@
 //!    against the background traffic of the jobs that were running at that
 //!    moment (probe runs are processed in start-time order, in parallel
 //!    chunks that share a routed-traffic cache for the background jobs).
+//!
+//! Phase 2 runs on the incremental fast path: each worker owns a
+//! [`SimSession`] whose background state is updated by sparse
+//! [`RoutedContribution`] splices as jobs start and end, background routing
+//! is cached campaign-wide (keyed by job id, evicted once a job's window
+//! has passed), and telemetry is filled sparsely over the routers a step
+//! actually touched. The pre-optimization sequential implementation is kept
+//! as `run_campaign_naive` (tests and the `naive` feature) and the two are
+//! held bit-for-bit identical by the equivalence suite.
 
 use crate::data::{AppDataset, RunRecord, StepRecord};
 use dfv_counters::ldms::{FaultyLdmsSampler, LdmsSampler, SystemLayout};
@@ -24,8 +33,11 @@ use dfv_counters::session::{AriesSession, FaultyAriesSession};
 use dfv_counters::Counter;
 use dfv_dragonfly::config::DragonflyConfig;
 use dfv_dragonfly::ids::NodeId;
-use dfv_dragonfly::network::{BackgroundTraffic, NetworkSim, RoutedTraffic, SimScratch};
+#[cfg(any(test, feature = "naive"))]
+use dfv_dragonfly::network::{BackgroundTraffic, RoutedTraffic};
+use dfv_dragonfly::network::{NetworkSim, RoutedContribution, SimScratch, SimSession};
 use dfv_dragonfly::placement::{AllocationPolicy, Placement};
+#[cfg(any(test, feature = "naive"))]
 use dfv_dragonfly::telemetry::StepTelemetry;
 use dfv_dragonfly::topology::Topology;
 use dfv_dragonfly::traffic::Traffic;
@@ -149,6 +161,35 @@ impl CampaignConfig {
         }
     }
 
+    /// The "Cori week" stress configuration: the full-size machine and a
+    /// probe density high enough that one simulated week yields more than
+    /// 1200 probe runs (4 applications x 5 node counts x 9 probes/day x
+    /// 7 days = 1260), exercising the measurement engine at the scale of a
+    /// week of real data collection.
+    pub fn cori_week() -> Self {
+        let kinds = [AppKind::Amg, AppKind::Milc, AppKind::MiniVite, AppKind::Umt];
+        let sizes = [16usize, 32, 64, 128, 256];
+        let apps = kinds
+            .iter()
+            .flat_map(|&kind| sizes.iter().map(move |&num_nodes| AppSpec { kind, num_nodes }))
+            .collect();
+        CampaignConfig {
+            topology: DragonflyConfig::cori(),
+            io_stride: 16,
+            num_days: 7,
+            day_seconds: 2_000.0,
+            probes_per_day: (9, 9),
+            apps,
+            heavy_users: 10,
+            benign_users: 24,
+            allocation: AllocationPolicy::Fragmented { scatter: 0.5 },
+            compute_noise: 0.01,
+            background_intensity: 0.25,
+            workload_shift: None,
+            seed: 2019,
+        }
+    }
+
     /// Campaign end time, seconds.
     pub fn end_time(&self) -> f64 {
         self.num_days as f64 * self.day_seconds
@@ -175,6 +216,58 @@ impl CampaignResult {
     pub fn dataset(&self, spec: &AppSpec) -> Option<&AppDataset> {
         self.datasets.iter().find(|d| &d.spec == spec)
     }
+}
+
+/// A 64-bit FNV-1a digest of everything a campaign measured: every dataset's
+/// run and step records (times, counters, io/sys aggregates, bottleneck
+/// labels) plus the sacct log. Two [`CampaignResult`]s digest equal iff they
+/// are bit-for-bit identical in all simulated quantities, so the equivalence
+/// suite can pin a whole campaign to one `u64` captured at the seed.
+pub fn campaign_digest(result: &CampaignResult) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        h = (h ^ v).wrapping_mul(PRIME);
+    };
+    for d in &result.datasets {
+        for &b in d.spec.label().as_bytes() {
+            mix(b as u64);
+        }
+        mix(d.runs.len() as u64);
+        for run in &d.runs {
+            mix(run.job_id.0);
+            mix(run.start_time.to_bits());
+            mix(run.end_time.to_bits());
+            mix(run.num_routers as u64);
+            mix(run.num_groups as u64);
+            for s in &run.steps {
+                mix(s.time.to_bits());
+                mix(s.compute_time.to_bits());
+                for c in s.counters.iter().chain(&s.io).chain(&s.sys) {
+                    mix(c.to_bits());
+                }
+                mix(match s.bottleneck {
+                    dfv_dragonfly::network::Bottleneck::Link => 1,
+                    dfv_dragonfly::network::Bottleneck::NicBytes => 2,
+                    dfv_dragonfly::network::Bottleneck::NicMsgs => 3,
+                    dfv_dragonfly::network::Bottleneck::BusBytes => 4,
+                    dfv_dragonfly::network::Bottleneck::BusMsgs => 5,
+                    dfv_dragonfly::network::Bottleneck::Serialization => 6,
+                    dfv_dragonfly::network::Bottleneck::None => 7,
+                });
+            }
+        }
+    }
+    mix(result.sacct.len() as u64);
+    for rec in &result.sacct {
+        mix(rec.id.0);
+        mix(rec.user.0 as u64);
+        mix(rec.start_time.to_bits());
+        mix(rec.end_time.to_bits());
+        mix(rec.nodes.len() as u64);
+    }
+    h
 }
 
 /// SplitMix64: cheap deterministic seed derivation, so rayon scheduling
@@ -261,12 +354,26 @@ pub fn run_campaign_faulted_observed(
     run_campaign_with(config, None, faults, obs)
 }
 
-fn run_campaign_with(
+/// Everything phase 1 fixes: the machine, the complete job timeline and
+/// which jobs were probes. Both the fast and the naive measurement phase
+/// start from this.
+struct Phase1Output {
+    topo: Topology,
+    layout: SystemLayout,
+    io_nodes: Vec<NodeId>,
+    sacct: Vec<JobRecord>,
+    users: Vec<User>,
+    probe_user: UserId,
+    probe_jobs: HashMap<JobId, AppSpec>,
+}
+
+/// Phase 1: play the whole submission timeline through the scheduler,
+/// fixing every job's placement and execution window.
+fn schedule_phase(
     config: &CampaignConfig,
     advisor: Option<&CongestionAdvisor>,
-    faults: Option<&FaultPlan>,
     obs: &Obs,
-) -> CampaignResult {
+) -> Phase1Output {
     let topo = Topology::new(config.topology.clone()).expect("valid topology");
     let layout = SystemLayout::with_io_stride(&topo, config.io_stride);
     let io_nodes: Vec<NodeId> =
@@ -398,30 +505,62 @@ fn run_campaign_with(
     let sacct: Vec<JobRecord> = cluster.records().to_vec();
     drop(phase1);
 
+    Phase1Output { topo, layout, io_nodes, sacct, users, probe_user, probe_jobs }
+}
+
+fn run_campaign_with(
+    config: &CampaignConfig,
+    advisor: Option<&CongestionAdvisor>,
+    faults: Option<&FaultPlan>,
+    obs: &Obs,
+) -> CampaignResult {
+    let Phase1Output { topo, layout, io_nodes, sacct, users, probe_user, probe_jobs } =
+        schedule_phase(config, advisor, obs);
+
     // ---------------- Phase 2: measurement --------------------------------
     let _phase2 = obs.span("campaign.phase2_measurement");
     let obs_probe_runs = obs.counter("campaign.probe_runs");
     let obs_routed_jobs = obs.counter("campaign.routed_jobs");
+    let obs_cache_hits = obs.counter("campaign.route_cache.hits");
+    let obs_cache_misses = obs.counter("campaign.route_cache.misses");
+    let obs_resolves = obs.counter("sim.incremental.resolves");
+    // First-wins canonical index per distinct spec: duplicate Table I rows
+    // share one runs vector and one histogram, and probe-run bookkeeping is
+    // an O(1) index instead of a linear spec scan.
+    let mut spec_index: HashMap<AppSpec, usize> = HashMap::new();
+    for (i, spec) in config.apps.iter().enumerate() {
+        spec_index.entry(*spec).or_insert(i);
+    }
     // One wall-time histogram per Table I row; the label folds in the node
     // count (e.g. `milc-16`), giving the per-app/per-node-count breakdown.
-    let run_millis: Vec<(AppSpec, dfv_obs::Histogram)> = config
+    let run_millis: Vec<dfv_obs::Histogram> = config
         .apps
         .iter()
-        .map(|spec| {
-            (*spec, obs.histogram(&format!("campaign.run_millis{{app=\"{}\"}}", spec.label())))
-        })
+        .map(|spec| obs.histogram(&format!("campaign.run_millis{{app=\"{}\"}}", spec.label())))
         .collect();
     // Fault verdicts are counted campaign-wide; handles are clones sharing
     // the same registry cells, so the per-probe wrappers below all feed the
     // same per-site totals. With a disabled `obs` this is fully inert.
     let verdicts = VerdictCounters::new(obs);
     let sim = NetworkSim::new(&topo);
-    let sampler = LdmsSampler::new(layout.clone());
+    let sampler = LdmsSampler::new(layout);
     let mut probes: Vec<&JobRecord> =
         sacct.iter().filter(|r| probe_jobs.contains_key(&r.id)).collect();
     probes.sort_by(|a, b| a.start_time.total_cmp(&b.start_time).then(a.id.cmp(&b.id)));
 
-    let mut run_records: Vec<(AppSpec, RunRecord)> = Vec::new();
+    let rctx = RouteCtx {
+        sim: &sim,
+        io_nodes: &io_nodes,
+        intensity: config.background_intensity,
+        shift: config.workload_shift.as_ref(),
+        day_seconds: config.day_seconds,
+    };
+    let mut per_spec_runs: Vec<Vec<RunRecord>> = vec![Vec::new(); config.apps.len()];
+    // Campaign-wide routed-contribution cache, keyed by job id. A job's
+    // contribution depends only on its sacct record and a seed derived from
+    // its id, so an entry computed for one chunk is exactly the one every
+    // later chunk would recompute.
+    let mut cache: HashMap<JobId, (f64, Arc<RoutedContribution>)> = HashMap::new();
     let chunk_size = 24;
     for chunk in probes.chunks(chunk_size) {
         let window_start = chunk.first().map(|r| r.start_time).unwrap_or(0.0);
@@ -429,57 +568,172 @@ fn run_campaign_with(
         let window_end =
             chunk.iter().map(|r| r.end_time).fold(0.0, f64::max) + 10.0 * config.day_seconds;
 
-        // Route every job (background or probe) overlapping the window.
+        // Chunks advance in start-time order, so a job that ended before
+        // this window can never overlap a later one: evict it.
+        cache.retain(|_, entry| entry.0 > window_start);
+
+        // Route every job (background or probe) overlapping the window that
+        // the cache does not already hold.
+        let overlapping: Vec<&JobRecord> =
+            sacct.iter().filter(|r| r.overlaps(window_start, window_end)).collect();
+        let missing: Vec<&JobRecord> =
+            overlapping.iter().filter(|r| !cache.contains_key(&r.id)).copied().collect();
+        obs_cache_hits.add((overlapping.len() - missing.len()) as u64);
+        obs_cache_misses.add(missing.len() as u64);
+        obs_routed_jobs.add(overlapping.len() as u64);
+        let fresh: Vec<(JobId, (f64, Arc<RoutedContribution>))> = missing
+            .par_iter()
+            .map_init(
+                || SimScratch::new(&topo),
+                |scratch, rec| {
+                    route_job_contribution_into(
+                        &rctx,
+                        rec,
+                        probe_jobs.get(&rec.id),
+                        splitmix(config.seed, 1000 + rec.id.0),
+                        scratch,
+                    );
+                    let sparse = RoutedContribution::from_dense(&scratch.routed);
+                    (rec.id, (rec.end_time, Arc::new(sparse)))
+                },
+            )
+            .collect();
+        cache.extend(fresh);
+
+        let pctx = ProbeCtx {
+            topo: &topo,
+            sampler: &sampler,
+            sacct: &sacct,
+            routed: &cache,
+            compute_noise: config.compute_noise,
+            faults,
+            verdicts: &verdicts,
+        };
+        let chunk_runs: Vec<(usize, RunRecord, u64)> = chunk
+            .par_iter()
+            .map_init(
+                || SimSession::new(&sim),
+                |session, rec| {
+                    let spec = probe_jobs[&rec.id];
+                    let run = simulate_probe_fast(
+                        &pctx,
+                        session,
+                        rec,
+                        &spec,
+                        spec.num_steps(),
+                        splitmix(config.seed, 2000 + rec.id.0),
+                    );
+                    (spec_index[&spec], run, session.take_resolves())
+                },
+            )
+            .collect();
+        for (spec_idx, run, resolves) in chunk_runs {
+            obs_resolves.add(resolves);
+            if obs.is_enabled() {
+                obs_probe_runs.inc();
+                run_millis[spec_idx].record_f64((run.end_time - run.start_time) * 1000.0);
+            }
+            per_spec_runs[spec_idx].push(run);
+        }
+    }
+
+    // One pass over the grouped runs; only duplicate spec rows pay a clone.
+    let mut counts = vec![0usize; config.apps.len()];
+    for spec in &config.apps {
+        counts[spec_index[spec]] += 1;
+    }
+    let datasets = config
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let canonical = spec_index[spec];
+            let runs = if canonical == i && counts[canonical] == 1 {
+                std::mem::take(&mut per_spec_runs[canonical])
+            } else {
+                per_spec_runs[canonical].clone()
+            };
+            AppDataset { spec: *spec, runs }
+        })
+        .collect();
+
+    CampaignResult { datasets, sacct, probe_user, users, probe_jobs }
+}
+
+/// The pre-optimization measurement phase, kept as the oracle the fast path
+/// is proven against: dense background accumulation, a per-chunk routed map
+/// with no cross-chunk reuse, and full naive re-simulation of every step.
+/// Same seeds, bit-identical [`CampaignResult`].
+#[cfg(any(test, feature = "naive"))]
+pub fn run_campaign_naive(config: &CampaignConfig, faults: Option<&FaultPlan>) -> CampaignResult {
+    let obs = Obs::disabled();
+    let Phase1Output { topo, layout, io_nodes, sacct, users, probe_user, probe_jobs } =
+        schedule_phase(config, None, &obs);
+
+    let verdicts = VerdictCounters::disabled();
+    let sim = NetworkSim::new(&topo);
+    let sampler = LdmsSampler::new(layout);
+    let mut probes: Vec<&JobRecord> =
+        sacct.iter().filter(|r| probe_jobs.contains_key(&r.id)).collect();
+    probes.sort_by(|a, b| a.start_time.total_cmp(&b.start_time).then(a.id.cmp(&b.id)));
+
+    let rctx = RouteCtx {
+        sim: &sim,
+        io_nodes: &io_nodes,
+        intensity: config.background_intensity,
+        shift: config.workload_shift.as_ref(),
+        day_seconds: config.day_seconds,
+    };
+    let mut run_records: Vec<(AppSpec, RunRecord)> = Vec::new();
+    let chunk_size = 24;
+    for chunk in probes.chunks(chunk_size) {
+        let window_start = chunk.first().map(|r| r.start_time).unwrap_or(0.0);
+        let window_end =
+            chunk.iter().map(|r| r.end_time).fold(0.0, f64::max) + 10.0 * config.day_seconds;
+
         let overlapping: Vec<&JobRecord> =
             sacct.iter().filter(|r| r.overlaps(window_start, window_end)).collect();
         let routed: HashMap<JobId, Arc<RoutedTraffic>> = overlapping
             .par_iter()
-            .map(|rec| {
-                let contribution = route_job_contribution(
-                    &topo,
-                    &sim,
-                    rec,
-                    probe_jobs.get(&rec.id),
-                    &io_nodes,
-                    config.background_intensity,
-                    config.workload_shift.as_ref(),
-                    config.day_seconds,
-                    splitmix(config.seed, 1000 + rec.id.0),
-                );
-                (rec.id, Arc::new(contribution))
-            })
+            .map_init(
+                || SimScratch::new(&topo),
+                |scratch, rec| {
+                    route_job_contribution_into(
+                        &rctx,
+                        rec,
+                        probe_jobs.get(&rec.id),
+                        splitmix(config.seed, 1000 + rec.id.0),
+                        scratch,
+                    );
+                    (rec.id, Arc::new(scratch.routed.clone()))
+                },
+            )
             .collect();
-        obs_routed_jobs.add(routed.len() as u64);
 
+        let nctx = NaiveProbeCtx {
+            topo: &topo,
+            sim: &sim,
+            sampler: &sampler,
+            sacct: &sacct,
+            routed: &routed,
+            compute_noise: config.compute_noise,
+            faults,
+            verdicts: &verdicts,
+        };
         let chunk_runs: Vec<(AppSpec, RunRecord)> = chunk
             .par_iter()
             .map(|rec| {
                 let spec = probe_jobs[&rec.id];
                 let run = simulate_probe(
-                    &topo,
-                    &sim,
-                    &sampler,
+                    &nctx,
                     rec,
                     &spec,
                     spec.num_steps(),
-                    &sacct,
-                    &routed,
                     splitmix(config.seed, 2000 + rec.id.0),
-                    config.compute_noise,
-                    faults,
-                    &verdicts,
                 );
                 (spec, run)
             })
             .collect();
-        if obs.is_enabled() {
-            for (spec, run) in &chunk_runs {
-                obs_probe_runs.inc();
-                if let Some((_, hist)) = run_millis.iter().find(|(s, _)| s == spec) {
-                    hist.record_f64((run.end_time - run.start_time) * 1000.0);
-                }
-            }
-        }
         run_records.extend(chunk_runs);
     }
 
@@ -495,37 +749,43 @@ fn run_campaign_with(
     CampaignResult { datasets, sacct, probe_user, users, probe_jobs }
 }
 
+/// Campaign-level inputs of [`route_job_contribution_into`], fixed for the
+/// whole measurement phase.
+struct RouteCtx<'a> {
+    sim: &'a NetworkSim<'a>,
+    io_nodes: &'a [NodeId],
+    intensity: f64,
+    shift: Option<&'a WorkloadShift>,
+    day_seconds: f64,
+}
+
 /// The per-second traffic-rate contribution of one job, routed over the
-/// idle network. Background jobs use their archetype pattern (reshaped by
-/// the workload shift once their start day reaches it); probe jobs
-/// contribute their application's mid-run step traffic scaled to a rate.
-#[allow(clippy::too_many_arguments)]
-fn route_job_contribution(
-    topo: &Topology,
-    sim: &NetworkSim<'_>,
+/// idle network into `scratch.routed`. Background jobs use their archetype
+/// pattern (reshaped by the workload shift once their start day reaches
+/// it); probe jobs contribute their application's mid-run step traffic
+/// scaled to a rate.
+fn route_job_contribution_into(
+    ctx: &RouteCtx<'_>,
     rec: &JobRecord,
     probe_spec: Option<&AppSpec>,
-    io_nodes: &[NodeId],
-    intensity: f64,
-    shift: Option<&WorkloadShift>,
-    day_seconds: f64,
     seed: u64,
-) -> RoutedTraffic {
+    scratch: &mut SimScratch,
+) {
     let mut rng = StdRng::seed_from_u64(seed);
     match probe_spec {
         None => {
             let mut archetype = archetype_of(&rec.name).unwrap_or(Archetype::Benign);
-            let mut intensity = intensity;
-            if let Some(s) = shift {
-                if rec.start_time >= s.at_day as f64 * day_seconds {
+            let mut intensity = ctx.intensity;
+            if let Some(s) = ctx.shift {
+                if rec.start_time >= s.at_day as f64 * ctx.day_seconds {
                     intensity *= s.intensity_factor;
                     if s.heavier_benign && matches!(archetype, Archetype::Benign) {
                         archetype = Archetype::NBody;
                     }
                 }
             }
-            let traffic = archetype.traffic(&rec.nodes, io_nodes, intensity, &mut rng);
-            sim.route_traffic(&traffic, None, seed)
+            let traffic = archetype.traffic(&rec.nodes, ctx.io_nodes, intensity, &mut rng);
+            ctx.sim.route_traffic_into(&traffic, None, seed, scratch);
         }
         Some(spec) => {
             // A concurrently running probe of ours: approximate it by its
@@ -536,69 +796,216 @@ fn route_job_contribution(
             let mut traffic = Traffic::new();
             app.step_traffic(mid, &mut traffic);
             let est_step = estimate_duration(&spec) / app.num_steps() as f64;
-            let mut routed = sim.route_traffic(&traffic, None, seed);
-            routed.scale(1.0 / est_step.max(1e-6));
-            let _ = topo;
-            routed
+            ctx.sim.route_traffic_into(&traffic, None, seed, scratch);
+            scratch.routed.scale(1.0 / est_step.max(1e-6));
         }
     }
 }
 
+/// A background job entering or leaving the machine during a probe run.
+#[derive(Clone, Copy)]
+enum Ev {
+    Start(JobId),
+    End(JobId),
+}
+
+/// Per-chunk inputs of [`simulate_probe_fast`]. `routed` maps each job to
+/// its (end time, sparse routed contribution) cache entry.
+struct ProbeCtx<'a> {
+    topo: &'a Topology,
+    sampler: &'a LdmsSampler,
+    sacct: &'a [JobRecord],
+    routed: &'a HashMap<JobId, (f64, Arc<RoutedContribution>)>,
+    compute_noise: f64,
+    faults: Option<&'a FaultPlan>,
+    verdicts: &'a VerdictCounters,
+}
+
 /// Simulate one probe run step by step against the background of the jobs
-/// running concurrently (per the phase-1 timeline).
-#[allow(clippy::too_many_arguments)]
-fn simulate_probe(
-    topo: &Topology,
-    sim: &NetworkSim<'_>,
-    sampler: &LdmsSampler,
+/// running concurrently (per the phase-1 timeline), on the incremental
+/// fast path: background changes are sparse splices into the worker's
+/// [`SimSession`], steps reuse the session's flat per-channel/per-router
+/// state, and telemetry/LDMS reads visit only the routers the step touched.
+fn simulate_probe_fast(
+    ctx: &ProbeCtx<'_>,
+    session: &mut SimSession<'_>,
     rec: &JobRecord,
     spec: &AppSpec,
     num_steps: usize,
-    sacct: &[JobRecord],
-    routed: &HashMap<JobId, Arc<RoutedTraffic>>,
     seed: u64,
-    compute_noise: f64,
-    faults: Option<&FaultPlan>,
-    verdicts: &VerdictCounters,
 ) -> RunRecord {
+    let topo = ctx.topo;
     let placement = Placement::new(rec.nodes.clone());
     let app = spec.instantiate_with_steps(&rec.nodes, seed, num_steps);
-    let session = AriesSession::attach(topo, &placement);
+    let aries = AriesSession::attach(topo, &placement);
     // The fault layer wraps the collectors only when a plan is active, so
     // the fault-free path below stays the exact expressions it always was.
     // Each probe's fault stream is keyed by its job id; verdict counting
     // shares campaign-wide per-site cells and never changes a verdict.
-    let mut faulty = faults.filter(|p| !p.is_none()).map(|plan| {
+    let mut faulty = ctx.faults.filter(|p| !p.is_none()).map(|plan| {
         (
             FaultyAriesSession::with_observer(
-                session.clone(),
+                aries.clone(),
                 plan.clone(),
                 rec.id.0,
-                verdicts.clone(),
+                ctx.verdicts.clone(),
             ),
             FaultyLdmsSampler::with_observer(
-                sampler.clone(),
+                ctx.sampler.clone(),
                 plan.clone(),
                 rec.id.0,
-                verdicts.clone(),
+                ctx.verdicts.clone(),
             ),
         )
     });
 
     // Background event timeline: every other job's start/end during (or
-    // after) the probe's window, relative to the phase-1 schedule.
-    #[derive(Clone, Copy)]
-    enum Ev {
-        Start(JobId),
-        End(JobId),
-    }
+    // after) the probe's window, relative to the phase-1 schedule. The
+    // splice sequence (order and factors) must match the naive dense
+    // accumulation exactly: float addition does not commute in the bits.
+    session.reset_background();
     let mut events: Vec<(f64, Ev)> = Vec::new();
-    let mut bg = BackgroundTraffic::zero(topo);
-    for other in sacct {
+    for other in ctx.sacct {
         if other.id == rec.id {
             continue;
         }
-        let Some(contrib) = routed.get(&other.id) else { continue };
+        let Some((_, contrib)) = ctx.routed.get(&other.id) else { continue };
+        if other.start_time <= rec.start_time && other.end_time > rec.start_time {
+            session.splice_background(contrib, 1.0);
+            events.push((other.end_time, Ev::End(other.id)));
+        } else if other.start_time > rec.start_time {
+            events.push((other.start_time, Ev::Start(other.id)));
+            events.push((other.end_time, Ev::End(other.id)));
+        }
+    }
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut next_event = 0usize;
+
+    let mut traffic = Traffic::new();
+    let mut rng = StdRng::seed_from_u64(splitmix(seed, 17));
+
+    let mut now = rec.start_time;
+    let mut steps = Vec::with_capacity(app.num_steps());
+    for step in 0..app.num_steps() {
+        while next_event < events.len() && events[next_event].0 <= now {
+            let (_, ev) = events[next_event];
+            match ev {
+                Ev::Start(id) => session.splice_background(&ctx.routed[&id].1, 1.0),
+                Ev::End(id) => session.splice_background(&ctx.routed[&id].1, -1.0),
+            }
+            next_event += 1;
+        }
+        app.step_traffic(step, &mut traffic);
+        let outcome = session.step(&traffic, splitmix(seed, 100 + step as u64));
+        let compute = app.compute_time(step) * (1.0 + ctx.compute_noise * rng.gen_range(-1.0..1.0));
+        let step_time = outcome.comm_time + compute;
+        session.fill_telemetry(step_time.max(1e-9));
+        let telemetry = session.telemetry();
+        // Every router with nonzero telemetry this step, so sparse LDMS
+        // reads are bit-identical to whole-machine scans.
+        let active = session.telemetry_routers();
+        let (counters, io, sys) =
+            match faulty.as_mut() {
+                None => (
+                    *dfv_counters::CounterSnapshot::from_stats(&telemetry.aggregate(
+                        aries.routers().iter().map(|r| dfv_dragonfly::ids::Idx::index(*r)),
+                    ))
+                    .as_slice(),
+                    ctx.sampler.read_io(telemetry).as_array(),
+                    ctx.sampler.read_sys_active(telemetry, aries.routers(), active).as_array(),
+                ),
+                Some((fsession, fsampler)) => {
+                    let s = step as u64;
+                    (
+                        fsession
+                            .read_step(telemetry, s)
+                            .map(|snap| *snap.as_slice())
+                            .unwrap_or([dfv_counters::MISSING; Counter::COUNT]),
+                        fsampler
+                            .read_io(telemetry, s)
+                            .map(|r| r.as_array())
+                            .unwrap_or([dfv_counters::MISSING; 4]),
+                        fsampler
+                            .read_sys_active(telemetry, aries.routers(), active, s)
+                            .map(|r| r.as_array())
+                            .unwrap_or([dfv_counters::MISSING; 4]),
+                    )
+                }
+            };
+        steps.push(StepRecord {
+            time: step_time,
+            compute_time: compute,
+            counters,
+            io,
+            sys,
+            bottleneck: outcome.bottleneck,
+        });
+        now += step_time;
+    }
+
+    RunRecord {
+        job_id: rec.id,
+        start_time: rec.start_time,
+        end_time: now,
+        num_routers: placement.num_routers(topo),
+        num_groups: placement.num_groups(topo),
+        steps,
+    }
+}
+
+/// Per-chunk inputs of the naive [`simulate_probe`], mirroring [`ProbeCtx`]
+/// with a dense routed-traffic map.
+#[cfg(any(test, feature = "naive"))]
+struct NaiveProbeCtx<'a> {
+    topo: &'a Topology,
+    sim: &'a NetworkSim<'a>,
+    sampler: &'a LdmsSampler,
+    sacct: &'a [JobRecord],
+    routed: &'a HashMap<JobId, Arc<RoutedTraffic>>,
+    compute_noise: f64,
+    faults: Option<&'a FaultPlan>,
+    verdicts: &'a VerdictCounters,
+}
+
+/// Simulate one probe run step by step against the background of the jobs
+/// running concurrently: the sequential pre-optimization implementation,
+/// kept as the oracle [`simulate_probe_fast`] is proven against.
+#[cfg(any(test, feature = "naive"))]
+fn simulate_probe(
+    ctx: &NaiveProbeCtx<'_>,
+    rec: &JobRecord,
+    spec: &AppSpec,
+    num_steps: usize,
+    seed: u64,
+) -> RunRecord {
+    let topo = ctx.topo;
+    let placement = Placement::new(rec.nodes.clone());
+    let app = spec.instantiate_with_steps(&rec.nodes, seed, num_steps);
+    let session = AriesSession::attach(topo, &placement);
+    let mut faulty = ctx.faults.filter(|p| !p.is_none()).map(|plan| {
+        (
+            FaultyAriesSession::with_observer(
+                session.clone(),
+                plan.clone(),
+                rec.id.0,
+                ctx.verdicts.clone(),
+            ),
+            FaultyLdmsSampler::with_observer(
+                ctx.sampler.clone(),
+                plan.clone(),
+                rec.id.0,
+                ctx.verdicts.clone(),
+            ),
+        )
+    });
+
+    let mut events: Vec<(f64, Ev)> = Vec::new();
+    let mut bg = BackgroundTraffic::zero(topo);
+    for other in ctx.sacct {
+        if other.id == rec.id {
+            continue;
+        }
+        let Some(contrib) = ctx.routed.get(&other.id) else { continue };
         if other.start_time <= rec.start_time && other.end_time > rec.start_time {
             bg.add_scaled(contrib, 1.0);
             events.push((other.end_time, Ev::End(other.id)));
@@ -621,25 +1028,25 @@ fn simulate_probe(
         while next_event < events.len() && events[next_event].0 <= now {
             let (_, ev) = events[next_event];
             match ev {
-                Ev::Start(id) => bg.add_scaled(&routed[&id], 1.0),
-                Ev::End(id) => bg.add_scaled(&routed[&id], -1.0),
+                Ev::Start(id) => bg.add_scaled(&ctx.routed[&id], 1.0),
+                Ev::End(id) => bg.add_scaled(&ctx.routed[&id], -1.0),
             }
             next_event += 1;
         }
         app.step_traffic(step, &mut traffic);
         let outcome =
-            sim.simulate_step(&traffic, &bg, splitmix(seed, 100 + step as u64), &mut scratch);
-        let compute = app.compute_time(step) * (1.0 + compute_noise * rng.gen_range(-1.0..1.0));
+            ctx.sim.simulate_step(&traffic, &bg, splitmix(seed, 100 + step as u64), &mut scratch);
+        let compute = app.compute_time(step) * (1.0 + ctx.compute_noise * rng.gen_range(-1.0..1.0));
         let step_time = outcome.comm_time + compute;
-        sim.fill_telemetry(&scratch, &bg, step_time.max(1e-9), &mut telemetry);
+        ctx.sim.fill_telemetry(&scratch, &bg, step_time.max(1e-9), &mut telemetry);
         let (counters, io, sys) = match faulty.as_mut() {
             None => (
                 *dfv_counters::CounterSnapshot::from_stats(&telemetry.aggregate(
                     session.routers().iter().map(|r| dfv_dragonfly::ids::Idx::index(*r)),
                 ))
                 .as_slice(),
-                sampler.read_io(&telemetry).as_array(),
-                sampler.read_sys(&telemetry, session.routers()).as_array(),
+                ctx.sampler.read_io(&telemetry).as_array(),
+                ctx.sampler.read_sys(&telemetry, session.routers()).as_array(),
             ),
             Some((fsession, fsampler)) => {
                 let s = step as u64;
@@ -753,39 +1160,39 @@ pub fn simulate_long_run(
     let sim = NetworkSim::new(&topo);
     let sampler = LdmsSampler::new(layout);
     let window_end = rec.end_time + est_step * num_steps as f64 * 10.0;
-    let routed: HashMap<JobId, Arc<RoutedTraffic>> = sacct
+    let rctx = RouteCtx {
+        sim: &sim,
+        io_nodes: &io_nodes,
+        intensity: config.background_intensity,
+        shift: config.workload_shift.as_ref(),
+        day_seconds: config.day_seconds,
+    };
+    let overlapping: Vec<&JobRecord> =
+        sacct.iter().filter(|r| r.overlaps(rec.start_time, window_end)).collect();
+    let routed: HashMap<JobId, (f64, Arc<RoutedContribution>)> = overlapping
         .par_iter()
-        .filter(|r| r.overlaps(rec.start_time, window_end))
-        .map(|r| {
-            let contribution = route_job_contribution(
-                &topo,
-                &sim,
-                r,
-                None,
-                &io_nodes,
-                config.background_intensity,
-                config.workload_shift.as_ref(),
-                config.day_seconds,
-                splitmix(seed, 3000 + r.id.0),
-            );
-            (r.id, Arc::new(contribution))
-        })
+        .map_init(
+            || SimScratch::new(&topo),
+            |scratch, r| {
+                route_job_contribution_into(&rctx, r, None, splitmix(seed, 3000 + r.id.0), scratch);
+                let sparse = RoutedContribution::from_dense(&scratch.routed);
+                (r.id, (r.end_time, Arc::new(sparse)))
+            },
+        )
         .collect();
 
-    simulate_probe(
-        &topo,
-        &sim,
-        &sampler,
-        &rec,
-        spec,
-        num_steps,
-        &sacct,
-        &routed,
-        splitmix(seed, 4000),
-        config.compute_noise,
-        None,
-        &VerdictCounters::disabled(),
-    )
+    let verdicts = VerdictCounters::disabled();
+    let pctx = ProbeCtx {
+        topo: &topo,
+        sampler: &sampler,
+        sacct: &sacct,
+        routed: &routed,
+        compute_noise: config.compute_noise,
+        faults: None,
+        verdicts: &verdicts,
+    };
+    let mut session = SimSession::new(&sim);
+    simulate_probe_fast(&pctx, &mut session, &rec, spec, num_steps, splitmix(seed, 4000))
 }
 
 #[cfg(test)]
@@ -836,6 +1243,31 @@ mod tests {
         for (ra, rb) in a.datasets[0].runs.iter().zip(&b.datasets[0].runs) {
             assert_eq!(ra.steps, rb.steps);
         }
+    }
+
+    #[test]
+    fn fast_campaign_matches_naive_bit_for_bit() {
+        let mut config = CampaignConfig::quick();
+        config.num_days = 2;
+        let fast = run_campaign(&config);
+        let naive = run_campaign_naive(&config, None);
+        assert_eq!(fast.sacct, naive.sacct);
+        assert_eq!(campaign_digest(&fast), campaign_digest(&naive));
+        // Faults only gate what telemetry is *recorded*; the fast path must
+        // reproduce the exact same gaps and stale repeats.
+        let plan = FaultPlan::gaps(41, 0.3);
+        let fast_faulted = run_campaign_faulted(&config, Some(&plan));
+        let naive_faulted = run_campaign_naive(&config, Some(&plan));
+        assert_eq!(campaign_digest(&fast_faulted), campaign_digest(&naive_faulted));
+    }
+
+    #[test]
+    fn cori_week_config_schedules_a_cluster_scale_probe_load() {
+        let config = CampaignConfig::cori_week();
+        assert_eq!(config.apps.len(), 20);
+        let (lo, hi) = config.probes_per_day;
+        assert!(lo * config.apps.len() * config.num_days > 1200);
+        assert_eq!(lo, hi, "fixed probe density: the count is deterministic");
     }
 
     #[test]

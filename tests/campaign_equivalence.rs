@@ -1,0 +1,50 @@
+//! Exact-bits pins for the campaign's incremental fast path.
+//!
+//! Two guarantees, enforced end to end through the public API:
+//!
+//! 1. The optimized `run_campaign` is bit-for-bit the sequential
+//!    pre-optimization implementation (`run_campaign_naive`, exposed via
+//!    the `naive` feature), clean and under an active fault plan.
+//! 2. The `quick()` campaign digest equals the constant captured on the
+//!    sequential implementation *before* the fast path landed. If this pin
+//!    moves, the rewrite changed simulated physics, not just speed.
+
+use dfv_experiments::campaign::{
+    campaign_digest, run_campaign, run_campaign_faulted, run_campaign_naive, CampaignConfig,
+};
+use dfv_faults::FaultPlan;
+
+/// `campaign_digest(run_campaign(&CampaignConfig::quick()))` captured on the
+/// dense sequential engine at the commit preceding the fast path.
+const QUICK_DIGEST_PRE_FAST_PATH: u64 = 0xe8dccbf580406247;
+
+#[test]
+fn quick_campaign_digest_is_pinned_to_the_sequential_era() {
+    let result = run_campaign(&CampaignConfig::quick());
+    assert_eq!(
+        campaign_digest(&result),
+        QUICK_DIGEST_PRE_FAST_PATH,
+        "fast-path campaign diverged from the pinned pre-optimization digest"
+    );
+}
+
+#[test]
+fn fast_and_naive_campaigns_are_bit_identical() {
+    let config = CampaignConfig::quick();
+    let fast = run_campaign(&config);
+    let naive = run_campaign_naive(&config, None);
+    assert_eq!(fast.sacct, naive.sacct);
+    assert_eq!(fast.probe_jobs, naive.probe_jobs);
+    assert_eq!(campaign_digest(&fast), campaign_digest(&naive));
+}
+
+#[test]
+fn fast_and_naive_campaigns_agree_under_faults() {
+    let mut config = CampaignConfig::quick();
+    config.num_days = 3;
+    let plan = FaultPlan::gaps(41, 0.3);
+    let fast = run_campaign_faulted(&config, Some(&plan));
+    let naive = run_campaign_naive(&config, Some(&plan));
+    // The digest folds in raw bit patterns, so NaN gaps must line up too.
+    assert_eq!(campaign_digest(&fast), campaign_digest(&naive));
+}

@@ -252,3 +252,29 @@ fn online_loop_survives_periodic_artifact_corruption() {
     );
     assert_eq!(snapshot.counter("online.promote.installed"), Some(installed as u64));
 }
+
+/// The "Cori week" stress configuration: the full-size machine, 20 Table I
+/// rows, and enough probe density that one simulated week produces more
+/// than 1200 probe runs. Exercises the incremental measurement engine —
+/// route cache, sparse background splices, session reuse — at cluster
+/// scale. Ignored in the default tier; CI's `--include-ignored` pass and
+/// the chaos job run it.
+#[test]
+#[ignore = "cluster-scale stress run (release-mode minutes)"]
+fn cori_week_campaign_completes_at_cluster_scale() {
+    let config = CampaignConfig::cori_week();
+    let result = run_campaign(&config);
+    assert!(
+        result.probe_jobs.len() > 1200,
+        "only {} probe runs; the stress config lost its scale",
+        result.probe_jobs.len()
+    );
+    let runs: usize = result.datasets.iter().map(|d| d.runs.len()).sum();
+    assert_eq!(runs, result.probe_jobs.len(), "every scheduled probe must be measured");
+    for d in &result.datasets {
+        for run in &d.runs {
+            assert!(!run.steps.is_empty());
+            assert!(run.steps.iter().all(|s| s.time.is_finite() && s.time > 0.0));
+        }
+    }
+}
