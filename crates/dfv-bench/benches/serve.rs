@@ -138,5 +138,35 @@ fn bench_batched_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_single_request_latency, bench_batched_throughput);
+/// Flattened kernel vs pointer-tree oracle on the raw batch path (no
+/// queue, no cache): the inference cycles a shard actually spends.
+fn bench_flat_kernel(c: &mut Criterion) {
+    let art = artifact(1);
+    let gbr = match &art.model {
+        dfv_serve::ModelKind::Deviation(g) => g.clone(),
+        _ => unreachable!("artifact() builds a deviation model"),
+    };
+    let flat = gbr.flatten();
+    let rows = fresh_rows(4096, 3);
+    let mut x = Matrix::zeros(0, WIDTH);
+    for row in &rows {
+        x.push_row(row);
+    }
+    // Witness before timing: the two paths must agree bit-for-bit.
+    let oracle = gbr.predict(&x);
+    let fast = flat.predict_batch(&x);
+    assert!(oracle.iter().zip(&fast).all(|(a, b)| a.to_bits() == b.to_bits()));
+
+    let mut g = c.benchmark_group("serve/kernel_4096_rows");
+    g.bench_function("pointer_tree", |b| b.iter(|| black_box(gbr.predict(&x))));
+    g.bench_function("flat_forest", |b| b.iter(|| black_box(flat.predict_batch(&x))));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_request_latency,
+    bench_batched_throughput,
+    bench_flat_kernel
+);
 criterion_main!(benches);

@@ -1,0 +1,323 @@
+//! Flattened, cache-resident forest inference: the serving-side compile
+//! target of a fitted [`Gbr`](crate::gbr::Gbr).
+//!
+//! Training (PR 3) made fitting 5x faster but prediction stayed a
+//! pointer-chase: every tree is a `Vec<Node>` of enum variants, every hop a
+//! match on a heap-separate allocation. A [`FlatForest`] compiles the whole
+//! forest into four contiguous arrays — feature index, threshold, left-child
+//! offset and (for leaves) the leaf value — laid out so that a split's two
+//! children are **adjacent** (`right == left + 1`). Traversal is then a
+//! branch-light index update per hop,
+//!
+//! ```text
+//! node = child[node] + (!(row[feature[node]] <= threshold[node])) as usize
+//! ```
+//!
+//! over arrays that fit in cache for any realistically sized forest, and
+//! [`FlatForest::predict_batch`] walks B rows x T trees in row blocks so the
+//! node arrays stay hot across the whole block.
+//!
+//! The compilation is **exact**: thresholds, leaf values and the `<=` split
+//! predicate are carried bit-for-bit, and the per-row accumulation order
+//! (tree 0, tree 1, ...) matches [`Gbr::predict_row`], so flat predictions
+//! are bit-identical to the pointer-tree path. The pointer walk stays
+//! available as the oracle — the same discipline as the `naive` training
+//! path — and the equivalence is pinned by a proptest plus seed-trained
+//! artifact digests.
+//!
+//! [`Gbr::predict_row`]: crate::gbr::Gbr::predict_row
+
+use crate::matrix::Matrix;
+
+/// Sentinel feature index marking a leaf node; its `threshold` slot holds
+/// the leaf value instead of a split threshold.
+pub const FLAT_LEAF: u32 = u32::MAX;
+
+/// Rows per traversal block: small enough that per-row state lives in
+/// registers/L1, large enough to amortize the per-tree loop overhead.
+const BLOCK: usize = 16;
+
+/// A boosted forest compiled into contiguous structure-of-arrays node
+/// storage. Build one with [`Gbr::flatten`](crate::gbr::Gbr::flatten).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatForest {
+    init: f64,
+    learning_rate: f64,
+    num_features: usize,
+    /// Root node index of each tree, in boosting order.
+    roots: Vec<u32>,
+    /// Split feature per node; [`FLAT_LEAF`] for leaves.
+    feature: Vec<u32>,
+    /// Split threshold per node; the leaf value for leaves.
+    threshold: Vec<f64>,
+    /// Left-child index per node; the right child is `child + 1`. Zero
+    /// (never read) for leaves.
+    child: Vec<u32>,
+}
+
+impl FlatForest {
+    /// Assemble a compiled forest from flattened node arrays. Crate-private:
+    /// the arrays' adjacency invariants are established by the flattening
+    /// walk in `gbr.rs`/`tree.rs`.
+    pub(crate) fn from_parts(
+        init: f64,
+        learning_rate: f64,
+        num_features: usize,
+        roots: Vec<u32>,
+        feature: Vec<u32>,
+        threshold: Vec<f64>,
+        child: Vec<u32>,
+    ) -> Self {
+        debug_assert_eq!(feature.len(), threshold.len());
+        debug_assert_eq!(feature.len(), child.len());
+        debug_assert!(roots.iter().all(|&r| (r as usize) < feature.len().max(1)));
+        FlatForest { init, learning_rate, num_features, roots, feature, threshold, child }
+    }
+
+    /// Width of the feature rows the forest predicts on.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Number of trees in the forest.
+    pub fn num_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Total nodes across all trees (one contiguous arena).
+    pub fn num_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Walk one tree for one row; returns the leaf value.
+    #[inline]
+    #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must go right, like the pointer walk
+    fn walk(&self, root: u32, row: &[f64]) -> f64 {
+        let mut node = root as usize;
+        let mut f = self.feature[node];
+        while f != FLAT_LEAF {
+            // `!(v <= t)` (not `v > t`) so NaN features take the right
+            // branch exactly like the pointer walk's if/else.
+            let go_right = !(row[f as usize] <= self.threshold[node]);
+            node = self.child[node] as usize + go_right as usize;
+            f = self.feature[node];
+        }
+        self.threshold[node]
+    }
+
+    /// Predict one row. Bit-identical to
+    /// [`Gbr::predict_row`](crate::gbr::Gbr::predict_row) on the forest
+    /// this was compiled from.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for &root in &self.roots {
+            acc += self.walk(root, row);
+        }
+        self.init + self.learning_rate * acc
+    }
+
+    /// Predict every row of a matrix with the blocked batched kernel: rows
+    /// are processed in blocks of [`BLOCK`], trees in boosting order inside
+    /// each block, so the node arrays stay cache-resident across the block
+    /// while each row still accumulates tree values in the exact order of
+    /// the scalar path. Bit-identical to
+    /// [`Gbr::predict`](crate::gbr::Gbr::predict).
+    pub fn predict_batch(&self, x: &Matrix) -> Vec<f64> {
+        assert_eq!(x.cols(), self.num_features, "row width mismatch");
+        let n = x.rows();
+        let mut out = vec![0.0f64; n];
+        let mut acc = [0.0f64; BLOCK];
+        let mut base = 0;
+        while base < n {
+            let len = BLOCK.min(n - base);
+            acc[..len].fill(0.0);
+            for &root in &self.roots {
+                for (i, a) in acc[..len].iter_mut().enumerate() {
+                    *a += self.walk(root, x.row(base + i));
+                }
+            }
+            for (i, &a) in acc[..len].iter().enumerate() {
+                out[base + i] = self.init + self.learning_rate * a;
+            }
+            base += len;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::gbr::{Gbr, GbrParams};
+    use crate::matrix::Matrix;
+    use crate::tree::TreeParams;
+
+    fn synth(n: usize, d: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut x = Matrix::zeros(0, d);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let row: Vec<f64> = (0..d)
+                .map(|j| {
+                    let h = (i as u64)
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add(seed ^ j as u64)
+                        .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    ((h >> 40) as f64) / (1u64 << 24) as f64 - 0.5
+                })
+                .collect();
+            y.push(3.0 * row[0] - row[d / 2] * row[d - 1] + 0.25 * row[d - 1]);
+            x.push_row(&row);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn flat_matches_pointer_predictions_bit_for_bit() {
+        let (x, y) = synth(300, 5, 7);
+        for (n_trees, max_depth, subsample) in [(1, 1, 1.0), (20, 3, 0.7), (40, 4, 0.5)] {
+            let params = GbrParams {
+                n_trees,
+                subsample,
+                seed: 11,
+                tree: TreeParams { max_depth, ..TreeParams::default() },
+                ..GbrParams::default()
+            };
+            let gbr = Gbr::fit(&x, &y, &params);
+            let flat = gbr.flatten();
+            assert_eq!(flat.num_trees(), gbr.num_trees());
+            assert_eq!(flat.num_features(), gbr.num_features());
+            let pointer = gbr.predict(&x);
+            let flattened = flat.predict_batch(&x);
+            for (r, (a, b)) in pointer.iter().zip(&flattened).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {r}");
+            }
+            for r in 0..x.rows() {
+                assert_eq!(flat.predict_row(x.row(r)).to_bits(), pointer[r].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn block_boundaries_do_not_change_results() {
+        let (x, y) = synth(64, 3, 3);
+        let gbr = Gbr::fit(&x, &y, &GbrParams { n_trees: 10, ..GbrParams::default() });
+        let flat = gbr.flatten();
+        // Batch sizes straddling the block size: 1, BLOCK-1, BLOCK, BLOCK+1.
+        for take in [1usize, 15, 16, 17, 33, 64] {
+            let mut sub = Matrix::zeros(0, 3);
+            for r in 0..take {
+                sub.push_row(x.row(r));
+            }
+            let batched = flat.predict_batch(&sub);
+            for (r, value) in batched.iter().enumerate() {
+                assert_eq!(value.to_bits(), gbr.predict_row(x.row(r)).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn single_leaf_forest_flattens() {
+        // A constant target yields trees that are single leaves.
+        let x = Matrix::from_rows(&(0..12).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let y = vec![5.0; 12];
+        let gbr = Gbr::fit(&x, &y, &GbrParams { n_trees: 3, subsample: 1.0, ..Default::default() });
+        let flat = gbr.flatten();
+        assert_eq!(flat.num_nodes(), 3);
+        assert_eq!(flat.predict_row(&[99.0]).to_bits(), gbr.predict_row(&[99.0]).to_bits());
+    }
+
+    #[test]
+    fn nan_rows_take_the_same_branch_as_the_pointer_walk() {
+        let (x, y) = synth(120, 3, 5);
+        let gbr = Gbr::fit(&x, &y, &GbrParams { n_trees: 8, ..GbrParams::default() });
+        let flat = gbr.flatten();
+        let rows = [[f64::NAN, 0.1, -0.2], [0.3, f64::NAN, 0.0], [f64::NAN, f64::NAN, f64::NAN]];
+        let mut m = Matrix::zeros(0, 3);
+        for row in &rows {
+            m.push_row(row);
+        }
+        let batched = flat.predict_batch(&m);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(batched[i].to_bits(), gbr.predict_row(row).to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let (x, y) = synth(40, 2, 1);
+        let gbr = Gbr::fit(&x, &y, &GbrParams { n_trees: 4, ..GbrParams::default() });
+        let flat = gbr.flatten();
+        assert!(flat.predict_batch(&Matrix::zeros(0, 2)).is_empty());
+    }
+
+    mod equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random dataset with duplicate-heavy columns: raw cells are either
+        /// snapped to a small discrete pool or kept continuous, so flattened
+        /// trees get equal-value runs and shallow/deep mixes.
+        fn build_dataset(raw: &[(f64, usize)], y: &[f64], d: usize) -> (Matrix, Vec<f64>) {
+            const POOL: [f64; 4] = [0.0, 1.0, -1.0, 2.5];
+            let n = (raw.len() / d).min(y.len());
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|r| {
+                    raw[r * d..(r + 1) * d]
+                        .iter()
+                        .map(|&(v, code)| if code == 0 { v } else { POOL[(code - 1) % POOL.len()] })
+                        .collect()
+                })
+                .collect();
+            (Matrix::from_rows(&rows), y[..n].to_vec())
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// For arbitrary trained forests (any seed/depth/tree count/
+            /// subsample) and arbitrary batch sizes, the flattened batched
+            /// kernel returns exactly the recursive predictor's bits.
+            #[test]
+            fn flat_batch_matches_recursive_predict_bit_for_bit(
+                raw in proptest::collection::vec((-5.0f64..5.0, 0usize..6), 24..480),
+                y_all in proptest::collection::vec(-20.0f64..20.0, 12..96),
+                d in 1usize..5,
+                n_trees in 1usize..24,
+                max_depth in 1usize..5,
+                min_samples_leaf in 1usize..4,
+                subsample in 0.4f64..=1.0,
+                seed in 0u64..1000,
+                batch_len in 0usize..48,
+            ) {
+                let (x, y) = build_dataset(&raw, &y_all, d);
+                prop_assume!(x.rows() >= 8);
+                let params = GbrParams {
+                    n_trees,
+                    subsample,
+                    seed,
+                    tree: TreeParams { max_depth, min_samples_leaf, min_gain: 1e-12 },
+                    ..GbrParams::default()
+                };
+                let gbr = Gbr::fit(&x, &y, &params);
+                let flat = gbr.flatten();
+
+                let pointer = gbr.predict(&x);
+                let flattened = flat.predict_batch(&x);
+                for (r, (a, b)) in pointer.iter().zip(&flattened).enumerate() {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "row {}", r);
+                }
+
+                // An arbitrary-size sub-batch (possibly empty, possibly
+                // straddling block boundaries) agrees row for row too.
+                let take = batch_len.min(x.rows());
+                let mut sub = Matrix::zeros(0, x.cols());
+                for r in 0..take {
+                    sub.push_row(x.row(r));
+                }
+                let sub_pred = flat.predict_batch(&sub);
+                for (r, value) in sub_pred.iter().enumerate() {
+                    prop_assert_eq!(value.to_bits(), pointer[r].to_bits(), "sub row {}", r);
+                }
+            }
+        }
+    }
+}

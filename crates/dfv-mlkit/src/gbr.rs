@@ -156,6 +156,30 @@ impl Gbr {
         self.init + self.learning_rate * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
     }
 
+    /// Compile the fitted forest into a [`FlatForest`](crate::flat::FlatForest)
+    /// for serving: all trees' nodes in one contiguous structure-of-arrays
+    /// arena with adjacent children, traversed branch-light in row blocks.
+    /// The compilation is exact — flat predictions are bit-for-bit identical
+    /// to [`Gbr::predict`] / [`Gbr::predict_row`] for every input.
+    pub fn flatten(&self) -> crate::flat::FlatForest {
+        let mut roots = Vec::with_capacity(self.trees.len());
+        let mut feature = Vec::new();
+        let mut threshold = Vec::new();
+        let mut child = Vec::new();
+        for tree in &self.trees {
+            roots.push(tree.flatten_into(&mut feature, &mut threshold, &mut child));
+        }
+        crate::flat::FlatForest::from_parts(
+            self.init,
+            self.learning_rate,
+            self.num_features(),
+            roots,
+            feature,
+            threshold,
+            child,
+        )
+    }
+
     /// Predict every row of a matrix.
     pub fn predict(&self, x: &Matrix) -> Vec<f64> {
         (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()

@@ -9,6 +9,8 @@
 //! * [`mi`] — mutual information (neighborhood analysis, Section IV-A);
 //! * [`tree`]/[`gbr`] — CART trees and gradient boosted regression
 //!   (deviation modeling, Section IV-B);
+//! * [`flat`] — fitted forests compiled into contiguous node arrays for
+//!   branch-light, cache-resident serving inference;
 //! * [`rfe`] — recursive feature elimination with CV relevance scores
 //!   (Figure 9);
 //! * [`attention`] — the scalar dot-product attention forecaster
@@ -21,6 +23,7 @@
 
 pub mod attention;
 pub mod dataset;
+pub mod flat;
 pub mod gbr;
 pub mod matrix;
 pub mod metrics;
@@ -34,6 +37,7 @@ pub use dataset::{
     impute_series, kfold, mean_center, series_has_missing, Dataset, MissingPolicy, ScalarScaler,
     Standardizer, WindowDataset,
 };
+pub use flat::FlatForest;
 pub use gbr::{Gbr, GbrParams};
 pub use matrix::Matrix;
 pub use mi::{binary_entropy, mutual_information_binary, mutual_information_discrete};

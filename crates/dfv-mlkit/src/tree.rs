@@ -558,6 +558,54 @@ impl RegressionTree {
         self.nodes.len()
     }
 
+    /// Append this tree's nodes to flattened structure-of-arrays storage
+    /// (see [`crate::flat::FlatForest`]); returns the root's index. A
+    /// split's children are laid out adjacently (`right == left + 1`), so
+    /// the flat walk selects a child by adding the comparison result to the
+    /// stored left index. Leaves store [`crate::flat::FLAT_LEAF`] in the
+    /// feature slot and their value in the threshold slot.
+    pub(crate) fn flatten_into(
+        &self,
+        feature: &mut Vec<u32>,
+        threshold: &mut Vec<f64>,
+        child: &mut Vec<u32>,
+    ) -> u32 {
+        fn alloc(feature: &mut Vec<u32>, threshold: &mut Vec<f64>, child: &mut Vec<u32>) -> u32 {
+            let slot = feature.len() as u32;
+            feature.push(crate::flat::FLAT_LEAF);
+            threshold.push(0.0);
+            child.push(0);
+            slot
+        }
+        fn fill(
+            nodes: &[Node],
+            node: usize,
+            slot: usize,
+            feature: &mut Vec<u32>,
+            threshold: &mut Vec<f64>,
+            child: &mut Vec<u32>,
+        ) {
+            match &nodes[node] {
+                Node::Leaf { value } => {
+                    feature[slot] = crate::flat::FLAT_LEAF;
+                    threshold[slot] = *value;
+                }
+                Node::Split { feature: f, threshold: t, left, right, .. } => {
+                    let l = alloc(feature, threshold, child);
+                    alloc(feature, threshold, child); // right = l + 1
+                    feature[slot] = *f as u32;
+                    threshold[slot] = *t;
+                    child[slot] = l;
+                    fill(nodes, *left, l as usize, feature, threshold, child);
+                    fill(nodes, *right, l as usize + 1, feature, threshold, child);
+                }
+            }
+        }
+        let root = alloc(feature, threshold, child);
+        fill(&self.nodes, 0, root as usize, feature, threshold, child);
+        root
+    }
+
     /// Depth of the tree (0 for a single leaf).
     pub fn depth(&self) -> usize {
         fn rec(nodes: &[Node], i: usize) -> usize {

@@ -1,0 +1,102 @@
+//! Serving-side compiled artifacts: a [`ModelArtifact`] paired with its
+//! flattened inference kernel.
+//!
+//! The registry compiles every artifact once at install time — deviation
+//! GBRs are flattened into a contiguous [`FlatForest`]
+//! (see `dfv_mlkit::flat`) whose blocked, branch-light batched traversal is
+//! what the serving hot path runs. The pointer-tree predict on the wrapped
+//! artifact stays available as the oracle, and the compiled path is
+//! bit-for-bit identical to it, so compilation is invisible to clients:
+//! only the cycles change.
+
+use crate::artifact::{ModelArtifact, ModelKind};
+use dfv_mlkit::flat::FlatForest;
+use dfv_mlkit::matrix::Matrix;
+use std::sync::Arc;
+
+/// An installed artifact plus its serving-compiled form.
+#[derive(Debug, Clone)]
+pub struct CompiledArtifact {
+    artifact: Arc<ModelArtifact>,
+    /// The flattened forest for deviation models; forecasters run their
+    /// (already matrix-shaped) attention pass directly.
+    flat: Option<FlatForest>,
+}
+
+impl CompiledArtifact {
+    /// Compile an artifact for serving. Deviation forests are flattened;
+    /// other model kinds pass through.
+    pub fn compile(artifact: Arc<ModelArtifact>) -> Self {
+        let flat = match &artifact.model {
+            ModelKind::Deviation(g) => Some(g.flatten()),
+            ModelKind::Forecast(_) => None,
+        };
+        CompiledArtifact { artifact, flat }
+    }
+
+    /// The wrapped artifact (metadata, version, pointer-tree oracle).
+    pub fn artifact(&self) -> &Arc<ModelArtifact> {
+        &self.artifact
+    }
+
+    /// Model version, for hot-swap ordering and cache keys.
+    pub fn version(&self) -> u64 {
+        self.artifact.version
+    }
+
+    /// Input width one request row must have.
+    pub fn input_width(&self) -> usize {
+        self.artifact.input_width()
+    }
+
+    /// The flattened kernel, when this artifact has one.
+    pub fn flat(&self) -> Option<&FlatForest> {
+        self.flat.as_ref()
+    }
+
+    /// One batched pass over request rows through the compiled kernel.
+    /// Bit-for-bit identical to [`ModelArtifact::predict_batch`] (and so
+    /// to per-row offline prediction) for every input.
+    pub fn predict_batch(&self, rows: &Matrix) -> Vec<f64> {
+        match &self.flat {
+            Some(flat) => flat.predict_batch(rows),
+            None => self.artifact.predict_batch(rows),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{tiny_forecast_artifact, tiny_gbr_artifact};
+
+    #[test]
+    fn compiled_deviation_matches_pointer_tree_bit_for_bit() {
+        let artifact = Arc::new(tiny_gbr_artifact("amg-16", 1));
+        let compiled = CompiledArtifact::compile(artifact.clone());
+        assert!(compiled.flat().is_some());
+        assert_eq!(compiled.version(), 1);
+        let width = artifact.input_width();
+        let mut rows = Matrix::zeros(0, width);
+        for i in 0..40 {
+            let row: Vec<f64> = (0..width).map(|j| ((i * 7 + j) % 13) as f64 * 0.37).collect();
+            rows.push_row(&row);
+        }
+        let oracle = artifact.predict_batch(&rows);
+        let fast = compiled.predict_batch(&rows);
+        for (a, b) in oracle.iter().zip(&fast) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn forecasters_pass_through_uncompiled() {
+        let artifact = Arc::new(tiny_forecast_artifact("milc-16", 2));
+        let compiled = CompiledArtifact::compile(artifact.clone());
+        assert!(compiled.flat().is_none());
+        let width = artifact.input_width();
+        let mut rows = Matrix::zeros(0, width);
+        rows.push_row(&(0..width).map(|j| 1.0 + j as f64 * 0.5).collect::<Vec<_>>());
+        assert_eq!(compiled.predict_batch(&rows), artifact.predict_batch(&rows));
+    }
+}

@@ -8,26 +8,38 @@
 //!
 //! - [`artifact`] — versioned, serde-serialized model artifacts: the
 //!   on-disk contract between training and serving.
-//! - [`registry`] — the [`ModelRegistry`]: atomic hot-swap of versioned
-//!   models under a read-write lock; readers pin `Arc` snapshots.
+//! - [`compiled`] — [`CompiledArtifact`]: install-time compilation of
+//!   deviation forests into flattened `dfv_mlkit::flat` kernels.
+//! - [`registry`] — the [`ModelRegistry`]: epoch-numbered, atomically
+//!   swapped [`EpochSnapshot`]s of compiled models; readers pin one
+//!   `Arc` snapshot and see a version-consistent fleet view.
 //! - [`service`] — the [`Service`]: a bounded MPSC request queue drained
 //!   by a micro-batching worker (one matrix pass per model per tick),
 //!   with backpressure ([`Response::Rejected`]) when the queue is full.
+//! - [`sharded`] — the [`Fleet`]: N service shards behind deterministic
+//!   hash-affinity dispatch with least-loaded spill.
 //! - [`cache`] — an O(1) [`LruCache`] of predictions keyed by
-//!   `(model, version, feature-row hash)`; hot-swaps self-invalidate.
+//!   `(model, version, feature-row hash)`; hot-swaps clear it atomically
+//!   with epoch adoption.
 //! - [`stats`] — per-model latency (p50/p95/p99), throughput and cache
 //!   hit-rate metrics via [`ServeStats`].
+//! - [`loadgen`] — a seeded open/closed-loop load harness (Poisson
+//!   arrivals, Zipf key mix) producing deterministic [`LoadReport`]s.
 //! - [`source`] — [`ServeForecastSource`], plugging a live service into
 //!   `dfv_scheduler::ForecastAdvisor`.
 //!
 //! Served predictions are **bit-for-bit identical** to offline inference
-//! with the same model version: batching mirrors the scalar accumulation
-//! order and the cache keys on exact feature bits.
+//! with the same model version: the flattened kernels, batching and
+//! sharding all mirror the scalar accumulation order, and the cache keys
+//! on exact feature bits.
 
 pub mod artifact;
 pub mod cache;
+pub mod compiled;
+pub mod loadgen;
 pub mod registry;
 pub mod service;
+pub mod sharded;
 pub mod source;
 pub mod stats;
 
@@ -35,8 +47,11 @@ pub use artifact::{
     ArtifactError, ModelArtifact, ModelKind, TaskKind, WindowGeometry, ARTIFACT_SCHEMA_VERSION,
 };
 pub use cache::{hash_row, LruCache};
-pub use registry::{ModelKey, ModelRegistry, RegistryError};
+pub use compiled::CompiledArtifact;
+pub use loadgen::{run_load, LoadMode, LoadReport, LoadSpec};
+pub use registry::{EpochSnapshot, ModelKey, ModelRegistry, RegistryError};
 pub use service::{Pending, Request, Response, ServeConfig, ServeError, ServeHandle, Service};
+pub use sharded::{Fleet, FleetConfig, FleetHandle, FleetStats};
 pub use source::ServeForecastSource;
 pub use stats::{LatencyHistogram, ModelStats, ModelStatsSnapshot, ServeStats};
 
@@ -89,6 +104,25 @@ pub(crate) mod testutil {
     /// A deviation artifact around [`tiny_gbr`].
     pub fn tiny_gbr_artifact(app: &str, version: u64) -> ModelArtifact {
         let (gbr, x) = tiny_gbr();
+        let names: Vec<String> = (0..x.cols()).map(|i| format!("f{i}")).collect();
+        ModelArtifact::deviation(app, version, FeatureSet::App, names, gbr)
+    }
+
+    /// Like [`tiny_gbr_artifact`], but trained on a scaled target so
+    /// different "versions" genuinely predict different values — for
+    /// tests that must catch a stale prediction leaking across a swap.
+    pub fn tiny_gbr_artifact_scaled(app: &str, version: u64, scale: f64) -> ModelArtifact {
+        let mut x = Matrix::zeros(0, 3);
+        let mut y = Vec::new();
+        for i in 0..16 {
+            let a = (i % 4) as f64;
+            let b = (i / 4) as f64;
+            let c = ((i * 7) % 5) as f64;
+            x.push_row(&[a, b, c]);
+            y.push(scale * (2.0 * a - b + 0.5 * c));
+        }
+        let params = GbrParams { n_trees: 8, subsample: 1.0, ..GbrParams::default() };
+        let gbr = Gbr::fit(&x, &y, &params);
         let names: Vec<String> = (0..x.cols()).map(|i| format!("f{i}")).collect();
         ModelArtifact::deviation(app, version, FeatureSet::App, names, gbr)
     }

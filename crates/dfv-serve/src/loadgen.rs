@@ -1,0 +1,503 @@
+//! A seeded load harness for serving fleets: open-loop Poisson arrivals
+//! (or closed-loop / sequential clients) over a Zipf-distributed request
+//! mix, with client-side latency accounting.
+//!
+//! Everything the generator does is a pure function of the spec's seed —
+//! which request arrives when, which app it targets, and its exact feature
+//! bits — via the stateless `dfv_faults::splitmix64` stream. The same seed
+//! therefore produces the same schedule against any fleet shape, and
+//! because serving is bit-exact, the order-independent [`outcome digest`]
+//! of `(request index, value bits, model version)` is identical for a
+//! one-shard and an N-shard fleet serving the same models. In
+//! [`LoadMode::Sequential`] the per-request cache hit/miss *sequence* is
+//! deterministic too and folded into its own digest.
+//!
+//! Latency is recorded **client-side** into a log₂ histogram. Open-loop
+//! mode measures from the request's *scheduled* arrival instant, so queue
+//! delay under saturation counts against the tail (the coordinated-
+//! omission-free accounting an open-loop harness exists to provide).
+//!
+//! [`outcome digest`]: LoadReport::outcome_digest
+
+use crate::service::{Request, Response};
+use crate::sharded::FleetHandle;
+use dfv_faults::{splitmix64, unit_f64};
+use dfv_obs::Log2Histogram;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Salt domains keeping the generator's splitmix64 streams independent.
+const SALT_RANK: u64 = 0x5261_6e6b_0000_0001;
+const SALT_ROW: u64 = 0x526f_7700_0000_0002;
+const SALT_ARRIVAL: u64 = 0x4172_7200_0000_0003;
+
+/// How the harness drives the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadMode {
+    /// Open loop: requests arrive on a Poisson process at `rate_per_sec`
+    /// regardless of completions; when the fleet saturates, rejections
+    /// count instead of arrivals stalling (no coordinated omission).
+    Open {
+        /// Mean arrival rate, requests per second.
+        rate_per_sec: f64,
+    },
+    /// Closed loop: `concurrency` logical clients each keep one request
+    /// in flight, retrying rejections until everything completes.
+    Closed {
+        /// In-flight request ceiling.
+        concurrency: usize,
+    },
+    /// One blocking request at a time: fully deterministic per-request
+    /// cache hit/miss sequence.
+    Sequential,
+}
+
+/// One load run's shape: everything is derived from `seed`.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Seed for schedule, key mix and feature bits.
+    pub seed: u64,
+    /// Total requests to issue.
+    pub requests: u64,
+    /// Application labels to target (deviation models must be installed
+    /// for each, all with `width` features).
+    pub apps: Vec<String>,
+    /// Distinct feature rows per app; repeats drive the prediction cache.
+    pub pool_per_app: usize,
+    /// Feature row width (must match the installed models).
+    pub width: usize,
+    /// Zipf skew `s` over the `apps.len() * pool_per_app` distinct
+    /// requests (`p(rank) ∝ 1/rank^s`); `0.0` is uniform.
+    pub zipf_s: f64,
+    /// Arrival discipline.
+    pub mode: LoadMode,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            seed: 1,
+            requests: 10_000,
+            apps: vec!["amg-16".into()],
+            pool_per_app: 256,
+            width: 3,
+            zipf_s: 1.1,
+            mode: LoadMode::Closed { concurrency: 16 },
+        }
+    }
+}
+
+impl LoadSpec {
+    fn ranks(&self) -> usize {
+        self.apps.len().max(1) * self.pool_per_app.max(1)
+    }
+
+    /// Zipf CDF over ranks, precomputed once per run (pass it to
+    /// [`LoadSpec::request_at`]).
+    pub fn zipf_cdf(&self) -> Vec<f64> {
+        let k = self.ranks();
+        let mut cdf = Vec::with_capacity(k);
+        let mut total = 0.0;
+        for rank in 1..=k {
+            total += 1.0 / (rank as f64).powf(self.zipf_s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        cdf
+    }
+
+    /// The Zipf rank of request `index` (pure in `seed`).
+    fn rank_of(&self, cdf: &[f64], index: u64) -> usize {
+        let u = unit_f64(splitmix64(self.seed ^ SALT_RANK, index));
+        cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+    }
+
+    /// The request at schedule position `index`: which app, which exact
+    /// feature bits. Identical rows for identical `(seed, index)` —
+    /// across runs, processes and fleet shapes.
+    pub fn request_at(&self, cdf: &[f64], index: u64) -> Request {
+        let rank = self.rank_of(cdf, index);
+        let app_idx = rank % self.apps.len();
+        let variant = (rank / self.apps.len()) as u64;
+        let step_features = (0..self.width)
+            .map(|j| {
+                let bits = splitmix64(self.seed ^ SALT_ROW, (variant << 16) | j as u64);
+                unit_f64(bits) * 4.0 - 2.0
+            })
+            .collect();
+        Request::PredictDeviation { app: self.apps[app_idx].clone(), step_features }
+    }
+
+    /// Exponential inter-arrival gap BEFORE request `index`, in seconds
+    /// (`-ln(1-u)/λ`, finite because `u < 1`). Zero outside open loop.
+    fn inter_arrival_secs(&self, index: u64) -> f64 {
+        match self.mode {
+            LoadMode::Open { rate_per_sec } => {
+                let u = unit_f64(splitmix64(self.seed ^ SALT_ARRIVAL, index));
+                -(1.0 - u).ln() / rate_per_sec
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// A digest of the full request schedule (ranks + arrival offsets):
+    /// equal specs produce equal digests without running any load.
+    pub fn schedule_digest(&self) -> u64 {
+        let cdf = self.zipf_cdf();
+        let mut digest = 0u64;
+        let mut t = 0.0f64;
+        for i in 0..self.requests {
+            let rank = self.rank_of(&cdf, i) as u64;
+            t += self.inter_arrival_secs(i);
+            digest ^= splitmix64(i ^ rank.rotate_left(24), (t * 1e9) as u64);
+        }
+        digest
+    }
+}
+
+/// What one load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests the schedule issued.
+    pub requests: u64,
+    /// Requests answered with a prediction.
+    pub completed: u64,
+    /// Backpressure rejections (open loop counts them; closed loop and
+    /// sequential retries fold them in here too).
+    pub rejected: u64,
+    /// Error responses (unknown model, width mismatch, shutdown).
+    pub errors: u64,
+    /// Responses answered from a prediction cache.
+    pub cache_hits: u64,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+    /// Completed predictions per wall-clock second.
+    pub throughput_rps: f64,
+    /// Client-side latency histogram (nanoseconds; open loop measures
+    /// from scheduled arrival, so queue delay counts).
+    pub latency: Log2Histogram,
+    /// Order-independent XOR fold of `(request index, value bits, model
+    /// version)`: bit-identical serving ⇒ identical digest, regardless of
+    /// shard count or completion order.
+    pub outcome_digest: u64,
+    /// Order-DEPENDENT fold of the per-request cache hit/miss sequence;
+    /// only meaningful (and only produced) in [`LoadMode::Sequential`].
+    pub hit_sequence_digest: Option<u64>,
+    /// Highest fleet queue depth observed while polling (a saturation
+    /// indicator; approximate).
+    pub max_queue_depth: u64,
+}
+
+impl LoadReport {
+    /// Latency quantile in nanoseconds.
+    pub fn latency_ns(&self, q: f64) -> u64 {
+        self.latency.quantile(q)
+    }
+
+    /// The seed-deterministic slice of the report: identical across runs
+    /// of the same spec against bit-identical serving, whatever the
+    /// machine, shard count or wall-clock said.
+    pub fn deterministic_summary(&self) -> String {
+        format!(
+            "requests={} completed={} errors={} outcome_digest={:016x} hit_sequence_digest={}",
+            self.requests,
+            self.completed,
+            self.errors,
+            self.outcome_digest,
+            match self.hit_sequence_digest {
+                Some(d) => format!("{d:016x}"),
+                None => "-".into(),
+            },
+        )
+    }
+}
+
+/// Fold one completed prediction into the order-independent digest.
+fn fold_outcome(digest: &mut u64, index: u64, value: f64, version: u64) {
+    *digest ^= splitmix64(index ^ value.to_bits(), version);
+}
+
+/// Drive `spec` against a fleet and measure. Blocks until every scheduled
+/// request is resolved (answered, rejected, or errored).
+pub fn run_load(handle: &FleetHandle, spec: &LoadSpec) -> LoadReport {
+    assert!(!spec.apps.is_empty(), "load spec needs at least one app");
+    assert!(spec.width > 0, "load spec needs a feature width");
+    match spec.mode {
+        LoadMode::Open { rate_per_sec } => {
+            assert!(rate_per_sec > 0.0, "open-loop rate must be positive");
+            run_open(handle, spec)
+        }
+        LoadMode::Closed { concurrency } => {
+            assert!(concurrency > 0, "closed-loop concurrency must be positive");
+            run_closed(handle, spec, concurrency)
+        }
+        LoadMode::Sequential => run_sequential(handle, spec),
+    }
+}
+
+/// One in-flight open/closed-loop request.
+struct InFlight {
+    index: u64,
+    scheduled: Instant,
+    pending: crate::service::Pending,
+}
+
+/// Shared polling step: resolve everything answerable right now.
+fn drain_inflight(inflight: &mut VecDeque<InFlight>, report: &mut LoadReport) {
+    let mut remaining = VecDeque::with_capacity(inflight.len());
+    while let Some(flight) = inflight.pop_front() {
+        match flight.pending.try_wait() {
+            None => remaining.push_back(flight),
+            Some(Response::Prediction { value, model_version, cached }) => {
+                report.completed += 1;
+                if cached {
+                    report.cache_hits += 1;
+                }
+                report
+                    .latency
+                    .record(flight.scheduled.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                fold_outcome(&mut report.outcome_digest, flight.index, value, model_version);
+            }
+            Some(Response::Rejected { .. }) => report.rejected += 1,
+            Some(Response::Error(_)) => report.errors += 1,
+        }
+    }
+    *inflight = remaining;
+}
+
+fn empty_report(spec: &LoadSpec) -> LoadReport {
+    LoadReport {
+        requests: spec.requests,
+        completed: 0,
+        rejected: 0,
+        errors: 0,
+        cache_hits: 0,
+        elapsed: Duration::ZERO,
+        throughput_rps: 0.0,
+        latency: Log2Histogram::new(),
+        outcome_digest: 0,
+        hit_sequence_digest: None,
+        max_queue_depth: 0,
+    }
+}
+
+fn observe_depth(handle: &FleetHandle, report: &mut LoadReport) {
+    let depth: u64 = handle.queue_depths().iter().sum();
+    report.max_queue_depth = report.max_queue_depth.max(depth);
+}
+
+fn run_open(handle: &FleetHandle, spec: &LoadSpec) -> LoadReport {
+    let cdf = spec.zipf_cdf();
+    let mut report = empty_report(spec);
+    let mut inflight: VecDeque<InFlight> = VecDeque::new();
+    let start = Instant::now();
+    let mut next = 0u64;
+    let mut arrival_secs = spec.inter_arrival_secs(0);
+    let mut next_arrival = Duration::from_secs_f64(arrival_secs);
+    while next < spec.requests || !inflight.is_empty() {
+        let now = start.elapsed();
+        // Issue every request whose scheduled arrival has passed. The
+        // latency clock starts at the SCHEDULED instant, not the issue
+        // instant, so a slow driver or saturated queue cannot hide delay.
+        while next < spec.requests && now >= next_arrival {
+            let request = spec.request_at(&cdf, next);
+            let scheduled = start + next_arrival;
+            match handle.submit(request) {
+                Ok((_, pending)) => {
+                    inflight.push_back(InFlight { index: next, scheduled, pending })
+                }
+                Err(Response::Rejected { .. }) => report.rejected += 1,
+                Err(_) => report.errors += 1,
+            }
+            next += 1;
+            arrival_secs += spec.inter_arrival_secs(next);
+            next_arrival = Duration::from_secs_f64(arrival_secs);
+        }
+        observe_depth(handle, &mut report);
+        drain_inflight(&mut inflight, &mut report);
+        if next < spec.requests {
+            let now = start.elapsed();
+            if next_arrival > now && inflight.is_empty() {
+                std::thread::sleep((next_arrival - now).min(Duration::from_micros(200)));
+            }
+        } else if !inflight.is_empty() {
+            std::thread::yield_now();
+        }
+    }
+    report.elapsed = start.elapsed();
+    report.throughput_rps = report.completed as f64 / report.elapsed.as_secs_f64().max(1e-9);
+    report
+}
+
+fn run_closed(handle: &FleetHandle, spec: &LoadSpec, concurrency: usize) -> LoadReport {
+    let cdf = spec.zipf_cdf();
+    let mut report = empty_report(spec);
+    let mut inflight: VecDeque<InFlight> = VecDeque::new();
+    let start = Instant::now();
+    let mut next = 0u64;
+    let mut resolved = 0u64;
+    while resolved < spec.requests {
+        while next < spec.requests && inflight.len() < concurrency {
+            let request = spec.request_at(&cdf, next);
+            match handle.submit(request) {
+                Ok((_, pending)) => {
+                    inflight.push_back(InFlight {
+                        index: next,
+                        scheduled: Instant::now(),
+                        pending,
+                    });
+                    next += 1;
+                }
+                Err(Response::Rejected { retry_after }) => {
+                    // Closed loop retries until accepted: the fleet never
+                    // sees more than `concurrency` in flight, so this is
+                    // transient.
+                    report.rejected += 1;
+                    std::thread::sleep(retry_after);
+                }
+                Err(_) => {
+                    report.errors += 1;
+                    next += 1;
+                    resolved += 1;
+                }
+            }
+        }
+        observe_depth(handle, &mut report);
+        let before = inflight.len();
+        drain_inflight(&mut inflight, &mut report);
+        resolved += (before - inflight.len()) as u64;
+        if before == inflight.len() {
+            std::thread::yield_now();
+        }
+    }
+    report.elapsed = start.elapsed();
+    report.throughput_rps = report.completed as f64 / report.elapsed.as_secs_f64().max(1e-9);
+    report
+}
+
+fn run_sequential(handle: &FleetHandle, spec: &LoadSpec) -> LoadReport {
+    let cdf = spec.zipf_cdf();
+    let mut report = empty_report(spec);
+    let mut hit_digest = 0u64;
+    let start = Instant::now();
+    for index in 0..spec.requests {
+        let request = spec.request_at(&cdf, index);
+        let issued = Instant::now();
+        loop {
+            match handle.request(request.clone()) {
+                Response::Prediction { value, model_version, cached } => {
+                    report.completed += 1;
+                    if cached {
+                        report.cache_hits += 1;
+                    }
+                    report.latency.record(issued.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                    fold_outcome(&mut report.outcome_digest, index, value, model_version);
+                    // Order-dependent: position i's hit/miss chained into
+                    // every later fold.
+                    hit_digest = splitmix64(hit_digest ^ index, cached as u64);
+                    break;
+                }
+                Response::Rejected { retry_after } => {
+                    report.rejected += 1;
+                    std::thread::sleep(retry_after);
+                }
+                Response::Error(_) => {
+                    report.errors += 1;
+                    break;
+                }
+            }
+        }
+        observe_depth(handle, &mut report);
+    }
+    report.hit_sequence_digest = Some(hit_digest);
+    report.elapsed = start.elapsed();
+    report.throughput_rps = report.completed as f64 / report.elapsed.as_secs_f64().max(1e-9);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelRegistry;
+    use crate::sharded::{Fleet, FleetConfig};
+    use crate::testutil::tiny_gbr_artifact;
+    use std::sync::Arc;
+
+    fn fleet(shards: usize) -> Fleet {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.install(tiny_gbr_artifact("amg-16", 1)).unwrap();
+        Fleet::start(registry, FleetConfig { shards, ..FleetConfig::default() })
+    }
+
+    fn spec(requests: u64, mode: LoadMode) -> LoadSpec {
+        LoadSpec { seed: 7, requests, pool_per_app: 32, mode, ..LoadSpec::default() }
+    }
+
+    #[test]
+    fn schedule_digest_is_seed_deterministic() {
+        let a = spec(500, LoadMode::Open { rate_per_sec: 1e4 });
+        let b = spec(500, LoadMode::Open { rate_per_sec: 1e4 });
+        assert_eq!(a.schedule_digest(), b.schedule_digest());
+        let mut c = spec(500, LoadMode::Open { rate_per_sec: 1e4 });
+        c.seed = 8;
+        assert_ne!(a.schedule_digest(), c.schedule_digest());
+    }
+
+    #[test]
+    fn zipf_mix_is_skewed_toward_low_ranks() {
+        let s = spec(4000, LoadMode::Sequential);
+        let cdf = s.zipf_cdf();
+        let mut counts = vec![0u64; s.ranks()];
+        for i in 0..s.requests {
+            counts[s.rank_of(&cdf, i)] += 1;
+        }
+        let head: u64 = counts.iter().take(3).sum();
+        let tail: u64 = counts.iter().rev().take(3).sum();
+        assert!(head > tail * 3, "zipf head {head} should dominate tail {tail}");
+    }
+
+    #[test]
+    fn sequential_runs_are_bit_identical_across_fleet_shapes() {
+        let s = spec(300, LoadMode::Sequential);
+        let f1 = fleet(1);
+        let r1 = run_load(&f1.handle(), &s);
+        f1.shutdown();
+        let f2 = fleet(1);
+        let r2 = run_load(&f2.handle(), &s);
+        f2.shutdown();
+        assert_eq!(r1.completed, 300);
+        assert_eq!(r1.deterministic_summary(), r2.deterministic_summary());
+        assert!(r1.hit_sequence_digest.is_some());
+        // Zipf repeats over a 32-row pool must produce cache hits.
+        assert!(r1.cache_hits > 0);
+    }
+
+    #[test]
+    fn closed_loop_outcome_digest_matches_sequential() {
+        let seq = run_and_stop(1, spec(300, LoadMode::Sequential));
+        let closed = run_and_stop(2, spec(300, LoadMode::Closed { concurrency: 8 }));
+        assert_eq!(seq.completed, 300);
+        assert_eq!(closed.completed, 300);
+        // Different shard counts, different completion order — same
+        // predictions, same order-independent digest.
+        assert_eq!(seq.outcome_digest, closed.outcome_digest);
+    }
+
+    #[test]
+    fn open_loop_resolves_every_scheduled_request() {
+        let report = run_and_stop(2, spec(400, LoadMode::Open { rate_per_sec: 50_000.0 }));
+        assert_eq!(report.completed + report.rejected + report.errors, 400);
+        assert_eq!(report.errors, 0);
+        assert!(report.throughput_rps > 0.0);
+        assert!(report.latency_ns(0.99) >= report.latency_ns(0.50));
+    }
+
+    fn run_and_stop(shards: usize, s: LoadSpec) -> LoadReport {
+        let f = fleet(shards);
+        let report = run_load(&f.handle(), &s);
+        f.shutdown();
+        report
+    }
+}

@@ -1,14 +1,22 @@
 //! The model registry: the single source of truth for which model version
 //! serves each `(app, task)` pair.
 //!
-//! Readers take an `Arc` snapshot of an artifact under a short read lock —
-//! an in-flight batch keeps predicting with the version it grabbed even if
-//! a newer one is installed mid-batch. Installation swaps the `Arc`
-//! atomically under the write lock and refuses version regressions, so a
-//! slow exporter can never clobber a newer model (the "stale swap" hazard
-//! of rolling retrains).
+//! Internally the registry publishes **epoch snapshots**: one immutable
+//! `Arc<EpochSnapshot>` holding every live compiled model plus a
+//! monotonically increasing epoch number. An install compiles the artifact
+//! (flattening deviation forests for the serving kernel), builds the next
+//! snapshot, and swaps the `Arc` atomically under the write lock —
+//! refusing version regressions, so a slow exporter can never clobber a
+//! newer model (the "stale swap" hazard of rolling retrains).
+//!
+//! Readers pin a whole snapshot with [`ModelRegistry::snapshot`]: a shard
+//! that pins one snapshot per batching tick can never serve a torn mix of
+//! model versions within a batch, and because epochs are monotone, clients
+//! observing replies in order observe versions in order. The single-model
+//! [`ModelRegistry::get`] view remains for offline consumers.
 
 use crate::artifact::{ArtifactError, ModelArtifact, TaskKind};
+use crate::compiled::CompiledArtifact;
 use dfv_obs::Obs;
 use std::collections::HashMap;
 use std::path::Path;
@@ -77,11 +85,64 @@ impl From<ArtifactError> for RegistryError {
     }
 }
 
+/// One immutable published registry state: every live compiled model at a
+/// given epoch. Pinning the `Arc` pins a version-consistent view — no
+/// concurrent install can tear it.
+#[derive(Debug, Clone, Default)]
+pub struct EpochSnapshot {
+    epoch: u64,
+    models: HashMap<ModelKey, Arc<CompiledArtifact>>,
+}
+
+impl EpochSnapshot {
+    /// The snapshot's epoch. Epochs increase by exactly one per successful
+    /// install, so two snapshots with equal epochs are the same state.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The compiled model serving a key in this snapshot.
+    pub fn get(&self, key: &ModelKey) -> Option<&Arc<CompiledArtifact>> {
+        self.models.get(key)
+    }
+
+    /// Live version per key in this snapshot (0 when absent).
+    pub fn version_of(&self, key: &ModelKey) -> u64 {
+        self.models.get(key).map(|c| c.version()).unwrap_or(0)
+    }
+
+    /// Every `(key, version)` pair, sorted for stable output.
+    pub fn models(&self) -> Vec<(ModelKey, u64)> {
+        let mut out: Vec<(ModelKey, u64)> =
+            self.models.iter().map(|(k, c)| (k.clone(), c.version())).collect();
+        out.sort();
+        out
+    }
+
+    /// Number of live models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the snapshot holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
 /// The registry. Cheap to share: clone an `Arc<ModelRegistry>`.
-#[derive(Default)]
 pub struct ModelRegistry {
-    models: RwLock<HashMap<ModelKey, Arc<ModelArtifact>>>,
+    snapshot: RwLock<Arc<EpochSnapshot>>,
     obs: Obs,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        ModelRegistry {
+            snapshot: RwLock::new(Arc::new(EpochSnapshot::default())),
+            obs: Obs::disabled(),
+        }
+    }
 }
 
 impl ModelRegistry {
@@ -91,36 +152,74 @@ impl ModelRegistry {
     }
 
     /// An empty registry that reports successful hot-swaps to `obs` as
-    /// `serve.registry.swaps{model=}` counters.
+    /// `serve.registry.swaps{model=,shard=}` counters. The install side
+    /// counts under `shard="registry"`; serving shards count the same
+    /// metric under their own shard id when they adopt the new epoch, so
+    /// the swap's propagation across the fleet is visible per shard.
     pub fn new_observed(obs: &Obs) -> Self {
-        ModelRegistry { models: RwLock::new(HashMap::new()), obs: obs.clone() }
+        ModelRegistry {
+            snapshot: RwLock::new(Arc::new(EpochSnapshot::default())),
+            obs: obs.clone(),
+        }
     }
 
     /// Install an artifact, hot-swapping any older version atomically.
     /// Returns the installed version. Fails if the artifact is invalid or
     /// not strictly newer than the live one.
+    ///
+    /// The artifact is compiled for serving (deviation forests flattened)
+    /// before the swap, and the swap publishes a whole new
+    /// [`EpochSnapshot`]: readers pinning snapshots switch from the old
+    /// consistent state to the new one with no intermediate mix.
     pub fn install(&self, artifact: ModelArtifact) -> Result<u64, RegistryError> {
         artifact.validate()?;
         let key = ModelKey { app: artifact.app.clone(), task: artifact.task() };
         let version = artifact.version;
-        let mut models = self.models.write().expect("registry lock poisoned");
-        if let Some(live) = models.get(&key) {
-            if live.version >= version {
+        // Compile outside the lock: flattening is pure and installs are
+        // rare, so writers never hold the lock for kernel compilation.
+        let compiled = Arc::new(CompiledArtifact::compile(Arc::new(artifact)));
+        let mut snapshot = self.snapshot.write().expect("registry lock poisoned");
+        if let Some(live) = snapshot.get(&key) {
+            if live.version() >= version {
                 return Err(RegistryError::StaleVersion {
                     offered: version,
-                    installed: live.version,
+                    installed: live.version(),
                 });
             }
         }
-        self.obs.counter(&format!("serve.registry.swaps{{model=\"{key}\"}}")).inc();
-        models.insert(key, Arc::new(artifact));
+        let mut next = EpochSnapshot {
+            epoch: snapshot.epoch + 1,
+            models: snapshot.models.clone(), // clones Arcs, not models
+        };
+        next.models.insert(key.clone(), compiled);
+        *snapshot = Arc::new(next);
+        self.obs
+            .counter(&format!("serve.registry.swaps{{model=\"{key}\",shard=\"registry\"}}"))
+            .inc();
         Ok(version)
+    }
+
+    /// Pin the current epoch snapshot. The returned `Arc` is immutable: an
+    /// in-flight batch served against it can never see a torn mix of model
+    /// versions, whatever installs happen concurrently.
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        self.snapshot.read().expect("registry lock poisoned").clone()
+    }
+
+    /// The current epoch (0 before any install).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.read().expect("registry lock poisoned").epoch
     }
 
     /// Snapshot the live artifact for a key. The returned `Arc` stays valid
     /// (and unchanged) across concurrent installs.
     pub fn get(&self, key: &ModelKey) -> Option<Arc<ModelArtifact>> {
-        self.models.read().expect("registry lock poisoned").get(key).cloned()
+        self.snapshot.read().expect("registry lock poisoned").get(key).map(|c| c.artifact().clone())
+    }
+
+    /// Snapshot the live compiled model for a key.
+    pub fn get_compiled(&self, key: &ModelKey) -> Option<Arc<CompiledArtifact>> {
+        self.snapshot.read().expect("registry lock poisoned").get(key).cloned()
     }
 
     /// Parse, validate and install one JSON artifact.
@@ -188,20 +287,12 @@ impl ModelRegistry {
 
     /// Every live `(key, version)` pair, sorted for stable output.
     pub fn models(&self) -> Vec<(ModelKey, u64)> {
-        let mut out: Vec<(ModelKey, u64)> = self
-            .models
-            .read()
-            .expect("registry lock poisoned")
-            .iter()
-            .map(|(k, a)| (k.clone(), a.version))
-            .collect();
-        out.sort();
-        out
+        self.snapshot.read().expect("registry lock poisoned").models()
     }
 
     /// Number of live models.
     pub fn len(&self) -> usize {
-        self.models.read().expect("registry lock poisoned").len()
+        self.snapshot.read().expect("registry lock poisoned").len()
     }
 
     /// Whether the registry holds no models.
@@ -348,9 +439,57 @@ mod tests {
         let mut bad = tiny_gbr_artifact("amg-16", 6);
         bad.feature_names.clear();
         assert!(matches!(reg.install(bad), Err(RegistryError::Artifact(_))));
-        let swaps =
-            obs.snapshot().counter("serve.registry.swaps{model=\"amg-16/deviation\"}").unwrap_or(0);
+        let swaps = obs
+            .snapshot()
+            .counter("serve.registry.swaps{model=\"amg-16/deviation\",shard=\"registry\"}")
+            .unwrap_or(0);
         assert_eq!(swaps, 2, "only the two successful installs are hot-swaps");
+    }
+
+    #[test]
+    fn snapshots_are_epoch_consistent_and_immutable() {
+        let reg = ModelRegistry::new();
+        assert_eq!(reg.epoch(), 0);
+        assert!(reg.snapshot().is_empty());
+        reg.install(tiny_gbr_artifact("amg-16", 1)).unwrap();
+        reg.install(tiny_forecast_artifact("amg-16", 1)).unwrap();
+        let pinned = reg.snapshot();
+        assert_eq!(pinned.epoch(), 2);
+        assert_eq!(pinned.version_of(&ModelKey::deviation("amg-16")), 1);
+
+        // Installs after pinning never change the pinned view.
+        reg.install(tiny_gbr_artifact("amg-16", 9)).unwrap();
+        assert_eq!(pinned.version_of(&ModelKey::deviation("amg-16")), 1);
+        assert_eq!(pinned.epoch(), 2);
+        let fresh = reg.snapshot();
+        assert_eq!(fresh.epoch(), 3);
+        assert_eq!(fresh.version_of(&ModelKey::deviation("amg-16")), 9);
+        // The untouched model is shared, not recompiled, across snapshots.
+        assert!(Arc::ptr_eq(
+            pinned.get(&ModelKey::forecast("amg-16")).unwrap(),
+            fresh.get(&ModelKey::forecast("amg-16")).unwrap()
+        ));
+        // A refused install must not bump the epoch.
+        assert!(reg.install(tiny_gbr_artifact("amg-16", 9)).is_err());
+        assert_eq!(reg.epoch(), 3);
+    }
+
+    #[test]
+    fn installs_compile_deviation_kernels() {
+        let reg = ModelRegistry::new();
+        reg.install(tiny_gbr_artifact("amg-16", 1)).unwrap();
+        reg.install(tiny_forecast_artifact("milc-16", 1)).unwrap();
+        let dev = reg.get_compiled(&ModelKey::deviation("amg-16")).unwrap();
+        assert!(dev.flat().is_some(), "deviation installs must carry a flattened kernel");
+        let fc = reg.get_compiled(&ModelKey::forecast("milc-16")).unwrap();
+        assert!(fc.flat().is_none());
+        // The compiled path and the pointer-tree oracle agree exactly.
+        let width = dev.input_width();
+        let mut rows = dfv_mlkit::matrix::Matrix::zeros(0, width);
+        for i in 0..10 {
+            rows.push_row(&(0..width).map(|j| ((i + j) % 5) as f64).collect::<Vec<_>>());
+        }
+        assert_eq!(dev.predict_batch(&rows), dev.artifact().predict_batch(&rows));
     }
 
     #[test]

@@ -7,15 +7,31 @@
 //! and never queues unboundedly). A single batcher thread drains up to
 //! `max_batch` queued requests per tick, groups them by model, answers
 //! repeats from the LRU cache, and runs ONE batched matrix pass per model
-//! for the misses. Batched results are bit-for-bit identical to per-row
-//! offline prediction, so caching and batching are invisible to clients.
+//! for the misses — through the registry's compiled (flattened) kernels.
+//! Batched results are bit-for-bit identical to per-row offline
+//! prediction, so caching, batching and compilation are invisible to
+//! clients.
+//!
+//! ## Epoch consistency
+//!
+//! Each tick pins ONE registry [`EpochSnapshot`] and serves the whole
+//! batch from it: a hot-swap landing mid-tick takes effect at the next
+//! tick boundary, so no batch ever mixes model versions ("torn" epochs).
+//! When the pinned epoch advances, the prediction cache is invalidated in
+//! the same step, before any request of the new epoch is served — a stale
+//! cached prediction can never be returned for a newer model version (the
+//! version-keyed cache keys are a second, independent guard). A service
+//! may run as one shard of a fleet (see `sharded`); its shard id labels
+//! its `dfv-obs` counters and the per-shard swap-adoption metric
+//! `serve.registry.swaps{model=,shard=}`.
 
-use crate::artifact::ModelArtifact;
 use crate::cache::{hash_row, LruCache};
-use crate::registry::{ModelKey, ModelRegistry};
+use crate::compiled::CompiledArtifact;
+use crate::registry::{EpochSnapshot, ModelKey, ModelRegistry};
 use crate::stats::{ModelStats, ServeStats};
 use dfv_faults::{FaultPlan, FaultSite};
 use dfv_mlkit::matrix::Matrix;
+use dfv_obs::Obs;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
@@ -164,6 +180,12 @@ struct Shared {
     counters: Mutex<HashMap<ModelKey, ModelStats>>,
     rejected: AtomicU64,
     stopping: AtomicBool,
+    /// Requests accepted into the queue but not yet drained by the batcher.
+    queue_depth: AtomicU64,
+    /// Observability sink; disabled by default (zero perturbation).
+    obs: Obs,
+    /// This service's shard id — `0` standalone, the shard index in a fleet.
+    shard_id: usize,
 }
 
 impl Shared {
@@ -187,6 +209,19 @@ impl Pending {
     pub fn wait(self) -> Response {
         self.rx.recv().unwrap_or(Response::Error(ServeError::ShuttingDown))
     }
+
+    /// Non-blocking poll: `Some` once the batcher has answered (or the
+    /// service tore down), `None` while the request is still in flight.
+    /// Lets open-loop clients keep many requests outstanding.
+    pub fn try_wait(&self) -> Option<Response> {
+        match self.rx.try_recv() {
+            Ok(response) => Some(response),
+            Err(std::sync::mpsc::TryRecvError::Empty) => None,
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                Some(Response::Error(ServeError::ShuttingDown))
+            }
+        }
+    }
 }
 
 /// A cloneable client handle to a running service.
@@ -208,7 +243,10 @@ impl ServeHandle {
         let (reply, rx) = sync_channel(1);
         let envelope = Envelope { request, enqueued: Instant::now(), reply };
         match self.tx.try_send(QueueItem::Work(envelope)) {
-            Ok(()) => Ok(Pending { rx }),
+            Ok(()) => {
+                self.shared.queue_depth.fetch_add(1, Ordering::Relaxed);
+                Ok(Pending { rx })
+            }
             Err(TrySendError::Full(_)) => {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                 Err(Response::Rejected { retry_after: self.shared.config.retry_after })
@@ -229,6 +267,17 @@ impl ServeHandle {
     pub fn stats(&self) -> ServeStats {
         self.shared.stats()
     }
+
+    /// Requests accepted into the queue but not yet drained (approximate:
+    /// the batcher and submitters race, but it never drifts).
+    pub fn queue_depth(&self) -> u64 {
+        self.shared.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// This service's shard id (`0` when standalone).
+    pub fn shard_id(&self) -> usize {
+        self.shared.shard_id
+    }
 }
 
 /// A running inference service owning its batcher thread.
@@ -239,8 +288,21 @@ pub struct Service {
 
 impl Service {
     /// Start a service over a registry. Models installed into the registry
-    /// after start are picked up on the next batch (hot-swap).
+    /// after start are picked up at the next tick boundary (hot-swap).
     pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Service {
+        Service::start_observed(registry, config, Obs::disabled(), 0)
+    }
+
+    /// [`Service::start`] with an observability sink and a shard id. The
+    /// shard id labels every per-shard metric
+    /// (`serve.shard.*{shard=}`, `serve.registry.swaps{..,shard=}`) so a
+    /// fleet's shards stay distinguishable in one registry.
+    pub fn start_observed(
+        registry: Arc<ModelRegistry>,
+        config: ServeConfig,
+        obs: Obs,
+        shard_id: usize,
+    ) -> Service {
         assert!(config.queue_capacity > 0, "queue capacity must be non-zero");
         assert!(config.max_batch > 0, "max batch must be non-zero");
         let (tx, rx) = sync_channel(config.queue_capacity);
@@ -250,10 +312,13 @@ impl Service {
             counters: Mutex::new(HashMap::new()),
             rejected: AtomicU64::new(0),
             stopping: AtomicBool::new(false),
+            queue_depth: AtomicU64::new(0),
+            obs,
+            shard_id,
         });
         let worker_shared = shared.clone();
         let worker = std::thread::Builder::new()
-            .name("dfv-serve-batcher".into())
+            .name(format!("dfv-serve-batcher-{shard_id}"))
             .spawn(move || run_batcher(rx, worker_shared))
             .expect("spawn batcher");
         Service { handle: ServeHandle { tx, shared }, worker: Some(worker) }
@@ -301,12 +366,84 @@ impl Drop for Service {
     }
 }
 
+/// Per-shard observability handles, registered once at batcher start so
+/// the hot loop never formats metric names. All are no-ops when the
+/// service runs with a disabled [`Obs`].
+struct ShardObs {
+    obs: Obs,
+    shard_id: usize,
+    queue_depth: dfv_obs::Gauge,
+    epoch: dfv_obs::Gauge,
+    requests: dfv_obs::Counter,
+    cache_hits: dfv_obs::Counter,
+    latency: dfv_obs::Histogram,
+}
+
+impl ShardObs {
+    fn new(obs: &Obs, shard_id: usize) -> ShardObs {
+        ShardObs {
+            obs: obs.clone(),
+            shard_id,
+            queue_depth: obs.gauge(&format!("serve.shard.queue_depth{{shard=\"{shard_id}\"}}")),
+            epoch: obs.gauge(&format!("serve.shard.epoch{{shard=\"{shard_id}\"}}")),
+            requests: obs.counter(&format!("serve.shard.requests{{shard=\"{shard_id}\"}}")),
+            cache_hits: obs.counter(&format!("serve.shard.cache_hits{{shard=\"{shard_id}\"}}")),
+            latency: obs.histogram(&format!("serve.shard.latency_ns{{shard=\"{shard_id}\"}}")),
+        }
+    }
+}
+
+/// The batcher's view of the last registry epoch it adopted, used to
+/// detect hot-swaps at tick boundaries.
+#[derive(Default)]
+struct EpochTracker {
+    epoch: Option<u64>,
+    versions: HashMap<ModelKey, u64>,
+}
+
+/// Pin the registry snapshot this tick serves from. When the epoch has
+/// advanced since the last tick, the prediction cache is invalidated in
+/// the SAME step — before any request of the new epoch is answered — so a
+/// stale cached prediction can never be served for a newer model version.
+/// Each model whose version changed counts one shard-labelled swap
+/// adoption.
+fn pin_epoch(
+    shared: &Shared,
+    cache: &mut LruCache<(ModelKey, u64, u64), f64>,
+    tracker: &mut EpochTracker,
+    sobs: &ShardObs,
+) -> Arc<EpochSnapshot> {
+    let snapshot = shared.registry.snapshot();
+    if tracker.epoch != Some(snapshot.epoch()) {
+        let first_pin = tracker.epoch.is_none();
+        // Atomic with adoption: the cleared cache and the new snapshot
+        // become visible to request processing together.
+        cache.clear();
+        for (key, version) in snapshot.models() {
+            let changed = tracker.versions.insert(key.clone(), version) != Some(version);
+            if changed && !first_pin && sobs.obs.is_enabled() {
+                let shard_id = sobs.shard_id;
+                sobs.obs
+                    .counter(&format!(
+                        "serve.registry.swaps{{model=\"{key}\",shard=\"{shard_id}\"}}"
+                    ))
+                    .inc();
+            }
+        }
+        tracker.epoch = Some(snapshot.epoch());
+        sobs.epoch.set(snapshot.epoch() as f64);
+    }
+    snapshot
+}
+
 /// Drain loop: block for one request, opportunistically drain up to
 /// `max_batch - 1` more, process the tick, repeat until the shutdown
 /// sentinel arrives or all senders drop.
 fn run_batcher(rx: Receiver<QueueItem>, shared: Arc<Shared>) {
     let mut cache: LruCache<(ModelKey, u64, u64), f64> =
         LruCache::new(shared.config.cache_capacity);
+    let sobs = ShardObs::new(&shared.obs, shared.shard_id);
+    let mut tracker = EpochTracker::default();
     let mut stopping = false;
     let mut tick: u64 = 0;
     while !stopping {
@@ -326,6 +463,8 @@ fn run_batcher(rx: Receiver<QueueItem>, shared: Arc<Shared>) {
                 Err(_) => break,
             }
         }
+        shared.queue_depth.fetch_sub(batch.len() as u64, Ordering::Relaxed);
+        sobs.queue_depth.set(shared.queue_depth.load(Ordering::Relaxed) as f64);
         // Chaos hook: a slow-consumer stall pauses the whole tick. The
         // queue keeps absorbing (and, when full, rejecting with a retry
         // hint) in the meantime; nothing accepted is lost.
@@ -335,7 +474,8 @@ fn run_batcher(rx: Receiver<QueueItem>, shared: Arc<Shared>) {
             }
         }
         tick += 1;
-        process_tick(batch, &shared, &mut cache);
+        let snapshot = pin_epoch(&shared, &mut cache, &mut tracker, &sobs);
+        process_tick(batch, &shared, &snapshot, &mut cache, &sobs);
     }
     // Sentinel seen: answer anything that was accepted alongside it, then
     // exit. (Work racing in after this drain is answered `ShuttingDown`
@@ -352,16 +492,22 @@ fn run_batcher(rx: Receiver<QueueItem>, shared: Arc<Shared>) {
         if batch.is_empty() {
             return;
         }
-        process_tick(batch, &shared, &mut cache);
+        shared.queue_depth.fetch_sub(batch.len() as u64, Ordering::Relaxed);
+        let snapshot = pin_epoch(&shared, &mut cache, &mut tracker, &sobs);
+        process_tick(batch, &shared, &snapshot, &mut cache, &sobs);
     }
 }
 
-/// Answer one drained batch: group by model, serve repeats from the cache,
-/// and run one batched pass per model for the misses.
+/// Answer one drained batch against ONE pinned epoch snapshot: group by
+/// model, serve repeats from the cache, and run one batched pass per model
+/// for the misses. Because every group resolves through the same snapshot,
+/// a batch can never mix model versions, no matter when a hot-swap lands.
 fn process_tick(
     batch: Vec<Envelope>,
     shared: &Shared,
+    snapshot: &EpochSnapshot,
     cache: &mut LruCache<(ModelKey, u64, u64), f64>,
+    sobs: &ShardObs,
 ) {
     // Group by model key, preserving arrival order within each group.
     let mut groups: Vec<(ModelKey, Vec<Envelope>)> = Vec::new();
@@ -374,10 +520,10 @@ fn process_tick(
     }
 
     for (key, group) in groups {
-        let artifact = shared.registry.get(&key);
+        let compiled = snapshot.get(&key);
         let mut counters = shared.counters.lock().expect("stats lock poisoned");
         let stats = counters.entry(key.clone()).or_default();
-        match artifact {
+        match compiled {
             None => {
                 let error = ServeError::UnknownModel(key.to_string());
                 for envelope in group {
@@ -386,7 +532,7 @@ fn process_tick(
                     let _ = envelope.reply.send(Response::Error(error.clone()));
                 }
             }
-            Some(artifact) => serve_group(&artifact, group, stats, cache, &key),
+            Some(compiled) => serve_group(compiled, group, stats, cache, &key, sobs),
         }
     }
 }
@@ -395,16 +541,17 @@ fn process_tick(
 /// `(value, cached)` pair, or the index of its row in the miss matrix.
 type Outcome = (Envelope, Result<(f64, bool), usize>);
 
-/// Serve one model's sub-batch against a pinned artifact snapshot.
+/// Serve one model's sub-batch against a pinned compiled artifact.
 fn serve_group(
-    artifact: &ModelArtifact,
+    artifact: &CompiledArtifact,
     group: Vec<Envelope>,
     stats: &mut ModelStats,
     cache: &mut LruCache<(ModelKey, u64, u64), f64>,
     key: &ModelKey,
+    sobs: &ShardObs,
 ) {
     let width = artifact.input_width();
-    let version = artifact.version;
+    let version = artifact.version();
 
     // Partition: width errors answered now; hits resolved from the cache;
     // misses deduplicated (identical rows arriving in one tick share a
@@ -458,10 +605,14 @@ fn serve_group(
             Err(index) => (values[index], std::mem::replace(&mut first_use[index], true)),
         };
         stats.requests += 1;
+        sobs.requests.inc();
         if cached {
             stats.cache_hits += 1;
+            sobs.cache_hits.inc();
         }
-        stats.latency.record(envelope.enqueued.elapsed());
+        let waited = envelope.enqueued.elapsed();
+        stats.latency.record(waited);
+        sobs.latency.record_duration(waited);
         let _ = envelope.reply.send(Response::Prediction { value, model_version: version, cached });
     }
 }
@@ -469,6 +620,7 @@ fn serve_group(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::artifact::ModelArtifact;
     use crate::testutil::{tiny_forecast_artifact, tiny_gbr_artifact};
 
     fn service_with(
@@ -574,6 +726,9 @@ mod tests {
             counters: Mutex::new(HashMap::new()),
             rejected: AtomicU64::new(0),
             stopping: AtomicBool::new(false),
+            queue_depth: AtomicU64::new(0),
+            obs: Obs::disabled(),
+            shard_id: 0,
         });
         let handle = ServeHandle { tx, shared };
         let req = Request::PredictDeviation { app: "amg-16".into(), step_features: vec![0.0] };
@@ -717,6 +872,86 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.completed, 200);
         assert_eq!(stats.errors, 0);
+    }
+
+    #[test]
+    fn stale_cached_predictions_are_never_served_across_an_epoch_swap() {
+        use crate::testutil::tiny_gbr_artifact_scaled;
+        // v1 and v2 are trained on different targets, so a stale cache
+        // entry would be OBSERVABLE as a wrong value, not just a wrong
+        // `cached` flag.
+        let registry = Arc::new(ModelRegistry::new());
+        registry.install(tiny_gbr_artifact_scaled("amg-16", 1, 1.0)).unwrap();
+        let obs = Obs::enabled_logical();
+        let service =
+            Service::start_observed(registry.clone(), ServeConfig::default(), obs.clone(), 3);
+        let handle = service.handle();
+        let width = registry.get(&ModelKey::deviation("amg-16")).unwrap().input_width();
+        let row: Vec<f64> = (0..width).map(|i| 1.0 + i as f64 * 0.5).collect();
+        let ask = |h: &ServeHandle| match h
+            .request(Request::PredictDeviation { app: "amg-16".into(), step_features: row.clone() })
+        {
+            Response::Prediction { value, model_version, cached } => (value, model_version, cached),
+            other => panic!("unexpected response: {other:?}"),
+        };
+        let (v1_value, version, _) = ask(&handle);
+        assert_eq!(version, 1);
+        let (hit_value, _, cached) = ask(&handle);
+        assert!(cached, "second identical request should hit the cache");
+        assert_eq!(hit_value.to_bits(), v1_value.to_bits());
+
+        // Swap to a model that predicts something else for the same row.
+        let v2 = tiny_gbr_artifact_scaled("amg-16", 2, -3.0);
+        let mut m = Matrix::zeros(0, width);
+        m.push_row(&row);
+        let v2_offline = v2.predict_batch(&m)[0];
+        registry.install(v2).unwrap();
+        let (value, version, cached) = ask(&handle);
+        assert_eq!(version, 2);
+        assert!(!cached, "the epoch swap must have invalidated the cache");
+        assert_eq!(value.to_bits(), v2_offline.to_bits());
+        assert_ne!(value.to_bits(), v1_value.to_bits(), "v2 must be distinguishable");
+
+        drop(handle);
+        service.shutdown();
+        // Both sides of the swap are visible: the install-side counter
+        // under shard="registry", this shard's adoption under shard="3".
+        let snapshot = obs.snapshot();
+        assert_eq!(
+            snapshot.counter("serve.registry.swaps{model=\"amg-16/deviation\",shard=\"3\"}"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn shard_metrics_count_requests_hits_and_epoch() {
+        let obs = Obs::enabled_logical();
+        let registry = Arc::new(ModelRegistry::new_observed(&obs));
+        registry.install(tiny_gbr_artifact("amg-16", 1)).unwrap();
+        let service =
+            Service::start_observed(registry.clone(), ServeConfig::default(), obs.clone(), 0);
+        let handle = service.handle();
+        let width = registry.get(&ModelKey::deviation("amg-16")).unwrap().input_width();
+        let row: Vec<f64> = (0..width).map(|i| i as f64).collect();
+        for _ in 0..3 {
+            let response = handle.request(Request::PredictDeviation {
+                app: "amg-16".into(),
+                step_features: row.clone(),
+            });
+            assert!(matches!(response, Response::Prediction { .. }));
+        }
+        drop(handle);
+        service.shutdown();
+        let snapshot = obs.snapshot();
+        assert_eq!(snapshot.counter("serve.shard.requests{shard=\"0\"}"), Some(3));
+        assert_eq!(snapshot.counter("serve.shard.cache_hits{shard=\"0\"}"), Some(2));
+        assert_eq!(snapshot.gauge("serve.shard.epoch{shard=\"0\"}"), Some(1.0));
+        let latency = snapshot.histogram("serve.shard.latency_ns{shard=\"0\"}").unwrap();
+        assert_eq!(latency.count(), 3);
+        assert_eq!(
+            snapshot.counter("serve.registry.swaps{model=\"amg-16/deviation\",shard=\"registry\"}"),
+            Some(1)
+        );
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! A sharded serving fleet: N independent [`Service`] batchers behind one
+//! deterministic dispatcher.
+//!
+//! Every shard serves from the SAME [`crate::registry::ModelRegistry`], so
+//! a hot-swap publishes one new epoch snapshot that each shard adopts at
+//! its next tick boundary — shards may adopt at slightly different
+//! instants, but each shard's view is always a complete, version-consistent
+//! epoch, and version numbers only move forward. No batch anywhere in the
+//! fleet ever mixes model versions.
+//!
+//! Dispatch is **hash-affinity**: a request's shard is a pure function of
+//! its model key and feature bits, so identical rows land on the same
+//! shard and its prediction cache, and the mapping is reproducible across
+//! runs. When the affinity shard's queue is full the dispatcher can
+//! **spill** to the least-loaded shard (by live queue depth) instead of
+//! rejecting — load-shedding only when the whole fleet is saturated.
+//! Because every shard computes bit-identical predictions, spilling never
+//! changes an answer, only which cache warms.
+
+use crate::cache::hash_row;
+use crate::registry::ModelRegistry;
+use crate::service::{Pending, Request, Response, ServeConfig, ServeHandle, Service};
+use crate::stats::ServeStats;
+use dfv_obs::Obs;
+use std::sync::Arc;
+
+/// Tunables for a serving fleet.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of independent batcher shards.
+    pub shards: usize,
+    /// Per-shard service configuration (queue, batch, cache sizes apply
+    /// to EACH shard).
+    pub shard_config: ServeConfig,
+    /// When the affinity shard's queue is full, retry on the least-loaded
+    /// shard before rejecting.
+    pub spill: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { shards: 2, shard_config: ServeConfig::default(), spill: true }
+    }
+}
+
+/// FNV-1a over a model key's routing identity (app bytes + task tag).
+fn key_hash(request: &Request) -> u64 {
+    let (app, tag) = match request {
+        Request::PredictDeviation { app, .. } => (app, 0x9eu8),
+        Request::Forecast { app, .. } => (app, 0x3bu8),
+    };
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in app.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= tag as u64;
+    h.wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+/// The affinity shard for a request: a pure function of model key and
+/// feature bits, identical across runs and processes.
+pub fn route(request: &Request, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    let h = key_hash(request) ^ hash_row(request.features()).rotate_left(17);
+    (h % shards as u64) as usize
+}
+
+/// A cloneable client handle fanning requests across the fleet's shards.
+#[derive(Clone)]
+pub struct FleetHandle {
+    shards: Vec<ServeHandle>,
+    spill: bool,
+}
+
+impl FleetHandle {
+    /// Number of shards behind this handle.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The handle of one shard (for tests and targeted probes).
+    pub fn shard(&self, index: usize) -> &ServeHandle {
+        &self.shards[index]
+    }
+
+    /// Submit without blocking for the answer. Routes to the affinity
+    /// shard; on backpressure, optionally spills to the least-loaded
+    /// other shard (by live queue depth) before rejecting. `Ok` carries
+    /// `(shard_index, pending)` so callers can attribute latency.
+    pub fn submit(&self, request: Request) -> Result<(usize, Pending), Response> {
+        let primary = route(&request, self.shards.len());
+        if !self.spill || self.shards.len() == 1 {
+            return self.shards[primary].submit(request).map(|p| (primary, p));
+        }
+        let fallback = request.clone();
+        match self.shards[primary].submit(request) {
+            Ok(pending) => Ok((primary, pending)),
+            Err(Response::Rejected { .. }) => {
+                // Affinity shard saturated: spill to the least-loaded
+                // other shard. Bit-identical kernels make this safe —
+                // only cache warmth moves, never the answer.
+                let spill = self
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != primary)
+                    .min_by_key(|(_, h)| h.queue_depth())
+                    .map(|(i, _)| i)
+                    .unwrap_or(primary);
+                self.shards[spill].submit(fallback).map(|p| (spill, p))
+            }
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Submit and block for the answer (or the rejection).
+    pub fn request(&self, request: Request) -> Response {
+        match self.submit(request) {
+            Ok((_, pending)) => pending.wait(),
+            Err(response) => response,
+        }
+    }
+
+    /// Live queue depth of every shard, in shard order.
+    pub fn queue_depths(&self) -> Vec<u64> {
+        self.shards.iter().map(|h| h.queue_depth()).collect()
+    }
+
+    /// Aggregate fleet metrics (per-shard snapshots plus totals).
+    pub fn stats(&self) -> FleetStats {
+        FleetStats { shards: self.shards.iter().map(|h| h.stats()).collect() }
+    }
+}
+
+/// Aggregate metrics for a fleet: one [`ServeStats`] per shard plus
+/// summed totals. Latency quantiles are per-shard (log₂ histograms do not
+/// merge from snapshots); fleet-level latency comes from the load
+/// harness's client-side histogram or the merged `dfv-obs`
+/// `serve.shard.latency_ns{shard=}` histograms.
+#[derive(Debug, Clone)]
+pub struct FleetStats {
+    /// Per-shard snapshots, in shard order.
+    pub shards: Vec<ServeStats>,
+}
+
+impl FleetStats {
+    /// Total answered predictions across shards.
+    pub fn completed(&self) -> u64 {
+        self.shards.iter().map(|s| s.completed).sum()
+    }
+
+    /// Total backpressure rejections across shards.
+    pub fn rejected(&self) -> u64 {
+        self.shards.iter().map(|s| s.rejected).sum()
+    }
+
+    /// Total request errors across shards.
+    pub fn errors(&self) -> u64 {
+        self.shards.iter().map(|s| s.errors).sum()
+    }
+
+    /// Total prediction-cache hits across shards.
+    pub fn cache_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache_hits()).sum()
+    }
+}
+
+/// A running fleet owning its shard services.
+pub struct Fleet {
+    services: Vec<Service>,
+    handle: FleetHandle,
+}
+
+impl Fleet {
+    /// Start `config.shards` services over one shared registry.
+    pub fn start(registry: Arc<ModelRegistry>, config: FleetConfig) -> Fleet {
+        Fleet::start_observed(registry, config, Obs::disabled())
+    }
+
+    /// [`Fleet::start`] with an observability sink: shard `i` registers
+    /// its metrics under `{shard="i"}` labels.
+    pub fn start_observed(registry: Arc<ModelRegistry>, config: FleetConfig, obs: Obs) -> Fleet {
+        assert!(config.shards > 0, "a fleet needs at least one shard");
+        let services: Vec<Service> = (0..config.shards)
+            .map(|i| {
+                Service::start_observed(
+                    registry.clone(),
+                    config.shard_config.clone(),
+                    obs.clone(),
+                    i,
+                )
+            })
+            .collect();
+        let handle = FleetHandle {
+            shards: services.iter().map(|s| s.handle()).collect(),
+            spill: config.spill,
+        };
+        Fleet { services, handle }
+    }
+
+    /// A new fleet client handle.
+    pub fn handle(&self) -> FleetHandle {
+        self.handle.clone()
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Aggregate fleet metrics.
+    pub fn stats(&self) -> FleetStats {
+        self.handle.stats()
+    }
+
+    /// Drain every shard and return final aggregate metrics.
+    pub fn shutdown(self) -> FleetStats {
+        FleetStats { shards: self.services.into_iter().map(|s| s.shutdown()).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelKey;
+    use crate::testutil::tiny_gbr_artifact;
+
+    fn fleet_with(shards: usize) -> (Fleet, Arc<ModelRegistry>, usize) {
+        let registry = Arc::new(ModelRegistry::new());
+        registry.install(tiny_gbr_artifact("amg-16", 1)).unwrap();
+        let width = registry.get(&ModelKey::deviation("amg-16")).unwrap().input_width();
+        let config = FleetConfig { shards, ..FleetConfig::default() };
+        (Fleet::start(registry.clone(), config), registry, width)
+    }
+
+    fn row(i: usize, width: usize) -> Vec<f64> {
+        (0..width).map(|j| ((i * 13 + j * 5) % 17) as f64 * 0.25).collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_spreads() {
+        let width = 3;
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..64 {
+            let req =
+                Request::PredictDeviation { app: "amg-16".into(), step_features: row(i, width) };
+            let shard = route(&req, 4);
+            assert_eq!(shard, route(&req, 4), "routing must be pure");
+            assert!(shard < 4);
+            seen.insert(shard);
+        }
+        assert!(seen.len() > 1, "64 distinct rows should hit multiple shards: {seen:?}");
+    }
+
+    #[test]
+    fn fleet_answers_everything_and_sums_stats() {
+        let (fleet, _registry, width) = fleet_with(3);
+        let handle = fleet.handle();
+        for i in 0..60 {
+            let req = Request::PredictDeviation {
+                app: "amg-16".into(),
+                step_features: row(i % 20, width),
+            };
+            loop {
+                match handle.request(req.clone()) {
+                    Response::Prediction { .. } => break,
+                    Response::Rejected { retry_after } => std::thread::sleep(retry_after),
+                    other => panic!("unexpected response: {other:?}"),
+                }
+            }
+        }
+        let stats = fleet.shutdown();
+        assert_eq!(stats.completed(), 60);
+        assert_eq!(stats.errors(), 0);
+        // Repeats of the same 20 rows route to the same shard and hit its
+        // cache.
+        assert!(stats.cache_hits() >= 40, "cache hits {}", stats.cache_hits());
+    }
+
+    #[test]
+    fn sharded_predictions_match_single_shard_bit_for_bit() {
+        let (fleet, _r1, width) = fleet_with(4);
+        let (single, _r2, _) = fleet_with(1);
+        let fh = fleet.handle();
+        let sh = single.handle();
+        for i in 0..40 {
+            let req =
+                Request::PredictDeviation { app: "amg-16".into(), step_features: row(i, width) };
+            let a = loop {
+                match fh.request(req.clone()) {
+                    Response::Prediction { value, .. } => break value,
+                    Response::Rejected { retry_after } => std::thread::sleep(retry_after),
+                    other => panic!("unexpected response: {other:?}"),
+                }
+            };
+            let b = loop {
+                match sh.request(req.clone()) {
+                    Response::Prediction { value, .. } => break value,
+                    Response::Rejected { retry_after } => std::thread::sleep(retry_after),
+                    other => panic!("unexpected response: {other:?}"),
+                }
+            };
+            assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+        }
+        fleet.shutdown();
+        single.shutdown();
+    }
+
+    #[test]
+    fn single_shard_fleet_never_spills() {
+        let (fleet, _registry, width) = fleet_with(1);
+        let handle = fleet.handle();
+        let req = Request::PredictDeviation { app: "amg-16".into(), step_features: row(0, width) };
+        match handle.submit(req) {
+            Ok((shard, pending)) => {
+                assert_eq!(shard, 0);
+                assert!(matches!(pending.wait(), Response::Prediction { .. }));
+            }
+            Err(other) => panic!("unexpected: {other:?}"),
+        }
+        fleet.shutdown();
+    }
+}

@@ -1,0 +1,129 @@
+//! Sharded serving fleet under synthetic production traffic.
+//!
+//! Trains one deterministic deviation model, installs it into a shared
+//! registry, then drives the same seeded Zipf request stream — first
+//! through a single shard, then through a 3-shard fleet with hashed
+//! affinity and spill — and asserts the two runs answer bit-for-bit
+//! identically (the fleet's core invariant: sharding never changes a
+//! prediction). A hot-swap mid-demo shows every shard adopting the new
+//! epoch, and the per-shard observability counters are printed at the end.
+//!
+//! Run with: `cargo run --release --example serve_fleet`
+
+use dragonfly_variability::mlkit::gbr::{Gbr, GbrParams};
+use dragonfly_variability::obs::Obs;
+use dragonfly_variability::prelude::*;
+use dragonfly_variability::serve::loadgen::run_load;
+use std::sync::Arc;
+
+const WIDTH: usize = 6;
+
+/// A deterministic deviation artifact (fixed data, fixed params).
+fn artifact(version: u64, scale: f64) -> ModelArtifact {
+    let mut x = Matrix::zeros(0, WIDTH);
+    let mut y = Vec::new();
+    for i in 0..64 {
+        let row: Vec<f64> =
+            (0..WIDTH).map(|j| ((i * 7 + j * 5) % 11) as f64 * 0.25 - 1.0).collect();
+        y.push(scale * (row[0] - 0.5 * row[2] + 0.3 * row[4] * row[1]));
+        x.push_row(&row);
+    }
+    let gbr = Gbr::fit(&x, &y, &GbrParams { n_trees: 10, subsample: 1.0, ..GbrParams::default() });
+    let names = (0..WIDTH).map(|i| format!("f{i}")).collect();
+    ModelArtifact::deviation("amg-16", version, FeatureSet::App, names, gbr)
+}
+
+fn spec(requests: u64) -> LoadSpec {
+    LoadSpec {
+        seed: 7,
+        requests,
+        apps: vec!["amg-16".into()],
+        pool_per_app: 512,
+        width: WIDTH,
+        zipf_s: 1.1,
+        mode: LoadMode::Closed { concurrency: 8 },
+    }
+}
+
+fn main() {
+    let obs = Obs::enabled();
+
+    // 1. One registry, shared by every fleet below; installs compile the
+    //    pointer tree into the flattened serving kernel automatically.
+    let registry = Arc::new(ModelRegistry::new_observed(&obs));
+    registry.install(artifact(1, 1.0)).expect("install v1");
+    let compiled = registry.get_compiled(&ModelKey::deviation("amg-16")).expect("compiled");
+    println!(
+        "installed v1: flattened kernel with {} nodes over {} trees",
+        compiled.flat().expect("deviation compiles flat").num_nodes(),
+        compiled.flat().unwrap().num_trees(),
+    );
+
+    // 2. The same seeded load through 1 shard, then through 3 shards.
+    let requests = 30_000u64;
+    let single = Fleet::start(registry.clone(), FleetConfig { shards: 1, ..Default::default() });
+    let baseline = run_load(&single.handle(), &spec(requests));
+    single.shutdown();
+
+    let fleet = Fleet::start_observed(
+        registry.clone(),
+        FleetConfig { shards: 3, ..Default::default() },
+        obs.clone(),
+    );
+    let report = run_load(&fleet.handle(), &spec(requests));
+    println!(
+        "single shard: {} completed, {:.0} rps | 3 shards: {} completed, {:.0} rps, p99 {:.0}us",
+        baseline.completed,
+        baseline.throughput_rps,
+        report.completed,
+        report.throughput_rps,
+        report.latency_ns(0.99) as f64 / 1e3,
+    );
+    assert_eq!(
+        baseline.outcome_digest, report.outcome_digest,
+        "sharding must never change a prediction"
+    );
+    println!("outcome digest {:016x}: bit-identical across shard counts", report.outcome_digest);
+    let stats = fleet.stats();
+    let active = stats.shards.iter().filter(|s| s.completed > 0).count();
+    println!("traffic spread across {active} of 3 shards (hashed affinity + spill)");
+    assert!(active > 1, "hashed affinity should spread a 512-row pool");
+
+    // 3. Hot-swap to v2 while the fleet is live: every shard adopts the
+    //    new epoch and serves the new bits, never a stale cache entry.
+    registry.install(artifact(2, 2.0)).expect("install v2");
+    let probe: Vec<f64> = (0..WIDTH).map(|j| 0.125 * j as f64 - 0.3).collect();
+    for shard in 0..fleet.shards() {
+        match fleet.handle().shard(shard).request(Request::PredictDeviation {
+            app: "amg-16".into(),
+            step_features: probe.clone(),
+        }) {
+            Response::Prediction { model_version, .. } => {
+                assert_eq!(model_version, 2, "shard {shard} still on the old epoch");
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+    }
+    println!("hot-swapped to v2: all {} shards serve the new epoch", fleet.shards());
+    fleet.shutdown();
+
+    // 4. The per-shard telemetry the fleet exported along the way.
+    let snapshot = obs.snapshot();
+    for shard in 0..3 {
+        let requests = snapshot.counter(&format!("serve.shard.requests{{shard=\"{shard}\"}}"));
+        let hits = snapshot.counter(&format!("serve.shard.cache_hits{{shard=\"{shard}\"}}"));
+        let epoch = snapshot.gauge(&format!("serve.shard.epoch{{shard=\"{shard}\"}}"));
+        println!(
+            "shard {shard}: requests={} cache_hits={} epoch={}",
+            requests.unwrap_or(0),
+            hits.unwrap_or(0),
+            epoch.unwrap_or(0.0),
+        );
+    }
+    let installs = snapshot
+        .counter("serve.registry.swaps{model=\"amg-16/deviation\",shard=\"registry\"}")
+        .unwrap_or(0);
+    println!("registry installs for amg-16/deviation: {installs}");
+    assert_eq!(installs, 2);
+    println!("\nserve fleet demo OK");
+}

@@ -94,7 +94,9 @@ pub mod prelude {
     };
     pub use dfv_scheduler::{Archetype, Cluster, JobRequest, UserId};
     pub use dfv_serve::{
-        ModelArtifact, ModelKey, ModelRegistry, Request, Response, ServeConfig, ServeStats, Service,
+        run_load, CompiledArtifact, EpochSnapshot, Fleet, FleetConfig, FleetHandle, FleetStats,
+        LoadMode, LoadReport, LoadSpec, ModelArtifact, ModelKey, ModelRegistry, Request, Response,
+        ServeConfig, ServeStats, Service,
     };
     pub use dfv_workloads::{AppKind, AppRun, AppSpec, MpiProfile, MpiRoutine};
 }

@@ -278,3 +278,162 @@ fn cori_week_campaign_completes_at_cluster_scale() {
         }
     }
 }
+
+/// A deviation artifact whose predictions scale with `scale`, so distinct
+/// versions are distinguishable by VALUE, not just by version number.
+fn scaled_artifact(app: &str, version: u64, scale: f64) -> ModelArtifact {
+    let mut x = Matrix::zeros(0, 4);
+    let mut y = Vec::new();
+    for i in 0..20 {
+        let row: Vec<f64> = (0..4).map(|j| ((i * 5 + j * 3) % 9) as f64).collect();
+        y.push(scale * (row[0] - 0.5 * row[2] + 0.1 * row[3]));
+        x.push_row(&row);
+    }
+    let gbr = Gbr::fit(&x, &y, &GbrParams { n_trees: 6, subsample: 1.0, ..GbrParams::default() });
+    let names = (0..4).map(|i| format!("f{i}")).collect();
+    ModelArtifact::deviation(
+        app,
+        version,
+        dragonfly_variability::counters::FeatureSet::App,
+        names,
+        gbr,
+    )
+}
+
+#[test]
+fn sharded_fleet_survives_concurrent_hot_swaps_with_consistent_epochs() {
+    // K clients hammer a 3-shard fleet while the registry hot-swaps the
+    // model repeatedly. Invariants: every accepted request is answered
+    // from SOME installed version; each client's fixed request row maps to
+    // one shard, whose adopted version never moves backwards; and once the
+    // swaps settle, every shard serves the final version.
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(scaled_artifact("amg-16", 1, 1.0)).unwrap();
+    let fleet = Fleet::start(
+        registry.clone(),
+        FleetConfig {
+            shards: 3,
+            shard_config: ServeConfig {
+                queue_capacity: 32,
+                max_batch: 4,
+                ..ServeConfig::default()
+            },
+            spill: false, // keep row→shard affinity strict so monotonicity is per-shard
+        },
+    );
+    let clients: Vec<_> = (0..6u64)
+        .map(|t| {
+            let handle = fleet.handle();
+            std::thread::spawn(move || {
+                // One fixed row per client: hash-affinity pins it to one
+                // shard, so the version sequence this client observes is
+                // that shard's adoption order.
+                let row: Vec<f64> = (0..4u64).map(|j| ((t * 7 + j * 3) % 9) as f64).collect();
+                let mut last_version = 0u64;
+                for _ in 0..120 {
+                    loop {
+                        match handle.request(Request::PredictDeviation {
+                            app: "amg-16".into(),
+                            step_features: row.clone(),
+                        }) {
+                            Response::Prediction { value, model_version, .. } => {
+                                assert!(value.is_finite());
+                                assert!(
+                                    (1..=6u64).contains(&model_version),
+                                    "version {model_version} was never installed"
+                                );
+                                assert!(
+                                    model_version >= last_version,
+                                    "shard went backwards: {last_version} -> {model_version}"
+                                );
+                                last_version = model_version;
+                                break;
+                            }
+                            Response::Rejected { retry_after } => std::thread::sleep(retry_after),
+                            Response::Error(e) => panic!("serve error: {e}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for version in 2..=6u64 {
+        registry.install(scaled_artifact("amg-16", version, version as f64)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(3));
+    }
+    for client in clients {
+        client.join().unwrap();
+    }
+    // The fleet settles: probing each shard DIRECTLY (bypassing routing)
+    // must find every one of them on the final version.
+    let handle = fleet.handle();
+    let probe: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0];
+    for shard in 0..handle.shards() {
+        match handle.shard(shard).request(Request::PredictDeviation {
+            app: "amg-16".into(),
+            step_features: probe.clone(),
+        }) {
+            Response::Prediction { model_version, .. } => {
+                assert_eq!(model_version, 6, "shard {shard} lags after settle");
+            }
+            other => panic!("shard {shard}: unexpected response {other:?}"),
+        }
+    }
+    let stats = fleet.shutdown();
+    assert_eq!(stats.errors(), 0);
+    assert_eq!(stats.completed(), 6 * 120 + 3);
+}
+
+#[test]
+fn corrupt_installs_leave_every_shard_on_the_previous_version() {
+    // Installs ride a deterministic corruption schedule (the chaos layer's
+    // ArtifactCorrupt site): corrupted artifacts fail validation, the
+    // registry refuses them WITHOUT bumping the epoch, and every shard —
+    // probed directly — keeps serving the last good version.
+    let plan = FaultPlan {
+        artifact_corrupt: Schedule::Periodic { period: 2, phase: 1 },
+        ..FaultPlan::none()
+    };
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(scaled_artifact("milc-16", 1, 1.0)).unwrap();
+    let fleet = Fleet::start(registry.clone(), FleetConfig { shards: 2, ..FleetConfig::default() });
+    let handle = fleet.handle();
+    let probe: Vec<f64> = vec![0.5, 1.5, 2.5, 3.5];
+    let shard_versions = |handle: &FleetHandle| -> Vec<u64> {
+        (0..handle.shards())
+            .map(|shard| {
+                match handle.shard(shard).request(Request::PredictDeviation {
+                    app: "milc-16".into(),
+                    step_features: probe.clone(),
+                }) {
+                    Response::Prediction { model_version, .. } => model_version,
+                    other => panic!("shard {shard}: unexpected response {other:?}"),
+                }
+            })
+            .collect()
+    };
+    assert_eq!(shard_versions(&handle), vec![1, 1]);
+
+    let mut live_version = 1u64;
+    let mut refused = 0u64;
+    for (index, version) in (2..=9u64).enumerate() {
+        let mut artifact = scaled_artifact("milc-16", version, version as f64);
+        let epoch_before = registry.epoch();
+        if plan.fires(FaultSite::ArtifactCorrupt, 0, index as u64) {
+            // Corruption: the artifact loses its feature schema, which
+            // validation catches at install time.
+            artifact.feature_names.clear();
+            assert!(registry.install(artifact).is_err(), "corrupt v{version} accepted");
+            assert_eq!(registry.epoch(), epoch_before, "refused install bumped the epoch");
+            refused += 1;
+        } else {
+            registry.install(artifact).unwrap();
+            live_version = version;
+        }
+        // Whatever just happened, both shards agree on the live version.
+        assert_eq!(shard_versions(&handle), vec![live_version; 2]);
+    }
+    assert!(refused >= 3, "the corruption schedule should have fired: {refused}");
+    assert_eq!(live_version, registry.get(&ModelKey::deviation("milc-16")).unwrap().version);
+    fleet.shutdown();
+}

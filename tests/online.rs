@@ -95,3 +95,40 @@ fn online_loop_is_deterministic_and_unperturbed_by_telemetry() {
         snapshot.metrics.iter().filter(|m| m.name.starts_with("online.drift.mape{")).count();
     assert_eq!(gauges, config.apps.len(), "one holdout-MAPE gauge per app");
 }
+
+#[test]
+fn promotions_install_flattened_serving_kernels() {
+    // The promotion path feeds the SAME registry the serving fleet reads,
+    // so every installed deviation model must come out compiled: a
+    // flattened forest bit-identical to its pointer-tree oracle.
+    use dragonfly_variability::serve::TaskKind;
+    let config = CampaignConfig::quick();
+    let result = run_campaign(&config);
+    let outcome = run_online(&result, &config, &OnlineConfig::disabled());
+    assert!(!outcome.registry.is_empty());
+    for (key, _version) in outcome.registry.models() {
+        let compiled = outcome.registry.get_compiled(&key).expect("listed key is live");
+        match key.task {
+            TaskKind::Deviation => {
+                let flat = compiled.flat().expect("deviation installs compile to flat kernels");
+                assert_eq!(flat.num_features(), compiled.input_width());
+                let mut probe = Matrix::zeros(0, compiled.input_width());
+                for i in 0..16 {
+                    probe.push_row(
+                        &(0..compiled.input_width())
+                            .map(|j| ((i * 3 + j) % 7) as f64 * 0.5)
+                            .collect::<Vec<_>>(),
+                    );
+                }
+                let oracle = compiled.artifact().predict_batch(&probe);
+                let fast = compiled.predict_batch(&probe);
+                for (a, b) in oracle.iter().zip(&fast) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{key} compiled kernel diverged");
+                }
+            }
+            TaskKind::Forecast => {
+                assert!(compiled.flat().is_none(), "{key} forecasters pass through uncompiled");
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Load-harness determinism and fleet bit-exactness, driven through the
+//! public facade.
+//!
+//! Invariants: the same seed reproduces the same schedule (same ranks,
+//! same arrival offsets, same feature bits) without running any load; a
+//! sequential single-shard run reproduces its full per-request cache
+//! hit/miss sequence and summary stats; sharded fleets answer bit-for-bit
+//! identically to a single shard under concurrent load; and the
+//! seed-trained serving artifact's flattened kernel pins to a known
+//! prediction digest, so silent numeric drift in training or compilation
+//! fails loudly.
+
+use dragonfly_variability::mlkit::gbr::{Gbr, GbrParams};
+use dragonfly_variability::prelude::*;
+use dragonfly_variability::serve::loadgen::run_load;
+use std::sync::Arc;
+
+/// The canonical seed-trained serving artifact: fixed data, fixed params.
+fn seed_trained_artifact(app: &str, version: u64) -> ModelArtifact {
+    let mut x = Matrix::zeros(0, 4);
+    let mut y = Vec::new();
+    for i in 0..48 {
+        let row: Vec<f64> =
+            (0..4).map(|j| ((i * 5 + j * 3) % 9) as f64 + 0.25 * ((i + j) % 3) as f64).collect();
+        y.push(row[0] - 0.5 * row[2] + 0.1 * row[3] * row[1]);
+        x.push_row(&row);
+    }
+    let gbr = Gbr::fit(&x, &y, &GbrParams { n_trees: 12, subsample: 1.0, ..GbrParams::default() });
+    let names = (0..4).map(|i| format!("f{i}")).collect();
+    ModelArtifact::deviation(
+        app,
+        version,
+        dragonfly_variability::counters::FeatureSet::App,
+        names,
+        gbr,
+    )
+}
+
+fn fleet(shards: usize, queue_capacity: usize) -> Fleet {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(seed_trained_artifact("amg-16", 1)).unwrap();
+    Fleet::start(
+        registry,
+        FleetConfig {
+            shards,
+            shard_config: ServeConfig { queue_capacity, ..ServeConfig::default() },
+            ..FleetConfig::default()
+        },
+    )
+}
+
+fn spec(requests: u64, mode: LoadMode) -> LoadSpec {
+    LoadSpec {
+        seed: 42,
+        requests,
+        apps: vec!["amg-16".into()],
+        pool_per_app: 128,
+        width: 4,
+        zipf_s: 1.1,
+        mode,
+    }
+}
+
+#[test]
+fn same_seed_reproduces_the_same_schedule() {
+    let a = spec(2_000, LoadMode::Open { rate_per_sec: 5e4 });
+    let b = spec(2_000, LoadMode::Open { rate_per_sec: 5e4 });
+    assert_eq!(a.schedule_digest(), b.schedule_digest());
+    // ...and the schedule actually depends on the seed.
+    let mut c = spec(2_000, LoadMode::Open { rate_per_sec: 5e4 });
+    c.seed = 43;
+    assert_ne!(a.schedule_digest(), c.schedule_digest());
+    // Request synthesis is pure: the same index yields the same bits.
+    let cdf = a.zipf_cdf();
+    for index in [0u64, 1, 999, 1999] {
+        assert_eq!(a.request_at(&cdf, index), b.request_at(&cdf, index));
+    }
+}
+
+#[test]
+fn sequential_single_shard_runs_reproduce_hits_and_summary() {
+    let s = spec(600, LoadMode::Sequential);
+    let f1 = fleet(1, 256);
+    let r1 = run_load(&f1.handle(), &s);
+    f1.shutdown();
+    let f2 = fleet(1, 256);
+    let r2 = run_load(&f2.handle(), &s);
+    f2.shutdown();
+    assert_eq!(r1.completed, 600);
+    assert_eq!(r1.errors, 0);
+    // Identical per-request hit/miss SEQUENCE, not just identical totals.
+    assert_eq!(r1.hit_sequence_digest.expect("sequential mode"), r2.hit_sequence_digest.unwrap());
+    assert_eq!(r1.cache_hits, r2.cache_hits);
+    assert_eq!(r1.outcome_digest, r2.outcome_digest);
+    assert_eq!(r1.deterministic_summary(), r2.deterministic_summary());
+    // The Zipf head repeats inside a 128-row pool: hits must be plentiful.
+    assert!(r1.cache_hits > 100, "only {} cache hits", r1.cache_hits);
+}
+
+#[test]
+fn sharded_fleet_is_bit_identical_to_single_shard_under_load() {
+    let s = spec(1_500, LoadMode::Closed { concurrency: 12 });
+    let sharded = fleet(3, 64);
+    let shard_report = run_load(&sharded.handle(), &s);
+    let shard_stats = sharded.shutdown();
+    let single = fleet(1, 64);
+    let single_report = run_load(&single.handle(), &s);
+    single.shutdown();
+    assert_eq!(shard_report.completed, 1_500);
+    assert_eq!(single_report.completed, 1_500);
+    // Same predictions for every request index, regardless of shard
+    // placement or completion order.
+    assert_eq!(shard_report.outcome_digest, single_report.outcome_digest);
+    // Work actually spread: more than one shard answered requests.
+    let active = shard_stats.shards.iter().filter(|s| s.completed > 0).count();
+    assert!(active > 1, "only {active} of 3 shards saw traffic");
+}
+
+/// Scaled-down CI harness (the `serve-load` job): ~50k requests against 2
+/// shards vs 1 shard, asserting bit-exactness and a tail-latency sanity
+/// bound. Ignored in the default tier for its runtime.
+#[test]
+#[ignore = "CI serve-load tier (release-mode ~50k requests)"]
+fn ci_load_two_shards_match_single_shard_with_sane_tail() {
+    let s = spec(50_000, LoadMode::Closed { concurrency: 16 });
+    let sharded = fleet(2, 128);
+    let shard_report = run_load(&sharded.handle(), &s);
+    sharded.shutdown();
+    let single = fleet(1, 128);
+    let single_report = run_load(&single.handle(), &s);
+    single.shutdown();
+    assert_eq!(shard_report.completed, 50_000);
+    assert_eq!(single_report.completed, 50_000);
+    assert_eq!(shard_report.errors, 0);
+    assert_eq!(shard_report.outcome_digest, single_report.outcome_digest);
+    // Tail sanity, not a performance SLO: a closed-loop p99 over a warm
+    // in-process fleet must sit well under a second, and the histogram
+    // must be ordered.
+    let p50 = shard_report.latency_ns(0.50);
+    let p99 = shard_report.latency_ns(0.99);
+    assert!(p99 >= p50);
+    assert!(p99 < 1_000_000_000, "p99 {p99}ns breaches the 1s sanity bound");
+    assert!(shard_report.throughput_rps > 1_000.0, "{} rps", shard_report.throughput_rps);
+}
+
+/// Every f64 a model serves, folded order-independently.
+fn prediction_digest(values: &[f64]) -> u64 {
+    values.iter().enumerate().fold(0u64, |d, (i, v)| {
+        d ^ dragonfly_variability::faults::splitmix64(i as u64, v.to_bits())
+    })
+}
+
+#[test]
+fn seed_trained_artifact_pins_its_serving_digest() {
+    // The artifact every serving test trains is deterministic; its
+    // compiled (flattened) kernel must reproduce the exact prediction
+    // bits, run after run, machine after machine. If training, flattening
+    // or batched traversal drifts numerically, this digest moves.
+    let artifact = seed_trained_artifact("amg-16", 1);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.install(artifact.clone()).unwrap();
+    let compiled = registry.get_compiled(&ModelKey::deviation("amg-16")).unwrap();
+    assert!(compiled.flat().is_some(), "deviation installs must compile to a flat kernel");
+
+    let mut grid = Matrix::zeros(0, 4);
+    for i in 0..64 {
+        let row: Vec<f64> = (0..4).map(|j| ((i * 7 + j * 5) % 23) as f64 * 0.125 - 1.0).collect();
+        grid.push_row(&row);
+    }
+    let oracle = artifact.predict_batch(&grid);
+    let fast = compiled.predict_batch(&grid);
+    for (a, b) in oracle.iter().zip(&fast) {
+        assert_eq!(a.to_bits(), b.to_bits(), "flat kernel diverged from pointer tree");
+    }
+    let digest = prediction_digest(&fast);
+    assert_eq!(
+        digest, PINNED_SERVING_DIGEST,
+        "serving digest drifted: got {digest:#018x}, pinned {PINNED_SERVING_DIGEST:#018x}"
+    );
+}
+
+/// Pinned by running the seed-trained artifact once at introduction; any
+/// change to training data, GBR params, flattening or traversal order
+/// legitimately re-pins this constant — silent drift does not.
+const PINNED_SERVING_DIGEST: u64 = 0xb094_bf92_602d_05d5;
