@@ -64,6 +64,35 @@ fn bench_spans(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs/trace");
+    // The disabled tracer is the zero-perturbation contract: an event on a
+    // disabled handle must be a branch on a `None` — sub-ns, no allocation,
+    // no clock read — so trace points can live on the serve hot path.
+    let disabled = Obs::disabled().tracer();
+    g.bench_function("event_disabled", |b| {
+        b.iter(|| {
+            black_box(&disabled)
+                .event("bench.event")
+                .u64("shard", black_box(3))
+                .u64("epoch", black_box(17))
+                .emit()
+        })
+    });
+    g.bench_function("is_enabled_disabled", |b| b.iter(|| black_box(&disabled).is_enabled()));
+    let live = Obs::enabled_logical_traced(4096).tracer();
+    g.bench_function("event_live", |b| {
+        b.iter(|| {
+            black_box(&live)
+                .event("bench.event")
+                .u64("shard", black_box(3))
+                .u64("epoch", black_box(17))
+                .emit()
+        })
+    });
+    g.finish();
+}
+
 fn bench_snapshot(c: &mut Criterion) {
     let mut g = c.benchmark_group("obs/snapshot");
     let obs = Obs::enabled_logical();
@@ -79,5 +108,12 @@ fn bench_snapshot(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_counters, bench_histograms, bench_spans, bench_snapshot);
+criterion_group!(
+    benches,
+    bench_counters,
+    bench_histograms,
+    bench_spans,
+    bench_trace,
+    bench_snapshot
+);
 criterion_main!(benches);

@@ -1,0 +1,259 @@
+//! CI perf sentinel: smoke-scale reruns of the three benchmark pillars —
+//! campaign, mlkit, serve — gated against the committed `BENCH_*.json`
+//! baselines.
+//!
+//! The full benches take minutes and need a quiet machine; CI machines are
+//! neither fast nor quiet. So the sentinel runs each pillar at smoke scale
+//! and applies a *generous* tolerance (`TOLERANCE`, default 5x) — it will
+//! never flag a 20% regression, but it catches the accidental
+//! O(n) → O(n²), the debug-assert left in a hot loop, the quadratic
+//! re-route that the equivalence tests cannot see because they only check
+//! answers, not time. Correctness gates stay exact: the quick-campaign
+//! digest and probe count must match the committed baseline bit for bit.
+//!
+//! Baselines are read from `BENCH_campaign.json`, `BENCH_mlkit.json` and
+//! `BENCH_serve.json` at the repo root (located relative to this crate's
+//! manifest, so the bin works from any cwd). If a baseline file is missing
+//! or unparsable the relative gates are skipped with a note — the exact
+//! digest gates still run — so the sentinel degrades gracefully instead of
+//! failing CI on an environment problem.
+//!
+//! Usage: `cargo run --release -p dfv-bench --bin perf_sentinel`
+//! Exit status: 0 when every gate passes, 1 on any breach.
+
+use dfv_experiments::campaign::{campaign_digest, run_campaign, CampaignConfig};
+use dfv_faults::{splitmix64, unit_f64};
+use dfv_mlkit::gbr::{Gbr, GbrParams};
+use dfv_mlkit::matrix::Matrix;
+use dfv_serve::loadgen::{run_load, LoadMode, LoadSpec};
+use dfv_serve::{Fleet, FleetConfig, ModelArtifact, ModelRegistry, ServeConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Slowdown multiple that trips the sentinel. Generous by design: CI boxes
+/// are shared and slow, and the sentinel hunts order-of-magnitude
+/// regressions, not noise.
+const TOLERANCE: f64 = 5.0;
+
+/// The committed quick-campaign pin (also asserted by the equivalence and
+/// trace suites) — the one gate that is exact, not relative.
+const QUICK_DIGEST: u64 = 0xe8dc_cbf5_8040_6247;
+
+const WIDTH: usize = 13;
+const APPS: [&str; 4] = ["amg-16", "milc-16", "nekbone-16", "miniamr-16"];
+
+/// One gate's outcome, accumulated into the process exit status.
+struct Gates {
+    failures: u64,
+    skipped: u64,
+}
+
+impl Gates {
+    fn new() -> Self {
+        Gates { failures: 0, skipped: 0 }
+    }
+
+    /// A relative perf gate: `measured` must stay within `TOLERANCE` of
+    /// `baseline` in the bad direction (`higher_is_better` flips it).
+    fn perf(&mut self, label: &str, measured: f64, baseline: Option<f64>, higher_is_better: bool) {
+        let Some(baseline) = baseline else {
+            self.skipped += 1;
+            println!("SKIP {label}: measured {measured:.3}, no baseline (offline or missing)");
+            return;
+        };
+        let (ok, limit) = if higher_is_better {
+            (measured >= baseline / TOLERANCE, baseline / TOLERANCE)
+        } else {
+            (measured <= baseline * TOLERANCE, baseline * TOLERANCE)
+        };
+        let verdict = if ok { "ok" } else { "FAIL" };
+        println!(
+            "{verdict} {label}: measured {measured:.3} vs baseline {baseline:.3} \
+             (limit {limit:.3}, tolerance {TOLERANCE}x)"
+        );
+        if !ok {
+            self.failures += 1;
+        }
+    }
+
+    /// An exact gate: no tolerance, no baseline file needed.
+    fn exact(&mut self, label: &str, ok: bool, detail: &str) {
+        let verdict = if ok { "ok" } else { "FAIL" };
+        println!("{verdict} {label}: {detail}");
+        if !ok {
+            self.failures += 1;
+        }
+    }
+}
+
+/// Load a `BENCH_*.json` at the repo root and pull one numeric leaf by
+/// path. Uses only the `Value` surface the offline stub also exposes
+/// (`get`/`as_f64`), returning `None` — never panicking — when the file is
+/// absent or the parser is the typecheck-only stub.
+fn baseline(file: &str, path: &[&str]) -> Option<f64> {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let text = std::fs::read_to_string(format!("{root}/{file}")).ok()?;
+    let parsed: serde_json::Value = serde_json::from_str(&text).ok()?;
+    let mut node = &parsed;
+    for key in path {
+        node = node.get(key)?;
+    }
+    node.as_f64()
+}
+
+/// Pillar 1 — campaign: the quick 6-day end-to-end simulation, wall-clock
+/// vs `end_to_end_seconds.quick_6_days.fast`, digest and probe count exact.
+fn campaign_pillar(gates: &mut Gates) {
+    let config = CampaignConfig::quick();
+    let t0 = Instant::now();
+    let result = run_campaign(&config);
+    let elapsed = t0.elapsed().as_secs_f64();
+    gates.perf(
+        "campaign quick_6_days seconds",
+        elapsed,
+        baseline("BENCH_campaign.json", &["end_to_end_seconds", "quick_6_days", "fast"]),
+        false,
+    );
+    let digest = campaign_digest(&result);
+    gates.exact(
+        "campaign quick_6_days digest",
+        digest == QUICK_DIGEST,
+        &format!("{digest:#018x} (pin {QUICK_DIGEST:#018x})"),
+    );
+    let probes = result.probe_jobs.len() as f64;
+    match baseline("BENCH_campaign.json", &["end_to_end_seconds", "quick_6_days", "probe_jobs"]) {
+        Some(expected) => gates.exact(
+            "campaign quick_6_days probe_jobs",
+            probes == expected,
+            &format!("{probes} (baseline {expected})"),
+        ),
+        None => {
+            gates.skipped += 1;
+            println!("SKIP campaign probe_jobs: no baseline (offline or missing)");
+        }
+    }
+}
+
+/// Pillar 2 — mlkit: one `Gbr::fit` at the 2000x13 point of the committed
+/// training curve, vs `gbr_fit_ms.presorted.2000`.
+fn mlkit_pillar(gates: &mut Gates) {
+    // The same deviation-style synthetic dataset shape as benches/mlkit.rs:
+    // 2000 x 13 in [-1, 1), target 5*(c3 + c10) plus small noise. Built
+    // from splitmix64 rather than rand so the bin has no RNG dependency.
+    let n = 2000;
+    let mut x = Matrix::zeros(n, WIDTH);
+    let mut y = Vec::with_capacity(n);
+    for r in 0..n {
+        let mut target = 0.0;
+        for c in 0..WIDTH {
+            let v = unit_f64(splitmix64(1, (r * WIDTH + c) as u64)) * 2.0 - 1.0;
+            x.set(r, c, v);
+            if c == 3 || c == 10 {
+                target += 5.0 * v;
+            }
+        }
+        y.push(target + 0.1 * (unit_f64(splitmix64(2, r as u64)) * 2.0 - 1.0));
+    }
+    // Warm once (page-in, allocator), then time the fit the bench times.
+    Gbr::fit(&x, &y, &GbrParams::default());
+    let t0 = Instant::now();
+    let model = Gbr::fit(&x, &y, &GbrParams::default());
+    let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+    gates.perf(
+        "mlkit gbr_fit_ms 2000x13",
+        elapsed_ms,
+        baseline("BENCH_mlkit.json", &["gbr_fit_ms", "presorted", "2000"]),
+        false,
+    );
+    // The flattened serving kernel must agree with the pointer tree it was
+    // compiled from — the serve pillar's bit-exactness, checked cheaply.
+    let flat = model.flatten();
+    let mut probe = Matrix::zeros(0, WIDTH);
+    for r in 0..64.min(n) {
+        probe.push_row(x.row(r));
+    }
+    let same = model.predict(&probe).iter().zip(flat.predict_batch(&probe)).all(|(a, b)| *a == b);
+    gates.exact("mlkit flat kernel bit-exact", same, "64-row probe identical");
+}
+
+fn serve_artifact(app: &str, seed: u64) -> ModelArtifact {
+    let n = 800;
+    let mut x = Matrix::zeros(n, WIDTH);
+    let mut y = Vec::with_capacity(n);
+    for r in 0..n {
+        let mut target = 0.0;
+        for c in 0..WIDTH {
+            let v = unit_f64(splitmix64(seed, (r * WIDTH + c) as u64)) * 2.0 - 1.0;
+            x.set(r, c, v);
+            if c == 2 || c == 7 {
+                target += 3.0 * v;
+            }
+        }
+        y.push(target);
+    }
+    let params = GbrParams { n_trees: 30, subsample: 1.0, ..GbrParams::default() };
+    let gbr = Gbr::fit(&x, &y, &params);
+    let names = (0..WIDTH).map(|i| format!("f{i}")).collect();
+    ModelArtifact::deviation(app, 1, dfv_counters::FeatureSet::App, names, gbr)
+}
+
+/// Pillar 3 — serve: a 50k-request closed loop through the serve_bench
+/// fleet shape (2 shards, 4 apps, Zipf 1.05), rps vs
+/// `closed_loop_1m_requests.shards_2.rps`.
+fn serve_pillar(gates: &mut Gates) {
+    let registry = Arc::new(ModelRegistry::new());
+    for (i, app) in APPS.iter().enumerate() {
+        registry.install(serve_artifact(app, 100 + i as u64)).unwrap();
+    }
+    let fleet = Fleet::start(
+        registry,
+        FleetConfig {
+            shards: 2,
+            shard_config: ServeConfig {
+                queue_capacity: 1024,
+                max_batch: 64,
+                cache_capacity: 8192,
+                ..ServeConfig::default()
+            },
+            spill: true,
+        },
+    );
+    let requests = 50_000u64;
+    let spec = LoadSpec {
+        seed: 2026,
+        requests,
+        apps: APPS.iter().map(|s| s.to_string()).collect(),
+        pool_per_app: 1024,
+        width: WIDTH,
+        zipf_s: 1.05,
+        mode: LoadMode::Closed { concurrency: 32 },
+    };
+    let report = run_load(&fleet.handle(), &spec);
+    fleet.shutdown();
+    gates.exact(
+        "serve closed loop completes",
+        report.completed == requests && report.errors == 0,
+        &format!("{}/{requests} completed, {} errors", report.completed, report.errors),
+    );
+    gates.perf(
+        "serve shards_2 rps",
+        report.throughput_rps,
+        baseline("BENCH_serve.json", &["closed_loop_1m_requests", "shards_2", "rps"]),
+        true,
+    );
+}
+
+fn main() {
+    println!("# perf_sentinel tolerance={TOLERANCE}x");
+    let mut gates = Gates::new();
+    campaign_pillar(&mut gates);
+    mlkit_pillar(&mut gates);
+    serve_pillar(&mut gates);
+    println!(
+        "# perf_sentinel done: {} failure(s), {} skipped baseline(s)",
+        gates.failures, gates.skipped
+    );
+    if gates.failures > 0 {
+        std::process::exit(1);
+    }
+}

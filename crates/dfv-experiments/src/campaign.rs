@@ -383,6 +383,10 @@ fn schedule_phase(
 
     // ---------------- Phase 1: scheduling ---------------------------------
     let phase1 = obs.span("campaign.phase1_scheduling");
+    let tracer = obs.tracer();
+    if tracer.is_enabled() {
+        tracer.event("campaign.phase").str("name", "schedule").emit();
+    }
     let obs_background = obs.counter("campaign.background_submissions");
     let obs_probes = obs.counter("campaign.probe_submissions");
     let obs_delays = obs.counter("campaign.advisor_delays");
@@ -418,6 +422,7 @@ fn schedule_phase(
         }
     }
     for day in 0..config.num_days {
+        let mut day_probes = 0u64;
         for spec in &config.apps {
             let (lo, hi) = config.probes_per_day;
             let count = rng.gen_range(lo..=hi.max(lo));
@@ -435,7 +440,11 @@ fn schedule_phase(
                     probe: Some(*spec),
                 });
                 obs_probes.inc();
+                day_probes += 1;
             }
+        }
+        if tracer.is_enabled() {
+            tracer.event("campaign.day").u64("day", day as u64).u64("probes", day_probes).emit();
         }
     }
     // Event-driven submission replay: probe submissions may be re-queued by
@@ -519,6 +528,10 @@ fn run_campaign_with(
 
     // ---------------- Phase 2: measurement --------------------------------
     let _phase2 = obs.span("campaign.phase2_measurement");
+    let tracer = obs.tracer();
+    if tracer.is_enabled() {
+        tracer.event("campaign.phase").str("name", "measure").emit();
+    }
     let obs_probe_runs = obs.counter("campaign.probe_runs");
     let obs_routed_jobs = obs.counter("campaign.routed_jobs");
     let obs_cache_hits = obs.counter("campaign.route_cache.hits");
@@ -562,7 +575,7 @@ fn run_campaign_with(
     // later chunk would recompute.
     let mut cache: HashMap<JobId, (f64, Arc<RoutedContribution>)> = HashMap::new();
     let chunk_size = 24;
-    for chunk in probes.chunks(chunk_size) {
+    for (chunk_index, chunk) in probes.chunks(chunk_size).enumerate() {
         let window_start = chunk.first().map(|r| r.start_time).unwrap_or(0.0);
         // Generous slack: probes may run longer than their phase-1 estimate.
         let window_end =
@@ -581,6 +594,15 @@ fn run_campaign_with(
         obs_cache_hits.add((overlapping.len() - missing.len()) as u64);
         obs_cache_misses.add(missing.len() as u64);
         obs_routed_jobs.add(overlapping.len() as u64);
+        if tracer.is_enabled() {
+            tracer
+                .event("campaign.chunk")
+                .u64("index", chunk_index as u64)
+                .u64("probes", chunk.len() as u64)
+                .u64("jobs", overlapping.len() as u64)
+                .u64("misses", missing.len() as u64)
+                .emit();
+        }
         let fresh: Vec<(JobId, (f64, Arc<RoutedContribution>))> = missing
             .par_iter()
             .map_init(

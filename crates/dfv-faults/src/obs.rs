@@ -3,18 +3,23 @@
 //! A [`VerdictCounters`] wraps [`FaultPlan::fires`] with two counters per
 //! site — `faults.checked{site="..."}` and `faults.fired{site="..."}` —
 //! so a live registry shows the realized injection rate next to the
-//! plan's configured rate. Built from a disabled [`Obs`] the counters are
-//! inert and [`VerdictCounters::check`] is exactly `plan.fires(..)`:
-//! verdicts are a pure function of the plan and never of the observer.
+//! plan's configured rate. When the owning [`Obs`] carries a live tracer,
+//! every hit is also a `fault.fired` trace event tagged with the site,
+//! stream and index, so fault injections land in the same causal order as
+//! the pipeline events they perturb. Built from a disabled [`Obs`] the
+//! counters are inert and [`VerdictCounters::check`] is exactly
+//! `plan.fires(..)`: verdicts are a pure function of the plan and never
+//! of the observer.
 
 use crate::plan::{FaultPlan, FaultSite};
-use dfv_obs::{Counter, Obs};
+use dfv_obs::{Counter, Obs, Tracer};
 
 /// Per-site checked/fired counter pairs over a shared registry.
 #[derive(Debug, Clone, Default)]
 pub struct VerdictCounters {
     checked: [Counter; FaultSite::ALL.len()],
     fired: [Counter; FaultSite::ALL.len()],
+    tracer: Tracer,
 }
 
 impl VerdictCounters {
@@ -26,6 +31,7 @@ impl VerdictCounters {
         VerdictCounters {
             checked: FaultSite::ALL.map(|s| counter("checked", s)),
             fired: FaultSite::ALL.map(|s| counter("fired", s)),
+            tracer: obs.tracer(),
         }
     }
 
@@ -43,6 +49,12 @@ impl VerdictCounters {
         let fired = plan.fires(site, stream, index);
         if fired {
             self.fired[site.index()].inc();
+            self.tracer
+                .event("fault.fired")
+                .str("site", site.label())
+                .u64("stream", stream)
+                .u64("index", index)
+                .emit();
         }
         fired
     }
@@ -83,6 +95,24 @@ mod tests {
         let snap = obs.snapshot();
         assert_eq!(snap.counter("faults.checked{site=\"counter_dropout\"}"), Some(n));
         assert_eq!(snap.counter("faults.fired{site=\"counter_dropout\"}"), Some(fired));
+    }
+
+    #[test]
+    fn fired_checks_emit_trace_events() {
+        let plan = FaultPlan {
+            counter_dropout: Schedule::Burst { start: 2, len: 1 },
+            ..FaultPlan::none()
+        };
+        let obs = Obs::enabled_logical_traced(64);
+        let v = VerdictCounters::new(&obs);
+        for i in 0..4 {
+            v.check(&plan, FaultSite::CounterDropout, 7, i);
+        }
+        let events = obs.tracer().events();
+        let fired: Vec<_> = events.iter().filter(|e| e.kind == "fault.fired").collect();
+        assert_eq!(fired.len(), 1, "exactly the burst index fires");
+        assert_eq!(fired[0].u64_attr("index"), Some(2));
+        assert_eq!(fired[0].str_attr("site"), Some("counter_dropout"));
     }
 
     #[test]

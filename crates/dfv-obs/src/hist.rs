@@ -138,6 +138,19 @@ impl Log2Histogram {
         self.sum += other.sum;
         self.max = self.max.max(other.max);
     }
+
+    /// The interval histogram `self − earlier`: per-bucket saturating
+    /// count difference and saturating sum difference. `max` is taken
+    /// from `self` — the largest value over the whole run, an upper bound
+    /// (not necessarily attained) for the interval.
+    pub fn delta(&self, earlier: &Log2Histogram) -> Log2Histogram {
+        let mut counts = [0u64; BUCKETS];
+        for (b, slot) in counts.iter_mut().enumerate() {
+            *slot = self.counts[b].saturating_sub(earlier.counts[b]);
+        }
+        let total = counts.iter().sum();
+        Log2Histogram { counts, total, sum: self.sum.saturating_sub(earlier.sum), max: self.max }
+    }
 }
 
 #[cfg(test)]

@@ -56,12 +56,17 @@ mod export;
 mod handles;
 mod hist;
 mod registry;
+mod trace;
 
 pub use clock::Clock;
 pub use export::{Metric, MetricValue, Snapshot};
 pub use handles::{Counter, Gauge, Histogram, Span, Timer, TimerGuard};
 pub use hist::{bucket_of, bucket_upper, Log2Histogram, BUCKETS};
 pub use registry::{HistCell, MetricsRegistry};
+pub use trace::{
+    chrome_trace, events_jsonl, span_id, trace_id, AttrValue, EventBuilder, TraceCtx, TraceEvent,
+    TraceQuery, Tracer,
+};
 
 use std::sync::Arc;
 
@@ -69,6 +74,7 @@ use std::sync::Arc;
 struct ObsInner {
     registry: MetricsRegistry,
     clock: Clock,
+    tracer: Tracer,
 }
 
 /// The observability handle: either disabled (all operations are no-ops)
@@ -100,12 +106,43 @@ impl Obs {
 
     /// A live handle with a fresh registry and the given clock.
     pub fn enabled_with(clock: Clock) -> Self {
-        Obs { inner: Some(Arc::new(ObsInner { registry: MetricsRegistry::new(), clock })) }
+        Self::enabled_with_tracer(clock, Tracer::disabled())
+    }
+
+    /// [`Obs::enabled`] plus a live flight recorder keeping up to
+    /// `capacity` trace events per recording thread. The tracer shares
+    /// the metrics wall clock, so trace timestamps and span durations
+    /// read from the same epoch.
+    pub fn enabled_traced(capacity: usize) -> Self {
+        let clock = Clock::wall();
+        let tracer = Tracer::enabled(clock.clone(), capacity);
+        Self::enabled_with_tracer(clock, tracer)
+    }
+
+    /// [`Obs::enabled_logical`] plus a live flight recorder. The tracer
+    /// gets its OWN logical tick stream: emitting trace events never
+    /// advances the metrics clock, so span histograms stay bit-identical
+    /// to an untraced run.
+    pub fn enabled_logical_traced(capacity: usize) -> Self {
+        Self::enabled_with_tracer(Clock::logical(), Tracer::enabled(Clock::logical(), capacity))
+    }
+
+    /// A live handle with a fresh registry, the given clock, and the
+    /// given (possibly disabled) tracer.
+    pub fn enabled_with_tracer(clock: Clock, tracer: Tracer) -> Self {
+        Obs { inner: Some(Arc::new(ObsInner { registry: MetricsRegistry::new(), clock, tracer })) }
     }
 
     /// `true` when backed by a live registry.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The flight-recorder handle carried by this `Obs`. Disabled handles
+    /// (and enabled-but-untraced ones) return a disabled tracer, so
+    /// instrumented code can unconditionally mint events.
+    pub fn tracer(&self) -> Tracer {
+        self.inner.as_deref().map(|i| i.tracer.clone()).unwrap_or_default()
     }
 
     /// The underlying registry, when enabled.
@@ -194,5 +231,33 @@ mod tests {
         assert!(obs.registry().is_none());
         obs.counter("n").inc();
         assert!(obs.snapshot().metrics.is_empty());
+    }
+
+    #[test]
+    fn untraced_handles_mint_disabled_tracers() {
+        assert!(!Obs::disabled().tracer().is_enabled());
+        assert!(!Obs::enabled().tracer().is_enabled());
+        assert!(!Obs::enabled_logical().tracer().is_enabled());
+        let traced = Obs::enabled_traced(128);
+        assert!(traced.tracer().is_enabled());
+        assert_eq!(traced.tracer().capacity(), 128);
+    }
+
+    #[test]
+    fn traced_logical_obs_keeps_metric_ticks_tracer_independent() {
+        // The tracer's logical clock is its own stream: emitting events
+        // must not perturb span durations.
+        let traced = Obs::enabled_logical_traced(64);
+        let plain = Obs::enabled_logical();
+        for obs in [&traced, &plain] {
+            let span = obs.span("phase");
+            obs.tracer().event("noise").emit();
+            obs.tracer().event("noise").emit();
+            span.end();
+        }
+        let a = traced.snapshot().histogram("span.phase").unwrap().clone();
+        let b = plain.snapshot().histogram("span.phase").unwrap().clone();
+        assert_eq!(a, b, "trace emission perturbed the metrics clock");
+        assert_eq!(traced.tracer().events().len(), 2);
     }
 }

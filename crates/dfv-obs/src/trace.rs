@@ -1,0 +1,765 @@
+//! Causal event tracing and the flight recorder.
+//!
+//! A [`Tracer`] records structured [`TraceEvent`]s into bounded per-thread
+//! ring buffers (the **flight recorder**): when a concurrent invariant
+//! trips, the last N events show *what happened in what order*, without
+//! unbounded memory growth under sustained load. The same zero-perturbation
+//! discipline as the rest of `dfv-obs` applies:
+//!
+//! * A disabled tracer ([`Tracer::disabled`], or any tracer minted from a
+//!   non-traced [`crate::Obs`]) makes every [`Tracer::event`] call a
+//!   sub-nanosecond no-op: no allocation, no atomics, no clock reads.
+//! * An enabled tracer records with one relaxed `fetch_add` (the global
+//!   sequence number), one clock read, and a lock on the **calling
+//!   thread's own** ring — uncontended by construction.
+//! * Tracing never feeds back into computation: traced and untraced runs
+//!   produce bit-identical outputs.
+//!
+//! ## Causal order
+//!
+//! Every event draws its [`TraceEvent::seq`] from one shared atomic
+//! counter. Two atomic increments of the same cell are totally ordered and
+//! real-time consistent, so if event A's emit completes before event B's
+//! emit begins — on any pair of threads — then `A.seq < B.seq`. Code that
+//! emits its event *before* publishing the state the event describes (the
+//! registry emits `registry.install` before swapping the epoch snapshot)
+//! therefore guarantees that any downstream observer's events sort after
+//! it. [`TraceQuery`] turns this into checkable invariants:
+//! [`TraceQuery::monotone`] (no client ever observes a version regression)
+//! and [`TraceQuery::causally_preceded`] (every served version is
+//! reachable from an install event).
+//!
+//! ## Identifiers
+//!
+//! Trace and span ids are plain `u64`s; [`trace_id`] / [`span_id`] derive
+//! them deterministically (a splitmix64 mix), so a seeded load harness
+//! assigns every request the same trace id on every run. The id `0` means
+//! "untraced" by convention — events still record, queries still group.
+
+use crate::clock::Clock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The splitmix64 mixer (same finalizer as `dfv_faults::splitmix64`,
+/// reimplemented here because `dfv-obs` is dependency-free).
+#[inline]
+fn mix64(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic trace id for request `index` of stream `seed`.
+#[inline]
+pub fn trace_id(seed: u64, index: u64) -> u64 {
+    mix64(seed ^ 0x5452_4143_4549_4430, index)
+}
+
+/// Deterministic span id within a trace, keyed by a caller-chosen tag.
+#[inline]
+pub fn span_id(trace: u64, tag: u64) -> u64 {
+    mix64(trace ^ 0x5350_414E_4944_0000, tag)
+}
+
+/// Trace context carried alongside a unit of work (a serve request, a
+/// retrain cycle). `trace == 0` means untraced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The causal chain this work belongs to.
+    pub trace: u64,
+    /// The span within the chain (0 when unused).
+    pub span: u64,
+}
+
+impl TraceCtx {
+    /// A context with a trace id and no span.
+    pub fn new(trace: u64) -> Self {
+        TraceCtx { trace, span: 0 }
+    }
+}
+
+/// One attribute value on a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Owned string (allocated only on enabled tracers).
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Global emission sequence number: the causal total order.
+    pub seq: u64,
+    /// Clock reading at emit (nanoseconds under a wall clock, ticks under
+    /// a logical clock).
+    pub ts: u64,
+    /// Recording thread's tracer-local id (assigned in first-use order).
+    pub thread: u64,
+    /// Trace id (0 = untraced).
+    pub trace: u64,
+    /// Span id within the trace (0 when unused).
+    pub span: u64,
+    /// Parent span id (0 when unused).
+    pub parent: u64,
+    /// Event kind, a dotted static path like `serve.reply`.
+    pub kind: &'static str,
+    /// Attributes, in insertion order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl TraceEvent {
+    /// The `u64` attribute `key`, if present.
+    pub fn u64_attr(&self, key: &str) -> Option<u64> {
+        self.attrs.iter().find_map(|(k, v)| match v {
+            AttrValue::U64(n) if *k == key => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// The `f64` attribute `key`, if present.
+    pub fn f64_attr(&self, key: &str) -> Option<f64> {
+        self.attrs.iter().find_map(|(k, v)| match v {
+            AttrValue::F64(n) if *k == key => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// The string attribute `key`, if present.
+    pub fn str_attr(&self, key: &str) -> Option<&str> {
+        self.attrs.iter().find_map(|(k, v)| match v {
+            AttrValue::Str(s) if *k == key => Some(s.as_str()),
+            _ => None,
+        })
+    }
+
+    /// The boolean attribute `key`, if present.
+    pub fn bool_attr(&self, key: &str) -> Option<bool> {
+        self.attrs.iter().find_map(|(k, v)| match v {
+            AttrValue::Bool(b) if *k == key => Some(*b),
+            _ => None,
+        })
+    }
+}
+
+/// A bounded wrap-around buffer that keeps the NEWEST events.
+#[derive(Debug)]
+struct Ring {
+    capacity: usize,
+    buf: Vec<TraceEvent>,
+    /// Next write position once the buffer is full.
+    next: usize,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Self {
+        Ring { capacity, buf: Vec::new(), next: 0 }
+    }
+
+    fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.buf[self.next] = event;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    fn events(&self) -> Vec<TraceEvent> {
+        // Oldest-first: the tail after the write cursor, then the head.
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+}
+
+/// Uniquely identifies a tracer instance for the thread-local ring cache
+/// (pointer identity alone could alias across drop/realloc).
+static TRACER_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// One entry of the thread-local ring cache: the owning thread's id and
+/// that thread's ring for a given tracer.
+type ThreadRing = (u64, Arc<Mutex<Ring>>);
+
+thread_local! {
+    /// Per-thread cache: tracer id → (thread id, this thread's ring).
+    static THREAD_RINGS: std::cell::RefCell<HashMap<u64, ThreadRing>> =
+        std::cell::RefCell::new(HashMap::new());
+}
+
+#[derive(Debug)]
+struct TraceInner {
+    id: u64,
+    clock: Clock,
+    seq: AtomicU64,
+    /// Per-thread ring capacity.
+    capacity: usize,
+    /// Next thread id to hand out.
+    next_thread: AtomicU64,
+    /// Every thread's ring, for snapshotting.
+    rings: Mutex<Vec<Arc<Mutex<Ring>>>>,
+}
+
+/// The flight-recorder handle: either disabled (every event is a no-op)
+/// or an `Arc` around shared per-thread rings. Cloning is cheap and clones
+/// share the recorder.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<TraceInner>>,
+}
+
+impl Tracer {
+    /// The inert tracer: every event minted from it is a guaranteed no-op.
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// A live tracer keeping up to `capacity` events per recording thread,
+    /// timestamped by `clock`.
+    pub fn enabled(clock: Clock, capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be non-zero");
+        Tracer {
+            inner: Some(Arc::new(TraceInner {
+                id: TRACER_IDS.fetch_add(1, Ordering::Relaxed),
+                clock,
+                seq: AtomicU64::new(0),
+                capacity,
+                next_thread: AtomicU64::new(0),
+                rings: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// `true` when backed by a live recorder.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Per-thread ring capacity (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.inner.as_deref().map_or(0, |i| i.capacity)
+    }
+
+    /// Start building an event of `kind`. On a disabled tracer the
+    /// returned builder is inert: every method, including
+    /// [`EventBuilder::emit`], is a no-op that allocates nothing.
+    #[inline]
+    pub fn event(&self, kind: &'static str) -> EventBuilder<'_> {
+        EventBuilder {
+            inner: self.inner.as_deref().map(|i| {
+                (
+                    i,
+                    TraceEvent {
+                        seq: 0,
+                        ts: 0,
+                        thread: 0,
+                        trace: 0,
+                        span: 0,
+                        parent: 0,
+                        kind,
+                        attrs: Vec::new(),
+                    },
+                )
+            }),
+        }
+    }
+
+    /// Collect every recorded event across all threads, sorted by `seq`
+    /// (the causal total order). Non-draining: the rings keep recording.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let Some(inner) = self.inner.as_deref() else {
+            return Vec::new();
+        };
+        let rings = inner.rings.lock().expect("trace rings lock poisoned");
+        let mut out = Vec::new();
+        for ring in rings.iter() {
+            out.extend(ring.lock().expect("trace ring lock poisoned").events());
+        }
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Render the last `n` events (by `seq`) as human-readable lines — the
+    /// flight-recorder dump a failing test prints so CI logs alone show
+    /// what happened in what order.
+    pub fn dump_tail(&self, n: usize) -> String {
+        use std::fmt::Write as _;
+        let events = self.events();
+        let skip = events.len().saturating_sub(n);
+        let mut out = String::new();
+        let _ = writeln!(out, "== flight recorder: last {} of {} events ==", events.len() - skip, events.len());
+        for e in &events[skip..] {
+            let _ = write!(
+                out,
+                "  #{:<6} t={:<12} thr={} trace={:016x} {:<18}",
+                e.seq, e.ts, e.thread, e.trace, e.kind
+            );
+            for (k, v) in &e.attrs {
+                match v {
+                    AttrValue::U64(n) => {
+                        let _ = write!(out, " {k}={n}");
+                    }
+                    AttrValue::I64(n) => {
+                        let _ = write!(out, " {k}={n}");
+                    }
+                    AttrValue::F64(n) => {
+                        let _ = write!(out, " {k}={n}");
+                    }
+                    AttrValue::Str(s) => {
+                        let _ = write!(out, " {k}={s:?}");
+                    }
+                    AttrValue::Bool(b) => {
+                        let _ = write!(out, " {k}={b}");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceInner {
+    /// This thread's ring (cached thread-locally; registers on first use).
+    fn thread_ring(&self) -> (u64, Arc<Mutex<Ring>>) {
+        THREAD_RINGS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((thread, ring)) = cache.get(&self.id) {
+                return (*thread, ring.clone());
+            }
+            let thread = self.next_thread.fetch_add(1, Ordering::Relaxed);
+            let ring = Arc::new(Mutex::new(Ring::new(self.capacity)));
+            self.rings.lock().expect("trace rings lock poisoned").push(ring.clone());
+            cache.insert(self.id, (thread, ring.clone()));
+            (thread, ring)
+        })
+    }
+}
+
+/// A chainable event under construction. Inert (no allocation, no atomics)
+/// when minted from a disabled tracer.
+#[must_use = "an EventBuilder records nothing until .emit()"]
+pub struct EventBuilder<'a> {
+    inner: Option<(&'a TraceInner, TraceEvent)>,
+}
+
+impl EventBuilder<'_> {
+    /// Attach a full trace context.
+    #[inline]
+    pub fn ctx(mut self, ctx: TraceCtx) -> Self {
+        if let Some((_, e)) = &mut self.inner {
+            e.trace = ctx.trace;
+            e.span = ctx.span;
+        }
+        self
+    }
+
+    /// Set the trace id.
+    #[inline]
+    pub fn trace(mut self, id: u64) -> Self {
+        if let Some((_, e)) = &mut self.inner {
+            e.trace = id;
+        }
+        self
+    }
+
+    /// Set the span id.
+    #[inline]
+    pub fn span(mut self, id: u64) -> Self {
+        if let Some((_, e)) = &mut self.inner {
+            e.span = id;
+        }
+        self
+    }
+
+    /// Set the parent span id.
+    #[inline]
+    pub fn parent(mut self, id: u64) -> Self {
+        if let Some((_, e)) = &mut self.inner {
+            e.parent = id;
+        }
+        self
+    }
+
+    /// Attach a `u64` attribute.
+    #[inline]
+    pub fn u64(mut self, key: &'static str, value: u64) -> Self {
+        if let Some((_, e)) = &mut self.inner {
+            e.attrs.push((key, AttrValue::U64(value)));
+        }
+        self
+    }
+
+    /// Attach an `i64` attribute.
+    #[inline]
+    pub fn i64(mut self, key: &'static str, value: i64) -> Self {
+        if let Some((_, e)) = &mut self.inner {
+            e.attrs.push((key, AttrValue::I64(value)));
+        }
+        self
+    }
+
+    /// Attach an `f64` attribute.
+    #[inline]
+    pub fn f64(mut self, key: &'static str, value: f64) -> Self {
+        if let Some((_, e)) = &mut self.inner {
+            e.attrs.push((key, AttrValue::F64(value)));
+        }
+        self
+    }
+
+    /// Attach a string attribute (copied only on enabled tracers).
+    #[inline]
+    pub fn str(mut self, key: &'static str, value: &str) -> Self {
+        if let Some((_, e)) = &mut self.inner {
+            e.attrs.push((key, AttrValue::Str(value.to_string())));
+        }
+        self
+    }
+
+    /// Attach a boolean attribute.
+    #[inline]
+    pub fn bool(mut self, key: &'static str, value: bool) -> Self {
+        if let Some((_, e)) = &mut self.inner {
+            e.attrs.push((key, AttrValue::Bool(value)));
+        }
+        self
+    }
+
+    /// Record the event: draw the global sequence number, stamp the clock,
+    /// and push into this thread's ring. No-op when disabled.
+    #[inline]
+    pub fn emit(self) {
+        let Some((inner, mut event)) = self.inner else {
+            return;
+        };
+        // Sequence BEFORE timestamp: seq is the causal order, ts is only
+        // descriptive. Emitting before downstream state is published (see
+        // module docs) is what makes seq a causal witness.
+        event.seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        event.ts = inner.clock.now();
+        let (thread, ring) = inner.thread_ring();
+        event.thread = thread;
+        ring.lock().expect("trace ring lock poisoned").push(event);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Consumers
+// ---------------------------------------------------------------------------
+
+/// Export events as Chrome-trace / Perfetto JSON (the "object format":
+/// `{"traceEvents":[...]}`, instant events with microsecond timestamps).
+/// Load the result in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // ts in microseconds; a logical clock's ticks still load fine.
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{},\"args\":{{\"seq\":{},\"trace\":\"{:016x}\",\"span\":\"{:016x}\"",
+            crate::export::json_escape(e.kind),
+            e.thread,
+            (e.ts as f64) / 1e3,
+            e.seq,
+            e.trace,
+            e.span,
+        );
+        for (k, v) in &e.attrs {
+            let _ = write!(out, ",\"{}\":", crate::export::json_escape(k));
+            push_attr_json(&mut out, v);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Export events as JSON Lines: one self-contained object per event, in
+/// the given order. Ids are fixed-width hex strings so they survive JSON
+/// readers that parse numbers as `f64`.
+pub fn events_jsonl(events: &[TraceEvent]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for e in events {
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"ts\":{},\"thread\":{},\"trace\":\"{:016x}\",\"span\":\"{:016x}\",\"parent\":\"{:016x}\",\"kind\":\"{}\",\"attrs\":{{",
+            e.seq,
+            e.ts,
+            e.thread,
+            e.trace,
+            e.span,
+            e.parent,
+            crate::export::json_escape(e.kind),
+        );
+        for (i, (k, v)) in e.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", crate::export::json_escape(k));
+            push_attr_json(&mut out, v);
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
+fn push_attr_json(out: &mut String, v: &AttrValue) {
+    use std::fmt::Write as _;
+    match v {
+        AttrValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        AttrValue::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        AttrValue::F64(n) => {
+            let _ = write!(out, "{}", crate::export::json_f64(*n));
+        }
+        AttrValue::Str(s) => {
+            let _ = write!(out, "\"{}\"", crate::export::json_escape(s));
+        }
+        AttrValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+/// Reconstructs causal structure from a recorded event set so tests can
+/// assert invariants directly instead of inferring them from counters.
+#[derive(Debug, Clone)]
+pub struct TraceQuery {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceQuery {
+    /// Build a query over `events` (sorted by `seq` internally).
+    pub fn new(mut events: Vec<TraceEvent>) -> Self {
+        events.sort_by_key(|e| e.seq);
+        TraceQuery { events }
+    }
+
+    /// All events, in causal (`seq`) order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The events of one kind, in causal order.
+    pub fn of_kind(&self, kind: &str) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.kind == kind).collect()
+    }
+
+    /// Every distinct trace id among events of `kind` (0 excluded).
+    pub fn traces_of(&self, kind: &str) -> Vec<u64> {
+        let mut out: Vec<u64> =
+            self.events.iter().filter(|e| e.kind == kind && e.trace != 0).map(|e| e.trace).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Assert that within every trace, the `u64` attribute `attr` of
+    /// `kind` events never decreases in causal order — e.g. no client
+    /// (trace) ever observes a served model version regress.
+    pub fn monotone(&self, kind: &str, attr: &str) -> Result<(), String> {
+        let mut last: HashMap<u64, (u64, u64)> = HashMap::new(); // trace -> (seq, value)
+        for e in self.events.iter().filter(|e| e.kind == kind) {
+            let Some(value) = e.u64_attr(attr) else {
+                return Err(format!("event #{} ({kind}) lacks u64 attr {attr:?}", e.seq));
+            };
+            if let Some((prev_seq, prev)) = last.get(&e.trace) {
+                if value < *prev {
+                    return Err(format!(
+                        "trace {:016x}: {kind}.{attr} regressed {prev} (seq {prev_seq}) -> {value} (seq {})",
+                        e.trace, e.seq
+                    ));
+                }
+            }
+            last.insert(e.trace, (e.seq, value));
+        }
+        Ok(())
+    }
+
+    /// Assert that every `effect_kind` event's `effect_attr` value was
+    /// announced by an earlier (smaller `seq`) `cause_kind` event with an
+    /// equal `cause_attr` value — e.g. every served model version is
+    /// reachable from a preceding `registry.install`.
+    pub fn causally_preceded(
+        &self,
+        effect_kind: &str,
+        effect_attr: &str,
+        cause_kind: &str,
+        cause_attr: &str,
+    ) -> Result<(), String> {
+        let mut announced: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for e in &self.events {
+            if e.kind == cause_kind {
+                if let Some(v) = e.u64_attr(cause_attr) {
+                    announced.insert(v);
+                }
+            } else if e.kind == effect_kind {
+                let Some(v) = e.u64_attr(effect_attr) else {
+                    return Err(format!(
+                        "event #{} ({effect_kind}) lacks u64 attr {effect_attr:?}",
+                        e.seq
+                    ));
+                };
+                if !announced.contains(&v) {
+                    return Err(format!(
+                        "event #{} ({effect_kind}) {effect_attr}={v} has no preceding {cause_kind} with {cause_attr}={v}",
+                        e.seq
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        t.event("x").trace(1).u64("v", 2).str("s", "abc").emit();
+        assert!(!t.is_enabled());
+        assert!(t.events().is_empty());
+        assert_eq!(t.capacity(), 0);
+    }
+
+    #[test]
+    fn events_record_in_causal_order_with_attrs() {
+        let t = Tracer::enabled(Clock::logical(), 64);
+        t.event("a").trace(7).u64("v", 1).emit();
+        t.event("b").ctx(TraceCtx { trace: 7, span: 3 }).f64("x", 0.5).bool("ok", true).emit();
+        let events = t.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "a");
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].span, 3);
+        assert_eq!(events[0].u64_attr("v"), Some(1));
+        assert_eq!(events[1].f64_attr("x"), Some(0.5));
+        assert_eq!(events[1].bool_attr("ok"), Some(true));
+        // Logical clock: ts strictly increases with emission order here.
+        assert!(events[1].ts > events[0].ts);
+    }
+
+    #[test]
+    fn ring_overflow_keeps_newest_events() {
+        let t = Tracer::enabled(Clock::logical(), 8);
+        for i in 0..100u64 {
+            t.event("tick").u64("i", i).emit();
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 8, "ring keeps exactly its capacity");
+        let kept: Vec<u64> = events.iter().map(|e| e.u64_attr("i").unwrap()).collect();
+        assert_eq!(kept, (92..100).collect::<Vec<_>>(), "newest events survive");
+    }
+
+    #[test]
+    fn multi_thread_events_share_one_sequence() {
+        let t = Tracer::enabled(Clock::wall(), 1024);
+        let handles: Vec<_> = (0..4)
+            .map(|k| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        t.event("w").trace(k + 1).u64("i", i).emit();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let events = t.events();
+        assert_eq!(events.len(), 400);
+        // Seq values are unique and sorted.
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        // Four distinct recording threads registered rings.
+        let threads: std::collections::HashSet<u64> = events.iter().map(|e| e.thread).collect();
+        assert_eq!(threads.len(), 4);
+    }
+
+    #[test]
+    fn ids_are_deterministic_and_distinct() {
+        assert_eq!(trace_id(42, 7), trace_id(42, 7));
+        assert_ne!(trace_id(42, 7), trace_id(42, 8));
+        assert_ne!(trace_id(42, 7), trace_id(43, 7));
+        assert_ne!(span_id(1, 0), span_id(2, 0));
+    }
+
+    #[test]
+    fn monotone_detects_regressions() {
+        let t = Tracer::enabled(Clock::logical(), 64);
+        t.event("reply").trace(1).u64("version", 1).emit();
+        t.event("reply").trace(1).u64("version", 2).emit();
+        t.event("reply").trace(2).u64("version", 5).emit();
+        let q = TraceQuery::new(t.events());
+        assert!(q.monotone("reply", "version").is_ok());
+
+        t.event("reply").trace(2).u64("version", 4).emit();
+        let q = TraceQuery::new(t.events());
+        let err = q.monotone("reply", "version").unwrap_err();
+        assert!(err.contains("regressed 5"), "{err}");
+    }
+
+    #[test]
+    fn causally_preceded_requires_an_earlier_cause() {
+        let t = Tracer::enabled(Clock::logical(), 64);
+        t.event("install").u64("version", 1).emit();
+        t.event("reply").u64("version", 1).emit();
+        let q = TraceQuery::new(t.events());
+        assert!(q.causally_preceded("reply", "version", "install", "version").is_ok());
+
+        t.event("reply").u64("version", 2).emit(); // never installed
+        let q = TraceQuery::new(t.events());
+        assert!(q.causally_preceded("reply", "version", "install", "version").is_err());
+    }
+
+    #[test]
+    fn exporters_emit_parseable_json() {
+        let t = Tracer::enabled(Clock::logical(), 64);
+        t.event("serve.reply").trace(9).u64("version", 3).bool("cached", false).emit();
+        t.event("odd\"kind").str("s", "a\"b\\c").f64("nan", f64::NAN).emit();
+        let events = t.events();
+        let chrome = chrome_trace(&events);
+        assert!(chrome.starts_with("{\"traceEvents\":["));
+        assert!(chrome.contains("\"serve.reply\""));
+        let jsonl = events_jsonl(&events);
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"version\":3"));
+        assert!(jsonl.contains("null"), "NaN must map to null");
+    }
+
+    #[test]
+    fn dump_tail_shows_the_last_events() {
+        let t = Tracer::enabled(Clock::logical(), 32);
+        for i in 0..10u64 {
+            t.event("step").u64("i", i).emit();
+        }
+        let dump = t.dump_tail(3);
+        assert!(dump.contains("last 3 of 10"));
+        assert!(dump.contains("i=9"));
+        assert!(!dump.contains("i=5"));
+    }
+}

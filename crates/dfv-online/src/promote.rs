@@ -11,8 +11,8 @@
 //! rollback guard refuses it. Either way the previous model keeps serving
 //! and the loop carries on — the chaos suite pins exactly that.
 
-use dfv_faults::{splitmix64, FaultPlan, FaultSite};
-use dfv_obs::{Counter, Obs};
+use dfv_faults::{splitmix64, FaultPlan, FaultSite, VerdictCounters};
+use dfv_obs::{Counter, Obs, TraceCtx, Tracer};
 use dfv_serve::{ModelArtifact, ModelKey, ModelRegistry, RegistryError};
 
 /// How one promotion attempt ended.
@@ -58,6 +58,8 @@ pub fn key_stream(key: &ModelKey) -> u64 {
 /// `online.promote.rejected{reason=}`).
 pub struct Promoter {
     faults: FaultPlan,
+    verdicts: VerdictCounters,
+    tracer: Tracer,
     installed: Counter,
     corrupt: Counter,
     stale: Counter,
@@ -69,6 +71,8 @@ impl Promoter {
     pub fn new(faults: &FaultPlan, obs: &Obs) -> Self {
         Promoter {
             faults: faults.clone(),
+            verdicts: VerdictCounters::new(obs),
+            tracer: obs.tracer(),
             installed: obs.counter("online.promote.installed"),
             corrupt: obs.counter("online.promote.rejected{reason=\"corrupt\"}"),
             stale: obs.counter("online.promote.rejected{reason=\"stale\"}"),
@@ -82,23 +86,37 @@ impl Promoter {
     pub fn promote(
         &self,
         registry: &ModelRegistry,
+        artifact: ModelArtifact,
+        cycle: u64,
+    ) -> PromotionOutcome {
+        self.promote_traced(registry, artifact, cycle, TraceCtx::default())
+    }
+
+    /// [`Promoter::promote`] carrying a lineage trace context. The offer
+    /// and its outcome are emitted as one `online.promote` event so the
+    /// model-lineage chain (drift → retrain → validate → promote →
+    /// install) shares a trace id end to end.
+    pub fn promote_traced(
+        &self,
+        registry: &ModelRegistry,
         mut artifact: ModelArtifact,
         cycle: u64,
+        ctx: TraceCtx,
     ) -> PromotionOutcome {
         let key = ModelKey { app: artifact.app.clone(), task: artifact.task() };
         let stream = key_stream(&key);
-        if self.faults.fires(FaultSite::ArtifactCorrupt, stream, cycle) {
+        if self.verdicts.check(&self.faults, FaultSite::ArtifactCorrupt, stream, cycle) {
             // The export got mangled in flight: metadata no longer matches
             // the embedded model, which is exactly what validation catches.
             artifact.feature_names.clear();
         }
-        if self.faults.fires(FaultSite::ArtifactStale, stream, cycle) {
+        if self.verdicts.check(&self.faults, FaultSite::ArtifactStale, stream, cycle) {
             // A slow exporter re-offers what is already live.
             if let Some(live) = registry.get(&key) {
                 artifact = (*live).clone();
             }
         }
-        match registry.install(artifact) {
+        let outcome = match registry.install(artifact) {
             Ok(version) => {
                 self.installed.inc();
                 PromotionOutcome::Installed { version }
@@ -112,7 +130,24 @@ impl Promoter {
                 PromotionOutcome::RejectedStale { installed }
             }
             Err(RegistryError::Io(e)) => unreachable!("in-memory install did io: {e}"),
+        };
+        if self.tracer.is_enabled() {
+            let (label, version) = match &outcome {
+                PromotionOutcome::Installed { version } => ("installed", *version),
+                PromotionOutcome::RejectedCorrupt => ("rejected_corrupt", 0),
+                PromotionOutcome::RejectedStale { installed } => ("rejected_stale", *installed),
+                PromotionOutcome::RejectedValidation { .. } => unreachable!("not offered here"),
+            };
+            self.tracer
+                .event("online.promote")
+                .ctx(ctx)
+                .str("model", &key.to_string())
+                .u64("cycle", cycle)
+                .str("outcome", label)
+                .u64("version", version)
+                .emit();
         }
+        outcome
     }
 
     /// Record a candidate that lost the validation gate (it is never

@@ -18,7 +18,7 @@
 use crate::config::OnlineConfig;
 use crate::drift::{DriftDetector, DriftVerdict};
 use crate::ingest::{deviation_eval_rows, AppCache};
-use crate::promote::{Promoter, PromotionOutcome};
+use crate::promote::{key_stream, Promoter, PromotionOutcome};
 use dfv_counters::FeatureSet;
 use dfv_experiments::{
     day_batches, train_artifacts_observed, CampaignConfig, CampaignResult, DeviationBuildObs,
@@ -29,7 +29,7 @@ use dfv_mlkit::attention::AttentionForecaster;
 use dfv_mlkit::gbr::Gbr;
 use dfv_mlkit::metrics::mape;
 use dfv_mlkit::tree::TrainingContext;
-use dfv_obs::Obs;
+use dfv_obs::{trace_id, Obs, TraceCtx};
 use dfv_serve::{ModelArtifact, ModelKey, ModelKind, ModelRegistry};
 
 /// One `(day, app)` cell of the report: holdout MAPEs of the live and the
@@ -236,6 +236,23 @@ pub fn run_online_faulted_observed(
             let mut outcome = None;
             if verdict == DriftVerdict::Triggered && cadence_ok(state, day, online.cadence_days) {
                 obs_triggered.inc();
+                let tracer = obs.tracer();
+                if tracer.is_enabled() {
+                    // Root of the lineage chain: the same deterministic
+                    // trace id carries through retrain, validation and
+                    // promotion of this cycle.
+                    let lineage = TraceCtx::new(trace_id(
+                        key_stream(&ModelKey::deviation(&state.label)),
+                        state.cycles[0],
+                    ));
+                    tracer
+                        .event("online.drift")
+                        .ctx(lineage)
+                        .str("app", &state.label)
+                        .u64("day", day as u64)
+                        .f64("mape", online_mape.unwrap_or(f64::NAN))
+                        .emit();
+                }
                 state.last_retrain_day = Some(day);
                 outcome = retrain(
                     state,
@@ -398,6 +415,8 @@ fn retrain(
     let live = registry.get(&dev_key)?;
     let cycle = state.cycles[0];
     state.cycles[0] += 1;
+    let lineage = TraceCtx::new(trace_id(key_stream(&dev_key), cycle));
+    let tracer = obs.tracer();
     let (candidate, trained_epoch, trend) = fit_deviation(
         state,
         online,
@@ -408,6 +427,16 @@ fn retrain(
         cycle,
         telemetry,
     )?;
+    if tracer.is_enabled() {
+        tracer
+            .event("online.retrain")
+            .ctx(lineage)
+            .str("app", &state.label)
+            .u64("day", day as u64)
+            .u64("cycle", cycle)
+            .u64("version", live.version + 1)
+            .emit();
+    }
     // Validation gate: live model scored on the same window runs, each
     // model under its own trend (a model is inseparable from its centering).
     let window_runs = state.cache.window_runs(day, online.window_days);
@@ -416,19 +445,31 @@ fn retrain(
         .as_ref()
         .and_then(|t| eval_artifact(&live, window_runs, t, online).1)
         .unwrap_or(f64::INFINITY);
-    let outcome =
-        if !trained_epoch.is_finite() || trained_epoch > online.max_validation_ratio * live_mape {
-            promoter.reject_validation(trained_epoch, live_mape)
-        } else {
-            let outcome = promoter.promote(registry, candidate, cycle);
-            if let PromotionOutcome::Installed { .. } = outcome {
-                state.live_trend = Some(trend);
-                state.detector.rebaseline(trained_epoch);
-                obs.gauge(&format!("online.drift.baseline{{app=\"{}\"}}", state.label))
-                    .set(trained_epoch);
-            }
-            outcome
-        };
+    let pass =
+        trained_epoch.is_finite() && trained_epoch <= online.max_validation_ratio * live_mape;
+    if tracer.is_enabled() {
+        tracer
+            .event("online.validate")
+            .ctx(lineage)
+            .str("app", &state.label)
+            .u64("cycle", cycle)
+            .bool("pass", pass)
+            .f64("candidate_mape", trained_epoch)
+            .f64("live_mape", live_mape)
+            .emit();
+    }
+    let outcome = if !pass {
+        promoter.reject_validation(trained_epoch, live_mape)
+    } else {
+        let outcome = promoter.promote_traced(registry, candidate, cycle, lineage);
+        if let PromotionOutcome::Installed { .. } = outcome {
+            state.live_trend = Some(trend);
+            state.detector.rebaseline(trained_epoch);
+            obs.gauge(&format!("online.drift.baseline{{app=\"{}\"}}", state.label))
+                .set(trained_epoch);
+        }
+        outcome
+    };
     events.push(PromotionEvent {
         day,
         model: dev_key.to_string(),
@@ -461,12 +502,32 @@ fn retrain(
                     online.fspec.k,
                     model,
                 );
-                let fc_outcome = if !cand_mape.is_finite()
-                    || cand_mape > online.max_validation_ratio * live_mape
-                {
+                let fc_lineage = TraceCtx::new(trace_id(key_stream(&fc_key), fc_cycle));
+                let fc_pass =
+                    cand_mape.is_finite() && cand_mape <= online.max_validation_ratio * live_mape;
+                if tracer.is_enabled() {
+                    tracer
+                        .event("online.retrain")
+                        .ctx(fc_lineage)
+                        .str("app", &state.label)
+                        .u64("day", day as u64)
+                        .u64("cycle", fc_cycle)
+                        .u64("version", live_fc.version + 1)
+                        .emit();
+                    tracer
+                        .event("online.validate")
+                        .ctx(fc_lineage)
+                        .str("app", &state.label)
+                        .u64("cycle", fc_cycle)
+                        .bool("pass", fc_pass)
+                        .f64("candidate_mape", cand_mape)
+                        .f64("live_mape", live_mape)
+                        .emit();
+                }
+                let fc_outcome = if !fc_pass {
                     promoter.reject_validation(cand_mape, live_mape)
                 } else {
-                    promoter.promote(registry, artifact, fc_cycle)
+                    promoter.promote_traced(registry, artifact, fc_cycle, fc_lineage)
                 };
                 events.push(PromotionEvent {
                     day,

@@ -25,6 +25,8 @@
 //!   hit-rate metrics via [`ServeStats`].
 //! - [`loadgen`] — a seeded open/closed-loop load harness (Poisson
 //!   arrivals, Zipf key mix) producing deterministic [`LoadReport`]s.
+//! - [`slo`] — a rolling-window [`SloMonitor`] burning p99/reject budgets
+//!   over the load harness and raising `slo.alert` trace events.
 //! - [`source`] — [`ServeForecastSource`], plugging a live service into
 //!   `dfv_scheduler::ForecastAdvisor`.
 //!
@@ -40,6 +42,7 @@ pub mod loadgen;
 pub mod registry;
 pub mod service;
 pub mod sharded;
+pub mod slo;
 pub mod source;
 pub mod stats;
 
@@ -48,10 +51,11 @@ pub use artifact::{
 };
 pub use cache::{hash_row, LruCache};
 pub use compiled::CompiledArtifact;
-pub use loadgen::{run_load, LoadMode, LoadReport, LoadSpec};
+pub use loadgen::{run_load, run_load_slo, LoadMode, LoadReport, LoadSpec};
 pub use registry::{EpochSnapshot, ModelKey, ModelRegistry, RegistryError};
 pub use service::{Pending, Request, Response, ServeConfig, ServeError, ServeHandle, Service};
 pub use sharded::{Fleet, FleetConfig, FleetHandle, FleetStats};
+pub use slo::{SloAlert, SloAlertKind, SloConfig, SloMonitor};
 pub use source::ServeForecastSource;
 pub use stats::{LatencyHistogram, ModelStats, ModelStatsSnapshot, ServeStats};
 

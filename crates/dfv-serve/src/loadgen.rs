@@ -21,8 +21,9 @@
 
 use crate::service::{Request, Response};
 use crate::sharded::FleetHandle;
+use crate::slo::{SloAlert, SloMonitor};
 use dfv_faults::{splitmix64, unit_f64};
-use dfv_obs::Log2Histogram;
+use dfv_obs::{trace_id, Log2Histogram, TraceCtx};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
@@ -30,6 +31,7 @@ use std::time::{Duration, Instant};
 const SALT_RANK: u64 = 0x5261_6e6b_0000_0001;
 const SALT_ROW: u64 = 0x526f_7700_0000_0002;
 const SALT_ARRIVAL: u64 = 0x4172_7200_0000_0003;
+const SALT_TRACE: u64 = 0x5472_6163_0000_0004;
 
 /// How the harness drives the fleet.
 #[derive(Debug, Clone, PartialEq)]
@@ -130,6 +132,15 @@ impl LoadSpec {
         Request::PredictDeviation { app: self.apps[app_idx].clone(), step_features }
     }
 
+    /// The deterministic trace context for request `index`: the same seed
+    /// assigns every request the same trace id on every run, so traces
+    /// from two runs of one spec are directly comparable. One splitmix64
+    /// mix — computed unconditionally, and never fed back into anything
+    /// the request does.
+    pub fn trace_ctx(&self, index: u64) -> TraceCtx {
+        TraceCtx::new(trace_id(self.seed ^ SALT_TRACE, index))
+    }
+
     /// Exponential inter-arrival gap BEFORE request `index`, in seconds
     /// (`-ln(1-u)/λ`, finite because `u < 1`). Zero outside open loop.
     fn inter_arrival_secs(&self, index: u64) -> f64 {
@@ -188,6 +199,9 @@ pub struct LoadReport {
     /// Highest fleet queue depth observed while polling (a saturation
     /// indicator; approximate).
     pub max_queue_depth: u64,
+    /// SLO windows that burned their budget (empty unless the run was
+    /// driven through [`run_load_slo`] with a live monitor).
+    pub slo_alerts: Vec<SloAlert>,
 }
 
 impl LoadReport {
@@ -222,19 +236,29 @@ fn fold_outcome(digest: &mut u64, index: u64, value: f64, version: u64) {
 /// Drive `spec` against a fleet and measure. Blocks until every scheduled
 /// request is resolved (answered, rejected, or errored).
 pub fn run_load(handle: &FleetHandle, spec: &LoadSpec) -> LoadReport {
+    run_load_slo(handle, spec, SloMonitor::disabled())
+}
+
+/// [`run_load`] with an SLO burn-rate monitor watching the client-side
+/// latency/rejection stream. The monitor never touches the fleet, so a
+/// monitored run's outcome digest is bit-identical to an unmonitored
+/// one's; its alerts land in [`LoadReport::slo_alerts`].
+pub fn run_load_slo(handle: &FleetHandle, spec: &LoadSpec, mut slo: SloMonitor) -> LoadReport {
     assert!(!spec.apps.is_empty(), "load spec needs at least one app");
     assert!(spec.width > 0, "load spec needs a feature width");
-    match spec.mode {
+    let mut report = match spec.mode {
         LoadMode::Open { rate_per_sec } => {
             assert!(rate_per_sec > 0.0, "open-loop rate must be positive");
-            run_open(handle, spec)
+            run_open(handle, spec, &mut slo)
         }
         LoadMode::Closed { concurrency } => {
             assert!(concurrency > 0, "closed-loop concurrency must be positive");
-            run_closed(handle, spec, concurrency)
+            run_closed(handle, spec, concurrency, &mut slo)
         }
-        LoadMode::Sequential => run_sequential(handle, spec),
-    }
+        LoadMode::Sequential => run_sequential(handle, spec, &mut slo),
+    };
+    report.slo_alerts = slo.finish();
+    report
 }
 
 /// One in-flight open/closed-loop request.
@@ -245,7 +269,11 @@ struct InFlight {
 }
 
 /// Shared polling step: resolve everything answerable right now.
-fn drain_inflight(inflight: &mut VecDeque<InFlight>, report: &mut LoadReport) {
+fn drain_inflight(
+    inflight: &mut VecDeque<InFlight>,
+    report: &mut LoadReport,
+    slo: &mut SloMonitor,
+) {
     let mut remaining = VecDeque::with_capacity(inflight.len());
     while let Some(flight) = inflight.pop_front() {
         match flight.pending.try_wait() {
@@ -255,12 +283,15 @@ fn drain_inflight(inflight: &mut VecDeque<InFlight>, report: &mut LoadReport) {
                 if cached {
                     report.cache_hits += 1;
                 }
-                report
-                    .latency
-                    .record(flight.scheduled.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                let waited = flight.scheduled.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                report.latency.record(waited);
+                slo.observe_latency(waited);
                 fold_outcome(&mut report.outcome_digest, flight.index, value, model_version);
             }
-            Some(Response::Rejected { .. }) => report.rejected += 1,
+            Some(Response::Rejected { .. }) => {
+                report.rejected += 1;
+                slo.observe_reject();
+            }
             Some(Response::Error(_)) => report.errors += 1,
         }
     }
@@ -280,6 +311,7 @@ fn empty_report(spec: &LoadSpec) -> LoadReport {
         outcome_digest: 0,
         hit_sequence_digest: None,
         max_queue_depth: 0,
+        slo_alerts: Vec::new(),
     }
 }
 
@@ -288,7 +320,7 @@ fn observe_depth(handle: &FleetHandle, report: &mut LoadReport) {
     report.max_queue_depth = report.max_queue_depth.max(depth);
 }
 
-fn run_open(handle: &FleetHandle, spec: &LoadSpec) -> LoadReport {
+fn run_open(handle: &FleetHandle, spec: &LoadSpec, slo: &mut SloMonitor) -> LoadReport {
     let cdf = spec.zipf_cdf();
     let mut report = empty_report(spec);
     let mut inflight: VecDeque<InFlight> = VecDeque::new();
@@ -304,11 +336,14 @@ fn run_open(handle: &FleetHandle, spec: &LoadSpec) -> LoadReport {
         while next < spec.requests && now >= next_arrival {
             let request = spec.request_at(&cdf, next);
             let scheduled = start + next_arrival;
-            match handle.submit(request) {
+            match handle.submit_traced(request, spec.trace_ctx(next)) {
                 Ok((_, pending)) => {
                     inflight.push_back(InFlight { index: next, scheduled, pending })
                 }
-                Err(Response::Rejected { .. }) => report.rejected += 1,
+                Err(Response::Rejected { .. }) => {
+                    report.rejected += 1;
+                    slo.observe_reject();
+                }
                 Err(_) => report.errors += 1,
             }
             next += 1;
@@ -316,7 +351,7 @@ fn run_open(handle: &FleetHandle, spec: &LoadSpec) -> LoadReport {
             next_arrival = Duration::from_secs_f64(arrival_secs);
         }
         observe_depth(handle, &mut report);
-        drain_inflight(&mut inflight, &mut report);
+        drain_inflight(&mut inflight, &mut report, slo);
         if next < spec.requests {
             let now = start.elapsed();
             if next_arrival > now && inflight.is_empty() {
@@ -331,7 +366,12 @@ fn run_open(handle: &FleetHandle, spec: &LoadSpec) -> LoadReport {
     report
 }
 
-fn run_closed(handle: &FleetHandle, spec: &LoadSpec, concurrency: usize) -> LoadReport {
+fn run_closed(
+    handle: &FleetHandle,
+    spec: &LoadSpec,
+    concurrency: usize,
+    slo: &mut SloMonitor,
+) -> LoadReport {
     let cdf = spec.zipf_cdf();
     let mut report = empty_report(spec);
     let mut inflight: VecDeque<InFlight> = VecDeque::new();
@@ -341,7 +381,7 @@ fn run_closed(handle: &FleetHandle, spec: &LoadSpec, concurrency: usize) -> Load
     while resolved < spec.requests {
         while next < spec.requests && inflight.len() < concurrency {
             let request = spec.request_at(&cdf, next);
-            match handle.submit(request) {
+            match handle.submit_traced(request, spec.trace_ctx(next)) {
                 Ok((_, pending)) => {
                     inflight.push_back(InFlight {
                         index: next,
@@ -355,6 +395,7 @@ fn run_closed(handle: &FleetHandle, spec: &LoadSpec, concurrency: usize) -> Load
                     // sees more than `concurrency` in flight, so this is
                     // transient.
                     report.rejected += 1;
+                    slo.observe_reject();
                     std::thread::sleep(retry_after);
                 }
                 Err(_) => {
@@ -366,7 +407,7 @@ fn run_closed(handle: &FleetHandle, spec: &LoadSpec, concurrency: usize) -> Load
         }
         observe_depth(handle, &mut report);
         let before = inflight.len();
-        drain_inflight(&mut inflight, &mut report);
+        drain_inflight(&mut inflight, &mut report, slo);
         resolved += (before - inflight.len()) as u64;
         if before == inflight.len() {
             std::thread::yield_now();
@@ -377,7 +418,7 @@ fn run_closed(handle: &FleetHandle, spec: &LoadSpec, concurrency: usize) -> Load
     report
 }
 
-fn run_sequential(handle: &FleetHandle, spec: &LoadSpec) -> LoadReport {
+fn run_sequential(handle: &FleetHandle, spec: &LoadSpec, slo: &mut SloMonitor) -> LoadReport {
     let cdf = spec.zipf_cdf();
     let mut report = empty_report(spec);
     let mut hit_digest = 0u64;
@@ -386,13 +427,15 @@ fn run_sequential(handle: &FleetHandle, spec: &LoadSpec) -> LoadReport {
         let request = spec.request_at(&cdf, index);
         let issued = Instant::now();
         loop {
-            match handle.request(request.clone()) {
+            match handle.request_traced(request.clone(), spec.trace_ctx(index)) {
                 Response::Prediction { value, model_version, cached } => {
                     report.completed += 1;
                     if cached {
                         report.cache_hits += 1;
                     }
-                    report.latency.record(issued.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                    let waited = issued.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                    report.latency.record(waited);
+                    slo.observe_latency(waited);
                     fold_outcome(&mut report.outcome_digest, index, value, model_version);
                     // Order-dependent: position i's hit/miss chained into
                     // every later fold.
@@ -401,6 +444,7 @@ fn run_sequential(handle: &FleetHandle, spec: &LoadSpec) -> LoadReport {
                 }
                 Response::Rejected { retry_after } => {
                     report.rejected += 1;
+                    slo.observe_reject();
                     std::thread::sleep(retry_after);
                 }
                 Response::Error(_) => {

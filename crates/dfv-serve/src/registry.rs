@@ -178,17 +178,42 @@ impl ModelRegistry {
         // Compile outside the lock: flattening is pure and installs are
         // rare, so writers never hold the lock for kernel compilation.
         let compiled = Arc::new(CompiledArtifact::compile(Arc::new(artifact)));
+        let tracer = self.obs.tracer();
         let mut snapshot = self.snapshot.write().expect("registry lock poisoned");
         if let Some(live) = snapshot.get(&key) {
             if live.version() >= version {
+                // A refused rollback is itself a causal fact worth a
+                // record: tests assert no refused version ever serves.
+                if tracer.is_enabled() {
+                    tracer
+                        .event("registry.refuse")
+                        .str("model", &key.to_string())
+                        .u64("offered", version)
+                        .u64("installed", live.version())
+                        .emit();
+                }
                 return Err(RegistryError::StaleVersion {
                     offered: version,
                     installed: live.version(),
                 });
             }
         }
+        let next_epoch = snapshot.epoch + 1;
+        // Install event BEFORE the Arc swap, still under the write lock:
+        // readers block until the lock releases, so any shard adoption or
+        // reply mentioning this version draws a strictly larger seq. This
+        // ordering is what lets TraceQuery prove "every served version was
+        // announced by an install" from seq order alone.
+        if tracer.is_enabled() {
+            tracer
+                .event("registry.install")
+                .str("model", &key.to_string())
+                .u64("version", version)
+                .u64("epoch", next_epoch)
+                .emit();
+        }
         let mut next = EpochSnapshot {
-            epoch: snapshot.epoch + 1,
+            epoch: next_epoch,
             models: snapshot.models.clone(), // clones Arcs, not models
         };
         next.models.insert(key.clone(), compiled);

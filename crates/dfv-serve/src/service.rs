@@ -31,7 +31,7 @@ use crate::registry::{EpochSnapshot, ModelKey, ModelRegistry};
 use crate::stats::{ModelStats, ServeStats};
 use dfv_faults::{FaultPlan, FaultSite};
 use dfv_mlkit::matrix::Matrix;
-use dfv_obs::Obs;
+use dfv_obs::{Obs, TraceCtx, Tracer};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
@@ -160,11 +160,13 @@ pub enum Response {
     Error(ServeError),
 }
 
-/// A queued request plus its reply channel and arrival time.
+/// A queued request plus its reply channel, arrival time, and the trace
+/// context it carries end-to-end (default/zeroed when untraced).
 struct Envelope {
     request: Request,
     enqueued: Instant,
     reply: SyncSender<Response>,
+    trace: TraceCtx,
 }
 
 /// What travels through the queue: work, or the shutdown sentinel.
@@ -237,11 +239,19 @@ impl ServeHandle {
     /// request is queued and WILL be answered — await it via
     /// [`Pending::wait`].
     pub fn submit(&self, request: Request) -> Result<Pending, Response> {
+        self.submit_traced(request, TraceCtx::default())
+    }
+
+    /// [`ServeHandle::submit`] carrying a trace context: the batcher tags
+    /// this request's `serve.reply` event with `ctx`'s trace id, tying the
+    /// reply into the client's causal chain. With tracing disabled the
+    /// context rides along for free (a `Copy` of two words).
+    pub fn submit_traced(&self, request: Request, ctx: TraceCtx) -> Result<Pending, Response> {
         if self.shared.stopping.load(Ordering::Acquire) {
             return Err(Response::Error(ServeError::ShuttingDown));
         }
         let (reply, rx) = sync_channel(1);
-        let envelope = Envelope { request, enqueued: Instant::now(), reply };
+        let envelope = Envelope { request, enqueued: Instant::now(), reply, trace: ctx };
         match self.tx.try_send(QueueItem::Work(envelope)) {
             Ok(()) => {
                 self.shared.queue_depth.fetch_add(1, Ordering::Relaxed);
@@ -377,6 +387,7 @@ struct ShardObs {
     requests: dfv_obs::Counter,
     cache_hits: dfv_obs::Counter,
     latency: dfv_obs::Histogram,
+    tracer: Tracer,
 }
 
 impl ShardObs {
@@ -389,6 +400,7 @@ impl ShardObs {
             requests: obs.counter(&format!("serve.shard.requests{{shard=\"{shard_id}\"}}")),
             cache_hits: obs.counter(&format!("serve.shard.cache_hits{{shard=\"{shard_id}\"}}")),
             latency: obs.histogram(&format!("serve.shard.latency_ns{{shard=\"{shard_id}\"}}")),
+            tracer: obs.tracer(),
         }
     }
 }
@@ -421,6 +433,19 @@ fn pin_epoch(
         cache.clear();
         for (key, version) in snapshot.models() {
             let changed = tracker.versions.insert(key.clone(), version) != Some(version);
+            if changed && sobs.tracer.is_enabled() {
+                // Adoption event (first pin included): this shard now
+                // serves `version`; any reply it emits afterwards sorts
+                // after this in the causal order. The is_enabled guard
+                // keeps the key formatting off the untraced path.
+                sobs.tracer
+                    .event("serve.epoch")
+                    .u64("shard", sobs.shard_id as u64)
+                    .u64("epoch", snapshot.epoch())
+                    .str("model", &key.to_string())
+                    .u64("version", version)
+                    .emit();
+            }
             if changed && !first_pin && sobs.obs.is_enabled() {
                 let shard_id = sobs.shard_id;
                 sobs.obs
@@ -475,6 +500,13 @@ fn run_batcher(rx: Receiver<QueueItem>, shared: Arc<Shared>) {
         }
         tick += 1;
         let snapshot = pin_epoch(&shared, &mut cache, &mut tracker, &sobs);
+        sobs.tracer
+            .event("serve.tick")
+            .u64("shard", sobs.shard_id as u64)
+            .u64("tick", tick)
+            .u64("batch", batch.len() as u64)
+            .u64("epoch", snapshot.epoch())
+            .emit();
         process_tick(batch, &shared, &snapshot, &mut cache, &sobs);
     }
     // Sentinel seen: answer anything that was accepted alongside it, then
@@ -613,6 +645,17 @@ fn serve_group(
         let waited = envelope.enqueued.elapsed();
         stats.latency.record(waited);
         sobs.latency.record_duration(waited);
+        // Reply event BEFORE the send: the client unblocks strictly after
+        // this event exists, so a sequential client's next submission (and
+        // any event it causes) draws a larger seq — per-trace reply events
+        // are causally ordered.
+        sobs.tracer
+            .event("serve.reply")
+            .ctx(envelope.trace)
+            .u64("shard", sobs.shard_id as u64)
+            .u64("version", version)
+            .bool("cached", cached)
+            .emit();
         let _ = envelope.reply.send(Response::Prediction { value, model_version: version, cached });
     }
 }

@@ -21,7 +21,7 @@ use crate::cache::hash_row;
 use crate::registry::ModelRegistry;
 use crate::service::{Pending, Request, Response, ServeConfig, ServeHandle, Service};
 use crate::stats::ServeStats;
-use dfv_obs::Obs;
+use dfv_obs::{Obs, TraceCtx, Tracer};
 use std::sync::Arc;
 
 /// Tunables for a serving fleet.
@@ -71,6 +71,7 @@ pub fn route(request: &Request, shards: usize) -> usize {
 pub struct FleetHandle {
     shards: Vec<ServeHandle>,
     spill: bool,
+    tracer: Tracer,
 }
 
 impl FleetHandle {
@@ -89,13 +90,32 @@ impl FleetHandle {
     /// other shard (by live queue depth) before rejecting. `Ok` carries
     /// `(shard_index, pending)` so callers can attribute latency.
     pub fn submit(&self, request: Request) -> Result<(usize, Pending), Response> {
+        self.submit_traced(request, TraceCtx::default())
+    }
+
+    /// [`FleetHandle::submit`] carrying a trace context. The dispatch
+    /// decision (affinity shard, and whether the request spilled) is
+    /// recorded as a `serve.dispatch` event tagged with `ctx`'s trace id;
+    /// the context then rides the envelope to the batcher's `serve.reply`.
+    pub fn submit_traced(
+        &self,
+        request: Request,
+        ctx: TraceCtx,
+    ) -> Result<(usize, Pending), Response> {
         let primary = route(&request, self.shards.len());
         if !self.spill || self.shards.len() == 1 {
-            return self.shards[primary].submit(request).map(|p| (primary, p));
+            let result = self.shards[primary].submit_traced(request, ctx).map(|p| (primary, p));
+            if result.is_ok() {
+                self.dispatch_event(ctx, primary, false);
+            }
+            return result;
         }
         let fallback = request.clone();
-        match self.shards[primary].submit(request) {
-            Ok(pending) => Ok((primary, pending)),
+        match self.shards[primary].submit_traced(request, ctx) {
+            Ok(pending) => {
+                self.dispatch_event(ctx, primary, false);
+                Ok((primary, pending))
+            }
             Err(Response::Rejected { .. }) => {
                 // Affinity shard saturated: spill to the least-loaded
                 // other shard. Bit-identical kernels make this safe —
@@ -108,15 +128,37 @@ impl FleetHandle {
                     .min_by_key(|(_, h)| h.queue_depth())
                     .map(|(i, _)| i)
                     .unwrap_or(primary);
-                self.shards[spill].submit(fallback).map(|p| (spill, p))
+                let result = self.shards[spill].submit_traced(fallback, ctx).map(|p| (spill, p));
+                if result.is_ok() {
+                    self.dispatch_event(ctx, spill, true);
+                }
+                result
             }
             Err(other) => Err(other),
         }
     }
 
+    /// Record an accepted dispatch decision on the fleet's tracer.
+    fn dispatch_event(&self, ctx: TraceCtx, shard: usize, spilled: bool) {
+        self.tracer
+            .event("serve.dispatch")
+            .ctx(ctx)
+            .u64("shard", shard as u64)
+            .bool("spill", spilled)
+            .emit();
+    }
+
     /// Submit and block for the answer (or the rejection).
     pub fn request(&self, request: Request) -> Response {
         match self.submit(request) {
+            Ok((_, pending)) => pending.wait(),
+            Err(response) => response,
+        }
+    }
+
+    /// [`FleetHandle::request`] carrying a trace context.
+    pub fn request_traced(&self, request: Request, ctx: TraceCtx) -> Response {
+        match self.submit_traced(request, ctx) {
             Ok((_, pending)) => pending.wait(),
             Err(response) => response,
         }
@@ -195,6 +237,7 @@ impl Fleet {
         let handle = FleetHandle {
             shards: services.iter().map(|s| s.handle()).collect(),
             spill: config.spill,
+            tracer: obs.tracer(),
         };
         Fleet { services, handle }
     }

@@ -1,0 +1,294 @@
+//! SLO burn-rate monitoring over the load harness.
+//!
+//! A [`SloMonitor`] watches the client-side stream of latencies and
+//! rejections in rolling count-based windows and compares each window
+//! against a latency budget (p99) and a rejection budget (fraction of
+//! requests). The **burn rate** is how fast the window consumed its
+//! budget — `p99 / p99_budget` for latency, `reject_rate / reject_budget`
+//! for rejections. A window whose burn rate reaches the configured
+//! threshold raises an [`SloAlert`], emits an `slo.alert` trace event and
+//! counts `slo.alerts{kind=}` — turning "the tail got slow around 1.1×
+//! capacity" from a post-hoc histogram read into a timestamped event in
+//! the same causal order as the serve pipeline's own events.
+//!
+//! The monitor is client-side and feedback-free: it never touches the
+//! fleet, so a monitored run serves bit-identical predictions to an
+//! unmonitored one. [`SloMonitor::disabled`] is a full no-op for the
+//! unmonitored path.
+
+use dfv_obs::{Log2Histogram, Obs, Tracer};
+
+/// Budgets for one load run.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Requests per rolling window (latency samples + rejections).
+    pub window: u64,
+    /// p99 latency budget per window, in nanoseconds.
+    pub p99_budget_ns: u64,
+    /// Acceptable rejected fraction per window (0.01 = 1%).
+    pub reject_budget: f64,
+    /// Alert when a window's burn rate reaches this multiple of budget
+    /// (1.0 = alert exactly at budget).
+    pub burn_threshold: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            window: 1_000,
+            p99_budget_ns: 50_000_000, // 50 ms
+            reject_budget: 0.01,
+            burn_threshold: 1.0,
+        }
+    }
+}
+
+/// Which budget a window burned through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloAlertKind {
+    /// The window's p99 latency reached the budget.
+    Latency,
+    /// The window's rejection rate reached the budget.
+    Rejects,
+}
+
+impl SloAlertKind {
+    /// Stable label for metrics and events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SloAlertKind::Latency => "latency",
+            SloAlertKind::Rejects => "rejects",
+        }
+    }
+}
+
+/// One window that burned its budget.
+#[derive(Debug, Clone)]
+pub struct SloAlert {
+    /// Zero-based index of the offending window.
+    pub window_index: u64,
+    /// Which budget burned.
+    pub kind: SloAlertKind,
+    /// Burn rate: multiples of budget this window consumed (>= threshold).
+    pub burn: f64,
+    /// The window's observed p99 latency (ns).
+    pub p99_ns: u64,
+    /// Rejections in the window.
+    pub rejects: u64,
+    /// Total observations in the window (completions + rejections).
+    pub observed: u64,
+}
+
+struct SloState {
+    config: SloConfig,
+    tracer: Tracer,
+    latency_alerts: dfv_obs::Counter,
+    reject_alerts: dfv_obs::Counter,
+    window_latency: Log2Histogram,
+    window_rejects: u64,
+    window_index: u64,
+    alerts: Vec<SloAlert>,
+}
+
+/// Rolling-window SLO monitor. Single-owner (`&mut self`), mirroring the
+/// load harness's single-threaded accounting.
+pub struct SloMonitor {
+    inner: Option<SloState>,
+}
+
+impl SloMonitor {
+    /// The inert monitor: every observation is a no-op and no alerts are
+    /// ever produced.
+    pub fn disabled() -> Self {
+        SloMonitor { inner: None }
+    }
+
+    /// A live monitor emitting alert events on `obs`'s tracer and
+    /// counting `slo.alerts{kind=}`.
+    pub fn new(config: SloConfig, obs: &Obs) -> Self {
+        assert!(config.window > 0, "SLO window must be non-zero");
+        assert!(config.p99_budget_ns > 0, "latency budget must be non-zero");
+        assert!(config.reject_budget > 0.0, "reject budget must be positive");
+        SloMonitor {
+            inner: Some(SloState {
+                tracer: obs.tracer(),
+                latency_alerts: obs.counter("slo.alerts{kind=\"latency\"}"),
+                reject_alerts: obs.counter("slo.alerts{kind=\"rejects\"}"),
+                config,
+                window_latency: Log2Histogram::new(),
+                window_rejects: 0,
+                window_index: 0,
+                alerts: Vec::new(),
+            }),
+        }
+    }
+
+    /// `true` when live.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record one completed request's client-side latency.
+    pub fn observe_latency(&mut self, ns: u64) {
+        if let Some(state) = &mut self.inner {
+            state.window_latency.record(ns);
+            state.roll_if_due();
+        }
+    }
+
+    /// Record one backpressure rejection.
+    pub fn observe_reject(&mut self) {
+        if let Some(state) = &mut self.inner {
+            state.window_rejects += 1;
+            state.roll_if_due();
+        }
+    }
+
+    /// Close any partial window and drain every alert raised so far.
+    pub fn finish(&mut self) -> Vec<SloAlert> {
+        match &mut self.inner {
+            None => Vec::new(),
+            Some(state) => {
+                if state.observed() > 0 {
+                    state.roll();
+                }
+                std::mem::take(&mut state.alerts)
+            }
+        }
+    }
+}
+
+impl SloState {
+    fn observed(&self) -> u64 {
+        self.window_latency.count() + self.window_rejects
+    }
+
+    fn roll_if_due(&mut self) {
+        if self.observed() >= self.config.window {
+            self.roll();
+        }
+    }
+
+    /// Evaluate the closing window against both budgets, then reset it.
+    fn roll(&mut self) {
+        let observed = self.observed();
+        let p99 = if self.window_latency.is_empty() { 0 } else { self.window_latency.quantile(0.99) };
+        let latency_burn = p99 as f64 / self.config.p99_budget_ns as f64;
+        let reject_rate = self.window_rejects as f64 / observed.max(1) as f64;
+        let reject_burn = reject_rate / self.config.reject_budget;
+        for (kind, burn) in
+            [(SloAlertKind::Latency, latency_burn), (SloAlertKind::Rejects, reject_burn)]
+        {
+            if burn >= self.config.burn_threshold {
+                self.tracer
+                    .event("slo.alert")
+                    .str("kind", kind.label())
+                    .u64("window", self.window_index)
+                    .f64("burn", burn)
+                    .u64("p99_ns", p99)
+                    .u64("rejects", self.window_rejects)
+                    .emit();
+                match kind {
+                    SloAlertKind::Latency => self.latency_alerts.inc(),
+                    SloAlertKind::Rejects => self.reject_alerts.inc(),
+                }
+                self.alerts.push(SloAlert {
+                    window_index: self.window_index,
+                    kind,
+                    burn,
+                    p99_ns: p99,
+                    rejects: self.window_rejects,
+                    observed,
+                });
+            }
+        }
+        self.window_index += 1;
+        self.window_latency = Log2Histogram::new();
+        self.window_rejects = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(window: u64) -> SloConfig {
+        SloConfig {
+            window,
+            p99_budget_ns: 1_000_000, // 1 ms
+            reject_budget: 0.10,
+            burn_threshold: 1.0,
+        }
+    }
+
+    #[test]
+    fn disabled_monitor_is_inert() {
+        let mut slo = SloMonitor::disabled();
+        slo.observe_latency(u64::MAX);
+        slo.observe_reject();
+        assert!(!slo.is_enabled());
+        assert!(slo.finish().is_empty());
+    }
+
+    #[test]
+    fn healthy_windows_raise_no_alerts() {
+        let mut slo = SloMonitor::new(config(10), &Obs::enabled_logical());
+        for _ in 0..35 {
+            slo.observe_latency(10_000); // 10 µs, far under the 1 ms budget
+        }
+        assert!(slo.finish().is_empty());
+    }
+
+    #[test]
+    fn slow_tail_burns_the_latency_budget() {
+        let obs = Obs::enabled_logical_traced(256);
+        let mut slo = SloMonitor::new(config(10), &obs);
+        for _ in 0..10 {
+            slo.observe_latency(8_000_000); // 8 ms against a 1 ms budget
+        }
+        let alerts = slo.finish();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, SloAlertKind::Latency);
+        assert!(alerts[0].burn >= 8.0, "burn {}", alerts[0].burn);
+        assert_eq!(alerts[0].window_index, 0);
+        // The alert is also a trace event and a counter.
+        let events = obs.tracer().events();
+        assert_eq!(events.iter().filter(|e| e.kind == "slo.alert").count(), 1);
+        assert_eq!(obs.snapshot().counter("slo.alerts{kind=\"latency\"}"), Some(1));
+    }
+
+    #[test]
+    fn rejection_storm_burns_the_reject_budget() {
+        let obs = Obs::enabled_logical();
+        let mut slo = SloMonitor::new(config(20), &obs);
+        // Window 0: healthy. Window 1: 25% rejects against a 10% budget.
+        for _ in 0..20 {
+            slo.observe_latency(1_000);
+        }
+        for i in 0..20 {
+            if i % 4 == 0 {
+                slo.observe_reject();
+            } else {
+                slo.observe_latency(1_000);
+            }
+        }
+        let alerts = slo.finish();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, SloAlertKind::Rejects);
+        assert_eq!(alerts[0].window_index, 1);
+        assert_eq!(alerts[0].rejects, 5);
+        assert!((alerts[0].burn - 2.5).abs() < 1e-9, "burn {}", alerts[0].burn);
+        assert_eq!(obs.snapshot().counter("slo.alerts{kind=\"rejects\"}"), Some(1));
+    }
+
+    #[test]
+    fn partial_final_window_is_still_evaluated() {
+        let mut slo = SloMonitor::new(config(1_000), &Obs::enabled_logical());
+        for _ in 0..5 {
+            slo.observe_latency(8_000_000);
+        }
+        let alerts = slo.finish();
+        assert_eq!(alerts.len(), 1, "finish() must flush the partial window");
+        assert_eq!(alerts[0].observed, 5);
+    }
+}

@@ -1,0 +1,177 @@
+//! Trace-derived latency breakdown below and above saturation.
+//!
+//! The load report can only say *how long* a request took; the flight
+//! recorder says *where the time went*. Every accepted request leaves a
+//! `serve.dispatch` event (client thread, enqueue time, spill flag) and a
+//! `serve.reply` event (batcher thread, completion time, cache flag)
+//! sharing one trace id, so joining the two reconstructs the in-fleet
+//! residence time of each individual request — split by cache hit vs
+//! kernel inference, primary vs spilled dispatch — with no extra
+//! instrumentation in the serving path.
+//!
+//! The demo measures closed-loop capacity of a 2-shard fleet, then drives
+//! open-loop Poisson traffic at 0.8x capacity (healthy) and 1.1x
+//! (saturated) and prints the per-class percentiles at each point. The
+//! numbers quoted in EXPERIMENTS.md come from this program.
+//!
+//! Run with: `cargo run --release --example trace_breakdown`
+
+use dragonfly_variability::faults::{splitmix64, unit_f64};
+use dragonfly_variability::mlkit::gbr::{Gbr, GbrParams};
+use dragonfly_variability::obs::Obs;
+use dragonfly_variability::prelude::*;
+use dragonfly_variability::serve::loadgen::run_load;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const WIDTH: usize = 13;
+const APPS: [&str; 4] = ["amg-16", "milc-16", "nekbone-16", "miniamr-16"];
+
+/// The serve_bench deviation artifact: 800 deterministic rows, 30 trees.
+fn artifact(app: &str, seed: u64) -> ModelArtifact {
+    let n = 800;
+    let mut x = Matrix::zeros(n, WIDTH);
+    let mut y = Vec::with_capacity(n);
+    for r in 0..n {
+        let mut target = 0.0;
+        for c in 0..WIDTH {
+            let v = unit_f64(splitmix64(seed, (r * WIDTH + c) as u64)) * 2.0 - 1.0;
+            x.set(r, c, v);
+            if c == 2 || c == 7 {
+                target += 3.0 * v;
+            }
+        }
+        y.push(target);
+    }
+    let params = GbrParams { n_trees: 30, subsample: 1.0, ..GbrParams::default() };
+    let gbr = Gbr::fit(&x, &y, &params);
+    let names = (0..WIDTH).map(|i| format!("f{i}")).collect();
+    ModelArtifact::deviation(app, 1, FeatureSet::App, names, gbr)
+}
+
+fn fleet(obs: &Obs) -> Fleet {
+    let registry = Arc::new(ModelRegistry::new());
+    for (i, app) in APPS.iter().enumerate() {
+        registry.install(artifact(app, 100 + i as u64)).unwrap();
+    }
+    Fleet::start_observed(
+        registry,
+        FleetConfig {
+            shards: 2,
+            shard_config: ServeConfig {
+                queue_capacity: 1024,
+                max_batch: 64,
+                cache_capacity: 8192,
+                ..ServeConfig::default()
+            },
+            spill: true,
+        },
+        obs.clone(),
+    )
+}
+
+fn spec(requests: u64, mode: LoadMode) -> LoadSpec {
+    LoadSpec {
+        seed: 2026,
+        requests,
+        apps: APPS.iter().map(|s| s.to_string()).collect(),
+        pool_per_app: 1024,
+        width: WIDTH,
+        zipf_s: 1.05,
+        mode,
+    }
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn class_line(label: &str, mut deltas_us: Vec<f64>, total: usize) {
+    deltas_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "  {label:<16} n={:<6} share={:>5.1}% p50={:>9.1}us p99={:>9.1}us",
+        deltas_us.len(),
+        100.0 * deltas_us.len() as f64 / total.max(1) as f64,
+        percentile(&deltas_us, 0.50),
+        percentile(&deltas_us, 0.99),
+    );
+}
+
+/// Join dispatch and reply events by trace id and print the breakdown.
+fn breakdown(obs: &Obs, requests: u64, rejected: u64) {
+    let query = TraceQuery::new(obs.tracer().events());
+    // trace id -> (enqueue ts, spilled)
+    let mut dispatch: HashMap<u64, (u64, bool)> = HashMap::new();
+    for e in query.of_kind("serve.dispatch") {
+        dispatch.insert(e.trace, (e.ts, e.bool_attr("spill").unwrap_or(false)));
+    }
+    let mut cached = Vec::new();
+    let mut inferred = Vec::new();
+    let mut spilled = Vec::new();
+    let mut primary = Vec::new();
+    for e in query.of_kind("serve.reply") {
+        // Requests whose dispatch aged out of the bounded ring are skipped;
+        // the ring below is sized so none do at this scale.
+        let Some((enqueued, spill)) = dispatch.get(&e.trace) else { continue };
+        let delta_us = e.ts.saturating_sub(*enqueued) as f64 / 1e3;
+        if e.bool_attr("cached").unwrap_or(false) {
+            cached.push(delta_us);
+        } else {
+            inferred.push(delta_us);
+        }
+        if *spill {
+            spilled.push(delta_us);
+        } else {
+            primary.push(delta_us);
+        }
+    }
+    let total = cached.len() + inferred.len();
+    println!(
+        "  joined {total} of {requests} requests from the event log \
+         ({rejected} rejected at admission)",
+    );
+    class_line("cache hit", cached, total);
+    class_line("kernel inference", inferred, total);
+    class_line("primary shard", primary, total);
+    class_line("spilled dispatch", spilled, total);
+}
+
+fn main() {
+    // 1. Closed-loop capacity of the fleet, untraced (the calibration run
+    //    should not pay for or be skewed by the recorder).
+    let requests = 60_000u64;
+    let calibration = fleet(&Obs::disabled());
+    let closed =
+        run_load(&calibration.handle(), &spec(requests, LoadMode::Closed { concurrency: 32 }));
+    calibration.shutdown();
+    let capacity = closed.throughput_rps;
+    println!(
+        "closed-loop capacity: {capacity:.0} rps over {} requests (2 shards)\n",
+        closed.completed
+    );
+
+    // 2. Open-loop Poisson arrivals below and above that capacity, with
+    //    the flight recorder on: 0.8x keeps queues shallow, 1.1x pushes
+    //    the fleet past saturation where queueing dominates everything.
+    for frac in [0.8f64, 1.1] {
+        let rate = capacity * frac;
+        let obs = Obs::enabled_traced(262_144);
+        let f = fleet(&obs);
+        let report = run_load(&f.handle(), &spec(requests, LoadMode::Open { rate_per_sec: rate }));
+        f.shutdown();
+        println!(
+            "open loop {frac:.1}x capacity ({rate:.0} rps offered): completed={} \
+             client p50={:.1}us p99={:.1}us",
+            report.completed,
+            report.latency_ns(0.50) as f64 / 1e3,
+            report.latency_ns(0.99) as f64 / 1e3,
+        );
+        breakdown(&obs, requests, report.rejected);
+        println!();
+    }
+    println!("trace breakdown demo OK");
+}

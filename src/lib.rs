@@ -87,16 +87,19 @@ pub mod prelude {
         AttentionForecaster, AttentionParams, Dataset, Gbr, GbrParams, Matrix, MissingPolicy,
         Ridge, WindowDataset,
     };
-    pub use dfv_obs::{Obs, Snapshot};
+    pub use dfv_obs::{
+        chrome_trace, events_jsonl, trace_id, Obs, Snapshot, TraceCtx, TraceEvent, TraceQuery,
+        Tracer,
+    };
     pub use dfv_online::{
         run_online, run_online_faulted_observed, DriftDetector, DriftParams, DriftVerdict,
         OnlineConfig, OnlineReport, PromotionOutcome,
     };
     pub use dfv_scheduler::{Archetype, Cluster, JobRequest, UserId};
     pub use dfv_serve::{
-        run_load, CompiledArtifact, EpochSnapshot, Fleet, FleetConfig, FleetHandle, FleetStats,
-        LoadMode, LoadReport, LoadSpec, ModelArtifact, ModelKey, ModelRegistry, Request, Response,
-        ServeConfig, ServeStats, Service,
+        run_load, run_load_slo, CompiledArtifact, EpochSnapshot, Fleet, FleetConfig, FleetHandle,
+        FleetStats, LoadMode, LoadReport, LoadSpec, ModelArtifact, ModelKey, ModelRegistry,
+        Request, Response, ServeConfig, ServeStats, Service, SloAlert, SloConfig, SloMonitor,
     };
     pub use dfv_workloads::{AppKind, AppRun, AppSpec, MpiProfile, MpiRoutine};
 }

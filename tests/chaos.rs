@@ -385,6 +385,108 @@ fn sharded_fleet_survives_concurrent_hot_swaps_with_consistent_epochs() {
 }
 
 #[test]
+fn traced_hot_swap_chaos_proves_causal_consistency() {
+    // The 3-shard hot-swap scenario again, but with the flight recorder
+    // running and every client request carrying its own trace id. The
+    // reconstruction proves the two causal invariants from the event log
+    // alone: (1) no client ever observes a model-version regression, and
+    // (2) every served version was announced by an earlier
+    // `registry.install` — a reply can never get ahead of the registry.
+    let obs = Obs::enabled_traced(8192);
+    let registry = Arc::new(ModelRegistry::new_observed(&obs));
+    registry.install(scaled_artifact("amg-16", 1, 1.0)).unwrap();
+    let fleet = Fleet::start_observed(
+        registry.clone(),
+        FleetConfig {
+            shards: 3,
+            shard_config: ServeConfig {
+                queue_capacity: 32,
+                max_batch: 4,
+                ..ServeConfig::default()
+            },
+            spill: false, // strict row→shard affinity keeps monotonicity per-shard
+        },
+        obs.clone(),
+    );
+    let clients: Vec<_> = (0..6u64)
+        .map(|t| {
+            let handle = fleet.handle();
+            std::thread::spawn(move || {
+                // One trace id per client: the per-trace event sequence IS
+                // that client's observation order (one outstanding request
+                // at a time, replies recorded before they are delivered).
+                let ctx = TraceCtx::new(trace_id(0xC1A0_5CE4E, t));
+                let row: Vec<f64> = (0..4u64).map(|j| ((t * 7 + j * 3) % 9) as f64).collect();
+                for _ in 0..80 {
+                    loop {
+                        match handle.request_traced(
+                            Request::PredictDeviation {
+                                app: "amg-16".into(),
+                                step_features: row.clone(),
+                            },
+                            ctx,
+                        ) {
+                            Response::Prediction { value, .. } => {
+                                assert!(value.is_finite());
+                                break;
+                            }
+                            Response::Rejected { retry_after } => std::thread::sleep(retry_after),
+                            Response::Error(e) => panic!("serve error: {e}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for version in 2..=6u64 {
+        registry.install(scaled_artifact("amg-16", version, version as f64)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(3));
+    }
+    for client in clients {
+        client.join().unwrap();
+    }
+    fleet.shutdown();
+
+    let tracer = obs.tracer();
+    let query = TraceQuery::new(tracer.events());
+    // The pipeline actually traced: dispatches, replies, epoch adoptions
+    // and all six installs are in the recorder.
+    assert_eq!(query.of_kind("serve.reply").len(), 6 * 80);
+    assert_eq!(query.of_kind("registry.install").len(), 6);
+    assert!(!query.of_kind("serve.dispatch").is_empty());
+    assert!(!query.of_kind("serve.epoch").is_empty());
+    assert_eq!(query.traces_of("serve.reply").len(), 6, "one trace per client");
+
+    // Invariant 1: per client, served versions never move backwards.
+    if let Err(err) = query.monotone("serve.reply", "version") {
+        eprintln!("--- flight recorder tail ---\n{}", tracer.dump_tail(48));
+        panic!("client observed a version regression: {err}");
+    }
+    // Invariant 2: every served version is reachable from a strictly
+    // earlier promotion/install event.
+    if let Err(err) =
+        query.causally_preceded("serve.reply", "version", "registry.install", "version")
+    {
+        eprintln!("--- flight recorder tail ---\n{}", tracer.dump_tail(48));
+        panic!("a reply served a version the registry never announced: {err}");
+    }
+    // Same discipline for the shards' own epoch adoptions: each shard's
+    // adoption sequence (one batcher thread, so seq order is emission
+    // order) never moves backwards.
+    let mut last_epoch: HashMap<u64, u64> = HashMap::new();
+    for event in query.of_kind("serve.epoch") {
+        let shard = event.u64_attr("shard").expect("serve.epoch carries a shard");
+        let epoch = event.u64_attr("epoch").expect("serve.epoch carries an epoch");
+        let prev = last_epoch.entry(shard).or_insert(0);
+        if epoch < *prev {
+            eprintln!("--- flight recorder tail ---\n{}", tracer.dump_tail(48));
+            panic!("shard {shard} adopted epoch {epoch} after {prev}");
+        }
+        *prev = epoch;
+    }
+}
+
+#[test]
 fn corrupt_installs_leave_every_shard_on_the_previous_version() {
     // Installs ride a deterministic corruption schedule (the chaos layer's
     // ArtifactCorrupt site): corrupted artifacts fail validation, the

@@ -12,7 +12,7 @@
 
 use dragonfly_variability::mlkit::gbr::{Gbr, GbrParams};
 use dragonfly_variability::prelude::*;
-use dragonfly_variability::serve::loadgen::run_load;
+use dragonfly_variability::serve::loadgen::{run_load, run_load_slo};
 use std::sync::Arc;
 
 /// The canonical seed-trained serving artifact: fixed data, fixed params.
@@ -143,6 +143,98 @@ fn ci_load_two_shards_match_single_shard_with_sane_tail() {
     assert!(shard_report.throughput_rps > 1_000.0, "{} rps", shard_report.throughput_rps);
 }
 
+/// A traced 1-shard fleet plus its observability handle.
+fn traced_fleet(queue_capacity: usize, ring_capacity: usize) -> (Fleet, Obs) {
+    let obs = Obs::enabled_traced(ring_capacity);
+    let registry = Arc::new(ModelRegistry::new_observed(&obs));
+    registry.install(seed_trained_artifact("amg-16", 1)).unwrap();
+    let fleet = Fleet::start_observed(
+        registry,
+        FleetConfig {
+            shards: 1,
+            shard_config: ServeConfig { queue_capacity, ..ServeConfig::default() },
+            ..FleetConfig::default()
+        },
+        obs.clone(),
+    );
+    (fleet, obs)
+}
+
+#[test]
+fn traced_load_serves_bit_identical_predictions() {
+    // Zero-perturbation: the flight recorder, trace propagation and the
+    // SLO monitor all run, and every served bit — outcomes, the
+    // per-request cache hit/miss sequence, summary stats — matches the
+    // untraced run exactly.
+    let s = spec(600, LoadMode::Sequential);
+    let plain = fleet(1, 256);
+    let untraced = run_load(&plain.handle(), &s);
+    plain.shutdown();
+
+    let (traced, obs) = traced_fleet(256, 16_384);
+    let slo = SloMonitor::new(SloConfig::default(), &obs);
+    let report = run_load_slo(&traced.handle(), &s, slo);
+    traced.shutdown();
+
+    let tracer = obs.tracer();
+    if untraced.outcome_digest != report.outcome_digest {
+        eprintln!("--- flight recorder tail ---\n{}", tracer.dump_tail(64));
+        panic!(
+            "tracing perturbed served bits: {:#018x} vs {:#018x}",
+            untraced.outcome_digest, report.outcome_digest
+        );
+    }
+    assert_eq!(untraced.hit_sequence_digest, report.hit_sequence_digest);
+    assert_eq!(untraced.completed, report.completed);
+    assert_eq!(untraced.deterministic_summary(), report.deterministic_summary());
+
+    // The traced run really recorded the pipeline end to end.
+    let query = TraceQuery::new(tracer.events());
+    assert_eq!(query.of_kind("serve.reply").len(), 600);
+    assert!(!query.of_kind("serve.dispatch").is_empty());
+    assert!(!query.of_kind("registry.install").is_empty());
+    query.monotone("serve.reply", "version").unwrap_or_else(|err| {
+        eprintln!("--- flight recorder tail ---\n{}", tracer.dump_tail(64));
+        panic!("version regressed: {err}");
+    });
+}
+
+/// CI-scale zero-perturbation run: a million closed-loop requests through
+/// a traced fleet must produce the exact outcome digest of the untraced
+/// fleet. Ignored in the default tier for its runtime.
+#[test]
+#[ignore = "CI serve-load tier (release-mode ~1M requests)"]
+fn ci_traced_million_request_digest_matches_untraced() {
+    let s = spec(1_000_000, LoadMode::Closed { concurrency: 16 });
+    let plain = fleet(2, 128);
+    let untraced = run_load(&plain.handle(), &s);
+    plain.shutdown();
+
+    let obs = Obs::enabled_traced(4_096);
+    let registry = Arc::new(ModelRegistry::new_observed(&obs));
+    registry.install(seed_trained_artifact("amg-16", 1)).unwrap();
+    let traced = Fleet::start_observed(
+        registry,
+        FleetConfig {
+            shards: 2,
+            shard_config: ServeConfig { queue_capacity: 128, ..ServeConfig::default() },
+            ..FleetConfig::default()
+        },
+        obs.clone(),
+    );
+    let report = run_load_slo(&traced.handle(), &s, SloMonitor::new(SloConfig::default(), &obs));
+    traced.shutdown();
+
+    assert_eq!(report.completed, 1_000_000);
+    if untraced.outcome_digest != report.outcome_digest {
+        eprintln!("--- flight recorder tail ---\n{}", obs.tracer().dump_tail(64));
+        panic!(
+            "tracing perturbed served bits at scale: {:#018x} vs {:#018x}",
+            untraced.outcome_digest, report.outcome_digest
+        );
+    }
+}
+
 /// Every f64 a model serves, folded order-independently.
 fn prediction_digest(values: &[f64]) -> u64 {
     values.iter().enumerate().fold(0u64, |d, (i, v)| {
@@ -177,6 +269,30 @@ fn seed_trained_artifact_pins_its_serving_digest() {
         digest, PINNED_SERVING_DIGEST,
         "serving digest drifted: got {digest:#018x}, pinned {PINNED_SERVING_DIGEST:#018x}"
     );
+}
+
+#[test]
+fn tracing_does_not_move_the_pinned_serving_digest() {
+    // Same pinned digest, but installed through a traced registry: the
+    // `registry.install` event and the flight recorder must not touch a
+    // single served bit.
+    let obs = Obs::enabled_traced(1_024);
+    let registry = Arc::new(ModelRegistry::new_observed(&obs));
+    registry.install(seed_trained_artifact("amg-16", 1)).unwrap();
+    let compiled = registry.get_compiled(&ModelKey::deviation("amg-16")).unwrap();
+
+    let mut grid = Matrix::zeros(0, 4);
+    for i in 0..64 {
+        let row: Vec<f64> = (0..4).map(|j| ((i * 7 + j * 5) % 23) as f64 * 0.125 - 1.0).collect();
+        grid.push_row(&row);
+    }
+    let digest = prediction_digest(&compiled.predict_batch(&grid));
+    assert_eq!(
+        digest, PINNED_SERVING_DIGEST,
+        "tracing moved the serving digest: got {digest:#018x}"
+    );
+    let query = TraceQuery::new(obs.tracer().events());
+    assert_eq!(query.of_kind("registry.install").len(), 1, "the install was traced");
 }
 
 /// Pinned by running the seed-trained artifact once at introduction; any
